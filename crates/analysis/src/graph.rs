@@ -1,0 +1,179 @@
+//! Graph metrics over ITDK-style snapshots.
+//!
+//! The paper's §7 revisits three properties biased by invisible tunnels:
+//! node degree distribution (Fig. 1, Fig. 10), graph density (Table 4),
+//! and path lengths (Fig. 11). Clustering is included because the
+//! introduction names it among the shifted metrics.
+
+use crate::stats::Histogram;
+use std::collections::BTreeSet;
+use wormhole_topo::ItdkSnapshot;
+
+/// The degree distribution of a snapshot as a histogram.
+pub fn degree_histogram(snap: &ItdkSnapshot) -> Histogram {
+    Histogram::from_iter(snap.degrees().into_iter().map(|d| d as i64))
+}
+
+/// The degree distribution restricted to a node subset.
+pub fn degree_histogram_of(snap: &ItdkSnapshot, nodes: &BTreeSet<usize>) -> Histogram {
+    Histogram::from_iter(nodes.iter().map(|&n| snap.degree(n) as i64))
+}
+
+/// Whole-graph density `2E / V(V−1)`.
+pub fn density(snap: &ItdkSnapshot) -> f64 {
+    let v = snap.num_nodes();
+    if v < 2 {
+        return 0.0;
+    }
+    2.0 * snap.num_links() as f64 / (v as f64 * (v - 1) as f64)
+}
+
+/// The global clustering coefficient (transitivity): `3·triangles /
+/// connected triples`.
+pub fn clustering_coefficient(snap: &ItdkSnapshot) -> f64 {
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for v in 0..snap.num_nodes() {
+        let nbrs: Vec<usize> = snap.neighbors(v).collect();
+        let d = nbrs.len();
+        triples += d.saturating_sub(1) * d / 2;
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if snap.neighbors(a).any(|x| x == b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner: 3 times total.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Shortest-path lengths (BFS) from `src` to every reachable node.
+pub fn bfs_distances(snap: &ItdkSnapshot, src: usize) -> Vec<Option<usize>> {
+    let mut dist = vec![None; snap.num_nodes()];
+    dist[src] = Some(0);
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("visited");
+        for v in snap.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Average shortest-path length and diameter over a (sampled) node set.
+/// Unreachable pairs are ignored.
+pub fn path_length_stats(snap: &ItdkSnapshot, sources: &[usize]) -> Option<(f64, usize)> {
+    let mut total = 0usize;
+    let mut count = 0usize;
+    let mut diameter = 0usize;
+    for &s in sources {
+        for (v, d) in bfs_distances(snap, s).into_iter().enumerate() {
+            if v == s {
+                continue;
+            }
+            if let Some(d) = d {
+                total += d;
+                count += 1;
+                diameter = diameter.max(d);
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((total as f64 / count as f64, diameter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_net::Addr;
+    use wormhole_topo::NodeInfo;
+
+    fn a(x: u8) -> Addr {
+        Addr::new(10, 0, 0, x)
+    }
+
+    fn ident(addr: Addr) -> NodeInfo {
+        NodeInfo {
+            key: addr.0 as u64,
+            asn: None,
+        }
+    }
+
+    fn line(n: u8) -> ItdkSnapshot {
+        let path: Vec<Option<Addr>> = (1..=n).map(|x| Some(a(x))).collect();
+        ItdkSnapshot::build(&[path], ident)
+    }
+
+    #[test]
+    fn degree_histogram_of_line() {
+        let snap = line(4);
+        let h = degree_histogram(&snap);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 2);
+    }
+
+    #[test]
+    fn density_of_line_and_triangle() {
+        let snap = line(4);
+        assert!((density(&snap) - 0.5).abs() < 1e-12);
+        let tri = ItdkSnapshot::build(
+            &[vec![Some(a(1)), Some(a(2)), Some(a(3)), Some(a(1))]],
+            ident,
+        );
+        assert!((density(&tri) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering() {
+        let tri = ItdkSnapshot::build(
+            &[vec![Some(a(1)), Some(a(2)), Some(a(3)), Some(a(1))]],
+            ident,
+        );
+        assert!((clustering_coefficient(&tri) - 1.0).abs() < 1e-12);
+        let snap = line(4);
+        assert_eq!(clustering_coefficient(&snap), 0.0);
+    }
+
+    #[test]
+    fn bfs_and_path_stats() {
+        let snap = line(5);
+        let d = bfs_distances(&snap, 0);
+        assert_eq!(d[4], Some(4));
+        let (avg, diam) = path_length_stats(&snap, &[0, 4]).unwrap();
+        assert_eq!(diam, 4);
+        assert!((avg - 2.5).abs() < 1e-12);
+        // Disconnected pieces ignored.
+        let snap2 = ItdkSnapshot::build(
+            &[
+                vec![Some(a(1)), Some(a(2))],
+                vec![Some(a(3)), Some(a(4))],
+            ],
+            ident,
+        );
+        let d = bfs_distances(&snap2, 0);
+        assert_eq!(d.iter().filter(|x| x.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn degree_subset() {
+        let snap = line(4);
+        let ends: BTreeSet<usize> = [0, 3].into_iter().collect();
+        let h = degree_histogram_of(&snap, &ends);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.count(1), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! `wormhole-analysis`: statistics and Internet-model analysis.
+//!
+//! * [`stats`] — histograms, PDFs/CDFs, quantiles, a power-law slope
+//!   descriptor;
+//! * [`graph`] — degree distributions, density, clustering, BFS path
+//!   lengths over ITDK snapshots;
+//! * [`model`] — the §7 model update: trace splicing, before/after
+//!   snapshots, Fig. 6 RTT decomposition, Fig. 7b RFA correction,
+//!   Table 4 density correction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod model;
+pub mod stats;
+
+pub use graph::{
+    bfs_distances, clustering_coefficient, degree_histogram, degree_histogram_of, density,
+    path_length_stats,
+};
+pub use model::{
+    before_after_snapshots, corrected_path, corrected_paths, corrected_rfa,
+    corrected_rtt_profile, density_before_after, rtt_profile, trace_lengths, RttPoint,
+};
+pub use stats::{mean, power_law_slope, stddev, Histogram};

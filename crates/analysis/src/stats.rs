@@ -1,0 +1,227 @@
+//! Small statistics toolkit for the experiment harness.
+
+use std::collections::BTreeMap;
+
+/// The arithmetic mean, `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation, `None` for fewer than two values.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// An empirical distribution over integers.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: BTreeMap<i64, usize>,
+    n: usize,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Builds from an iterator.
+    #[allow(clippy::should_implement_trait)] // also usable via collect-free call
+    pub fn from_iter<I: IntoIterator<Item = i64>>(it: I) -> Histogram {
+        let mut h = Histogram::new();
+        for x in it {
+            h.push(x);
+        }
+        h
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: i64) {
+        *self.counts.entry(x).or_insert(0) += 1;
+        self.n += 1;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The count at `x`.
+    pub fn count(&self, x: i64) -> usize {
+        self.counts.get(&x).copied().unwrap_or(0)
+    }
+
+    /// `(value, probability)` pairs in increasing value order.
+    pub fn pdf(&self) -> Vec<(i64, f64)> {
+        self.counts
+            .iter()
+            .map(|(&v, &c)| (v, c as f64 / self.n as f64))
+            .collect()
+    }
+
+    /// `(value, cumulative probability)` pairs.
+    pub fn cdf(&self) -> Vec<(i64, f64)> {
+        let mut acc = 0usize;
+        self.counts
+            .iter()
+            .map(|(&v, &c)| {
+                acc += c;
+                (v, acc as f64 / self.n as f64)
+            })
+            .collect()
+    }
+
+    /// The lower median.
+    pub fn median(&self) -> Option<i64> {
+        if self.n == 0 {
+            return None;
+        }
+        let target = (self.n - 1) / 2;
+        let mut acc = 0usize;
+        for (&v, &c) in &self.counts {
+            acc += c;
+            if acc > target {
+                return Some(v);
+            }
+        }
+        unreachable!("counts sum to n")
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let sum: f64 = self.counts.iter().map(|(&v, &c)| v as f64 * c as f64).sum();
+        Some(sum / self.n as f64)
+    }
+
+    /// The most frequent value (smallest on ties).
+    pub fn mode(&self) -> Option<i64> {
+        self.counts
+            .iter()
+            .max_by_key(|&(&v, &c)| (c, std::cmp::Reverse(v)))
+            .map(|(&v, _)| v)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by the nearest-rank rule.
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        if self.n == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.n as f64).ceil() as usize).clamp(1, self.n);
+        let mut acc = 0usize;
+        for (&v, &c) in &self.counts {
+            acc += c;
+            if acc >= rank {
+                return Some(v);
+            }
+        }
+        unreachable!("counts sum to n")
+    }
+
+    /// The value range `(min, max)`.
+    pub fn range(&self) -> Option<(i64, i64)> {
+        let min = *self.counts.keys().next()?;
+        let max = *self.counts.keys().next_back()?;
+        Some((min, max))
+    }
+}
+
+/// A crude power-law tail check: fits `log(pdf) = a − k·log(x)` over the
+/// positive support by least squares and returns the slope `k` (heavy
+/// tails show `k` in roughly 1–3). Used only to describe distribution
+/// *shape* (Fig. 1), never as a statistical claim.
+pub fn power_law_slope(pdf: &[(i64, f64)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = pdf
+        .iter()
+        .filter(|&&(x, p)| x > 0 && p > 0.0)
+        .map(|&(x, p)| ((x as f64).ln(), p.ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some(-(n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(stddev(&[1.0]), None);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let h = Histogram::from_iter([1, 2, 2, 3, 3, 3]);
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(9), 0);
+        assert_eq!(h.median(), Some(2));
+        assert!((h.mean().unwrap() - 14.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.mode(), Some(3));
+        assert_eq!(h.range(), Some((1, 3)));
+        let pdf = h.pdf();
+        assert!((pdf.iter().map(|&(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-12);
+        let cdf = h.cdf();
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = Histogram::from_iter(1..=100);
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.95), Some(95));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn median_even_and_empty() {
+        assert_eq!(Histogram::new().median(), None);
+        let h = Histogram::from_iter([1, 2, 3, 4]);
+        assert_eq!(h.median(), Some(2));
+    }
+
+    #[test]
+    fn power_law_slope_recovers_exponent() {
+        // pdf(x) ∝ x^-2.
+        let mut pdf = Vec::new();
+        let z: f64 = (1..=50).map(|x| (x as f64).powi(-2)).sum();
+        for x in 1..=50i64 {
+            pdf.push((x, (x as f64).powi(-2) / z));
+        }
+        let k = power_law_slope(&pdf).unwrap();
+        assert!((k - 2.0).abs() < 0.05, "k = {k}");
+        assert!(power_law_slope(&[(1, 1.0)]).is_none());
+    }
+}

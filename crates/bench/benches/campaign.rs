@@ -1,0 +1,60 @@
+//! Campaign-scale benchmarks: ITDK aggregation and the full §4
+//! pipeline on the reduced Internet.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wormhole_core::{Campaign, CampaignConfig};
+use wormhole_net::Addr;
+use wormhole_topo::{generate, InternetConfig, ItdkSnapshot, NodeInfo};
+
+fn itdk_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itdk");
+    // Synthetic path set: 2,000 paths of 12 hops over a 4,096-address
+    // space (deterministic xorshift).
+    let mut x: u32 = 0x9E37_79B9;
+    let mut step = || {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        x
+    };
+    let paths: Vec<Vec<Option<Addr>>> = (0..2_000)
+        .map(|_| {
+            (0..12)
+                .map(|_| Some(Addr(0x0A00_0000 | (step() % 4096))))
+                .collect()
+        })
+        .collect();
+    group.bench_function("aggregate_2k_paths", |b| {
+        b.iter(|| {
+            black_box(ItdkSnapshot::build(&paths, |a| NodeInfo {
+                key: u64::from(a.0),
+                asn: None,
+            }))
+        })
+    });
+    group.finish();
+}
+
+fn campaign_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    let internet = generate(&InternetConfig::small(5));
+    group.bench_function("full_pipeline_small_internet", |b| {
+        b.iter(|| {
+            let campaign = Campaign::new(
+                &internet.net,
+                &internet.cp,
+                internet.vps.clone(),
+                CampaignConfig {
+                    hdn_threshold: 6,
+                    ..CampaignConfig::default()
+                },
+            );
+            black_box(campaign.run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, itdk_bench, campaign_bench);
+criterion_main!(benches);

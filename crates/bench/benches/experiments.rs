@@ -1,0 +1,54 @@
+//! One benchmark per experiment family: `cargo bench` regenerates every
+//! paper artefact (the experiment functions assert their paper-shape
+//! claims on every iteration) while timing the regeneration cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wormhole_experiments::*;
+
+fn scenario_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_scenario");
+    group.sample_size(10);
+    group.bench_function("table1_signatures", |b| b.iter(|| black_box(table1::run())));
+    group.bench_function("table2_visibility_matrix", |b| {
+        b.iter(|| black_box(table2::run()))
+    });
+    group.bench_function("fig4_emulation_listings", |b| b.iter(|| black_box(fig4::run())));
+    group.bench_function("table6_applicability", |b| b.iter(|| black_box(table6::run())));
+    group.finish();
+}
+
+fn cross_validation_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_cross_validation");
+    group.sample_size(10);
+    group.bench_function("table3_quick", |b| b.iter(|| black_box(table3::run(true))));
+    group.finish();
+}
+
+fn campaign_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_campaign");
+    group.sample_size(10);
+    // The context (Internet + campaign) is the expensive shared part;
+    // benchmark it once, then each artefact's analysis on top of it.
+    group.bench_function("context_quick", |b| {
+        b.iter(|| black_box(PaperContext::generate(Scale::Quick)))
+    });
+    let ctx = PaperContext::generate(Scale::Quick);
+    group.bench_function("fig1_degree_pdf", |b| b.iter(|| black_box(fig1::run(&ctx))));
+    group.bench_function("table4_per_as_discovery", |b| {
+        b.iter(|| black_box(table4::run(&ctx)))
+    });
+    group.bench_function("fig5_ftl_distribution", |b| b.iter(|| black_box(fig5::run(&ctx))));
+    group.bench_function("fig6_rtt_correction", |b| b.iter(|| black_box(fig6::run(&ctx))));
+    group.bench_function("fig7_rfa_distributions", |b| b.iter(|| black_box(fig7::run(&ctx))));
+    group.bench_function("fig8_rfa_by_message", |b| b.iter(|| black_box(fig8::run(&ctx))));
+    group.bench_function("fig9_rtla_distributions", |b| b.iter(|| black_box(fig9::run(&ctx))));
+    group.bench_function("table5_deployment", |b| b.iter(|| black_box(table5::run(&ctx))));
+    group.bench_function("fig10_degree_correction", |b| {
+        b.iter(|| black_box(fig10::run(&ctx)))
+    });
+    group.bench_function("fig11_path_lengths", |b| b.iter(|| black_box(fig11::run(&ctx))));
+    group.finish();
+}
+
+criterion_group!(benches, scenario_experiments, cross_validation_experiment, campaign_experiments);
+criterion_main!(benches);

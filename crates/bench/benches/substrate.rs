@@ -1,0 +1,86 @@
+//! Substrate benchmarks: LPM trie, control-plane computation, and raw
+//! forwarding throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wormhole_bench::grid;
+use wormhole_net::{Addr, ControlPlane, Engine, Packet, Prefix, PrefixTrie};
+use wormhole_topo::{gns3_fig2, generate, Fig2Config, InternetConfig};
+
+fn trie_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie");
+    for &n in &[100usize, 1_000, 10_000] {
+        // Deterministic pseudo-random prefix table.
+        let mut trie = PrefixTrie::new();
+        let mut x: u32 = 0x2545_F491;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x
+        };
+        for i in 0..n {
+            let len = 8 + (step() % 25) as u8;
+            trie.insert(Prefix::new(Addr(step()), len), i);
+        }
+        let queries: Vec<Addr> = (0..1024).map(|_| Addr(step())).collect();
+        group.bench_with_input(BenchmarkId::new("lookup_1k", n), &trie, |b, trie| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &q in &queries {
+                    if trie.lookup(q).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn control_plane_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_plane");
+    group.sample_size(20);
+    group.bench_function("fig2_testbed", |b| {
+        b.iter(|| black_box(gns3_fig2(Fig2Config::BackwardRecursive)))
+    });
+    let (net, _) = grid(10);
+    group.bench_function("grid_10x10", |b| {
+        b.iter(|| black_box(ControlPlane::build(&net).expect("builds")))
+    });
+    group.sample_size(10);
+    group.bench_function("paper_internet_generate", |b| {
+        b.iter(|| black_box(generate(&InternetConfig::small(1))))
+    });
+    group.finish();
+}
+
+fn forwarding_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forwarding");
+    let (net, cp) = grid(10);
+    let vp = net.router_by_name("VP").expect("vp").id;
+    let src = net.router(vp).loopback;
+    let far = net.router_by_name("g9.9").expect("far").loopback;
+    group.bench_function("grid_ping_20_hops", |b| {
+        let mut eng = Engine::new(&net, &cp);
+        let mut seq = 0u16;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            black_box(eng.send(vp, Packet::echo_request(src, far, 64, 1, 1, seq)))
+        })
+    });
+    let s = gns3_fig2(Fig2Config::Default);
+    let vsrc = s.net.router(s.vp).loopback;
+    group.bench_function("fig2_probe_through_lsp", |b| {
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let mut seq = 0u16;
+        b.iter(|| {
+            seq = seq.wrapping_add(1);
+            black_box(eng.send(s.vp, Packet::echo_request(vsrc, s.target, 4, 1, 1, seq)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trie_benches, control_plane_benches, forwarding_benches);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Technique benchmarks: probing and the four revelation/analysis
+//! methods, swept over tunnel length.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wormhole_core::{
+    infer_initial_ttl, return_tunnel_length, reveal_between, rfa_of_trace, RevealOpts, Signature,
+};
+use wormhole_net::{LdpPolicy, Vendor};
+use wormhole_probe::{Session, TracerouteOpts};
+use wormhole_topo::{gns3_fig2_with, Fig2Config, Fig2Opts, Scenario};
+
+fn scenario(vendor: Vendor, ldp: LdpPolicy) -> Scenario {
+    gns3_fig2_with(Fig2Opts {
+        ler_vendor: vendor,
+        lsr_vendor: vendor,
+        ttl_propagate: false,
+        ldp_policy: ldp,
+        ..Fig2Opts::preset(Fig2Config::Default)
+    })
+}
+
+fn traceroute_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probing");
+    let s = scenario(Vendor::CiscoIos, LdpPolicy::AllPrefixes);
+    group.bench_function("paris_traceroute_fig2", |b| {
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        b.iter(|| black_box(sess.traceroute(s.target)))
+    });
+    group.bench_function("ping_fig2", |b| {
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        b.iter(|| black_box(sess.ping(s.target)))
+    });
+    group.finish();
+}
+
+fn revelation_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revelation");
+    // BRPR (Cisco defaults) vs DPR (Juniper defaults) on the same
+    // 3-LSR tunnel: DPR should be substantially cheaper.
+    let cisco = scenario(Vendor::CiscoIos, LdpPolicy::AllPrefixes);
+    group.bench_function("brpr_3_lsrs", |b| {
+        let mut sess = Session::new(&cisco.net, &cisco.cp, cisco.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let (x, y) = (cisco.left_addr("PE1"), cisco.left_addr("PE2"));
+        b.iter(|| {
+            black_box(reveal_between(
+                &mut sess,
+                x,
+                y,
+                cisco.target,
+                &RevealOpts::default(),
+            ))
+        })
+    });
+    let juniper = scenario(Vendor::JuniperJunos, LdpPolicy::LoopbackOnly);
+    group.bench_function("dpr_3_lsrs", |b| {
+        let mut sess = Session::new(&juniper.net, &juniper.cp, juniper.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let (x, y) = (juniper.left_addr("PE1"), juniper.left_addr("PE2"));
+        b.iter(|| {
+            black_box(reveal_between(
+                &mut sess,
+                x,
+                y,
+                juniper.target,
+                &RevealOpts::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn analytics_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytics");
+    let s = scenario(Vendor::JuniperJunos, LdpPolicy::LoopbackOnly);
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    let trace = sess.traceroute(s.target);
+    group.bench_function("frpla_per_trace", |b| {
+        b.iter(|| black_box(rfa_of_trace(&trace)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("rtla_gap", "single"),
+        &(250u8, 62u8),
+        |b, &(te, er)| {
+            let sig = Signature {
+                te: Some(infer_initial_ttl(te)),
+                er: Some(infer_initial_ttl(er)),
+            };
+            b.iter(|| black_box(return_tunnel_length(sig, te, er)))
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, traceroute_bench, revelation_bench, analytics_bench);
+criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! Router fingerprinting from initial TTLs (paper §2.3, Table 1).
+//!
+//! A reply's initial TTL is inferred by rounding the observed TTL up to
+//! the next common initial value (32, 64, 128, 255); the pair-signature
+//! `<time-exceeded, echo-reply>` then classifies the router's vendor
+//! family. The `<255, 64>` signature (Juniper Junos) is what RTLA keys
+//! on.
+
+use std::collections::HashMap;
+use wormhole_net::{Addr, Vendor};
+
+/// Rounds an observed TTL up to the inferred initial TTL.
+///
+/// Paths longer than 32 hops against a 32-initial stack would alias to
+/// 64 — the standard, accepted limitation of the technique.
+pub fn infer_initial_ttl(observed: u8) -> u8 {
+    for init in [32u8, 64, 128] {
+        if observed <= init {
+            return init;
+        }
+    }
+    255
+}
+
+/// The inferred return-path length in router hops, counting the
+/// replying router itself (the `+1` of the paper's "PE2 is located six
+/// hops from the Vantage Point" convention).
+pub fn return_path_len(observed: u8) -> u8 {
+    infer_initial_ttl(observed) - observed + 1
+}
+
+/// A pair-signature, possibly still partial.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Signature {
+    /// Inferred initial TTL of time-exceeded replies.
+    pub te: Option<u8>,
+    /// Inferred initial TTL of echo replies.
+    pub er: Option<u8>,
+}
+
+impl Signature {
+    /// The complete `<te, er>` pair, when both kinds were observed.
+    pub fn pair(&self) -> Option<(u8, u8)> {
+        Some((self.te?, self.er?))
+    }
+
+    /// The Table 1 vendor class for this signature, if it matches one.
+    pub fn vendor_class(&self) -> Option<Vendor> {
+        match self.pair()? {
+            (255, 255) => Some(Vendor::CiscoIos),
+            (255, 64) => Some(Vendor::JuniperJunos),
+            (128, 128) => Some(Vendor::JuniperJunosE),
+            (64, 64) => Some(Vendor::BrocadeLinux),
+            _ => None,
+        }
+    }
+
+    /// True for the `<255, 64>` signature RTLA requires.
+    pub fn is_rtla_capable(&self) -> bool {
+        self.pair() == Some((255, 64))
+    }
+}
+
+/// Accumulates per-address TTL observations into signatures.
+#[derive(Debug, Default, Clone)]
+pub struct FingerprintTable {
+    sigs: HashMap<Addr, Signature>,
+}
+
+impl FingerprintTable {
+    /// An empty table.
+    pub fn new() -> FingerprintTable {
+        FingerprintTable::default()
+    }
+
+    /// Records a time-exceeded observation for `addr`.
+    pub fn observe_te(&mut self, addr: Addr, observed_ttl: u8) {
+        let sig = self.sigs.entry(addr).or_default();
+        sig.te = Some(infer_initial_ttl(observed_ttl));
+    }
+
+    /// Records an echo-reply observation for `addr`.
+    pub fn observe_er(&mut self, addr: Addr, observed_ttl: u8) {
+        let sig = self.sigs.entry(addr).or_default();
+        sig.er = Some(infer_initial_ttl(observed_ttl));
+    }
+
+    /// The signature collected for `addr`.
+    pub fn signature(&self, addr: Addr) -> Signature {
+        self.sigs.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all `(addr, signature)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, Signature)> + '_ {
+        self.sigs.iter().map(|(&a, &s)| (a, s))
+    }
+
+    /// Number of fingerprinted addresses.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// True when no address was fingerprinted.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The distribution of complete pair-signatures over a set of
+    /// addresses (Table 5's "TTL signature (%)" columns).
+    pub fn signature_mix<'a, I>(&self, addrs: I) -> HashMap<(u8, u8), usize>
+    where
+        I: IntoIterator<Item = &'a Addr>,
+    {
+        let mut mix = HashMap::new();
+        for addr in addrs {
+            if let Some(pair) = self.signature(*addr).pair() {
+                *mix.entry(pair).or_insert(0) += 1;
+            }
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_to_initials() {
+        assert_eq!(infer_initial_ttl(250), 255);
+        assert_eq!(infer_initial_ttl(129), 255);
+        assert_eq!(infer_initial_ttl(128), 128);
+        assert_eq!(infer_initial_ttl(100), 128);
+        assert_eq!(infer_initial_ttl(64), 64);
+        assert_eq!(infer_initial_ttl(60), 64);
+        assert_eq!(infer_initial_ttl(31), 32);
+        assert_eq!(infer_initial_ttl(1), 32);
+    }
+
+    #[test]
+    fn return_path_len_counts_replier() {
+        // Observed 250 from a 255-initial stack: 5 decrements, 6 hops
+        // counting the replier (the paper's Fig. 2 narrative).
+        assert_eq!(return_path_len(250), 6);
+        assert_eq!(return_path_len(255), 1);
+    }
+
+    #[test]
+    fn table1_classification() {
+        let mut t = FingerprintTable::new();
+        let a = Addr::new(10, 0, 0, 1);
+        t.observe_te(a, 250);
+        assert_eq!(t.signature(a).pair(), None); // partial
+        t.observe_er(a, 60);
+        let sig = t.signature(a);
+        assert_eq!(sig.pair(), Some((255, 64)));
+        assert_eq!(sig.vendor_class(), Some(Vendor::JuniperJunos));
+        assert!(sig.is_rtla_capable());
+    }
+
+    #[test]
+    fn all_four_classes() {
+        let cases = [
+            (255u8, 255u8, Vendor::CiscoIos),
+            (255, 64, Vendor::JuniperJunos),
+            (128, 128, Vendor::JuniperJunosE),
+            (64, 64, Vendor::BrocadeLinux),
+        ];
+        for (te, er, vendor) in cases {
+            let sig = Signature {
+                te: Some(te),
+                er: Some(er),
+            };
+            assert_eq!(sig.vendor_class(), Some(vendor));
+        }
+        // Unknown combination.
+        let sig = Signature {
+            te: Some(64),
+            er: Some(255),
+        };
+        assert_eq!(sig.vendor_class(), None);
+    }
+
+    #[test]
+    fn signature_mix_counts_pairs() {
+        let mut t = FingerprintTable::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        let c = Addr::new(10, 0, 0, 3);
+        for (addr, te, er) in [(a, 250, 250), (b, 250, 60), (c, 250, 60)] {
+            t.observe_te(addr, te);
+            t.observe_er(addr, er);
+        }
+        let mix = t.signature_mix([a, b, c].iter());
+        assert_eq!(mix[&(255, 255)], 1);
+        assert_eq!(mix[&(255, 64)], 2);
+        assert_eq!(t.len(), 3);
+    }
+}

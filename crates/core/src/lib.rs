@@ -1,0 +1,32 @@
+//! `wormhole-core`: the paper's contribution — techniques for tracking
+//! invisible MPLS tunnels.
+//!
+//! * [`fingerprint`] — TTL-based router signatures (Table 1);
+//! * [`frpla`] — Forward/Return Path Length Analysis: the statistical
+//!   *shift* detector and tunnel-length estimator;
+//! * [`rtla`] — Return Tunnel Length Analysis: the exact `<255,64>`
+//!   *gap* method;
+//! * [`reveal`] — DPR and BRPR, the hop-revealing recursion of §4;
+//! * [`campaign`] — the full HDN-driven measurement campaign;
+//! * [`smart`] — the §8 "modified traceroute": FRPLA/RTLA as triggers,
+//!   DPR/BRPR revealing hidden hops on the fly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod fingerprint;
+pub mod frpla;
+pub mod reveal;
+pub mod rtla;
+pub mod smart;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, CandidatePair, HdnRule};
+pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Signature};
+pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};
+pub use reveal::{
+    reveal_between, RevealMethod, RevealOpts, RevealOutcome, RevealStep, RevealedHop,
+    RevealedTunnel,
+};
+pub use rtla::{return_tunnel_length, sample as rtla_sample, tunnel_asymmetry, RtlaSample};
+pub use smart::{smart_traceroute, SmartHop, SmartOpts, SmartTrace, Trigger};

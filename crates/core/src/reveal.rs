@@ -1,0 +1,365 @@
+//! DPR and BRPR — revealing the hidden hops (paper §3.2, §4).
+//!
+//! Both techniques exploit the fact that not all packets inside an MPLS
+//! network are label-switched:
+//!
+//! * **DPR** (Direct Path Revelation): when internal prefixes are not in
+//!   LDP (Juniper's loopback-only default), a trace towards the egress
+//!   LER's *incoming interface* follows the explicit IGP route and
+//!   reveals the whole hidden path in one probe burst;
+//! * **BRPR** (Backward Recursive Path Revelation): with LDP on all
+//!   prefixes (Cisco default) and PHP, a trace towards the egress
+//!   reveals the Last Hop (the LSP towards the egress's incoming `/31`
+//!   ends one router early); recursing on each newly revealed address
+//!   walks the LSP backwards to the ingress.
+//!
+//! The driver below implements the §4 recursion verbatim: re-trace the
+//! egress, recurse while exactly one new hop appears, stop when nothing
+//! new is revealed or the trace no longer passes through the ingress.
+
+use wormhole_net::{Addr, RouterId};
+use wormhole_probe::Session;
+
+/// Options for the revelation recursion.
+#[derive(Clone, Debug)]
+pub struct RevealOpts {
+    /// Maximum recursion depth (traces beyond the initial one).
+    pub max_steps: usize,
+}
+
+impl Default for RevealOpts {
+    fn default() -> RevealOpts {
+        RevealOpts { max_steps: 16 }
+    }
+}
+
+/// One newly revealed hop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RevealedHop {
+    /// The revealed address.
+    pub addr: Addr,
+    /// Whether the revealing trace quoted MPLS labels at this hop (if
+    /// so, the "tunnel" was explicit, not invisible — used by the
+    /// cross-validation criteria of Table 3).
+    pub labeled: bool,
+    /// Round-trip time observed when the hop was revealed (feeds the
+    /// Fig. 6 RTT decomposition).
+    pub rtt_ms: Option<f64>,
+    /// Simulator ground truth (validation only).
+    pub truth: Option<RouterId>,
+}
+
+/// One step of the recursion.
+#[derive(Clone, Debug)]
+pub struct RevealStep {
+    /// The address this step traced towards.
+    pub target: Addr,
+    /// The new hops it revealed, in forward (ingress→egress) order.
+    pub new_hops: Vec<RevealedHop>,
+}
+
+/// Which §4 bucket a revelation falls into.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RevealMethod {
+    /// Several hops in a single extra trace.
+    Dpr,
+    /// One hop per recursion step, more than one step.
+    Brpr,
+    /// A single revealed hop: DPR and BRPR are indistinguishable
+    /// (Table 3's "BRPR or DPR" row).
+    Either,
+    /// A mix: single-hop steps plus a multi-hop step
+    /// (Table 3's "hybrid DPR/BRPR").
+    Hybrid,
+}
+
+/// A revealed invisible tunnel.
+#[derive(Clone, Debug)]
+pub struct RevealedTunnel {
+    /// The suspected tunnel ingress (address `X` of §4).
+    pub ingress: Addr,
+    /// The suspected tunnel egress (address `Y`).
+    pub egress: Addr,
+    /// The original trace's destination (`D`).
+    pub target: Addr,
+    /// The recursion transcript.
+    pub steps: Vec<RevealStep>,
+    /// Extra probe packets spent by the revelation.
+    pub extra_probes: u64,
+}
+
+impl RevealedTunnel {
+    /// The revealed hidden hops in forward order (ingress side first).
+    ///
+    /// BRPR discovers hops backwards (last hop first); the forward order
+    /// therefore concatenates the steps most-recent-first.
+    pub fn hops(&self) -> Vec<Addr> {
+        let mut out = Vec::new();
+        for step in self.steps.iter().rev() {
+            out.extend(step.new_hops.iter().map(|h| h.addr));
+        }
+        out
+    }
+
+    /// Number of revealed hops.
+    pub fn len(&self) -> usize {
+        self.steps.iter().map(|s| s.new_hops.len()).sum()
+    }
+
+    /// True when nothing was revealed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether any revealed hop was labeled.
+    pub fn any_labeled(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| s.new_hops.iter().any(|h| h.labeled))
+    }
+
+    /// The §4 classification.
+    pub fn method(&self) -> RevealMethod {
+        let revealing: Vec<&RevealStep> =
+            self.steps.iter().filter(|s| !s.new_hops.is_empty()).collect();
+        let total = self.len();
+        if total == 1 {
+            return RevealMethod::Either;
+        }
+        let multi = revealing.iter().any(|s| s.new_hops.len() > 1);
+        if revealing.len() == 1 && multi {
+            RevealMethod::Dpr
+        } else if multi {
+            RevealMethod::Hybrid
+        } else {
+            RevealMethod::Brpr
+        }
+    }
+
+    /// The forward tunnel length (FTL) in the paper's Fig. 5 convention:
+    /// hops needed to reach the egress from the ingress, i.e. revealed
+    /// LSRs + 1.
+    pub fn forward_tunnel_length(&self) -> usize {
+        self.len() + 1
+    }
+}
+
+/// Outcome of a revelation attempt.
+#[derive(Clone, Debug)]
+pub enum RevealOutcome {
+    /// Hidden hops were revealed.
+    Revealed(RevealedTunnel),
+    /// The re-trace worked but exposed nothing between ingress and
+    /// egress: no invisible tunnel, or one that resists both techniques
+    /// (e.g. UHP).
+    NothingHidden,
+    /// The re-trace never reached the egress through the ingress.
+    Failed,
+}
+
+impl RevealOutcome {
+    /// The tunnel, if revealed.
+    pub fn tunnel(&self) -> Option<&RevealedTunnel> {
+        match self {
+            RevealOutcome::Revealed(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// The hops strictly between `after` and the final hop equal to `until`
+/// in a trace, as (addr, labeled, truth) triples. `None` when the trace
+/// does not pass through `after` or does not end at `until`.
+fn segment_between(
+    trace: &wormhole_probe::Trace,
+    after: Addr,
+    until: Addr,
+) -> Option<Vec<RevealedHop>> {
+    let hops: Vec<&wormhole_probe::TraceHop> =
+        trace.hops.iter().filter(|h| h.addr.is_some()).collect();
+    let i = hops.iter().position(|h| h.addr == Some(after))?;
+    let j = hops.iter().position(|h| h.addr == Some(until))?;
+    if j < i {
+        return None;
+    }
+    Some(
+        hops[i + 1..j]
+            .iter()
+            .map(|h| RevealedHop {
+                addr: h.addr.expect("responsive"),
+                labeled: h.is_labeled(),
+                rtt_ms: h.rtt_ms,
+                truth: h.truth,
+            })
+            .collect(),
+    )
+}
+
+/// Runs the §4 revelation between a suspected ingress `x` and egress
+/// `y` first observed on a trace towards `target`.
+pub fn reveal_between(
+    sess: &mut Session<'_>,
+    x: Addr,
+    y: Addr,
+    target: Addr,
+    opts: &RevealOpts,
+) -> RevealOutcome {
+    let probes_before = sess.stats.probes;
+    let mut steps: Vec<RevealStep> = Vec::new();
+    let mut known: std::collections::HashSet<Addr> = [x, y, target].into_iter().collect();
+    let mut cur = y;
+    for step_idx in 0..=opts.max_steps {
+        let trace = sess.traceroute(cur);
+        let Some(seg) = segment_between(&trace, x, cur) else {
+            // The re-trace does not pass through the ingress: stop, keep
+            // whatever was already revealed.
+            if steps.iter().all(|s| s.new_hops.is_empty()) {
+                return RevealOutcome::Failed;
+            }
+            break;
+        };
+        let new_hops: Vec<RevealedHop> = seg
+            .into_iter()
+            .filter(|h| !known.contains(&h.addr))
+            .collect();
+        for h in &new_hops {
+            known.insert(h.addr);
+        }
+        let n = new_hops.len();
+        let next = new_hops.first().map(|h| h.addr);
+        steps.push(RevealStep {
+            target: cur,
+            new_hops,
+        });
+        match n {
+            0 => break,          // recursion exhausted
+            1 => {
+                // Backward step: recurse towards the newly revealed hop.
+                cur = next.expect("one hop");
+            }
+            _ => break,          // DPR revealed the remainder at once
+        }
+        if step_idx == opts.max_steps {
+            break;
+        }
+    }
+    let extra_probes = sess.stats.probes - probes_before;
+    let tunnel = RevealedTunnel {
+        ingress: x,
+        egress: y,
+        target,
+        steps,
+        extra_probes,
+    };
+    if tunnel.is_empty() {
+        RevealOutcome::NothingHidden
+    } else {
+        RevealOutcome::Revealed(tunnel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_probe::TracerouteOpts;
+    use wormhole_topo::{gns3_fig2, Fig2Config, Scenario};
+
+    fn setup(config: Fig2Config) -> (Scenario, Addr, Addr) {
+        let s = gns3_fig2(config);
+        // The invisible trace shows … PE1.left, PE2.left, CE2 — the
+        // candidate ingress/egress pair.
+        let x = s.left_addr("PE1");
+        let y = s.left_addr("PE2");
+        (s, x, y)
+    }
+
+    fn names(s: &Scenario, hops: &[Addr]) -> Vec<String> {
+        hops.iter()
+            .map(|&a| s.net.router(s.net.owner(a).unwrap()).name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn brpr_on_cisco_default() {
+        let (s, x, y) = setup(Fig2Config::BackwardRecursive);
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
+        let t = out.tunnel().expect("revealed");
+        assert_eq!(names(&s, &t.hops()), ["P1", "P2", "P3"]);
+        assert_eq!(t.method(), RevealMethod::Brpr);
+        assert!(!t.any_labeled());
+        assert_eq!(t.forward_tunnel_length(), 4);
+        assert!(t.extra_probes > 0);
+    }
+
+    #[test]
+    fn dpr_on_juniper_style_config() {
+        let (s, x, y) = setup(Fig2Config::ExplicitRoute);
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
+        let t = out.tunnel().expect("revealed");
+        assert_eq!(names(&s, &t.hops()), ["P1", "P2", "P3"]);
+        assert_eq!(t.method(), RevealMethod::Dpr);
+        assert!(!t.any_labeled());
+        // One extra trace only.
+        assert_eq!(t.steps.len(), 1);
+    }
+
+    #[test]
+    fn uhp_reveals_nothing() {
+        let (s, x, _) = setup(Fig2Config::TotallyInvisible);
+        // In the UHP trace PE2 does not even appear; the candidate pair
+        // seen by the campaign is PE1 → CE2.
+        let y = s.loopback("CE2");
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
+        assert!(matches!(out, RevealOutcome::NothingHidden));
+    }
+
+    #[test]
+    fn explicit_tunnel_brpr_hops_unlabeled_each_step() {
+        // Cross-validation setting: propagate on, LDP on all prefixes.
+        // The recursion reveals each Last Hop without labels (Table 2).
+        let (s, x, y) = setup(Fig2Config::Default);
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
+        let t = out.tunnel().expect("revealed");
+        assert_eq!(names(&s, &t.hops()), ["P1", "P2", "P3"]);
+        // Visible tunnel: the first re-trace shows P1, P2 labeled and P3
+        // (the popped hop) unlabeled — a Dpr-shaped step with labels.
+        assert!(t.any_labeled());
+        assert_eq!(t.method(), RevealMethod::Dpr);
+    }
+
+    #[test]
+    fn failed_when_ingress_absent() {
+        let (s, _, y) = setup(Fig2Config::BackwardRecursive);
+        // A bogus ingress address never on the path.
+        let x = s.loopback("CE1");
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        // CE1's loopback is not CE1.left, so the re-trace does not list
+        // it: Failed.
+        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
+        assert!(matches!(out, RevealOutcome::Failed));
+    }
+
+    #[test]
+    fn single_hop_tunnel_is_either() {
+        // Shrink the tunnel to one LSR by tracing towards P2.left in the
+        // BackwardRecursive config: between PE1 and P2 only P1 hides.
+        let s = gns3_fig2(Fig2Config::BackwardRecursive);
+        let x = s.left_addr("PE1");
+        let y = s.left_addr("P2");
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let out = reveal_between(&mut sess, x, y, y, &RevealOpts::default());
+        let t = out.tunnel().expect("revealed");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.method(), RevealMethod::Either);
+    }
+}

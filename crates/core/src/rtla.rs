@@ -1,0 +1,118 @@
+//! RTLA — Return Tunnel Length Analysis (paper §3.1, Fig. 3).
+//!
+//! On routers with the `<255, 64>` Juniper signature, the two reply
+//! kinds interact differently with the RFC 3443 `min` rule at the exit
+//! of the *return* tunnel:
+//!
+//! * time-exceeded (init 255): the LSE-TTL (also initialised to 255 but
+//!   decremented inside the LSP) is the minimum, so the return-tunnel
+//!   hops are charged to the IP-TTL;
+//! * echo-reply (init 64): the IP-TTL is always the minimum, so the
+//!   tunnel hops are *not* charged.
+//!
+//! The gap between the two observed path lengths is therefore exactly
+//! the return tunnel's length `h(I, E)`:
+//! `RTL = (255 − ttl_te) − (64 − ttl_er)`.
+
+use crate::fingerprint::Signature;
+use wormhole_net::Addr;
+
+/// One RTLA observation.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RtlaSample {
+    /// The measured router (egress LER of the forward path).
+    pub addr: Addr,
+    /// The return tunnel length (LSR hops of the return LSP). Slightly
+    /// negative values occur in the wild (and under ECMP here) when the
+    /// two replies take different return paths.
+    pub rtl: i32,
+}
+
+/// Computes the return tunnel length from the two observed reply TTLs.
+///
+/// Returns `None` unless `signature` is the `<255, 64>` pair the method
+/// requires.
+pub fn return_tunnel_length(
+    signature: Signature,
+    te_observed: u8,
+    er_observed: u8,
+) -> Option<i32> {
+    if !signature.is_rtla_capable() {
+        return None;
+    }
+    let te_len = 255i32 - i32::from(te_observed);
+    let er_len = 64i32 - i32::from(er_observed);
+    Some(te_len - er_len)
+}
+
+/// Builds an [`RtlaSample`] for a router given both observations.
+pub fn sample(
+    addr: Addr,
+    signature: Signature,
+    te_observed: u8,
+    er_observed: u8,
+) -> Option<RtlaSample> {
+    return_tunnel_length(signature, te_observed, er_observed).map(|rtl| RtlaSample { addr, rtl })
+}
+
+/// Tunnel asymmetry (Fig. 9b): return tunnel length minus the forward
+/// tunnel length revealed by DPR/BRPR — near 0 when the tunnel is
+/// symmetric and RTLA is accurate.
+pub fn tunnel_asymmetry(rtl: i32, forward_tunnel_len: usize) -> i32 {
+    rtl - forward_tunnel_len as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn juniper_sig() -> Signature {
+        Signature {
+            te: Some(255),
+            er: Some(64),
+        }
+    }
+
+    #[test]
+    fn paper_fig2_gap() {
+        // §3.1: te observed 250, er observed 62 ⇒ (255−250) − (64−62) =
+        // 3 — the three LSRs of the return LSP.
+        assert_eq!(return_tunnel_length(juniper_sig(), 250, 62), Some(3));
+    }
+
+    #[test]
+    fn no_tunnel_means_zero() {
+        // Same path lengths on both reply kinds.
+        assert_eq!(return_tunnel_length(juniper_sig(), 249, 58), Some(0));
+    }
+
+    #[test]
+    fn requires_juniper_signature() {
+        let cisco = Signature {
+            te: Some(255),
+            er: Some(255),
+        };
+        assert_eq!(return_tunnel_length(cisco, 250, 250), None);
+        let partial = Signature {
+            te: Some(255),
+            er: None,
+        };
+        assert_eq!(return_tunnel_length(partial, 250, 62), None);
+    }
+
+    #[test]
+    fn ecmp_noise_can_go_negative() {
+        // The echo reply took a longer return path than the TE.
+        let rtl = return_tunnel_length(juniper_sig(), 251, 58).unwrap();
+        assert_eq!(rtl, -2);
+    }
+
+    #[test]
+    fn asymmetry_vs_forward_length() {
+        assert_eq!(tunnel_asymmetry(3, 3), 0);
+        assert_eq!(tunnel_asymmetry(5, 3), 2);
+        assert_eq!(tunnel_asymmetry(2, 4), -2);
+        let s = sample(Addr::new(1, 2, 3, 4), juniper_sig(), 250, 62).unwrap();
+        assert_eq!(s.rtl, 3);
+    }
+}

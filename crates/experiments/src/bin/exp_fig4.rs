@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 artefact. Usage: `cargo run --release -p wormhole-experiments --bin exp_fig4`.
+fn main() {
+    println!("{}", wormhole_experiments::fig4::run());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig7 artefact over a fresh synthetic-Internet
+//! campaign. `WORMHOLE_SCALE=quick` runs a reduced Internet.
+use wormhole_experiments::{PaperContext, Scale, fig7};
+fn main() {
+    eprintln!("generating Internet + campaign…");
+    let ctx = PaperContext::generate(Scale::from_env());
+    println!("{}", fig7::run(&ctx));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig9 artefact over a fresh synthetic-Internet
+//! campaign. `WORMHOLE_SCALE=quick` runs a reduced Internet.
+use wormhole_experiments::{PaperContext, Scale, fig9};
+fn main() {
+    eprintln!("generating Internet + campaign…");
+    let ctx = PaperContext::generate(Scale::from_env());
+    println!("{}", fig9::run(&ctx));
+}

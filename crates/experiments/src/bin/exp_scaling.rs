@@ -1,0 +1,7 @@
+//! Beyond-paper sweep: campaign cost and yield vs Internet size, with
+//! transit deployments drawn from the operator-survey priors.
+use wormhole_experiments::{scaling, Scale};
+fn main() {
+    let quick = Scale::from_env() == Scale::Quick;
+    println!("{}", scaling::run(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 artefact. Usage: `cargo run --release -p wormhole-experiments --bin exp_table1`.
+fn main() {
+    println!("{}", wormhole_experiments::table1::run());
+}

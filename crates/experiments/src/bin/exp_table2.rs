@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 artefact. Usage: `cargo run --release -p wormhole-experiments --bin exp_table2`.
+fn main() {
+    println!("{}", wormhole_experiments::table2::run());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3 (cross-validation). `WORMHOLE_SCALE=quick` runs a
+//! reduced Internet.
+use wormhole_experiments::{Scale, table3};
+fn main() {
+    let quick = Scale::from_env() == Scale::Quick;
+    println!("{}", table3::run(quick));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table6 artefact. Usage: `cargo run --release -p wormhole-experiments --bin exp_table6`.
+fn main() {
+    println!("{}", wormhole_experiments::table6::run());
+}

@@ -1,0 +1,104 @@
+//! Shared experiment context: one generated Internet plus one campaign
+//! run, reused by every campaign-driven experiment.
+
+use wormhole_core::{Campaign, CampaignConfig, CampaignResult};
+use wormhole_net::Asn;
+use wormhole_topo::{generate, Internet, InternetConfig};
+
+/// How big an Internet to run against.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Three personas, few stubs — for tests and quick iterations.
+    Quick,
+    /// All ten paper personas with the default stub/vantage-point
+    /// population — what the experiment binaries use.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `WORMHOLE_SCALE=quick|paper` (default `paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("WORMHOLE_SCALE").as_deref() {
+            Ok("quick") | Ok("QUICK") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+}
+
+/// A generated Internet plus its campaign result.
+pub struct PaperContext {
+    /// The synthetic Internet.
+    pub internet: Internet,
+    /// The §4 campaign result over it.
+    pub result: CampaignResult,
+    /// The campaign configuration used.
+    pub config: CampaignConfig,
+}
+
+impl PaperContext {
+    /// Generates the context at the given scale with the default seed.
+    pub fn generate(scale: Scale) -> PaperContext {
+        PaperContext::generate_seeded(scale, 1717)
+    }
+
+    /// Generates the context with an explicit seed.
+    pub fn generate_seeded(scale: Scale, seed: u64) -> PaperContext {
+        let net_cfg = match scale {
+            Scale::Quick => InternetConfig::small(seed),
+            Scale::Paper => InternetConfig {
+                seed,
+                ..InternetConfig::default()
+            },
+        };
+        let internet = generate(&net_cfg);
+        let campaign_cfg = CampaignConfig {
+            hdn_threshold: match scale {
+                Scale::Quick => 6,
+                Scale::Paper => 9,
+            },
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(
+            &internet.net,
+            &internet.cp,
+            internet.vps.clone(),
+            campaign_cfg.clone(),
+        );
+        let result = campaign.run();
+        PaperContext {
+            internet,
+            result,
+            config: campaign_cfg,
+        }
+    }
+
+    /// The ASN of the persona named `name` (panics when absent —
+    /// experiment code only asks for paper personas).
+    pub fn persona_asn(&self, name: &str) -> Asn {
+        self.internet
+            .personas
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no persona named {name}"))
+            .asn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_generates() {
+        let ctx = PaperContext::generate(Scale::Quick);
+        assert!(!ctx.result.traces.is_empty());
+        assert!(ctx.result.probes > 0);
+        assert_eq!(ctx.persona_asn("Tinet"), Asn(3257));
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_paper() {
+        std::env::remove_var("WORMHOLE_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Paper);
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig. 4 — the emulation outputs for the four §3.3 configurations.
+//!
+//! Reproduces the paper's paris-traceroute listings, including the
+//! bracketed return TTLs, and asserts the Fig. 4 values hop for hop.
+
+use crate::util::Report;
+use wormhole_probe::{Session, Trace, TracerouteOpts};
+use wormhole_topo::{gns3_fig2, Fig2Config, Scenario};
+
+fn session(s: &Scenario) -> Session<'_> {
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    sess
+}
+
+fn hop_summary(s: &Scenario, t: &Trace) -> Vec<(String, u8)> {
+    t.hops
+        .iter()
+        .filter_map(|h| {
+            let addr = h.addr?;
+            let owner = s.net.owner(addr)?;
+            Some((s.net.router(owner).name.clone(), h.reply_ip_ttl?))
+        })
+        .collect()
+}
+
+/// Runs one configuration and returns `(listing, hop summaries)` for
+/// each trace the paper's sub-figure shows.
+pub fn traces_for(config: Fig2Config) -> (Scenario, Vec<Trace>) {
+    let s = gns3_fig2(config);
+    let mut sess = session(&s);
+    let ce2_left = s.left_addr("CE2");
+    let mut traces = vec![sess.traceroute(ce2_left)];
+    match config {
+        Fig2Config::Default => {}
+        Fig2Config::BackwardRecursive => {
+            for name in ["PE2", "P3", "P2", "P1"] {
+                let target = s.left_addr(name);
+                traces.push(sess.traceroute(target));
+            }
+        }
+        Fig2Config::ExplicitRoute | Fig2Config::TotallyInvisible => {
+            traces.push(sess.traceroute(s.left_addr("PE2")));
+        }
+    }
+    (s, traces)
+}
+
+/// The paper's expected `(router, return TTL)` summaries per listing.
+fn expected(config: Fig2Config) -> Vec<Vec<(&'static str, u8)>> {
+    match config {
+        // Fig. 4a.
+        Fig2Config::Default => vec![vec![
+            ("CE1", 255),
+            ("PE1", 254),
+            ("P1", 247),
+            ("P2", 248),
+            ("P3", 251),
+            ("PE2", 250),
+            ("CE2", 249),
+        ]],
+        // Fig. 4b.
+        Fig2Config::BackwardRecursive => vec![
+            vec![("CE1", 255), ("PE1", 254), ("PE2", 250), ("CE2", 250)],
+            vec![("CE1", 255), ("PE1", 254), ("P3", 251), ("PE2", 250)],
+            vec![("CE1", 255), ("PE1", 254), ("P2", 252), ("P3", 251)],
+            vec![("CE1", 255), ("PE1", 254), ("P1", 253), ("P2", 252)],
+            vec![("CE1", 255), ("PE1", 254), ("P1", 253)],
+        ],
+        // Fig. 4c.
+        Fig2Config::ExplicitRoute => vec![
+            vec![("CE1", 255), ("PE1", 254), ("PE2", 250), ("CE2", 250)],
+            vec![
+                ("CE1", 255),
+                ("PE1", 254),
+                ("P1", 253),
+                ("P2", 252),
+                ("P3", 251),
+                ("PE2", 250),
+            ],
+        ],
+        // Fig. 4d.
+        Fig2Config::TotallyInvisible => vec![
+            vec![("CE1", 255), ("PE1", 254), ("CE2", 252)],
+            vec![("CE1", 255), ("PE1", 254), ("PE2", 253)],
+        ],
+    }
+}
+
+/// Runs the experiment, asserting every listing against Fig. 4.
+pub fn run() -> Report {
+    let mut report = Report::new("fig4", "Emulation outputs per configuration (Fig. 4)");
+    for config in Fig2Config::ALL {
+        let (s, traces) = traces_for(config);
+        let want = expected(config);
+        report.line(format!("### {} configuration", config.name()));
+        report.blank();
+        assert_eq!(traces.len(), want.len(), "{config:?}: listing count");
+        for (trace, want_hops) in traces.iter().zip(&want) {
+            let got = hop_summary(&s, trace);
+            let got_named: Vec<(&str, u8)> =
+                got.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            assert_eq!(
+                got_named, *want_hops,
+                "{config:?}: listing for {} deviates from Fig. 4",
+                trace.dst
+            );
+            for line in trace.to_string().lines() {
+                report.line(format!("    {line}"));
+            }
+            report.blank();
+        }
+    }
+    report.line("All Fig. 4 listings reproduced, return TTLs included.");
+    report
+}
+
+/// The first trace of the Default configuration (used by examples).
+pub fn default_listing() -> String {
+    let (_, traces) = traces_for(Fig2Config::Default);
+    traces[0].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_listings_match_paper() {
+        let r = run();
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("All Fig. 4 listings reproduced")));
+    }
+
+    #[test]
+    fn default_listing_quotes_labels() {
+        let listing = default_listing();
+        assert!(listing.contains("MPLS Label"));
+        assert!(listing.contains("[247]"));
+    }
+
+    #[test]
+    fn backward_recursive_needs_four_extra_traces() {
+        let (_, traces) = traces_for(Fig2Config::BackwardRecursive);
+        assert_eq!(traces.len(), 5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 7 — Return-vs-Forward Asymmetry distributions.
+//!
+//! 7a: plain hops ("Others") and candidate ingresses centre near 0 —
+//! routing asymmetry only — while egresses whose tunnel was revealed
+//! ("Egress PR") shift right. 7b: adding the revealed forward hops back
+//! (the "Correction") recentres the Egress-PR curve at ~0.
+
+use crate::context::PaperContext;
+use crate::roles::rfa_by_role;
+use crate::util::{pdf_series, Report};
+
+/// Runs the experiment.
+pub fn run(ctx: &PaperContext) -> Report {
+    let mut report = Report::new("fig7", "Return vs Forward Asymmetry (Fig. 7)");
+    let mut roles = rfa_by_role(&ctx.result);
+    let rows = vec![
+        vec![
+            "curve".to_string(),
+            "samples".to_string(),
+            "median".to_string(),
+            "mean".to_string(),
+        ],
+        stat_row("Others", &mut roles.others),
+        stat_row("Ingress", &mut roles.ingress),
+        stat_row("Egress PR", &mut roles.egress_pr),
+        stat_row("Egress NPR", &mut roles.egress_npr),
+        stat_row("Correction", &mut roles.corrected),
+    ];
+    report.table(&rows);
+    report.blank();
+    report.line(format!("Others PDF:     {}", pdf_series(&roles.others.pdf())));
+    report.line(format!("Egress PR PDF:  {}", pdf_series(&roles.egress_pr.pdf())));
+    report.line(format!("Correction PDF: {}", pdf_series(&roles.corrected.pdf())));
+
+    // Paper claims, asserted:
+    let m_others = roles.others.median().expect("others present");
+    let m_pr = roles.egress_pr.median().expect("egress PR present");
+    let m_corr = roles.corrected.median().expect("correction present");
+    // 7a: Others ~N(0)-ish (median 0 or 1 in the paper), Egress PR
+    // clearly shifted right.
+    assert!(
+        (-1..=1).contains(&m_others),
+        "Others must centre near 0, got median {m_others}"
+    );
+    assert!(
+        m_pr >= m_others + 2,
+        "Egress PR must shift right of Others ({m_pr} vs {m_others})"
+    );
+    // 7b: the correction recentres.
+    assert!(
+        (-1..=1).contains(&m_corr),
+        "corrected distribution must recentre near 0, got {m_corr}"
+    );
+    report.blank();
+    report.line(format!(
+        "medians — Others: {m_others}, Egress PR: {m_pr}, corrected: {m_corr}"
+    ));
+    report.line("Egress-PR curve shifts right; revelation recentres it (Fig. 7b).");
+    report
+}
+
+fn stat_row(name: &str, d: &mut wormhole_core::RfaDistribution) -> Vec<String> {
+    vec![
+        name.to_string(),
+        d.len().to_string(),
+        d.median().map_or("-".into(), |m| m.to_string()),
+        d.mean().map_or("-".into(), |m| format!("{m:.2}")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn shift_and_correction() {
+        let ctx = PaperContext::generate(Scale::Quick);
+        let r = run(&ctx);
+        assert!(r.lines.iter().any(|l| l.contains("recentres")));
+    }
+}

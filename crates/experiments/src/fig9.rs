@@ -1,0 +1,71 @@
+//! Fig. 9 — RTLA: return tunnel length distribution and tunnel
+//! asymmetry.
+//!
+//! 9a: the distribution of return-tunnel lengths computed from the
+//! `<255,64>` gap, resembling the forward-tunnel-length distribution of
+//! Fig. 5 (short tunnels dominate; a small negative mass comes from
+//! ECMP return-path noise). 9b: RTL − FTL, centred near 0, validating
+//! RTLA against the hops actually revealed by DPR/BRPR.
+
+use crate::context::PaperContext;
+use crate::roles::{rtla_samples, tunnel_asymmetry_samples};
+use crate::util::{pdf_series, Report};
+use wormhole_analysis::Histogram;
+
+/// Runs the experiment.
+pub fn run(ctx: &PaperContext) -> Report {
+    let mut report = Report::new("fig9", "RTLA distributions (Fig. 9)");
+    let rtl = rtla_samples(&ctx.result);
+    assert!(!rtl.is_empty(), "need Juniper egress LERs in the campaign");
+    let rtl_hist = Histogram::from_iter(rtl.iter().map(|&(_, r)| i64::from(r)));
+    report.line(format!("RTL samples: {}", rtl_hist.len()));
+    report.line(format!("RTL PDF: {}", pdf_series(&rtl_hist.pdf())));
+    let median = rtl_hist.median().expect("samples");
+    let negative: usize = rtl
+        .iter()
+        .filter(|&&(_, r)| r < 0)
+        .count();
+    report.line(format!(
+        "median RTL: {median}; negative mass (ECMP noise): {:.1}%",
+        100.0 * negative as f64 / rtl_hist.len() as f64
+    ));
+    // Short tunnels, non-negative bulk.
+    assert!(
+        (0..=8).contains(&median),
+        "return tunnels are short, got median {median}"
+    );
+    assert!(
+        (negative as f64) < 0.25 * rtl_hist.len() as f64,
+        "negative RTL must stay a small minority"
+    );
+
+    let asym = tunnel_asymmetry_samples(&ctx.result);
+    if asym.is_empty() {
+        report.line("no (RTLA ∩ revealed) pairs for Fig. 9b at this scale");
+    } else {
+        let asym_hist = Histogram::from_iter(asym.iter().map(|&a| i64::from(a)));
+        report.line(format!("tunnel asymmetry PDF: {}", pdf_series(&asym_hist.pdf())));
+        let m = asym_hist.median().expect("samples");
+        report.line(format!("median tunnel asymmetry (RTL − FTL): {m}"));
+        // Fig. 9b: centred near 0.
+        assert!(
+            (-2..=2).contains(&m),
+            "RTL − FTL must centre near 0, got {m}"
+        );
+    }
+    report.line("RTLA lengths mirror the revealed forward lengths.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn rtla_distributions() {
+        let ctx = PaperContext::generate(Scale::Quick);
+        let r = run(&ctx);
+        assert!(r.lines.iter().any(|l| l.contains("median RTL")));
+    }
+}

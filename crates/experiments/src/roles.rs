@@ -1,0 +1,150 @@
+//! Shared campaign post-processing: hop roles, per-role RFA, RTLA
+//! sample extraction — the plumbing behind Figs. 7–9 and Tables 4–5.
+
+use std::collections::{HashMap, HashSet};
+use wormhole_core::{
+    rfa_of_hop, return_tunnel_length, CampaignResult, RfaDistribution, RevealOutcome,
+};
+use wormhole_net::Addr;
+
+/// Per-role RFA distributions (Fig. 7).
+#[derive(Debug, Default)]
+pub struct RfaByRole {
+    /// Hops on non-HDN nodes ("Others").
+    pub others: RfaDistribution,
+    /// Candidate ingress LER hops.
+    pub ingress: RfaDistribution,
+    /// Candidate egress hops whose tunnel was revealed ("Egress PR").
+    pub egress_pr: RfaDistribution,
+    /// Candidate egress hops with no revelation ("Egress NPR").
+    pub egress_npr: RfaDistribution,
+    /// Egress-PR RFA corrected by the revealed tunnel length (Fig. 7b).
+    pub corrected: RfaDistribution,
+}
+
+/// Computes the Fig. 7 distributions from a campaign result.
+pub fn rfa_by_role(result: &CampaignResult) -> RfaByRole {
+    let hdn_nodes: HashSet<usize> = result.hdns.iter().copied().collect();
+    let mut ingress_addrs: HashSet<Addr> = HashSet::new();
+    let mut egress_addrs: HashSet<Addr> = HashSet::new();
+    for c in &result.candidates {
+        ingress_addrs.insert(c.ingress);
+        egress_addrs.insert(c.egress);
+    }
+
+    let mut out = RfaByRole::default();
+    // Egress samples, classified PR/NPR per unique pair observation.
+    for c in &result.candidates {
+        let trace = &result.traces[c.trace_index];
+        let Some(hop) = trace.hop_of(c.egress) else {
+            continue;
+        };
+        let Some(sample) = rfa_of_hop(hop) else {
+            continue;
+        };
+        match result.revelations.get(&(c.ingress, c.egress)) {
+            Some(RevealOutcome::Revealed(t)) => {
+                out.egress_pr.push(sample.rfa);
+                out.corrected
+                    .push(wormhole_analysis::corrected_rfa(sample.rfa, t));
+            }
+            _ => out.egress_npr.push(sample.rfa),
+        }
+        if let Some(ihop) = trace.hop_of(c.ingress) {
+            if let Some(isample) = rfa_of_hop(ihop) {
+                out.ingress.push(isample.rfa);
+            }
+        }
+    }
+    // "Others": every time-exceeded hop on a non-HDN node.
+    for trace in &result.traces {
+        for hop in &trace.hops {
+            let Some(addr) = hop.addr else { continue };
+            if ingress_addrs.contains(&addr) || egress_addrs.contains(&addr) {
+                continue;
+            }
+            let is_hdn = result
+                .snapshot
+                .node_of(addr)
+                .is_some_and(|n| hdn_nodes.contains(&n));
+            if is_hdn {
+                continue;
+            }
+            if let Some(sample) = rfa_of_hop(hop) {
+                out.others.push(sample.rfa);
+            }
+        }
+    }
+    out
+}
+
+/// Return-tunnel-length samples (Fig. 9a): one per candidate egress
+/// address with the `<255, 64>` signature and both raw observations.
+pub fn rtla_samples(result: &CampaignResult) -> Vec<(Addr, i32)> {
+    let egresses: HashSet<Addr> = result.candidates.iter().map(|c| c.egress).collect();
+    let mut out = Vec::new();
+    for &addr in &egresses {
+        let sig = result.fingerprints.signature(addr);
+        let (Some(&(_, te)), Some(&er)) = (result.te_obs.get(&addr), result.er_obs.get(&addr))
+        else {
+            continue;
+        };
+        if let Some(rtl) = return_tunnel_length(sig, te, er) {
+            out.push((addr, rtl));
+        }
+    }
+    out.sort_by_key(|&(a, _)| a);
+    out
+}
+
+/// Tunnel asymmetry samples (Fig. 9b): RTL − revealed forward length,
+/// for pairs with both an RTLA-capable egress and a revealed tunnel.
+pub fn tunnel_asymmetry_samples(result: &CampaignResult) -> Vec<i32> {
+    let rtl: HashMap<Addr, i32> = rtla_samples(result).into_iter().collect();
+    let mut out = Vec::new();
+    for ((_, egress), outcome) in &result.revelations {
+        let Some(t) = outcome.tunnel() else { continue };
+        if let Some(&r) = rtl.get(egress) {
+            out.push(wormhole_core::tunnel_asymmetry(r, t.len()));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{PaperContext, Scale};
+
+    #[test]
+    fn roles_partition_campaign_hops() {
+        let ctx = PaperContext::generate(Scale::Quick);
+        let roles = rfa_by_role(&ctx.result);
+        // The quick Internet has invisible personas: the egress-PR curve
+        // must exist and sit right of the others curve.
+        assert!(!roles.others.is_empty());
+        assert!(!roles.egress_pr.is_empty());
+        let mut others = roles.others;
+        let mut pr = roles.egress_pr;
+        assert!(pr.median().unwrap() > others.median().unwrap());
+        // Correction recentres the PR curve.
+        let mut corr = roles.corrected;
+        assert!(corr.median().unwrap() < pr.median().unwrap());
+    }
+
+    #[test]
+    fn rtla_samples_need_juniper_signatures() {
+        let ctx = PaperContext::generate(Scale::Quick);
+        let samples = rtla_samples(&ctx.result);
+        // Telia/Tinet personas are Juniper-heavy: samples must exist.
+        assert!(!samples.is_empty());
+        for (addr, _) in &samples {
+            assert!(ctx
+                .result
+                .fingerprints
+                .signature(*addr)
+                .is_rtla_capable());
+        }
+    }
+}

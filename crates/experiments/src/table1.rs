@@ -1,0 +1,99 @@
+//! Table 1 — router signatures inferred by active fingerprinting.
+//!
+//! For every vendor family: build a small line topology whose middle
+//! router runs that vendor, elicit a time-exceeded and an echo-reply,
+//! infer the `<te, er>` pair, and check it matches Table 1.
+
+use crate::util::Report;
+use wormhole_core::FingerprintTable;
+use wormhole_net::{
+    Asn, ControlPlane, Engine, LinkOpts, NetworkBuilder, Packet, RelKind, ReplyKind,
+    RouterConfig, Vendor,
+};
+
+/// Fingerprints one vendor and returns the inferred signature pair.
+pub fn fingerprint_vendor(vendor: Vendor) -> (u8, u8) {
+    let mut b = NetworkBuilder::new();
+    let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+    let r1 = b.add_router("gw", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+    let dut = b.add_router("dut", Asn(2), RouterConfig::ip_router(vendor));
+    let beyond = b.add_router("beyond", Asn(2), RouterConfig::ip_router(Vendor::CiscoIos));
+    b.link(vp, r1, LinkOpts::default());
+    b.link(r1, dut, LinkOpts::default());
+    b.link(dut, beyond, LinkOpts::default());
+    b.as_rel(Asn(1), Asn(2), RelKind::Peer);
+    let net = b.build().expect("builds");
+    let cp = ControlPlane::build(&net).expect("control plane");
+    let mut eng = Engine::new(&net, &cp);
+    let src = net.router(vp).loopback;
+    let target = net.router(beyond).loopback;
+    let dut_addr = net.router(dut).loopback;
+
+    let mut table = FingerprintTable::new();
+    // TTL 2 expires at the device under test (VP → gw → dut).
+    if let Some(r) = eng
+        .send(vp, Packet::echo_request(src, target, 2, 1, 1, 1))
+        .reply()
+    {
+        assert_eq!(r.kind, ReplyKind::TimeExceeded);
+        table.observe_te(r.from, r.ip_ttl);
+        // The TE source is the DUT's incoming interface; attribute to
+        // the router by also pinging that same address.
+        if let Some(p) = eng
+            .send(vp, Packet::echo_request(src, r.from, 64, 1, 2, 1))
+            .reply()
+        {
+            assert_eq!(p.kind, ReplyKind::EchoReply);
+            table.observe_er(r.from, p.ip_ttl);
+        }
+        let sig = table.signature(r.from);
+        return sig.pair().expect("both observations");
+    }
+    let _ = dut_addr;
+    unreachable!("probe must elicit a reply");
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("table1", "Router signatures (Table 1)");
+    let mut rows = vec![vec![
+        "vendor".to_string(),
+        "expected".to_string(),
+        "measured".to_string(),
+        "ok".to_string(),
+    ]];
+    for vendor in Vendor::ALL {
+        let expected = vendor.signature();
+        let measured = fingerprint_vendor(vendor);
+        assert_eq!(
+            expected, measured,
+            "{vendor}: fingerprint mismatches Table 1"
+        );
+        rows.push(vec![
+            vendor.to_string(),
+            format!("<{}, {}>", expected.0, expected.1),
+            format!("<{}, {}>", measured.0, measured.1),
+            "yes".to_string(),
+        ]);
+    }
+    report.table(&rows);
+    report.line("All four Table 1 signatures recovered by probing.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_vendor_signatures_match_table1() {
+        let r = run();
+        assert!(r.lines.iter().any(|l| l.contains("Juniper Junos")));
+        assert!(r.lines.iter().any(|l| l.contains("<255, 64>")));
+    }
+
+    #[test]
+    fn junose_fingerprint() {
+        assert_eq!(fingerprint_vendor(Vendor::JuniperJunosE), (128, 128));
+    }
+}

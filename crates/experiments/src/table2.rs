@@ -1,0 +1,276 @@
+//! Table 2 — visibility effects of the basic MPLS configurations.
+//!
+//! For every combination of LDP advertising policy (all internal
+//! prefixes / loopbacks only), TTL policy column (`ttl-propagate`,
+//! `no-ttl-propagate` with a `<255,255>` LER, `no-ttl-propagate` with a
+//! `<255,64>` LER) and traceroute target (external / internal), the
+//! experiment runs the Fig. 2 testbed and classifies what traceroute
+//! and the four techniques observe. Every cell is asserted against the
+//! paper's matrix.
+
+use crate::util::Report;
+use wormhole_core::{rfa_of_hop, return_tunnel_length, Signature};
+use wormhole_net::{Asn, LdpPolicy, ReplyKind, Vendor};
+use wormhole_probe::{Session, TracerouteOpts};
+use wormhole_topo::{gns3_fig2_with, Fig2Config, Fig2Opts, Scenario};
+
+/// The three TTL-policy columns of the table.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TtlColumn {
+    /// `ttl-propagate` enabled.
+    Propagate,
+    /// `no-ttl-propagate` with Cisco (`<255,255>`) hardware.
+    NoPropCisco,
+    /// `no-ttl-propagate` with Juniper (`<255,64>`) hardware.
+    NoPropJuniper,
+}
+
+impl TtlColumn {
+    /// All columns in table order.
+    pub const ALL: [TtlColumn; 3] = [
+        TtlColumn::Propagate,
+        TtlColumn::NoPropCisco,
+        TtlColumn::NoPropJuniper,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            TtlColumn::Propagate => "ttl-propagate",
+            TtlColumn::NoPropCisco => "no-prop <255,255>",
+            TtlColumn::NoPropJuniper => "no-prop <255,64>",
+        }
+    }
+}
+
+/// What the trace towards a cell's target looked like.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LspView {
+    /// MPLS labels quoted along the path (explicit LSP).
+    Explicit,
+    /// Full path visible with no labels at all.
+    FullPathNoLabels,
+    /// Labels present but the last hop before the target is unlabeled
+    /// (the PHP Last Hop — BRPR's entry point).
+    LastHopNoLabel,
+    /// LSRs hidden entirely (invisible LSP).
+    Invisible,
+}
+
+/// One measured cell.
+#[derive(Copy, Clone, Debug)]
+pub struct Cell {
+    /// How the LSP appeared.
+    pub view: LspView,
+    /// FRPLA shift present (egress RFA ≥ 2).
+    pub shift: bool,
+    /// RTLA gap present (return tunnel length ≥ 1 on a `<255,64>`
+    /// signature).
+    pub gap: bool,
+}
+
+fn scenario(policy: LdpPolicy, col: TtlColumn) -> Scenario {
+    let vendor = match col {
+        TtlColumn::NoPropJuniper => Vendor::JuniperJunos,
+        _ => Vendor::CiscoIos,
+    };
+    let opts = Fig2Opts {
+        ler_vendor: vendor,
+        lsr_vendor: vendor,
+        ttl_propagate: col == TtlColumn::Propagate,
+        ldp_policy: policy,
+        ..Fig2Opts::preset(Fig2Config::Default)
+    };
+    gns3_fig2_with(opts)
+}
+
+/// Measures one cell.
+pub fn measure(policy: LdpPolicy, col: TtlColumn, internal: bool) -> Cell {
+    let s = scenario(policy, col);
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    let target = if internal {
+        s.left_addr("PE2")
+    } else {
+        s.target
+    };
+    let trace = sess.traceroute(target);
+    assert!(trace.reached, "cell trace must reach its target");
+
+    // Hops inside the transit AS.
+    let as2_hops: Vec<&wormhole_probe::TraceHop> = trace
+        .hops
+        .iter()
+        .filter(|h| {
+            h.addr
+                .and_then(|a| s.net.owner_asn(a))
+                .is_some_and(|asn| asn == Asn(2))
+        })
+        .collect();
+    let labeled = trace.has_labels();
+    // Interior hops: strictly between the ingress (first AS2 hop) and
+    // the egress/target (last AS2 hop).
+    let interior = as2_hops.len().saturating_sub(2);
+    let view = if labeled {
+        let last_interior_unlabeled = as2_hops
+            .iter()
+            .rev()
+            .nth(1)
+            .is_some_and(|h| !h.is_labeled());
+        if last_interior_unlabeled && interior > 0 {
+            LspView::LastHopNoLabel
+        } else {
+            LspView::Explicit
+        }
+    } else if interior >= 3 {
+        LspView::FullPathNoLabels
+    } else if interior >= 1 {
+        // The PHP Last Hop pokes out of an otherwise invisible tunnel.
+        LspView::LastHopNoLabel
+    } else {
+        LspView::Invisible
+    };
+
+    // FRPLA's shift and RTLA's gap are properties of the AS's TTL
+    // policy, observed on *transit* traffic at the egress LER — so they
+    // are always measured on the external trace, whatever the cell's
+    // own target was.
+    let ext_trace;
+    let shift_trace = if internal {
+        ext_trace = sess.traceroute(s.target);
+        &ext_trace
+    } else {
+        &trace
+    };
+    let egress_hop = shift_trace.hops.iter().rfind(|h| {
+        h.kind == Some(ReplyKind::TimeExceeded)
+            && h.addr
+                .and_then(|a| s.net.owner_asn(a))
+                .is_some_and(|asn| asn == Asn(2))
+    });
+    let shift = egress_hop
+        .and_then(rfa_of_hop)
+        .is_some_and(|s| s.rfa >= 2);
+
+    // RTLA gap at the same hop.
+    let gap = egress_hop.is_some_and(|h| {
+        let addr = h.addr.expect("responsive");
+        let te = h.reply_ip_ttl.expect("reply ttl");
+        match sess.ping(addr) {
+            Some(p) => {
+                let sig = Signature {
+                    te: Some(wormhole_core::infer_initial_ttl(te)),
+                    er: Some(wormhole_core::infer_initial_ttl(p.reply_ip_ttl)),
+                };
+                return_tunnel_length(sig, te, p.reply_ip_ttl).is_some_and(|rtl| rtl >= 1)
+            }
+            None => false,
+        }
+    });
+
+    Cell { view, shift, gap }
+}
+
+/// The paper's expected matrix for a `(policy, column, internal)` cell.
+pub fn expected(policy: LdpPolicy, col: TtlColumn, internal: bool) -> Cell {
+    let (shift, gap) = match col {
+        TtlColumn::Propagate => (false, false),
+        TtlColumn::NoPropCisco => (true, false),
+        TtlColumn::NoPropJuniper => (true, true),
+    };
+    let view = match (policy, col, internal) {
+        (_, TtlColumn::Propagate, false) => LspView::Explicit,
+        (_, _, false) => LspView::Invisible,
+        // "Last Hop without label via BRPR" in every TTL column.
+        (LdpPolicy::AllPrefixes, _, true) => LspView::LastHopNoLabel,
+        (LdpPolicy::LoopbackOnly, _, true) => LspView::FullPathNoLabels,
+        (LdpPolicy::None, _, _) => unreachable!("not part of the table"),
+    };
+    Cell { view, shift, gap }
+}
+
+fn view_text(view: LspView, col: TtlColumn, internal: bool) -> &'static str {
+    match view {
+        LspView::Explicit => "explicit LSP",
+        LspView::Invisible => "invisible LSP",
+        LspView::LastHopNoLabel => "Last Hop without label (BRPR)",
+        LspView::FullPathNoLabels => {
+            if internal && col == TtlColumn::Propagate {
+                "explicit IP route"
+            } else {
+                "route without labels (DPR)"
+            }
+        }
+    }
+}
+
+/// Runs the experiment: measures all 12 cells and asserts each against
+/// the paper's Table 2.
+pub fn run() -> Report {
+    let mut report = Report::new("table2", "Visibility of basic MPLS configurations (Table 2)");
+    let mut rows = vec![vec![
+        "LDP policy".to_string(),
+        "target".to_string(),
+        "column".to_string(),
+        "LSP view".to_string(),
+        "shift".to_string(),
+        "gap".to_string(),
+    ]];
+    for policy in [LdpPolicy::AllPrefixes, LdpPolicy::LoopbackOnly] {
+        for internal in [false, true] {
+            for col in TtlColumn::ALL {
+                let cell = measure(policy, col, internal);
+                let want = expected(policy, col, internal);
+                assert_eq!(
+                    cell.view, want.view,
+                    "view mismatch at ({policy:?}, {col:?}, internal={internal})"
+                );
+                assert_eq!(
+                    cell.shift, want.shift,
+                    "shift mismatch at ({policy:?}, {col:?}, internal={internal})"
+                );
+                assert_eq!(
+                    cell.gap, want.gap,
+                    "gap mismatch at ({policy:?}, {col:?}, internal={internal})"
+                );
+                rows.push(vec![
+                    format!("{policy:?}"),
+                    if internal { "internal" } else { "external" }.to_string(),
+                    col.label().to_string(),
+                    view_text(cell.view, col, internal).to_string(),
+                    if cell.shift { "shift" } else { "no shift" }.to_string(),
+                    if cell.gap { "gap" } else { "no gap" }.to_string(),
+                ]);
+            }
+        }
+    }
+    report.table(&rows);
+    report.line("All 12 cells match the paper's Table 2.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_matches_paper() {
+        let r = run();
+        assert!(r.lines.iter().any(|l| l.contains("All 12 cells")));
+    }
+
+    #[test]
+    fn juniper_no_prop_external_has_shift_and_gap() {
+        let cell = measure(LdpPolicy::LoopbackOnly, TtlColumn::NoPropJuniper, false);
+        assert_eq!(cell.view, LspView::Invisible);
+        assert!(cell.shift);
+        assert!(cell.gap);
+    }
+
+    #[test]
+    fn propagate_all_prefixes_internal_shows_php_last_hop() {
+        let cell = measure(LdpPolicy::AllPrefixes, TtlColumn::Propagate, true);
+        assert_eq!(cell.view, LspView::LastHopNoLabel);
+        assert!(!cell.shift);
+        assert!(!cell.gap);
+    }
+}

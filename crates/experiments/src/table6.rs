@@ -1,0 +1,186 @@
+//! Table 6 — technique applicability per vendor default.
+//!
+//! Cisco defaults (LDP on all prefixes, PHP): FRPLA triggers, BRPR
+//! reveals. Juniper defaults (loopback-only LDP, PHP): FRPLA and RTLA
+//! trigger, DPR reveals (BRPR degenerates into DPR's single shot). The
+//! experiment derives the matrix by running invisible-tunnel variants
+//! of the Fig. 2 testbed and checking which technique produces a
+//! signal.
+
+use crate::util::Report;
+use wormhole_core::{
+    reveal_between, rfa_of_hop, return_tunnel_length, RevealMethod, RevealOpts, Signature,
+};
+use wormhole_net::{ReplyKind, Vendor};
+use wormhole_probe::{Session, TracerouteOpts};
+use wormhole_topo::{gns3_fig2_with, Fig2Config, Fig2Opts};
+
+/// Which techniques produced a signal for one vendor-default row.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Applicability {
+    /// FRPLA shift observed.
+    pub frpla: bool,
+    /// RTLA gap observed.
+    pub rtla: bool,
+    /// DPR revealed the full path in one shot.
+    pub dpr: bool,
+    /// BRPR's recursion revealed the path hop by hop.
+    pub brpr: bool,
+}
+
+/// Measures a vendor's default invisible-tunnel deployment.
+pub fn measure(vendor: Vendor) -> Applicability {
+    let opts = Fig2Opts {
+        ler_vendor: vendor,
+        lsr_vendor: vendor,
+        ttl_propagate: false,
+        ldp_policy: vendor.default_ldp_policy(),
+        ..Fig2Opts::preset(Fig2Config::Default)
+    };
+    let s = gns3_fig2_with(opts);
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+
+    // The external trace: candidate pair is (PE1, PE2).
+    let trace = sess.traceroute(s.target);
+    let egress_addr = s.left_addr("PE2");
+    let egress_hop = trace
+        .hop_of(egress_addr)
+        .expect("egress LER visible on the invisible trace");
+    assert_eq!(egress_hop.kind, Some(ReplyKind::TimeExceeded));
+
+    let frpla = rfa_of_hop(egress_hop).is_some_and(|s| s.rfa >= 2);
+
+    let te = egress_hop.reply_ip_ttl.expect("reply TTL");
+    let rtla = sess.ping(egress_addr).is_some_and(|p| {
+        let sig = Signature {
+            te: Some(wormhole_core::infer_initial_ttl(te)),
+            er: Some(wormhole_core::infer_initial_ttl(p.reply_ip_ttl)),
+        };
+        return_tunnel_length(sig, te, p.reply_ip_ttl).is_some_and(|rtl| rtl >= 1)
+    });
+
+    let out = reveal_between(
+        &mut sess,
+        s.left_addr("PE1"),
+        egress_addr,
+        s.target,
+        &RevealOpts::default(),
+    );
+    let (dpr, brpr) = match out.tunnel() {
+        Some(t) => match t.method() {
+            RevealMethod::Dpr => (true, false),
+            RevealMethod::Brpr => (false, true),
+            RevealMethod::Either => (true, true),
+            RevealMethod::Hybrid => (true, true),
+        },
+        None => (false, false),
+    };
+    Applicability {
+        frpla,
+        rtla,
+        dpr,
+        brpr,
+    }
+}
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut report = Report::new("table6", "Technique applicability per vendor (Table 6)");
+    let cisco = measure(Vendor::CiscoIos);
+    assert!(cisco.frpla && cisco.brpr && !cisco.rtla && !cisco.dpr);
+    let juniper = measure(Vendor::JuniperJunos);
+    assert!(juniper.frpla && juniper.rtla && juniper.dpr && !juniper.brpr);
+    let rows = vec![
+        vec![
+            "brand".to_string(),
+            "LDP".to_string(),
+            "popping".to_string(),
+            "FRPLA".to_string(),
+            "RTLA".to_string(),
+            "DPR".to_string(),
+            "BRPR".to_string(),
+        ],
+        vec![
+            "Cisco".to_string(),
+            "all prefixes".to_string(),
+            "PHP".to_string(),
+            mark(cisco.frpla).to_string(),
+            mark(cisco.rtla).to_string(),
+            mark(cisco.dpr).to_string(),
+            mark(cisco.brpr).to_string(),
+        ],
+        vec![
+            "Juniper".to_string(),
+            "loopback".to_string(),
+            "PHP".to_string(),
+            mark(juniper.frpla).to_string(),
+            mark(juniper.rtla).to_string(),
+            mark(juniper.dpr).to_string(),
+            mark(juniper.brpr).to_string(),
+        ],
+    ];
+    report.table(&rows);
+    report.line("Cisco defaults trigger FRPLA + BRPR; Juniper defaults trigger FRPLA + RTLA + DPR — Table 6.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_table6() {
+        let r = run();
+        assert!(r.lines.iter().any(|l| l.contains("Table 6")));
+    }
+
+    #[test]
+    fn cisco_row() {
+        let a = measure(Vendor::CiscoIos);
+        assert_eq!(
+            a,
+            Applicability {
+                frpla: true,
+                rtla: false,
+                dpr: false,
+                brpr: true
+            }
+        );
+    }
+
+    #[test]
+    fn juniper_row() {
+        let a = measure(Vendor::JuniperJunos);
+        assert_eq!(
+            a,
+            Applicability {
+                frpla: true,
+                rtla: true,
+                dpr: true,
+                brpr: false
+            }
+        );
+    }
+
+    #[test]
+    fn ldp_policy_drives_the_split() {
+        use wormhole_net::LdpPolicy;
+        assert_eq!(
+            Vendor::CiscoIos.default_ldp_policy(),
+            LdpPolicy::AllPrefixes
+        );
+        assert_eq!(
+            Vendor::JuniperJunos.default_ldp_policy(),
+            LdpPolicy::LoopbackOnly
+        );
+    }
+}

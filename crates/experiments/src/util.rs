@@ -1,0 +1,149 @@
+//! Report formatting shared by every experiment.
+
+use std::fmt;
+
+/// A rendered experiment report: an id (`fig5`, `table2`, …), a title,
+/// and preformatted lines. Binaries print it; `exp_all` concatenates
+/// all of them.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Short id matching the DESIGN.md experiment index.
+    pub id: &'static str,
+    /// The paper artefact reproduced.
+    pub title: &'static str,
+    /// Preformatted output lines.
+    pub lines: Vec<String>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(id: &'static str, title: &'static str) -> Report {
+        Report {
+            id,
+            title,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// Appends an aligned table; `rows` include the header row.
+    pub fn table(&mut self, rows: &[Vec<String>]) {
+        for line in render_table(rows) {
+            self.lines.push(line);
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders rows as an aligned monospace table (first row = header).
+pub fn render_table(rows: &[Vec<String>]) -> Vec<String> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len() + 1);
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = w - cell.chars().count();
+            line.push_str(cell);
+            line.push_str(&" ".repeat(pad));
+        }
+        out.push(line.trim_end().to_string());
+        if r == 0 {
+            out.push(
+                widths
+                    .iter()
+                    .map(|&w| "-".repeat(w))
+                    .collect::<Vec<_>>()
+                    .join("--"),
+            );
+        }
+    }
+    out
+}
+
+/// Formats a share as a percentage with one decimal.
+pub fn pct(part: usize, whole: usize) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Renders a `(value, probability)` PDF as a sparse inline series.
+pub fn pdf_series<T: std::fmt::Display>(pdf: &[(T, f64)]) -> String {
+    pdf.iter()
+        .map(|(v, p)| format!("{v}:{p:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["AS".to_string(), "value".to_string()],
+            vec!["AS3320".to_string(), "1".to_string()],
+        ];
+        let lines = render_table(&rows);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("AS      value"));
+        assert!(lines[1].starts_with("------"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(0, 0), "-");
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut r = Report::new("fig5", "Forward Tunnel Length");
+        r.line("hello");
+        r.blank();
+        r.table(&[vec!["a".into()], vec!["b".into()]]);
+        let s = r.to_string();
+        assert!(s.contains("## fig5"));
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn pdf_series_formats() {
+        assert_eq!(pdf_series(&[(1, 0.5), (2, 0.5)]), "1:0.500 2:0.500");
+    }
+}

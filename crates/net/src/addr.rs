@@ -1,0 +1,295 @@
+//! IPv4 addresses and prefixes.
+//!
+//! The simulator uses a compact `u32` newtype for addresses rather than
+//! `std::net::Ipv4Addr`: every forwarding decision is a couple of integer
+//! operations, and traces hold millions of them during a campaign.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address as a host-order `u32`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Addr = Addr(0);
+
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Addr {
+        Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// True if the address is `0.0.0.0`.
+    pub const fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The `/32` host prefix covering exactly this address.
+    pub const fn host_prefix(self) -> Prefix {
+        Prefix {
+            addr: Addr(self.0),
+            len: 32,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<[u8; 4]> for Addr {
+    fn from(o: [u8; 4]) -> Addr {
+        Addr::new(o[0], o[1], o[2], o[3])
+    }
+}
+
+/// Error returned when parsing an address or prefix from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError(pub String);
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address or prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAddrError {}
+
+impl FromStr for Addr {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Addr, ParseAddrError> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in octets.iter_mut() {
+            let part = parts.next().ok_or_else(|| ParseAddrError(s.to_string()))?;
+            *slot = part
+                .parse::<u8>()
+                .map_err(|_| ParseAddrError(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseAddrError(s.to_string()));
+        }
+        Ok(Addr::from(octets))
+    }
+}
+
+/// An IPv4 prefix (`addr/len`), with the address stored in masked form.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    /// The network address; host bits are always zero.
+    pub addr: Addr,
+    /// The prefix length, `0..=32`.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix, masking off host bits.
+    pub fn new(addr: Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix {
+            addr: Addr(addr.0 & Prefix::mask(len)),
+            len,
+        }
+    }
+
+    /// The netmask for a given length as a `u32`.
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// True if `addr` falls inside this prefix.
+    pub const fn contains(&self, addr: Addr) -> bool {
+        (addr.0 & Prefix::mask(self.len)) == self.addr.0
+    }
+
+    /// True if `other` is fully covered by this prefix.
+    pub const fn covers(&self, other: &Prefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+
+    /// The number of addresses in the prefix (saturating for `/0`).
+    pub const fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address of the prefix.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the prefix.
+    pub fn nth(&self, i: u64) -> Addr {
+        assert!(i < self.size(), "address index {i} outside {self}");
+        Addr(self.addr.0 + i as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Prefix, ParseAddrError> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| ParseAddrError(s.into()))?;
+        let addr: Addr = addr.parse()?;
+        let len: u8 = len.parse().map_err(|_| ParseAddrError(s.into()))?;
+        if len > 32 {
+            return Err(ParseAddrError(s.into()));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+/// A sequential allocator carving subnets and host addresses out of a pool.
+///
+/// Topology builders use one allocator per address family (loopbacks,
+/// intra-AS links, inter-AS links) so that ownership is recognisable from
+/// the dotted quad when reading traces.
+#[derive(Debug, Clone)]
+pub struct AddrAllocator {
+    pool: Prefix,
+    next: u64,
+}
+
+impl AddrAllocator {
+    /// Creates an allocator over `pool`.
+    pub fn new(pool: Prefix) -> AddrAllocator {
+        AddrAllocator { pool, next: 0 }
+    }
+
+    /// Allocates the next single host address (`/32` granularity).
+    pub fn alloc_host(&mut self) -> Option<Addr> {
+        if self.next >= self.pool.size() {
+            return None;
+        }
+        let a = self.pool.nth(self.next);
+        self.next += 1;
+        Some(a)
+    }
+
+    /// Allocates the next aligned subnet of length `len`.
+    pub fn alloc_subnet(&mut self, len: u8) -> Option<Prefix> {
+        assert!(len >= self.pool.len && len <= 32);
+        let size = 1u64 << (32 - len);
+        // Round up to the subnet alignment.
+        let start = self.next.div_ceil(size) * size;
+        if start + size > self.pool.size() {
+            return None;
+        }
+        self.next = start + size;
+        Some(Prefix::new(self.pool.nth(start), len))
+    }
+
+    /// Number of addresses handed out (including alignment padding).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip_display_parse() {
+        let a = Addr::new(192, 168, 69, 1);
+        assert_eq!(a.to_string(), "192.168.69.1");
+        assert_eq!("192.168.69.1".parse::<Addr>().unwrap(), a);
+        assert_eq!(a.octets(), [192, 168, 69, 1]);
+    }
+
+    #[test]
+    fn addr_rejects_garbage() {
+        assert!("192.168.1".parse::<Addr>().is_err());
+        assert!("192.168.1.1.5".parse::<Addr>().is_err());
+        assert!("300.0.0.1".parse::<Addr>().is_err());
+        assert!("a.b.c.d".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new(Addr::new(10, 1, 2, 3), 24);
+        assert_eq!(p.addr, Addr::new(10, 1, 2, 0));
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains(Addr::new(10, 255, 0, 1)));
+        assert!(!p.contains(Addr::new(11, 0, 0, 1)));
+        let host = Addr::new(1, 2, 3, 4).host_prefix();
+        assert!(host.contains(Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Addr::new(1, 2, 3, 5)));
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let big: Prefix = "10.0.0.0/8".parse().unwrap();
+        let small: Prefix = "10.4.0.0/16".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&big));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let p = Prefix::new(Addr::UNSPECIFIED, 0);
+        assert!(p.contains(Addr::new(255, 255, 255, 255)));
+        assert!(p.contains(Addr::UNSPECIFIED));
+    }
+
+    #[test]
+    fn allocator_hosts_and_subnets() {
+        let mut alloc = AddrAllocator::new("10.0.0.0/24".parse().unwrap());
+        assert_eq!(alloc.alloc_host(), Some(Addr::new(10, 0, 0, 0)));
+        assert_eq!(alloc.alloc_host(), Some(Addr::new(10, 0, 0, 1)));
+        // Next /31 must be aligned: skips 10.0.0.2? No: 2 is aligned for /31.
+        let s = alloc.alloc_subnet(31).unwrap();
+        assert_eq!(s, "10.0.0.2/31".parse().unwrap());
+        let s = alloc.alloc_subnet(30).unwrap();
+        assert_eq!(s, "10.0.0.4/30".parse().unwrap());
+    }
+
+    #[test]
+    fn allocator_exhaustion() {
+        let mut alloc = AddrAllocator::new("10.0.0.0/31".parse().unwrap());
+        assert!(alloc.alloc_host().is_some());
+        assert!(alloc.alloc_host().is_some());
+        assert!(alloc.alloc_host().is_none());
+        assert!(alloc.alloc_subnet(32).is_none());
+    }
+}

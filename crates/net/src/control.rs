@@ -1,0 +1,466 @@
+//! Control-plane assembly: FIBs, BGP external routes, and LFIBs.
+//!
+//! [`ControlPlane::build`] computes, from an immutable [`Network`]:
+//!
+//! 1. per-AS IGP distance matrices ([`AsIgp`]);
+//! 2. per-router intra-AS FIBs (ECMP next-hop sets towards the nearest
+//!    owner of each internal prefix);
+//! 3. per-router external routes: hot-potato egress selection over the
+//!    valley-free AS-level routes ([`Bgp`]);
+//! 4. LDP bindings ([`LdpBindings`]) and per-router LFIBs implementing
+//!    swap / PHP-pop / explicit-null-swap.
+
+use crate::bgp::Bgp;
+use crate::error::NetError;
+use crate::ids::{Label, RouterId};
+use crate::vendor::PoppingMode;
+use crate::igp::AsIgp;
+use crate::ldp::{LabelValue, LdpBindings};
+use crate::net::Network;
+use crate::prefixes::AsPrefixes;
+use std::collections::HashMap;
+
+/// An intra-AS FIB entry: the ECMP set of `(iface index, next router)`.
+#[derive(Clone, Debug, Default)]
+pub struct FibEntry {
+    /// Equal-cost next hops towards the nearest prefix owner.
+    pub nexthops: Vec<(u32, RouterId)>,
+}
+
+/// A route towards an external AS.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExtRoute {
+    /// No valley-free route exists.
+    Unreachable,
+    /// This router is the egress border: forward over its own eBGP
+    /// interface.
+    Direct {
+        /// Interface index of the eBGP link to use.
+        iface: u32,
+    },
+    /// Forward towards the chosen egress border's loopback (the BGP
+    /// next hop); MPLS ingresses push the label bound to that loopback.
+    ViaEgress {
+        /// The selected egress border router.
+        egress: RouterId,
+    },
+}
+
+/// What an LFIB entry does with the top label.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LabelAction {
+    /// Replace the top label (mid-LSP forwarding).
+    Swap(Label),
+    /// Remove the top label (Penultimate Hop Popping, or a downstream
+    /// neighbor without a binding — Cisco "untagged").
+    Pop,
+    /// Replace the top label with explicit null (penultimate hop of a
+    /// UHP LSP).
+    SwapExplicitNull,
+}
+
+/// One ECMP branch of an LFIB entry.
+#[derive(Copy, Clone, Debug)]
+pub struct LfibHop {
+    /// Outgoing interface index.
+    pub iface: u32,
+    /// The next router.
+    pub next: RouterId,
+    /// The label operation on this branch.
+    pub action: LabelAction,
+}
+
+/// An LFIB entry: incoming label → FEC and ECMP branches.
+#[derive(Clone, Debug)]
+pub struct LfibEntry {
+    /// The FEC (prefix slot in the router's AS table).
+    pub slot: u32,
+    /// ECMP branches.
+    pub nexthops: Vec<LfibHop>,
+}
+
+/// The computed control plane of a network.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    /// Per-AS internal prefix tables (dense AS index order).
+    pub as_prefixes: Vec<AsPrefixes>,
+    /// Per-AS IGP views.
+    pub igp: Vec<AsIgp>,
+    /// AS-level routes.
+    pub bgp: Bgp,
+    /// LDP advertisements.
+    pub bindings: LdpBindings,
+    /// `fib[router][slot]` — intra-AS forwarding (slots of the router's
+    /// own AS; empty entry ⇒ the router owns the prefix or it is
+    /// unreachable).
+    fib: Vec<Vec<FibEntry>>,
+    /// `ext[router][dst_as_index]` — external forwarding.
+    ext: Vec<Vec<ExtRoute>>,
+    /// `lfib[router][incoming label]`.
+    lfib: Vec<HashMap<Label, LfibEntry>>,
+    /// RSVP-TE autoroute at tunnel heads: `(head, tail)` → the head's
+    /// `(out iface, first hop, label to push)`.
+    te_autoroute: HashMap<(RouterId, RouterId), (u32, RouterId, Option<Label>)>,
+}
+
+impl ControlPlane {
+    /// Computes the full control plane. Fails when an AS is internally
+    /// disconnected or an inter-AS link lacks a declared relationship.
+    pub fn build(net: &Network) -> Result<ControlPlane, NetError> {
+        let bgp = Bgp::compute(net)?;
+        let n_as = net.as_list().len();
+        let mut as_prefixes = Vec::with_capacity(n_as);
+        let mut igp = Vec::with_capacity(n_as);
+        for &asn in net.as_list() {
+            let view = AsIgp::compute(net, asn);
+            if let Some(unreachable) = view.find_unreachable() {
+                return Err(NetError::DisconnectedAs { asn, unreachable });
+            }
+            igp.push(view);
+            as_prefixes.push(AsPrefixes::build(net, asn));
+        }
+        let bindings = LdpBindings::compute(net, &as_prefixes);
+
+        // Intra-AS FIBs.
+        let mut fib: Vec<Vec<FibEntry>> = vec![Vec::new(); net.num_routers()];
+        for (as_idx, ap) in as_prefixes.iter().enumerate() {
+            let view = &igp[as_idx];
+            for &rid in net.as_members(ap.asn) {
+                let table = &mut fib[rid.index()];
+                table.resize(ap.len(), FibEntry::default());
+                for slot in 0..ap.len() as u32 {
+                    let owners = ap.owners(slot);
+                    if owners.contains(&rid) {
+                        continue; // connected route, engine handles it
+                    }
+                    let best = owners
+                        .iter()
+                        .map(|&o| view.distance(rid, o))
+                        .min()
+                        .unwrap_or(crate::igp::INF);
+                    if best >= crate::igp::INF {
+                        continue;
+                    }
+                    let mut hops: Vec<(u32, RouterId)> = Vec::new();
+                    for &o in owners {
+                        if view.distance(rid, o) != best {
+                            continue;
+                        }
+                        for h in view.first_hops(net, rid, o) {
+                            if !hops.contains(&h) {
+                                hops.push(h);
+                            }
+                        }
+                    }
+                    hops.sort_by_key(|&(i, r)| (r, i));
+                    table[slot as usize] = FibEntry { nexthops: hops };
+                }
+            }
+        }
+
+        // External routes with hot-potato egress selection.
+        let mut ext = vec![vec![ExtRoute::Unreachable; n_as]; net.num_routers()];
+        for (src_as, &asn) in net.as_list().iter().enumerate() {
+            let view = &igp[src_as];
+            let borders = net.borders(asn);
+            #[allow(clippy::needless_range_loop)] // dst_as indexes two tables
+            for dst_as in 0..n_as {
+                if dst_as == src_as {
+                    continue;
+                }
+                let best_next = bgp.next_hops(dst_as, src_as);
+                if best_next.is_empty() {
+                    continue;
+                }
+                // Candidate (border, iface) pairs reaching a best next AS.
+                let mut candidates: Vec<(RouterId, u32)> = Vec::new();
+                for &b in &borders {
+                    for (idx, iface) in net.router(b).ifaces.iter().enumerate() {
+                        if !net.link(iface.link).inter_as {
+                            continue;
+                        }
+                        let peer_as = net.router(iface.peer).asn;
+                        let peer_idx = net.as_index(peer_as).expect("registered");
+                        if best_next.contains(&peer_idx) {
+                            candidates.push((b, idx as u32));
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    continue; // relationship without a physical link
+                }
+                candidates.sort_by_key(|&(r, i)| (r, i));
+                for &rid in net.as_members(asn) {
+                    if let Some(&(_, iface)) =
+                        candidates.iter().find(|&&(b, _)| b == rid)
+                    {
+                        ext[rid.index()][dst_as] = ExtRoute::Direct { iface };
+                        continue;
+                    }
+                    // Nearest candidate border (hot potato).
+                    let choice = candidates
+                        .iter()
+                        .map(|&(b, _)| (view.distance(rid, b), b))
+                        .min();
+                    if let Some((d, egress)) = choice {
+                        if d < crate::igp::INF {
+                            ext[rid.index()][dst_as] = ExtRoute::ViaEgress { egress };
+                        }
+                    }
+                }
+            }
+        }
+
+        // LFIBs: one entry per real incoming label.
+        let mut lfib: Vec<HashMap<Label, LfibEntry>> =
+            vec![HashMap::new(); net.num_routers()];
+        for (as_idx, ap) in as_prefixes.iter().enumerate() {
+            debug_assert_eq!(net.as_index(ap.asn), Some(as_idx));
+            for &rid in net.as_members(ap.asn) {
+                let advertised: Vec<(u32, LabelValue)> =
+                    bindings.advertisements(rid).collect();
+                for (slot, value) in advertised {
+                    let LabelValue::Real(in_label) = value else {
+                        continue;
+                    };
+                    let entry = &fib[rid.index()][slot as usize];
+                    let mut hops = Vec::with_capacity(entry.nexthops.len());
+                    for &(iface, next) in &entry.nexthops {
+                        let action = match bindings.advertised(next, slot) {
+                            Some(LabelValue::Real(out)) => LabelAction::Swap(out),
+                            Some(LabelValue::ImplicitNull) => LabelAction::Pop,
+                            Some(LabelValue::ExplicitNull) => LabelAction::SwapExplicitNull,
+                            // Downstream has no binding: "untagged".
+                            None => LabelAction::Pop,
+                        };
+                        hops.push(LfibHop {
+                            iface,
+                            next,
+                            action,
+                        });
+                    }
+                    if !hops.is_empty() {
+                        lfib[rid.index()].insert(in_label, LfibEntry { slot, nexthops: hops });
+                    }
+                }
+            }
+        }
+
+        // RSVP-TE tunnels: validate paths, install the label chain at
+        // every transit LSR, and record the head's autoroute decision.
+        let mut te_autoroute = HashMap::new();
+        for t in net.te_tunnels() {
+            t.validate(net)
+                .map_err(|reason| NetError::InvalidTeTunnel { reason })?;
+            for i in 1..t.path.len().saturating_sub(1) {
+                let cur = t.path[i];
+                let next = t.path[i + 1];
+                let iface = net
+                    .router(cur)
+                    .iface_to(next)
+                    .expect("validated adjacency") as u32;
+                let action = if i + 1 == t.path.len() - 1 {
+                    match t.popping {
+                        PoppingMode::Php => LabelAction::Pop,
+                        PoppingMode::Uhp => LabelAction::SwapExplicitNull,
+                    }
+                } else {
+                    LabelAction::Swap(t.label_into(i + 1))
+                };
+                lfib[cur.index()].insert(
+                    t.label_into(i),
+                    LfibEntry {
+                        slot: u32::MAX, // TE entries carry no LDP FEC
+                        nexthops: vec![LfibHop {
+                            iface,
+                            next,
+                            action,
+                        }],
+                    },
+                );
+            }
+            let first = t.path[1];
+            let iface = net
+                .router(t.head())
+                .iface_to(first)
+                .expect("validated adjacency") as u32;
+            let push = if t.path.len() == 2 {
+                match t.popping {
+                    PoppingMode::Php => None, // one-hop LSP degenerates
+                    PoppingMode::Uhp => Some(Label::EXPLICIT_NULL),
+                }
+            } else {
+                Some(t.label_into(1))
+            };
+            te_autoroute.insert((t.head(), t.tail()), (iface, first, push));
+        }
+
+        Ok(ControlPlane {
+            as_prefixes,
+            igp,
+            bgp,
+            bindings,
+            fib,
+            ext,
+            lfib,
+            te_autoroute,
+        })
+    }
+
+    /// The intra-AS FIB entry of `router` for prefix `slot`.
+    pub fn fib_entry(&self, router: RouterId, slot: u32) -> Option<&FibEntry> {
+        let e = self.fib[router.index()].get(slot as usize)?;
+        if e.nexthops.is_empty() {
+            None
+        } else {
+            Some(e)
+        }
+    }
+
+    /// The external route of `router` towards the AS with dense index
+    /// `dst_as`.
+    pub fn ext_route(&self, router: RouterId, dst_as: usize) -> ExtRoute {
+        self.ext[router.index()][dst_as]
+    }
+
+    /// The LFIB entry of `router` for incoming `label`.
+    pub fn lfib_entry(&self, router: RouterId, label: Label) -> Option<&LfibEntry> {
+        self.lfib[router.index()].get(&label)
+    }
+
+    /// Number of LFIB entries installed at `router`.
+    pub fn lfib_size(&self, router: RouterId) -> usize {
+        self.lfib[router.index()].len()
+    }
+
+    /// The TE autoroute decision at `head` for traffic towards `tail`
+    /// (its BGP next hop or its own addresses):
+    /// `(out iface, first hop, label to push)`.
+    pub fn te_route(
+        &self,
+        head: RouterId,
+        tail: RouterId,
+    ) -> Option<(u32, RouterId, Option<Label>)> {
+        self.te_autoroute.get(&(head, tail)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Asn;
+    use crate::net::{LinkOpts, NetworkBuilder, RelKind};
+    use crate::router::RouterConfig;
+    use crate::vendor::Vendor;
+
+    /// AS1(h) -- AS2: a - b - c (MPLS line) -- AS3(t).
+    fn line_net() -> (Network, [RouterId; 5]) {
+        let mut bld = NetworkBuilder::new();
+        let h = bld.add_router("h", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        let a = bld.add_router("a", Asn(2), RouterConfig::mpls_router(Vendor::CiscoIos));
+        let b = bld.add_router("b", Asn(2), RouterConfig::mpls_router(Vendor::CiscoIos));
+        let c = bld.add_router("c", Asn(2), RouterConfig::mpls_router(Vendor::CiscoIos));
+        let t = bld.add_router("t", Asn(3), RouterConfig::ip_router(Vendor::CiscoIos));
+        bld.link(h, a, LinkOpts::default());
+        bld.link(a, b, LinkOpts::default());
+        bld.link(b, c, LinkOpts::default());
+        bld.link(c, t, LinkOpts::default());
+        bld.as_rel(Asn(2), Asn(1), RelKind::ProviderCustomer);
+        bld.as_rel(Asn(2), Asn(3), RelKind::ProviderCustomer);
+        (bld.build().unwrap(), [h, a, b, c, t])
+    }
+
+    #[test]
+    fn fib_points_to_nearest_owner() {
+        let (net, [_, a, b, c, _]) = line_net();
+        let cp = ControlPlane::build(&net).unwrap();
+        let as2 = net.as_index(Asn(2)).unwrap();
+        let ap = &cp.as_prefixes[as2];
+        let slot = ap.lookup(net.router(c).loopback).unwrap();
+        let e = cp.fib_entry(a, slot).unwrap();
+        assert_eq!(e.nexthops.len(), 1);
+        assert_eq!(e.nexthops[0].1, b);
+        // Owner has no FIB entry (connected).
+        assert!(cp.fib_entry(c, slot).is_none());
+    }
+
+    #[test]
+    fn ext_routes_direct_and_via_egress() {
+        let (net, [h, a, b, c, t]) = line_net();
+        let cp = ControlPlane::build(&net).unwrap();
+        let as3 = net.as_index(Asn(3)).unwrap();
+        // c is the egress border towards AS3.
+        assert!(matches!(cp.ext_route(c, as3), ExtRoute::Direct { .. }));
+        assert_eq!(cp.ext_route(a, as3), ExtRoute::ViaEgress { egress: c });
+        assert_eq!(cp.ext_route(b, as3), ExtRoute::ViaEgress { egress: c });
+        // AS1's router reaches AS3 through its provider.
+        let as1_h = cp.ext_route(h, as3);
+        assert!(matches!(as1_h, ExtRoute::Direct { .. }));
+        // And t's route back to AS1.
+        let as1 = net.as_index(Asn(1)).unwrap();
+        assert!(matches!(cp.ext_route(t, as1), ExtRoute::Direct { .. }));
+    }
+
+    #[test]
+    fn lfib_swap_then_pop() {
+        let (net, [_, a, b, c, _]) = line_net();
+        let cp = ControlPlane::build(&net).unwrap();
+        let as2 = net.as_index(Asn(2)).unwrap();
+        let ap = &cp.as_prefixes[as2];
+        let slot = ap.lookup(net.router(c).loopback).unwrap();
+        // a pushes b's label; b's LFIB entry for it pops (c advertised
+        // implicit null for its own loopback): a 2-hop LSP a -> b -> c.
+        let LabelValue::Real(lb) = cp.bindings.advertised(b, slot).unwrap() else {
+            panic!("b should advertise a real label");
+        };
+        let entry = cp.lfib_entry(b, lb).unwrap();
+        assert_eq!(entry.slot, slot);
+        assert_eq!(entry.nexthops.len(), 1);
+        assert_eq!(entry.nexthops[0].next, c);
+        assert_eq!(entry.nexthops[0].action, LabelAction::Pop);
+        // a itself advertises a real label whose entry swaps to b's.
+        let LabelValue::Real(la) = cp.bindings.advertised(a, slot).unwrap() else {
+            panic!()
+        };
+        let entry_a = cp.lfib_entry(a, la).unwrap();
+        assert_eq!(entry_a.nexthops[0].action, LabelAction::Swap(lb));
+        assert!(cp.lfib_size(a) > 0);
+    }
+
+    #[test]
+    fn disconnected_as_rejected() {
+        let mut bld = NetworkBuilder::new();
+        let cfg = RouterConfig::ip_router(Vendor::CiscoIos);
+        bld.add_router("x", Asn(1), cfg.clone());
+        bld.add_router("y", Asn(1), cfg);
+        let net = bld.build().unwrap();
+        assert!(matches!(
+            ControlPlane::build(&net),
+            Err(NetError::DisconnectedAs { .. })
+        ));
+    }
+
+    #[test]
+    fn uhp_penultimate_swaps_explicit_null() {
+        let mut bld = NetworkBuilder::new();
+        let a = bld.add_router("a", Asn(1), RouterConfig::mpls_router(Vendor::CiscoIos));
+        let b = bld.add_router("b", Asn(1), RouterConfig::mpls_router(Vendor::CiscoIos));
+        let c = bld.add_router(
+            "c",
+            Asn(1),
+            RouterConfig::mpls_router(Vendor::CiscoIos).uhp(),
+        );
+        bld.link(a, b, LinkOpts::default());
+        bld.link(b, c, LinkOpts::default());
+        let net = bld.build().unwrap();
+        let cp = ControlPlane::build(&net).unwrap();
+        let ap = &cp.as_prefixes[0];
+        let slot = ap.lookup(net.router(c).loopback).unwrap();
+        let LabelValue::Real(lb) = cp.bindings.advertised(b, slot).unwrap() else {
+            panic!()
+        };
+        let entry = cp.lfib_entry(b, lb).unwrap();
+        assert_eq!(entry.nexthops[0].action, LabelAction::SwapExplicitNull);
+        let _ = a;
+    }
+}

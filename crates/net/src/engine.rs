@@ -1,0 +1,900 @@
+//! The forwarding engine: moves packets through the network applying
+//! vendor-accurate IP/MPLS TTL semantics.
+//!
+//! The TTL rules implemented here reproduce, bit for bit, the emulation
+//! outputs of the paper's Fig. 4 (all four configurations, including the
+//! bracketed return TTLs):
+//!
+//! * an originating router does **not** decrement its own packets;
+//! * a forwarding router decrements the IP-TTL only for **unlabeled**
+//!   packets; expiry (decrement to 0) elicits a time-exceeded whose
+//!   source is the **incoming interface** address;
+//! * the ingress push sets LSE-TTL to the (already decremented) IP-TTL
+//!   when `ttl-propagate` is on, and to 255 otherwise (RFC 3443);
+//! * LSRs decrement only the top LSE-TTL; on expiry the time-exceeded
+//!   reply is first label-switched **to the end of the LSP** (with a
+//!   fresh 255 LSE-TTL) unless the generator is the penultimate hop;
+//! * popping the last label (PHP at the penultimate hop, or explicit
+//!   null at a UHP egress) applies `IP-TTL ← min(IP-TTL, LSE-TTL)` and
+//!   forwards **without** an IP decrement;
+//! * a UHP egress receiving explicit null decrements the LSE-TTL (so
+//!   visible UHP tunnels still reveal the egress) before popping.
+
+use crate::addr::Addr;
+use crate::control::{ControlPlane, ExtRoute, LabelAction, LfibEntry};
+use crate::fault::FaultPlan;
+use crate::ids::{Label, RouterId};
+use crate::net::Network;
+use crate::packet::{IcmpPayload, LabelStack, Lse, Packet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Engine options.
+#[derive(Clone, Debug)]
+pub struct EngineOpts {
+    /// Hard cap on router visits per packet (loop guard).
+    pub max_visits: usize,
+}
+
+impl Default for EngineOpts {
+    fn default() -> EngineOpts {
+        EngineOpts { max_visits: 255 }
+    }
+}
+
+/// Counters kept by the engine.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Probes injected via [`Engine::send`].
+    pub probes: u64,
+    /// Wire crossings (a proxy for simulated traffic volume).
+    pub crossings: u64,
+    /// Replies delivered back to the prober.
+    pub replies: u64,
+    /// Probes lost for any reason.
+    pub lost: u64,
+}
+
+/// The kind of reply observed by the prober.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReplyKind {
+    /// ICMP echo-reply (probe reached its destination).
+    EchoReply,
+    /// ICMP time-exceeded.
+    TimeExceeded,
+    /// ICMP destination-unreachable.
+    DestUnreachable,
+}
+
+/// Everything the prober observes about a reply, plus simulator ground
+/// truth for validation (`fwd_path`/`ret_path` — never consulted by the
+/// measurement techniques).
+#[derive(Clone, Debug)]
+pub struct ReplyInfo {
+    /// Reply kind.
+    pub kind: ReplyKind,
+    /// The reply's IP source address (for time-exceeded: the incoming
+    /// interface of the replying router).
+    pub from: Addr,
+    /// The reply's IP-TTL as received by the prober — the bracketed
+    /// value of the paper's Fig. 4, input to FRPLA and RTLA.
+    pub ip_ttl: u8,
+    /// RFC 4950 quoted label stack, if any.
+    pub mpls_ext: Vec<Lse>,
+    /// Round-trip time in milliseconds.
+    pub rtt_ms: f64,
+    /// Ground truth: routers the probe traversed (starting at the
+    /// origin, ending at the replying/delivering router).
+    pub fwd_path: Vec<RouterId>,
+    /// Ground truth: routers the reply traversed.
+    pub ret_path: Vec<RouterId>,
+}
+
+/// Why a probe produced no reply.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Random loss on a link.
+    Loss,
+    /// No route towards the destination (and no unreachable generated).
+    NoRoute,
+    /// The router at the expiry point is configured silent.
+    Silent,
+    /// ICMP generation suppressed (rate limiting).
+    IcmpSuppressed,
+    /// Loop guard tripped.
+    Loop,
+    /// A label arrived at a router without a matching LFIB entry.
+    BadLabel,
+    /// A reply itself expired or failed to come back.
+    ReplyLost,
+}
+
+/// Outcome of a probe.
+#[derive(Clone, Debug)]
+pub enum SendOutcome {
+    /// A reply came back to the prober.
+    Reply(ReplyInfo),
+    /// Nothing came back.
+    Lost {
+        /// Where the probe (or its reply) died, if known.
+        at: Option<RouterId>,
+        /// Why.
+        reason: DropReason,
+    },
+}
+
+impl SendOutcome {
+    /// The reply, if any.
+    pub fn reply(&self) -> Option<&ReplyInfo> {
+        match self {
+            SendOutcome::Reply(r) => Some(r),
+            SendOutcome::Lost { .. } => None,
+        }
+    }
+}
+
+enum Leg {
+    Delivered {
+        at: RouterId,
+        pkt: Packet,
+        path: Vec<RouterId>,
+    },
+    Reply {
+        reply: Packet,
+        at: RouterId,
+        /// `Some((iface, next))` when the reply must be injected
+        /// directly on the wire (label-switched to the tunnel end).
+        first_hop: Option<(u32, RouterId)>,
+        path: Vec<RouterId>,
+    },
+    Dropped {
+        at: RouterId,
+        reason: DropReason,
+        #[allow(dead_code)] // kept for debugging dumps
+        path: Vec<RouterId>,
+    },
+}
+
+struct NextHop {
+    iface: u32,
+    next: RouterId,
+    push: Option<Label>,
+}
+
+/// The forwarding engine. Borrow a [`Network`] and its [`ControlPlane`],
+/// then [`Engine::send`] probes.
+pub struct Engine<'a> {
+    net: &'a Network,
+    cp: &'a ControlPlane,
+    opts: EngineOpts,
+    faults: FaultPlan,
+    rng: StdRng,
+    /// Counters.
+    pub stats: EngineStats,
+}
+
+impl<'a> Engine<'a> {
+    /// A deterministic, fault-free engine.
+    pub fn new(net: &'a Network, cp: &'a ControlPlane) -> Engine<'a> {
+        Engine::with_faults(net, cp, FaultPlan::none(), 0)
+    }
+
+    /// An engine with fault injection, seeded for reproducibility.
+    pub fn with_faults(
+        net: &'a Network,
+        cp: &'a ControlPlane,
+        faults: FaultPlan,
+        seed: u64,
+    ) -> Engine<'a> {
+        Engine {
+            net,
+            cp,
+            opts: EngineOpts::default(),
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The network this engine forwards over.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    /// The control plane in use.
+    pub fn control_plane(&self) -> &'a ControlPlane {
+        self.cp
+    }
+
+    /// Sends `pkt` from `origin` and runs the simulation to completion,
+    /// including the reply's return trip.
+    pub fn send(&mut self, origin: RouterId, pkt: Packet) -> SendOutcome {
+        assert!(pkt.ip_ttl >= 1, "probes need a TTL of at least 1");
+        self.stats.probes += 1;
+        let probe_src = pkt.src;
+        let leg = self.transit(origin, pkt, None);
+        let out = match leg {
+            Leg::Delivered { at, pkt, path } => {
+                // Probe reached its destination: echo requests elicit an
+                // echo-reply; anything else just sinks.
+                let IcmpPayload::EchoRequest { id, seq } = pkt.payload else {
+                    return self.lost(Some(at), DropReason::ReplyLost);
+                };
+                let r = self.net.router(at);
+                if !r.config.replies {
+                    return self.lost(Some(at), DropReason::Silent);
+                }
+                let reply = Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    ip_ttl: r.config.vendor.er_init_ttl(),
+                    flow: pkt.flow,
+                    payload: IcmpPayload::EchoReply { id, seq },
+                    stack: LabelStack::empty(),
+                    elapsed_ms: pkt.elapsed_ms,
+                };
+                self.return_leg(ReplyKind::EchoReply, at, reply, None, path, probe_src)
+            }
+            Leg::Reply {
+                reply,
+                at,
+                first_hop,
+                path,
+            } => {
+                let kind = match reply.payload {
+                    IcmpPayload::TimeExceeded { .. } => ReplyKind::TimeExceeded,
+                    IcmpPayload::DestUnreachable { .. } => ReplyKind::DestUnreachable,
+                    _ => unreachable!("error legs carry ICMP errors"),
+                };
+                self.return_leg(kind, at, reply, first_hop, path, probe_src)
+            }
+            Leg::Dropped { at, reason, .. } => self.lost(Some(at), reason),
+        };
+        if matches!(out, SendOutcome::Reply(_)) {
+            self.stats.replies += 1;
+        }
+        out
+    }
+
+    fn lost(&mut self, at: Option<RouterId>, reason: DropReason) -> SendOutcome {
+        self.stats.lost += 1;
+        SendOutcome::Lost { at, reason }
+    }
+
+    fn return_leg(
+        &mut self,
+        kind: ReplyKind,
+        at: RouterId,
+        reply: Packet,
+        first_hop: Option<(u32, RouterId)>,
+        fwd_path: Vec<RouterId>,
+        probe_src: Addr,
+    ) -> SendOutcome {
+        let from = reply.src;
+        match self.transit(at, reply, first_hop) {
+            Leg::Delivered {
+                at: end,
+                pkt,
+                path,
+            } => {
+                if pkt.dst != probe_src || !self.net.router(end).owns(probe_src) {
+                    return self.lost(Some(end), DropReason::ReplyLost);
+                }
+                let mpls_ext = match &pkt.payload {
+                    IcmpPayload::TimeExceeded { mpls_ext, .. } => mpls_ext.clone(),
+                    _ => Vec::new(),
+                };
+                SendOutcome::Reply(ReplyInfo {
+                    kind,
+                    from,
+                    ip_ttl: pkt.ip_ttl,
+                    mpls_ext,
+                    rtt_ms: pkt.elapsed_ms,
+                    fwd_path,
+                    ret_path: path,
+                })
+            }
+            Leg::Reply { at, .. } => self.lost(Some(at), DropReason::ReplyLost),
+            Leg::Dropped { at, reason, .. } => self.lost(Some(at), reason),
+        }
+    }
+
+    /// Moves one packet until it is delivered, dropped, or elicits an
+    /// ICMP error. `inject` skips the origin's forwarding decision and
+    /// puts the packet directly on the wire (label-switched replies).
+    fn transit(
+        &mut self,
+        origin: RouterId,
+        mut pkt: Packet,
+        inject: Option<(u32, RouterId)>,
+    ) -> Leg {
+        let mut cur = origin;
+        let mut path = vec![origin];
+        let mut in_iface_addr: Option<Addr> = None;
+        let mut via_wire = false;
+
+        if let Some((iface, next)) = inject {
+            match self.cross(cur, iface, &mut pkt) {
+                Ok(arrival) => {
+                    cur = next;
+                    in_iface_addr = Some(arrival);
+                    via_wire = true;
+                    path.push(cur);
+                }
+                Err(reason) => {
+                    return Leg::Dropped {
+                        at: cur,
+                        reason,
+                        path,
+                    }
+                }
+            }
+        }
+
+        let mut visits = 0usize;
+        loop {
+            visits += 1;
+            if visits > self.opts.max_visits {
+                return Leg::Dropped {
+                    at: cur,
+                    reason: DropReason::Loop,
+                    path,
+                };
+            }
+            let r = self.net.router(cur);
+            let mut skip_decrement = false;
+
+            // --- MPLS processing ---------------------------------------
+            if via_wire && pkt.is_labeled() {
+                let top = *pkt.stack.top().expect("labeled");
+                if top.label == Label::EXPLICIT_NULL {
+                    // UHP egress, RFC 3443 short-pipe semantics (what
+                    // reproduces the paper's Fig. 4d): the LSE-TTL is
+                    // discarded — no `min` copy — and the egress charges
+                    // the tunnel's single IP decrement *without* an
+                    // expiry check (a 0-TTL packet is still handed to
+                    // the final hop, where it is delivered or expires).
+                    pkt.stack.pop();
+                    if !pkt.stack.is_empty() {
+                        // Nested stacks are outside our LDP model.
+                        return Leg::Dropped {
+                            at: cur,
+                            reason: DropReason::BadLabel,
+                            path,
+                        };
+                    }
+                    if !r.owns(pkt.dst) {
+                        pkt.ip_ttl = pkt.ip_ttl.saturating_sub(1);
+                    }
+                    skip_decrement = true;
+                    // fall through to IP processing
+                } else {
+                    let Some(entry) = self.cp.lfib_entry(cur, top.label) else {
+                        return Leg::Dropped {
+                            at: cur,
+                            reason: DropReason::BadLabel,
+                            path,
+                        };
+                    };
+                    let entry: &LfibEntry = entry;
+                    if top.ttl <= 1 {
+                        // LSE expiry: the reply is label-switched to the
+                        // end of the LSP unless we are the penultimate
+                        // hop (whose action pops the last label).
+                        let hop = pick(&entry.nexthops, pkt.flow, cur.0);
+                        let downstream = match hop.action {
+                            LabelAction::Swap(l) => Some((l, hop.iface, hop.next)),
+                            LabelAction::SwapExplicitNull => {
+                                Some((Label::EXPLICIT_NULL, hop.iface, hop.next))
+                            }
+                            LabelAction::Pop => None,
+                        };
+                        return self.icmp_expired(cur, &pkt, in_iface_addr, downstream, path);
+                    }
+                    pkt.stack.top_mut().expect("labeled").ttl -= 1;
+                    let hop = *pick(&entry.nexthops, pkt.flow, cur.0);
+                    match hop.action {
+                        LabelAction::Swap(l) => {
+                            pkt.stack.top_mut().expect("labeled").label = l;
+                        }
+                        LabelAction::SwapExplicitNull => {
+                            pkt.stack.top_mut().expect("labeled").label = Label::EXPLICIT_NULL;
+                        }
+                        LabelAction::Pop => {
+                            let lse = pkt.stack.pop().expect("labeled");
+                            if pkt.stack.is_empty() && r.config.min_on_exit {
+                                pkt.ip_ttl = pkt.ip_ttl.min(lse.ttl);
+                            }
+                        }
+                    }
+                    match self.cross(cur, hop.iface, &mut pkt) {
+                        Ok(arrival) => {
+                            cur = hop.next;
+                            in_iface_addr = Some(arrival);
+                            via_wire = true;
+                            path.push(cur);
+                            continue;
+                        }
+                        Err(reason) => {
+                            return Leg::Dropped {
+                                at: cur,
+                                reason,
+                                path,
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- IP processing ------------------------------------------
+            if r.owns(pkt.dst) {
+                return Leg::Delivered { at: cur, pkt, path };
+            }
+            if via_wire && !skip_decrement {
+                if pkt.ip_ttl <= 1 {
+                    return self.icmp_expired(cur, &pkt, in_iface_addr, None, path);
+                }
+                pkt.ip_ttl -= 1;
+            }
+            let nh = match self.decide(cur, &pkt) {
+                Some(nh) => nh,
+                None => {
+                    return self.icmp_unreachable(cur, &pkt, in_iface_addr, path);
+                }
+            };
+            if let Some(label) = nh.push {
+                debug_assert!(pkt.stack.is_empty());
+                let lse_ttl = if r.config.ttl_propagate { pkt.ip_ttl } else { 255 };
+                pkt.stack.push(Lse::new(label, lse_ttl));
+            }
+            match self.cross(cur, nh.iface, &mut pkt) {
+                Ok(arrival) => {
+                    cur = nh.next;
+                    in_iface_addr = Some(arrival);
+                    via_wire = true;
+                    path.push(cur);
+                }
+                Err(reason) => {
+                    return Leg::Dropped {
+                        at: cur,
+                        reason,
+                        path,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crosses the wire out of `router`'s `iface`; returns the arrival
+    /// interface address on the peer.
+    fn cross(&mut self, router: RouterId, iface: u32, pkt: &mut Packet) -> Result<Addr, DropReason> {
+        self.stats.crossings += 1;
+        if self.faults.loss > 0.0 && self.rng.gen::<f64>() < self.faults.loss {
+            return Err(DropReason::Loss);
+        }
+        let ifc = &self.net.router(router).ifaces[iface as usize];
+        let link = self.net.link(ifc.link);
+        pkt.elapsed_ms += link.delay_ms;
+        if self.faults.jitter_ms > 0.0 {
+            pkt.elapsed_ms += self.rng.gen::<f64>() * self.faults.jitter_ms;
+        }
+        Ok(ifc.peer_addr)
+    }
+
+    /// Builds the time-exceeded leg for an expiry at `cur`.
+    ///
+    /// `downstream` carries the label and wire hop when the reply must
+    /// first be label-switched to the end of the LSP.
+    fn icmp_expired(
+        &mut self,
+        cur: RouterId,
+        expired: &Packet,
+        in_iface_addr: Option<Addr>,
+        downstream: Option<(Label, u32, RouterId)>,
+        path: Vec<RouterId>,
+    ) -> Leg {
+        let r = self.net.router(cur);
+        if expired.payload.is_error() {
+            // Never ICMP about ICMP errors.
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::ReplyLost,
+                path,
+            };
+        }
+        if !r.config.replies {
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::Silent,
+                path,
+            };
+        }
+        if self.faults.icmp_loss > 0.0 && self.rng.gen::<f64>() < self.faults.icmp_loss {
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::IcmpSuppressed,
+                path,
+            };
+        }
+        let (quoted_id, quoted_seq) = match expired.payload {
+            IcmpPayload::EchoRequest { id, seq } => (id, seq),
+            _ => (0, 0),
+        };
+        let mpls_ext = if r.config.rfc4950 && expired.is_labeled() {
+            expired.stack.0.clone()
+        } else {
+            Vec::new()
+        };
+        let mut reply = Packet {
+            src: in_iface_addr.unwrap_or(r.loopback),
+            dst: expired.src,
+            ip_ttl: r.config.vendor.te_init_ttl(),
+            flow: expired.flow,
+            payload: IcmpPayload::TimeExceeded {
+                quoted_id,
+                quoted_seq,
+                quoted_dst: expired.dst,
+                mpls_ext,
+            },
+            stack: LabelStack::empty(),
+            elapsed_ms: expired.elapsed_ms,
+        };
+        let first_hop = downstream.map(|(label, iface, next)| {
+            reply.stack.push(Lse::new(label, 255));
+            (iface, next)
+        });
+        Leg::Reply {
+            reply,
+            at: cur,
+            first_hop,
+            path,
+        }
+    }
+
+    fn icmp_unreachable(
+        &mut self,
+        cur: RouterId,
+        pkt: &Packet,
+        in_iface_addr: Option<Addr>,
+        path: Vec<RouterId>,
+    ) -> Leg {
+        let r = self.net.router(cur);
+        if pkt.payload.is_error() || !r.config.replies {
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::NoRoute,
+                path,
+            };
+        }
+        let (quoted_id, quoted_seq) = match pkt.payload {
+            IcmpPayload::EchoRequest { id, seq } => (id, seq),
+            _ => (0, 0),
+        };
+        let reply = Packet {
+            src: in_iface_addr.unwrap_or(r.loopback),
+            dst: pkt.src,
+            ip_ttl: r.config.vendor.te_init_ttl(),
+            flow: pkt.flow,
+            payload: IcmpPayload::DestUnreachable {
+                quoted_id,
+                quoted_seq,
+            },
+            stack: LabelStack::empty(),
+            elapsed_ms: pkt.elapsed_ms,
+        };
+        Leg::Reply {
+            reply,
+            at: cur,
+            first_hop: None,
+            path,
+        }
+    }
+
+    /// The IP forwarding decision at `cur` for `pkt` (stack empty).
+    fn decide(&mut self, cur: RouterId, pkt: &Packet) -> Option<NextHop> {
+        let r = self.net.router(cur);
+        // Connected /31 neighbor?
+        if let Some(idx) = r.ifaces.iter().position(|i| i.peer_addr == pkt.dst) {
+            return Some(NextHop {
+                iface: idx as u32,
+                next: r.ifaces[idx].peer,
+                push: None,
+            });
+        }
+        let owner = self.net.owner(pkt.dst)?;
+        let dst_asn = self.net.router(owner).asn;
+        if dst_asn == r.asn {
+            // RSVP-TE autoroute: destinations owned by a tunnel tail
+            // enter the tunnel at its head.
+            if let Some((iface, next, push)) = self.cp.te_route(cur, owner) {
+                return Some(NextHop { iface, next, push });
+            }
+            let as_idx = self.net.as_index(r.asn).expect("registered");
+            let slot = self.cp.as_prefixes[as_idx].lookup(pkt.dst)?;
+            self.intra_hop(cur, slot, pkt)
+        } else {
+            let dst_idx = self.net.as_index(dst_asn).expect("registered");
+            match self.cp.ext_route(cur, dst_idx) {
+                ExtRoute::Unreachable => None,
+                ExtRoute::Direct { iface } => Some(NextHop {
+                    iface,
+                    next: r.ifaces[iface as usize].peer,
+                    push: None,
+                }),
+                ExtRoute::ViaEgress { egress } => {
+                    // RSVP-TE autoroute towards the BGP next hop.
+                    if let Some((iface, next, push)) = self.cp.te_route(cur, egress) {
+                        return Some(NextHop { iface, next, push });
+                    }
+                    // Otherwise route (and LDP-label-switch) towards the
+                    // egress border's loopback.
+                    let as_idx = self.net.as_index(r.asn).expect("registered");
+                    let slot = self.cp.as_prefixes[as_idx]
+                        .lookup(self.net.router(egress).loopback)?;
+                    self.intra_hop(cur, slot, pkt)
+                }
+            }
+        }
+    }
+
+    fn intra_hop(&self, cur: RouterId, slot: u32, pkt: &Packet) -> Option<NextHop> {
+        let r = self.net.router(cur);
+        let entry = self.cp.fib_entry(cur, slot)?;
+        let &(iface, next) = pick(&entry.nexthops, pkt.flow, cur.0);
+        let push = if r.config.mpls {
+            match self.cp.bindings.advertised(next, slot) {
+                Some(crate::ldp::LabelValue::Real(l)) => Some(l),
+                Some(crate::ldp::LabelValue::ExplicitNull) => Some(Label::EXPLICIT_NULL),
+                Some(crate::ldp::LabelValue::ImplicitNull) | None => None,
+            }
+        } else {
+            None
+        };
+        Some(NextHop { iface, next, push })
+    }
+}
+
+/// Deterministic per-flow ECMP choice.
+fn pick<T>(options: &[T], flow: u16, salt: u32) -> &T {
+    debug_assert!(!options.is_empty());
+    if options.len() == 1 {
+        return &options[0];
+    }
+    // FNV-1a over flow and salt.
+    let mut h: u32 = 0x811c_9dc5;
+    for b in flow.to_le_bytes().into_iter().chain(salt.to_le_bytes()) {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    &options[h as usize % options.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Asn;
+    use crate::net::{LinkOpts, Network, NetworkBuilder, RelKind};
+    use crate::router::RouterConfig;
+    use crate::vendor::Vendor;
+
+    /// The paper's Fig. 2 line: VP - CE1 |AS1| PE1 - P1 - P2 - P3 - PE2
+    /// |AS2, MPLS| - CE2 |AS3|, with a host VP and a host target.
+    fn fig2(pe_cfg: RouterConfig, p_cfg: RouterConfig) -> (Network, RouterId, Addr) {
+        let mut b = NetworkBuilder::new();
+        let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+        let ce1 = b.add_router("CE1", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        let pe1 = b.add_router("PE1", Asn(2), pe_cfg.clone());
+        let p1 = b.add_router("P1", Asn(2), p_cfg.clone());
+        let p2 = b.add_router("P2", Asn(2), p_cfg.clone());
+        let p3 = b.add_router("P3", Asn(2), p_cfg);
+        let pe2 = b.add_router("PE2", Asn(2), pe_cfg);
+        let ce2 = b.add_router("CE2", Asn(3), RouterConfig::ip_router(Vendor::CiscoIos));
+        for (x, y) in [
+            (vp, ce1),
+            (ce1, pe1),
+            (pe1, p1),
+            (p1, p2),
+            (p2, p3),
+            (p3, pe2),
+            (pe2, ce2),
+        ] {
+            b.link(x, y, LinkOpts::symmetric(10, 1.0));
+        }
+        b.as_rel(Asn(2), Asn(1), RelKind::ProviderCustomer);
+        b.as_rel(Asn(2), Asn(3), RelKind::ProviderCustomer);
+        let net = b.build().unwrap();
+        let target = net.router_by_name("CE2").unwrap().loopback;
+        let vp = net.router_by_name("VP").unwrap().id;
+        (net, vp, target)
+    }
+
+    fn probe(net: &Network, cp: &ControlPlane, vp: RouterId, dst: Addr, ttl: u8) -> SendOutcome {
+        let mut eng = Engine::new(net, cp);
+        let src = net.router(vp).loopback;
+        eng.send(vp, Packet::echo_request(src, dst, ttl, 1, 1, ttl as u16))
+    }
+
+    #[test]
+    fn visible_tunnel_reveals_all_hops() {
+        // Default config: ttl-propagate on → every LSR replies, with
+        // RFC4950 label quotes.
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let names: Vec<String> = (1..=7)
+            .map(|ttl| {
+                let out = probe(&net, &cp, vp, target, ttl);
+                let r = out.reply().expect("reply");
+                let owner = net.owner(r.from).unwrap();
+                net.router(owner).name.clone()
+            })
+            .collect();
+        assert_eq!(names, ["CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]);
+        // Mid-LSP hops quote their labels.
+        let out = probe(&net, &cp, vp, target, 4);
+        let r = out.reply().unwrap();
+        assert_eq!(r.mpls_ext.len(), 1);
+        assert_eq!(r.mpls_ext[0].ttl, 1);
+        // Fig 4a return TTLs: P1 247, P2 248, P3 251, PE2 250, CE2 249.
+        let ttls: Vec<u8> = (1..=7)
+            .map(|ttl| probe(&net, &cp, vp, target, ttl).reply().unwrap().ip_ttl)
+            .collect();
+        assert_eq!(ttls, [255, 254, 247, 248, 251, 250, 249]);
+    }
+
+    #[test]
+    fn invisible_tunnel_hides_lsrs() {
+        // no-ttl-propagate on the LERs (applied network-wide here, as in
+        // the paper's "Backward Recursive" scenario).
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos).no_ttl_propagate();
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let names: Vec<String> = (1..=4)
+            .map(|ttl| {
+                let out = probe(&net, &cp, vp, target, ttl);
+                let owner = net.owner(out.reply().unwrap().from).unwrap();
+                net.router(owner).name.clone()
+            })
+            .collect();
+        // Fig 4b: CE1, PE1, PE2, CE2 — LSRs invisible.
+        assert_eq!(names, ["CE1", "PE1", "PE2", "CE2"]);
+        // Fig 4b return TTLs: [255, 254, 250, 250].
+        let ttls: Vec<u8> = (1..=4)
+            .map(|ttl| probe(&net, &cp, vp, target, ttl).reply().unwrap().ip_ttl)
+            .collect();
+        assert_eq!(ttls, [255, 254, 250, 250]);
+    }
+
+    #[test]
+    fn totally_invisible_with_uhp() {
+        // UHP + no-ttl-propagate: even the egress disappears (Fig 4d).
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos)
+            .no_ttl_propagate()
+            .uhp();
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let names: Vec<String> = (1..=3)
+            .map(|ttl| {
+                let out = probe(&net, &cp, vp, target, ttl);
+                let owner = net.owner(out.reply().unwrap().from).unwrap();
+                net.router(owner).name.clone()
+            })
+            .collect();
+        assert_eq!(names, ["CE1", "PE1", "CE2"]);
+        let ttls: Vec<u8> = (1..=3)
+            .map(|ttl| probe(&net, &cp, vp, target, ttl).reply().unwrap().ip_ttl)
+            .collect();
+        assert_eq!(ttls, [255, 254, 252]);
+    }
+
+    #[test]
+    fn ping_round_trip_and_rtt() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let out = probe(&net, &cp, vp, target, 64);
+        let r = out.reply().unwrap();
+        assert_eq!(r.kind, ReplyKind::EchoReply);
+        assert_eq!(r.from, target);
+        // 7 links each way at 1 ms.
+        assert!((r.rtt_ms - 14.0).abs() < 1e-9);
+        // Cisco echo-reply initial TTL 255; symmetric return path
+        // CE2→PE2 (dec+push 254) →LSP (min 251)→ PE1 (250) → CE1 (249).
+        assert_eq!(r.ip_ttl, 249);
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, _) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let out = probe(&net, &cp, vp, Addr::new(9, 9, 9, 9), 64);
+        match out {
+            SendOutcome::Reply(r) => assert_eq!(r.kind, ReplyKind::DestUnreachable),
+            SendOutcome::Lost { .. } => panic!("expected unreachable reply"),
+        }
+    }
+
+    #[test]
+    fn silent_router_yields_star() {
+        let mut b = NetworkBuilder::new();
+        let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+        let r1 = b.add_router(
+            "mute",
+            Asn(1),
+            RouterConfig::ip_router(Vendor::CiscoIos).silent(),
+        );
+        let r2 = b.add_router("end", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        b.link(vp, r1, LinkOpts::default());
+        b.link(r1, r2, LinkOpts::default());
+        let net = b.build().unwrap();
+        let cp = ControlPlane::build(&net).unwrap();
+        let mut eng = Engine::new(&net, &cp);
+        let src = net.router(vp).loopback;
+        let dst = net.router(r2).loopback;
+        let out = eng.send(vp, Packet::echo_request(src, dst, 1, 1, 1, 1));
+        assert!(matches!(
+            out,
+            SendOutcome::Lost {
+                reason: DropReason::Silent,
+                ..
+            }
+        ));
+        // But it still forwards.
+        let out = eng.send(vp, Packet::echo_request(src, dst, 5, 1, 1, 2));
+        assert!(out.reply().is_some());
+    }
+
+    #[test]
+    fn loss_injection_drops_probes() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let mut eng = Engine::with_faults(&net, &cp, FaultPlan::with_loss(0.5), 42);
+        let src = net.router(vp).loopback;
+        let mut lost = 0;
+        for seq in 0..50 {
+            let out = eng.send(vp, Packet::echo_request(src, target, 64, 1, 1, seq));
+            if out.reply().is_none() {
+                lost += 1;
+            }
+        }
+        assert!(lost > 10, "expected substantial loss, got {lost}");
+        assert!(eng.stats.lost > 0);
+        assert_eq!(eng.stats.probes, 50);
+    }
+
+    #[test]
+    fn ground_truth_paths_recorded() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let out = probe(&net, &cp, vp, target, 64);
+        let r = out.reply().unwrap();
+        let names: Vec<&str> = r
+            .fwd_path
+            .iter()
+            .map(|&id| net.router(id).name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]
+        );
+        assert_eq!(r.ret_path.first(), Some(&r.fwd_path[7]));
+        assert_eq!(r.ret_path.last(), Some(&vp));
+    }
+
+    #[test]
+    fn flow_pick_is_deterministic() {
+        let v = [1, 2, 3, 4];
+        let a = pick(&v, 7, 13);
+        let b = pick(&v, 7, 13);
+        assert_eq!(a, b);
+        // Different flows spread over options.
+        let mut seen = std::collections::HashSet::new();
+        for flow in 0..64 {
+            seen.insert(*pick(&v, flow, 13));
+        }
+        assert!(seen.len() > 1);
+    }
+}

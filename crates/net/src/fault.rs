@@ -1,0 +1,63 @@
+//! Fault injection: probe loss and ICMP rate limiting.
+//!
+//! Real campaigns lose probes and replies; scamper retries. The engine
+//! consults a [`FaultPlan`] at every wire crossing and at every ICMP
+//! generation so the probing layer's retry logic is actually exercised.
+
+/// Probabilistic fault configuration for an [`crate::engine::Engine`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability that a packet is dropped on each link crossing.
+    pub loss: f64,
+    /// Probability that a router suppresses an ICMP error it should
+    /// have generated (rate limiting).
+    pub icmp_loss: f64,
+    /// Uniform extra per-crossing delay bound, in milliseconds
+    /// (0 ⇒ deterministic delays).
+    pub jitter_ms: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            loss: 0.0,
+            icmp_loss: 0.0,
+            jitter_ms: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A lossless, deterministic plan (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with uniform packet loss.
+    pub fn with_loss(loss: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&loss));
+        FaultPlan {
+            loss,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_lossless() {
+        let p = FaultPlan::none();
+        assert_eq!(p.loss, 0.0);
+        assert_eq!(p.icmp_loss, 0.0);
+        assert_eq!(p.jitter_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn loss_out_of_range_panics() {
+        let _ = FaultPlan::with_loss(1.5);
+    }
+}

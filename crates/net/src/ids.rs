@@ -1,0 +1,109 @@
+//! Small typed identifiers used across the simulator.
+
+use std::fmt;
+
+/// Identifies a router inside a [`crate::net::Network`] (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// The dense index as `usize` for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// An Autonomous System number.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Identifies a link inside a [`crate::net::Network`] (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The dense index as `usize` for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interface slot on a specific router.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PortRef {
+    /// The router owning the interface.
+    pub router: RouterId,
+    /// Index into that router's interface table.
+    pub iface: u32,
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.if{}", self.router, self.iface)
+    }
+}
+
+/// An MPLS label value (20-bit space; 0–15 are reserved).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// "IPv4 Explicit NULL" (RFC 3032): egress pops it (UHP).
+    pub const EXPLICIT_NULL: Label = Label(0);
+    /// "Implicit NULL" (RFC 3032): never on the wire; advertising it
+    /// requests Penultimate Hop Popping.
+    pub const IMPLICIT_NULL: Label = Label(3);
+    /// First label value usable for ordinary bindings.
+    pub const FIRST_DYNAMIC: Label = Label(16);
+
+    /// True for the two NULL labels with special forwarding semantics.
+    pub const fn is_reserved(self) -> bool {
+        self.0 < 16
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RouterId(7).to_string(), "R7");
+        assert_eq!(Asn(3320).to_string(), "AS3320");
+        assert_eq!(Label(19).to_string(), "L19");
+        assert_eq!(
+            PortRef {
+                router: RouterId(2),
+                iface: 1
+            }
+            .to_string(),
+            "R2.if1"
+        );
+    }
+
+    #[test]
+    fn reserved_labels() {
+        assert!(Label::EXPLICIT_NULL.is_reserved());
+        assert!(Label::IMPLICIT_NULL.is_reserved());
+        assert!(!Label::FIRST_DYNAMIC.is_reserved());
+        assert!(!Label(100).is_reserved());
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-AS IGP shortest paths (OSPF/IS-IS stand-in).
+//!
+//! Each AS's interior routing is an ECMP-aware shortest-path computation
+//! over its intra-AS links with per-direction metrics. The control plane
+//! runs one Dijkstra per member and keeps the distance matrix: FIB next
+//! hops, LDP LSP construction and BGP hot-potato egress selection all
+//! derive from it.
+
+use crate::ids::{Asn, RouterId};
+use crate::net::Network;
+use std::collections::{BinaryHeap, HashMap};
+
+/// "Unreachable" distance sentinel.
+pub const INF: u32 = u32::MAX / 2;
+
+/// The IGP view of one AS: members and the all-pairs distance matrix.
+#[derive(Debug, Clone)]
+pub struct AsIgp {
+    /// The AS.
+    pub asn: Asn,
+    /// Member routers, in [`Network::as_members`] order.
+    pub members: Vec<RouterId>,
+    /// Router id → local dense index.
+    pub local: HashMap<RouterId, usize>,
+    /// `dist[s][d]`: shortest metric from member `s` to member `d`
+    /// (local indices).
+    pub dist: Vec<Vec<u32>>,
+}
+
+impl AsIgp {
+    /// Computes the IGP view of `asn`.
+    pub fn compute(net: &Network, asn: Asn) -> AsIgp {
+        let members: Vec<RouterId> = net.as_members(asn).to_vec();
+        let local: HashMap<RouterId, usize> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+        let dist = members
+            .iter()
+            .map(|&src| dijkstra(net, &members, &local, src))
+            .collect();
+        AsIgp {
+            asn,
+            members,
+            local,
+            dist,
+        }
+    }
+
+    /// Shortest metric from `s` to `d` (router ids; `INF` if either is
+    /// not a member or unreachable).
+    pub fn distance(&self, s: RouterId, d: RouterId) -> u32 {
+        match (self.local.get(&s), self.local.get(&d)) {
+            (Some(&ls), Some(&ld)) => self.dist[ls][ld],
+            _ => INF,
+        }
+    }
+
+    /// The ECMP first-hop set from `s` towards `d`: every
+    /// `(iface index, neighbor)` of `s` lying on a shortest path.
+    /// Empty when `d` is unreachable or `s == d`.
+    pub fn first_hops(&self, net: &Network, s: RouterId, d: RouterId) -> Vec<(u32, RouterId)> {
+        let (ls, ld) = match (self.local.get(&s), self.local.get(&d)) {
+            (Some(&ls), Some(&ld)) => (ls, ld),
+            _ => return Vec::new(),
+        };
+        let total = self.dist[ls][ld];
+        if total >= INF || s == d {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, iface) in net.router(s).ifaces.iter().enumerate() {
+            let link = net.link(iface.link);
+            if link.inter_as {
+                continue;
+            }
+            let Some(&ln) = self.local.get(&iface.peer) else {
+                continue;
+            };
+            let w = edge_metric(net, s, idx);
+            if w.saturating_add(self.dist[ln][ld]) == total {
+                out.push((idx as u32, iface.peer));
+            }
+        }
+        out
+    }
+
+    /// True when every member can reach every other member.
+    pub fn connected(&self) -> bool {
+        self.dist
+            .iter()
+            .all(|row| row.iter().all(|&d| d < INF))
+    }
+
+    /// A member unreachable from the first member, if any.
+    pub fn find_unreachable(&self) -> Option<RouterId> {
+        let row = self.dist.first()?;
+        row.iter()
+            .position(|&d| d >= INF)
+            .map(|i| self.members[i])
+    }
+}
+
+/// The IGP metric of `router`'s `iface_idx`-th interface in the outgoing
+/// direction.
+pub fn edge_metric(net: &Network, router: RouterId, iface_idx: usize) -> u32 {
+    let iface = &net.router(router).ifaces[iface_idx];
+    let link = net.link(iface.link);
+    if link.a.router == router && link.a.iface == iface_idx as u32 {
+        link.metric_ab
+    } else {
+        link.metric_ba
+    }
+}
+
+fn dijkstra(
+    net: &Network,
+    members: &[RouterId],
+    local: &HashMap<RouterId, usize>,
+    src: RouterId,
+) -> Vec<u32> {
+    use std::cmp::Reverse;
+    let mut dist = vec![INF; members.len()];
+    let src_l = local[&src];
+    dist[src_l] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, src_l)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        let router = net.router(members[u]);
+        for (idx, iface) in router.ifaces.iter().enumerate() {
+            if net.link(iface.link).inter_as {
+                continue;
+            }
+            let Some(&v) = local.get(&iface.peer) else {
+                continue;
+            };
+            let nd = d.saturating_add(edge_metric(net, members[u], idx));
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{LinkOpts, NetworkBuilder};
+    use crate::router::RouterConfig;
+    use crate::vendor::Vendor;
+
+    /// Square AS: a-b, b-d, a-c, c-d, plus an expensive direct a-d.
+    fn square() -> (Network, [RouterId; 4]) {
+        let mut b = NetworkBuilder::new();
+        let cfg = RouterConfig::ip_router(Vendor::CiscoIos);
+        let a = b.add_router("a", Asn(1), cfg.clone());
+        let bb = b.add_router("b", Asn(1), cfg.clone());
+        let c = b.add_router("c", Asn(1), cfg.clone());
+        let d = b.add_router("d", Asn(1), cfg.clone());
+        b.link(a, bb, LinkOpts::symmetric(10, 1.0));
+        b.link(bb, d, LinkOpts::symmetric(10, 1.0));
+        b.link(a, c, LinkOpts::symmetric(10, 1.0));
+        b.link(c, d, LinkOpts::symmetric(10, 1.0));
+        b.link(a, d, LinkOpts::symmetric(100, 1.0));
+        (b.build().unwrap(), [a, bb, c, d])
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let (net, [a, bb, c, d]) = square();
+        let igp = AsIgp::compute(&net, Asn(1));
+        assert_eq!(igp.distance(a, d), 20);
+        assert_eq!(igp.distance(a, bb), 10);
+        assert_eq!(igp.distance(a, c), 10);
+        assert_eq!(igp.distance(d, a), 20);
+        assert_eq!(igp.distance(a, a), 0);
+        assert!(igp.connected());
+        assert!(igp.find_unreachable().is_none());
+    }
+
+    #[test]
+    fn ecmp_first_hops() {
+        let (net, [a, bb, c, d]) = square();
+        let igp = AsIgp::compute(&net, Asn(1));
+        let mut fh: Vec<RouterId> = igp.first_hops(&net, a, d).iter().map(|&(_, r)| r).collect();
+        fh.sort();
+        assert_eq!(fh, vec![bb, c]);
+        // Direct expensive edge not part of the set.
+        assert!(!fh.contains(&d));
+        // Single path a->b.
+        assert_eq!(igp.first_hops(&net, a, bb).len(), 1);
+        // Self: empty.
+        assert!(igp.first_hops(&net, a, a).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_metrics() {
+        let mut b = NetworkBuilder::new();
+        let cfg = RouterConfig::ip_router(Vendor::CiscoIos);
+        let x = b.add_router("x", Asn(1), cfg.clone());
+        let y = b.add_router("y", Asn(1), cfg.clone());
+        let z = b.add_router("z", Asn(1), cfg.clone());
+        // x->y cheap, y->x expensive; detour via z costs 2+2.
+        b.link(
+            x,
+            y,
+            LinkOpts {
+                delay_ms: 1.0,
+                metric_ab: 1,
+                metric_ba: 10,
+            },
+        );
+        b.link(x, z, LinkOpts::symmetric(2, 1.0));
+        b.link(z, y, LinkOpts::symmetric(2, 1.0));
+        let net = b.build().unwrap();
+        let igp = AsIgp::compute(&net, Asn(1));
+        assert_eq!(igp.distance(x, y), 1);
+        assert_eq!(igp.distance(y, x), 4); // via z
+        let fh = igp.first_hops(&net, y, x);
+        assert_eq!(fh.len(), 1);
+        assert_eq!(fh[0].1, z);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut b = NetworkBuilder::new();
+        let cfg = RouterConfig::ip_router(Vendor::CiscoIos);
+        let x = b.add_router("x", Asn(1), cfg.clone());
+        let y = b.add_router("y", Asn(1), cfg.clone());
+        b.link(x, y, LinkOpts::default());
+        let lonely = b.add_router("lonely", Asn(1), cfg);
+        let net = b.build().unwrap();
+        let igp = AsIgp::compute(&net, Asn(1));
+        assert!(!igp.connected());
+        assert_eq!(igp.find_unreachable(), Some(lonely));
+    }
+
+    #[test]
+    fn inter_as_links_ignored_by_igp() {
+        let mut b = NetworkBuilder::new();
+        let cfg = RouterConfig::ip_router(Vendor::CiscoIos);
+        let x = b.add_router("x", Asn(1), cfg.clone());
+        let y = b.add_router("y", Asn(2), cfg);
+        b.link(x, y, LinkOpts::default());
+        let net = b.build().unwrap();
+        let igp = AsIgp::compute(&net, Asn(1));
+        assert_eq!(igp.members.len(), 1);
+        assert!(igp.first_hops(&net, x, y).is_empty());
+    }
+}

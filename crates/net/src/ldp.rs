@@ -1,0 +1,188 @@
+//! LDP label distribution (RFC 5036 semantics, downstream unsolicited).
+//!
+//! Each MPLS router allocates an incoming label per FEC it advertises —
+//! all internal prefixes on Cisco, loopback host routes only on Juniper
+//! — and advertises the *null* labels for prefixes it owns: implicit
+//! null requests Penultimate Hop Popping, explicit null requests
+//! Ultimate Hop Popping (paper §2.1).
+
+use crate::ids::{Label, RouterId};
+use crate::net::Network;
+use crate::prefixes::AsPrefixes;
+use crate::vendor::{LdpPolicy, PoppingMode};
+use std::collections::HashMap;
+
+/// A label advertisement for a FEC.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LabelValue {
+    /// An ordinary label: "switch to me with this label".
+    Real(Label),
+    /// Implicit null (label 3, never on the wire): "pop before me" (PHP).
+    ImplicitNull,
+    /// Explicit null (label 0): "swap to 0, I pop myself" (UHP).
+    ExplicitNull,
+}
+
+/// The complete set of LDP bindings: per router, FEC slot → advertised
+/// label. Slots index the router's own AS's [`AsPrefixes`] table.
+#[derive(Debug, Clone)]
+pub struct LdpBindings {
+    per_router: Vec<HashMap<u32, LabelValue>>,
+}
+
+impl LdpBindings {
+    /// Computes every router's advertisements.
+    pub fn compute(net: &Network, as_prefixes: &[AsPrefixes]) -> LdpBindings {
+        let mut per_router = vec![HashMap::new(); net.num_routers()];
+        for (as_idx, ap) in as_prefixes.iter().enumerate() {
+            debug_assert_eq!(net.as_index(ap.asn), Some(as_idx));
+            for &rid in net.as_members(ap.asn) {
+                let r = net.router(rid);
+                if !r.config.mpls || r.config.ldp_policy == LdpPolicy::None {
+                    continue;
+                }
+                // Offset the label space per router so adjacent LSRs
+                // quote visibly distinct labels (as real tables do).
+                let mut next_label = Label::FIRST_DYNAMIC.0 + (rid.0 % 61);
+                let table = &mut per_router[rid.index()];
+                for slot in 0..ap.len() as u32 {
+                    let prefix = ap.prefix(slot);
+                    let advertise = match r.config.ldp_policy {
+                        LdpPolicy::AllPrefixes => true,
+                        LdpPolicy::LoopbackOnly => prefix.len == 32,
+                        LdpPolicy::None => false,
+                    };
+                    if !advertise {
+                        continue;
+                    }
+                    let value = if ap.owners(slot).contains(&rid) {
+                        match r.config.popping {
+                            PoppingMode::Php => LabelValue::ImplicitNull,
+                            PoppingMode::Uhp => LabelValue::ExplicitNull,
+                        }
+                    } else {
+                        let l = Label(next_label);
+                        next_label += 1;
+                        LabelValue::Real(l)
+                    };
+                    table.insert(slot, value);
+                }
+            }
+        }
+        LdpBindings { per_router }
+    }
+
+    /// What `router` advertised for FEC `slot` (slot in its own AS's
+    /// prefix table), if anything.
+    pub fn advertised(&self, router: RouterId, slot: u32) -> Option<LabelValue> {
+        self.per_router[router.index()].get(&slot).copied()
+    }
+
+    /// Iterates over `(slot, value)` advertised by `router`.
+    pub fn advertisements(&self, router: RouterId) -> impl Iterator<Item = (u32, LabelValue)> + '_ {
+        self.per_router[router.index()]
+            .iter()
+            .map(|(&s, &v)| (s, v))
+    }
+
+    /// Number of FECs `router` advertises.
+    pub fn count(&self, router: RouterId) -> usize {
+        self.per_router[router.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Asn;
+    use crate::net::{LinkOpts, NetworkBuilder};
+    use crate::router::RouterConfig;
+    use crate::vendor::Vendor;
+
+    /// x - y - z in one AS; x is MPLS Cisco, y MPLS Juniper, z IP-only.
+    fn mixed_as() -> (Network, [RouterId; 3]) {
+        let mut b = NetworkBuilder::new();
+        let x = b.add_router("x", Asn(1), RouterConfig::mpls_router(Vendor::CiscoIos));
+        let y = b.add_router(
+            "y",
+            Asn(1),
+            RouterConfig::mpls_router(Vendor::JuniperJunos),
+        );
+        let z = b.add_router("z", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        b.link(x, y, LinkOpts::default());
+        b.link(y, z, LinkOpts::default());
+        (b.build().unwrap(), [x, y, z])
+    }
+
+    fn prefixes(net: &Network) -> Vec<AsPrefixes> {
+        net.as_list()
+            .iter()
+            .map(|&asn| AsPrefixes::build(net, asn))
+            .collect()
+    }
+
+    #[test]
+    fn cisco_advertises_all_juniper_loopbacks_only() {
+        let (net, [x, y, z]) = mixed_as();
+        let aps = prefixes(&net);
+        let ldp = LdpBindings::compute(&net, &aps);
+        // 3 loopbacks + 2 /31s = 5 prefixes; Cisco advertises all.
+        assert_eq!(ldp.count(x), 5);
+        // Juniper: only the three /32 loopbacks.
+        assert_eq!(ldp.count(y), 3);
+        // IP-only router: nothing.
+        assert_eq!(ldp.count(z), 0);
+    }
+
+    #[test]
+    fn owners_advertise_null() {
+        let (net, [x, _, _]) = mixed_as();
+        let aps = prefixes(&net);
+        let ldp = LdpBindings::compute(&net, &aps);
+        let ap = &aps[0];
+        let own_slot = ap.lookup(net.router(x).loopback).unwrap();
+        assert_eq!(ldp.advertised(x, own_slot), Some(LabelValue::ImplicitNull));
+        // A prefix x does not own gets a real, dynamic label.
+        let other_slot = ap
+            .lookup(net.router(RouterId(2)).loopback)
+            .unwrap();
+        match ldp.advertised(x, other_slot) {
+            Some(LabelValue::Real(l)) => assert!(!l.is_reserved()),
+            other => panic!("expected real label, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uhp_owners_advertise_explicit_null() {
+        let mut b = NetworkBuilder::new();
+        let x = b.add_router(
+            "x",
+            Asn(1),
+            RouterConfig::mpls_router(Vendor::CiscoIos).uhp(),
+        );
+        let y = b.add_router("y", Asn(1), RouterConfig::mpls_router(Vendor::CiscoIos));
+        b.link(x, y, LinkOpts::default());
+        let net = b.build().unwrap();
+        let aps = prefixes(&net);
+        let ldp = LdpBindings::compute(&net, &aps);
+        let slot = aps[0].lookup(net.router(x).loopback).unwrap();
+        assert_eq!(ldp.advertised(x, slot), Some(LabelValue::ExplicitNull));
+        // y still uses PHP for its own prefixes.
+        let slot_y = aps[0].lookup(net.router(y).loopback).unwrap();
+        assert_eq!(ldp.advertised(y, slot_y), Some(LabelValue::ImplicitNull));
+    }
+
+    #[test]
+    fn labels_unique_per_router() {
+        let (net, [x, _, _]) = mixed_as();
+        let aps = prefixes(&net);
+        let ldp = LdpBindings::compute(&net, &aps);
+        let mut seen = std::collections::HashSet::new();
+        for (_, v) in ldp.advertisements(x) {
+            if let LabelValue::Real(l) = v {
+                assert!(seen.insert(l), "duplicate incoming label {l}");
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+}

@@ -1,0 +1,464 @@
+//! The network container and its builder.
+
+use crate::addr::{Addr, AddrAllocator, Prefix};
+use crate::error::NetError;
+use crate::ids::{Asn, LinkId, PortRef, RouterId};
+use crate::router::{Interface, Router, RouterConfig};
+use crate::te::TeTunnel;
+use crate::vendor::PoppingMode;
+use std::collections::HashMap;
+
+/// A bidirectional point-to-point link between two router interfaces.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Dense identifier.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: PortRef,
+    /// The other endpoint.
+    pub b: PortRef,
+    /// The shared `/31` subnet.
+    pub prefix: Prefix,
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// IGP metric in the a→b direction.
+    pub metric_ab: u32,
+    /// IGP metric in the b→a direction.
+    pub metric_ba: u32,
+    /// True when the endpoints are in different ASes (an eBGP link).
+    pub inter_as: bool,
+}
+
+/// Business relationship between two ASes (Gao–Rexford model).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RelKind {
+    /// The first AS is the *provider* of the second.
+    ProviderCustomer,
+    /// Settlement-free peering.
+    Peer,
+}
+
+/// An AS-level relationship edge.
+#[derive(Copy, Clone, Debug)]
+pub struct AsRel {
+    /// First AS (the provider for [`RelKind::ProviderCustomer`]).
+    pub a: Asn,
+    /// Second AS (the customer for [`RelKind::ProviderCustomer`]).
+    pub b: Asn,
+    /// The relationship kind.
+    pub kind: RelKind,
+}
+
+/// Options for a new link.
+#[derive(Copy, Clone, Debug)]
+pub struct LinkOpts {
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// IGP metric a→b.
+    pub metric_ab: u32,
+    /// IGP metric b→a.
+    pub metric_ba: u32,
+}
+
+impl Default for LinkOpts {
+    fn default() -> LinkOpts {
+        LinkOpts {
+            delay_ms: 1.0,
+            metric_ab: 10,
+            metric_ba: 10,
+        }
+    }
+}
+
+impl LinkOpts {
+    /// Symmetric metric and delay.
+    pub fn symmetric(metric: u32, delay_ms: f64) -> LinkOpts {
+        LinkOpts {
+            delay_ms,
+            metric_ab: metric,
+            metric_ba: metric,
+        }
+    }
+}
+
+/// An immutable network: routers, links, AS relationships, and the
+/// address-ownership index. Built once through [`NetworkBuilder`]; the
+/// control plane ([`crate::control::ControlPlane`]) is computed from it.
+#[derive(Clone, Debug)]
+pub struct Network {
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    as_rels: Vec<AsRel>,
+    te_tunnels: Vec<TeTunnel>,
+    addr_owner: HashMap<Addr, RouterId>,
+    as_list: Vec<Asn>,
+    as_index: HashMap<Asn, usize>,
+    as_members: Vec<Vec<RouterId>>,
+}
+
+impl Network {
+    /// All routers, indexed by [`RouterId`].
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// The router with the given id.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// All links, indexed by [`LinkId`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link with the given id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The declared AS-level relationships.
+    pub fn as_rels(&self) -> &[AsRel] {
+        &self.as_rels
+    }
+
+    /// The configured RSVP-TE tunnels.
+    pub fn te_tunnels(&self) -> &[TeTunnel] {
+        &self.te_tunnels
+    }
+
+    /// The router owning `addr` (loopback or interface address).
+    pub fn owner(&self, addr: Addr) -> Option<RouterId> {
+        self.addr_owner.get(&addr).copied()
+    }
+
+    /// The AS owning `addr`, through its owner router.
+    pub fn owner_asn(&self, addr: Addr) -> Option<Asn> {
+        self.owner(addr).map(|r| self.router(r).asn)
+    }
+
+    /// All ASes present, in registration order.
+    pub fn as_list(&self) -> &[Asn] {
+        &self.as_list
+    }
+
+    /// The dense index of an AS (used by per-AS control-plane tables).
+    pub fn as_index(&self, asn: Asn) -> Option<usize> {
+        self.as_index.get(&asn).copied()
+    }
+
+    /// The routers of an AS.
+    pub fn as_members(&self, asn: Asn) -> &[RouterId] {
+        match self.as_index(asn) {
+            Some(i) => &self.as_members[i],
+            None => &[],
+        }
+    }
+
+    /// A router by name (linear scan; intended for scenarios/tests).
+    pub fn router_by_name(&self, name: &str) -> Option<&Router> {
+        self.routers.iter().find(|r| r.name == name)
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over every address in the network with its owner.
+    pub fn addresses(&self) -> impl Iterator<Item = (Addr, RouterId)> + '_ {
+        self.addr_owner.iter().map(|(a, r)| (*a, *r))
+    }
+
+    /// Border routers of `asn`: members with at least one inter-AS link.
+    pub fn borders(&self, asn: Asn) -> Vec<RouterId> {
+        self.as_members(asn)
+            .iter()
+            .copied()
+            .filter(|&r| {
+                self.router(r)
+                    .ifaces
+                    .iter()
+                    .any(|i| self.link(i.link).inter_as)
+            })
+            .collect()
+    }
+}
+
+/// Incrementally constructs a [`Network`].
+///
+/// Loopbacks are auto-allocated as `10.<as-index>.0.0/18` host addresses,
+/// intra-AS link subnets from `10.<as-index>.64.0/18`, and inter-AS link
+/// subnets from the shared `172.16.0.0/12` pool, so address ownership is
+/// readable straight from traces. Explicit addresses can be supplied for
+/// hand-built scenarios.
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    as_rels: Vec<AsRel>,
+    te_tunnels: Vec<TeTunnel>,
+    as_list: Vec<Asn>,
+    as_index: HashMap<Asn, usize>,
+    loopback_alloc: Vec<AddrAllocator>,
+    link_alloc: Vec<AddrAllocator>,
+    inter_as_alloc: Option<AddrAllocator>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    fn as_slot(&mut self, asn: Asn) -> usize {
+        if let Some(&i) = self.as_index.get(&asn) {
+            return i;
+        }
+        let i = self.as_list.len();
+        assert!(i < 246, "address plan supports at most 246 ASes");
+        self.as_list.push(asn);
+        self.as_index.insert(asn, i);
+        let base = (i + 1) as u8; // 10.0/16 reserved for hosts-less use
+        self.loopback_alloc.push(AddrAllocator::new(Prefix::new(
+            Addr::new(10, base, 0, 0),
+            18,
+        )));
+        self.link_alloc.push(AddrAllocator::new(Prefix::new(
+            Addr::new(10, base, 64, 0),
+            18,
+        )));
+        i
+    }
+
+    /// Adds a router with an auto-allocated loopback.
+    pub fn add_router(&mut self, name: &str, asn: Asn, config: RouterConfig) -> RouterId {
+        let slot = self.as_slot(asn);
+        let loopback = self.loopback_alloc[slot]
+            .alloc_host()
+            .expect("loopback pool exhausted");
+        self.add_router_with_loopback(name, asn, config, loopback)
+    }
+
+    /// Adds a router with an explicit loopback address.
+    pub fn add_router_with_loopback(
+        &mut self,
+        name: &str,
+        asn: Asn,
+        config: RouterConfig,
+        loopback: Addr,
+    ) -> RouterId {
+        self.as_slot(asn);
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router {
+            id,
+            name: name.to_string(),
+            asn,
+            loopback,
+            ifaces: Vec::new(),
+            config,
+        });
+        id
+    }
+
+    /// Connects two routers with an auto-allocated `/31` subnet. Returns
+    /// the new link id. Intra-AS subnets come from the first router's AS
+    /// pool; inter-AS subnets from the shared pool.
+    pub fn link(&mut self, a: RouterId, b: RouterId, opts: LinkOpts) -> LinkId {
+        let (asn_a, asn_b) = (self.routers[a.index()].asn, self.routers[b.index()].asn);
+        let prefix = if asn_a == asn_b {
+            let slot = self.as_index[&asn_a];
+            self.link_alloc[slot]
+                .alloc_subnet(31)
+                .expect("link pool exhausted")
+        } else {
+            self.inter_as_alloc
+                .get_or_insert_with(|| {
+                    AddrAllocator::new(Prefix::new(Addr::new(172, 16, 0, 0), 12))
+                })
+                .alloc_subnet(31)
+                .expect("inter-AS link pool exhausted")
+        };
+        self.link_with_prefix(a, b, prefix, opts)
+    }
+
+    /// Connects two routers over an explicit `/31` subnet: `a` receives
+    /// the even address, `b` the odd one.
+    pub fn link_with_prefix(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        prefix: Prefix,
+        opts: LinkOpts,
+    ) -> LinkId {
+        assert_eq!(prefix.len, 31, "links use /31 subnets");
+        assert_ne!(a, b, "self-links are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        let (addr_a, addr_b) = (prefix.nth(0), prefix.nth(1));
+        let iface_a = self.routers[a.index()].ifaces.len() as u32;
+        let iface_b = self.routers[b.index()].ifaces.len() as u32;
+        let inter_as = self.routers[a.index()].asn != self.routers[b.index()].asn;
+        self.routers[a.index()].ifaces.push(Interface {
+            addr: addr_a,
+            prefix,
+            link: id,
+            peer: b,
+            peer_addr: addr_b,
+        });
+        self.routers[b.index()].ifaces.push(Interface {
+            addr: addr_b,
+            prefix,
+            link: id,
+            peer: a,
+            peer_addr: addr_a,
+        });
+        self.links.push(Link {
+            id,
+            a: PortRef {
+                router: a,
+                iface: iface_a,
+            },
+            b: PortRef {
+                router: b,
+                iface: iface_b,
+            },
+            prefix,
+            delay_ms: opts.delay_ms,
+            metric_ab: opts.metric_ab,
+            metric_ba: opts.metric_ba,
+            inter_as,
+        });
+        id
+    }
+
+    /// Declares an AS-level business relationship.
+    pub fn as_rel(&mut self, a: Asn, b: Asn, kind: RelKind) {
+        self.as_rels.push(AsRel { a, b, kind });
+    }
+
+    /// Pins an RSVP-TE tunnel along an explicit router path (head LER
+    /// first, tail LER last). Validated when the control plane is
+    /// built. Returns the tunnel id.
+    pub fn te_tunnel(&mut self, path: Vec<RouterId>, popping: PoppingMode) -> u32 {
+        let id = self.te_tunnels.len() as u32;
+        self.te_tunnels.push(TeTunnel { id, path, popping });
+        id
+    }
+
+    /// Finalises the network, validating address uniqueness.
+    pub fn build(self) -> Result<Network, NetError> {
+        let mut addr_owner = HashMap::new();
+        for r in &self.routers {
+            if let Some(prev) = addr_owner.insert(r.loopback, r.id) {
+                return Err(NetError::DuplicateAddress {
+                    addr: r.loopback,
+                    first: prev,
+                    second: r.id,
+                });
+            }
+            for i in &r.ifaces {
+                if let Some(prev) = addr_owner.insert(i.addr, r.id) {
+                    return Err(NetError::DuplicateAddress {
+                        addr: i.addr,
+                        first: prev,
+                        second: r.id,
+                    });
+                }
+            }
+        }
+        let mut as_members = vec![Vec::new(); self.as_list.len()];
+        for r in &self.routers {
+            as_members[self.as_index[&r.asn]].push(r.id);
+        }
+        Ok(Network {
+            routers: self.routers,
+            links: self.links,
+            as_rels: self.as_rels,
+            te_tunnels: self.te_tunnels,
+            addr_owner,
+            as_list: self.as_list,
+            as_index: self.as_index,
+            as_members,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::Vendor;
+
+    fn two_as_net() -> Network {
+        let mut b = NetworkBuilder::new();
+        let r1 = b.add_router("A1", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        let r2 = b.add_router("A2", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        let r3 = b.add_router("B1", Asn(2), RouterConfig::ip_router(Vendor::JuniperJunos));
+        b.link(r1, r2, LinkOpts::default());
+        b.link(r2, r3, LinkOpts::default());
+        b.as_rel(Asn(1), Asn(2), RelKind::ProviderCustomer);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_allocates_readable_addresses() {
+        let net = two_as_net();
+        let a1 = net.router_by_name("A1").unwrap();
+        assert_eq!(a1.loopback, Addr::new(10, 1, 0, 0));
+        let b1 = net.router_by_name("B1").unwrap();
+        assert_eq!(b1.loopback, Addr::new(10, 2, 0, 0));
+        // Intra-AS link in AS1's pool, inter-AS link in 172.16/12.
+        assert_eq!(net.link(LinkId(0)).prefix.addr, Addr::new(10, 1, 64, 0));
+        assert_eq!(net.link(LinkId(1)).prefix.addr.octets()[0], 172);
+        assert!(net.link(LinkId(1)).inter_as);
+        assert!(!net.link(LinkId(0)).inter_as);
+    }
+
+    #[test]
+    fn owner_index() {
+        let net = two_as_net();
+        let a2 = net.router_by_name("A2").unwrap();
+        assert_eq!(net.owner(a2.loopback), Some(a2.id));
+        assert_eq!(net.owner(a2.ifaces[0].addr), Some(a2.id));
+        assert_eq!(net.owner_asn(a2.loopback), Some(Asn(1)));
+        assert_eq!(net.owner(Addr::new(9, 9, 9, 9)), None);
+    }
+
+    #[test]
+    fn membership_and_borders() {
+        let net = two_as_net();
+        assert_eq!(net.as_members(Asn(1)).len(), 2);
+        assert_eq!(net.as_members(Asn(2)).len(), 1);
+        assert_eq!(net.as_members(Asn(7)).len(), 0);
+        let borders = net.borders(Asn(1));
+        assert_eq!(borders, vec![net.router_by_name("A2").unwrap().id]);
+    }
+
+    #[test]
+    fn duplicate_addresses_rejected() {
+        let mut b = NetworkBuilder::new();
+        let lo = Addr::new(10, 9, 9, 9);
+        b.add_router_with_loopback("X", Asn(1), RouterConfig::host(), lo);
+        b.add_router_with_loopback("Y", Asn(1), RouterConfig::host(), lo);
+        assert!(matches!(
+            b.build(),
+            Err(NetError::DuplicateAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn link_endpoints_see_each_other() {
+        let net = two_as_net();
+        let a1 = net.router_by_name("A1").unwrap();
+        let a2 = net.router_by_name("A2").unwrap();
+        let i = &a1.ifaces[0];
+        assert_eq!(i.peer, a2.id);
+        assert_eq!(i.peer_addr, a2.ifaces[0].addr);
+        assert_eq!(i.prefix, a2.ifaces[0].prefix);
+        assert_ne!(i.addr, a2.ifaces[0].addr);
+    }
+}

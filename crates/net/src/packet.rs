@@ -1,0 +1,242 @@
+//! Packet model: IPv4 packets, ICMP payloads, and MPLS label stacks.
+//!
+//! The model is deliberately semantic rather than byte-exact: it carries
+//! every field the measurement techniques of the paper depend on (IP-TTL,
+//! LSE-TTL, RFC 4950 quoted stacks, reply kinds, flow identifiers for
+//! Paris traceroute) and nothing else.
+
+use crate::addr::Addr;
+use crate::ids::Label;
+use std::fmt;
+
+/// An MPLS Label Stack Entry (RFC 3032): label, traffic class, bottom of
+/// stack flag, and the LSE-TTL that RFC 3443 TTL processing manipulates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Lse {
+    /// The 20-bit label value.
+    pub label: Label,
+    /// Traffic Class (formerly EXP) bits.
+    pub tc: u8,
+    /// Bottom-of-stack flag.
+    pub bottom: bool,
+    /// The LSE time-to-live.
+    pub ttl: u8,
+}
+
+impl Lse {
+    /// A fresh LSE with the given label and TTL (TC zero; `bottom` is
+    /// recomputed whenever the stack changes).
+    pub fn new(label: Label, ttl: u8) -> Lse {
+        Lse {
+            label,
+            tc: 0,
+            bottom: true,
+            ttl,
+        }
+    }
+}
+
+impl fmt::Display for Lse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MPLS Label {} TTL={}", self.label.0, self.ttl)
+    }
+}
+
+/// An MPLS label stack; index 0 is the top of the stack.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LabelStack(pub Vec<Lse>);
+
+impl LabelStack {
+    /// An empty stack (a plain IP packet).
+    pub fn empty() -> LabelStack {
+        LabelStack(Vec::new())
+    }
+
+    /// True when no label is present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The top (outermost) entry, if any.
+    pub fn top(&self) -> Option<&Lse> {
+        self.0.first()
+    }
+
+    /// Mutable access to the top entry.
+    pub fn top_mut(&mut self) -> Option<&mut Lse> {
+        self.0.first_mut()
+    }
+
+    /// Pushes `lse` on top of the stack, fixing bottom-of-stack flags.
+    pub fn push(&mut self, lse: Lse) {
+        self.0.insert(0, lse);
+        self.fix_bottom();
+    }
+
+    /// Pops the top entry, fixing bottom-of-stack flags.
+    pub fn pop(&mut self) -> Option<Lse> {
+        if self.0.is_empty() {
+            return None;
+        }
+        let lse = self.0.remove(0);
+        self.fix_bottom();
+        Some(lse)
+    }
+
+    /// Number of entries.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    fn fix_bottom(&mut self) {
+        let n = self.0.len();
+        for (i, lse) in self.0.iter_mut().enumerate() {
+            lse.bottom = i + 1 == n;
+        }
+    }
+}
+
+/// The kind of probe or reply a packet carries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IcmpPayload {
+    /// ICMP echo-request (what scamper's ICMP-Paris traceroute and ping
+    /// send). `id`/`seq` identify the probe.
+    EchoRequest {
+        /// Echo identifier (per measurement session).
+        id: u16,
+        /// Echo sequence number (per probe).
+        seq: u16,
+    },
+    /// ICMP echo-reply.
+    EchoReply {
+        /// Echo identifier copied from the request.
+        id: u16,
+        /// Echo sequence copied from the request.
+        seq: u16,
+    },
+    /// ICMP time-exceeded, quoting the expired probe and optionally the
+    /// MPLS label stack of the expired packet (RFC 4950).
+    TimeExceeded {
+        /// Echo id of the quoted probe.
+        quoted_id: u16,
+        /// Echo seq of the quoted probe.
+        quoted_seq: u16,
+        /// Destination address of the quoted probe.
+        quoted_dst: Addr,
+        /// RFC 4950 MPLS extension: the label stack of the packet whose
+        /// TTL expired, as received by the replying router. Empty when
+        /// the router does not implement RFC 4950 or the packet carried
+        /// no labels.
+        mpls_ext: Vec<Lse>,
+    },
+    /// ICMP destination-unreachable (quotes the probe like time-exceeded).
+    DestUnreachable {
+        /// Echo id of the quoted probe.
+        quoted_id: u16,
+        /// Echo seq of the quoted probe.
+        quoted_seq: u16,
+    },
+}
+
+impl IcmpPayload {
+    /// True for the two error kinds (time-exceeded / unreachable), which
+    /// must never elicit further ICMP errors.
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            IcmpPayload::TimeExceeded { .. } | IcmpPayload::DestUnreachable { .. }
+        )
+    }
+}
+
+/// A simulated packet: an IPv4 header, an ICMP payload, and an optional
+/// MPLS label stack "below" the frame header.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// IPv4 source address.
+    pub src: Addr,
+    /// IPv4 destination address.
+    pub dst: Addr,
+    /// The IPv4 time-to-live.
+    pub ip_ttl: u8,
+    /// Flow identifier: stands in for the (src, dst, proto, checksum)
+    /// 5-tuple fields that Paris traceroute keeps constant so that
+    /// per-flow ECMP hashing picks a stable path.
+    pub flow: u16,
+    /// The ICMP payload.
+    pub payload: IcmpPayload,
+    /// The MPLS label stack (empty ⇒ plain IP packet).
+    pub stack: LabelStack,
+    /// Accumulated one-way propagation delay, in milliseconds. The engine
+    /// adds each traversed link's delay; a reply inherits the probe's
+    /// accumulated delay so its final value is the RTT.
+    pub elapsed_ms: f64,
+}
+
+impl Packet {
+    /// Builds an echo-request probe.
+    pub fn echo_request(src: Addr, dst: Addr, ip_ttl: u8, flow: u16, id: u16, seq: u16) -> Packet {
+        Packet {
+            src,
+            dst,
+            ip_ttl,
+            flow,
+            payload: IcmpPayload::EchoRequest { id, seq },
+            stack: LabelStack::empty(),
+            elapsed_ms: 0.0,
+        }
+    }
+
+    /// True when the packet currently carries at least one label.
+    pub fn is_labeled(&self) -> bool {
+        !self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_push_pop_maintains_bottom_flags() {
+        let mut s = LabelStack::empty();
+        s.push(Lse::new(Label(16), 255));
+        assert!(s.0[0].bottom);
+        s.push(Lse::new(Label(17), 255));
+        assert!(!s.0[0].bottom);
+        assert!(s.0[1].bottom);
+        assert_eq!(s.depth(), 2);
+        let top = s.pop().unwrap();
+        assert_eq!(top.label, Label(17));
+        assert!(s.0[0].bottom);
+        assert_eq!(s.pop().unwrap().label, Label(16));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn lse_display_matches_traceroute_style() {
+        let lse = Lse::new(Label(19), 1);
+        assert_eq!(lse.to_string(), "MPLS Label 19 TTL=1");
+    }
+
+    #[test]
+    fn error_classification() {
+        let te = IcmpPayload::TimeExceeded {
+            quoted_id: 1,
+            quoted_seq: 2,
+            quoted_dst: Addr::new(1, 2, 3, 4),
+            mpls_ext: vec![],
+        };
+        assert!(te.is_error());
+        assert!(!IcmpPayload::EchoRequest { id: 0, seq: 0 }.is_error());
+        assert!(!IcmpPayload::EchoReply { id: 0, seq: 0 }.is_error());
+    }
+
+    #[test]
+    fn echo_request_builder() {
+        let p = Packet::echo_request(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), 64, 7, 9, 3);
+        assert_eq!(p.ip_ttl, 64);
+        assert!(!p.is_labeled());
+        assert_eq!(p.flow, 7);
+    }
+}

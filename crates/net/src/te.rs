@@ -1,0 +1,152 @@
+//! RSVP-TE tunnels: operator-pinned explicit LSPs (RFC 3209).
+//!
+//! The paper's survey (§2.1) finds half the operators combining RSVP-TE
+//! with LDP, and its conclusion attributes the few completely opaque
+//! ASes to "MPLS only with UHP, for VPN and/or traffic engineering":
+//! a UHP RSVP-TE tunnel is the one configuration none of the four
+//! techniques can see through. This module models such tunnels: an
+//! explicit router path with its own label chain, entered at the head
+//! via autoroute (traffic whose BGP next hop — or whose destination
+//! loopback — is the tail).
+
+use crate::ids::{Label, RouterId};
+use crate::net::Network;
+use crate::vendor::PoppingMode;
+
+/// An explicitly routed TE tunnel.
+#[derive(Clone, Debug)]
+pub struct TeTunnel {
+    /// Dense tunnel id (assigned by the builder).
+    pub id: u32,
+    /// The full path, head LER first, tail LER last.
+    pub path: Vec<RouterId>,
+    /// PHP (penultimate pops) or UHP (tail pops explicit null — the
+    /// "truly invisible" configuration).
+    pub popping: PoppingMode,
+}
+
+impl TeTunnel {
+    /// The head-end (ingress LER).
+    pub fn head(&self) -> RouterId {
+        *self.path.first().expect("validated path")
+    }
+
+    /// The tail-end (egress LER).
+    pub fn tail(&self) -> RouterId {
+        *self.path.last().expect("validated path")
+    }
+
+    /// Number of LSRs strictly inside the tunnel.
+    pub fn interior_len(&self) -> usize {
+        self.path.len().saturating_sub(2)
+    }
+
+    /// The RSVP-assigned incoming label at `path[i]` (i ≥ 1). TE labels
+    /// live far above the LDP allocation range, so the two label spaces
+    /// never collide on a router.
+    pub fn label_into(&self, i: usize) -> Label {
+        debug_assert!(i >= 1 && i < self.path.len());
+        Label(500_000 + self.id)
+    }
+
+    /// Validates the tunnel against a network: at least head and tail,
+    /// consecutive hops adjacent, single AS, MPLS heads/tails.
+    pub fn validate(&self, net: &Network) -> Result<(), String> {
+        if self.path.len() < 2 {
+            return Err(format!("tunnel {}: path needs at least 2 routers", self.id));
+        }
+        let asn = net.router(self.head()).asn;
+        for w in self.path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if net.router(a).asn != asn || net.router(b).asn != asn {
+                return Err(format!("tunnel {}: path leaves {asn}", self.id));
+            }
+            if net.router(a).iface_to(b).is_none() {
+                return Err(format!(
+                    "tunnel {}: {} and {} are not adjacent",
+                    self.id,
+                    net.router(a).name,
+                    net.router(b).name
+                ));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !self.path.iter().all(|r| seen.insert(*r)) {
+            return Err(format!("tunnel {}: path revisits a router", self.id));
+        }
+        for end in [self.head(), self.tail()] {
+            if !net.router(end).config.mpls {
+                return Err(format!(
+                    "tunnel {}: {} is not MPLS-enabled",
+                    self.id,
+                    net.router(end).name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Asn;
+    use crate::net::{LinkOpts, NetworkBuilder};
+    use crate::router::RouterConfig;
+    use crate::vendor::Vendor;
+
+    fn line4() -> (Network, Vec<RouterId>) {
+        let mut b = NetworkBuilder::new();
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let ids: Vec<RouterId> = (0..4)
+            .map(|i| b.add_router(&format!("r{i}"), Asn(1), cfg.clone()))
+            .collect();
+        for w in ids.windows(2) {
+            b.link(w[0], w[1], LinkOpts::default());
+        }
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn valid_tunnel() {
+        let (net, ids) = line4();
+        let t = TeTunnel {
+            id: 0,
+            path: ids.clone(),
+            popping: PoppingMode::Uhp,
+        };
+        assert!(t.validate(&net).is_ok());
+        assert_eq!(t.head(), ids[0]);
+        assert_eq!(t.tail(), ids[3]);
+        assert_eq!(t.interior_len(), 2);
+        assert!(t.label_into(1).0 >= 500_000);
+    }
+
+    #[test]
+    fn rejects_non_adjacent_path() {
+        let (net, ids) = line4();
+        let t = TeTunnel {
+            id: 1,
+            path: vec![ids[0], ids[2]],
+            popping: PoppingMode::Php,
+        };
+        assert!(t.validate(&net).is_err());
+    }
+
+    #[test]
+    fn rejects_loops_and_short_paths() {
+        let (net, ids) = line4();
+        let t = TeTunnel {
+            id: 2,
+            path: vec![ids[0]],
+            popping: PoppingMode::Php,
+        };
+        assert!(t.validate(&net).is_err());
+        let t = TeTunnel {
+            id: 3,
+            path: vec![ids[0], ids[1], ids[0]],
+            popping: PoppingMode::Php,
+        };
+        assert!(t.validate(&net).is_err());
+    }
+}

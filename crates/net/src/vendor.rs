@@ -1,0 +1,140 @@
+//! Router vendor profiles: initial-TTL signatures and MPLS defaults.
+//!
+//! Paper Table 1 associates router brands with the pair of initial TTLs
+//! `<time-exceeded, echo-reply>`; §2 and §3 describe the per-vendor LDP
+//! label-advertising defaults the revelation techniques exploit.
+
+use std::fmt;
+
+/// A router brand / operating-system family.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Vendor {
+    /// Cisco IOS / IOS XR — signature `<255, 255>`, LDP labels for all
+    /// IGP prefixes by default.
+    CiscoIos,
+    /// Juniper Junos — signature `<255, 64>`, LDP labels for loopback
+    /// addresses only by default.
+    JuniperJunos,
+    /// Juniper JunosE — signature `<128, 128>`.
+    JuniperJunosE,
+    /// Brocade / Alcatel / Linux-based — signature `<64, 64>`.
+    BrocadeLinux,
+}
+
+impl Vendor {
+    /// All vendor families, in Table 1 order.
+    pub const ALL: [Vendor; 4] = [
+        Vendor::CiscoIos,
+        Vendor::JuniperJunos,
+        Vendor::JuniperJunosE,
+        Vendor::BrocadeLinux,
+    ];
+
+    /// The initial TTL of ICMP time-exceeded messages.
+    pub const fn te_init_ttl(self) -> u8 {
+        match self {
+            Vendor::CiscoIos => 255,
+            Vendor::JuniperJunos => 255,
+            Vendor::JuniperJunosE => 128,
+            Vendor::BrocadeLinux => 64,
+        }
+    }
+
+    /// The initial TTL of ICMP echo-reply messages.
+    pub const fn er_init_ttl(self) -> u8 {
+        match self {
+            Vendor::CiscoIos => 255,
+            Vendor::JuniperJunos => 64,
+            Vendor::JuniperJunosE => 128,
+            Vendor::BrocadeLinux => 64,
+        }
+    }
+
+    /// The `<te, er>` pair-signature of Table 1.
+    pub const fn signature(self) -> (u8, u8) {
+        (self.te_init_ttl(), self.er_init_ttl())
+    }
+
+    /// The vendor's default LDP label-advertising policy.
+    ///
+    /// Cisco allocates labels for every prefix in the IGP routing table;
+    /// Juniper only for loopback (host) addresses — the structural fact
+    /// behind BRPR vs DPR applicability (paper §3.2).
+    pub const fn default_ldp_policy(self) -> LdpPolicy {
+        match self {
+            Vendor::CiscoIos => LdpPolicy::AllPrefixes,
+            Vendor::JuniperJunos => LdpPolicy::LoopbackOnly,
+            // JunosE and the Brocade/Alcatel family behave like Juniper
+            // here for our purposes (AS3549's <64,64> core "looks similar
+            // to the Juniper routers behavior", paper §6).
+            Vendor::JuniperJunosE => LdpPolicy::LoopbackOnly,
+            Vendor::BrocadeLinux => LdpPolicy::LoopbackOnly,
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Vendor::CiscoIos => "Cisco IOS",
+            Vendor::JuniperJunos => "Juniper Junos",
+            Vendor::JuniperJunosE => "Juniper JunosE",
+            Vendor::BrocadeLinux => "Brocade/Linux",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which prefixes a router announces labels for through LDP.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LdpPolicy {
+    /// Labels for every internal IGP prefix (Cisco default).
+    AllPrefixes,
+    /// Labels for `/32` loopback host routes only (Juniper default, or
+    /// Cisco with `mpls ldp label allocate global host-routes`).
+    LoopbackOnly,
+    /// LDP disabled on this router.
+    None,
+}
+
+/// How the last label is removed at the end of an LSP.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PoppingMode {
+    /// Penultimate Hop Popping: the egress advertises implicit-null and
+    /// the penultimate LSR pops (the default everywhere).
+    Php,
+    /// Ultimate Hop Popping: the egress advertises explicit-null and pops
+    /// itself (`mpls ldp explicit-null`; makes tunnels totally invisible).
+    Uhp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_signatures() {
+        assert_eq!(Vendor::CiscoIos.signature(), (255, 255));
+        assert_eq!(Vendor::JuniperJunos.signature(), (255, 64));
+        assert_eq!(Vendor::JuniperJunosE.signature(), (128, 128));
+        assert_eq!(Vendor::BrocadeLinux.signature(), (64, 64));
+    }
+
+    #[test]
+    fn vendor_defaults() {
+        assert_eq!(Vendor::CiscoIos.default_ldp_policy(), LdpPolicy::AllPrefixes);
+        assert_eq!(
+            Vendor::JuniperJunos.default_ldp_policy(),
+            LdpPolicy::LoopbackOnly
+        );
+    }
+
+    #[test]
+    fn all_vendors_listed_once() {
+        let mut seen = std::collections::HashSet::new();
+        for v in Vendor::ALL {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

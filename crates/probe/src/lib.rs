@@ -1,0 +1,25 @@
+//! `wormhole-probe`: the measurement tool layer (scamper stand-in).
+//!
+//! * [`traceroute`] — ICMP-echo Paris traceroute with retries, gap
+//!   limits, and the paper's start-at-TTL-2 campaign preset;
+//! * [`ping`] — echo-request probing for TTL fingerprinting;
+//! * [`multipath`] — ECMP branch enumeration by flow sweeping (MDA);
+//! * [`trace`] — trace/hop records, rendered in the paper's Fig. 4
+//!   listing style;
+//! * [`session`] — per-vantage-point sessions with probe budget
+//!   accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod multipath;
+pub mod ping;
+pub mod session;
+pub mod trace;
+pub mod traceroute;
+
+pub use multipath::{enumerate_paths, MultipathResult};
+pub use ping::{ping, PingResult};
+pub use session::{Session, SessionStats};
+pub use trace::{Trace, TraceHop};
+pub use traceroute::{traceroute, TracerouteOpts};

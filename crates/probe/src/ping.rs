@@ -1,0 +1,81 @@
+//! Echo-request probing (ping), used for router fingerprinting.
+//!
+//! RTLA and the Table 1 signatures need, for each discovered address,
+//! the initial TTL of its *echo-reply* in addition to the
+//! *time-exceeded* TTL traceroute already observed (§2.3).
+
+use wormhole_net::{Addr, Engine, Packet, ReplyKind, RouterId, SendOutcome};
+
+/// The observation from a successful ping.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PingResult {
+    /// Replying address.
+    pub from: Addr,
+    /// The echo-reply's IP-TTL as received at the vantage point.
+    pub reply_ip_ttl: u8,
+    /// Round-trip time in milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// Pings `dst` from `vp`, retrying up to `attempts` times.
+pub fn ping(
+    eng: &mut Engine<'_>,
+    vp: RouterId,
+    src: Addr,
+    dst: Addr,
+    flow: u16,
+    id: u16,
+    attempts: u8,
+) -> Option<PingResult> {
+    for seq in 0..attempts.max(1) as u16 {
+        let probe = Packet::echo_request(src, dst, 64, flow, id, seq);
+        if let SendOutcome::Reply(r) = eng.send(vp, probe) {
+            if r.kind == ReplyKind::EchoReply {
+                return Some(PingResult {
+                    from: r.from,
+                    reply_ip_ttl: r.ip_ttl,
+                    rtt_ms: r.rtt_ms,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_net::FaultPlan;
+    use wormhole_topo::{gns3_fig2, gns3_fig2_with, Fig2Config, Fig2Opts};
+
+    #[test]
+    fn ping_returns_reply_ttl() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let r = ping(&mut eng, s.vp, src, s.target, 1, 7, 2).unwrap();
+        assert_eq!(r.from, s.target);
+        assert!(r.rtt_ms > 0.0);
+    }
+
+    #[test]
+    fn juniper_echo_reply_is_64_based() {
+        // Juniper LERs: echo-reply initial TTL 64 → observed well below
+        // the 255-based time-exceeded values.
+        let s = gns3_fig2_with(Fig2Opts::preset_juniper_ler(Fig2Config::BackwardRecursive));
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let pe2_left = s.left_addr("PE2");
+        let r = ping(&mut eng, s.vp, src, pe2_left, 1, 7, 2).unwrap();
+        assert!(r.reply_ip_ttl <= 64, "got {}", r.reply_ip_ttl);
+        assert!(r.reply_ip_ttl > 48);
+    }
+
+    #[test]
+    fn ping_gives_up_on_full_loss() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng = Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(1.0), 3);
+        let src = s.net.router(s.vp).loopback;
+        assert!(ping(&mut eng, s.vp, src, s.target, 1, 7, 3).is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Trace records: what a measurement host observes.
+
+use std::fmt;
+use wormhole_net::{Addr, Lse, ReplyKind, RouterId};
+
+/// One traceroute hop.
+#[derive(Clone, Debug)]
+pub struct TraceHop {
+    /// The probe TTL that elicited this hop.
+    pub ttl: u8,
+    /// The replying address (`None` ⇒ `*`).
+    pub addr: Option<Addr>,
+    /// The reply's IP-TTL as received — the paper's bracketed value,
+    /// input to FRPLA/RTLA.
+    pub reply_ip_ttl: Option<u8>,
+    /// Round-trip time, when a reply arrived.
+    pub rtt_ms: Option<f64>,
+    /// RFC 4950 quoted label stack entries.
+    pub labels: Vec<Lse>,
+    /// What kind of reply arrived.
+    pub kind: Option<ReplyKind>,
+    /// Simulator instrumentation: the true router behind `addr`. Never
+    /// consulted by measurement code; used by validation and tests.
+    pub truth: Option<RouterId>,
+}
+
+impl TraceHop {
+    /// A non-responding hop (`*`).
+    pub fn star(ttl: u8) -> TraceHop {
+        TraceHop {
+            ttl,
+            addr: None,
+            reply_ip_ttl: None,
+            rtt_ms: None,
+            labels: Vec::new(),
+            kind: None,
+            truth: None,
+        }
+    }
+
+    /// True when the hop carries at least one quoted MPLS label.
+    pub fn is_labeled(&self) -> bool {
+        !self.labels.is_empty()
+    }
+}
+
+/// A complete traceroute.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Probe source address (the vantage point).
+    pub src: Addr,
+    /// Probe destination.
+    pub dst: Addr,
+    /// The Paris flow identifier (constant across the trace).
+    pub flow: u16,
+    /// Hops in TTL order, starting at the configured start TTL.
+    pub hops: Vec<TraceHop>,
+    /// True when an echo-reply from `dst` terminated the trace.
+    pub reached: bool,
+}
+
+impl Trace {
+    /// The last hop that produced a reply.
+    pub fn last_responsive(&self) -> Option<&TraceHop> {
+        self.hops.iter().rev().find(|h| h.addr.is_some())
+    }
+
+    /// The last `n` responsive hops, oldest first (the campaign looks at
+    /// the final `X, Y, D` triple, §4).
+    pub fn last_responsive_n(&self, n: usize) -> Vec<&TraceHop> {
+        let mut out: Vec<&TraceHop> = self
+            .hops
+            .iter()
+            .rev()
+            .filter(|h| h.addr.is_some())
+            .take(n)
+            .collect();
+        out.reverse();
+        out
+    }
+
+    /// The hop that answered with `addr`, if any.
+    pub fn hop_of(&self, addr: Addr) -> Option<&TraceHop> {
+        self.hops.iter().find(|h| h.addr == Some(addr))
+    }
+
+    /// The address sequence (with `None` for stars) for graph building.
+    pub fn addr_path(&self) -> Vec<Option<Addr>> {
+        self.hops.iter().map(|h| h.addr).collect()
+    }
+
+    /// True when any hop quotes MPLS labels (an *explicit* tunnel).
+    pub fn has_labels(&self) -> bool {
+        self.hops.iter().any(TraceHop::is_labeled)
+    }
+
+    /// Number of responsive hops.
+    pub fn responsive_count(&self) -> usize {
+        self.hops.iter().filter(|h| h.addr.is_some()).count()
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Paris-traceroute-style rendering, matching the paper's Fig. 4
+    /// listings: `hop addr [return-ttl]` and quoted `MPLS Label n TTL=t`
+    /// continuation lines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "$pt {}", self.dst)?;
+        for hop in &self.hops {
+            match hop.addr {
+                Some(addr) => {
+                    write!(f, "{:>2}  {}", hop.ttl, addr)?;
+                    if let Some(ttl) = hop.reply_ip_ttl {
+                        write!(f, " [{ttl}]")?;
+                    }
+                    writeln!(f)?;
+                    for lse in &hop.labels {
+                        writeln!(f, "      {lse}")?;
+                    }
+                }
+                None => writeln!(f, "{:>2}  *", hop.ttl)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_net::{Label, Lse};
+
+    fn hop(ttl: u8, last_octet: u8) -> TraceHop {
+        TraceHop {
+            ttl,
+            addr: Some(Addr::new(10, 0, 0, last_octet)),
+            reply_ip_ttl: Some(250),
+            rtt_ms: Some(3.5),
+            labels: Vec::new(),
+            kind: Some(ReplyKind::TimeExceeded),
+            truth: None,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            src: Addr::new(10, 9, 0, 1),
+            dst: Addr::new(10, 0, 0, 9),
+            flow: 3,
+            hops: vec![hop(1, 1), TraceHop::star(2), hop(3, 3)],
+            reached: false,
+        }
+    }
+
+    #[test]
+    fn last_responsive_skips_stars() {
+        let t = sample();
+        assert_eq!(t.last_responsive().unwrap().ttl, 3);
+        assert_eq!(t.responsive_count(), 2);
+        let last2 = t.last_responsive_n(2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].ttl, 1);
+        assert_eq!(last2[1].ttl, 3);
+    }
+
+    #[test]
+    fn addr_path_keeps_stars() {
+        let t = sample();
+        let p = t.addr_path();
+        assert_eq!(p.len(), 3);
+        assert!(p[1].is_none());
+    }
+
+    #[test]
+    fn display_is_paris_style() {
+        let mut t = sample();
+        t.hops[0].labels.push(Lse::new(Label(19), 1));
+        let s = t.to_string();
+        assert!(s.contains("$pt 10.0.0.9"));
+        assert!(s.contains("10.0.0.1 [250]"));
+        assert!(s.contains("MPLS Label 19 TTL=1"));
+        assert!(s.contains(" 2  *"));
+        assert!(t.has_labels());
+    }
+
+    #[test]
+    fn hop_of_finds_address() {
+        let t = sample();
+        assert!(t.hop_of(Addr::new(10, 0, 0, 3)).is_some());
+        assert!(t.hop_of(Addr::new(10, 0, 0, 99)).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Paris traceroute over the simulator.
+//!
+//! Mirrors the paper's measurement setup: scamper's ICMP-Paris
+//! traceroute — ICMP echo probes whose flow-identifying fields are held
+//! constant so per-flow ECMP keeps the path stable, configurable start
+//! TTL (the campaign starts at 2), per-hop retries, and a gap limit.
+
+use crate::trace::{Trace, TraceHop};
+use wormhole_net::{Addr, Engine, Packet, ReplyKind, RouterId, SendOutcome};
+
+/// Traceroute options.
+#[derive(Clone, Debug)]
+pub struct TracerouteOpts {
+    /// First TTL probed (the paper's campaign uses 2).
+    pub start_ttl: u8,
+    /// Last TTL probed.
+    pub max_ttl: u8,
+    /// Probe attempts per hop before recording `*`.
+    pub attempts: u8,
+    /// Consecutive stars after which the trace is abandoned.
+    pub gap_limit: u8,
+}
+
+impl Default for TracerouteOpts {
+    fn default() -> TracerouteOpts {
+        TracerouteOpts {
+            start_ttl: 1,
+            max_ttl: 40,
+            attempts: 2,
+            gap_limit: 6,
+        }
+    }
+}
+
+impl TracerouteOpts {
+    /// The §4 campaign configuration (start at TTL 2).
+    pub fn campaign() -> TracerouteOpts {
+        TracerouteOpts {
+            start_ttl: 2,
+            ..TracerouteOpts::default()
+        }
+    }
+}
+
+/// Runs a Paris traceroute from `vp` towards `dst`.
+///
+/// `flow` is held constant for every probe of the trace; `id` tags the
+/// echo identifier so replies can be matched in logs.
+pub fn traceroute(
+    eng: &mut Engine<'_>,
+    vp: RouterId,
+    src: Addr,
+    dst: Addr,
+    flow: u16,
+    id: u16,
+    opts: &TracerouteOpts,
+) -> Trace {
+    let mut hops = Vec::new();
+    let mut reached = false;
+    let mut gap = 0u8;
+    let mut seq: u16 = 0;
+    for ttl in opts.start_ttl..=opts.max_ttl {
+        let mut hop = TraceHop::star(ttl);
+        for _attempt in 0..opts.attempts.max(1) {
+            seq = seq.wrapping_add(1);
+            let probe = Packet::echo_request(src, dst, ttl, flow, id, seq);
+            match eng.send(vp, probe) {
+                SendOutcome::Reply(r) => {
+                    hop = TraceHop {
+                        ttl,
+                        addr: Some(r.from),
+                        reply_ip_ttl: Some(r.ip_ttl),
+                        rtt_ms: Some(r.rtt_ms),
+                        labels: r.mpls_ext.clone(),
+                        kind: Some(r.kind),
+                        truth: r.fwd_path.last().copied(),
+                    };
+                    break;
+                }
+                SendOutcome::Lost { .. } => {}
+            }
+        }
+        let responded = hop.addr.is_some();
+        let kind = hop.kind;
+        let from = hop.addr;
+        hops.push(hop);
+        if responded {
+            gap = 0;
+        } else {
+            gap += 1;
+            if gap >= opts.gap_limit {
+                break;
+            }
+            continue;
+        }
+        match kind {
+            Some(ReplyKind::EchoReply) => {
+                // Echo replies are sourced from the probed address.
+                reached = true;
+                break;
+            }
+            Some(ReplyKind::DestUnreachable) => break,
+            _ => {}
+        }
+        if from == Some(dst) {
+            // A time-exceeded *from* the destination address still
+            // terminates the trace (the target was reached).
+            reached = true;
+            break;
+        }
+    }
+    Trace {
+        src,
+        dst,
+        flow,
+        hops,
+        reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_net::{DropReason, FaultPlan};
+    use wormhole_topo::{gns3_fig2, Fig2Config};
+
+    #[test]
+    fn reaches_target_with_all_hops() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let t = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            s.target,
+            5,
+            1,
+            &TracerouteOpts::default(),
+        );
+        assert!(t.reached);
+        assert_eq!(t.hops.len(), 7);
+        let names: Vec<String> = t
+            .hops
+            .iter()
+            .map(|h| {
+                let owner = s.net.owner(h.addr.unwrap()).unwrap();
+                s.net.router(owner).name.clone()
+            })
+            .collect();
+        assert_eq!(names, ["CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]);
+        // Explicit tunnel: mid hops labeled.
+        assert!(t.hops[2].is_labeled());
+        assert!(!t.hops[0].is_labeled());
+        // Final hop is an echo reply.
+        assert_eq!(t.hops[6].kind, Some(ReplyKind::EchoReply));
+    }
+
+    #[test]
+    fn campaign_opts_start_at_two() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let t = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            s.target,
+            5,
+            1,
+            &TracerouteOpts::campaign(),
+        );
+        assert_eq!(t.hops[0].ttl, 2);
+        assert!(t.reached);
+    }
+
+    #[test]
+    fn invisible_tunnel_shows_four_hops() {
+        let s = gns3_fig2(Fig2Config::BackwardRecursive);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let t = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            s.target,
+            5,
+            1,
+            &TracerouteOpts::default(),
+        );
+        assert!(t.reached);
+        assert_eq!(t.hops.len(), 4);
+        assert!(!t.has_labels());
+    }
+
+    #[test]
+    fn retries_survive_loss() {
+        let s = gns3_fig2(Fig2Config::Default);
+        // 5% loss *per link crossing* (a late hop's round trip crosses
+        // ~14 links); with 5 attempts the trace should still complete.
+        let mut eng =
+            wormhole_net::Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(0.05), 9);
+        let src = s.net.router(s.vp).loopback;
+        let opts = TracerouteOpts {
+            attempts: 5,
+            ..TracerouteOpts::default()
+        };
+        let t = traceroute(&mut eng, s.vp, src, s.target, 5, 1, &opts);
+        assert!(t.responsive_count() >= 5, "trace: {t}");
+    }
+
+    #[test]
+    fn gap_limit_abandons_dead_paths() {
+        let s = gns3_fig2(Fig2Config::Default);
+        // 100% loss: every hop is a star; trace stops at the gap limit.
+        let mut eng =
+            wormhole_net::Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(1.0), 9);
+        let src = s.net.router(s.vp).loopback;
+        let opts = TracerouteOpts {
+            gap_limit: 3,
+            attempts: 1,
+            ..TracerouteOpts::default()
+        };
+        let t = traceroute(&mut eng, s.vp, src, s.target, 5, 1, &opts);
+        assert_eq!(t.hops.len(), 3);
+        assert!(!t.reached);
+        let _ = DropReason::Loss;
+    }
+
+    #[test]
+    fn unreachable_terminates() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let t = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            Addr::new(9, 9, 9, 9),
+            5,
+            1,
+            &TracerouteOpts::default(),
+        );
+        assert!(!t.reached);
+        assert_eq!(
+            t.last_responsive().unwrap().kind,
+            Some(ReplyKind::DestUnreachable)
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Ground-truth queries against the simulator.
+//!
+//! Validation (and only validation — never the techniques themselves)
+//! may ask the simulator what actually happened: the true router-level
+//! forward path of a probe, and the true content of the LSP between an
+//! ingress and an egress.
+
+use wormhole_net::{Addr, Asn, ControlPlane, Engine, Network, Packet, RouterId};
+
+/// Ground-truth oracle over a network.
+pub struct GroundTruth<'a> {
+    net: &'a Network,
+    cp: &'a ControlPlane,
+}
+
+impl<'a> GroundTruth<'a> {
+    /// Creates an oracle.
+    pub fn new(net: &'a Network, cp: &'a ControlPlane) -> GroundTruth<'a> {
+        GroundTruth { net, cp }
+    }
+
+    /// The true router-level forward path of a probe from `vp` to `dst`
+    /// (including `vp` and the delivering router), or `None` when the
+    /// destination is unreachable.
+    pub fn forward_path(&self, vp: RouterId, dst: Addr, flow: u16) -> Option<Vec<RouterId>> {
+        let mut eng = Engine::new(self.net, self.cp);
+        let src = self.net.router(vp).loopback;
+        let out = eng.send(vp, Packet::echo_request(src, dst, 255, flow, 0xBEEF, 1));
+        let reply = out.reply()?;
+        if reply.kind != wormhole_net::ReplyKind::EchoReply {
+            return None;
+        }
+        Some(reply.fwd_path.clone())
+    }
+
+    /// The routers of `asn` strictly between `ingress` and `egress` on
+    /// the true forward path of a probe from `vp` to `dst` — the hidden
+    /// hops a revelation technique should recover.
+    pub fn hidden_hops(
+        &self,
+        vp: RouterId,
+        dst: Addr,
+        ingress: RouterId,
+        egress: RouterId,
+        flow: u16,
+    ) -> Option<Vec<RouterId>> {
+        let path = self.forward_path(vp, dst, flow)?;
+        let i = path.iter().position(|&r| r == ingress)?;
+        let j = path.iter().position(|&r| r == egress)?;
+        if i + 1 > j {
+            return Some(Vec::new());
+        }
+        Some(path[i + 1..j].to_vec())
+    }
+
+    /// The AS crossing of the true path: the consecutive `(asn, length)`
+    /// runs of the forward path.
+    pub fn as_runs(&self, path: &[RouterId]) -> Vec<(Asn, usize)> {
+        let mut runs: Vec<(Asn, usize)> = Vec::new();
+        for &r in path {
+            let asn = self.net.router(r).asn;
+            match runs.last_mut() {
+                Some((a, n)) if *a == asn => *n += 1,
+                _ => runs.push((asn, 1)),
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{gns3_fig2, Fig2Config};
+
+    #[test]
+    fn forward_path_matches_topology() {
+        let s = gns3_fig2(Fig2Config::BackwardRecursive);
+        let gt = GroundTruth::new(&s.net, &s.cp);
+        let path = gt.forward_path(s.vp, s.target, 1).unwrap();
+        let names: Vec<&str> = path.iter().map(|&r| s.net.router(r).name.as_str()).collect();
+        assert_eq!(names, ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]);
+    }
+
+    #[test]
+    fn hidden_hops_are_the_lsrs() {
+        let s = gns3_fig2(Fig2Config::BackwardRecursive);
+        let gt = GroundTruth::new(&s.net, &s.cp);
+        let hidden = gt
+            .hidden_hops(s.vp, s.target, s.router("PE1"), s.router("PE2"), 1)
+            .unwrap();
+        let names: Vec<&str> = hidden
+            .iter()
+            .map(|&r| s.net.router(r).name.as_str())
+            .collect();
+        assert_eq!(names, ["P1", "P2", "P3"]);
+    }
+
+    #[test]
+    fn as_runs_split_per_as() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let gt = GroundTruth::new(&s.net, &s.cp);
+        let path = gt.forward_path(s.vp, s.target, 1).unwrap();
+        let runs = gt.as_runs(&path);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].1, 2); // VP + CE1
+        assert_eq!(runs[1].1, 5); // PE1..PE2
+        assert_eq!(runs[2].1, 1); // CE2
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let gt = GroundTruth::new(&s.net, &s.cp);
+        assert!(gt
+            .forward_path(s.vp, Addr::new(9, 9, 9, 9), 1)
+            .is_none());
+    }
+}

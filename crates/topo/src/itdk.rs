@@ -1,0 +1,273 @@
+//! ITDK-style router-level snapshots.
+//!
+//! CAIDA's Internet Topology Data Kit aggregates traceroute paths into a
+//! router-level graph (alias resolution) with node-to-AS annotations.
+//! The paper's campaign is *driven* by such a snapshot: high-degree
+//! nodes (degree ≥ 128) mark suspected tunnel endpoints, and the target
+//! list is built from their one- and two-hop neighborhoods (§4).
+//!
+//! [`ItdkSnapshot::build`] performs the same aggregation over the IP
+//! paths our probing produces. Alias resolution is delegated to a
+//! caller-supplied resolver (tests and campaigns use simulator ground
+//! truth; an imperfect resolver can be injected to study its effect).
+
+use std::collections::{BTreeSet, HashMap};
+use wormhole_net::{Addr, Asn};
+
+/// An alias-resolved node key plus its AS annotation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NodeInfo {
+    /// Stable router key (e.g. the simulator's router id).
+    pub key: u64,
+    /// The node's AS, when known.
+    pub asn: Option<Asn>,
+}
+
+/// A router-level topology snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct ItdkSnapshot {
+    keys: Vec<u64>,
+    asns: Vec<Option<Asn>>,
+    addrs: Vec<Vec<Addr>>,
+    addr_to_node: HashMap<Addr, usize>,
+    key_to_node: HashMap<u64, usize>,
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl ItdkSnapshot {
+    /// Aggregates IP paths into a router-level graph.
+    ///
+    /// `paths` are hop sequences; `None` marks a non-responding hop,
+    /// which (as in the paper's cleaned dataset) breaks adjacency
+    /// instead of creating a pseudo-node. `resolve` maps an address to
+    /// its node.
+    pub fn build<R>(paths: &[Vec<Option<Addr>>], mut resolve: R) -> ItdkSnapshot
+    where
+        R: FnMut(Addr) -> NodeInfo,
+    {
+        let mut snap = ItdkSnapshot::default();
+        for path in paths {
+            let mut prev: Option<usize> = None;
+            for hop in path {
+                let Some(addr) = hop else {
+                    prev = None;
+                    continue;
+                };
+                let node = snap.intern(*addr, &mut resolve);
+                if let Some(p) = prev {
+                    if p != node {
+                        snap.adj[p].insert(node);
+                        snap.adj[node].insert(p);
+                    }
+                }
+                prev = Some(node);
+            }
+        }
+        snap
+    }
+
+    fn intern<R>(&mut self, addr: Addr, resolve: &mut R) -> usize
+    where
+        R: FnMut(Addr) -> NodeInfo,
+    {
+        if let Some(&n) = self.addr_to_node.get(&addr) {
+            return n;
+        }
+        let info = resolve(addr);
+        let node = *self.key_to_node.entry(info.key).or_insert_with(|| {
+            self.keys.push(info.key);
+            self.asns.push(info.asn);
+            self.addrs.push(Vec::new());
+            self.adj.push(BTreeSet::new());
+            self.keys.len() - 1
+        });
+        self.addr_to_node.insert(addr, node);
+        self.addrs[node].push(addr);
+        node
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of (undirected) links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Number of distinct addresses interned.
+    pub fn num_addresses(&self) -> usize {
+        self.addr_to_node.len()
+    }
+
+    /// The node a previously-seen address belongs to.
+    pub fn node_of(&self, addr: Addr) -> Option<usize> {
+        self.addr_to_node.get(&addr).copied()
+    }
+
+    /// The resolver key of `node`.
+    pub fn key(&self, node: usize) -> u64 {
+        self.keys[node]
+    }
+
+    /// The AS annotation of `node`.
+    pub fn asn(&self, node: usize) -> Option<Asn> {
+        self.asns[node]
+    }
+
+    /// The addresses observed for `node`.
+    pub fn addresses(&self, node: usize) -> &[Addr] {
+        &self.addrs[node]
+    }
+
+    /// The degree of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// Neighbor nodes of `node`.
+    pub fn neighbors(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[node].iter().copied()
+    }
+
+    /// All node degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes()).map(|n| self.degree(n)).collect()
+    }
+
+    /// High-degree nodes under the paper's §4 rule: `degree ≥ threshold`.
+    pub fn hdns(&self, threshold: usize) -> Vec<usize> {
+        (0..self.num_nodes())
+            .filter(|&n| self.degree(n) >= threshold)
+            .collect()
+    }
+
+    /// The paper's target construction: set A (neighbors of the given
+    /// HDNs) and set B (neighbors of neighbors), as node sets.
+    pub fn hdn_neighborhoods(&self, hdns: &[usize]) -> (BTreeSet<usize>, BTreeSet<usize>) {
+        let mut set_a = BTreeSet::new();
+        for &h in hdns {
+            set_a.extend(self.neighbors(h));
+        }
+        let mut set_b = BTreeSet::new();
+        for &n in &set_a {
+            set_b.extend(self.neighbors(n));
+        }
+        (set_a, set_b)
+    }
+
+    /// Graph density `2E / V(V-1)` over a node subset (Table 4's metric,
+    /// computed on Ingress–Egress candidates). Returns 0 for fewer than
+    /// two nodes.
+    pub fn density_of(&self, nodes: &BTreeSet<usize>) -> f64 {
+        let v = nodes.len();
+        if v < 2 {
+            return 0.0;
+        }
+        let mut e = 0usize;
+        for &n in nodes {
+            for m in self.neighbors(n) {
+                if m > n && nodes.contains(&m) {
+                    e += 1;
+                }
+            }
+        }
+        2.0 * e as f64 / (v as f64 * (v as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(x: u8) -> Addr {
+        Addr::new(10, 0, 0, x)
+    }
+
+    /// Identity resolver: every address its own node, AS by last octet
+    /// parity.
+    fn ident(addr: Addr) -> NodeInfo {
+        NodeInfo {
+            key: addr.0 as u64,
+            asn: Some(Asn(u32::from(addr.octets()[3] % 2))),
+        }
+    }
+
+    #[test]
+    fn builds_graph_from_paths() {
+        let paths = vec![
+            vec![Some(a(1)), Some(a(2)), Some(a(3))],
+            vec![Some(a(1)), Some(a(2)), Some(a(4))],
+        ];
+        let snap = ItdkSnapshot::build(&paths, ident);
+        assert_eq!(snap.num_nodes(), 4);
+        assert_eq!(snap.num_links(), 3);
+        let n2 = snap.node_of(a(2)).unwrap();
+        assert_eq!(snap.degree(n2), 3);
+    }
+
+    #[test]
+    fn stars_break_adjacency() {
+        let paths = vec![vec![Some(a(1)), None, Some(a(3))]];
+        let snap = ItdkSnapshot::build(&paths, ident);
+        assert_eq!(snap.num_nodes(), 2);
+        assert_eq!(snap.num_links(), 0);
+    }
+
+    #[test]
+    fn alias_resolution_merges_addresses() {
+        // Resolver maps both addresses to one router key.
+        let paths = vec![
+            vec![Some(a(1)), Some(a(2))],
+            vec![Some(a(3)), Some(a(4))],
+        ];
+        let resolve = |addr: Addr| NodeInfo {
+            key: u64::from(addr.octets()[3].is_multiple_of(2)), // odd→0, even→1
+            asn: None,
+        };
+        let snap = ItdkSnapshot::build(&paths, resolve);
+        assert_eq!(snap.num_nodes(), 2);
+        let n = snap.node_of(a(2)).unwrap();
+        assert_eq!(snap.node_of(a(4)), Some(n));
+        assert_eq!(snap.addresses(n).len(), 2);
+    }
+
+    #[test]
+    fn self_adjacency_suppressed() {
+        // Two consecutive addresses of the same router: no self-loop.
+        let resolve = |_addr: Addr| NodeInfo { key: 7, asn: None };
+        let paths = vec![vec![Some(a(1)), Some(a(2))]];
+        let snap = ItdkSnapshot::build(&paths, resolve);
+        assert_eq!(snap.num_nodes(), 1);
+        assert_eq!(snap.num_links(), 0);
+    }
+
+    #[test]
+    fn hdn_extraction_and_neighborhoods() {
+        // Star: hub connected to 5 leaves.
+        let mut paths = Vec::new();
+        for leaf in 1..=5 {
+            paths.push(vec![Some(a(0)), Some(a(leaf))]);
+        }
+        let snap = ItdkSnapshot::build(&paths, ident);
+        let hub = snap.node_of(a(0)).unwrap();
+        assert_eq!(snap.hdns(5), vec![hub]);
+        assert!(snap.hdns(6).is_empty());
+        let (set_a, set_b) = snap.hdn_neighborhoods(&[hub]);
+        assert_eq!(set_a.len(), 5);
+        assert!(set_b.contains(&hub));
+    }
+
+    #[test]
+    fn density() {
+        // Triangle: density 1.
+        let paths = vec![vec![Some(a(1)), Some(a(2)), Some(a(3)), Some(a(1))]];
+        let snap = ItdkSnapshot::build(&paths, ident);
+        let all: BTreeSet<usize> = (0..3).collect();
+        assert!((snap.density_of(&all) - 1.0).abs() < 1e-9);
+        let two: BTreeSet<usize> = (0..2).collect();
+        assert!((snap.density_of(&two) - 1.0).abs() < 1e-9);
+        assert_eq!(snap.density_of(&BTreeSet::new()), 0.0);
+    }
+}

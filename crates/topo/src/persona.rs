@@ -1,0 +1,351 @@
+//! Per-AS MPLS deployment personas.
+//!
+//! Tables 4 and 5 of the paper profile ten ASes with very different
+//! deployments (hardware mix, LDP policy, TTL policy, tunnel lengths).
+//! A [`AsPersona`] captures those knobs; [`paper_personas`] instantiates
+//! one persona per paper AS, tuned so the campaign reproduces each row's
+//! qualitative behaviour (which technique dominates, roughly how long
+//! the tunnels are, whether anything is revealed at all).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use wormhole_net::{Asn, LdpPolicy, Vendor};
+
+/// How the PoP-level backbone of a transit AS is wired; denser meshes
+/// yield shorter LSPs.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum PopMesh {
+    /// PoPs on a line: longest tunnels.
+    Chain,
+    /// PoPs on a ring.
+    Ring,
+    /// Ring plus random chords with the given probability per PoP pair.
+    Chords(f64),
+}
+
+/// A weighted vendor mix.
+pub type VendorMix = &'static [(Vendor, f64)];
+
+/// The deployment profile of one transit AS.
+#[derive(Clone, Debug)]
+pub struct AsPersona {
+    /// Display name (operator).
+    pub name: &'static str,
+    /// The AS number used in tables (the paper's real ASN).
+    pub asn: Asn,
+    /// Number of PoPs.
+    pub pops: usize,
+    /// Edge (PE) routers per PoP.
+    pub edges_per_pop: usize,
+    /// Backbone shape.
+    pub mesh: PopMesh,
+    /// Vendor mix of edge routers (LERs).
+    pub edge_vendors: VendorMix,
+    /// Vendor mix of core routers (LSRs).
+    pub core_vendors: VendorMix,
+    /// Whether the AS runs MPLS at all.
+    pub mpls: bool,
+    /// Fraction of routers with `ttl-propagate` *enabled* (1.0 ⇒ fully
+    /// visible tunnels, 0.0 ⇒ fully invisible).
+    pub propagate_share: f64,
+    /// UHP instead of PHP.
+    pub uhp: bool,
+    /// Override the per-vendor LDP default policy for the whole AS.
+    pub ldp_override: Option<LdpPolicy>,
+    /// One-way delay of inter-PoP links in milliseconds (intra-PoP links
+    /// are 0.5 ms).
+    pub interpop_delay_ms: f64,
+}
+
+impl AsPersona {
+    /// Total router count (cores + edges).
+    pub fn router_count(&self) -> usize {
+        self.pops * (1 + self.edges_per_pop)
+    }
+}
+
+const CISCO: VendorMix = &[(Vendor::CiscoIos, 1.0)];
+const JUNIPER: VendorMix = &[(Vendor::JuniperJunos, 1.0)];
+const MOSTLY_CISCO: VendorMix = &[(Vendor::CiscoIos, 0.75), (Vendor::JuniperJunos, 0.25)];
+const MOSTLY_JUNIPER: VendorMix = &[(Vendor::JuniperJunos, 0.75), (Vendor::CiscoIos, 0.25)];
+const MIXED: VendorMix = &[
+    (Vendor::CiscoIos, 0.45),
+    (Vendor::JuniperJunos, 0.35),
+    (Vendor::BrocadeLinux, 0.15),
+    (Vendor::JuniperJunosE, 0.05),
+];
+
+/// The ten ASes of paper Tables 4–5, as deployment personas.
+///
+/// Each persona is tuned from the published TTL-signature mix, the
+/// dominant revelation technique and the median tunnel lengths:
+///
+/// * **Telia 1299** — Juniper-heavy, densely meshed ⇒ one-LSR tunnels
+///   ("DPR or BRPR" 77 % in Table 5);
+/// * **China Telecom 4134** — Cisco, tunnels mostly *visible*
+///   (`%Rev.` only 2.8 in Table 4);
+/// * **Tinet 3257** — essentially all Juniper, invisible, DPR;
+/// * **Level3 3549** — Juniper edge over a `<64,64>` core, long LSPs
+///   and long-haul delays (Fig. 6);
+/// * **DTAG 3320** — Cisco/Juniper mix, PoP full-mesh artefact of
+///   Fig. 10b;
+/// * **Telecom Italia 6762** — Cisco edges with LDP on all prefixes ⇒
+///   BRPR;
+/// * **Qwest 209** — mixed hardware, host-routes LDP ⇒ DPR;
+/// * **Bharti 9498** — Juniper, DPR;
+/// * **PCCW 3491** — Cisco with LDP on all prefixes ⇒ BRPR;
+/// * **BT 2856** — UHP: totally invisible, nothing revealed.
+pub fn paper_personas() -> Vec<AsPersona> {
+    vec![
+        AsPersona {
+            name: "Telia",
+            asn: Asn(1299),
+            pops: 9,
+            edges_per_pop: 3,
+            mesh: PopMesh::Chords(0.55),
+            edge_vendors: &[(Vendor::JuniperJunos, 0.75), (Vendor::CiscoIos, 0.25)],
+            core_vendors: &[(Vendor::JuniperJunos, 0.75), (Vendor::CiscoIos, 0.25)],
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::LoopbackOnly),
+            interpop_delay_ms: 3.0,
+        },
+        AsPersona {
+            name: "China Telecom",
+            asn: Asn(4134),
+            pops: 10,
+            edges_per_pop: 3,
+            mesh: PopMesh::Chords(0.35),
+            edge_vendors: &[(Vendor::CiscoIos, 0.75), (Vendor::JuniperJunosE, 0.25)],
+            core_vendors: CISCO,
+            mpls: true,
+            propagate_share: 0.85,
+            uhp: false,
+            ldp_override: None,
+            interpop_delay_ms: 4.0,
+        },
+        AsPersona {
+            name: "Tinet",
+            asn: Asn(3257),
+            pops: 10,
+            edges_per_pop: 3,
+            mesh: PopMesh::Ring,
+            edge_vendors: JUNIPER,
+            core_vendors: JUNIPER,
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::LoopbackOnly),
+            interpop_delay_ms: 4.0,
+        },
+        AsPersona {
+            name: "Level3",
+            asn: Asn(3549),
+            pops: 12,
+            edges_per_pop: 3,
+            mesh: PopMesh::Chain,
+            edge_vendors: &[(Vendor::JuniperJunos, 0.8), (Vendor::CiscoIos, 0.2)],
+            core_vendors: &[(Vendor::BrocadeLinux, 0.85), (Vendor::JuniperJunos, 0.15)],
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::LoopbackOnly),
+            interpop_delay_ms: 8.0,
+        },
+        AsPersona {
+            name: "Deutsche Telekom",
+            asn: Asn(3320),
+            pops: 8,
+            edges_per_pop: 4,
+            mesh: PopMesh::Chords(0.4),
+            edge_vendors: &[(Vendor::CiscoIos, 0.5), (Vendor::JuniperJunos, 0.5)],
+            core_vendors: &[(Vendor::CiscoIos, 0.6), (Vendor::JuniperJunos, 0.4)],
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::LoopbackOnly),
+            interpop_delay_ms: 2.0,
+        },
+        AsPersona {
+            name: "Telecom Italia",
+            asn: Asn(6762),
+            pops: 7,
+            edges_per_pop: 3,
+            mesh: PopMesh::Chords(0.4),
+            edge_vendors: &[(Vendor::CiscoIos, 0.45), (Vendor::JuniperJunos, 0.55)],
+            core_vendors: &[(Vendor::CiscoIos, 0.6), (Vendor::JuniperJunos, 0.4)],
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::AllPrefixes),
+            interpop_delay_ms: 2.0,
+        },
+        AsPersona {
+            name: "Qwest",
+            asn: Asn(209),
+            pops: 8,
+            edges_per_pop: 2,
+            mesh: PopMesh::Ring,
+            edge_vendors: &[(Vendor::CiscoIos, 0.35), (Vendor::JuniperJunos, 0.65)],
+            core_vendors: &[(Vendor::CiscoIos, 0.5), (Vendor::JuniperJunos, 0.5)],
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::LoopbackOnly),
+            interpop_delay_ms: 5.0,
+        },
+        AsPersona {
+            name: "Bharti Airtel",
+            asn: Asn(9498),
+            pops: 9,
+            edges_per_pop: 2,
+            mesh: PopMesh::Ring,
+            edge_vendors: &[(Vendor::JuniperJunos, 0.85), (Vendor::CiscoIos, 0.15)],
+            core_vendors: JUNIPER,
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::LoopbackOnly),
+            interpop_delay_ms: 5.0,
+        },
+        AsPersona {
+            name: "PCCW Global",
+            asn: Asn(3491),
+            pops: 6,
+            edges_per_pop: 3,
+            mesh: PopMesh::Chords(0.4),
+            edge_vendors: &[(Vendor::CiscoIos, 0.95), (Vendor::JuniperJunos, 0.05)],
+            core_vendors: CISCO,
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: false,
+            ldp_override: Some(LdpPolicy::AllPrefixes),
+            interpop_delay_ms: 4.0,
+        },
+        AsPersona {
+            name: "British Telecom",
+            asn: Asn(2856),
+            pops: 8,
+            edges_per_pop: 3,
+            mesh: PopMesh::Chords(0.4),
+            edge_vendors: &[(Vendor::CiscoIos, 0.7), (Vendor::JuniperJunos, 0.3)],
+            core_vendors: &[(Vendor::CiscoIos, 0.7), (Vendor::JuniperJunos, 0.3)],
+            mpls: true,
+            propagate_share: 0.0,
+            uhp: true,
+            ldp_override: None,
+            interpop_delay_ms: 2.0,
+        },
+    ]
+}
+
+/// Draws a plausible transit-AS persona from the paper's operator
+/// survey (§1–2): 87 % deploy MPLS, 48 % disable TTL propagation, 10 %
+/// run UHP, hardware split 58 % Cisco / 28 % Juniper with a 25 % mixed
+/// share. Use together with [`crate::internet::generate`] to scale
+/// campaigns beyond the ten named personas.
+pub fn random_persona(asn: Asn, name: &'static str, rng: &mut StdRng) -> AsPersona {
+    let mpls = rng.gen::<f64>() < crate::survey::MPLS_DEPLOYED;
+    let propagate_share = if rng.gen::<f64>() < crate::survey::NO_TTL_PROPAGATE {
+        // "Invisible" deployment, possibly with a few propagating LERs.
+        rng.gen::<f64>() * 0.15
+    } else {
+        0.85 + rng.gen::<f64>() * 0.15
+    };
+    let uhp = rng.gen::<f64>() < crate::survey::UHP_DEPLOYED;
+    let hw: f64 = rng.gen();
+    let (edge_vendors, core_vendors, cisco_shop): (VendorMix, VendorMix, bool) =
+        if hw < crate::survey::hardware::MIXED {
+            (MIXED, MIXED, false)
+        } else if hw < crate::survey::hardware::MIXED + crate::survey::hardware::CISCO * 0.75 {
+            (MOSTLY_CISCO, CISCO, true)
+        } else {
+            (MOSTLY_JUNIPER, JUNIPER, false)
+        };
+    // Vendor defaults decide the LDP policy for most; a third of Cisco
+    // shops filter to host routes (the §3.3 observation).
+    let ldp_override = if cisco_shop && rng.gen::<f64>() < 0.35 {
+        Some(LdpPolicy::LoopbackOnly)
+    } else {
+        None
+    };
+    let mesh = match rng.gen_range(0..3u8) {
+        0 => PopMesh::Chain,
+        1 => PopMesh::Ring,
+        _ => PopMesh::Chords(0.2 + rng.gen::<f64>() * 0.4),
+    };
+    AsPersona {
+        name,
+        asn,
+        pops: rng.gen_range(5..=12),
+        edges_per_pop: rng.gen_range(2..=4),
+        mesh,
+        edge_vendors,
+        core_vendors,
+        mpls,
+        propagate_share,
+        uhp,
+        ldp_override,
+        interpop_delay_ms: 1.0 + rng.gen::<f64>() * 8.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_paper_personas() {
+        let p = paper_personas();
+        assert_eq!(p.len(), 10);
+        let asns: Vec<u32> = p.iter().map(|a| a.asn.0).collect();
+        for asn in [1299, 4134, 3257, 3549, 3320, 6762, 209, 9498, 3491, 2856] {
+            assert!(asns.contains(&asn), "missing AS{asn}");
+        }
+    }
+
+    #[test]
+    fn vendor_mixes_are_distributions() {
+        for p in paper_personas() {
+            for mix in [p.edge_vendors, p.core_vendors] {
+                let total: f64 = mix.iter().map(|&(_, w)| w).sum();
+                assert!((total - 1.0).abs() < 1e-9, "{}: mix sums to {total}", p.name);
+            }
+            assert!((0.0..=1.0).contains(&p.propagate_share));
+            assert!(p.router_count() >= 10);
+        }
+    }
+
+    #[test]
+    fn random_personas_follow_survey_priors() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let personas: Vec<AsPersona> = (0..400)
+            .map(|i| random_persona(Asn(10_000 + i), "rand", &mut rng))
+            .collect();
+        let mpls = personas.iter().filter(|p| p.mpls).count() as f64 / 400.0;
+        assert!((mpls - crate::survey::MPLS_DEPLOYED).abs() < 0.08);
+        let invisible = personas
+            .iter()
+            .filter(|p| p.propagate_share < 0.5)
+            .count() as f64
+            / 400.0;
+        assert!((invisible - crate::survey::NO_TTL_PROPAGATE).abs() < 0.08);
+        let uhp = personas.iter().filter(|p| p.uhp).count() as f64 / 400.0;
+        assert!((uhp - crate::survey::UHP_DEPLOYED).abs() < 0.05);
+        for p in &personas {
+            assert!(p.router_count() >= 10);
+            let total: f64 = p.edge_vendors.iter().map(|&(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bt_is_the_uhp_persona() {
+        let p = paper_personas();
+        let bt = p.iter().find(|a| a.asn == Asn(2856)).unwrap();
+        assert!(bt.uhp);
+        assert_eq!(bt.propagate_share, 0.0);
+    }
+}

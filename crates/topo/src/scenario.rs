@@ -1,0 +1,310 @@
+//! Hand-built scenario topologies, foremost the paper's GNS3 testbed.
+//!
+//! Fig. 2 of the paper: a vantage point behind CE1 in AS1, a transit
+//! AS2 running MPLS/LDP over the line PE1 – P1 – P2 – P3 – PE2, and the
+//! target CE2 in AS3. §3.3 evaluates four configurations of AS2 on this
+//! topology; [`Fig2Config`] reproduces them.
+
+use wormhole_net::{
+    Addr, Asn, ControlPlane, LdpPolicy, LinkOpts, Network, NetworkBuilder, PoppingMode, RelKind,
+    RouterConfig, RouterId, Vendor,
+};
+
+/// The four §3.3 emulation configurations of the transit AS.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Fig2Config {
+    /// PHP, `ttl-propagate`, LDP on all prefixes: explicit tunnels
+    /// (Fig. 4a).
+    Default,
+    /// Like `Default` but `no mpls ip propagate-ttl`: invisible tunnels,
+    /// revealed one LSR at a time by BRPR (Fig. 4b).
+    BackwardRecursive,
+    /// `no-ttl-propagate` + LDP restricted to host routes
+    /// (`mpls ldp label allocate global host-routes`, the Juniper
+    /// default): DPR reveals the path in one probe (Fig. 4c).
+    ExplicitRoute,
+    /// `no-ttl-propagate` + UHP (`mpls ldp explicit-null`): totally
+    /// invisible (Fig. 4d).
+    TotallyInvisible,
+}
+
+impl Fig2Config {
+    /// All four configurations, in paper order.
+    pub const ALL: [Fig2Config; 4] = [
+        Fig2Config::Default,
+        Fig2Config::BackwardRecursive,
+        Fig2Config::ExplicitRoute,
+        Fig2Config::TotallyInvisible,
+    ];
+
+    /// The configuration name used in §3.3.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fig2Config::Default => "Default",
+            Fig2Config::BackwardRecursive => "Backward Recursive",
+            Fig2Config::ExplicitRoute => "Explicit Route",
+            Fig2Config::TotallyInvisible => "Totally Invisible",
+        }
+    }
+}
+
+/// Knobs for building Fig. 2 variants beyond the four §3.3 presets
+/// (vendor swaps for RTLA validation, min-rule ablation, …).
+#[derive(Clone, Debug)]
+pub struct Fig2Opts {
+    /// Vendor of the LERs (PE1/PE2).
+    pub ler_vendor: Vendor,
+    /// Vendor of the LSRs (P1..P3).
+    pub lsr_vendor: Vendor,
+    /// `ttl-propagate` on the MPLS routers.
+    pub ttl_propagate: bool,
+    /// LDP advertising policy inside AS2.
+    pub ldp_policy: LdpPolicy,
+    /// UHP instead of PHP.
+    pub uhp: bool,
+    /// Disable the RFC 3443 min rule on tunnel exit (ablation).
+    pub min_on_exit: bool,
+    /// Disable RFC 4950 label quoting (old OSes).
+    pub rfc4950: bool,
+}
+
+impl Fig2Opts {
+    /// The §3.3 preset for `config`, with Cisco hardware everywhere.
+    pub fn preset(config: Fig2Config) -> Fig2Opts {
+        let base = Fig2Opts {
+            ler_vendor: Vendor::CiscoIos,
+            lsr_vendor: Vendor::CiscoIos,
+            ttl_propagate: true,
+            ldp_policy: LdpPolicy::AllPrefixes,
+            uhp: false,
+            min_on_exit: true,
+            rfc4950: true,
+        };
+        match config {
+            Fig2Config::Default => base,
+            Fig2Config::BackwardRecursive => Fig2Opts {
+                ttl_propagate: false,
+                ..base
+            },
+            Fig2Config::ExplicitRoute => Fig2Opts {
+                ttl_propagate: false,
+                ldp_policy: LdpPolicy::LoopbackOnly,
+                ..base
+            },
+            Fig2Config::TotallyInvisible => Fig2Opts {
+                ttl_propagate: false,
+                uhp: true,
+                ..base
+            },
+        }
+    }
+
+    /// The same preset with Juniper LERs (signature `<255, 64>`), the
+    /// setup RTLA requires.
+    pub fn preset_juniper_ler(config: Fig2Config) -> Fig2Opts {
+        Fig2Opts {
+            ler_vendor: Vendor::JuniperJunos,
+            ..Fig2Opts::preset(config)
+        }
+    }
+}
+
+/// A built scenario: network, control plane, and the named endpoints a
+/// test or example needs.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The network.
+    pub net: Network,
+    /// Its computed control plane.
+    pub cp: ControlPlane,
+    /// The vantage point (host behind CE1).
+    pub vp: RouterId,
+    /// The traceroute target used by the paper (CE2's loopback).
+    pub target: Addr,
+}
+
+impl Scenario {
+    /// The router named `name` (panics if absent — scenario names are
+    /// static).
+    pub fn router(&self, name: &str) -> RouterId {
+        self.net
+            .router_by_name(name)
+            .unwrap_or_else(|| panic!("no router named {name}"))
+            .id
+    }
+
+    /// The address of `name`'s interface facing the vantage point (the
+    /// "left" interface in the paper's notation, i.e. the one traceroute
+    /// reveals).
+    pub fn left_addr(&self, name: &str) -> Addr {
+        let id = self.router(name);
+        let r = self.net.router(id);
+        // The paper's line is built left-to-right; the first interface
+        // of each router faces left (towards the VP).
+        r.ifaces[0].addr
+    }
+
+    /// The loopback address of `name`.
+    pub fn loopback(&self, name: &str) -> Addr {
+        self.net.router(self.router(name)).loopback
+    }
+}
+
+/// Builds the Fig. 2 testbed under one of the four §3.3 presets.
+pub fn gns3_fig2(config: Fig2Config) -> Scenario {
+    gns3_fig2_with(Fig2Opts::preset(config))
+}
+
+/// Builds the Fig. 2 testbed as an *RSVP-TE-only* deployment: no LDP,
+/// two pinned tunnels PE1→PE2 and PE2→PE1 through P1–P3, entered by
+/// autoroute. With UHP this is the paper's §8 "truly invisible"
+/// configuration that defeats all four techniques.
+pub fn gns3_fig2_te(popping: PoppingMode, ttl_propagate: bool) -> Scenario {
+    let mut mpls = RouterConfig::mpls_router(Vendor::CiscoIos).ldp(LdpPolicy::None);
+    mpls.ttl_propagate = ttl_propagate;
+    mpls.popping = popping;
+    let mut b = NetworkBuilder::new();
+    let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+    let ce1 = b.add_router("CE1", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+    let pe1 = b.add_router("PE1", Asn(2), mpls.clone());
+    let p1 = b.add_router("P1", Asn(2), mpls.clone());
+    let p2 = b.add_router("P2", Asn(2), mpls.clone());
+    let p3 = b.add_router("P3", Asn(2), mpls.clone());
+    let pe2 = b.add_router("PE2", Asn(2), mpls);
+    let ce2 = b.add_router("CE2", Asn(3), RouterConfig::ip_router(Vendor::CiscoIos));
+    for (x, y) in [
+        (vp, ce1),
+        (ce1, pe1),
+        (pe1, p1),
+        (p1, p2),
+        (p2, p3),
+        (p3, pe2),
+        (pe2, ce2),
+    ] {
+        b.link(x, y, LinkOpts::symmetric(10, 1.0));
+    }
+    b.as_rel(Asn(2), Asn(1), RelKind::ProviderCustomer);
+    b.as_rel(Asn(2), Asn(3), RelKind::ProviderCustomer);
+    b.te_tunnel(vec![pe1, p1, p2, p3, pe2], popping);
+    b.te_tunnel(vec![pe2, p3, p2, p1, pe1], popping);
+    let net = b.build().expect("fig2-te builds");
+    let cp = ControlPlane::build(&net).expect("fig2-te control plane");
+    let target = net.router_by_name("CE2").unwrap().loopback;
+    let vp = net.router_by_name("VP").unwrap().id;
+    Scenario {
+        net,
+        cp,
+        vp,
+        target,
+    }
+}
+
+/// Builds the Fig. 2 testbed with explicit options.
+pub fn gns3_fig2_with(opts: Fig2Opts) -> Scenario {
+    let mut ler = RouterConfig::mpls_router(opts.ler_vendor).ldp(opts.ldp_policy);
+    let mut lsr = RouterConfig::mpls_router(opts.lsr_vendor).ldp(opts.ldp_policy);
+    for cfg in [&mut ler, &mut lsr] {
+        cfg.ttl_propagate = opts.ttl_propagate;
+        cfg.min_on_exit = opts.min_on_exit;
+        cfg.rfc4950 = opts.rfc4950;
+        if opts.uhp {
+            cfg.popping = wormhole_net::PoppingMode::Uhp;
+        }
+    }
+    let mut b = NetworkBuilder::new();
+    let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+    let ce1 = b.add_router("CE1", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+    let pe1 = b.add_router("PE1", Asn(2), ler.clone());
+    let p1 = b.add_router("P1", Asn(2), lsr.clone());
+    let p2 = b.add_router("P2", Asn(2), lsr.clone());
+    let p3 = b.add_router("P3", Asn(2), lsr);
+    let pe2 = b.add_router("PE2", Asn(2), ler);
+    let ce2 = b.add_router("CE2", Asn(3), RouterConfig::ip_router(Vendor::CiscoIos));
+    for (x, y) in [
+        (vp, ce1),
+        (ce1, pe1),
+        (pe1, p1),
+        (p1, p2),
+        (p2, p3),
+        (p3, pe2),
+        (pe2, ce2),
+    ] {
+        b.link(x, y, LinkOpts::symmetric(10, 1.0));
+    }
+    b.as_rel(Asn(2), Asn(1), RelKind::ProviderCustomer);
+    b.as_rel(Asn(2), Asn(3), RelKind::ProviderCustomer);
+    let net = b.build().expect("fig2 builds");
+    let cp = ControlPlane::build(&net).expect("fig2 control plane");
+    let target = net.router_by_name("CE2").unwrap().loopback;
+    let vp = net.router_by_name("VP").unwrap().id;
+    Scenario {
+        net,
+        cp,
+        vp,
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_net::{Engine, Packet};
+
+    #[test]
+    fn builds_all_presets() {
+        for config in Fig2Config::ALL {
+            let s = gns3_fig2(config);
+            assert_eq!(s.net.num_routers(), 8);
+            assert_eq!(s.net.num_links(), 7);
+            assert_eq!(s.net.as_members(Asn(2)).len(), 5);
+        }
+    }
+
+    #[test]
+    fn names_resolve() {
+        let s = gns3_fig2(Fig2Config::Default);
+        for name in ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"] {
+            let _ = s.router(name);
+        }
+        assert_ne!(s.left_addr("PE2"), s.loopback("PE2"));
+    }
+
+    #[test]
+    fn default_config_is_explicit() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        // TTL 4 probe expires at P2 and quotes its label.
+        let out = eng.send(s.vp, Packet::echo_request(src, s.target, 4, 1, 1, 1));
+        let r = out.reply().expect("reply");
+        assert_eq!(r.from, s.left_addr("P2"));
+        assert_eq!(r.mpls_ext.len(), 1);
+    }
+
+    #[test]
+    fn totally_invisible_hides_everything() {
+        let s = gns3_fig2(Fig2Config::TotallyInvisible);
+        let mut eng = Engine::new(&s.net, &s.cp);
+        let src = s.net.router(s.vp).loopback;
+        let out = eng.send(s.vp, Packet::echo_request(src, s.target, 3, 1, 1, 1));
+        let r = out.reply().expect("reply");
+        // Hop 3 is already CE2 (Fig. 4d): PE2 does not appear.
+        assert_eq!(s.net.owner(r.from), Some(s.router("CE2")));
+    }
+
+    #[test]
+    fn te_scenario_builds_with_both_tunnels() {
+        let s = gns3_fig2_te(PoppingMode::Php, false);
+        assert_eq!(s.net.te_tunnels().len(), 2);
+        assert_eq!(s.net.te_tunnels()[0].interior_len(), 3);
+    }
+
+    #[test]
+    fn juniper_preset_changes_signature() {
+        let s = gns3_fig2_with(Fig2Opts::preset_juniper_ler(Fig2Config::BackwardRecursive));
+        let pe2 = s.net.router(s.router("PE2"));
+        assert_eq!(pe2.config.vendor, Vendor::JuniperJunos);
+        // Juniper LER preset keeps the requested LDP policy.
+        assert_eq!(pe2.config.ldp_policy, LdpPolicy::AllPrefixes);
+    }
+}

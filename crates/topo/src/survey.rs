@@ -1,0 +1,67 @@
+//! Operator-survey constants (paper §1–2).
+//!
+//! The paper surveyed 50 operators (Aug 28 – Sep 12, 2017). These
+//! percentages parameterise the synthetic-Internet generator so that the
+//! deployed configuration mix matches what the paper reports.
+
+/// Share of surveyed operators deploying MPLS at all.
+pub const MPLS_DEPLOYED: f64 = 0.87;
+
+/// Share of operators using the `no-ttl-propagate` option (invisible
+/// tunnels).
+pub const NO_TTL_PROPAGATE: f64 = 0.48;
+
+/// Share of operators deploying UHP.
+pub const UHP_DEPLOYED: f64 = 0.10;
+
+/// Label distribution protocol mix.
+pub mod labeling {
+    /// LDP only.
+    pub const LDP_ONLY: f64 = 0.50;
+    /// RSVP-TE only.
+    pub const RSVP_TE_ONLY: f64 = 0.08;
+    /// LDP and RSVP-TE together.
+    pub const LDP_AND_RSVP_TE: f64 = 0.42;
+}
+
+/// Router hardware mix.
+pub mod hardware {
+    /// Mostly Cisco.
+    pub const CISCO: f64 = 0.58;
+    /// Mostly Juniper.
+    pub const JUNIPER: f64 = 0.28;
+    /// A mix of technologies.
+    pub const MIXED: f64 = 0.25;
+}
+
+/// The HDN degree threshold of §4 (ASR9000-class PE: 20 linecards × 16
+/// interfaces bounds a plausible physical degree well above 128).
+pub const HDN_DEGREE_THRESHOLD: usize = 128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_probabilities() {
+        for v in [
+            MPLS_DEPLOYED,
+            NO_TTL_PROPAGATE,
+            UHP_DEPLOYED,
+            labeling::LDP_ONLY,
+            labeling::RSVP_TE_ONLY,
+            labeling::LDP_AND_RSVP_TE,
+            hardware::CISCO,
+            hardware::JUNIPER,
+            hardware::MIXED,
+        ] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn labeling_mix_sums_to_one() {
+        let total = labeling::LDP_ONLY + labeling::RSVP_TE_ONLY + labeling::LDP_AND_RSVP_TE;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Router fingerprinting and RTLA, hands-on: infer Table 1 signatures
+//! by probing, then use the `<255, 64>` gap to measure a return tunnel.
+//!
+//! ```sh
+//! cargo run --example fingerprinting
+//! ```
+
+use wormhole::core::{infer_initial_ttl, return_tunnel_length, Signature};
+use wormhole::experiments::table1::fingerprint_vendor;
+use wormhole::net::Vendor;
+use wormhole::probe::{Session, TracerouteOpts};
+use wormhole::topo::{gns3_fig2_with, Fig2Config, Fig2Opts};
+
+fn main() {
+    println!("== Table 1 signatures, inferred by probing ==\n");
+    println!("{:<16} {:>10} {:>10}", "vendor", "expected", "measured");
+    for vendor in Vendor::ALL {
+        let expected = vendor.signature();
+        let measured = fingerprint_vendor(vendor);
+        println!(
+            "{:<16} {:>10} {:>10}",
+            vendor.to_string(),
+            format!("<{},{}>", expected.0, expected.1),
+            format!("<{},{}>", measured.0, measured.1)
+        );
+    }
+
+    println!("\n== RTLA on a Juniper egress LER ==\n");
+    // Juniper LERs, invisible tunnels.
+    let s = gns3_fig2_with(Fig2Opts::preset_juniper_ler(Fig2Config::BackwardRecursive));
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    let trace = sess.traceroute(s.target);
+    let egress = s.left_addr("PE2");
+    let te = trace
+        .hop_of(egress)
+        .and_then(|h| h.reply_ip_ttl)
+        .expect("egress answered");
+    let er = sess.ping(egress).expect("egress pings").reply_ip_ttl;
+    println!("time-exceeded observed TTL: {te}  (initial {})", infer_initial_ttl(te));
+    println!("echo-reply    observed TTL: {er}  (initial {})", infer_initial_ttl(er));
+    let sig = Signature {
+        te: Some(infer_initial_ttl(te)),
+        er: Some(infer_initial_ttl(er)),
+    };
+    let rtl = return_tunnel_length(sig, te, er).expect("<255,64> signature");
+    println!(
+        "\ngap = (255 − {te}) − (64 − {er}) = {rtl} → the return LSP hides {rtl} LSRs"
+    );
+    println!("(the testbed's tunnel really is {rtl} LSRs long: P1, P2, P3)");
+    assert_eq!(rtl, 3);
+}

@@ -1,0 +1,63 @@
+//! Quickstart: trace through an invisible MPLS tunnel, notice that the
+//! LSRs are missing, and reveal them.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wormhole::core::{reveal_between, rfa_of_hop, RevealOpts};
+use wormhole::probe::{Session, TracerouteOpts};
+use wormhole::topo::{gns3_fig2, Fig2Config};
+
+fn main() {
+    // The paper's Fig. 2 testbed: AS2 runs MPLS/LDP over
+    // PE1 - P1 - P2 - P3 - PE2 with `no mpls ip propagate-ttl`.
+    let s = gns3_fig2(Fig2Config::BackwardRecursive);
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+
+    println!("== Traceroute towards CE2 (the tunnel is invisible) ==\n");
+    let trace = sess.traceroute(s.target);
+    println!("{trace}");
+    println!(
+        "The trace shows {} hops; the real path has 7 routers — the\n\
+         three LSRs vanished behind the PE1→PE2 \"link\".\n",
+        trace.responsive_count()
+    );
+
+    // FRPLA hint: the egress's reply TTL says the return path is longer
+    // than the forward one.
+    let egress = s.left_addr("PE2");
+    let hop = trace.hop_of(egress).expect("egress visible");
+    let rfa = rfa_of_hop(hop).expect("reply TTL present");
+    println!(
+        "FRPLA at the egress: forward {} hops, return {} hops → shift of {}\n\
+         (≈ the hidden tunnel length).\n",
+        rfa.forward_len, rfa.return_len, rfa.rfa
+    );
+
+    // Reveal the content with the BRPR/DPR recursion.
+    println!("== Revealing the hidden hops ==\n");
+    let out = reveal_between(
+        &mut sess,
+        s.left_addr("PE1"),
+        egress,
+        s.target,
+        &RevealOpts::default(),
+    );
+    let tunnel = out.tunnel().expect("revelation succeeds here");
+    println!(
+        "revealed {} hidden hops via {:?} using {} extra probes:",
+        tunnel.len(),
+        tunnel.method(),
+        tunnel.extra_probes
+    );
+    for (i, hop) in tunnel.hops().iter().enumerate() {
+        let name = s
+            .net
+            .owner(*hop)
+            .map(|r| s.net.router(r).name.clone())
+            .unwrap_or_default();
+        println!("  {}. {hop}  ({name})", i + 1);
+    }
+}

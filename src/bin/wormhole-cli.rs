@@ -1,0 +1,178 @@
+//! `wormhole-cli` — drive the simulator from the command line.
+//!
+//! ```text
+//! wormhole-cli trace <config> [target]   traceroute on the Fig. 2 testbed
+//! wormhole-cli smart <config>            tunnel-aware traceroute (§8)
+//! wormhole-cli reveal <config>           run the DPR/BRPR recursion
+//! wormhole-cli campaign [quick]          full §4 campaign summary
+//! wormhole-cli list-configs              available testbed configurations
+//! ```
+
+use std::process::ExitCode;
+use wormhole::core::{reveal_between, smart_traceroute, RevealOpts, SmartOpts, Trigger};
+use wormhole::net::PoppingMode;
+use wormhole::probe::{Session, TracerouteOpts};
+use wormhole::topo::{gns3_fig2, gns3_fig2_te, Fig2Config, Scenario};
+
+const CONFIGS: &[(&str, &str)] = &[
+    ("default", "PHP, ttl-propagate, LDP all prefixes (explicit LSP)"),
+    ("backward", "no-ttl-propagate, LDP all prefixes (BRPR reveals)"),
+    ("explicit", "no-ttl-propagate, LDP host routes (DPR reveals)"),
+    ("invisible", "no-ttl-propagate + UHP (totally invisible)"),
+    ("te-php", "RSVP-TE only, PHP, no-ttl-propagate"),
+    ("te-uhp", "RSVP-TE only, UHP, no-ttl-propagate (truly invisible)"),
+];
+
+fn scenario(name: &str) -> Option<Scenario> {
+    Some(match name {
+        "default" => gns3_fig2(Fig2Config::Default),
+        "backward" => gns3_fig2(Fig2Config::BackwardRecursive),
+        "explicit" => gns3_fig2(Fig2Config::ExplicitRoute),
+        "invisible" => gns3_fig2(Fig2Config::TotallyInvisible),
+        "te-php" => gns3_fig2_te(PoppingMode::Php, false),
+        "te-uhp" => gns3_fig2_te(PoppingMode::Uhp, false),
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wormhole-cli <trace|smart|reveal> <config> | campaign [quick] | list-configs\n\
+         configs: {}",
+        CONFIGS
+            .iter()
+            .map(|&(n, _)| n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn name_of(s: &Scenario, addr: wormhole::net::Addr) -> String {
+    s.net
+        .owner(addr)
+        .map(|r| s.net.router(r).name.clone())
+        .unwrap_or_else(|| "?".into())
+}
+
+fn cmd_trace(s: &Scenario, target: Option<&str>) -> ExitCode {
+    let dst = match target {
+        Some(t) => match t.parse() {
+            Ok(a) => a,
+            Err(_) => match s.net.router_by_name(t) {
+                Some(r) => r.loopback,
+                None => {
+                    eprintln!("unknown target {t} (use an address or a router name)");
+                    return ExitCode::FAILURE;
+                }
+            },
+        },
+        None => s.target,
+    };
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    let trace = sess.traceroute(dst);
+    for line in trace.to_string().lines() {
+        println!("{line}");
+    }
+    println!("({} probes)", sess.stats.probes);
+    ExitCode::SUCCESS
+}
+
+fn cmd_smart(s: &Scenario) -> ExitCode {
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    let net = &s.net;
+    let t = smart_traceroute(&mut sess, s.target, |a| net.owner_asn(a), &SmartOpts::default());
+    println!("smart traceroute to {} ({} extra probes):", t.dst, t.extra_probes);
+    for (i, hop) in t.hops.iter().enumerate() {
+        let tag = match hop.revealed_by {
+            Some(Trigger::FrplaShift(n)) => format!("  [revealed: FRPLA shift {n}]"),
+            Some(Trigger::RtlaGap(n)) => format!("  [revealed: RTLA gap {n}]"),
+            None => String::new(),
+        };
+        println!(
+            "{:>2}  {:<14} {}{tag}",
+            i + 1,
+            hop.addr.to_string(),
+            name_of(s, hop.addr)
+        );
+    }
+    for (addr, trig) in &t.unrevealed_triggers {
+        println!("  ! {addr} triggered ({trig:?}) but revealed nothing — UHP suspect");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_reveal(s: &Scenario) -> ExitCode {
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    let trace = sess.traceroute(s.target);
+    let resp: Vec<_> = trace.hops.iter().filter_map(|h| h.addr).collect();
+    if resp.len() < 3 {
+        eprintln!("trace too short to pick a candidate pair");
+        return ExitCode::FAILURE;
+    }
+    let (x, y) = (resp[resp.len() - 3], resp[resp.len() - 2]);
+    println!("candidate pair: {x} ({}) → {y} ({})", name_of(s, x), name_of(s, y));
+    match reveal_between(&mut sess, x, y, s.target, &RevealOpts::default()).tunnel() {
+        Some(t) => {
+            println!("revealed {} hops via {:?}:", t.len(), t.method());
+            for hop in t.hops() {
+                println!("  {hop}  {}", name_of(s, hop));
+            }
+        }
+        None => println!("nothing revealed (no invisible LDP tunnel between the pair)"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_campaign(quick: bool) -> ExitCode {
+    let scale = if quick {
+        wormhole::experiments::Scale::Quick
+    } else {
+        wormhole::experiments::Scale::Paper
+    };
+    eprintln!("running the §4 campaign at {scale:?} scale…");
+    let ctx = wormhole::experiments::PaperContext::generate(scale);
+    println!(
+        "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; {} tunnels revealed; {} probes",
+        ctx.result.snapshot.num_nodes(),
+        ctx.result.hdns.len(),
+        ctx.result.targets.len(),
+        ctx.result.unique_pairs().len(),
+        ctx.result.tunnels().count(),
+        ctx.result.probes
+    );
+    println!("{}", wormhole::experiments::table4::run(&ctx));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list-configs") => {
+            for &(name, desc) in CONFIGS {
+                println!("{name:<10} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("campaign") => cmd_campaign(args.get(1).map(String::as_str) == Some("quick")),
+        Some(cmd @ ("trace" | "smart" | "reveal")) => {
+            let Some(config) = args.get(1) else {
+                return usage();
+            };
+            let Some(s) = scenario(config) else {
+                eprintln!("unknown config {config}");
+                return usage();
+            };
+            match cmd {
+                "trace" => cmd_trace(&s, args.get(2).map(String::as_str)),
+                "smart" => cmd_smart(&s),
+                "reveal" => cmd_reveal(&s),
+                _ => unreachable!(),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,56 @@
+//! `wormhole` — a full reproduction of *"Through the Wormhole: Tracking
+//! Invisible MPLS Tunnels"* (Vanaubel, Mérindol, Pansiot, Donnet — ACM
+//! IMC 2017).
+//!
+//! MPLS networks configured with `no-ttl-propagate` hide their interior
+//! from traceroute: the whole Label Switched Path looks like a single
+//! IP hop, ingress LERs appear adjacent to every egress, and measured
+//! Internet graphs inherit fake high-degree meshes. This workspace
+//! implements the paper's four counter-techniques — **FRPLA**, **RTLA**,
+//! **DPR**, and **BRPR** — together with everything needed to evaluate
+//! them end to end:
+//!
+//! * [`net`] — a packet-level simulator with vendor-accurate MPLS data
+//!   planes (RFC 3032/3443/4950 TTL semantics, validated hop-for-hop
+//!   against the paper's GNS3 outputs);
+//! * [`topo`] — the Fig. 2 testbed, per-AS deployment personas, and a
+//!   seeded synthetic-Internet generator;
+//! * [`probe`] — Paris traceroute and ping (the scamper stand-in);
+//! * [`core`] — the revelation techniques and the §4 campaign;
+//! * [`analysis`] — statistics and the §7 Internet-model update;
+//! * [`experiments`] — one module/binary per paper table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wormhole::topo::{gns3_fig2, Fig2Config};
+//! use wormhole::probe::Session;
+//! use wormhole::core::{reveal_between, RevealOpts};
+//!
+//! // The paper's testbed with invisible tunnels (Fig. 4b).
+//! let s = gns3_fig2(Fig2Config::BackwardRecursive);
+//! let mut sess = Session::new(&s.net, &s.cp, s.vp);
+//! let trace = sess.traceroute(s.target);
+//! // Campaign sessions start at TTL 2: PE1, PE2, CE2 — P1..P3 hidden.
+//! assert_eq!(trace.responsive_count(), 3);
+//!
+//! // Reveal the hidden LSRs.
+//! let out = reveal_between(
+//!     &mut sess,
+//!     s.left_addr("PE1"),
+//!     s.left_addr("PE2"),
+//!     s.target,
+//!     &RevealOpts::default(),
+//! );
+//! assert_eq!(out.tunnel().unwrap().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use wormhole_analysis as analysis;
+pub use wormhole_core as core;
+pub use wormhole_experiments as experiments;
+pub use wormhole_net as net;
+pub use wormhole_probe as probe;
+pub use wormhole_topo as topo;

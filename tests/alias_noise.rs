@@ -1,0 +1,136 @@
+//! Alias-resolution ablation: the paper builds on CAIDA's
+//! alias-resolved ITDK; our campaigns use ground-truth resolution.
+//! This test quantifies what *imperfect* alias resolution does to the
+//! graph the campaign is triggered from — splitting aliases fragments
+//! routers (degree deflation and node inflation), while merging
+//! distinct routers fabricates high-degree nodes. Both effects matter
+//! when interpreting Fig. 1 / Table 4 style numbers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wormhole::analysis::degree_histogram;
+use wormhole::net::Addr;
+use wormhole::probe::Session;
+use wormhole::topo::{generate, InternetConfig, ItdkSnapshot, NodeInfo};
+
+/// Collects one bootstrap-style path set over the small Internet.
+fn paths() -> (wormhole::topo::Internet, Vec<Vec<Option<Addr>>>) {
+    let internet = generate(&InternetConfig::small(77));
+    let mut out = Vec::new();
+    for (i, &vp) in internet.vps.iter().enumerate() {
+        let mut sess = Session::new(&internet.net, &internet.cp, vp);
+        let loopbacks: Vec<Addr> = internet
+            .net
+            .routers()
+            .iter()
+            .filter(|r| !r.config.is_host)
+            .map(|r| r.loopback)
+            .collect();
+        for (j, &t) in loopbacks.iter().enumerate() {
+            if j % internet.vps.len() == i {
+                out.push(sess.traceroute(t).addr_path());
+            }
+        }
+    }
+    (internet, out)
+}
+
+fn perfect(net: &wormhole::net::Network) -> impl Fn(Addr) -> NodeInfo + Copy + '_ {
+    move |addr| match net.owner(addr) {
+        Some(r) => NodeInfo {
+            key: u64::from(r.0),
+            asn: Some(net.router(r).asn),
+        },
+        None => NodeInfo {
+            key: u64::MAX ^ u64::from(addr.0),
+            asn: None,
+        },
+    }
+}
+
+#[test]
+fn splitting_aliases_fragments_routers() {
+    let (internet, path_set) = paths();
+    let net = &internet.net;
+    let clean = ItdkSnapshot::build(&path_set, perfect(net));
+
+    // Split: each address resolves to its own node with probability 0.5.
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = ItdkSnapshot::build(&path_set, |addr| {
+        let base = perfect(net)(addr);
+        if rng.gen::<f64>() < 0.5 {
+            NodeInfo {
+                key: 0x5150_0000_0000_0000 | u64::from(addr.0),
+                ..base
+            }
+        } else {
+            base
+        }
+    });
+    assert!(
+        noisy.num_nodes() > clean.num_nodes(),
+        "splitting must inflate the node count ({} vs {})",
+        noisy.num_nodes(),
+        clean.num_nodes()
+    );
+    // Aliases shrink: split nodes carry fewer addresses each.
+    let max_aliases = |s: &ItdkSnapshot| {
+        (0..s.num_nodes())
+            .map(|n| s.addresses(n).len())
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(max_aliases(&noisy) <= max_aliases(&clean));
+    // Counter-intuitive but real: splitting a hub's *neighbors* can
+    // inflate the hub's apparent degree (one physical neighbor becomes
+    // several graph nodes) — imperfect alias resolution is itself an
+    // HDN source, exactly the paper's intro caveat.
+    let top_clean = degree_histogram(&clean).range().unwrap().1;
+    let top_noisy = degree_histogram(&noisy).range().unwrap().1;
+    assert!(
+        top_noisy >= top_clean,
+        "neighbor-splitting inflates hub degrees ({top_noisy} vs {top_clean})"
+    );
+}
+
+#[test]
+fn merging_routers_fabricates_hdns() {
+    let (internet, path_set) = paths();
+    let net = &internet.net;
+    let clean = ItdkSnapshot::build(&path_set, perfect(net));
+
+    // Merge *distant* router pairs (router ids are assigned AS by AS,
+    // so id k and id k + n/2 sit in different ASes with disjoint
+    // neighborhoods) — the false-alias case the paper's intro warns
+    // about ("inaccurate alias resolution" as an HDN source): the two
+    // victims' adjacencies sum.
+    let half = (net.num_routers() as u64) / 2;
+    let merged = ItdkSnapshot::build(&path_set, |addr| {
+        let base = perfect(net)(addr);
+        if base.key < 2 * half {
+            NodeInfo {
+                key: base.key % half,
+                ..base
+            }
+        } else {
+            base
+        }
+    });
+    assert!(merged.num_nodes() < clean.num_nodes());
+    // Roughly the same adjacencies over half the nodes: the whole
+    // distribution shifts up and the HDN tail thickens.
+    let mean_clean = degree_histogram(&clean).mean().unwrap();
+    let mean_merged = degree_histogram(&merged).mean().unwrap();
+    assert!(
+        mean_merged > mean_clean,
+        "merging must inflate mean degree ({mean_merged:.2} vs {mean_clean:.2})"
+    );
+    let thr = 8;
+    assert!(
+        merged.hdns(thr).len() >= clean.hdns(thr).len(),
+        "merged graph must flag at least as many HDNs"
+    );
+    let top_clean = degree_histogram(&clean).range().unwrap().1;
+    let top_merged = degree_histogram(&merged).range().unwrap().1;
+    assert!(top_merged >= top_clean);
+}

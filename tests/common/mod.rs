@@ -1,0 +1,77 @@
+//! Shared helpers for integration tests.
+
+use wormhole::net::{
+    Asn, ControlPlane, LdpPolicy, LinkOpts, Network, NetworkBuilder, PoppingMode, RelKind,
+    RouterConfig, RouterId, Vendor,
+};
+
+/// A parametric Fig. 2-style line: VP – CE1 |AS1| PE1 – P1 … Pn – PE2
+/// |AS2| – CE2 |AS3|, with `n_lsrs` interior LSRs.
+pub struct Line {
+    pub net: Network,
+    pub cp: ControlPlane,
+    pub vp: RouterId,
+    pub target: wormhole::net::Addr,
+    #[allow(dead_code)] // some integration tests only probe, never count
+    pub n_lsrs: usize,
+}
+
+pub struct LineOpts {
+    pub n_lsrs: usize,
+    pub vendor: Vendor,
+    pub propagate: bool,
+    pub ldp: LdpPolicy,
+    pub uhp: bool,
+    pub min_on_exit: bool,
+}
+
+impl Default for LineOpts {
+    fn default() -> LineOpts {
+        LineOpts {
+            n_lsrs: 3,
+            vendor: Vendor::CiscoIos,
+            propagate: false,
+            ldp: LdpPolicy::AllPrefixes,
+            uhp: false,
+            min_on_exit: true,
+        }
+    }
+}
+
+pub fn line(opts: LineOpts) -> Line {
+    let mut mpls = RouterConfig::mpls_router(opts.vendor).ldp(opts.ldp);
+    mpls.ttl_propagate = opts.propagate;
+    mpls.min_on_exit = opts.min_on_exit;
+    if opts.uhp {
+        mpls.popping = PoppingMode::Uhp;
+    }
+    let mut b = NetworkBuilder::new();
+    let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+    let ce1 = b.add_router("CE1", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+    b.link(vp, ce1, LinkOpts::symmetric(10, 0.5));
+    let pe1 = b.add_router("PE1", Asn(2), mpls.clone());
+    b.link(ce1, pe1, LinkOpts::symmetric(10, 1.0));
+    let mut prev = pe1;
+    for i in 0..opts.n_lsrs {
+        let p = b.add_router(&format!("P{}", i + 1), Asn(2), mpls.clone());
+        b.link(prev, p, LinkOpts::symmetric(10, 1.0));
+        prev = p;
+    }
+    let pe2 = b.add_router("PE2", Asn(2), mpls);
+    b.link(prev, pe2, LinkOpts::symmetric(10, 1.0));
+    let ce2 = b.add_router("CE2", Asn(3), RouterConfig::ip_router(Vendor::CiscoIos));
+    b.link(pe2, ce2, LinkOpts::symmetric(10, 1.0));
+    b.as_rel(Asn(2), Asn(1), RelKind::ProviderCustomer);
+    b.as_rel(Asn(2), Asn(3), RelKind::ProviderCustomer);
+    let net = b.build().expect("line builds");
+    let cp = ControlPlane::build(&net).expect("line control plane");
+    let target = net.router_by_name("CE2").unwrap().loopback;
+    let vp = net.router_by_name("VP").unwrap().id;
+    Line {
+        net,
+        cp,
+        vp,
+        target,
+        n_lsrs: opts.n_lsrs,
+    }
+}

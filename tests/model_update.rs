@@ -1,0 +1,167 @@
+//! Validates the §7 model update: corrected traces equal the true
+//! router-level paths, and the graph metrics move the way the paper
+//! reports.
+
+use std::collections::BTreeSet;
+use wormhole::analysis::{
+    before_after_snapshots, corrected_path, degree_histogram, density, trace_lengths,
+};
+use wormhole::core::{Campaign, CampaignConfig, RevealOutcome};
+use wormhole::net::Addr;
+use wormhole::topo::{generate, GroundTruth, InternetConfig, NodeInfo};
+
+fn setup() -> (wormhole::topo::Internet, wormhole::core::CampaignResult) {
+    let internet = generate(&InternetConfig::small(31));
+    let campaign = Campaign::new(
+        &internet.net,
+        &internet.cp,
+        internet.vps.clone(),
+        CampaignConfig {
+            hdn_threshold: 6,
+            ..CampaignConfig::default()
+        },
+    );
+    let result = campaign.run();
+    (internet, result)
+}
+
+#[test]
+fn corrected_paths_match_ground_truth_router_sequences() {
+    let (internet, result) = setup();
+    let gt = GroundTruth::new(&internet.net, &internet.cp);
+    let mut checked = 0usize;
+    let mut exact = 0usize;
+    for (c, trace) in result
+        .candidates
+        .iter()
+        .map(|c| (c, &result.traces[c.trace_index]))
+    {
+        if !trace.reached {
+            continue;
+        }
+        let Some(RevealOutcome::Revealed(_)) = result.revelations.get(&(c.ingress, c.egress))
+        else {
+            continue;
+        };
+        // The corrected trace, as router ids.
+        let fixed: Vec<_> = corrected_path(trace, &result.revelations)
+            .into_iter()
+            .flatten()
+            .map(|a| internet.net.owner(a).expect("known addr"))
+            .collect();
+        // Ground truth for the same flow.
+        let Some(truth) = gt.forward_path(internet.vps[c.vp_index], trace.dst, trace.flow)
+        else {
+            continue;
+        };
+        // Drop the VP and any leading hops skipped by start TTL 2.
+        let truth: Vec<_> = truth
+            .into_iter()
+            .filter(|r| !internet.net.router(*r).config.is_host)
+            .collect();
+        // Under ECMP the revelation may expose a sibling equal-cost
+        // branch, so we check order-preserving containment and count
+        // exact matches; the corrected *length* must always be
+        // plausible (between the measured and the true length).
+        let mut it = truth.iter();
+        let in_order = fixed.iter().all(|hop| it.any(|r| r == hop));
+        // The campaign starts at TTL 2, so the corrected trace misses
+        // exactly the first router of the true path.
+        if in_order && fixed.len() + 1 == truth.len() {
+            exact += 1;
+        }
+        assert!(
+            fixed.len() < truth.len(),
+            "corrected path longer than the true path for {}",
+            trace.dst
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "validated at least one corrected trace");
+    assert!(
+        exact * 2 >= checked,
+        "at least half the corrected traces must equal ground truth exactly ({exact}/{checked})"
+    );
+}
+
+#[test]
+fn revelation_reduces_density_and_degree_mass() {
+    let (internet, result) = setup();
+    let resolve = |addr: Addr| match internet.net.owner(addr) {
+        Some(r) => NodeInfo {
+            key: u64::from(r.0),
+            asn: Some(internet.net.router(r).asn),
+        },
+        None => NodeInfo {
+            key: u64::MAX ^ u64::from(addr.0),
+            asn: None,
+        },
+    };
+    let (before, after) = before_after_snapshots(&result.traces, &result.revelations, resolve);
+    // Revelation adds addresses (the hidden LSR interfaces; the routers
+    // themselves may already be known through their loopbacks) …
+    assert!(after.num_addresses() > before.num_addresses());
+    assert!(after.num_nodes() >= before.num_nodes());
+    // … and reduces overall density.
+    assert!(density(&after) < density(&before));
+    // The heavy tail shrinks: the highest degrees deflate in aggregate.
+    let hb = degree_histogram(&before);
+    let ha = degree_histogram(&after);
+    let tail = |h: &wormhole::analysis::Histogram| {
+        h.pdf()
+            .iter()
+            .filter(|&&(d, _)| d >= 10)
+            .map(|&(_, p)| p)
+            .sum::<f64>()
+    };
+    assert!(
+        tail(&ha) <= tail(&hb) + 1e-12,
+        "high-degree mass must not grow"
+    );
+}
+
+#[test]
+fn path_lengths_only_grow() {
+    let (_, result) = setup();
+    let lens = trace_lengths(&result.traces, &result.revelations);
+    assert!(!lens.is_empty());
+    for (b, a) in &lens {
+        assert!(a >= b, "correction can only add hops");
+    }
+    let grew = lens.iter().filter(|(b, a)| a > b).count();
+    assert!(grew > 0, "some traces must gain hops");
+}
+
+#[test]
+fn density_correction_is_per_as_consistent() {
+    let (internet, result) = setup();
+    let resolve = |addr: Addr| match internet.net.owner(addr) {
+        Some(r) => NodeInfo {
+            key: u64::from(r.0),
+            asn: Some(internet.net.router(r).asn),
+        },
+        None => NodeInfo {
+            key: u64::MAX ^ u64::from(addr.0),
+            asn: None,
+        },
+    };
+    let (before, after) = before_after_snapshots(&result.traces, &result.revelations, resolve);
+    for persona in &internet.personas {
+        let pair_addrs: BTreeSet<Addr> = result
+            .candidates
+            .iter()
+            .filter(|c| c.asn == persona.asn)
+            .flat_map(|c| [c.ingress, c.egress])
+            .collect();
+        if pair_addrs.len() < 3 {
+            continue;
+        }
+        let (db, da) =
+            wormhole::analysis::density_before_after(&before, &after, &pair_addrs);
+        assert!(
+            da <= db + 1e-12,
+            "{}: density grew {db} → {da}",
+            persona.name
+        );
+    }
+}

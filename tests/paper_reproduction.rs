@@ -1,0 +1,47 @@
+//! The experiment harness itself as an integration test: every table
+//! and figure module must run with all its internal paper-shape
+//! assertions holding (Quick scale).
+
+use wormhole::experiments::*;
+
+#[test]
+fn scenario_artifacts_reproduce_exactly() {
+    // These assert exact values from the paper (Fig. 4 TTLs, Table 1
+    // signatures, Table 2 matrix, Table 6 applicability).
+    table1::run();
+    table2::run();
+    fig4::run();
+    table6::run();
+}
+
+#[test]
+fn cross_validation_reproduces_table3_shape() {
+    let report = table3::run(true);
+    assert!(report
+        .lines
+        .iter()
+        .any(|l| l.contains("vast majority")));
+}
+
+#[test]
+fn campaign_artifacts_reproduce_shapes() {
+    let ctx = PaperContext::generate(Scale::Quick);
+    fig1::run(&ctx);
+    table4::run(&ctx);
+    fig5::run(&ctx);
+    fig6::run(&ctx);
+    fig7::run(&ctx);
+    fig8::run(&ctx);
+    fig9::run(&ctx);
+    table5::run(&ctx);
+    fig10::run(&ctx);
+    fig11::run(&ctx);
+}
+
+#[test]
+fn reports_render_to_markdownish_text() {
+    let r = table1::run();
+    let s = r.to_string();
+    assert!(s.starts_with("## table1"));
+    assert!(s.contains("Cisco IOS"));
+}

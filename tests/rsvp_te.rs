@@ -1,0 +1,147 @@
+//! RSVP-TE tunnels: the paper's §8 explanation for the ASes where no
+//! technique succeeded — "they use MPLS only with UHP, for VPN and/or
+//! traffic engineering, leaving tunnels truly invisible".
+
+use wormhole::core::{
+    reveal_between, rfa_of_hop, smart_traceroute, RevealOpts, RevealOutcome, SmartOpts,
+};
+use wormhole::net::{
+    Asn, ControlPlane, LinkOpts, NetworkBuilder, Packet, PoppingMode, RouterConfig, Vendor,
+};
+use wormhole::probe::{Session, TracerouteOpts};
+use wormhole::topo::gns3_fig2_te;
+
+fn session(s: &wormhole::topo::Scenario) -> Session<'_> {
+    let mut sess = Session::new(&s.net, &s.cp, s.vp);
+    sess.set_opts(TracerouteOpts::default());
+    sess
+}
+
+#[test]
+fn te_php_hides_interior_but_frpla_sees_it() {
+    let s = gns3_fig2_te(PoppingMode::Php, false);
+    let mut sess = session(&s);
+    let trace = sess.traceroute(s.target);
+    // Interior hidden: CE1, PE1, PE2, CE2.
+    assert_eq!(trace.responsive_count(), 4);
+    assert!(!trace.has_labels());
+    // FRPLA still reads the 3-LSR return tunnel (the min rule applies
+    // to RSVP-TE labels just the same).
+    let hop = trace.hop_of(s.left_addr("PE2")).expect("egress visible");
+    assert_eq!(rfa_of_hop(hop).unwrap().rfa, 3);
+}
+
+#[test]
+fn te_autoroute_resists_dpr_and_brpr() {
+    // With RSVP-TE autoroute, even the egress's incoming interface is
+    // reached through the tunnel: the §4 recursion finds nothing — this
+    // is why the paper's revelation methods need LDP-signalled LSPs.
+    let s = gns3_fig2_te(PoppingMode::Php, false);
+    let mut sess = session(&s);
+    let out = reveal_between(
+        &mut sess,
+        s.left_addr("PE1"),
+        s.left_addr("PE2"),
+        s.target,
+        &RevealOpts::default(),
+    );
+    assert!(matches!(out, RevealOutcome::NothingHidden));
+}
+
+#[test]
+fn te_uhp_is_truly_invisible() {
+    let s = gns3_fig2_te(PoppingMode::Uhp, false);
+    let mut sess = session(&s);
+    let trace = sess.traceroute(s.target);
+    // Even the egress LER disappears (Fig. 4d shape).
+    assert!(trace.hop_of(s.left_addr("PE2")).is_none());
+    assert_eq!(trace.responsive_count(), 3);
+    // The smart traceroute triggers nothing and reveals nothing.
+    let net = &s.net;
+    let smart = smart_traceroute(
+        &mut sess,
+        s.target,
+        |a| net.owner_asn(a),
+        &SmartOpts::default(),
+    );
+    assert_eq!(smart.revealed_count(), 0);
+}
+
+#[test]
+fn te_with_propagate_shows_the_pinned_path() {
+    let s = gns3_fig2_te(PoppingMode::Php, true);
+    let mut sess = session(&s);
+    let trace = sess.traceroute(s.target);
+    // Visible TE tunnel: all 7 routers, RSVP labels quoted.
+    assert_eq!(trace.responsive_count(), 7);
+    assert!(trace.has_labels());
+    // The quoted labels come from the TE space, not LDP's.
+    let labeled = trace.hops.iter().find(|h| h.is_labeled()).unwrap();
+    assert!(labeled.labels[0].label.0 >= 500_000);
+}
+
+#[test]
+fn te_pins_a_detour_the_igp_would_not_take() {
+    // Diamond: head - (top: t1) - tail  vs  (bottom: b1, b2) — IGP
+    // prefers the 2-hop top path; the TE tunnel pins the 3-hop bottom.
+    let mut b = NetworkBuilder::new();
+    let cfg = RouterConfig::mpls_router(Vendor::CiscoIos)
+        .ldp(wormhole::net::LdpPolicy::None)
+        .no_ttl_propagate();
+    let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+    let head = b.add_router("head", Asn(2), cfg.clone());
+    let t1 = b.add_router("t1", Asn(2), cfg.clone());
+    let b1 = b.add_router("b1", Asn(2), cfg.clone());
+    let b2 = b.add_router("b2", Asn(2), cfg.clone());
+    let tail = b.add_router("tail", Asn(2), cfg);
+    let dst = b.add_router("dst", Asn(3), RouterConfig::ip_router(Vendor::CiscoIos));
+    b.link(vp, head, LinkOpts::default());
+    b.link(head, t1, LinkOpts::default());
+    b.link(t1, tail, LinkOpts::default());
+    b.link(head, b1, LinkOpts::default());
+    b.link(b1, b2, LinkOpts::default());
+    b.link(b2, tail, LinkOpts::default());
+    b.link(tail, dst, LinkOpts::default());
+    b.as_rel(Asn(2), Asn(1), wormhole::net::RelKind::ProviderCustomer);
+    b.as_rel(Asn(2), Asn(3), wormhole::net::RelKind::ProviderCustomer);
+    b.te_tunnel(vec![head, b1, b2, tail], PoppingMode::Php);
+    let net = b.build().unwrap();
+    let cp = ControlPlane::build(&net).unwrap();
+    let mut eng = wormhole::net::Engine::new(&net, &cp);
+    let src = net.router(vp).loopback;
+    let target = net.router(dst).loopback;
+    let out = eng.send(vp, Packet::echo_request(src, target, 64, 1, 1, 1));
+    let reply = out.reply().expect("delivered");
+    let names: Vec<&str> = reply
+        .fwd_path
+        .iter()
+        .map(|&r| net.router(r).name.as_str())
+        .collect();
+    // Traffic takes the pinned bottom path, not the IGP-shortest top.
+    assert_eq!(names, ["VP", "head", "b1", "b2", "tail", "dst"]);
+    // Replies from beyond the tunnel come back through the IGP path
+    // (no reverse tunnel configured): forward and return differ.
+    let ret: Vec<&str> = reply
+        .ret_path
+        .iter()
+        .map(|&r| net.router(r).name.as_str())
+        .collect();
+    assert_eq!(ret, ["dst", "tail", "t1", "head", "VP"]);
+}
+
+#[test]
+fn invalid_te_paths_are_rejected_at_build() {
+    let mut b = NetworkBuilder::new();
+    let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+    let a = b.add_router("a", Asn(1), cfg.clone());
+    let c = b.add_router("c", Asn(1), cfg.clone());
+    let z = b.add_router("z", Asn(1), cfg);
+    b.link(a, c, LinkOpts::default());
+    b.link(c, z, LinkOpts::default());
+    b.te_tunnel(vec![a, z], PoppingMode::Php); // not adjacent
+    let net = b.build().unwrap();
+    assert!(matches!(
+        ControlPlane::build(&net),
+        Err(wormhole::net::NetError::InvalidTeTunnel { .. })
+    ));
+}

@@ -1,0 +1,200 @@
+//! Validates FRPLA, RTLA, DPR and BRPR against ground truth over a
+//! sweep of tunnel lengths, vendors, and configurations — the
+//! integration-level counterpart of the paper's §3.3 emulation.
+
+mod common;
+
+use common::{line, LineOpts};
+use wormhole::core::{
+    infer_initial_ttl, return_tunnel_length, reveal_between, rfa_of_hop, RevealMethod,
+    RevealOpts, RevealOutcome, Signature,
+};
+use wormhole::net::{LdpPolicy, Vendor};
+use wormhole::probe::{Session, TracerouteOpts};
+
+fn session(l: &common::Line) -> Session<'_> {
+    let mut sess = Session::new(&l.net, &l.cp, l.vp);
+    sess.set_opts(TracerouteOpts::default());
+    sess
+}
+
+fn egress_addr(l: &common::Line) -> wormhole::net::Addr {
+    let pe2 = l.net.router_by_name("PE2").unwrap();
+    pe2.ifaces[0].addr // the interface facing the LSRs (incoming)
+}
+
+fn ingress_addr(l: &common::Line) -> wormhole::net::Addr {
+    let pe1 = l.net.router_by_name("PE1").unwrap();
+    pe1.ifaces[0].addr
+}
+
+#[test]
+fn frpla_recovers_tunnel_length_for_all_sizes() {
+    for n in 1..=8 {
+        let l = line(LineOpts {
+            n_lsrs: n,
+            ..LineOpts::default()
+        });
+        let mut sess = session(&l);
+        let trace = sess.traceroute(l.target);
+        let hop = trace.hop_of(egress_addr(&l)).expect("egress visible");
+        let rfa = rfa_of_hop(hop).expect("reply TTL");
+        assert_eq!(
+            rfa.rfa, n as i32,
+            "FRPLA must read exactly the {n} hidden LSRs on a symmetric line"
+        );
+    }
+}
+
+#[test]
+fn rtla_gap_equals_return_tunnel_length() {
+    for n in 1..=8 {
+        let l = line(LineOpts {
+            n_lsrs: n,
+            vendor: Vendor::JuniperJunos,
+            ldp: LdpPolicy::LoopbackOnly,
+            ..LineOpts::default()
+        });
+        let mut sess = session(&l);
+        let trace = sess.traceroute(l.target);
+        let egress = egress_addr(&l);
+        let te = trace.hop_of(egress).and_then(|h| h.reply_ip_ttl).unwrap();
+        let er = sess.ping(egress).unwrap().reply_ip_ttl;
+        let sig = Signature {
+            te: Some(infer_initial_ttl(te)),
+            er: Some(infer_initial_ttl(er)),
+        };
+        assert_eq!(
+            return_tunnel_length(sig, te, er),
+            Some(n as i32),
+            "RTLA gap must equal the {n}-LSR return tunnel"
+        );
+    }
+}
+
+#[test]
+fn brpr_reveals_every_lsr_in_order() {
+    for n in 1..=6 {
+        let l = line(LineOpts {
+            n_lsrs: n,
+            ..LineOpts::default()
+        });
+        let mut sess = session(&l);
+        let out = reveal_between(
+            &mut sess,
+            ingress_addr(&l),
+            egress_addr(&l),
+            l.target,
+            &RevealOpts::default(),
+        );
+        let t = out.tunnel().expect("revealed");
+        assert_eq!(t.len(), n);
+        // Forward order P1..Pn.
+        let names: Vec<String> = t
+            .hops()
+            .iter()
+            .map(|&a| l.net.router(l.net.owner(a).unwrap()).name.clone())
+            .collect();
+        let want: Vec<String> = (1..=n).map(|i| format!("P{i}")).collect();
+        assert_eq!(names, want);
+        if n == 1 {
+            assert_eq!(t.method(), RevealMethod::Either);
+        } else {
+            assert_eq!(t.method(), RevealMethod::Brpr);
+        }
+        // Revealed hops match ground truth exactly.
+        let gt = wormhole::topo::GroundTruth::new(&l.net, &l.cp);
+        let pe1 = l.net.router_by_name("PE1").unwrap().id;
+        let pe2 = l.net.router_by_name("PE2").unwrap().id;
+        let hidden = gt.hidden_hops(l.vp, l.target, pe1, pe2, 1).unwrap();
+        let revealed: Vec<_> = t.hops().iter().map(|&a| l.net.owner(a).unwrap()).collect();
+        assert_eq!(revealed, hidden);
+    }
+}
+
+#[test]
+fn dpr_reveals_in_one_shot() {
+    for n in 2..=6 {
+        let l = line(LineOpts {
+            n_lsrs: n,
+            vendor: Vendor::JuniperJunos,
+            ldp: LdpPolicy::LoopbackOnly,
+            ..LineOpts::default()
+        });
+        let mut sess = session(&l);
+        let probes_before = sess.stats.probes;
+        let out = reveal_between(
+            &mut sess,
+            ingress_addr(&l),
+            egress_addr(&l),
+            l.target,
+            &RevealOpts::default(),
+        );
+        let t = out.tunnel().expect("revealed");
+        assert_eq!(t.len(), n);
+        assert_eq!(t.method(), RevealMethod::Dpr);
+        // DPR needs far fewer probes than BRPR would (one re-trace plus
+        // the stop-trace).
+        let used = sess.stats.probes - probes_before;
+        assert!(used <= 2 * (n as u64 + 6), "DPR used {used} probes");
+    }
+}
+
+#[test]
+fn uhp_defeats_all_techniques() {
+    let l = line(LineOpts {
+        n_lsrs: 4,
+        uhp: true,
+        ..LineOpts::default()
+    });
+    let mut sess = session(&l);
+    let trace = sess.traceroute(l.target);
+    // The egress LER does not even appear.
+    assert!(trace.hop_of(egress_addr(&l)).is_none());
+    // Revelation towards the next-best candidate pair finds nothing.
+    let out = reveal_between(
+        &mut sess,
+        ingress_addr(&l),
+        l.target,
+        l.target,
+        &RevealOpts::default(),
+    );
+    assert!(matches!(out, RevealOutcome::NothingHidden));
+}
+
+#[test]
+fn min_rule_ablation_kills_the_frpla_signal() {
+    // Without the RFC 3443 min rule at the return-tunnel exit, the
+    // reply's IP-TTL never absorbs the LSE decrements: FRPLA sees a
+    // symmetric path. This is the design-choice ablation DESIGN.md
+    // calls out.
+    let l = line(LineOpts {
+        n_lsrs: 4,
+        min_on_exit: false,
+        ..LineOpts::default()
+    });
+    let mut sess = session(&l);
+    let trace = sess.traceroute(l.target);
+    let hop = trace.hop_of(egress_addr(&l)).expect("egress visible");
+    let rfa = rfa_of_hop(hop).expect("reply TTL");
+    assert_eq!(
+        rfa.rfa, 0,
+        "without the min rule the return tunnel goes uncounted"
+    );
+}
+
+#[test]
+fn propagate_makes_everything_visible() {
+    let l = line(LineOpts {
+        n_lsrs: 5,
+        propagate: true,
+        ..LineOpts::default()
+    });
+    let mut sess = session(&l);
+    let trace = sess.traceroute(l.target);
+    // VP sees CE1, PE1, P1..P5, PE2, CE2.
+    assert_eq!(trace.responsive_count(), 9);
+    assert!(trace.has_labels());
+    let hop = trace.hop_of(egress_addr(&l)).expect("egress visible");
+    assert_eq!(rfa_of_hop(hop).unwrap().rfa, 0);
+}
