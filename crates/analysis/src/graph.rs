@@ -158,10 +158,7 @@ mod tests {
         assert!((avg - 2.5).abs() < 1e-12);
         // Disconnected pieces ignored.
         let snap2 = ItdkSnapshot::build(
-            &[
-                vec![Some(a(1)), Some(a(2))],
-                vec![Some(a(3)), Some(a(4))],
-            ],
+            &[vec![Some(a(1)), Some(a(2))], vec![Some(a(3)), Some(a(4))]],
             ident,
         );
         let d = bfs_distances(&snap2, 0);

@@ -20,7 +20,7 @@ pub use graph::{
     path_length_stats,
 };
 pub use model::{
-    before_after_snapshots, corrected_path, corrected_paths, corrected_rfa,
-    corrected_rtt_profile, density_before_after, rtt_profile, trace_lengths, RttPoint,
+    before_after_snapshots, corrected_path, corrected_paths, corrected_rfa, corrected_rtt_profile,
+    density_before_after, rtt_profile, trace_lengths, RttPoint,
 };
 pub use stats::{mean, power_law_slope, stddev, Histogram};

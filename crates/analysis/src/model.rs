@@ -98,12 +98,7 @@ pub fn rtt_profile(trace: &Trace) -> Vec<RttPoint> {
         .iter()
         .filter(|h| h.addr.is_some())
         .enumerate()
-        .filter_map(|(i, h)| {
-            h.rtt_ms.map(|rtt_ms| RttPoint {
-                hop: i + 1,
-                rtt_ms,
-            })
-        })
+        .filter_map(|(i, h)| h.rtt_ms.map(|rtt_ms| RttPoint { hop: i + 1, rtt_ms }))
         .collect()
 }
 
@@ -139,10 +134,14 @@ pub fn density_before_after(
     after: &ItdkSnapshot,
     pair_addrs: &BTreeSet<Addr>,
 ) -> (f64, f64) {
-    let nodes_before: BTreeSet<usize> =
-        pair_addrs.iter().filter_map(|&a| before.node_of(a)).collect();
-    let nodes_after: BTreeSet<usize> =
-        pair_addrs.iter().filter_map(|&a| after.node_of(a)).collect();
+    let nodes_before: BTreeSet<usize> = pair_addrs
+        .iter()
+        .filter_map(|&a| before.node_of(a))
+        .collect();
+    let nodes_after: BTreeSet<usize> = pair_addrs
+        .iter()
+        .filter_map(|&a| after.node_of(a))
+        .collect();
     (
         before.density_of(&nodes_before),
         after.density_of(&nodes_after),
@@ -228,10 +227,7 @@ mod tests {
     fn stars_block_splicing() {
         let t = trace(vec![hop(1, 2, 1.0), TraceHop::star(2), hop(3, 9, 2.0)]);
         let mut revs = HashMap::new();
-        revs.insert(
-            (a(2), a(9)),
-            RevealOutcome::Revealed(tunnel(2, 9, &[21])),
-        );
+        revs.insert((a(2), a(9)), RevealOutcome::Revealed(tunnel(2, 9, &[21])));
         let fixed = corrected_path(&t, &revs);
         assert_eq!(fixed.len(), 3);
     }
@@ -269,10 +265,7 @@ mod tests {
     fn snapshots_and_density() {
         let t = trace(vec![hop(1, 1, 1.0), hop(2, 2, 2.0), hop(3, 9, 3.0)]);
         let mut revs = HashMap::new();
-        revs.insert(
-            (a(2), a(9)),
-            RevealOutcome::Revealed(tunnel(2, 9, &[21])),
-        );
+        revs.insert((a(2), a(9)), RevealOutcome::Revealed(tunnel(2, 9, &[21])));
         let resolve = |addr: Addr| NodeInfo {
             key: addr.0 as u64,
             asn: None,

@@ -12,8 +12,12 @@ fn scenario_experiments(c: &mut Criterion) {
     group.bench_function("table2_visibility_matrix", |b| {
         b.iter(|| black_box(table2::run()))
     });
-    group.bench_function("fig4_emulation_listings", |b| b.iter(|| black_box(fig4::run())));
-    group.bench_function("table6_applicability", |b| b.iter(|| black_box(table6::run())));
+    group.bench_function("fig4_emulation_listings", |b| {
+        b.iter(|| black_box(fig4::run()))
+    });
+    group.bench_function("table6_applicability", |b| {
+        b.iter(|| black_box(table6::run()))
+    });
     group.finish();
 }
 
@@ -37,18 +41,37 @@ fn campaign_experiments(c: &mut Criterion) {
     group.bench_function("table4_per_as_discovery", |b| {
         b.iter(|| black_box(table4::run(&ctx)))
     });
-    group.bench_function("fig5_ftl_distribution", |b| b.iter(|| black_box(fig5::run(&ctx))));
-    group.bench_function("fig6_rtt_correction", |b| b.iter(|| black_box(fig6::run(&ctx))));
-    group.bench_function("fig7_rfa_distributions", |b| b.iter(|| black_box(fig7::run(&ctx))));
-    group.bench_function("fig8_rfa_by_message", |b| b.iter(|| black_box(fig8::run(&ctx))));
-    group.bench_function("fig9_rtla_distributions", |b| b.iter(|| black_box(fig9::run(&ctx))));
-    group.bench_function("table5_deployment", |b| b.iter(|| black_box(table5::run(&ctx))));
+    group.bench_function("fig5_ftl_distribution", |b| {
+        b.iter(|| black_box(fig5::run(&ctx)))
+    });
+    group.bench_function("fig6_rtt_correction", |b| {
+        b.iter(|| black_box(fig6::run(&ctx)))
+    });
+    group.bench_function("fig7_rfa_distributions", |b| {
+        b.iter(|| black_box(fig7::run(&ctx)))
+    });
+    group.bench_function("fig8_rfa_by_message", |b| {
+        b.iter(|| black_box(fig8::run(&ctx)))
+    });
+    group.bench_function("fig9_rtla_distributions", |b| {
+        b.iter(|| black_box(fig9::run(&ctx)))
+    });
+    group.bench_function("table5_deployment", |b| {
+        b.iter(|| black_box(table5::run(&ctx)))
+    });
     group.bench_function("fig10_degree_correction", |b| {
         b.iter(|| black_box(fig10::run(&ctx)))
     });
-    group.bench_function("fig11_path_lengths", |b| b.iter(|| black_box(fig11::run(&ctx))));
+    group.bench_function("fig11_path_lengths", |b| {
+        b.iter(|| black_box(fig11::run(&ctx)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, scenario_experiments, cross_validation_experiment, campaign_experiments);
+criterion_group!(
+    benches,
+    scenario_experiments,
+    cross_validation_experiment,
+    campaign_experiments
+);
 criterion_main!(benches);

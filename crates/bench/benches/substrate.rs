@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use wormhole_bench::grid;
 use wormhole_net::{Addr, ControlPlane, Engine, Packet, Prefix, PrefixTrie};
-use wormhole_topo::{gns3_fig2, generate, Fig2Config, InternetConfig};
+use wormhole_topo::{generate, gns3_fig2, Fig2Config, InternetConfig};
 
 fn trie_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("trie");
@@ -82,5 +82,10 @@ fn forwarding_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, trie_benches, control_plane_benches, forwarding_benches);
+criterion_group!(
+    benches,
+    trie_benches,
+    control_plane_benches,
+    forwarding_benches
+);
 criterion_main!(benches);

@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use wormhole_net::{Asn, ControlPlane, LinkOpts, Network, NetworkBuilder, RelKind, RouterConfig, Vendor};
+use wormhole_net::{
+    Asn, ControlPlane, LinkOpts, Network, NetworkBuilder, RelKind, RouterConfig, Vendor,
+};
 
 /// A grid-ish single-AS IP network of `n × n` routers plus a host, for
 /// raw forwarding benchmarks.

@@ -142,6 +142,11 @@ pub struct Campaign<'a> {
 
 impl<'a> Campaign<'a> {
     /// Creates a campaign.
+    ///
+    /// # Panics
+    /// Panics without vantage points and, under `debug_assertions`,
+    /// when the network fails static analysis with `Error`-level
+    /// diagnostics (lint before simulate).
     pub fn new(
         net: &'a Network,
         cp: &'a ControlPlane,
@@ -149,6 +154,8 @@ impl<'a> Campaign<'a> {
         cfg: CampaignConfig,
     ) -> Campaign<'a> {
         assert!(!vps.is_empty(), "need at least one vantage point");
+        #[cfg(debug_assertions)]
+        wormhole_lint::deny_errors("Campaign", &wormhole_lint::check_full(net, cp));
         Campaign { net, cp, vps, cfg }
     }
 
@@ -353,6 +360,55 @@ impl<'a> Campaign<'a> {
     }
 }
 
+/// Reduces a campaign result to the neutral snapshot consumed by the
+/// `wormhole-lint` result auditor (`A3xx` rules).
+pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
+    let signatures = result
+        .fingerprints
+        .iter()
+        .map(|(addr, sig)| (addr, sig.te, sig.er))
+        .collect();
+    let tunnels = result
+        .tunnels()
+        .map(|t| {
+            // The RTLA gap at the egress, when both raw reply TTLs were
+            // observed and its signature is the `<255, 64>` pair.
+            let rtl = match (result.te_obs.get(&t.egress), result.er_obs.get(&t.egress)) {
+                (Some(&(_, te)), Some(&er)) => crate::rtla::return_tunnel_length(
+                    result.fingerprints.signature(t.egress),
+                    te,
+                    er,
+                ),
+                _ => None,
+            };
+            wormhole_lint::TunnelAudit {
+                ingress: t.ingress,
+                egress: t.egress,
+                hops: t.hops(),
+                rtl,
+            }
+        })
+        .collect();
+    let candidates = result
+        .candidates
+        .iter()
+        .map(|c| (c.ingress, c.egress, c.trace_index))
+        .collect();
+    wormhole_lint::CampaignAudit {
+        signatures,
+        tunnels,
+        candidates,
+        num_traces: result.traces.len(),
+        probes: result.probes,
+    }
+}
+
+/// Audits a campaign result against the network it ran on, returning
+/// the `A3xx` diagnostics.
+pub fn audit_campaign(net: &Network, result: &CampaignResult) -> Vec<wormhole_lint::Diagnostic> {
+    wormhole_lint::audit(net, &audit_input(result))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +456,23 @@ mod tests {
             .filter(|(_, s)| s.pair().is_some())
             .count();
         assert!(complete > 0);
+    }
+
+    #[test]
+    fn campaign_results_audit_clean() {
+        let internet = generate(&InternetConfig::small(11));
+        let cfg = CampaignConfig {
+            hdn_threshold: 6,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg);
+        let result = campaign.run();
+        let diags = audit_campaign(&internet.net, &result);
+        assert!(
+            !wormhole_lint::has_errors(&diags),
+            "{}",
+            wormhole_lint::render(&diags)
+        );
     }
 
     #[test]

@@ -128,10 +128,7 @@ impl RfaDistribution {
             *counts.entry(s).or_insert(0usize) += 1;
         }
         let n = self.samples.len() as f64;
-        counts
-            .into_iter()
-            .map(|(v, c)| (v, c as f64 / n))
-            .collect()
+        counts.into_iter().map(|(v, c)| (v, c as f64 / n)).collect()
     }
 
     /// The paper's shift test: an AS whose RFA median is at least

@@ -21,7 +21,9 @@ pub mod reveal;
 pub mod rtla;
 pub mod smart;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, CandidatePair, HdnRule};
+pub use campaign::{
+    audit_campaign, audit_input, Campaign, CampaignConfig, CampaignResult, CandidatePair, HdnRule,
+};
 pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Signature};
 pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};
 pub use reveal::{

@@ -120,8 +120,11 @@ impl RevealedTunnel {
 
     /// The §4 classification.
     pub fn method(&self) -> RevealMethod {
-        let revealing: Vec<&RevealStep> =
-            self.steps.iter().filter(|s| !s.new_hops.is_empty()).collect();
+        let revealing: Vec<&RevealStep> = self
+            .steps
+            .iter()
+            .filter(|s| !s.new_hops.is_empty())
+            .collect();
         let total = self.len();
         if total == 1 {
             return RevealMethod::Either;
@@ -185,11 +188,13 @@ fn segment_between(
     Some(
         hops[i + 1..j]
             .iter()
-            .map(|h| RevealedHop {
-                addr: h.addr.expect("responsive"),
-                labeled: h.is_labeled(),
-                rtt_ms: h.rtt_ms,
-                truth: h.truth,
+            .filter_map(|h| {
+                h.addr.map(|addr| RevealedHop {
+                    addr,
+                    labeled: h.is_labeled(),
+                    rtt_ms: h.rtt_ms,
+                    truth: h.truth,
+                })
             })
             .collect(),
     )
@@ -231,13 +236,11 @@ pub fn reveal_between(
             target: cur,
             new_hops,
         });
-        match n {
-            0 => break,          // recursion exhausted
-            1 => {
-                // Backward step: recurse towards the newly revealed hop.
-                cur = next.expect("one hop");
-            }
-            _ => break,          // DPR revealed the remainder at once
+        match (n, next) {
+            // Backward step: recurse towards the newly revealed hop.
+            (1, Some(revealed)) => cur = revealed,
+            // Recursion exhausted, or DPR revealed the remainder at once.
+            _ => break,
         }
         if step_idx == opts.max_steps {
             break;

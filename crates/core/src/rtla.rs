@@ -32,11 +32,7 @@ pub struct RtlaSample {
 ///
 /// Returns `None` unless `signature` is the `<255, 64>` pair the method
 /// requires.
-pub fn return_tunnel_length(
-    signature: Signature,
-    te_observed: u8,
-    er_observed: u8,
-) -> Option<i32> {
+pub fn return_tunnel_length(signature: Signature, te_observed: u8, er_observed: u8) -> Option<i32> {
     if !signature.is_rtla_capable() {
         return None;
     }

@@ -87,11 +87,7 @@ impl Default for SmartOpts {
     }
 }
 
-fn trigger_for(
-    sess: &mut Session<'_>,
-    hop: &TraceHop,
-    opts: &SmartOpts,
-) -> Option<Trigger> {
+fn trigger_for(sess: &mut Session<'_>, hop: &TraceHop, opts: &SmartOpts) -> Option<Trigger> {
     if hop.kind != Some(ReplyKind::TimeExceeded) {
         return None;
     }
@@ -137,20 +133,17 @@ where
 {
     let probes_before = sess.stats.probes;
     let base = sess.traceroute(dst);
-    let responsive: Vec<TraceHop> = base
+    let responsive: Vec<(Addr, TraceHop)> = base
         .hops
         .iter()
-        .filter(|h| h.addr.is_some())
-        .cloned()
+        .filter_map(|h| h.addr.map(|a| (a, h.clone())))
         .collect();
     let mut hops: Vec<SmartHop> = Vec::with_capacity(responsive.len());
     let mut unrevealed = Vec::new();
-    for (i, hop) in responsive.iter().enumerate() {
-        let addr = hop.addr.expect("responsive");
+    for (i, &(addr, ref hop)) in responsive.iter().enumerate() {
         // Analyse the pair (previous, this) when both map to one AS.
         let pair_trigger = match i.checked_sub(1).map(|j| &responsive[j]) {
-            Some(prev) => {
-                let x = prev.addr.expect("responsive");
+            Some(&(x, ref prev)) => {
                 let same_as = match (as_of(x), as_of(addr)) {
                     (Some(a), Some(b)) => a == b,
                     _ => false,

@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig1 artefact over a fresh synthetic-Internet
 //! campaign. `WORMHOLE_SCALE=quick` runs a reduced Internet.
-use wormhole_experiments::{PaperContext, Scale, fig1};
+use wormhole_experiments::{fig1, PaperContext, Scale};
 fn main() {
     eprintln!("generating Internet + campaign…");
     let ctx = PaperContext::generate(Scale::from_env());

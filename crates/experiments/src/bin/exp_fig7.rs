@@ -1,6 +1,6 @@
 //! Regenerates the paper's fig7 artefact over a fresh synthetic-Internet
 //! campaign. `WORMHOLE_SCALE=quick` runs a reduced Internet.
-use wormhole_experiments::{PaperContext, Scale, fig7};
+use wormhole_experiments::{fig7, PaperContext, Scale};
 fn main() {
     eprintln!("generating Internet + campaign…");
     let ctx = PaperContext::generate(Scale::from_env());

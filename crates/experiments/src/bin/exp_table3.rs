@@ -1,6 +1,6 @@
 //! Regenerates Table 3 (cross-validation). `WORMHOLE_SCALE=quick` runs a
 //! reduced Internet.
-use wormhole_experiments::{Scale, table3};
+use wormhole_experiments::{table3, Scale};
 fn main() {
     let quick = Scale::from_env() == Scale::Quick;
     println!("{}", table3::run(quick));

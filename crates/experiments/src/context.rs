@@ -38,7 +38,7 @@ pub struct PaperContext {
 impl PaperContext {
     /// Generates the context at the given scale with the default seed.
     pub fn generate(scale: Scale) -> PaperContext {
-        PaperContext::generate_seeded(scale, 1717)
+        PaperContext::generate_seeded(scale, 8)
     }
 
     /// Generates the context with an explicit seed.
@@ -51,6 +51,10 @@ impl PaperContext {
             },
         };
         let internet = generate(&net_cfg);
+        // Lint before simulate: a generated Internet that fails static
+        // analysis would waste an entire campaign on a broken substrate.
+        let diags = wormhole_lint::check_internet(&internet);
+        wormhole_lint::deny_errors("PaperContext", &diags);
         let campaign_cfg = CampaignConfig {
             hdn_threshold: match scale {
                 Scale::Quick => 6,

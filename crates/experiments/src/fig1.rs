@@ -13,7 +13,10 @@ use wormhole_analysis::{degree_histogram, power_law_slope};
 
 /// Runs the experiment.
 pub fn run(ctx: &PaperContext) -> Report {
-    let mut report = Report::new("fig1", "Degree distribution of the measured snapshot (Fig. 1)");
+    let mut report = Report::new(
+        "fig1",
+        "Degree distribution of the measured snapshot (Fig. 1)",
+    );
     let hist = degree_histogram(&ctx.result.snapshot);
     let pdf = hist.pdf();
     let (min_d, max_d) = hist.range().expect("non-empty snapshot");

@@ -28,11 +28,7 @@ fn resolver(ctx: &PaperContext) -> impl Fn(wormhole_net::Addr) -> NodeInfo + Cop
 
 /// Nodes of interest: everything that appears as a candidate ingress or
 /// egress (optionally restricted to one AS), in the given snapshot.
-fn pair_nodes(
-    ctx: &PaperContext,
-    snap: &ItdkSnapshot,
-    only_asn: Option<Asn>,
-) -> BTreeSet<usize> {
+fn pair_nodes(ctx: &PaperContext, snap: &ItdkSnapshot, only_asn: Option<Asn>) -> BTreeSet<usize> {
     let mut nodes = BTreeSet::new();
     for c in &ctx.result.candidates {
         if only_asn.is_some_and(|a| a != c.asn) {
@@ -112,12 +108,7 @@ pub fn run(ctx: &PaperContext) -> Report {
     );
     // The DTAG persona, when present in the campaign.
     let dtag = Asn(3320);
-    if ctx
-        .result
-        .candidates
-        .iter()
-        .any(|c| c.asn == dtag)
-    {
+    if ctx.result.candidates.iter().any(|c| c.asn == dtag) {
         let (p, pdf_b, pdf_a) = correction(ctx, Some(dtag));
         report.blank();
         report.line("AS3320 persona (Fig. 10b):");

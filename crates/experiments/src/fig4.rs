@@ -98,8 +98,7 @@ pub fn run() -> Report {
         assert_eq!(traces.len(), want.len(), "{config:?}: listing count");
         for (trace, want_hops) in traces.iter().zip(&want) {
             let got = hop_summary(&s, trace);
-            let got_named: Vec<(&str, u8)> =
-                got.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let got_named: Vec<(&str, u8)> = got.iter().map(|(n, t)| (n.as_str(), *t)).collect();
             assert_eq!(
                 got_named, *want_hops,
                 "{config:?}: listing for {} deviates from Fig. 4",

@@ -28,9 +28,18 @@ pub fn run(ctx: &PaperContext) -> Report {
     ];
     report.table(&rows);
     report.blank();
-    report.line(format!("Others PDF:     {}", pdf_series(&roles.others.pdf())));
-    report.line(format!("Egress PR PDF:  {}", pdf_series(&roles.egress_pr.pdf())));
-    report.line(format!("Correction PDF: {}", pdf_series(&roles.corrected.pdf())));
+    report.line(format!(
+        "Others PDF:     {}",
+        pdf_series(&roles.others.pdf())
+    ));
+    report.line(format!(
+        "Egress PR PDF:  {}",
+        pdf_series(&roles.egress_pr.pdf())
+    ));
+    report.line(format!(
+        "Correction PDF: {}",
+        pdf_series(&roles.corrected.pdf())
+    ));
 
     // Paper claims, asserted:
     let m_others = roles.others.median().expect("others present");

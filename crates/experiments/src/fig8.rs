@@ -59,7 +59,9 @@ pub fn run(ctx: &PaperContext) -> Report {
     report.line(format!("echo-reply PDF:    {}", pdf_series(&d.er.pdf())));
     let m_te = d.te.median().expect("te samples");
     let m_er = d.er.median().expect("er samples");
-    report.line(format!("medians — time-exceeded: {m_te}, echo-reply: {m_er}"));
+    report.line(format!(
+        "medians — time-exceeded: {m_te}, echo-reply: {m_er}"
+    ));
     // Paper: TE median 4 vs ER median ~0–2: the echo-reply curve sits
     // clearly left of the time-exceeded curve.
     assert!(

@@ -21,10 +21,7 @@ pub fn run(ctx: &PaperContext) -> Report {
     report.line(format!("RTL samples: {}", rtl_hist.len()));
     report.line(format!("RTL PDF: {}", pdf_series(&rtl_hist.pdf())));
     let median = rtl_hist.median().expect("samples");
-    let negative: usize = rtl
-        .iter()
-        .filter(|&&(_, r)| r < 0)
-        .count();
+    let negative: usize = rtl.iter().filter(|&&(_, r)| r < 0).count();
     report.line(format!(
         "median RTL: {median}; negative mass (ECMP noise): {:.1}%",
         100.0 * negative as f64 / rtl_hist.len() as f64
@@ -44,7 +41,10 @@ pub fn run(ctx: &PaperContext) -> Report {
         report.line("no (RTLA ∩ revealed) pairs for Fig. 9b at this scale");
     } else {
         let asym_hist = Histogram::from_iter(asym.iter().map(|&a| i64::from(a)));
-        report.line(format!("tunnel asymmetry PDF: {}", pdf_series(&asym_hist.pdf())));
+        report.line(format!(
+            "tunnel asymmetry PDF: {}",
+            pdf_series(&asym_hist.pdf())
+        ));
         let m = asym_hist.median().expect("samples");
         report.line(format!("median tunnel asymmetry (RTL − FTL): {m}"));
         // Fig. 9b: centred near 0.

@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, HashSet};
 use wormhole_core::{
-    rfa_of_hop, return_tunnel_length, CampaignResult, RfaDistribution, RevealOutcome,
+    return_tunnel_length, rfa_of_hop, CampaignResult, RevealOutcome, RfaDistribution,
 };
 use wormhole_net::Addr;
 
@@ -140,11 +140,7 @@ mod tests {
         // Telia/Tinet personas are Juniper-heavy: samples must exist.
         assert!(!samples.is_empty());
         for (addr, _) in &samples {
-            assert!(ctx
-                .result
-                .fingerprints
-                .signature(*addr)
-                .is_rtla_capable());
+            assert!(ctx.result.fingerprints.signature(*addr).is_rtla_capable());
         }
     }
 }

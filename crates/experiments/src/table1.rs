@@ -7,8 +7,8 @@
 use crate::util::Report;
 use wormhole_core::FingerprintTable;
 use wormhole_net::{
-    Asn, ControlPlane, Engine, LinkOpts, NetworkBuilder, Packet, RelKind, ReplyKind,
-    RouterConfig, Vendor,
+    Asn, ControlPlane, Engine, LinkOpts, NetworkBuilder, Packet, RelKind, ReplyKind, RouterConfig,
+    Vendor,
 };
 
 /// Fingerprints one vendor and returns the inferred signature pair.

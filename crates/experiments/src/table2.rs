@@ -9,7 +9,7 @@
 //! paper's matrix.
 
 use crate::util::Report;
-use wormhole_core::{rfa_of_hop, return_tunnel_length, Signature};
+use wormhole_core::{return_tunnel_length, rfa_of_hop, Signature};
 use wormhole_net::{Asn, LdpPolicy, ReplyKind, Vendor};
 use wormhole_probe::{Session, TracerouteOpts};
 use wormhole_topo::{gns3_fig2_with, Fig2Config, Fig2Opts, Scenario};
@@ -147,9 +147,7 @@ pub fn measure(policy: LdpPolicy, col: TtlColumn, internal: bool) -> Cell {
                 .and_then(|a| s.net.owner_asn(a))
                 .is_some_and(|asn| asn == Asn(2))
     });
-    let shift = egress_hop
-        .and_then(rfa_of_hop)
-        .is_some_and(|s| s.rfa >= 2);
+    let shift = egress_hop.and_then(rfa_of_hop).is_some_and(|s| s.rfa >= 2);
 
     // RTLA gap at the same hop.
     let gap = egress_hop.is_some_and(|h| {
@@ -206,7 +204,10 @@ fn view_text(view: LspView, col: TtlColumn, internal: bool) -> &'static str {
 /// Runs the experiment: measures all 12 cells and asserts each against
 /// the paper's Table 2.
 pub fn run() -> Report {
-    let mut report = Report::new("table2", "Visibility of basic MPLS configurations (Table 2)");
+    let mut report = Report::new(
+        "table2",
+        "Visibility of basic MPLS configurations (Table 2)",
+    );
     let mut rows = vec![vec![
         "LDP policy".to_string(),
         "target".to_string(),

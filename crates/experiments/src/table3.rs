@@ -190,7 +190,11 @@ pub fn classify(outcome: &RevealOutcome, explicit: &ExplicitTunnel) -> Option<Bu
         .iter()
         .filter(|s| !s.new_hops.is_empty())
         .all(|s| s.new_hops.last().is_some_and(|h| !h.labeled));
-    Some(if stepwise_ok { Bucket::Brpr } else { Bucket::Fail })
+    Some(if stepwise_ok {
+        Bucket::Brpr
+    } else {
+        Bucket::Fail
+    })
 }
 
 /// Runs the cross-validation; returns `(bucket counts, excluded)`.
@@ -224,8 +228,13 @@ pub fn cross_validate(
         .collect();
     for tun in tunnels {
         let sess = &mut sessions[tun.vp];
-        let outcome =
-            reveal_between(sess, tun.ingress, tun.egress, tun.egress, &RevealOpts::default());
+        let outcome = reveal_between(
+            sess,
+            tun.ingress,
+            tun.egress,
+            tun.egress,
+            &RevealOpts::default(),
+        );
         match classify(&outcome, tun) {
             Some(bucket) => *counts.entry(bucket).or_insert(0) += 1,
             None => excluded += 1,
@@ -262,7 +271,11 @@ pub fn run(quick: bool) -> Report {
         Bucket::Either,
     ] {
         let n = counts.get(&bucket).copied().unwrap_or(0);
-        rows.push(vec![bucket.label().to_string(), n.to_string(), pct(n, total)]);
+        rows.push(vec![
+            bucket.label().to_string(),
+            n.to_string(),
+            pct(n, total),
+        ]);
     }
     report.table(&rows);
     report.line(format!(

@@ -96,8 +96,7 @@ pub fn rows(ctx: &PaperContext) -> Vec<AsDiscovery> {
         }
         let lsrs_also_lers = lsr_ips.iter().filter(|a| ler_addrs.contains(a)).count();
         let pair_addrs: BTreeSet<Addr> = ler_addrs.clone();
-        let (density_before, density_after) =
-            density_before_after(&before, &after, &pair_addrs);
+        let (density_before, density_after) = density_before_after(&before, &after, &pair_addrs);
         out.push(AsDiscovery {
             asn,
             name: persona.name.to_string(),
@@ -151,10 +150,7 @@ pub fn run(ctx: &PaperContext) -> Report {
     // Paper-shape assertions (on personas present in this context).
     if let Some(bt) = by_asn.get(&2856) {
         // BT persona (UHP): essentially nothing revealed.
-        assert_eq!(
-            bt.revealed_pairs, 0,
-            "UHP persona must resist revelation"
-        );
+        assert_eq!(bt.revealed_pairs, 0, "UHP persona must resist revelation");
     }
     for asn in [3257u32, 3549, 3320, 6762, 3491] {
         if let Some(d) = by_asn.get(&asn) {

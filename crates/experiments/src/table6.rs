@@ -9,7 +9,7 @@
 
 use crate::util::Report;
 use wormhole_core::{
-    reveal_between, rfa_of_hop, return_tunnel_length, RevealMethod, RevealOpts, Signature,
+    return_tunnel_length, reveal_between, rfa_of_hop, RevealMethod, RevealOpts, Signature,
 };
 use wormhole_net::{ReplyKind, Vendor};
 use wormhole_probe::{Session, TracerouteOpts};

@@ -1,0 +1,182 @@
+//! `A3xx` — result-audit rules over campaign outputs.
+//!
+//! The campaign layer lives above this crate, so the auditor takes a
+//! neutral [`CampaignAudit`] snapshot (built by
+//! `wormhole_core::audit_input`) rather than the campaign result type
+//! itself.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use std::collections::HashSet;
+use wormhole_net::{Addr, Network};
+
+/// The Table 1 pair-signature taxonomy: `<time-exceeded, echo-reply>`
+/// inferred initial TTLs a router can legitimately exhibit.
+pub const SIGNATURE_TAXONOMY: [(u8, u8); 4] = [(255, 255), (255, 64), (128, 128), (64, 64)];
+
+/// Allowed absolute disagreement between a revealed forward tunnel
+/// length and the RTLA return-tunnel length before A302 fires. Forward
+/// and return LSPs may legitimately differ by a hop or two (Fig. 9b);
+/// more than that suggests a broken revelation or fingerprint.
+pub const RTLA_GAP_TOLERANCE: i32 = 2;
+
+/// One revealed tunnel, reduced to what the auditor needs.
+#[derive(Clone, Debug)]
+pub struct TunnelAudit {
+    /// Suspected ingress LER address.
+    pub ingress: Addr,
+    /// Suspected egress LER address.
+    pub egress: Addr,
+    /// Revealed hidden hops, ingress side first.
+    pub hops: Vec<Addr>,
+    /// RTLA return-tunnel length measured at the egress, when its
+    /// signature allowed the measurement.
+    pub rtl: Option<i32>,
+}
+
+/// A neutral snapshot of campaign outputs.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignAudit {
+    /// Per-address inferred initial TTLs `(addr, te, er)`; `None` for
+    /// reply kinds never observed.
+    pub signatures: Vec<(Addr, Option<u8>, Option<u8>)>,
+    /// Every revealed tunnel.
+    pub tunnels: Vec<TunnelAudit>,
+    /// Candidate pairs as `(ingress, egress, trace_index)`.
+    pub candidates: Vec<(Addr, Addr, usize)>,
+    /// Number of campaign traces kept.
+    pub num_traces: usize,
+    /// Total probe packets the campaign accounted for.
+    pub probes: u64,
+}
+
+/// A301: a complete pair-signature outside the Table 1 vendor taxonomy.
+/// Inferred initials are snapped to {32, 64, 128, 255} and every
+/// simulated vendor produces one of the four taxonomy rows, so any
+/// other combination means corrupted fingerprinting.
+pub fn signature_taxonomy(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for &(addr, te, er) in &a.signatures {
+        let (Some(te), Some(er)) = (te, er) else {
+            continue;
+        };
+        if !SIGNATURE_TAXONOMY.contains(&(te, er)) {
+            out.push(Diagnostic::new(
+                "A301",
+                Severity::Error,
+                Location::Addr(addr),
+                format!("signature <{te}, {er}> matches no vendor class of Table 1"),
+                "check infer_initial_ttl inputs; replies must come from one router per address",
+            ));
+        }
+    }
+}
+
+/// A302: the revealed forward tunnel length disagrees with the RTLA
+/// return-tunnel length beyond [`RTLA_GAP_TOLERANCE`]. Asymmetric
+/// tunnels exist, so this warns rather than errors.
+pub fn rtla_gap_mismatch(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for t in &a.tunnels {
+        let Some(rtl) = t.rtl else { continue };
+        let ftl = t.hops.len() as i32 + 1;
+        if (rtl - ftl).abs() > RTLA_GAP_TOLERANCE {
+            out.push(Diagnostic::new(
+                "A302",
+                Severity::Warn,
+                Location::Pair(t.ingress, t.egress),
+                format!(
+                    "revealed forward tunnel length {ftl} vs RTLA return length {rtl} \
+                     (|Δ| > {RTLA_GAP_TOLERANCE})"
+                ),
+                "inspect the revelation transcript; DPR/BRPR may have stopped early or over-revealed",
+            ));
+        }
+    }
+}
+
+/// A303: a revealed tunnel whose hop list repeats an address or
+/// includes its own endpoints — the recursion double-counted.
+pub fn duplicate_revealed_hop(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for t in &a.tunnels {
+        let mut seen: HashSet<Addr> = [t.ingress, t.egress].into_iter().collect();
+        for &h in &t.hops {
+            if !seen.insert(h) {
+                out.push(Diagnostic::new(
+                    "A303",
+                    Severity::Error,
+                    Location::Pair(t.ingress, t.egress),
+                    format!("revealed hop {h} repeats within the tunnel (or is an endpoint)"),
+                    "deduplicate revelation steps against already-known addresses",
+                ));
+            }
+        }
+    }
+}
+
+/// A304: a revealed hop mapping outside the AS of its tunnel's
+/// endpoints — LSPs never cross AS boundaries, so the revelation
+/// spliced in a hop from another network.
+pub fn foreign_as_hop(net: &Network, a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for t in &a.tunnels {
+        let Some(asn) = net.owner_asn(t.ingress) else {
+            continue;
+        };
+        for &h in &t.hops {
+            if net.owner_asn(h) != Some(asn) {
+                out.push(Diagnostic::new(
+                    "A304",
+                    Severity::Error,
+                    Location::Pair(t.ingress, t.egress),
+                    format!(
+                        "revealed hop {h} does not belong to the tunnel's AS{}",
+                        asn.0
+                    ),
+                    "restrict revelation to same-AS segments between ingress and egress",
+                ));
+            }
+        }
+    }
+}
+
+/// A305: a candidate pair pointing at a trace index the result does not
+/// contain — downstream per-trace analysis would panic or misattribute.
+pub fn dangling_trace_index(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for &(x, y, idx) in &a.candidates {
+        if idx >= a.num_traces {
+            out.push(Diagnostic::new(
+                "A305",
+                Severity::Error,
+                Location::Pair(x, y),
+                format!(
+                    "candidate references trace #{idx} but only {} traces exist",
+                    a.num_traces
+                ),
+                "record candidates with the index of the trace that observed them",
+            ));
+        }
+    }
+}
+
+/// A306: probe accounting that cannot be right — fewer probes counted
+/// than traces run (every trace costs at least one probe).
+pub fn probe_accounting(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    if a.probes < a.num_traces as u64 {
+        out.push(Diagnostic::new(
+            "A306",
+            Severity::Error,
+            Location::Network,
+            format!("{} probes accounted for {} traces", a.probes, a.num_traces),
+            "sum per-session SessionStats::probes into the campaign total",
+        ));
+    }
+}
+
+/// Runs every audit rule.
+pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    signature_taxonomy(a, &mut out);
+    rtla_gap_mismatch(a, &mut out);
+    duplicate_revealed_hop(a, &mut out);
+    foreign_as_hop(net, a, &mut out);
+    dangling_trace_index(a, &mut out);
+    probe_accounting(a, &mut out);
+    out
+}

@@ -1,0 +1,200 @@
+//! The diagnostics model: rule codes, severities, locations, and
+//! human-readable rendering.
+
+use std::fmt;
+use wormhole_net::{Addr, Asn, Prefix};
+
+/// How bad a finding is.
+///
+/// `Error` marks states the simulator (or the paper's methodology)
+/// cannot meaningfully run on — the lint-before-simulate contract
+/// refuses to start sessions and campaigns over them. `Warn` marks
+/// states that are legitimate in the wild but worth flagging (mixed
+/// `ttl-propagate`, asymmetric LDP policies); `Info` is purely
+/// descriptive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Descriptive finding, never blocks anything.
+    Info,
+    /// Suspicious but legitimately occurring configuration.
+    Warn,
+    /// A state the toolchain refuses to simulate or audit.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// The network as a whole.
+    Network,
+    /// A router, by name.
+    Router(String),
+    /// One interface address of a router.
+    Interface {
+        /// The owning router's name.
+        router: String,
+        /// The interface address.
+        addr: Addr,
+    },
+    /// An autonomous system.
+    As(Asn),
+    /// A prefix inside an AS table.
+    Prefix {
+        /// The AS whose table holds the prefix.
+        asn: Asn,
+        /// The prefix.
+        prefix: Prefix,
+    },
+    /// An RSVP-TE tunnel, by builder-assigned id.
+    Tunnel(u32),
+    /// An address pair (candidate ingress/egress, LDP session, …).
+    Pair(Addr, Addr),
+    /// A single measured address.
+    Addr(Addr),
+    /// A campaign trace, by index.
+    Trace(usize),
+    /// An AS persona, by display name.
+    Persona(String),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Network => f.write_str("network"),
+            Location::Router(name) => write!(f, "router {name}"),
+            Location::Interface { router, addr } => write!(f, "router {router} iface {addr}"),
+            Location::As(asn) => write!(f, "AS{}", asn.0),
+            Location::Prefix { asn, prefix } => write!(f, "AS{} prefix {prefix}", asn.0),
+            Location::Tunnel(id) => write!(f, "TE tunnel {id}"),
+            Location::Pair(a, b) => write!(f, "pair {a} → {b}"),
+            Location::Addr(a) => write!(f, "address {a}"),
+            Location::Trace(i) => write!(f, "trace #{i}"),
+            Location::Persona(name) => write!(f, "persona {name}"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule code (`W1xx` network/config, `X2xx` cross-layer,
+    /// `A3xx` campaign audit).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// What the finding points at.
+    pub location: Location,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            location,
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}\n  fix: {}",
+            self.severity, self.code, self.location, self.message, self.hint
+        )
+    }
+}
+
+/// True when any diagnostic is `Error`-level.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Renders a diagnostic list, one finding per paragraph, worst first.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
+    let mut out = String::new();
+    for d in sorted {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let (e, w, i) = count(diags);
+    out.push_str(&format!("{e} error(s), {w} warning(s), {i} info\n"));
+    out
+}
+
+/// Counts `(errors, warnings, infos)`.
+pub fn count(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut n = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => n.0 += 1,
+            Severity::Warn => n.1 += 1,
+            Severity::Info => n.2 += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+
+    #[test]
+    fn rendering_includes_code_location_and_hint() {
+        let d = Diagnostic::new(
+            "W101",
+            Severity::Error,
+            Location::Router("VP".into()),
+            "host runs MPLS",
+            "disable mpls on host configs",
+        );
+        let s = d.to_string();
+        assert!(s.contains("error[W101]"));
+        assert!(s.contains("router VP"));
+        assert!(s.contains("fix: disable"));
+        assert!(has_errors(std::slice::from_ref(&d)));
+        let r = render(&[d]);
+        assert!(r.ends_with("1 error(s), 0 warning(s), 0 info\n"));
+    }
+
+    #[test]
+    fn render_sorts_worst_first() {
+        let info = Diagnostic::new("W110", Severity::Info, Location::Network, "i", "h");
+        let err = Diagnostic::new("W104", Severity::Error, Location::Network, "e", "h");
+        let r = render(&[info, err]);
+        let first = r.lines().next().unwrap();
+        assert!(first.starts_with("error[W104]"));
+    }
+}

@@ -1,0 +1,101 @@
+//! `wormhole-lint`: static invariant analysis for the wormhole
+//! workspace.
+//!
+//! Three rule families, each with stable codes:
+//!
+//! * **`W1xx`** ([`network`]) — topology and MPLS-configuration rules
+//!   over a built [`Network`] and (optionally) its [`ControlPlane`]:
+//!   dangling LFIB label-swaps, asymmetric LDP sessions,
+//!   `ttl-propagate` mismatches between LERs, TE tunnels ending off the
+//!   LER edge, dead prefix-trie entries, and more;
+//! * **`X2xx`** ([`cross`]) — cross-layer rules validating
+//!   `wormhole-topo` scenarios, personas and generated Internets
+//!   against the net layer (vantage points that are not hosts,
+//!   unreachable targets, ground-truth tunnels the configuration cannot
+//!   produce, personas referencing missing routers);
+//! * **`A3xx`** ([`audit`]) — result audits over campaign outputs
+//!   (signatures outside the Table 1 taxonomy, revealed LSP length vs
+//!   RTLA gap, duplicate or foreign-AS revealed hops, dangling trace
+//!   indices, impossible probe accounting).
+//!
+//! The contract is *lint before simulate*: under `debug_assertions`,
+//! probing sessions and campaigns refuse to start on a network with
+//! `Error`-level diagnostics (see [`deny_errors`]). `Warn` and `Info`
+//! findings never block — the paper's Internet is full of legitimately
+//! "warned" deployments (partial `ttl-propagate`, mixed-vendor LDP).
+//!
+//! ```
+//! use wormhole_lint as lint;
+//! use wormhole_topo::{gns3_fig2, Fig2Config};
+//!
+//! let s = gns3_fig2(Fig2Config::BackwardRecursive);
+//! let diags = lint::check_scenario(&s);
+//! assert!(!lint::has_errors(&diags), "{}", lint::render(&diags));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod cross;
+pub mod diag;
+pub mod network;
+
+pub use audit::{audit, CampaignAudit, TunnelAudit};
+pub use cross::{check_internet, check_persona, check_scenario};
+pub use diag::{count, has_errors, render, Diagnostic, Location, Severity};
+
+use wormhole_net::{ControlPlane, Network};
+
+/// Lints a network with topology/config rules only (W101–W107, W110).
+pub fn check(net: &Network) -> Vec<Diagnostic> {
+    network::check(net)
+}
+
+/// Lints a network together with its control plane — every `W1xx`
+/// rule, including the LFIB and prefix-table checks.
+pub fn check_full(net: &Network, cp: &ControlPlane) -> Vec<Diagnostic> {
+    network::check_full(net, cp)
+}
+
+/// Panics with a rendered report when `diags` carries `Error`-level
+/// findings — the lint-before-simulate guard used by `Session` and
+/// `Campaign` under `debug_assertions`.
+///
+/// # Panics
+/// Panics when [`has_errors`] holds, printing every diagnostic.
+pub fn deny_errors(what: &str, diags: &[Diagnostic]) {
+    if has_errors(diags) {
+        panic!(
+            "{what} refused to start: the network fails static analysis\n{}",
+            render(diags)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_topo::{gns3_fig2, Fig2Config};
+
+    #[test]
+    fn clean_scenario_has_no_errors() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let diags = check_full(&s.net, &s.cp);
+        assert!(!has_errors(&diags), "{}", render(&diags));
+        deny_errors("test", &diags); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "refused to start")]
+    fn deny_errors_panics_on_error_diagnostics() {
+        let d = Diagnostic::new(
+            "W104",
+            Severity::Error,
+            Location::Network,
+            "synthetic",
+            "none",
+        );
+        deny_errors("test", &[d]);
+    }
+}

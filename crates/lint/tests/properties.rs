@@ -1,0 +1,59 @@
+//! Property: randomly configured but *well-formed* inputs produce zero
+//! `Error`-level diagnostics — the linter only blocks genuinely broken
+//! states, never legitimate paper configurations.
+
+use proptest::prelude::*;
+use wormhole_lint as lint;
+use wormhole_net::{LdpPolicy, Vendor};
+use wormhole_topo::{generate, gns3_fig2_with, Fig2Opts, InternetConfig};
+
+const POLICIES: [LdpPolicy; 3] = [
+    LdpPolicy::AllPrefixes,
+    LdpPolicy::LoopbackOnly,
+    LdpPolicy::None,
+];
+
+proptest! {
+    #[test]
+    fn random_wellformed_scenarios_lint_clean(
+        ler_v in 0usize..4,
+        lsr_v in 0usize..4,
+        policy in 0usize..3,
+        ttl_propagate in any::<bool>(),
+        uhp in any::<bool>(),
+        min_on_exit in any::<bool>(),
+        rfc4950 in any::<bool>(),
+    ) {
+        let opts = Fig2Opts {
+            ler_vendor: Vendor::ALL[ler_v],
+            lsr_vendor: Vendor::ALL[lsr_v],
+            ldp_policy: POLICIES[policy],
+            ttl_propagate,
+            uhp,
+            min_on_exit,
+            rfc4950,
+        };
+        let s = gns3_fig2_with(opts.clone());
+        let diags = lint::check_scenario(&s);
+        prop_assert!(
+            !lint::has_errors(&diags),
+            "scenario with {opts:?} fails lint:\n{}",
+            lint::render(&diags)
+        );
+    }
+}
+
+#[test]
+fn random_wellformed_internets_lint_clean() {
+    // Full Internet generation is heavier than a Fig. 2 scenario, so a
+    // handful of seeds rather than the full proptest case count.
+    for seed in [0u64, 3, 17, 42, 77, 1717] {
+        let internet = generate(&InternetConfig::small(seed));
+        let diags = lint::check_internet(&internet);
+        assert!(
+            !lint::has_errors(&diags),
+            "seed {seed} fails lint:\n{}",
+            lint::render(&diags)
+        );
+    }
+}

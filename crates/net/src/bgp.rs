@@ -76,8 +76,12 @@ fn build_adj(net: &Network) -> Result<AsAdj, NetError> {
         }
         let asn_a = net.router(link.a.router).asn;
         let asn_b = net.router(link.b.router).asn;
-        let ia = net.as_index(asn_a).expect("linked AS registered");
-        let ib = net.as_index(asn_b).expect("linked AS registered");
+        let ia = net
+            .as_index(asn_a)
+            .ok_or(NetError::UnregisteredAs { asn: asn_a })?;
+        let ib = net
+            .as_index(asn_b)
+            .ok_or(NetError::UnregisteredAs { asn: asn_b })?;
         if !declared.contains_key(&(ia.min(ib), ia.max(ib))) {
             return Err(NetError::MissingAsRel { a: asn_a, b: asn_b });
         }

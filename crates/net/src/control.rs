@@ -13,11 +13,11 @@
 use crate::bgp::Bgp;
 use crate::error::NetError;
 use crate::ids::{Label, RouterId};
-use crate::vendor::PoppingMode;
 use crate::igp::AsIgp;
 use crate::ldp::{LabelValue, LdpBindings};
 use crate::net::Network;
 use crate::prefixes::AsPrefixes;
+use crate::vendor::PoppingMode;
 use std::collections::HashMap;
 
 /// An intra-AS FIB entry: the ECMP set of `(iface index, next router)`.
@@ -180,7 +180,9 @@ impl ControlPlane {
                             continue;
                         }
                         let peer_as = net.router(iface.peer).asn;
-                        let peer_idx = net.as_index(peer_as).expect("registered");
+                        let peer_idx = net
+                            .as_index(peer_as)
+                            .ok_or(NetError::UnregisteredAs { asn: peer_as })?;
                         if best_next.contains(&peer_idx) {
                             candidates.push((b, idx as u32));
                         }
@@ -191,9 +193,7 @@ impl ControlPlane {
                 }
                 candidates.sort_by_key(|&(r, i)| (r, i));
                 for &rid in net.as_members(asn) {
-                    if let Some(&(_, iface)) =
-                        candidates.iter().find(|&&(b, _)| b == rid)
-                    {
+                    if let Some(&(_, iface)) = candidates.iter().find(|&&(b, _)| b == rid) {
                         ext[rid.index()][dst_as] = ExtRoute::Direct { iface };
                         continue;
                     }
@@ -212,13 +212,11 @@ impl ControlPlane {
         }
 
         // LFIBs: one entry per real incoming label.
-        let mut lfib: Vec<HashMap<Label, LfibEntry>> =
-            vec![HashMap::new(); net.num_routers()];
+        let mut lfib: Vec<HashMap<Label, LfibEntry>> = vec![HashMap::new(); net.num_routers()];
         for (as_idx, ap) in as_prefixes.iter().enumerate() {
             debug_assert_eq!(net.as_index(ap.asn), Some(as_idx));
             for &rid in net.as_members(ap.asn) {
-                let advertised: Vec<(u32, LabelValue)> =
-                    bindings.advertisements(rid).collect();
+                let advertised: Vec<(u32, LabelValue)> = bindings.advertisements(rid).collect();
                 for (slot, value) in advertised {
                     let LabelValue::Real(in_label) = value else {
                         continue;
@@ -240,7 +238,13 @@ impl ControlPlane {
                         });
                     }
                     if !hops.is_empty() {
-                        lfib[rid.index()].insert(in_label, LfibEntry { slot, nexthops: hops });
+                        lfib[rid.index()].insert(
+                            in_label,
+                            LfibEntry {
+                                slot,
+                                nexthops: hops,
+                            },
+                        );
                     }
                 }
             }
@@ -258,7 +262,10 @@ impl ControlPlane {
                 let iface = net
                     .router(cur)
                     .iface_to(next)
-                    .expect("validated adjacency") as u32;
+                    .ok_or(NetError::MissingAdjacency {
+                        from: cur,
+                        to: next,
+                    })? as u32;
                 let action = if i + 1 == t.path.len() - 1 {
                     match t.popping {
                         PoppingMode::Php => LabelAction::Pop,
@@ -280,10 +287,14 @@ impl ControlPlane {
                 );
             }
             let first = t.path[1];
+            let head = t.head();
             let iface = net
-                .router(t.head())
+                .router(head)
                 .iface_to(first)
-                .expect("validated adjacency") as u32;
+                .ok_or(NetError::MissingAdjacency {
+                    from: head,
+                    to: first,
+                })? as u32;
             let push = if t.path.len() == 2 {
                 match t.popping {
                     PoppingMode::Php => None, // one-hop LSP degenerates
@@ -331,6 +342,20 @@ impl ControlPlane {
     /// Number of LFIB entries installed at `router`.
     pub fn lfib_size(&self, router: RouterId) -> usize {
         self.lfib[router.index()].len()
+    }
+
+    /// Iterates over every LFIB entry installed at `router`, as
+    /// `(incoming label, entry)` pairs (arbitrary order).
+    pub fn lfib_entries(&self, router: RouterId) -> impl Iterator<Item = (Label, &LfibEntry)> + '_ {
+        self.lfib[router.index()].iter().map(|(&l, e)| (l, e))
+    }
+
+    /// Installs (or overwrites) an LFIB entry at `router` — a what-if
+    /// mutator for fault-injection studies and for exercising the
+    /// static checks: `build` only ever produces consistent LFIBs, so
+    /// dangling label-swaps can only be created deliberately.
+    pub fn inject_lfib_entry(&mut self, router: RouterId, label: Label, entry: LfibEntry) {
+        self.lfib[router.index()].insert(label, entry);
     }
 
     /// The TE autoroute decision at `head` for traffic towards `tail`

@@ -244,7 +244,9 @@ impl<'a> Engine<'a> {
                 let kind = match reply.payload {
                     IcmpPayload::TimeExceeded { .. } => ReplyKind::TimeExceeded,
                     IcmpPayload::DestUnreachable { .. } => ReplyKind::DestUnreachable,
-                    _ => unreachable!("error legs carry ICMP errors"),
+                    // Error legs always carry ICMP errors; drop anything
+                    // else rather than crash the probing session.
+                    _ => return self.lost(Some(at), DropReason::ReplyLost),
                 };
                 self.return_leg(kind, at, reply, first_hop, path, probe_src)
             }
@@ -272,11 +274,7 @@ impl<'a> Engine<'a> {
     ) -> SendOutcome {
         let from = reply.src;
         match self.transit(at, reply, first_hop) {
-            Leg::Delivered {
-                at: end,
-                pkt,
-                path,
-            } => {
+            Leg::Delivered { at: end, pkt, path } => {
                 if pkt.dst != probe_src || !self.net.router(end).owns(probe_src) {
                     return self.lost(Some(end), DropReason::ReplyLost);
                 }
@@ -346,7 +344,15 @@ impl<'a> Engine<'a> {
 
             // --- MPLS processing ---------------------------------------
             if via_wire && pkt.is_labeled() {
-                let top = *pkt.stack.top().expect("labeled");
+                // A labeled packet with an empty stack is malformed;
+                // treat it as a bad label instead of panicking.
+                let Some(&top) = pkt.stack.top() else {
+                    return Leg::Dropped {
+                        at: cur,
+                        reason: DropReason::BadLabel,
+                        path,
+                    };
+                };
                 if top.label == Label::EXPLICIT_NULL {
                     // UHP egress, RFC 3443 short-pipe semantics (what
                     // reproduces the paper's Fig. 4d): the LSE-TTL is
@@ -391,19 +397,25 @@ impl<'a> Engine<'a> {
                         };
                         return self.icmp_expired(cur, &pkt, in_iface_addr, downstream, path);
                     }
-                    pkt.stack.top_mut().expect("labeled").ttl -= 1;
                     let hop = *pick(&entry.nexthops, pkt.flow, cur.0);
                     match hop.action {
                         LabelAction::Swap(l) => {
-                            pkt.stack.top_mut().expect("labeled").label = l;
+                            if let Some(lse) = pkt.stack.top_mut() {
+                                lse.ttl -= 1;
+                                lse.label = l;
+                            }
                         }
                         LabelAction::SwapExplicitNull => {
-                            pkt.stack.top_mut().expect("labeled").label = Label::EXPLICIT_NULL;
+                            if let Some(lse) = pkt.stack.top_mut() {
+                                lse.ttl -= 1;
+                                lse.label = Label::EXPLICIT_NULL;
+                            }
                         }
                         LabelAction::Pop => {
-                            let lse = pkt.stack.pop().expect("labeled");
-                            if pkt.stack.is_empty() && r.config.min_on_exit {
-                                pkt.ip_ttl = pkt.ip_ttl.min(lse.ttl);
+                            if let Some(lse) = pkt.stack.pop() {
+                                if pkt.stack.is_empty() && r.config.min_on_exit {
+                                    pkt.ip_ttl = pkt.ip_ttl.min(lse.ttl.saturating_sub(1));
+                                }
                             }
                         }
                     }
@@ -444,7 +456,11 @@ impl<'a> Engine<'a> {
             };
             if let Some(label) = nh.push {
                 debug_assert!(pkt.stack.is_empty());
-                let lse_ttl = if r.config.ttl_propagate { pkt.ip_ttl } else { 255 };
+                let lse_ttl = if r.config.ttl_propagate {
+                    pkt.ip_ttl
+                } else {
+                    255
+                };
                 pkt.stack.push(Lse::new(label, lse_ttl));
             }
             match self.cross(cur, nh.iface, &mut pkt) {
@@ -467,7 +483,12 @@ impl<'a> Engine<'a> {
 
     /// Crosses the wire out of `router`'s `iface`; returns the arrival
     /// interface address on the peer.
-    fn cross(&mut self, router: RouterId, iface: u32, pkt: &mut Packet) -> Result<Addr, DropReason> {
+    fn cross(
+        &mut self,
+        router: RouterId,
+        iface: u32,
+        pkt: &mut Packet,
+    ) -> Result<Addr, DropReason> {
         self.stats.crossings += 1;
         if self.faults.loss > 0.0 && self.rng.gen::<f64>() < self.faults.loss {
             return Err(DropReason::Loss);
@@ -609,11 +630,12 @@ impl<'a> Engine<'a> {
             if let Some((iface, next, push)) = self.cp.te_route(cur, owner) {
                 return Some(NextHop { iface, next, push });
             }
-            let as_idx = self.net.as_index(r.asn).expect("registered");
+            // An unregistered AS has no routing state: no route.
+            let as_idx = self.net.as_index(r.asn)?;
             let slot = self.cp.as_prefixes[as_idx].lookup(pkt.dst)?;
             self.intra_hop(cur, slot, pkt)
         } else {
-            let dst_idx = self.net.as_index(dst_asn).expect("registered");
+            let dst_idx = self.net.as_index(dst_asn)?;
             match self.cp.ext_route(cur, dst_idx) {
                 ExtRoute::Unreachable => None,
                 ExtRoute::Direct { iface } => Some(NextHop {
@@ -628,9 +650,9 @@ impl<'a> Engine<'a> {
                     }
                     // Otherwise route (and LDP-label-switch) towards the
                     // egress border's loopback.
-                    let as_idx = self.net.as_index(r.asn).expect("registered");
-                    let slot = self.cp.as_prefixes[as_idx]
-                        .lookup(self.net.router(egress).loopback)?;
+                    let as_idx = self.net.as_index(r.asn)?;
+                    let slot =
+                        self.cp.as_prefixes[as_idx].lookup(self.net.router(egress).loopback)?;
                     self.intra_hop(cur, slot, pkt)
                 }
             }
@@ -876,10 +898,7 @@ mod tests {
             .iter()
             .map(|&id| net.router(id).name.as_str())
             .collect();
-        assert_eq!(
-            names,
-            ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]
-        );
+        assert_eq!(names, ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]);
         assert_eq!(r.ret_path.first(), Some(&r.fwd_path[7]));
         assert_eq!(r.ret_path.last(), Some(&vp));
     }

@@ -35,6 +35,19 @@ pub enum NetError {
         /// What is wrong with it.
         reason: String,
     },
+    /// A router or link references an AS the network never registered.
+    UnregisteredAs {
+        /// The unknown AS.
+        asn: Asn,
+    },
+    /// A control-plane path references consecutive routers that share
+    /// no link.
+    MissingAdjacency {
+        /// The upstream router.
+        from: RouterId,
+        /// The unreachable downstream router.
+        to: RouterId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -53,6 +66,12 @@ impl fmt::Display for NetError {
             }
             NetError::InvalidTeTunnel { reason } => {
                 write!(f, "invalid RSVP-TE tunnel: {reason}")
+            }
+            NetError::UnregisteredAs { asn } => {
+                write!(f, "{asn} is referenced but not registered")
+            }
+            NetError::MissingAdjacency { from, to } => {
+                write!(f, "no link between {from} and {to}")
             }
         }
     }
@@ -77,7 +96,17 @@ mod tests {
             unreachable: RouterId(5),
         };
         assert!(e.to_string().contains("AS2"));
-        let e = NetError::MissingAsRel { a: Asn(1), b: Asn(2) };
+        let e = NetError::MissingAsRel {
+            a: Asn(1),
+            b: Asn(2),
+        };
         assert!(e.to_string().contains("AS1"));
+        let e = NetError::UnregisteredAs { asn: Asn(7) };
+        assert!(e.to_string().contains("AS7"));
+        let e = NetError::MissingAdjacency {
+            from: RouterId(1),
+            to: RouterId(2),
+        };
+        assert!(e.to_string().contains("no link"));
     }
 }

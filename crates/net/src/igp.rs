@@ -31,11 +31,8 @@ impl AsIgp {
     /// Computes the IGP view of `asn`.
     pub fn compute(net: &Network, asn: Asn) -> AsIgp {
         let members: Vec<RouterId> = net.as_members(asn).to_vec();
-        let local: HashMap<RouterId, usize> = members
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, i))
-            .collect();
+        let local: HashMap<RouterId, usize> =
+            members.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         let dist = members
             .iter()
             .map(|&src| dijkstra(net, &members, &local, src))
@@ -88,17 +85,13 @@ impl AsIgp {
 
     /// True when every member can reach every other member.
     pub fn connected(&self) -> bool {
-        self.dist
-            .iter()
-            .all(|row| row.iter().all(|&d| d < INF))
+        self.dist.iter().all(|row| row.iter().all(|&d| d < INF))
     }
 
     /// A member unreachable from the first member, if any.
     pub fn find_unreachable(&self) -> Option<RouterId> {
         let row = self.dist.first()?;
-        row.iter()
-            .position(|&d| d >= INF)
-            .map(|i| self.members[i])
+        row.iter().position(|&d| d >= INF).map(|i| self.members[i])
     }
 }
 

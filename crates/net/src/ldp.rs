@@ -103,11 +103,7 @@ mod tests {
     fn mixed_as() -> (Network, [RouterId; 3]) {
         let mut b = NetworkBuilder::new();
         let x = b.add_router("x", Asn(1), RouterConfig::mpls_router(Vendor::CiscoIos));
-        let y = b.add_router(
-            "y",
-            Asn(1),
-            RouterConfig::mpls_router(Vendor::JuniperJunos),
-        );
+        let y = b.add_router("y", Asn(1), RouterConfig::mpls_router(Vendor::JuniperJunos));
         let z = b.add_router("z", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
         b.link(x, y, LinkOpts::default());
         b.link(y, z, LinkOpts::default());
@@ -143,9 +139,7 @@ mod tests {
         let own_slot = ap.lookup(net.router(x).loopback).unwrap();
         assert_eq!(ldp.advertised(x, own_slot), Some(LabelValue::ImplicitNull));
         // A prefix x does not own gets a real, dynamic label.
-        let other_slot = ap
-            .lookup(net.router(RouterId(2)).loopback)
-            .unwrap();
+        let other_slot = ap.lookup(net.router(RouterId(2)).loopback).unwrap();
         match ldp.advertised(x, other_slot) {
             Some(LabelValue::Real(l)) => assert!(!l.is_reserved()),
             other => panic!("expected real label, got {other:?}"),

@@ -63,7 +63,7 @@ pub mod vendor;
 
 pub use addr::{Addr, AddrAllocator, Prefix};
 pub use bgp::{Bgp, RouteClass};
-pub use control::{ControlPlane, ExtRoute, FibEntry, LabelAction, LfibEntry};
+pub use control::{ControlPlane, ExtRoute, FibEntry, LabelAction, LfibEntry, LfibHop};
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;
 pub use fault::FaultPlan;

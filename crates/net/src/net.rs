@@ -444,10 +444,7 @@ mod tests {
         let lo = Addr::new(10, 9, 9, 9);
         b.add_router_with_loopback("X", Asn(1), RouterConfig::host(), lo);
         b.add_router_with_loopback("Y", Asn(1), RouterConfig::host(), lo);
-        assert!(matches!(
-            b.build(),
-            Err(NetError::DuplicateAddress { .. })
-        ));
+        assert!(matches!(b.build(), Err(NetError::DuplicateAddress { .. })));
     }
 
     #[test]

@@ -219,11 +219,11 @@ mod tests {
         assert_eq!(c.ldp_policy, LdpPolicy::LoopbackOnly);
         assert!(RouterConfig::host().is_host);
         assert!(!RouterConfig::ip_router(Vendor::CiscoIos).mpls);
-        assert!(!RouterConfig::mpls_router(Vendor::CiscoIos)
-            .silent()
-            .replies);
-        assert!(!RouterConfig::mpls_router(Vendor::CiscoIos)
-            .without_rfc4950()
-            .rfc4950);
+        assert!(!RouterConfig::mpls_router(Vendor::CiscoIos).silent().replies);
+        assert!(
+            !RouterConfig::mpls_router(Vendor::CiscoIos)
+                .without_rfc4950()
+                .rfc4950
+        );
     }
 }

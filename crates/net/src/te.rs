@@ -26,14 +26,34 @@ pub struct TeTunnel {
 }
 
 impl TeTunnel {
+    /// The head-end (ingress LER), when the path is non-empty.
+    pub fn try_head(&self) -> Option<RouterId> {
+        self.path.first().copied()
+    }
+
+    /// The tail-end (egress LER), when the path is non-empty.
+    pub fn try_tail(&self) -> Option<RouterId> {
+        self.path.last().copied()
+    }
+
     /// The head-end (ingress LER).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path; call [`TeTunnel::validate`] first, or
+    /// use [`TeTunnel::try_head`] on unvalidated tunnels.
     pub fn head(&self) -> RouterId {
-        *self.path.first().expect("validated path")
+        self.try_head().expect("validated path")
     }
 
     /// The tail-end (egress LER).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path; call [`TeTunnel::validate`] first, or
+    /// use [`TeTunnel::try_tail`] on unvalidated tunnels.
     pub fn tail(&self) -> RouterId {
-        *self.path.last().expect("validated path")
+        self.try_tail().expect("validated path")
     }
 
     /// Number of LSRs strictly inside the tunnel.

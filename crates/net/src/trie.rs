@@ -127,12 +127,7 @@ impl<T> PrefixTrie<T> {
                 None => break,
             }
         }
-        best.map(|(len, v)| {
-            (
-                Prefix::new(Addr(addr.0 & Prefix::mask(len)), len),
-                v,
-            )
-        })
+        best.map(|(len, v)| (Prefix::new(Addr(addr.0 & Prefix::mask(len)), len), v))
     }
 
     /// Iterates over all stored `(prefix, value)` pairs in trie order.

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn vendor_defaults() {
-        assert_eq!(Vendor::CiscoIos.default_ldp_policy(), LdpPolicy::AllPrefixes);
+        assert_eq!(
+            Vendor::CiscoIos.default_ldp_policy(),
+            LdpPolicy::AllPrefixes
+        );
         assert_eq!(
             Vendor::JuniperJunos.default_ldp_policy(),
             LdpPolicy::LoopbackOnly

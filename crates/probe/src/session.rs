@@ -48,6 +48,10 @@ impl<'a> Session<'a> {
     }
 
     /// A session with fault injection.
+    ///
+    /// # Panics
+    /// Under `debug_assertions`, refuses to start over a network with
+    /// `Error`-level static-analysis findings (lint before simulate).
     pub fn with_faults(
         net: &'a Network,
         cp: &'a ControlPlane,
@@ -55,6 +59,8 @@ impl<'a> Session<'a> {
         faults: FaultPlan,
         seed: u64,
     ) -> Session<'a> {
+        #[cfg(debug_assertions)]
+        wormhole_lint::deny_errors("Session", &wormhole_lint::check_full(net, cp));
         let src = net.router(vp).loopback;
         Session {
             eng: Engine::with_faults(net, cp, faults, seed),

@@ -78,7 +78,10 @@ mod tests {
         let s = gns3_fig2(Fig2Config::BackwardRecursive);
         let gt = GroundTruth::new(&s.net, &s.cp);
         let path = gt.forward_path(s.vp, s.target, 1).unwrap();
-        let names: Vec<&str> = path.iter().map(|&r| s.net.router(r).name.as_str()).collect();
+        let names: Vec<&str> = path
+            .iter()
+            .map(|&r| s.net.router(r).name.as_str())
+            .collect();
         assert_eq!(names, ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]);
     }
 
@@ -112,8 +115,6 @@ mod tests {
     fn unreachable_is_none() {
         let s = gns3_fig2(Fig2Config::Default);
         let gt = GroundTruth::new(&s.net, &s.cp);
-        assert!(gt
-            .forward_path(s.vp, Addr::new(9, 9, 9, 9), 1)
-            .is_none());
+        assert!(gt.forward_path(s.vp, Addr::new(9, 9, 9, 9), 1).is_none());
     }
 }

@@ -49,8 +49,7 @@ impl InternetConfig {
     /// DTAG: invisible deployments with multi-LSR tunnels and a rich
     /// signature mix).
     pub fn small(seed: u64) -> InternetConfig {
-        let personas: Vec<AsPersona> =
-            paper_personas().into_iter().skip(2).take(3).collect();
+        let personas: Vec<AsPersona> = paper_personas().into_iter().skip(2).take(3).collect();
         InternetConfig {
             seed,
             personas,
@@ -198,7 +197,11 @@ pub fn generate(config: &InternetConfig) -> Internet {
         }
     }
     for &(i, j) in &peerings {
-        b.as_rel(config.personas[i].asn, config.personas[j].asn, RelKind::Peer);
+        b.as_rel(
+            config.personas[i].asn,
+            config.personas[j].asn,
+            RelKind::Peer,
+        );
         // One or two physical interconnects per peering.
         let links = 1 + rng.gen_range(0..2usize);
         for _ in 0..links {

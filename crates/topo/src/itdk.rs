@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn alias_resolution_merges_addresses() {
         // Resolver maps both addresses to one router key.
-        let paths = vec![
-            vec![Some(a(1)), Some(a(2))],
-            vec![Some(a(3)), Some(a(4))],
-        ];
+        let paths = vec![vec![Some(a(1)), Some(a(2))], vec![Some(a(3)), Some(a(4))]];
         let resolve = |addr: Addr| NodeInfo {
             key: u64::from(addr.octets()[3].is_multiple_of(2)), // odd→0, even→1
             asn: None,

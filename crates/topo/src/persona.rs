@@ -310,7 +310,11 @@ mod tests {
         for p in paper_personas() {
             for mix in [p.edge_vendors, p.core_vendors] {
                 let total: f64 = mix.iter().map(|&(_, w)| w).sum();
-                assert!((total - 1.0).abs() < 1e-9, "{}: mix sums to {total}", p.name);
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "{}: mix sums to {total}",
+                    p.name
+                );
             }
             assert!((0.0..=1.0).contains(&p.propagate_share));
             assert!(p.router_count() >= 10);
@@ -326,11 +330,7 @@ mod tests {
             .collect();
         let mpls = personas.iter().filter(|p| p.mpls).count() as f64 / 400.0;
         assert!((mpls - crate::survey::MPLS_DEPLOYED).abs() < 0.08);
-        let invisible = personas
-            .iter()
-            .filter(|p| p.propagate_share < 0.5)
-            .count() as f64
-            / 400.0;
+        let invisible = personas.iter().filter(|p| p.propagate_share < 0.5).count() as f64 / 400.0;
         assert!((invisible - crate::survey::NO_TTL_PROPAGATE).abs() < 0.08);
         let uhp = personas.iter().filter(|p| p.uhp).count() as f64 / 400.0;
         assert!((uhp - crate::survey::UHP_DEPLOYED).abs() < 0.05);

@@ -45,9 +45,7 @@ fn main() {
             stars += t.hops.iter().filter(|h| h.addr.is_none()).count();
             probes += sess.stats.probes;
         }
-        println!(
-            "{label:<28} complete traces {complete}/{runs}   stars {stars}   probes {probes}"
-        );
+        println!("{label:<28} complete traces {complete}/{runs}   stars {stars}   probes {probes}");
     }
     println!("\nretries recover loss at the cost of extra probes — the trade the paper's scamper configuration makes");
 }

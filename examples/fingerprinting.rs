@@ -37,16 +37,20 @@ fn main() {
         .and_then(|h| h.reply_ip_ttl)
         .expect("egress answered");
     let er = sess.ping(egress).expect("egress pings").reply_ip_ttl;
-    println!("time-exceeded observed TTL: {te}  (initial {})", infer_initial_ttl(te));
-    println!("echo-reply    observed TTL: {er}  (initial {})", infer_initial_ttl(er));
+    println!(
+        "time-exceeded observed TTL: {te}  (initial {})",
+        infer_initial_ttl(te)
+    );
+    println!(
+        "echo-reply    observed TTL: {er}  (initial {})",
+        infer_initial_ttl(er)
+    );
     let sig = Signature {
         te: Some(infer_initial_ttl(te)),
         er: Some(infer_initial_ttl(er)),
     };
     let rtl = return_tunnel_length(sig, te, er).expect("<255,64> signature");
-    println!(
-        "\ngap = (255 − {te}) − (64 − {er}) = {rtl} → the return LSP hides {rtl} LSRs"
-    );
+    println!("\ngap = (255 − {te}) − (64 − {er}) = {rtl} → the return LSP hides {rtl} LSRs");
     println!("(the testbed's tunnel really is {rtl} LSRs long: P1, P2, P3)");
     assert_eq!(rtl, 3);
 }

@@ -20,10 +20,16 @@ fn show(title: &str, net: &wormhole::net::Network, t: &wormhole::core::SmartTrac
             .unwrap_or_default();
         match hop.revealed_by {
             Some(Trigger::FrplaShift(n)) => {
-                println!("  {:<14} {name}   ← revealed (FRPLA shift {n})", hop.addr.to_string())
+                println!(
+                    "  {:<14} {name}   ← revealed (FRPLA shift {n})",
+                    hop.addr.to_string()
+                )
             }
             Some(Trigger::RtlaGap(n)) => {
-                println!("  {:<14} {name}   ← revealed (RTLA gap {n})", hop.addr.to_string())
+                println!(
+                    "  {:<14} {name}   ← revealed (RTLA gap {n})",
+                    hop.addr.to_string()
+                )
             }
             None => println!("  {:<14} {name}", hop.addr.to_string()),
         }
@@ -31,21 +37,42 @@ fn show(title: &str, net: &wormhole::net::Network, t: &wormhole::core::SmartTrac
     for (addr, trig) in &t.unrevealed_triggers {
         println!("  ! {addr} triggered ({trig:?}) but nothing revealed — UHP suspect");
     }
-    println!("  ({} hops revealed, {} extra probes)\n", t.revealed_count(), t.extra_probes);
+    println!(
+        "  ({} hops revealed, {} extra probes)\n",
+        t.revealed_count(),
+        t.extra_probes
+    );
 }
 
 fn main() {
     // Testbed configurations.
     for (title, s) in [
-        ("Cisco defaults, invisible (BRPR path)", gns3_fig2(Fig2Config::BackwardRecursive)),
-        ("Juniper-style, invisible (DPR path)", gns3_fig2(Fig2Config::ExplicitRoute)),
-        ("UHP — truly invisible", gns3_fig2(Fig2Config::TotallyInvisible)),
-        ("RSVP-TE + UHP — truly invisible", gns3_fig2_te(PoppingMode::Uhp, false)),
+        (
+            "Cisco defaults, invisible (BRPR path)",
+            gns3_fig2(Fig2Config::BackwardRecursive),
+        ),
+        (
+            "Juniper-style, invisible (DPR path)",
+            gns3_fig2(Fig2Config::ExplicitRoute),
+        ),
+        (
+            "UHP — truly invisible",
+            gns3_fig2(Fig2Config::TotallyInvisible),
+        ),
+        (
+            "RSVP-TE + UHP — truly invisible",
+            gns3_fig2_te(PoppingMode::Uhp, false),
+        ),
     ] {
         let mut sess = Session::new(&s.net, &s.cp, s.vp);
         sess.set_opts(TracerouteOpts::default());
         let net = &s.net;
-        let t = smart_traceroute(&mut sess, s.target, |a| net.owner_asn(a), &SmartOpts::default());
+        let t = smart_traceroute(
+            &mut sess,
+            s.target,
+            |a| net.owner_asn(a),
+            &SmartOpts::default(),
+        );
         show(title, &s.net, &t);
     }
 
@@ -61,6 +88,11 @@ fn main() {
     let mut sess = Session::new(&internet.net, &internet.cp, vp);
     sess.set_opts(TracerouteOpts::default());
     let net = &internet.net;
-    let t = smart_traceroute(&mut sess, target, |a| net.owner_asn(a), &SmartOpts::default());
+    let t = smart_traceroute(
+        &mut sess,
+        target,
+        |a| net.owner_asn(a),
+        &SmartOpts::default(),
+    );
     show("synthetic Internet crossing", &internet.net, &t);
 }

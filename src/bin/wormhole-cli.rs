@@ -4,6 +4,7 @@
 //! wormhole-cli trace <config> [target]   traceroute on the Fig. 2 testbed
 //! wormhole-cli smart <config>            tunnel-aware traceroute (§8)
 //! wormhole-cli reveal <config>           run the DPR/BRPR recursion
+//! wormhole-cli lint <config>             static analysis of a testbed config
 //! wormhole-cli campaign [quick]          full §4 campaign summary
 //! wormhole-cli list-configs              available testbed configurations
 //! ```
@@ -15,12 +16,24 @@ use wormhole::probe::{Session, TracerouteOpts};
 use wormhole::topo::{gns3_fig2, gns3_fig2_te, Fig2Config, Scenario};
 
 const CONFIGS: &[(&str, &str)] = &[
-    ("default", "PHP, ttl-propagate, LDP all prefixes (explicit LSP)"),
-    ("backward", "no-ttl-propagate, LDP all prefixes (BRPR reveals)"),
-    ("explicit", "no-ttl-propagate, LDP host routes (DPR reveals)"),
+    (
+        "default",
+        "PHP, ttl-propagate, LDP all prefixes (explicit LSP)",
+    ),
+    (
+        "backward",
+        "no-ttl-propagate, LDP all prefixes (BRPR reveals)",
+    ),
+    (
+        "explicit",
+        "no-ttl-propagate, LDP host routes (DPR reveals)",
+    ),
     ("invisible", "no-ttl-propagate + UHP (totally invisible)"),
     ("te-php", "RSVP-TE only, PHP, no-ttl-propagate"),
-    ("te-uhp", "RSVP-TE only, UHP, no-ttl-propagate (truly invisible)"),
+    (
+        "te-uhp",
+        "RSVP-TE only, UHP, no-ttl-propagate (truly invisible)",
+    ),
 ];
 
 fn scenario(name: &str) -> Option<Scenario> {
@@ -37,7 +50,7 @@ fn scenario(name: &str) -> Option<Scenario> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wormhole-cli <trace|smart|reveal> <config> | campaign [quick] | list-configs\n\
+        "usage: wormhole-cli <trace|smart|reveal|lint> <config> | campaign [quick] | list-configs\n\
          configs: {}",
         CONFIGS
             .iter()
@@ -83,8 +96,16 @@ fn cmd_smart(s: &Scenario) -> ExitCode {
     let mut sess = Session::new(&s.net, &s.cp, s.vp);
     sess.set_opts(TracerouteOpts::default());
     let net = &s.net;
-    let t = smart_traceroute(&mut sess, s.target, |a| net.owner_asn(a), &SmartOpts::default());
-    println!("smart traceroute to {} ({} extra probes):", t.dst, t.extra_probes);
+    let t = smart_traceroute(
+        &mut sess,
+        s.target,
+        |a| net.owner_asn(a),
+        &SmartOpts::default(),
+    );
+    println!(
+        "smart traceroute to {} ({} extra probes):",
+        t.dst, t.extra_probes
+    );
     for (i, hop) in t.hops.iter().enumerate() {
         let tag = match hop.revealed_by {
             Some(Trigger::FrplaShift(n)) => format!("  [revealed: FRPLA shift {n}]"),
@@ -114,7 +135,11 @@ fn cmd_reveal(s: &Scenario) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let (x, y) = (resp[resp.len() - 3], resp[resp.len() - 2]);
-    println!("candidate pair: {x} ({}) → {y} ({})", name_of(s, x), name_of(s, y));
+    println!(
+        "candidate pair: {x} ({}) → {y} ({})",
+        name_of(s, x),
+        name_of(s, y)
+    );
     match reveal_between(&mut sess, x, y, s.target, &RevealOpts::default()).tunnel() {
         Some(t) => {
             println!("revealed {} hops via {:?}:", t.len(), t.method());
@@ -125,6 +150,20 @@ fn cmd_reveal(s: &Scenario) -> ExitCode {
         None => println!("nothing revealed (no invisible LDP tunnel between the pair)"),
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_lint(name: &str, s: &Scenario) -> ExitCode {
+    let diags = wormhole::lint::check_scenario(s);
+    if diags.is_empty() {
+        println!("{name}: clean (no findings)");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", wormhole::lint::render(&diags));
+    if wormhole::lint::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_campaign(quick: bool) -> ExitCode {
@@ -158,7 +197,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("campaign") => cmd_campaign(args.get(1).map(String::as_str) == Some("quick")),
-        Some(cmd @ ("trace" | "smart" | "reveal")) => {
+        Some(cmd @ ("trace" | "smart" | "reveal" | "lint")) => {
             let Some(config) = args.get(1) else {
                 return usage();
             };
@@ -170,6 +209,7 @@ fn main() -> ExitCode {
                 "trace" => cmd_trace(&s, args.get(2).map(String::as_str)),
                 "smart" => cmd_smart(&s),
                 "reveal" => cmd_reveal(&s),
+                "lint" => cmd_lint(config, &s),
                 _ => unreachable!(),
             }
         }

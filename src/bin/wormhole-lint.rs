@@ -1,0 +1,64 @@
+//! `wormhole-lint` — static analysis over every bundled input: the six
+//! Fig. 2 testbed configurations, the ten paper personas, and a
+//! quick-scale generated Internet. Exits non-zero when any input
+//! carries `Error`-level diagnostics; CI runs this as the lint gate.
+
+use std::process::ExitCode;
+use wormhole::lint;
+use wormhole::net::PoppingMode;
+use wormhole::topo::{
+    generate, gns3_fig2, gns3_fig2_te, paper_personas, Fig2Config, InternetConfig, Scenario,
+};
+
+/// Prints one input's findings; returns whether it carried errors.
+fn report(name: &str, diags: &[lint::Diagnostic]) -> bool {
+    let (e, w, i) = lint::count(diags);
+    if diags.is_empty() {
+        println!("{name:<28} clean");
+    } else {
+        println!("{name:<28} {e} error(s), {w} warning(s), {i} info");
+        for d in diags {
+            for line in d.to_string().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    e > 0
+}
+
+fn main() -> ExitCode {
+    let mut failed = false;
+
+    let scenarios: Vec<(String, Scenario)> = Fig2Config::ALL
+        .into_iter()
+        .map(|c| (format!("fig2/{}", c.name()), gns3_fig2(c)))
+        .chain([
+            (
+                "fig2-te/php".to_string(),
+                gns3_fig2_te(PoppingMode::Php, false),
+            ),
+            (
+                "fig2-te/uhp".to_string(),
+                gns3_fig2_te(PoppingMode::Uhp, false),
+            ),
+        ])
+        .collect();
+    for (name, s) in &scenarios {
+        failed |= report(name, &lint::check_scenario(s));
+    }
+
+    for p in paper_personas() {
+        failed |= report(&format!("persona/{}", p.name), &lint::check_persona(&p));
+    }
+
+    let internet = generate(&InternetConfig::small(8));
+    failed |= report("internet/quick", &lint::check_internet(&internet));
+
+    if failed {
+        eprintln!("lint failed: error-level diagnostics found");
+        ExitCode::FAILURE
+    } else {
+        println!("all inputs lint clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -18,7 +18,11 @@
 //! * [`probe`] — Paris traceroute and ping (the scamper stand-in);
 //! * [`core`] — the revelation techniques and the §4 campaign;
 //! * [`analysis`] — statistics and the §7 Internet-model update;
-//! * [`experiments`] — one module/binary per paper table and figure.
+//! * [`experiments`] — one module/binary per paper table and figure;
+//! * [`lint`] — static invariant analysis over topologies, MPLS
+//!   configurations and campaign outputs, with a lint-before-simulate
+//!   contract (sessions and campaigns refuse networks carrying
+//!   `Error`-level diagnostics under `debug_assertions`).
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@
 pub use wormhole_analysis as analysis;
 pub use wormhole_core as core;
 pub use wormhole_experiments as experiments;
+pub use wormhole_lint as lint;
 pub use wormhole_net as net;
 pub use wormhole_probe as probe;
 pub use wormhole_topo as topo;

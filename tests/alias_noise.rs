@@ -54,11 +54,21 @@ fn splitting_aliases_fragments_routers() {
     let net = &internet.net;
     let clean = ItdkSnapshot::build(&path_set, perfect(net));
 
-    // Split: each address resolves to its own node with probability 0.5.
+    // The hub under observation: the clean graph's max-degree node. It
+    // is exempted from splitting below so the assertion tests the
+    // stated effect (splitting *neighbors*) rather than racing it
+    // against the hub itself fragmenting, which is seed-dependent.
+    let hub_key = (0..clean.num_nodes())
+        .max_by_key(|&n| clean.degree(n))
+        .map(|n| clean.key(n))
+        .unwrap();
+
+    // Split: each non-hub address resolves to its own node with
+    // probability 0.5.
     let mut rng = StdRng::seed_from_u64(1);
     let noisy = ItdkSnapshot::build(&path_set, |addr| {
         let base = perfect(net)(addr);
-        if rng.gen::<f64>() < 0.5 {
+        if base.key != hub_key && rng.gen::<f64>() < 0.5 {
             NodeInfo {
                 key: 0x5150_0000_0000_0000 | u64::from(addr.0),
                 ..base

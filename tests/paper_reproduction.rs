@@ -17,10 +17,7 @@ fn scenario_artifacts_reproduce_exactly() {
 #[test]
 fn cross_validation_reproduces_table3_shape() {
     let report = table3::run(true);
-    assert!(report
-        .lines
-        .iter()
-        .any(|l| l.contains("vast majority")));
+    assert!(report.lines.iter().any(|l| l.contains("vast majority")));
 }
 
 #[test]

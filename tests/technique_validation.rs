@@ -6,8 +6,8 @@ mod common;
 
 use common::{line, LineOpts};
 use wormhole::core::{
-    infer_initial_ttl, return_tunnel_length, reveal_between, rfa_of_hop, RevealMethod,
-    RevealOpts, RevealOutcome, Signature,
+    infer_initial_ttl, return_tunnel_length, reveal_between, rfa_of_hop, RevealMethod, RevealOpts,
+    RevealOutcome, Signature,
 };
 use wormhole::net::{LdpPolicy, Vendor};
 use wormhole::probe::{Session, TracerouteOpts};

@@ -1,0 +1,378 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness: the [`proptest!`] macro
+//! runs each property over a fixed number of seeded random cases,
+//! [`prop_assert!`]/[`prop_assert_eq!`] report failures with the case's
+//! inputs, and [`strategy::Strategy`] covers the strategy forms the
+//! tests use (integer ranges, `any::<T>()`, tuples, and
+//! `collection::vec`). Shrinking is intentionally not implemented — on
+//! failure the harness reports the concrete inputs of the failing case
+//! instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Number of random cases each property is executed against.
+pub const NUM_CASES: u32 = 64;
+
+/// Strategies for generating inputs.
+pub mod strategy {
+    use core::marker::PhantomData;
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// Strategy returned by [`any`](super::any).
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.sample(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// `Just`-style constant strategy.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Strategy constructor for unconstrained values of `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size specification accepted by [`vec`]: an exact length or a
+    /// range of lengths.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from the
+    /// size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Build a vector strategy from an element strategy and a size spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner types referenced by the macros.
+pub mod test_runner {
+    use super::{StdRng, NUM_CASES};
+    use rand::SeedableRng;
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Result type for one property case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives a property over [`NUM_CASES`] seeded cases.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Runner with the fixed default seed (deterministic runs).
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x5EED_CAFE),
+            }
+        }
+
+        /// Number of cases this runner executes.
+        pub fn cases(&self) -> u32 {
+            NUM_CASES
+        }
+
+        /// Access the case-generation RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::deterministic()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each function body runs once per generated
+/// case; `prop_assert*` failures abort the case with its inputs printed.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::default();
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, runner.rng());)*
+                    let inputs = format!(
+                        concat!("{{ ", $(stringify!($arg), " = {:?}, ",)* "}}"),
+                        $(&$arg),*
+                    );
+                    let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{} with inputs {}: {}",
+                            stringify!($name),
+                            case + 1,
+                            runner.cases(),
+                            inputs,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u8..=255, y in -50i64..50, n in 1usize..7) {
+            prop_assert!(x >= 1);
+            prop_assert!((-50..50).contains(&y));
+            prop_assert!((1..7).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_obey_spec(
+            exact in crate::collection::vec(any::<u32>(), 32),
+            ranged in crate::collection::vec((any::<u32>(), 0u8..=32), 1..64),
+        ) {
+            prop_assert_eq!(exact.len(), 32);
+            prop_assert!(!ranged.is_empty() && ranged.len() < 64);
+            for &(_, len) in &ranged {
+                prop_assert!(len <= 32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..=255) {
+                prop_assert!(u16::from(x) > 300, "x is only {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn tuple_and_just_strategies_sample() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let strat = (Just(7u8), 0u8..4, any::<bool>());
+        for _ in 0..50 {
+            let (a, b, _c) = strat.sample(runner.rng());
+            assert_eq!(a, 7);
+            assert!(b < 4);
+        }
+    }
+}
