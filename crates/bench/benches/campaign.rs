@@ -1,10 +1,17 @@
-//! Campaign-scale benchmarks: ITDK aggregation and the full §4
-//! pipeline on the reduced Internet.
+//! Campaign-scale benchmarks: ITDK aggregation, the full §4 pipeline on
+//! the reduced Internet, and serial-vs-parallel campaign throughput on
+//! the tenfold (100 transit-AS) Internet.
+//!
+//! The parallel section also writes `BENCH_campaign.json` at the repo
+//! root: probes/sec at 1, 2 and 4 workers plus the machine's core
+//! count, so a single-core CI runner's flat numbers are not mistaken
+//! for an executor regression.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 use wormhole_core::{Campaign, CampaignConfig};
 use wormhole_net::Addr;
-use wormhole_topo::{generate, InternetConfig, ItdkSnapshot, NodeInfo};
+use wormhole_topo::{generate, Internet, InternetConfig, ItdkSnapshot, NodeInfo};
 
 fn itdk_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("itdk");
@@ -56,5 +63,60 @@ fn campaign_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, itdk_bench, campaign_bench);
+fn tenfold_campaign(internet: &Internet, jobs: usize) -> wormhole_core::CampaignResult {
+    Campaign::new(
+        &internet.net,
+        &internet.cp,
+        internet.vps.clone(),
+        CampaignConfig {
+            hdn_threshold: 9,
+            jobs,
+            ..CampaignConfig::default()
+        },
+    )
+    .run()
+}
+
+fn campaign_parallel_bench(c: &mut Criterion) {
+    let internet = generate(&InternetConfig::tenfold(8));
+    let mut group = c.benchmark_group("campaign_tenfold");
+    group.sample_size(3);
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(tenfold_campaign(&internet, jobs)))
+        });
+    }
+    group.finish();
+
+    // Emit BENCH_campaign.json (probes/sec per worker count) from a
+    // dedicated timed run per setting, outside the criterion harness.
+    let mut entries = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let result = tenfold_campaign(&internet, jobs);
+        let secs = t0.elapsed().as_secs_f64();
+        let pps = result.probes as f64 / secs;
+        println!("campaign_tenfold jobs={jobs}: {pps:.0} probes/sec ({secs:.3}s wall)");
+        entries.push(format!(
+            "    {{\"jobs\": {jobs}, \"probes\": {}, \"seconds\": {secs:.6}, \
+             \"probes_per_sec\": {pps:.1}}}",
+            result.probes
+        ));
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_tenfold\",\n  \"transit_ases\": 100,\n  \
+         \"routers\": {},\n  \"cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        internet.net.num_routers(),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, itdk_bench, campaign_bench, campaign_parallel_bench);
 criterion_main!(benches);

@@ -13,11 +13,28 @@
 //! 5. **Revelation**: for every trace ending `X, Y, D` with `X`,`Y`
 //!    HDN-owned addresses in the same AS, run the DPR/BRPR recursion of
 //!    [`crate::reveal`] on the unique `(X, Y)` pairs.
+//!
+//! # Execution model
+//!
+//! The campaign runs over an immutable, shared substrate
+//! ([`SubstrateRef`]: network + control plane + prefix tries) and one
+//! mutable [`Session`] per vantage point. Probing phases are sharded
+//! across up to [`CampaignConfig::jobs`] worker threads by the
+//! executor in [`crate::shard`]; every phase assigns work per VP from
+//! the merged output of the previous phase and merges its result
+//! shards back in a fixed global order, so the same `(seed, topology)`
+//! produces **byte-identical** results ([`CampaignResult::report`]) at
+//! any thread count. Each VP's fault RNG stream is derived from
+//! `(seed, vp_index)` via [`wormhole_net::worker_seed`].
 
 use crate::fingerprint::FingerprintTable;
 use crate::reveal::{reveal_between, RevealOpts, RevealOutcome};
+use crate::shard;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use wormhole_net::{Addr, Asn, ControlPlane, FaultPlan, Network, ReplyKind, RouterId};
+use std::fmt::Write as _;
+use wormhole_net::{
+    Addr, Asn, ControlPlane, FaultPlan, Network, ProbeState, ReplyKind, RouterId, SubstrateRef,
+};
 use wormhole_probe::{Session, Trace, TracerouteOpts};
 use wormhole_topo::{ItdkSnapshot, NodeInfo};
 
@@ -42,8 +59,18 @@ pub struct CampaignConfig {
     pub fingerprint: bool,
     /// Fault injection for every session.
     pub faults: FaultPlan,
-    /// Seed for fault randomness.
+    /// Seed for fault randomness; each vantage-point worker derives its
+    /// own stream from `(seed, vp_index)`.
     pub seed: u64,
+    /// Worker threads for the probing phases: `1` runs serially, `0`
+    /// uses the machine's available parallelism. Results are identical
+    /// for every value.
+    pub jobs: usize,
+    /// Run the lint-before-simulate gate (deny `Error`-level static
+    /// analysis findings) regardless of build profile. Defaults to on
+    /// in debug builds only, preserving release-build throughput unless
+    /// explicitly requested.
+    pub lint_gate: bool,
 }
 
 impl Default for CampaignConfig {
@@ -56,6 +83,8 @@ impl Default for CampaignConfig {
             fingerprint: true,
             faults: FaultPlan::none(),
             seed: 0,
+            jobs: 1,
+            lint_gate: cfg!(debug_assertions),
         }
     }
 }
@@ -99,6 +128,9 @@ pub struct CampaignResult {
     pub targets: Vec<Addr>,
     /// All campaign traces (bootstrap traces are not kept).
     pub traces: Vec<Trace>,
+    /// The vantage point that ran each trace (index-aligned with
+    /// `traces`).
+    pub trace_vps: Vec<usize>,
     /// TTL signatures of every pinged/observed address.
     pub fingerprints: FingerprintTable,
     /// Raw observed time-exceeded reply TTL per address, with the
@@ -115,6 +147,9 @@ pub struct CampaignResult {
     /// Total probe packets spent (bootstrap + campaign + revelation +
     /// fingerprinting).
     pub probes: u64,
+    /// Probe packets per vantage-point shard (index-aligned with the
+    /// campaign's vantage points; sums to `probes`).
+    pub probes_by_vp: Vec<u64>,
 }
 
 impl CampaignResult {
@@ -130,12 +165,125 @@ impl CampaignResult {
             .map(|c| (c.ingress, c.egress))
             .collect()
     }
+
+    /// A canonical, byte-stable rendering of everything the campaign
+    /// observed: trace transcripts in probing order, observation maps
+    /// and revelations in address order, probe accounting per shard.
+    /// Two runs of the same `(topology, config, seed)` must produce
+    /// equal reports at **any** `jobs` setting — the determinism
+    /// regression tests compare these byte for byte.
+    pub fn report(&self) -> CampaignReport {
+        let mut out = String::new();
+        let w = &mut out;
+        let _ = writeln!(w, "snapshot nodes={}", self.snapshot.num_nodes());
+        let _ = writeln!(w, "hdns={:?}", self.hdns);
+        let _ = writeln!(
+            w,
+            "targets=[{}]",
+            self.targets
+                .iter()
+                .map(Addr::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for (i, t) in self.traces.iter().enumerate() {
+            let _ = writeln!(
+                w,
+                "trace {i} vp={} dst={} flow={} reached={}",
+                self.trace_vps[i], t.dst, t.flow, t.reached
+            );
+            for h in &t.hops {
+                match h.addr {
+                    Some(a) => {
+                        let _ = writeln!(
+                            w,
+                            "  {} {} ttl={:?} kind={:?} rtt={} labels={:?}",
+                            h.ttl,
+                            a,
+                            h.reply_ip_ttl,
+                            h.kind,
+                            h.rtt_ms.map(|r| format!("{r:.6}")).unwrap_or_default(),
+                            h.labels
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(w, "  {} *", h.ttl);
+                    }
+                }
+            }
+        }
+        let mut te: Vec<_> = self.te_obs.iter().collect();
+        te.sort_by_key(|&(a, _)| *a);
+        for (a, (vp, ttl)) in te {
+            let _ = writeln!(w, "te {a} vp={vp} ttl={ttl}");
+        }
+        let mut er: Vec<_> = self.er_obs.iter().collect();
+        er.sort_by_key(|&(a, _)| *a);
+        for (a, ttl) in er {
+            let _ = writeln!(w, "er {a} ttl={ttl}");
+        }
+        let mut sigs: Vec<_> = self.fingerprints.iter().collect();
+        sigs.sort_by_key(|&(a, _)| a);
+        for (a, s) in sigs {
+            let _ = writeln!(w, "sig {a} te={:?} er={:?}", s.te, s.er);
+        }
+        for c in &self.candidates {
+            let _ = writeln!(
+                w,
+                "candidate {}->{} d={} asn={} vp={} trace={}",
+                c.ingress, c.egress, c.target, c.asn.0, c.vp_index, c.trace_index
+            );
+        }
+        let mut revs: Vec<_> = self.revelations.iter().collect();
+        revs.sort_by_key(|&(pair, _)| *pair);
+        for ((x, y), out) in revs {
+            match out {
+                RevealOutcome::Revealed(t) => {
+                    let _ = writeln!(
+                        w,
+                        "revealed {x}->{y} method={:?} hops={:?} extra_probes={}",
+                        t.method(),
+                        t.hops(),
+                        t.extra_probes
+                    );
+                }
+                RevealOutcome::NothingHidden => {
+                    let _ = writeln!(w, "revealed {x}->{y} nothing-hidden");
+                }
+                RevealOutcome::Failed => {
+                    let _ = writeln!(w, "revealed {x}->{y} failed");
+                }
+            }
+        }
+        let _ = writeln!(w, "probes={} by_vp={:?}", self.probes, self.probes_by_vp);
+        CampaignReport { text: out }
+    }
 }
 
-/// A campaign bound to a network and its vantage points.
+/// The canonical campaign output: a deterministic rendering used to
+/// verify that sharded execution merges into the exact same bytes as
+/// serial execution. Compare with `==`; print with `Display`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CampaignReport {
+    text: String,
+}
+
+impl CampaignReport {
+    /// The canonical report text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A campaign bound to a substrate and its vantage points.
 pub struct Campaign<'a> {
-    net: &'a Network,
-    cp: &'a ControlPlane,
+    sub: SubstrateRef<'a>,
     vps: Vec<RouterId>,
     cfg: CampaignConfig,
 }
@@ -144,46 +292,69 @@ impl<'a> Campaign<'a> {
     /// Creates a campaign.
     ///
     /// # Panics
-    /// Panics without vantage points and, under `debug_assertions`,
-    /// when the network fails static analysis with `Error`-level
-    /// diagnostics (lint before simulate).
+    /// Panics without vantage points and, when
+    /// [`CampaignConfig::lint_gate`] is set (the default in debug
+    /// builds), when the network fails static analysis with
+    /// `Error`-level diagnostics (lint before simulate).
     pub fn new(
         net: &'a Network,
         cp: &'a ControlPlane,
         vps: Vec<RouterId>,
         cfg: CampaignConfig,
     ) -> Campaign<'a> {
-        assert!(!vps.is_empty(), "need at least one vantage point");
-        #[cfg(debug_assertions)]
-        wormhole_lint::deny_errors("Campaign", &wormhole_lint::check_full(net, cp));
-        Campaign { net, cp, vps, cfg }
+        Campaign::over(SubstrateRef::new(net, cp), vps, cfg)
     }
 
+    /// Creates a campaign over a substrate handle.
+    ///
+    /// # Panics
+    /// Same contract as [`Campaign::new`].
+    pub fn over(sub: SubstrateRef<'a>, vps: Vec<RouterId>, cfg: CampaignConfig) -> Campaign<'a> {
+        assert!(!vps.is_empty(), "need at least one vantage point");
+        if cfg.lint_gate {
+            wormhole_lint::deny_errors("Campaign", &wormhole_lint::check_full(sub.net, sub.cp));
+        }
+        Campaign { sub, vps, cfg }
+    }
+
+    fn net(&self) -> &'a Network {
+        self.sub.net
+    }
+
+    /// One session per vantage point, linted once via the campaign gate
+    /// rather than per session. Worker `i` draws its fault RNG from the
+    /// `(seed, i)` stream.
     fn sessions(&self) -> Vec<Session<'a>> {
         self.vps
             .iter()
             .enumerate()
             .map(|(i, &vp)| {
-                let mut s = Session::with_faults(
-                    self.net,
-                    self.cp,
-                    vp,
-                    self.cfg.faults.clone(),
-                    self.cfg.seed.wrapping_add(i as u64),
-                );
+                let state =
+                    ProbeState::for_worker(self.cfg.faults.clone(), self.cfg.seed, i as u64);
+                let mut s = Session::over(self.sub, vp, state);
                 s.set_opts(self.cfg.trace_opts.clone());
                 s
             })
             .collect()
     }
 
+    /// Worker threads to use for this run.
+    fn resolved_jobs(&self) -> usize {
+        match self.cfg.jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Ground-truth alias resolution + node-to-AS mapping (the CAIDA /
     /// Team Cymru stand-in).
     fn resolve(&self, addr: Addr) -> NodeInfo {
-        match self.net.owner(addr) {
+        match self.net().owner(addr) {
             Some(r) => NodeInfo {
                 key: u64::from(r.0),
-                asn: Some(self.net.router(r).asn),
+                asn: Some(self.net().router(r).asn),
             },
             None => NodeInfo {
                 key: 0xFFFF_0000_0000_0000 | u64::from(addr.0),
@@ -197,13 +368,13 @@ impl<'a> Campaign<'a> {
     /// the paper's dataset enters and leaves through exactly those).
     fn bootstrap_targets(&self) -> Vec<Addr> {
         let mut out = Vec::new();
-        for r in self.net.routers() {
+        for r in self.net().routers() {
             if r.config.is_host {
                 continue;
             }
             out.push(r.loopback);
             for iface in &r.ifaces {
-                if self.net.link(iface.link).inter_as {
+                if self.net().link(iface.link).inter_as {
                     out.push(iface.addr);
                 }
             }
@@ -211,25 +382,41 @@ impl<'a> Campaign<'a> {
         out
     }
 
-    /// Runs the full campaign.
+    /// Runs the full campaign, sharded across vantage-point workers.
+    ///
+    /// Every phase derives its per-VP work assignment purely from the
+    /// merged output of the previous phase and merges its shards back
+    /// in global order, so the result is identical for every `jobs`
+    /// value — see the module docs for the full argument.
     pub fn run(&self) -> CampaignResult {
         let mut sessions = self.sessions();
+        let n_vps = sessions.len();
+        let jobs = self.resolved_jobs();
 
         // Phase 1: bootstrap snapshot. Every VP traces a share of the
         // loopbacks — and every VP traces the borders-heavy transit
-        // space by design of the topology.
+        // space by design of the topology. Several teams per target
+        // give the ingress diversity HDN detection needs.
         let boot_targets = self.bootstrap_targets();
-        let mut paths: Vec<Vec<Option<Addr>>> = Vec::new();
-        let teams = 3usize.min(sessions.len());
+        let teams = 3usize.min(n_vps);
+        let mut boot_assign: Vec<(usize, Addr)> = Vec::with_capacity(boot_targets.len() * teams);
         for (i, &t) in boot_targets.iter().enumerate() {
-            // Several teams per target give the ingress diversity HDN
-            // detection needs.
             for k in 0..teams {
-                let vp = (i + k * (sessions.len() / teams).max(1)) % sessions.len();
-                let trace = sessions[vp].traceroute(t);
-                paths.push(trace.addr_path());
+                let vp = (i + k * (n_vps / teams).max(1)) % n_vps;
+                boot_assign.push((vp, t));
             }
         }
+        let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+        for (g, &(vp, t)) in boot_assign.iter().enumerate() {
+            tasks[vp].push((g, t));
+        }
+        let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+            batch
+                .into_iter()
+                .map(|(g, t)| (g, sess.traceroute(t).addr_path()))
+                .collect()
+        });
+        let paths = shard::merge_indexed(shards, boot_assign.len());
         let snapshot = ItdkSnapshot::build(&paths, |a| self.resolve(a));
 
         // Phase 2–3: HDNs and targets.
@@ -243,49 +430,79 @@ impl<'a> Campaign<'a> {
         let hdn_nodes: HashSet<usize> = hdns.iter().copied().collect();
 
         // Phase 4: probe each target from its team's vantage point.
-        let mut traces = Vec::with_capacity(targets.len());
+        // Workers return ordered trace shards; the scan that feeds the
+        // fingerprint table replays the merged traces in global order.
+        let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+        for (i, &t) in targets.iter().enumerate() {
+            tasks[i % n_vps].push((i, t));
+        }
+        let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+            batch
+                .into_iter()
+                .map(|(g, t)| (g, sess.traceroute(t)))
+                .collect()
+        });
+        let traces: Vec<(usize, Trace)> = {
+            let merged = shard::merge_indexed(shards, targets.len());
+            merged
+                .into_iter()
+                .enumerate()
+                .map(|(i, trace)| (i % n_vps, trace))
+                .collect()
+        };
         let mut fingerprints = FingerprintTable::new();
         let mut discovered: BTreeSet<Addr> = BTreeSet::new();
         let mut te_obs: HashMap<Addr, (usize, u8)> = HashMap::new();
         let mut er_obs: HashMap<Addr, u8> = HashMap::new();
-        for (i, &t) in targets.iter().enumerate() {
-            let vp = i % sessions.len();
-            let trace = sessions[vp].traceroute(t);
+        for (vp, trace) in &traces {
             for hop in &trace.hops {
                 if let (Some(addr), Some(ttl)) = (hop.addr, hop.reply_ip_ttl) {
                     if hop.kind == Some(ReplyKind::TimeExceeded) {
                         fingerprints.observe_te(addr, ttl);
-                        te_obs.entry(addr).or_insert((vp, ttl));
+                        te_obs.entry(addr).or_insert((*vp, ttl));
                     }
                     discovered.insert(addr);
                 }
             }
-            traces.push((vp, trace));
         }
 
         // Fingerprint pings (echo-reply initial TTLs), issued from the
         // vantage point that observed the address where possible so the
         // RTLA gap compares replies over the same return path.
         if self.cfg.fingerprint {
+            let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
             for (i, &addr) in discovered.iter().enumerate() {
-                let vp = te_obs
-                    .get(&addr)
-                    .map(|&(vp, _)| vp)
-                    .unwrap_or(i % sessions.len());
-                if let Some(r) = sessions[vp].ping(addr) {
+                let vp = te_obs.get(&addr).map(|&(vp, _)| vp).unwrap_or(i % n_vps);
+                tasks[vp].push((i, addr));
+            }
+            let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+                batch
+                    .into_iter()
+                    .map(|(g, addr)| (g, addr, sess.ping(addr)))
+                    .collect()
+            });
+            let mut pings: Vec<(usize, Addr, _)> = shards.into_iter().flatten().collect();
+            pings.sort_by_key(|&(g, _, _)| g);
+            for (_, addr, reply) in pings {
+                if let Some(r) = reply {
                     fingerprints.observe_er(addr, r.reply_ip_ttl);
                     er_obs.insert(addr, r.reply_ip_ttl);
                 }
             }
         }
 
-        // Phase 5: candidate pairs and revelation. The paper inspects
-        // the last three hops `X, Y, D`; we scan every consecutive
-        // same-AS HDN pair along the trace — the same rule applied at
-        // every position, which also catches the pair when the target
-        // *is* the egress (a set-A target) or lies several hops past it.
+        // Phase 5a: candidate pairs, scanned serially over the merged
+        // traces (pure CPU, no probing). The paper inspects the last
+        // three hops `X, Y, D`; we scan every consecutive same-AS HDN
+        // pair along the trace — the same rule applied at every
+        // position, which also catches the pair when the target *is*
+        // the egress (a set-A target) or lies several hops past it.
+        // Unique pairs are deduplicated across shards here, before any
+        // revelation runs: the first observing trace (in global trace
+        // order) claims the pair for its vantage point.
         let mut candidates = Vec::new();
-        let mut revelations: HashMap<(Addr, Addr), RevealOutcome> = HashMap::new();
+        let mut pair_seen: HashSet<(Addr, Addr)> = HashSet::new();
+        let mut reveal_jobs: Vec<(usize, Addr, Addr, Addr)> = Vec::new();
         for (trace_index, (vp, trace)) in traces.iter().enumerate() {
             let resp: Vec<(Addr, Option<usize>)> = trace
                 .hops
@@ -300,7 +517,7 @@ impl<'a> Campaign<'a> {
                 if x == y || y == d {
                     continue;
                 }
-                let (Some(asn_x), Some(asn_y)) = (self.net.owner_asn(x), self.net.owner_asn(y))
+                let (Some(asn_x), Some(asn_y)) = (self.net().owner_asn(x), self.net().owner_asn(y))
                 else {
                     continue;
                 };
@@ -325,37 +542,74 @@ impl<'a> Campaign<'a> {
                     vp_index: *vp,
                     trace_index,
                 });
-                if let std::collections::hash_map::Entry::Vacant(e) = revelations.entry((x, y)) {
-                    let out = reveal_between(&mut sessions[*vp], x, y, d, &self.cfg.reveal);
-                    // Fingerprint newly revealed addresses too.
-                    if let Some(t) = out.tunnel() {
-                        for step in &t.steps {
-                            for h in &step.new_hops {
-                                if discovered.insert(h.addr) && self.cfg.fingerprint {
-                                    if let Some(r) = sessions[*vp].ping(h.addr) {
-                                        fingerprints.observe_er(h.addr, r.reply_ip_ttl);
+                if pair_seen.insert((x, y)) {
+                    reveal_jobs.push((*vp, x, y, d));
+                }
+            }
+        }
+
+        // Phase 5b: revelation, sharded like every probing phase. A
+        // worker pings newly revealed addresses unless phase 4 already
+        // discovered them or this VP already pinged them (the dedup is
+        // per vantage point, so it cannot depend on worker scheduling).
+        let mut tasks: Vec<Vec<(usize, Addr, Addr, Addr)>> = vec![Vec::new(); n_vps];
+        for (g, &(vp, x, y, d)) in reveal_jobs.iter().enumerate() {
+            tasks[vp].push((g, x, y, d));
+        }
+        let cfg = &self.cfg;
+        let discovered_ref = &discovered;
+        let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+            let mut pinged: HashSet<Addr> = HashSet::new();
+            batch
+                .into_iter()
+                .map(|(g, x, y, d)| {
+                    let out = reveal_between(sess, x, y, d, &cfg.reveal);
+                    let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
+                    if cfg.fingerprint {
+                        if let Some(t) = out.tunnel() {
+                            for step in &t.steps {
+                                for h in &step.new_hops {
+                                    if !discovered_ref.contains(&h.addr) && pinged.insert(h.addr) {
+                                        ers.push((
+                                            h.addr,
+                                            sess.ping(h.addr).map(|r| r.reply_ip_ttl),
+                                        ));
                                     }
                                 }
                             }
                         }
                     }
-                    e.insert(out);
+                    (g, ((x, y), out, ers))
+                })
+                .collect()
+        });
+        let merged = shard::merge_indexed(shards, reveal_jobs.len());
+        let mut revelations: HashMap<(Addr, Addr), RevealOutcome> = HashMap::new();
+        for (pair, out, ers) in merged {
+            for (addr, ttl) in ers {
+                if let Some(ttl) = ttl {
+                    fingerprints.observe_er(addr, ttl);
                 }
             }
+            revelations.insert(pair, out);
         }
 
-        let probes = sessions.iter().map(|s| s.stats.probes).sum();
+        let probes_by_vp: Vec<u64> = sessions.iter().map(|s| s.stats.probes).collect();
+        let probes = probes_by_vp.iter().sum();
+        let (trace_vps, traces) = traces.into_iter().unzip();
         CampaignResult {
             snapshot,
             hdns,
             targets,
-            traces: traces.into_iter().map(|(_, t)| t).collect(),
+            traces,
+            trace_vps,
             fingerprints,
             te_obs,
             er_obs,
             candidates,
             revelations,
             probes,
+            probes_by_vp,
         }
     }
 }
@@ -400,6 +654,7 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
         candidates,
         num_traces: result.traces.len(),
         probes: result.probes,
+        probes_by_shard: result.probes_by_vp.clone(),
     }
 }
 
@@ -437,6 +692,8 @@ mod tests {
             }
         }
         assert!(result.probes > 0);
+        assert_eq!(result.probes_by_vp.iter().sum::<u64>(), result.probes);
+        assert_eq!(result.trace_vps.len(), result.traces.len());
     }
 
     #[test]
@@ -473,6 +730,42 @@ mod tests {
             "{}",
             wormhole_lint::render(&diags)
         );
+    }
+
+    #[test]
+    fn parallel_jobs_match_serial_byte_for_byte() {
+        let internet = generate(&InternetConfig::small(11));
+        let run = |jobs: usize| {
+            let cfg = CampaignConfig {
+                hdn_threshold: 6,
+                faults: FaultPlan {
+                    loss: 0.02,
+                    icmp_loss: 0.01,
+                    jitter_ms: 0.5,
+                },
+                seed: 42,
+                jobs,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+                .run()
+                .report()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "jobs=2 diverged from serial");
+        assert_eq!(serial, run(4), "jobs=4 diverged from serial");
+    }
+
+    #[test]
+    fn release_lint_gate_honors_config_flag() {
+        let internet = generate(&InternetConfig::small(5));
+        // Explicitly on: must run (and pass on a clean Internet) in
+        // every build profile, including release.
+        let cfg = CampaignConfig {
+            lint_gate: true,
+            ..CampaignConfig::default()
+        };
+        let _ = Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg);
     }
 
     #[test]

@@ -19,10 +19,12 @@ pub mod fingerprint;
 pub mod frpla;
 pub mod reveal;
 pub mod rtla;
+mod shard;
 pub mod smart;
 
 pub use campaign::{
-    audit_campaign, audit_input, Campaign, CampaignConfig, CampaignResult, CandidatePair, HdnRule,
+    audit_campaign, audit_input, Campaign, CampaignConfig, CampaignReport, CampaignResult,
+    CandidatePair, HdnRule,
 };
 pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Signature};
 pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};

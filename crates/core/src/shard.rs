@@ -1,0 +1,166 @@
+//! Deterministic vantage-point sharding for the §4 campaign.
+//!
+//! The executor here is what makes `jobs = N` produce byte-identical
+//! campaign output for every `N`:
+//!
+//! * work is assigned **per vantage point**, never per thread — the
+//!   task list of a VP is a pure function of the merged state of the
+//!   previous phase, so it does not depend on the worker count;
+//! * each VP's tasks run **in their assigned order** against that VP's
+//!   own [`Session`] (which owns its RNG stream and TTL bookkeeping),
+//!   so a session consumes exactly the same probe sequence no matter
+//!   which OS thread hosts it;
+//! * workers emit **ordered result shards** (one `Vec` per VP, aligned
+//!   with the VP's task list) that the caller merges back in VP order —
+//!   a deterministic merge with no cross-worker communication at all.
+//!
+//! `jobs` only chooses how many contiguous VP ranges run concurrently;
+//! it can never change what any VP does.
+
+use wormhole_probe::Session;
+
+/// Runs `f` once per vantage point over that VP's task batch, using up
+/// to `jobs` worker threads, and returns the per-VP result batches in
+/// VP order. `tasks` must be index-aligned with `sessions`.
+///
+/// `f` receives the VP's whole batch (not one task at a time) so phases
+/// that need per-worker caches — e.g. the revelation phase's
+/// already-pinged set — can keep them across the batch without any
+/// shared mutable state.
+pub(crate) fn run_vp_batches<'n, T, R, F>(
+    sessions: &mut [Session<'n>],
+    tasks: Vec<Vec<T>>,
+    jobs: usize,
+    f: &F,
+) -> Vec<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut Session<'n>, Vec<T>) -> Vec<R> + Sync,
+{
+    assert_eq!(
+        sessions.len(),
+        tasks.len(),
+        "one task batch per vantage point"
+    );
+    let n = sessions.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return sessions
+            .iter_mut()
+            .zip(tasks)
+            .map(|(s, ts)| f(s, ts))
+            .collect();
+    }
+    // Contiguous VP ranges, one per worker. The partition only decides
+    // concurrency; per-VP results are reassembled in VP order below.
+    let chunk = n.div_ceil(jobs);
+    let mut task_chunks: Vec<Vec<Vec<T>>> = Vec::new();
+    let mut it = tasks.into_iter();
+    loop {
+        let c: Vec<Vec<T>> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        task_chunks.push(c);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .chunks_mut(chunk)
+            .zip(task_chunks)
+            .map(|(s_chunk, t_chunk)| {
+                scope.spawn(move || {
+                    s_chunk
+                        .iter_mut()
+                        .zip(t_chunk)
+                        .map(|(s, ts)| f(s, ts))
+                        .collect::<Vec<Vec<R>>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Scatters per-VP `(global_index, value)` results back into one flat,
+/// globally-ordered vector. Every index in `0..len` must be produced
+/// exactly once across the shards.
+pub(crate) fn merge_indexed<R>(shards: Vec<Vec<(usize, R)>>, len: usize) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+    for shard in shards {
+        for (g, r) in shard {
+            debug_assert!(slots[g].is_none(), "duplicate result for index {g}");
+            slots[g] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(g, s)| s.unwrap_or_else(|| panic!("no shard produced result {g}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole_net::{FaultPlan, ProbeState, SubstrateRef};
+    use wormhole_topo::{generate, InternetConfig};
+
+    #[test]
+    fn batches_merge_in_vp_order_at_any_job_count() {
+        let internet = generate(&InternetConfig::small(3));
+        let sub = SubstrateRef::new(&internet.net, &internet.cp);
+        let run = |jobs: usize| -> Vec<Vec<u64>> {
+            let mut sessions: Vec<Session> = internet
+                .vps
+                .iter()
+                .enumerate()
+                .map(|(i, &vp)| {
+                    Session::over(
+                        sub,
+                        vp,
+                        ProbeState::for_worker(FaultPlan::none(), 9, i as u64),
+                    )
+                })
+                .collect();
+            let targets: Vec<_> = internet.net.routers().iter().map(|r| r.loopback).collect();
+            let tasks: Vec<Vec<_>> = (0..sessions.len())
+                .map(|v| {
+                    targets
+                        .iter()
+                        .skip(v)
+                        .step_by(sessions.len())
+                        .copied()
+                        .collect()
+                })
+                .collect();
+            run_vp_batches(&mut sessions, tasks, jobs, &|s, ts| {
+                ts.into_iter()
+                    .map(|t| {
+                        s.traceroute(t);
+                        s.stats.probes
+                    })
+                    .collect()
+            })
+        };
+        let serial = run(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(serial, run(jobs), "jobs={jobs} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn merge_indexed_restores_global_order() {
+        let shards = vec![vec![(2usize, 'c'), (0, 'a')], vec![(1, 'b')]];
+        assert_eq!(merge_indexed(shards, 3), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    #[should_panic(expected = "no shard produced result")]
+    fn merge_indexed_rejects_holes() {
+        let _ = merge_indexed(vec![vec![(0usize, 'a')]], 2);
+    }
+}

@@ -1,7 +1,9 @@
 //! Shared experiment context: one generated Internet plus one campaign
 //! run, reused by every campaign-driven experiment.
 
-use wormhole_core::{Campaign, CampaignConfig, CampaignResult};
+use crate::util::Report;
+use wormhole_core::{audit_campaign, Campaign, CampaignConfig, CampaignResult};
+use wormhole_lint::Severity;
 use wormhole_net::Asn;
 use wormhole_topo::{generate, Internet, InternetConfig};
 
@@ -13,16 +15,31 @@ pub enum Scale {
     /// All ten paper personas with the default stub/vantage-point
     /// population — what the experiment binaries use.
     Paper,
+    /// One hundred transit ASes: the paper personas plus ninety drawn
+    /// from the operator survey ([`InternetConfig::tenfold`]) — the
+    /// scale target for the sharded campaign executor.
+    Tenfold,
 }
 
 impl Scale {
-    /// Reads `WORMHOLE_SCALE=quick|paper` (default `paper`).
+    /// Reads `WORMHOLE_SCALE=quick|paper|tenfold` (default `paper`).
     pub fn from_env() -> Scale {
         match std::env::var("WORMHOLE_SCALE").as_deref() {
             Ok("quick") | Ok("QUICK") => Scale::Quick,
+            Ok("tenfold") | Ok("TENFOLD") => Scale::Tenfold,
             _ => Scale::Paper,
         }
     }
+}
+
+/// Reads `WORMHOLE_JOBS` (default `1`; `0` = available parallelism).
+/// The campaign result is byte-identical at every setting — this knob
+/// only trades wall-clock time.
+pub fn jobs_from_env() -> usize {
+    std::env::var("WORMHOLE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// A generated Internet plus its campaign result.
@@ -33,22 +50,33 @@ pub struct PaperContext {
     pub result: CampaignResult,
     /// The campaign configuration used.
     pub config: CampaignConfig,
+    /// Warn-level summary of the post-campaign result audit, appended
+    /// next to every experiment table.
+    lint_lines: Vec<String>,
 }
 
 impl PaperContext {
-    /// Generates the context at the given scale with the default seed.
+    /// Generates the context at the given scale with the default seed
+    /// and the `WORMHOLE_JOBS` worker count.
     pub fn generate(scale: Scale) -> PaperContext {
         PaperContext::generate_seeded(scale, 8)
     }
 
-    /// Generates the context with an explicit seed.
+    /// Generates the context with an explicit seed and the
+    /// `WORMHOLE_JOBS` worker count.
     pub fn generate_seeded(scale: Scale, seed: u64) -> PaperContext {
+        PaperContext::generate_with(scale, seed, jobs_from_env())
+    }
+
+    /// Generates the context with an explicit seed and worker count.
+    pub fn generate_with(scale: Scale, seed: u64, jobs: usize) -> PaperContext {
         let net_cfg = match scale {
             Scale::Quick => InternetConfig::small(seed),
             Scale::Paper => InternetConfig {
                 seed,
                 ..InternetConfig::default()
             },
+            Scale::Tenfold => InternetConfig::tenfold(seed),
         };
         let internet = generate(&net_cfg);
         // Lint before simulate: a generated Internet that fails static
@@ -58,8 +86,9 @@ impl PaperContext {
         let campaign_cfg = CampaignConfig {
             hdn_threshold: match scale {
                 Scale::Quick => 6,
-                Scale::Paper => 9,
+                Scale::Paper | Scale::Tenfold => 9,
             },
+            jobs,
             ..CampaignConfig::default()
         };
         let campaign = Campaign::new(
@@ -69,10 +98,12 @@ impl PaperContext {
             campaign_cfg.clone(),
         );
         let result = campaign.run();
+        let lint_lines = lint_summary(&internet, &result);
         PaperContext {
             internet,
             result,
             config: campaign_cfg,
+            lint_lines,
         }
     }
 
@@ -86,6 +117,38 @@ impl PaperContext {
             .unwrap_or_else(|| panic!("no persona named {name}"))
             .asn
     }
+
+    /// Appends the warn-level lint summary of the campaign result to an
+    /// experiment report, so every table carries the audit verdict of
+    /// the data behind it.
+    pub fn append_lint(&self, report: &mut Report) {
+        for l in &self.lint_lines {
+            report.line(l.clone());
+        }
+    }
+}
+
+/// Audits a campaign result and reduces the outcome to report lines:
+/// an error/warn/info tally, every warn-or-worse finding, and the
+/// per-shard probe accounting the `A307` rule cross-checks.
+fn lint_summary(internet: &Internet, result: &CampaignResult) -> Vec<String> {
+    let diags = audit_campaign(&internet.net, result);
+    let (errors, warns, infos) = wormhole_lint::count(&diags);
+    let mut out = vec![format!(
+        "lint: {errors} errors, {warns} warnings, {infos} notes over {} traces / {} probes \
+         (shards: {:?})",
+        result.traces.len(),
+        result.probes,
+        result.probes_by_vp
+    )];
+    for d in diags
+        .iter()
+        .filter(|d| d.severity >= Severity::Warn)
+        .take(8)
+    {
+        out.push(format!("lint: {d}"));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -104,5 +167,20 @@ mod tests {
     fn scale_from_env_defaults_to_paper() {
         std::env::remove_var("WORMHOLE_SCALE");
         assert_eq!(Scale::from_env(), Scale::Paper);
+    }
+
+    #[test]
+    fn lint_summary_reaches_reports() {
+        let ctx = PaperContext::generate_with(Scale::Quick, 8, 2);
+        let mut r = Report::new("test", "lint summary plumbing");
+        ctx.append_lint(&mut r);
+        assert!(
+            r.lines.iter().any(|l| l.starts_with("lint: ")),
+            "expected a lint tally line"
+        );
+        assert!(
+            r.lines[0].contains("shards"),
+            "tally should include per-shard probe accounting"
+        );
     }
 }

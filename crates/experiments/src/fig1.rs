@@ -52,6 +52,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         "HDN threshold sits far above the median degree ({median})"
     );
     report.line(format!("median degree: {median}"));
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -121,6 +121,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         assert!(p.mean_after <= p.mean_before);
     }
     report.line("Revelation deflates the apparent LER mesh (Fig. 10).");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -37,6 +37,7 @@ pub fn run(ctx: &PaperContext) -> Report {
     );
     assert!(corrected > 0);
     report.line("Hidden hops shift the path length distribution right (Fig. 11).");
+    ctx.append_lint(&mut report);
     report
 }
 

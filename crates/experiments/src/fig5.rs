@@ -95,6 +95,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         assert_eq!(d.either.range(), Some((2, 2)));
     }
     report.line("Short-tailed distribution, single-LSR tunnels dominate the 'either' bucket.");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -120,6 +120,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         c.jump_ms
     );
     report.line("The tunnel's delay jump decomposes into the revealed hops.");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -65,6 +65,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         "medians — Others: {m_others}, Egress PR: {m_pr}, corrected: {m_corr}"
     ));
     report.line("Egress-PR curve shifts right; revelation recentres it (Fig. 7b).");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -73,6 +73,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         "echo-reply RFA stays near zero, got {m_er}"
     );
     report.line("The 64-based echo replies carry no return-tunnel signal; the 255-based time-exceeded replies do.");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -54,6 +54,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         );
     }
     report.line("RTLA lengths mirror the revealed forward lengths.");
+    ctx.append_lint(&mut report);
     report
 }
 

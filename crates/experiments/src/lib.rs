@@ -23,5 +23,5 @@ pub mod table5;
 pub mod table6;
 pub mod util;
 
-pub use context::{PaperContext, Scale};
+pub use context::{jobs_from_env, PaperContext, Scale};
 pub use util::Report;

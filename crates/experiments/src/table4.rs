@@ -174,6 +174,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         "total revealed pairs across personas: {total_revealed}"
     ));
     report.line("UHP persona resists; invisible personas reveal; densities deflate.");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -190,6 +190,7 @@ pub fn run(ctx: &PaperContext) -> Report {
         }
     }
     report.line("Signature mixes, dominant techniques and medians line up with Table 5's shape.");
+    ctx.append_lint(&mut report);
     report
 }
 

@@ -47,6 +47,9 @@ pub struct CampaignAudit {
     pub num_traces: usize,
     /// Total probe packets the campaign accounted for.
     pub probes: u64,
+    /// Probe packets per vantage-point shard, when the campaign ran
+    /// sharded (empty disables the A307 cross-check).
+    pub probes_by_shard: Vec<u64>,
 }
 
 /// A301: a complete pair-signature outside the Table 1 vendor taxonomy.
@@ -169,6 +172,40 @@ pub fn probe_accounting(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// A307: per-shard probe accounting. The shard counters must sum to the
+/// campaign total (error — the sharded merge lost or double-counted a
+/// worker), and a shard that sent zero probes usually means a vantage
+/// point was never assigned work (warn).
+pub fn shard_accounting(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    if a.probes_by_shard.is_empty() {
+        return;
+    }
+    let sum: u64 = a.probes_by_shard.iter().sum();
+    if sum != a.probes {
+        out.push(Diagnostic::new(
+            "A307",
+            Severity::Error,
+            Location::Network,
+            format!(
+                "per-shard probe counters sum to {sum} but the campaign total is {}",
+                a.probes
+            ),
+            "derive the campaign total by summing per-session SessionStats::probes",
+        ));
+    }
+    for (shard, &p) in a.probes_by_shard.iter().enumerate() {
+        if p == 0 {
+            out.push(Diagnostic::new(
+                "A307",
+                Severity::Warn,
+                Location::Network,
+                format!("vantage-point shard #{shard} sent zero probes"),
+                "check the per-VP work assignment; an idle VP wastes a worker slot",
+            ));
+        }
+    }
+}
+
 /// Runs every audit rule.
 pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -178,5 +215,6 @@ pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     foreign_as_hop(net, a, &mut out);
     dangling_trace_index(a, &mut out);
     probe_accounting(a, &mut out);
+    shard_accounting(a, &mut out);
     out
 }

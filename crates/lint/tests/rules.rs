@@ -415,6 +415,47 @@ fn a306_probe_accounting_below_trace_count() {
     assert_eq!(error_codes(&diags), ["A306"]);
 }
 
+#[test]
+fn a307_shard_counters_must_sum_to_the_total() {
+    let (net, _) = tiny_as();
+    let a = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![4, 4], // sums to 8, not 10
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert_eq!(error_codes(&diags), ["A307"]);
+}
+
+#[test]
+fn a307_idle_shard_warns() {
+    let (net, _) = tiny_as();
+    let a = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![10, 0],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(error_codes(&diags).is_empty(), "{}", lint::render(&diags));
+    assert!(diags
+        .iter()
+        .any(|d| d.code == "A307" && d.severity == Severity::Warn));
+}
+
+#[test]
+fn a307_silent_without_shard_data() {
+    let (net, _) = tiny_as();
+    let a = CampaignAudit {
+        num_traces: 1,
+        probes: 5,
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(!codes(&diags).contains(&"A307"));
+}
+
 // ------------------------------------------------- negative contract
 
 #[test]

@@ -26,8 +26,9 @@ use crate::fault::FaultPlan;
 use crate::ids::{Label, RouterId};
 use crate::net::Network;
 use crate::packet::{IcmpPayload, LabelStack, Lse, Packet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::state::ProbeState;
+use crate::substrate::SubstrateRef;
+use rand::Rng;
 
 /// Engine options.
 #[derive(Clone, Debug)]
@@ -161,16 +162,15 @@ struct NextHop {
     push: Option<Label>,
 }
 
-/// The forwarding engine. Borrow a [`Network`] and its [`ControlPlane`],
-/// then [`Engine::send`] probes.
+/// The forwarding engine: an immutable [`SubstrateRef`] (shared
+/// topology + routing state) plus an owned, mutable [`ProbeState`]
+/// (fault RNG stream and counters). The split is what lets campaign
+/// workers run engines concurrently over one substrate with no locks.
 pub struct Engine<'a> {
-    net: &'a Network,
-    cp: &'a ControlPlane,
+    sub: SubstrateRef<'a>,
     opts: EngineOpts,
-    faults: FaultPlan,
-    rng: StdRng,
-    /// Counters.
-    pub stats: EngineStats,
+    /// The mutable half: fault plan, RNG stream, counters.
+    pub state: ProbeState,
 }
 
 impl<'a> Engine<'a> {
@@ -186,31 +186,44 @@ impl<'a> Engine<'a> {
         faults: FaultPlan,
         seed: u64,
     ) -> Engine<'a> {
+        Engine::over(SubstrateRef::new(net, cp), ProbeState::new(faults, seed))
+    }
+
+    /// An engine over a substrate handle with externally-built state —
+    /// the constructor campaign workers use.
+    pub fn over(sub: SubstrateRef<'a>, state: ProbeState) -> Engine<'a> {
         Engine {
-            net,
-            cp,
+            sub,
             opts: EngineOpts::default(),
-            faults,
-            rng: StdRng::seed_from_u64(seed),
-            stats: EngineStats::default(),
+            state,
         }
     }
 
     /// The network this engine forwards over.
     pub fn network(&self) -> &'a Network {
-        self.net
+        self.sub.net
     }
 
     /// The control plane in use.
     pub fn control_plane(&self) -> &'a ControlPlane {
-        self.cp
+        self.sub.cp
+    }
+
+    /// The substrate handle.
+    pub fn substrate(&self) -> SubstrateRef<'a> {
+        self.sub
+    }
+
+    /// The traffic counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.state.stats
     }
 
     /// Sends `pkt` from `origin` and runs the simulation to completion,
     /// including the reply's return trip.
     pub fn send(&mut self, origin: RouterId, pkt: Packet) -> SendOutcome {
         assert!(pkt.ip_ttl >= 1, "probes need a TTL of at least 1");
-        self.stats.probes += 1;
+        self.state.stats.probes += 1;
         let probe_src = pkt.src;
         let leg = self.transit(origin, pkt, None);
         let out = match leg {
@@ -220,7 +233,7 @@ impl<'a> Engine<'a> {
                 let IcmpPayload::EchoRequest { id, seq } = pkt.payload else {
                     return self.lost(Some(at), DropReason::ReplyLost);
                 };
-                let r = self.net.router(at);
+                let r = self.sub.net.router(at);
                 if !r.config.replies {
                     return self.lost(Some(at), DropReason::Silent);
                 }
@@ -253,13 +266,13 @@ impl<'a> Engine<'a> {
             Leg::Dropped { at, reason, .. } => self.lost(Some(at), reason),
         };
         if matches!(out, SendOutcome::Reply(_)) {
-            self.stats.replies += 1;
+            self.state.stats.replies += 1;
         }
         out
     }
 
     fn lost(&mut self, at: Option<RouterId>, reason: DropReason) -> SendOutcome {
-        self.stats.lost += 1;
+        self.state.stats.lost += 1;
         SendOutcome::Lost { at, reason }
     }
 
@@ -275,7 +288,7 @@ impl<'a> Engine<'a> {
         let from = reply.src;
         match self.transit(at, reply, first_hop) {
             Leg::Delivered { at: end, pkt, path } => {
-                if pkt.dst != probe_src || !self.net.router(end).owns(probe_src) {
+                if pkt.dst != probe_src || !self.sub.net.router(end).owns(probe_src) {
                     return self.lost(Some(end), DropReason::ReplyLost);
                 }
                 let mpls_ext = match &pkt.payload {
@@ -339,7 +352,7 @@ impl<'a> Engine<'a> {
                     path,
                 };
             }
-            let r = self.net.router(cur);
+            let r = self.sub.net.router(cur);
             let mut skip_decrement = false;
 
             // --- MPLS processing ---------------------------------------
@@ -375,7 +388,7 @@ impl<'a> Engine<'a> {
                     skip_decrement = true;
                     // fall through to IP processing
                 } else {
-                    let Some(entry) = self.cp.lfib_entry(cur, top.label) else {
+                    let Some(entry) = self.sub.cp.lfib_entry(cur, top.label) else {
                         return Leg::Dropped {
                             at: cur,
                             reason: DropReason::BadLabel,
@@ -489,15 +502,15 @@ impl<'a> Engine<'a> {
         iface: u32,
         pkt: &mut Packet,
     ) -> Result<Addr, DropReason> {
-        self.stats.crossings += 1;
-        if self.faults.loss > 0.0 && self.rng.gen::<f64>() < self.faults.loss {
+        self.state.stats.crossings += 1;
+        if self.state.faults.loss > 0.0 && self.state.rng.gen::<f64>() < self.state.faults.loss {
             return Err(DropReason::Loss);
         }
-        let ifc = &self.net.router(router).ifaces[iface as usize];
-        let link = self.net.link(ifc.link);
+        let ifc = &self.sub.net.router(router).ifaces[iface as usize];
+        let link = self.sub.net.link(ifc.link);
         pkt.elapsed_ms += link.delay_ms;
-        if self.faults.jitter_ms > 0.0 {
-            pkt.elapsed_ms += self.rng.gen::<f64>() * self.faults.jitter_ms;
+        if self.state.faults.jitter_ms > 0.0 {
+            pkt.elapsed_ms += self.state.rng.gen::<f64>() * self.state.faults.jitter_ms;
         }
         Ok(ifc.peer_addr)
     }
@@ -514,7 +527,7 @@ impl<'a> Engine<'a> {
         downstream: Option<(Label, u32, RouterId)>,
         path: Vec<RouterId>,
     ) -> Leg {
-        let r = self.net.router(cur);
+        let r = self.sub.net.router(cur);
         if expired.payload.is_error() {
             // Never ICMP about ICMP errors.
             return Leg::Dropped {
@@ -530,7 +543,9 @@ impl<'a> Engine<'a> {
                 path,
             };
         }
-        if self.faults.icmp_loss > 0.0 && self.rng.gen::<f64>() < self.faults.icmp_loss {
+        if self.state.faults.icmp_loss > 0.0
+            && self.state.rng.gen::<f64>() < self.state.faults.icmp_loss
+        {
             return Leg::Dropped {
                 at: cur,
                 reason: DropReason::IcmpSuppressed,
@@ -579,7 +594,7 @@ impl<'a> Engine<'a> {
         in_iface_addr: Option<Addr>,
         path: Vec<RouterId>,
     ) -> Leg {
-        let r = self.net.router(cur);
+        let r = self.sub.net.router(cur);
         if pkt.payload.is_error() || !r.config.replies {
             return Leg::Dropped {
                 at: cur,
@@ -613,7 +628,7 @@ impl<'a> Engine<'a> {
 
     /// The IP forwarding decision at `cur` for `pkt` (stack empty).
     fn decide(&mut self, cur: RouterId, pkt: &Packet) -> Option<NextHop> {
-        let r = self.net.router(cur);
+        let r = self.sub.net.router(cur);
         // Connected /31 neighbor?
         if let Some(idx) = r.ifaces.iter().position(|i| i.peer_addr == pkt.dst) {
             return Some(NextHop {
@@ -622,21 +637,21 @@ impl<'a> Engine<'a> {
                 push: None,
             });
         }
-        let owner = self.net.owner(pkt.dst)?;
-        let dst_asn = self.net.router(owner).asn;
+        let owner = self.sub.net.owner(pkt.dst)?;
+        let dst_asn = self.sub.net.router(owner).asn;
         if dst_asn == r.asn {
             // RSVP-TE autoroute: destinations owned by a tunnel tail
             // enter the tunnel at its head.
-            if let Some((iface, next, push)) = self.cp.te_route(cur, owner) {
+            if let Some((iface, next, push)) = self.sub.cp.te_route(cur, owner) {
                 return Some(NextHop { iface, next, push });
             }
             // An unregistered AS has no routing state: no route.
-            let as_idx = self.net.as_index(r.asn)?;
-            let slot = self.cp.as_prefixes[as_idx].lookup(pkt.dst)?;
+            let as_idx = self.sub.net.as_index(r.asn)?;
+            let slot = self.sub.cp.as_prefixes[as_idx].lookup(pkt.dst)?;
             self.intra_hop(cur, slot, pkt)
         } else {
-            let dst_idx = self.net.as_index(dst_asn)?;
-            match self.cp.ext_route(cur, dst_idx) {
+            let dst_idx = self.sub.net.as_index(dst_asn)?;
+            match self.sub.cp.ext_route(cur, dst_idx) {
                 ExtRoute::Unreachable => None,
                 ExtRoute::Direct { iface } => Some(NextHop {
                     iface,
@@ -645,14 +660,14 @@ impl<'a> Engine<'a> {
                 }),
                 ExtRoute::ViaEgress { egress } => {
                     // RSVP-TE autoroute towards the BGP next hop.
-                    if let Some((iface, next, push)) = self.cp.te_route(cur, egress) {
+                    if let Some((iface, next, push)) = self.sub.cp.te_route(cur, egress) {
                         return Some(NextHop { iface, next, push });
                     }
                     // Otherwise route (and LDP-label-switch) towards the
                     // egress border's loopback.
-                    let as_idx = self.net.as_index(r.asn)?;
-                    let slot =
-                        self.cp.as_prefixes[as_idx].lookup(self.net.router(egress).loopback)?;
+                    let as_idx = self.sub.net.as_index(r.asn)?;
+                    let slot = self.sub.cp.as_prefixes[as_idx]
+                        .lookup(self.sub.net.router(egress).loopback)?;
                     self.intra_hop(cur, slot, pkt)
                 }
             }
@@ -660,11 +675,11 @@ impl<'a> Engine<'a> {
     }
 
     fn intra_hop(&self, cur: RouterId, slot: u32, pkt: &Packet) -> Option<NextHop> {
-        let r = self.net.router(cur);
-        let entry = self.cp.fib_entry(cur, slot)?;
+        let r = self.sub.net.router(cur);
+        let entry = self.sub.cp.fib_entry(cur, slot)?;
         let &(iface, next) = pick(&entry.nexthops, pkt.flow, cur.0);
         let push = if r.config.mpls {
-            match self.cp.bindings.advertised(next, slot) {
+            match self.sub.cp.bindings.advertised(next, slot) {
                 Some(crate::ldp::LabelValue::Real(l)) => Some(l),
                 Some(crate::ldp::LabelValue::ExplicitNull) => Some(Label::EXPLICIT_NULL),
                 Some(crate::ldp::LabelValue::ImplicitNull) | None => None,
@@ -882,8 +897,8 @@ mod tests {
             }
         }
         assert!(lost > 10, "expected substantial loss, got {lost}");
-        assert!(eng.stats.lost > 0);
-        assert_eq!(eng.stats.probes, 50);
+        assert!(eng.stats().lost > 0);
+        assert_eq!(eng.stats().probes, 50);
     }
 
     #[test]

@@ -41,6 +41,23 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// True when the plan can consume randomness (any fault enabled).
+    pub fn is_random(&self) -> bool {
+        self.loss > 0.0 || self.icmp_loss > 0.0 || self.jitter_ms > 0.0
+    }
+}
+
+/// Derives the RNG seed for campaign worker `worker_id` from the
+/// campaign seed — a SplitMix64 finalizer over the pair, so adjacent
+/// worker ids land on statistically unrelated streams and the mapping
+/// is stable across platforms and thread counts.
+pub fn worker_seed(campaign_seed: u64, worker_id: u64) -> u64 {
+    let mut z = campaign_seed ^ worker_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -59,5 +76,13 @@ mod tests {
     #[should_panic]
     fn loss_out_of_range_panics() {
         let _ = FaultPlan::with_loss(1.5);
+    }
+
+    #[test]
+    fn worker_seed_is_stable_and_spread() {
+        assert_eq!(worker_seed(8, 3), worker_seed(8, 3));
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|w| worker_seed(1717, w)).collect();
+        assert_eq!(seeds.len(), 64, "worker streams must not collide");
+        assert_ne!(worker_seed(0, 0), worker_seed(1, 0));
     }
 }

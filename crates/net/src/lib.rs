@@ -57,6 +57,8 @@ pub mod net;
 pub mod packet;
 pub mod prefixes;
 pub mod router;
+pub mod state;
+pub mod substrate;
 pub mod te;
 pub mod trie;
 pub mod vendor;
@@ -66,7 +68,7 @@ pub use bgp::{Bgp, RouteClass};
 pub use control::{ControlPlane, ExtRoute, FibEntry, LabelAction, LfibEntry, LfibHop};
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;
-pub use fault::FaultPlan;
+pub use fault::{worker_seed, FaultPlan};
 pub use ids::{Asn, Label, LinkId, PortRef, RouterId};
 pub use igp::AsIgp;
 pub use ldp::{LabelValue, LdpBindings};
@@ -74,6 +76,8 @@ pub use net::{AsRel, Link, LinkOpts, Network, NetworkBuilder, RelKind};
 pub use packet::{IcmpPayload, LabelStack, Lse, Packet};
 pub use prefixes::AsPrefixes;
 pub use router::{Interface, Router, RouterConfig};
+pub use state::ProbeState;
+pub use substrate::{Substrate, SubstrateRef};
 pub use te::TeTunnel;
 pub use trie::PrefixTrie;
 pub use vendor::{LdpPolicy, PoppingMode, Vendor};

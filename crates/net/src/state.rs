@@ -1,0 +1,71 @@
+//! Per-worker mutable probing state.
+//!
+//! The counterpart of [`crate::substrate`]: while the substrate is
+//! immutable and shared, everything a probing worker mutates — its
+//! fault-injection RNG stream and its traffic counters — is bundled
+//! here so each campaign worker owns its state outright and no locking
+//! or cross-worker ordering is ever needed.
+//!
+//! Reproducibility contract: a worker's RNG stream is a pure function
+//! of `(campaign_seed, worker_id)` via [`crate::fault::worker_seed`],
+//! so campaign results are byte-identical at any thread count as long
+//! as each worker processes its own task list in a fixed order.
+
+use crate::engine::EngineStats;
+use crate::fault::{worker_seed, FaultPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The mutable half of a probing engine: fault plan, RNG stream and
+/// counters. Cheap to create — one per vantage-point worker.
+#[derive(Clone, Debug)]
+pub struct ProbeState {
+    /// Fault injection configuration.
+    pub faults: FaultPlan,
+    /// The fault/jitter RNG stream.
+    pub(crate) rng: StdRng,
+    /// Traffic counters.
+    pub stats: EngineStats,
+}
+
+impl ProbeState {
+    /// State seeded directly with `seed` (single-session use).
+    pub fn new(faults: FaultPlan, seed: u64) -> ProbeState {
+        ProbeState {
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// State for campaign worker `worker_id`: the RNG stream is derived
+    /// from `(campaign_seed, worker_id)` so every worker draws from its
+    /// own deterministic stream regardless of how workers are scheduled
+    /// onto threads.
+    pub fn for_worker(faults: FaultPlan, campaign_seed: u64, worker_id: u64) -> ProbeState {
+        ProbeState::new(faults, worker_seed(campaign_seed, worker_id))
+    }
+
+    /// A fault-free, deterministic state.
+    pub fn deterministic() -> ProbeState {
+        ProbeState::new(FaultPlan::none(), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn worker_states_draw_distinct_streams() {
+        let mut a = ProbeState::for_worker(FaultPlan::none(), 7, 0);
+        let mut b = ProbeState::for_worker(FaultPlan::none(), 7, 1);
+        let mut a2 = ProbeState::for_worker(FaultPlan::none(), 7, 0);
+        let xs: Vec<u64> = (0..4).map(|_| a.rng.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.rng.next_u64()).collect();
+        let xs2: Vec<u64> = (0..4).map(|_| a2.rng.next_u64()).collect();
+        assert_eq!(xs, xs2, "same (seed, worker) ⇒ same stream");
+        assert_ne!(xs, ys, "different workers ⇒ different streams");
+    }
+}

@@ -1,0 +1,139 @@
+//! The immutable measurement substrate: a built [`Network`] plus its
+//! computed [`ControlPlane`], bundled so they can be shared — by
+//! reference between scoped campaign workers, or by [`Arc`] handle
+//! between owners with independent lifetimes.
+//!
+//! The split this module anchors is the one the parallel campaign
+//! relies on: everything topology- and routing-shaped is **immutable
+//! and `Send + Sync`** (built once, read by every worker), while all
+//! mutable probing state (fault RNG streams, probe counters, flow-id
+//! bookkeeping) lives in a per-worker [`crate::state::ProbeState`].
+//! Nothing in this crate uses interior mutability, so sharing a
+//! substrate across threads needs no locks.
+
+use crate::control::ControlPlane;
+use crate::error::NetError;
+use crate::net::Network;
+use std::sync::Arc;
+
+/// A borrowed view of the substrate: the cheap, `Copy` handle that
+/// [`crate::engine::Engine`] (and everything above it) forwards over.
+///
+/// Both referents are immutable and `Sync`, so a `SubstrateRef` can be
+/// captured by scoped worker threads directly.
+#[derive(Copy, Clone, Debug)]
+pub struct SubstrateRef<'a> {
+    /// The network topology and router configurations.
+    pub net: &'a Network,
+    /// The computed FIBs, LFIBs, BGP tables and prefix tries.
+    pub cp: &'a ControlPlane,
+}
+
+impl<'a> SubstrateRef<'a> {
+    /// Bundles a network and its control plane.
+    pub fn new(net: &'a Network, cp: &'a ControlPlane) -> SubstrateRef<'a> {
+        SubstrateRef { net, cp }
+    }
+}
+
+struct SubstrateInner {
+    net: Network,
+    cp: ControlPlane,
+}
+
+/// An owned, reference-counted substrate: build the network and its
+/// control plane once, then clone the handle freely — clones are an
+/// `Arc` bump, and every clone sees the same immutable routing state.
+#[derive(Clone)]
+pub struct Substrate {
+    inner: Arc<SubstrateInner>,
+}
+
+impl std::fmt::Debug for Substrate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Substrate")
+            .field("routers", &self.inner.net.routers().len())
+            .finish()
+    }
+}
+
+impl Substrate {
+    /// Builds the control plane for `net` and wraps both.
+    pub fn build(net: Network) -> Result<Substrate, NetError> {
+        let cp = ControlPlane::build(&net)?;
+        Ok(Substrate::from_parts(net, cp))
+    }
+
+    /// Wraps an already-computed control plane with its network.
+    pub fn from_parts(net: Network, cp: ControlPlane) -> Substrate {
+        Substrate {
+            inner: Arc::new(SubstrateInner { net, cp }),
+        }
+    }
+
+    /// The network.
+    pub fn net(&self) -> &Network {
+        &self.inner.net
+    }
+
+    /// The control plane.
+    pub fn cp(&self) -> &ControlPlane {
+        &self.inner.cp
+    }
+
+    /// A borrowed view, as consumed by engines and sessions.
+    pub fn as_ref(&self) -> SubstrateRef<'_> {
+        SubstrateRef::new(&self.inner.net, &self.inner.cp)
+    }
+}
+
+// Compile-time audit: the shared substrate must be immutable-shareable
+// across campaign workers. If anyone introduces interior mutability
+// (Cell, RefCell, Rc) into the topology or routing layers, these
+// bounds fail to hold and this module stops compiling.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Network>();
+    assert_sync_send::<ControlPlane>();
+    assert_sync_send::<Substrate>();
+    assert_sync_send::<SubstrateRef<'_>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Asn;
+    use crate::net::{LinkOpts, NetworkBuilder};
+    use crate::router::RouterConfig;
+    use crate::vendor::Vendor;
+
+    fn two_router_net() -> Network {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_router("a", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        let t = b.add_router("t", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        b.link(a, t, LinkOpts::default());
+        b.build().expect("builds")
+    }
+
+    #[test]
+    fn handle_clones_share_one_substrate() {
+        let sub = Substrate::build(two_router_net()).expect("control plane");
+        let clone = sub.clone();
+        assert!(std::ptr::eq(sub.net(), clone.net()));
+        assert!(std::ptr::eq(sub.cp(), clone.cp()));
+        let r = sub.as_ref();
+        assert!(std::ptr::eq(r.net, sub.net()));
+    }
+
+    #[test]
+    fn substrate_is_readable_from_scoped_threads() {
+        let sub = Substrate::build(two_router_net()).expect("control plane");
+        let sref = sub.as_ref();
+        let n = std::thread::scope(|s| {
+            let h1 = s.spawn(move || sref.net.routers().len());
+            let h2 = s.spawn(move || sref.net.routers().len());
+            h1.join().expect("worker") + h2.join().expect("worker")
+        });
+        assert_eq!(n, 4);
+    }
+}

@@ -8,7 +8,9 @@
 use crate::ping::{ping, PingResult};
 use crate::trace::Trace;
 use crate::traceroute::{traceroute, TracerouteOpts};
-use wormhole_net::{Addr, ControlPlane, Engine, FaultPlan, Network, RouterId};
+use wormhole_net::{
+    Addr, ControlPlane, Engine, FaultPlan, Network, ProbeState, RouterId, SubstrateRef,
+};
 
 /// Session counters.
 #[derive(Clone, Debug, Default)]
@@ -31,6 +33,13 @@ impl SessionStats {
 }
 
 /// A probing session bound to one vantage point.
+///
+/// A session is the per-worker half of the substrate/worker split: it
+/// owns its engine's [`ProbeState`] (fault RNG stream, counters) and
+/// its own TTL/flow bookkeeping, while the topology and routing state
+/// behind its [`SubstrateRef`] are immutable and shared. Sessions are
+/// `Send`, so a campaign can move one per vantage point onto scoped
+/// worker threads.
 pub struct Session<'a> {
     eng: Engine<'a>,
     vp: RouterId,
@@ -40,6 +49,12 @@ pub struct Session<'a> {
     /// Counters.
     pub stats: SessionStats,
 }
+
+// Compile-time audit: campaign workers move sessions across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session<'_>>();
+};
 
 impl<'a> Session<'a> {
     /// A fault-free session probing from `vp`.
@@ -61,9 +76,21 @@ impl<'a> Session<'a> {
     ) -> Session<'a> {
         #[cfg(debug_assertions)]
         wormhole_lint::deny_errors("Session", &wormhole_lint::check_full(net, cp));
-        let src = net.router(vp).loopback;
+        Session::over(
+            SubstrateRef::new(net, cp),
+            vp,
+            ProbeState::new(faults, seed),
+        )
+    }
+
+    /// A session over an already-linted substrate with externally-built
+    /// worker state. No lint gate runs here: the caller (typically a
+    /// campaign, which lints the substrate once for all of its workers)
+    /// is responsible for having vetted the network.
+    pub fn over(sub: SubstrateRef<'a>, vp: RouterId, state: ProbeState) -> Session<'a> {
+        let src = sub.net.router(vp).loopback;
         Session {
-            eng: Engine::with_faults(net, cp, faults, seed),
+            eng: Engine::over(sub, state),
             vp,
             src,
             opts: TracerouteOpts::campaign(),
@@ -110,10 +137,10 @@ impl<'a> Session<'a> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
         let flow = self.flow_for(dst);
-        let before = self.eng.stats.probes;
+        let before = self.eng.stats().probes;
         let t = traceroute(&mut self.eng, self.vp, self.src, dst, flow, id, &self.opts);
         self.stats.traceroutes += 1;
-        self.stats.probes += self.eng.stats.probes - before;
+        self.stats.probes += self.eng.stats().probes - before;
         t
     }
 
@@ -122,10 +149,10 @@ impl<'a> Session<'a> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
         let flow = self.flow_for(dst);
-        let before = self.eng.stats.probes;
+        let before = self.eng.stats().probes;
         let r = ping(&mut self.eng, self.vp, self.src, dst, flow, id, 2);
         self.stats.pings += 1;
-        self.stats.probes += self.eng.stats.probes - before;
+        self.stats.probes += self.eng.stats().probes - before;
         r
     }
 }

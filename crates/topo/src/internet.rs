@@ -59,6 +59,28 @@ impl InternetConfig {
             silent_share: 0.0,
         }
     }
+
+    /// A tenfold Internet: the ten paper personas plus ninety transit
+    /// ASes drawn from the §1–2 operator-survey priors
+    /// ([`crate::persona::random_persona`]) — one hundred transit ASes
+    /// in total, the scale target for the sharded campaign executor.
+    /// Peering probability is lowered so interconnect density stays
+    /// near the default Internet's per-AS average.
+    pub fn tenfold(seed: u64) -> InternetConfig {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7E_2F01D);
+        let mut personas = paper_personas();
+        personas.extend(
+            (0..90).map(|i| crate::persona::random_persona(Asn(21_000 + i), "survey", &mut rng)),
+        );
+        InternetConfig {
+            seed,
+            personas,
+            n_stubs: 120,
+            n_vps: 10,
+            peer_prob: 0.04,
+            silent_share: 0.02,
+        }
+    }
 }
 
 /// A generated Internet with its control plane and vantage points.
@@ -326,6 +348,29 @@ mod tests {
             .take(40)
             .any(|(x, y)| x.config.vendor != y.config.vendor || x.name != y.name);
         assert!(differs || a.net.num_links() != b.net.num_links());
+    }
+
+    #[test]
+    fn tenfold_internet_builds() {
+        let t0 = std::time::Instant::now();
+        let cfg = InternetConfig::tenfold(8);
+        assert_eq!(cfg.personas.len(), 100);
+        let internet = generate(&cfg);
+        assert_eq!(internet.vps.len(), 10);
+        assert!(
+            internet.net.num_routers() > 2_000,
+            "tenfold Internet should be an order of magnitude beyond paper scale, got {}",
+            internet.net.num_routers()
+        );
+        // Paper personas keep their identities at the larger scale.
+        assert!(internet.persona_of(Asn(3320)).is_some());
+        assert!(internet.persona_of(Asn(21_000)).is_some());
+        eprintln!(
+            "tenfold: {} routers, {} links in {:?}",
+            internet.net.num_routers(),
+            internet.net.num_links(),
+            t0.elapsed()
+        );
     }
 
     #[test]

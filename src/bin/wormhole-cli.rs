@@ -5,7 +5,8 @@
 //! wormhole-cli smart <config>            tunnel-aware traceroute (§8)
 //! wormhole-cli reveal <config>           run the DPR/BRPR recursion
 //! wormhole-cli lint <config>             static analysis of a testbed config
-//! wormhole-cli campaign [quick]          full §4 campaign summary
+//! wormhole-cli campaign [quick|paper|tenfold] [--jobs N]
+//!                                        full §4 campaign summary
 //! wormhole-cli list-configs              available testbed configurations
 //! ```
 
@@ -50,7 +51,8 @@ fn scenario(name: &str) -> Option<Scenario> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wormhole-cli <trace|smart|reveal|lint> <config> | campaign [quick] | list-configs\n\
+        "usage: wormhole-cli <trace|smart|reveal|lint> <config> \
+         | campaign [quick|paper|tenfold] [--jobs N] | list-configs\n\
          configs: {}",
         CONFIGS
             .iter()
@@ -166,14 +168,33 @@ fn cmd_lint(name: &str, s: &Scenario) -> ExitCode {
     }
 }
 
-fn cmd_campaign(quick: bool) -> ExitCode {
-    let scale = if quick {
-        wormhole::experiments::Scale::Quick
-    } else {
-        wormhole::experiments::Scale::Paper
-    };
-    eprintln!("running the §4 campaign at {scale:?} scale…");
-    let ctx = wormhole::experiments::PaperContext::generate(scale);
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    use wormhole::experiments::Scale;
+    let mut scale = Scale::Paper;
+    let mut jobs = wormhole::experiments::jobs_from_env();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "quick" => scale = Scale::Quick,
+            "paper" => scale = Scale::Paper,
+            "tenfold" => scale = Scale::Tenfold,
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs needs a worker count (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown campaign argument {other}");
+                return usage();
+            }
+        }
+    }
+    eprintln!("running the §4 campaign at {scale:?} scale with jobs={jobs}…");
+    let t0 = std::time::Instant::now();
+    let ctx = wormhole::experiments::PaperContext::generate_with(scale, 8, jobs);
+    let elapsed = t0.elapsed().as_secs_f64();
     println!(
         "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; {} tunnels revealed; {} probes",
         ctx.result.snapshot.num_nodes(),
@@ -182,6 +203,10 @@ fn cmd_campaign(quick: bool) -> ExitCode {
         ctx.result.unique_pairs().len(),
         ctx.result.tunnels().count(),
         ctx.result.probes
+    );
+    println!(
+        "wall: {elapsed:.2}s  ({:.0} probes/sec simulated)",
+        ctx.result.probes as f64 / elapsed
     );
     println!("{}", wormhole::experiments::table4::run(&ctx));
     ExitCode::SUCCESS
@@ -196,7 +221,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("campaign") => cmd_campaign(args.get(1).map(String::as_str) == Some("quick")),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some(cmd @ ("trace" | "smart" | "reveal" | "lint")) => {
             let Some(config) = args.get(1) else {
                 return usage();

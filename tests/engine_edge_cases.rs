@@ -92,7 +92,7 @@ fn engine_stats_are_consistent() {
         crossings,
         replies,
         lost,
-    } = eng.stats.clone();
+    } = eng.stats().clone();
     assert_eq!(probes, 40);
     assert_eq!(replies + lost, 40);
     assert!(crossings > probes, "each probe crosses several links");
