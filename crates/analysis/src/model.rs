@@ -2,7 +2,7 @@
 //! distributions, and RTT profiles with revealed tunnel content.
 
 use std::collections::{BTreeSet, HashMap};
-use wormhole_core::{RevealOutcome, RevealedTunnel};
+use wormhole_core::{RevealedTunnel, RevelationOutcome};
 use wormhole_net::Addr;
 use wormhole_probe::Trace;
 use wormhole_topo::{ItdkSnapshot, NodeInfo};
@@ -12,7 +12,7 @@ use wormhole_topo::{ItdkSnapshot, NodeInfo};
 /// responsive hops, the tunnel's LSRs are inserted between them.
 pub fn corrected_path(
     trace: &Trace,
-    revelations: &HashMap<(Addr, Addr), RevealOutcome>,
+    revelations: &HashMap<(Addr, Addr), RevelationOutcome>,
 ) -> Vec<Option<Addr>> {
     let path = trace.addr_path();
     let mut out: Vec<Option<Addr>> = Vec::with_capacity(path.len());
@@ -23,7 +23,7 @@ pub fn corrected_path(
             // The next responsive hop (stars in between block splicing —
             // the pair was not adjacent in the measured view).
             if let Some(b) = path.get(i + 1).copied().flatten() {
-                if let Some(RevealOutcome::Revealed(t)) = revelations.get(&(a, b)) {
+                if let Some(t) = revelations.get(&(a, b)).and_then(RevelationOutcome::tunnel) {
                     out.extend(t.hops().into_iter().map(Some));
                 }
             }
@@ -36,7 +36,7 @@ pub fn corrected_path(
 /// Corrected paths for a whole trace set.
 pub fn corrected_paths(
     traces: &[Trace],
-    revelations: &HashMap<(Addr, Addr), RevealOutcome>,
+    revelations: &HashMap<(Addr, Addr), RevelationOutcome>,
 ) -> Vec<Vec<Option<Addr>>> {
     traces
         .iter()
@@ -48,7 +48,7 @@ pub fn corrected_paths(
 /// (measured) one, with the same resolver.
 pub fn before_after_snapshots<R>(
     traces: &[Trace],
-    revelations: &HashMap<(Addr, Addr), RevealOutcome>,
+    revelations: &HashMap<(Addr, Addr), RevelationOutcome>,
     mut resolve: R,
 ) -> (ItdkSnapshot, ItdkSnapshot)
 where
@@ -65,7 +65,7 @@ where
 /// reached its destination (Fig. 11's two distributions).
 pub fn trace_lengths(
     traces: &[Trace],
-    revelations: &HashMap<(Addr, Addr), RevealOutcome>,
+    revelations: &HashMap<(Addr, Addr), RevelationOutcome>,
 ) -> Vec<(usize, usize)> {
     traces
         .iter()
@@ -160,7 +160,7 @@ mod tests {
     use super::*;
     use wormhole_core::{RevealMethod, RevealStep, RevealedHop};
     use wormhole_net::ReplyKind;
-    use wormhole_probe::TraceHop;
+    use wormhole_probe::{HopOutcome, TraceHop};
 
     fn a(x: u8) -> Addr {
         Addr::new(10, 0, 0, x)
@@ -174,6 +174,8 @@ mod tests {
             rtt_ms: Some(rtt),
             labels: Vec::new(),
             kind: Some(ReplyKind::TimeExceeded),
+            outcome: HopOutcome::Replied,
+            attempts: 1,
             truth: None,
         }
     }
@@ -207,6 +209,8 @@ mod tests {
             flow: 0,
             hops,
             reached: true,
+            probes: 3,
+            truncated: false,
         }
     }
 
@@ -216,7 +220,7 @@ mod tests {
         let mut revs = HashMap::new();
         revs.insert(
             (a(2), a(9)),
-            RevealOutcome::Revealed(tunnel(2, 9, &[21, 22])),
+            RevelationOutcome::complete(tunnel(2, 9, &[21, 22])),
         );
         let fixed = corrected_path(&t, &revs);
         let addrs: Vec<u8> = fixed.iter().map(|h| h.unwrap().octets()[3]).collect();
@@ -227,7 +231,10 @@ mod tests {
     fn stars_block_splicing() {
         let t = trace(vec![hop(1, 2, 1.0), TraceHop::star(2), hop(3, 9, 2.0)]);
         let mut revs = HashMap::new();
-        revs.insert((a(2), a(9)), RevealOutcome::Revealed(tunnel(2, 9, &[21])));
+        revs.insert(
+            (a(2), a(9)),
+            RevelationOutcome::complete(tunnel(2, 9, &[21])),
+        );
         let fixed = corrected_path(&t, &revs);
         assert_eq!(fixed.len(), 3);
     }
@@ -238,7 +245,7 @@ mod tests {
         let mut revs = HashMap::new();
         revs.insert(
             (a(2), a(9)),
-            RevealOutcome::Revealed(tunnel(2, 9, &[21, 22, 23])),
+            RevelationOutcome::complete(tunnel(2, 9, &[21, 22, 23])),
         );
         let lens = trace_lengths(&[t], &revs);
         assert_eq!(lens, vec![(3, 6)]);
@@ -265,7 +272,10 @@ mod tests {
     fn snapshots_and_density() {
         let t = trace(vec![hop(1, 1, 1.0), hop(2, 2, 2.0), hop(3, 9, 3.0)]);
         let mut revs = HashMap::new();
-        revs.insert((a(2), a(9)), RevealOutcome::Revealed(tunnel(2, 9, &[21])));
+        revs.insert(
+            (a(2), a(9)),
+            RevelationOutcome::complete(tunnel(2, 9, &[21])),
+        );
         let resolve = |addr: Addr| NodeInfo {
             key: addr.0 as u64,
             asn: None,

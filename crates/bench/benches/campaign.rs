@@ -10,7 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
 use wormhole_core::{Campaign, CampaignConfig};
-use wormhole_net::Addr;
+use wormhole_net::{Addr, FaultScenario};
 use wormhole_topo::{generate, Internet, InternetConfig, ItdkSnapshot, NodeInfo};
 
 fn itdk_bench(c: &mut Criterion) {
@@ -63,7 +63,11 @@ fn campaign_bench(c: &mut Criterion) {
     group.finish();
 }
 
-fn tenfold_campaign(internet: &Internet, jobs: usize) -> wormhole_core::CampaignResult {
+fn tenfold_campaign(
+    internet: &Internet,
+    jobs: usize,
+    scenario: FaultScenario,
+) -> wormhole_core::CampaignResult {
     Campaign::new(
         &internet.net,
         &internet.cp,
@@ -71,6 +75,7 @@ fn tenfold_campaign(internet: &Internet, jobs: usize) -> wormhole_core::Campaign
         CampaignConfig {
             hdn_threshold: 9,
             jobs,
+            faults: scenario.plan(),
             ..CampaignConfig::default()
         },
     )
@@ -83,23 +88,33 @@ fn campaign_parallel_bench(c: &mut Criterion) {
     group.sample_size(3);
     for jobs in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
-            b.iter(|| black_box(tenfold_campaign(&internet, jobs)))
+            b.iter(|| black_box(tenfold_campaign(&internet, jobs, FaultScenario::Clean)))
         });
     }
     group.finish();
 
-    // Emit BENCH_campaign.json (probes/sec per worker count) from a
-    // dedicated timed run per setting, outside the criterion harness.
+    // Emit BENCH_campaign.json (probes/sec per worker count, plus the
+    // hostile-scenario overhead row) from a dedicated timed run per
+    // setting, outside the criterion harness.
     let mut entries = Vec::new();
-    for jobs in [1usize, 2, 4] {
+    let runs = [
+        (1usize, FaultScenario::Clean),
+        (2, FaultScenario::Clean),
+        (4, FaultScenario::Clean),
+        (4, FaultScenario::Hostile),
+    ];
+    for (jobs, scenario) in runs {
         let t0 = Instant::now();
-        let result = tenfold_campaign(&internet, jobs);
+        let result = tenfold_campaign(&internet, jobs, scenario);
         let secs = t0.elapsed().as_secs_f64();
         let pps = result.probes as f64 / secs;
-        println!("campaign_tenfold jobs={jobs}: {pps:.0} probes/sec ({secs:.3}s wall)");
+        let name = scenario.name();
+        println!(
+            "campaign_tenfold jobs={jobs} faults={name}: {pps:.0} probes/sec ({secs:.3}s wall)"
+        );
         entries.push(format!(
-            "    {{\"jobs\": {jobs}, \"probes\": {}, \"seconds\": {secs:.6}, \
-             \"probes_per_sec\": {pps:.1}}}",
+            "    {{\"jobs\": {jobs}, \"faults\": \"{name}\", \"probes\": {}, \
+             \"seconds\": {secs:.6}, \"probes_per_sec\": {pps:.1}}}",
             result.probes
         ));
     }

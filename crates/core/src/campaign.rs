@@ -28,7 +28,7 @@
 //! `(seed, vp_index)` via [`wormhole_net::worker_seed`].
 
 use crate::fingerprint::FingerprintTable;
-use crate::reveal::{reveal_between, RevealOpts, RevealOutcome};
+use crate::reveal::{reveal_between, AbandonReason, RevealOpts, RevelationOutcome};
 use crate::shard;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
@@ -71,6 +71,11 @@ pub struct CampaignConfig {
     /// in debug builds only, preserving release-build throughput unless
     /// explicitly requested.
     pub lint_gate: bool,
+    /// Chaos hook: panic inside this vantage point's phase-4 probing
+    /// batch, exercising the campaign's worker-panic isolation. The
+    /// affected VP's shard is marked degraded and later phases skip it;
+    /// everything else completes normally. Test/CI use only.
+    pub chaos_panic_vp: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -85,8 +90,21 @@ impl Default for CampaignConfig {
             seed: 0,
             jobs: 1,
             lint_gate: cfg!(debug_assertions),
+            chaos_panic_vp: None,
         }
     }
+}
+
+/// One vantage-point shard lost to a worker panic: the campaign
+/// completed without it and reports the loss here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradedShard {
+    /// The vantage-point index whose batch panicked.
+    pub vp: usize,
+    /// The campaign phase the panic occurred in.
+    pub phase: &'static str,
+    /// The panic message.
+    pub message: String,
 }
 
 /// How candidate pairs are gated on HDN membership.
@@ -143,19 +161,26 @@ pub struct CampaignResult {
     /// Candidate pairs, one entry per observing trace.
     pub candidates: Vec<CandidatePair>,
     /// Revelation outcome per unique `(ingress, egress)` pair.
-    pub revelations: HashMap<(Addr, Addr), RevealOutcome>,
+    pub revelations: HashMap<(Addr, Addr), RevelationOutcome>,
     /// Total probe packets spent (bootstrap + campaign + revelation +
     /// fingerprinting).
     pub probes: u64,
     /// Probe packets per vantage-point shard (index-aligned with the
     /// campaign's vantage points; sums to `probes`).
     pub probes_by_vp: Vec<u64>,
+    /// The per-trace probe budget the campaign ran with, if any.
+    pub trace_budget: Option<u32>,
+    /// Vantage-point shards lost to worker panics; empty on a healthy
+    /// run.
+    pub degraded_shards: Vec<DegradedShard>,
 }
 
 impl CampaignResult {
     /// The revealed tunnels (unique pairs with at least one hop).
     pub fn tunnels(&self) -> impl Iterator<Item = &crate::reveal::RevealedTunnel> + '_ {
-        self.revelations.values().filter_map(RevealOutcome::tunnel)
+        self.revelations
+            .values()
+            .filter_map(RevelationOutcome::tunnel)
     }
 
     /// Unique candidate `(ingress, egress)` pairs.
@@ -189,25 +214,30 @@ impl CampaignResult {
         for (i, t) in self.traces.iter().enumerate() {
             let _ = writeln!(
                 w,
-                "trace {i} vp={} dst={} flow={} reached={}",
-                self.trace_vps[i], t.dst, t.flow, t.reached
+                "trace {i} vp={} dst={} flow={} reached={} probes={} truncated={}",
+                self.trace_vps[i], t.dst, t.flow, t.reached, t.probes, t.truncated
             );
             for h in &t.hops {
                 match h.addr {
                     Some(a) => {
                         let _ = writeln!(
                             w,
-                            "  {} {} ttl={:?} kind={:?} rtt={} labels={:?}",
+                            "  {} {} ttl={:?} kind={:?} rtt={} labels={:?} attempts={}",
                             h.ttl,
                             a,
                             h.reply_ip_ttl,
                             h.kind,
                             h.rtt_ms.map(|r| format!("{r:.6}")).unwrap_or_default(),
-                            h.labels
+                            h.labels,
+                            h.attempts
                         );
                     }
                     None => {
-                        let _ = writeln!(w, "  {} *", h.ttl);
+                        let _ = writeln!(
+                            w,
+                            "  {} * outcome={:?} attempts={}",
+                            h.ttl, h.outcome, h.attempts
+                        );
                     }
                 }
             }
@@ -238,24 +268,54 @@ impl CampaignResult {
         revs.sort_by_key(|&(pair, _)| *pair);
         for ((x, y), out) in revs {
             match out {
-                RevealOutcome::Revealed(t) => {
+                RevelationOutcome::Complete { tunnel, confidence } if !tunnel.is_empty() => {
                     let _ = writeln!(
                         w,
-                        "revealed {x}->{y} method={:?} hops={:?} extra_probes={}",
-                        t.method(),
-                        t.hops(),
-                        t.extra_probes
+                        "revealed {x}->{y} complete method={:?} hops={:?} extra_probes={} \
+                         confidence={}",
+                        tunnel.method(),
+                        tunnel.hops(),
+                        tunnel.extra_probes,
+                        confidence.label()
                     );
                 }
-                RevealOutcome::NothingHidden => {
-                    let _ = writeln!(w, "revealed {x}->{y} nothing-hidden");
+                RevelationOutcome::Complete { confidence, .. } => {
+                    let _ = writeln!(
+                        w,
+                        "revealed {x}->{y} nothing-hidden confidence={}",
+                        confidence.label()
+                    );
                 }
-                RevealOutcome::Failed => {
-                    let _ = writeln!(w, "revealed {x}->{y} failed");
+                RevelationOutcome::Partial {
+                    tunnel,
+                    missing,
+                    confidence,
+                } => {
+                    let _ = writeln!(
+                        w,
+                        "revealed {x}->{y} partial missing={} method={:?} hops={:?} \
+                         extra_probes={} confidence={}",
+                        missing.label(),
+                        tunnel.method(),
+                        tunnel.hops(),
+                        tunnel.extra_probes,
+                        confidence.label()
+                    );
+                }
+                RevelationOutcome::Abandoned { reason } => {
+                    let _ = writeln!(w, "revealed {x}->{y} abandoned reason={}", reason.label());
                 }
             }
         }
         let _ = writeln!(w, "probes={} by_vp={:?}", self.probes, self.probes_by_vp);
+        let _ = writeln!(w, "degraded_shards={}", self.degraded_shards.len());
+        for d in &self.degraded_shards {
+            let _ = writeln!(
+                w,
+                "degraded vp={} phase={} msg={}",
+                d.vp, d.phase, d.message
+            );
+        }
         CampaignReport { text: out }
     }
 }
@@ -279,6 +339,28 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.text)
     }
+}
+
+/// Splits per-VP shard results into the surviving batches, recording a
+/// [`DegradedShard`] (and marking the VP dead) for each panicked batch.
+fn split_shards<R>(
+    phase: &'static str,
+    results: Vec<Result<Vec<R>, String>>,
+    degraded: &mut Vec<DegradedShard>,
+    dead: &mut [bool],
+) -> Vec<Vec<R>> {
+    results
+        .into_iter()
+        .enumerate()
+        .filter_map(|(vp, r)| match r {
+            Ok(s) => Some(s),
+            Err(message) => {
+                dead[vp] = true;
+                degraded.push(DegradedShard { vp, phase, message });
+                None
+            }
+        })
+        .collect()
 }
 
 /// A campaign bound to a substrate and its vantage points.
@@ -392,6 +474,12 @@ impl<'a> Campaign<'a> {
         let mut sessions = self.sessions();
         let n_vps = sessions.len();
         let jobs = self.resolved_jobs();
+        let mut degraded: Vec<DegradedShard> = Vec::new();
+        let mut dead = vec![false; n_vps];
+        let chaos: Option<(usize, RouterId)> = self.cfg.chaos_panic_vp.map(|i| {
+            assert!(i < n_vps, "chaos_panic_vp {i} out of range (0..{n_vps})");
+            (i, self.vps[i])
+        });
 
         // Phase 1: bootstrap snapshot. Every VP traces a share of the
         // loopbacks — and every VP traces the borders-heavy transit
@@ -416,7 +504,8 @@ impl<'a> Campaign<'a> {
                 .map(|(g, t)| (g, sess.traceroute(t).addr_path()))
                 .collect()
         });
-        let paths = shard::merge_indexed(shards, boot_assign.len());
+        let shards = split_shards("bootstrap", shards, &mut degraded, &mut dead);
+        let paths = shard::merge_indexed_or(shards, boot_assign.len(), |_| Vec::new());
         let snapshot = ItdkSnapshot::build(&paths, |a| self.resolve(a));
 
         // Phase 2–3: HDNs and targets.
@@ -432,18 +521,33 @@ impl<'a> Campaign<'a> {
         // Phase 4: probe each target from its team's vantage point.
         // Workers return ordered trace shards; the scan that feeds the
         // fingerprint table replays the merged traces in global order.
+        // A degraded VP's lost targets merge as empty unreached traces.
         let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
         for (i, &t) in targets.iter().enumerate() {
-            tasks[i % n_vps].push((i, t));
+            if !dead[i % n_vps] {
+                tasks[i % n_vps].push((i, t));
+            }
         }
         let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+            if let Some((idx, vp)) = chaos {
+                assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
+            }
             batch
                 .into_iter()
                 .map(|(g, t)| (g, sess.traceroute(t)))
                 .collect()
         });
+        let shards = split_shards("probe", shards, &mut degraded, &mut dead);
         let traces: Vec<(usize, Trace)> = {
-            let merged = shard::merge_indexed(shards, targets.len());
+            let merged = shard::merge_indexed_or(shards, targets.len(), |g| Trace {
+                src: Addr::new(0, 0, 0, 0),
+                dst: targets[g],
+                flow: 0,
+                hops: Vec::new(),
+                reached: false,
+                probes: 0,
+                truncated: false,
+            });
             merged
                 .into_iter()
                 .enumerate()
@@ -473,7 +577,9 @@ impl<'a> Campaign<'a> {
             let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
             for (i, &addr) in discovered.iter().enumerate() {
                 let vp = te_obs.get(&addr).map(|&(vp, _)| vp).unwrap_or(i % n_vps);
-                tasks[vp].push((i, addr));
+                if !dead[vp] {
+                    tasks[vp].push((i, addr));
+                }
             }
             let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
                 batch
@@ -481,10 +587,11 @@ impl<'a> Campaign<'a> {
                     .map(|(g, addr)| (g, addr, sess.ping(addr)))
                     .collect()
             });
+            let shards = split_shards("fingerprint", shards, &mut degraded, &mut dead);
             let mut pings: Vec<(usize, Addr, _)> = shards.into_iter().flatten().collect();
             pings.sort_by_key(|&(g, _, _)| g);
-            for (_, addr, reply) in pings {
-                if let Some(r) = reply {
+            for (_, addr, result) in pings {
+                if let Some(r) = result.reply {
                     fingerprints.observe_er(addr, r.reply_ip_ttl);
                     er_obs.insert(addr, r.reply_ip_ttl);
                 }
@@ -552,9 +659,12 @@ impl<'a> Campaign<'a> {
         // worker pings newly revealed addresses unless phase 4 already
         // discovered them or this VP already pinged them (the dedup is
         // per vantage point, so it cannot depend on worker scheduling).
+        // Pairs owned by a dead VP merge as Abandoned(WorkerPanicked).
         let mut tasks: Vec<Vec<(usize, Addr, Addr, Addr)>> = vec![Vec::new(); n_vps];
         for (g, &(vp, x, y, d)) in reveal_jobs.iter().enumerate() {
-            tasks[vp].push((g, x, y, d));
+            if !dead[vp] {
+                tasks[vp].push((g, x, y, d));
+            }
         }
         let cfg = &self.cfg;
         let discovered_ref = &discovered;
@@ -570,10 +680,7 @@ impl<'a> Campaign<'a> {
                             for step in &t.steps {
                                 for h in &step.new_hops {
                                     if !discovered_ref.contains(&h.addr) && pinged.insert(h.addr) {
-                                        ers.push((
-                                            h.addr,
-                                            sess.ping(h.addr).map(|r| r.reply_ip_ttl),
-                                        ));
+                                        ers.push((h.addr, sess.ping(h.addr).reply_ip_ttl()));
                                     }
                                 }
                             }
@@ -583,8 +690,18 @@ impl<'a> Campaign<'a> {
                 })
                 .collect()
         });
-        let merged = shard::merge_indexed(shards, reveal_jobs.len());
-        let mut revelations: HashMap<(Addr, Addr), RevealOutcome> = HashMap::new();
+        let shards = split_shards("revelation", shards, &mut degraded, &mut dead);
+        let merged = shard::merge_indexed_or(shards, reveal_jobs.len(), |g| {
+            let (_, x, y, _) = reveal_jobs[g];
+            (
+                (x, y),
+                RevelationOutcome::Abandoned {
+                    reason: AbandonReason::WorkerPanicked,
+                },
+                Vec::new(),
+            )
+        });
+        let mut revelations: HashMap<(Addr, Addr), RevelationOutcome> = HashMap::new();
         for (pair, out, ers) in merged {
             for (addr, ttl) in ers {
                 if let Some(ttl) = ttl {
@@ -610,6 +727,8 @@ impl<'a> Campaign<'a> {
             revelations,
             probes,
             probes_by_vp,
+            trace_budget: self.cfg.trace_opts.probe_budget,
+            degraded_shards: degraded,
         }
     }
 }
@@ -635,11 +754,22 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
                 ),
                 _ => None,
             };
+            // Steps in the same forward (ingress-first) order as the
+            // hop list, so the auditor can re-derive the method claim.
+            let steps: Vec<usize> = t.steps.iter().rev().map(|s| s.new_hops.len()).collect();
+            let method = Some(match t.method() {
+                crate::reveal::RevealMethod::Dpr => wormhole_lint::MethodClaim::Dpr,
+                crate::reveal::RevealMethod::Brpr => wormhole_lint::MethodClaim::Brpr,
+                crate::reveal::RevealMethod::Either => wormhole_lint::MethodClaim::Either,
+                crate::reveal::RevealMethod::Hybrid => wormhole_lint::MethodClaim::Hybrid,
+            });
             wormhole_lint::TunnelAudit {
                 ingress: t.ingress,
                 egress: t.egress,
                 hops: t.hops(),
                 rtl,
+                steps,
+                method,
             }
         })
         .collect();
@@ -648,6 +778,25 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
         .iter()
         .map(|c| (c.ingress, c.egress, c.trace_index))
         .collect();
+    let mut revelations: Vec<_> = result
+        .revelations
+        .iter()
+        .map(|(&(x, y), out)| {
+            let (kind, hops) = match out {
+                RevelationOutcome::Complete { tunnel, .. } => {
+                    (wormhole_lint::RevelationKind::Complete, tunnel.len())
+                }
+                RevelationOutcome::Partial { tunnel, .. } => {
+                    (wormhole_lint::RevelationKind::Partial, tunnel.len())
+                }
+                RevelationOutcome::Abandoned { .. } => {
+                    (wormhole_lint::RevelationKind::Abandoned, 0)
+                }
+            };
+            (x, y, kind, hops)
+        })
+        .collect();
+    revelations.sort_by_key(|&(x, y, _, _)| (x, y));
     wormhole_lint::CampaignAudit {
         signatures,
         tunnels,
@@ -655,6 +804,18 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
         num_traces: result.traces.len(),
         probes: result.probes,
         probes_by_shard: result.probes_by_vp.clone(),
+        trace_budget: result.trace_budget,
+        trace_probes: result
+            .traces
+            .iter()
+            .map(|t| (t.probes, t.truncated))
+            .collect(),
+        revelations,
+        degraded_shards: result
+            .degraded_shards
+            .iter()
+            .map(|d| (d.vp, d.phase.to_string()))
+            .collect(),
     }
 }
 
@@ -742,6 +903,7 @@ mod tests {
                     loss: 0.02,
                     icmp_loss: 0.01,
                     jitter_ms: 0.5,
+                    ..FaultPlan::default()
                 },
                 seed: 42,
                 jobs,
@@ -754,6 +916,69 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2), "jobs=2 diverged from serial");
         assert_eq!(serial, run(4), "jobs=4 diverged from serial");
+    }
+
+    #[test]
+    fn chaos_panic_degrades_one_shard_without_killing_the_campaign() {
+        let internet = generate(&InternetConfig::small(11));
+        let run = |jobs: usize| {
+            let cfg = CampaignConfig {
+                hdn_threshold: 6,
+                seed: 42,
+                jobs,
+                chaos_panic_vp: Some(1),
+                ..CampaignConfig::default()
+            };
+            Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg).run()
+        };
+        let result = run(1);
+        // The campaign completed, with exactly the poisoned shard lost.
+        assert_eq!(result.degraded_shards.len(), 1);
+        let d = &result.degraded_shards[0];
+        assert_eq!(d.vp, 1);
+        assert_eq!(d.phase, "probe");
+        assert!(d.message.contains("chaos"), "{}", d.message);
+        // Survivors still produced analysis-grade output.
+        assert!(!result.candidates.is_empty());
+        assert!(result.tunnels().count() > 0);
+        // The dead VP's revelation pairs were synthesized, not dropped.
+        let abandoned_by_panic = result
+            .revelations
+            .values()
+            .filter(|o| {
+                matches!(
+                    o,
+                    RevelationOutcome::Abandoned {
+                        reason: AbandonReason::WorkerPanicked
+                    }
+                )
+            })
+            .count();
+        assert_eq!(
+            result.revelations.len(),
+            result.unique_pairs().len(),
+            "every unique pair keeps an outcome"
+        );
+        let _ = abandoned_by_panic; // may be 0 if vp 1 observed no pairs
+                                    // The report reflects the degradation and stays byte-identical
+                                    // across thread counts.
+        let report = result.report();
+        assert!(report.text().contains("degraded_shards=1"));
+        assert!(report.text().contains("degraded vp=1 phase=probe"));
+        assert_eq!(report, run(2).report(), "jobs=2 diverged under chaos");
+        assert_eq!(report, run(4).report(), "jobs=4 diverged under chaos");
+        // And the A403 audit flags it without erroring the whole run.
+        let diags = audit_campaign(&internet.net, &result);
+        assert!(
+            diags.iter().any(|d| d.code == "A403"),
+            "{}",
+            wormhole_lint::render(&diags)
+        );
+        assert!(
+            !wormhole_lint::has_errors(&diags),
+            "{}",
+            wormhole_lint::render(&diags)
+        );
     }
 
     #[test]

@@ -198,6 +198,8 @@ mod tests {
             rtt_ms: Some(1.0),
             labels: Vec::new(),
             kind: Some(ReplyKind::TimeExceeded),
+            outcome: wormhole_probe::HopOutcome::Replied,
+            attempts: 1,
             truth: None,
         }
     }
@@ -260,6 +262,8 @@ mod tests {
             flow: 0,
             hops: vec![hop(1, 255), hop(2, 254)],
             reached: true,
+            probes: 3,
+            truncated: false,
         };
         t.hops.push(TraceHop {
             kind: Some(ReplyKind::EchoReply),

@@ -24,13 +24,13 @@ pub mod smart;
 
 pub use campaign::{
     audit_campaign, audit_input, Campaign, CampaignConfig, CampaignReport, CampaignResult,
-    CandidatePair, HdnRule,
+    CandidatePair, DegradedShard, HdnRule,
 };
 pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Signature};
 pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};
 pub use reveal::{
-    reveal_between, RevealMethod, RevealOpts, RevealOutcome, RevealStep, RevealedHop,
-    RevealedTunnel,
+    reveal_between, AbandonReason, Confidence, MissingPart, RevealMethod, RevealOpts, RevealStep,
+    RevealedHop, RevealedTunnel, RevelationOutcome,
 };
 pub use rtla::{return_tunnel_length, sample as rtla_sample, tunnel_asymmetry, RtlaSample};
 pub use smart::{smart_traceroute, SmartHop, SmartOpts, SmartTrace, Trigger};

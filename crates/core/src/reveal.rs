@@ -147,25 +147,167 @@ impl RevealedTunnel {
     }
 }
 
-/// Outcome of a revelation attempt.
-#[derive(Clone, Debug)]
-pub enum RevealOutcome {
-    /// Hidden hops were revealed.
-    Revealed(RevealedTunnel),
-    /// The re-trace worked but exposed nothing between ingress and
-    /// egress: no invisible tunnel, or one that resists both techniques
-    /// (e.g. UHP).
-    NothingHidden,
-    /// The re-trace never reached the egress through the ingress.
-    Failed,
+/// Why a revelation was abandoned with nothing revealed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AbandonReason {
+    /// The first re-trace never passed through the suspected ingress.
+    IngressNotObserved,
+    /// The probe budget ran out before anything could be revealed.
+    ProbeBudget,
+    /// The worker running this revelation panicked; the campaign merge
+    /// synthesized this outcome for the degraded shard.
+    WorkerPanicked,
 }
 
-impl RevealOutcome {
-    /// The tunnel, if revealed.
+impl AbandonReason {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbandonReason::IngressNotObserved => "ingress-not-observed",
+            AbandonReason::ProbeBudget => "probe-budget",
+            AbandonReason::WorkerPanicked => "worker-panicked",
+        }
+    }
+}
+
+/// What a partial revelation is missing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MissingPart {
+    /// A mid-recursion re-trace stopped passing through the ingress;
+    /// hops between the ingress and the deepest revealed hop are
+    /// unaccounted for.
+    IngressLostMidway,
+    /// The recursion hit its step limit while still discovering hops.
+    StepLimit,
+    /// The probe budget ran out mid-recursion.
+    ProbeBudget,
+}
+
+impl MissingPart {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissingPart::IngressLostMidway => "ingress-lost-midway",
+            MissingPart::StepLimit => "step-limit",
+            MissingPart::ProbeBudget => "probe-budget",
+        }
+    }
+}
+
+/// How trustworthy a revelation's hop set is, judged by how degraded
+/// its re-traces were (stars, rate-limited hops, truncation).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Confidence {
+    /// Every re-trace hop replied.
+    High,
+    /// A couple of degraded hops across the revelation's re-traces.
+    Medium,
+    /// The re-traces were heavily degraded; revealed hops may be an
+    /// under-count.
+    Low,
+}
+
+impl Confidence {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Confidence::High => "high",
+            Confidence::Medium => "medium",
+            Confidence::Low => "low",
+        }
+    }
+
+    /// Grades a revelation by the number of degraded (non-replying)
+    /// hops observed across its re-traces.
+    fn grade(degraded_hops: usize) -> Confidence {
+        match degraded_hops {
+            0 => Confidence::High,
+            1..=2 => Confidence::Medium,
+            _ => Confidence::Low,
+        }
+    }
+}
+
+/// Outcome of a revelation attempt: the typed replacement for the old
+/// revealed/nothing-hidden/failed trichotomy, distinguishing *how much*
+/// was revealed and *why* revelation stopped.
+#[derive(Clone, Debug)]
+pub enum RevelationOutcome {
+    /// The recursion converged on its own. An *empty* complete tunnel
+    /// means the re-traces exposed nothing between ingress and egress:
+    /// no invisible tunnel, or one that resists both techniques (UHP).
+    Complete {
+        /// The revelation transcript (possibly empty).
+        tunnel: RevealedTunnel,
+        /// Re-trace quality.
+        confidence: Confidence,
+    },
+    /// Hops were revealed but the recursion was cut short; the hop set
+    /// is a lower bound.
+    Partial {
+        /// What was revealed before the cut-off.
+        tunnel: RevealedTunnel,
+        /// Why the revelation is incomplete.
+        missing: MissingPart,
+        /// Re-trace quality.
+        confidence: Confidence,
+    },
+    /// Nothing was revealed and the attempt could not even establish
+    /// the ingress/egress bracket.
+    Abandoned {
+        /// Why.
+        reason: AbandonReason,
+    },
+}
+
+impl RevelationOutcome {
+    /// A clean, fully-confident completion (test/merge constructor).
+    pub fn complete(tunnel: RevealedTunnel) -> RevelationOutcome {
+        RevelationOutcome::Complete {
+            tunnel,
+            confidence: Confidence::High,
+        }
+    }
+
+    /// The revealed tunnel, when hops were actually revealed (empty
+    /// complete tunnels — "nothing hidden" — return `None`).
     pub fn tunnel(&self) -> Option<&RevealedTunnel> {
         match self {
-            RevealOutcome::Revealed(t) => Some(t),
+            RevelationOutcome::Complete { tunnel, .. }
+            | RevelationOutcome::Partial { tunnel, .. }
+                if !tunnel.is_empty() =>
+            {
+                Some(tunnel)
+            }
             _ => None,
+        }
+    }
+
+    /// True when the attempt completed and exposed nothing hidden.
+    pub fn is_nothing_hidden(&self) -> bool {
+        matches!(self, RevelationOutcome::Complete { tunnel, .. } if tunnel.is_empty())
+    }
+
+    /// True when the attempt was abandoned outright.
+    pub fn is_abandoned(&self) -> bool {
+        matches!(self, RevelationOutcome::Abandoned { .. })
+    }
+
+    /// Re-trace quality, when the attempt produced traces at all.
+    pub fn confidence(&self) -> Option<Confidence> {
+        match self {
+            RevelationOutcome::Complete { confidence, .. }
+            | RevelationOutcome::Partial { confidence, .. } => Some(*confidence),
+            RevelationOutcome::Abandoned { .. } => None,
+        }
+    }
+
+    /// Short kind label for reports ("complete"/"partial"/"abandoned").
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            RevelationOutcome::Complete { .. } => "complete",
+            RevelationOutcome::Partial { .. } => "partial",
+            RevelationOutcome::Abandoned { .. } => "abandoned",
         }
     }
 }
@@ -208,19 +350,33 @@ pub fn reveal_between(
     y: Addr,
     target: Addr,
     opts: &RevealOpts,
-) -> RevealOutcome {
+) -> RevelationOutcome {
     let probes_before = sess.stats.probes;
     let mut steps: Vec<RevealStep> = Vec::new();
     let mut known: std::collections::HashSet<Addr> = [x, y, target].into_iter().collect();
     let mut cur = y;
+    let mut degraded_hops = 0usize;
+    let mut missing: Option<MissingPart> = None;
     for step_idx in 0..=opts.max_steps {
         let trace = sess.traceroute(cur);
+        degraded_hops += trace.hops.iter().filter(|h| h.addr.is_none()).count();
         let Some(seg) = segment_between(&trace, x, cur) else {
             // The re-trace does not pass through the ingress: stop, keep
             // whatever was already revealed.
             if steps.iter().all(|s| s.new_hops.is_empty()) {
-                return RevealOutcome::Failed;
+                return RevelationOutcome::Abandoned {
+                    reason: if trace.truncated {
+                        AbandonReason::ProbeBudget
+                    } else {
+                        AbandonReason::IngressNotObserved
+                    },
+                };
             }
+            missing = Some(if trace.truncated {
+                MissingPart::ProbeBudget
+            } else {
+                MissingPart::IngressLostMidway
+            });
             break;
         };
         let new_hops: Vec<RevealedHop> = seg
@@ -238,15 +394,20 @@ pub fn reveal_between(
         });
         match (n, next) {
             // Backward step: recurse towards the newly revealed hop.
-            (1, Some(revealed)) => cur = revealed,
+            (1, Some(revealed)) => {
+                cur = revealed;
+                if step_idx == opts.max_steps {
+                    // Still discovering when the step limit hit: the
+                    // hop set is a lower bound.
+                    missing = Some(MissingPart::StepLimit);
+                }
+            }
             // Recursion exhausted, or DPR revealed the remainder at once.
             _ => break,
         }
-        if step_idx == opts.max_steps {
-            break;
-        }
     }
     let extra_probes = sess.stats.probes - probes_before;
+    let confidence = Confidence::grade(degraded_hops);
     let tunnel = RevealedTunnel {
         ingress: x,
         egress: y,
@@ -254,10 +415,13 @@ pub fn reveal_between(
         steps,
         extra_probes,
     };
-    if tunnel.is_empty() {
-        RevealOutcome::NothingHidden
-    } else {
-        RevealOutcome::Revealed(tunnel)
+    match missing {
+        Some(m) if !tunnel.is_empty() => RevelationOutcome::Partial {
+            tunnel,
+            missing: m,
+            confidence,
+        },
+        _ => RevelationOutcome::Complete { tunnel, confidence },
     }
 }
 
@@ -294,6 +458,8 @@ mod tests {
         assert!(!t.any_labeled());
         assert_eq!(t.forward_tunnel_length(), 4);
         assert!(t.extra_probes > 0);
+        assert_eq!(out.confidence(), Some(Confidence::High));
+        assert_eq!(out.kind_label(), "complete");
     }
 
     #[test]
@@ -319,7 +485,8 @@ mod tests {
         let mut sess = Session::new(&s.net, &s.cp, s.vp);
         sess.set_opts(TracerouteOpts::default());
         let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
-        assert!(matches!(out, RevealOutcome::NothingHidden));
+        assert!(out.is_nothing_hidden());
+        assert!(out.tunnel().is_none());
     }
 
     #[test]
@@ -348,7 +515,39 @@ mod tests {
         // CE1's loopback is not CE1.left, so the re-trace does not list
         // it: Failed.
         let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts::default());
-        assert!(matches!(out, RevealOutcome::Failed));
+        assert!(matches!(
+            out,
+            RevelationOutcome::Abandoned {
+                reason: AbandonReason::IngressNotObserved
+            }
+        ));
+        assert!(out.is_abandoned());
+        assert_eq!(out.confidence(), None);
+    }
+
+    #[test]
+    fn step_limit_yields_partial_with_lower_bound() {
+        // BRPR needs 3 backward steps for the 3-LSR tunnel; capping the
+        // recursion at 1 extra trace cuts it short mid-discovery.
+        let (s, x, y) = setup(Fig2Config::BackwardRecursive);
+        let mut sess = Session::new(&s.net, &s.cp, s.vp);
+        sess.set_opts(TracerouteOpts::default());
+        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts { max_steps: 1 });
+        match &out {
+            RevelationOutcome::Partial {
+                tunnel, missing, ..
+            } => {
+                assert_eq!(*missing, MissingPart::StepLimit);
+                assert!(!tunnel.is_empty());
+                assert!(
+                    tunnel.len() < 3,
+                    "partial must under-count the 3-LSR tunnel"
+                );
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+        assert_eq!(out.kind_label(), "partial");
+        assert!(out.tunnel().is_some());
     }
 
     #[test]

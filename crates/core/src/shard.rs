@@ -16,8 +16,27 @@
 //!
 //! `jobs` only chooses how many contiguous VP ranges run concurrently;
 //! it can never change what any VP does.
+//!
+//! Robustness: each VP's batch runs under [`std::panic::catch_unwind`],
+//! so one panicking vantage-point worker degrades only its own shard —
+//! the campaign keeps the other VPs' results and reports the loss
+//! instead of dying. Because a VP's work is independent of every other
+//! VP's, the surviving shards are byte-identical to a run where the
+//! panic never happened.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use wormhole_probe::Session;
+
+/// Renders a caught panic payload into a report-friendly message.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
 
 /// Runs `f` once per vantage point over that VP's task batch, using up
 /// to `jobs` worker threads, and returns the per-VP result batches in
@@ -27,12 +46,15 @@ use wormhole_probe::Session;
 /// that need per-worker caches — e.g. the revelation phase's
 /// already-pinged set — can keep them across the batch without any
 /// shared mutable state.
+///
+/// A batch whose `f` panics yields `Err(panic message)` for that VP
+/// only; every other VP's batch is unaffected.
 pub(crate) fn run_vp_batches<'n, T, R, F>(
     sessions: &mut [Session<'n>],
     tasks: Vec<Vec<T>>,
     jobs: usize,
     f: &F,
-) -> Vec<Vec<R>>
+) -> Vec<Result<Vec<R>, String>>
 where
     T: Send,
     R: Send,
@@ -43,13 +65,16 @@ where
         tasks.len(),
         "one task batch per vantage point"
     );
+    let run_one = |s: &mut Session<'n>, ts: Vec<T>| -> Result<Vec<R>, String> {
+        catch_unwind(AssertUnwindSafe(|| f(s, ts))).map_err(panic_message)
+    };
     let n = sessions.len();
     let jobs = jobs.clamp(1, n.max(1));
     if jobs <= 1 {
         return sessions
             .iter_mut()
             .zip(tasks)
-            .map(|(s, ts)| f(s, ts))
+            .map(|(s, ts)| run_one(s, ts))
             .collect();
     }
     // Contiguous VP ranges, one per worker. The partition only decides
@@ -73,8 +98,8 @@ where
                     s_chunk
                         .iter_mut()
                         .zip(t_chunk)
-                        .map(|(s, ts)| f(s, ts))
-                        .collect::<Vec<Vec<R>>>()
+                        .map(|(s, ts)| run_one(s, ts))
+                        .collect::<Vec<Result<Vec<R>, String>>>()
                 })
             })
             .collect();
@@ -88,7 +113,18 @@ where
 /// Scatters per-VP `(global_index, value)` results back into one flat,
 /// globally-ordered vector. Every index in `0..len` must be produced
 /// exactly once across the shards.
+#[cfg(test)]
 pub(crate) fn merge_indexed<R>(shards: Vec<Vec<(usize, R)>>, len: usize) -> Vec<R> {
+    merge_indexed_or(shards, len, |g| panic!("no shard produced result {g}"))
+}
+
+/// Like [`merge_indexed`], but holes left by degraded (panicked) shards
+/// are filled with `missing(global_index)` instead of panicking.
+pub(crate) fn merge_indexed_or<R>(
+    shards: Vec<Vec<(usize, R)>>,
+    len: usize,
+    missing: impl Fn(usize) -> R,
+) -> Vec<R> {
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
     for shard in shards {
         for (g, r) in shard {
@@ -99,7 +135,7 @@ pub(crate) fn merge_indexed<R>(shards: Vec<Vec<(usize, R)>>, len: usize) -> Vec<
     slots
         .into_iter()
         .enumerate()
-        .map(|(g, s)| s.unwrap_or_else(|| panic!("no shard produced result {g}")))
+        .map(|(g, s)| s.unwrap_or_else(|| missing(g)))
         .collect()
 }
 
@@ -145,10 +181,58 @@ mod tests {
                     })
                     .collect()
             })
+            .into_iter()
+            .map(|r| r.expect("no batch panics here"))
+            .collect()
         };
         let serial = run(1);
         for jobs in [2, 3, 8] {
             assert_eq!(serial, run(jobs), "jobs={jobs} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn a_panicking_batch_degrades_only_its_own_vp() {
+        let internet = generate(&InternetConfig::small(3));
+        let sub = SubstrateRef::new(&internet.net, &internet.cp);
+        let run = |jobs: usize| -> Vec<Result<Vec<u64>, String>> {
+            let mut sessions: Vec<Session> = internet
+                .vps
+                .iter()
+                .enumerate()
+                .map(|(i, &vp)| {
+                    Session::over(
+                        sub,
+                        vp,
+                        ProbeState::for_worker(FaultPlan::none(), 9, i as u64),
+                    )
+                })
+                .collect();
+            let poison = sessions[1].vp();
+            let targets: Vec<_> = internet.net.routers().iter().map(|r| r.loopback).collect();
+            let tasks: Vec<Vec<_>> = (0..sessions.len())
+                .map(|v| targets.iter().skip(v).step_by(3).copied().collect())
+                .collect();
+            run_vp_batches(&mut sessions, tasks, jobs, &|s, ts| {
+                assert!(s.vp() != poison, "chaos: injected worker panic");
+                ts.into_iter()
+                    .map(|t| {
+                        s.traceroute(t);
+                        s.stats.probes
+                    })
+                    .collect()
+            })
+        };
+        for jobs in [1, 2, 3] {
+            let out = run(jobs);
+            assert_eq!(out.len(), 3);
+            assert!(out[0].is_ok(), "jobs={jobs}");
+            assert!(out[2].is_ok(), "jobs={jobs}");
+            let err = out[1].as_ref().unwrap_err();
+            assert!(err.contains("chaos"), "jobs={jobs}: {err}");
+            // Survivors are byte-identical to the serial run.
+            assert_eq!(out[0], run(1)[0], "jobs={jobs}");
+            assert_eq!(out[2], run(1)[2], "jobs={jobs}");
         }
     }
 
@@ -162,5 +246,11 @@ mod tests {
     #[should_panic(expected = "no shard produced result")]
     fn merge_indexed_rejects_holes() {
         let _ = merge_indexed(vec![vec![(0usize, 'a')]], 2);
+    }
+
+    #[test]
+    fn merge_indexed_or_fills_holes_with_defaults() {
+        let shards = vec![vec![(0usize, 10)], vec![(2usize, 30)]];
+        assert_eq!(merge_indexed_or(shards, 3, |g| -(g as i32)), [10, -1, 30]);
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::fingerprint::{infer_initial_ttl, Signature};
 use crate::frpla::rfa_of_hop;
-use crate::reveal::{reveal_between, RevealOpts, RevealOutcome};
+use crate::reveal::{reveal_between, Confidence, RevealOpts};
 use crate::rtla::return_tunnel_length;
 use wormhole_net::{Addr, Asn, ReplyKind};
 use wormhole_probe::{Session, Trace, TraceHop};
@@ -37,6 +37,9 @@ pub struct SmartHop {
     /// `None` for directly observed hops; the trigger evidence for
     /// revealed ones.
     pub revealed_by: Option<Trigger>,
+    /// For revealed hops, the revelation's re-trace quality; `None` for
+    /// directly observed hops.
+    pub confidence: Option<Confidence>,
 }
 
 /// A traceroute with invisible tunnels spliced in.
@@ -100,7 +103,7 @@ fn trigger_for(sess: &mut Session<'_>, hop: &TraceHop, opts: &SmartOpts) -> Opti
     let addr = hop.addr?;
     let te_observed = hop.reply_ip_ttl?;
     if opts.use_rtla {
-        if let Some(p) = sess.ping(addr) {
+        if let Some(p) = sess.ping(addr).reply {
             let sig = Signature {
                 te: Some(infer_initial_ttl(te_observed)),
                 er: Some(infer_initial_ttl(p.reply_ip_ttl)),
@@ -157,17 +160,19 @@ where
             None => None,
         };
         if let Some((x, trigger)) = pair_trigger {
-            match reveal_between(sess, x, addr, dst, &opts.reveal) {
-                RevealOutcome::Revealed(t) => {
+            let out = reveal_between(sess, x, addr, dst, &opts.reveal);
+            match out.tunnel() {
+                Some(t) => {
                     for revealed in t.hops() {
                         hops.push(SmartHop {
                             addr: revealed,
                             asn: as_of(revealed),
                             revealed_by: Some(trigger),
+                            confidence: out.confidence(),
                         });
                     }
                 }
-                RevealOutcome::NothingHidden | RevealOutcome::Failed => {
+                None => {
                     unrevealed.push((addr, trigger));
                 }
             }
@@ -176,6 +181,7 @@ where
             addr,
             asn: as_of(addr),
             revealed_by: None,
+            confidence: None,
         });
     }
     SmartTrace {
@@ -221,6 +227,8 @@ mod tests {
             t.hops[2].revealed_by,
             Some(Trigger::FrplaShift(3))
         ));
+        assert_eq!(t.hops[2].confidence, Some(Confidence::High));
+        assert_eq!(t.hops[0].confidence, None);
         assert!(t.unrevealed_triggers.is_empty());
         assert!(t.extra_probes > 0);
     }

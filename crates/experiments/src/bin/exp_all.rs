@@ -12,6 +12,7 @@ fn main() {
     println!("{}", fig4::run());
     println!("{}", table6::run());
     println!("{}", table3::run(quick));
+    println!("{}", fault_sweep::run(quick));
     eprintln!("generating Internet + campaign…");
     let ctx = PaperContext::generate(scale);
     println!("{}", fig1::run(&ctx));

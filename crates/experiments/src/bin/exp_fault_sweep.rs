@@ -1,0 +1,7 @@
+//! Regenerates the fault sweep (Table 3 buckets under increasing
+//! loss). `WORMHOLE_SCALE=quick` runs a reduced Internet.
+use wormhole_experiments::{fault_sweep, Scale};
+fn main() {
+    let quick = Scale::from_env() == Scale::Quick;
+    println!("{}", fault_sweep::run(quick));
+}

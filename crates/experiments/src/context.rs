@@ -4,7 +4,7 @@
 use crate::util::Report;
 use wormhole_core::{audit_campaign, Campaign, CampaignConfig, CampaignResult};
 use wormhole_lint::Severity;
-use wormhole_net::Asn;
+use wormhole_net::{Asn, FaultScenario};
 use wormhole_topo::{generate, Internet, InternetConfig};
 
 /// How big an Internet to run against.
@@ -42,6 +42,17 @@ pub fn jobs_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Reads `WORMHOLE_FAULTS=clean|lossy_core|rate_limited_edge|hostile`
+/// (default `clean`). Unknown names abort loudly rather than silently
+/// running a clean campaign that claims to be a chaos run.
+pub fn faults_from_env() -> FaultScenario {
+    match std::env::var("WORMHOLE_FAULTS") {
+        Ok(name) => FaultScenario::parse(&name)
+            .unwrap_or_else(|| panic!("WORMHOLE_FAULTS={name}: unknown fault scenario")),
+        Err(_) => FaultScenario::Clean,
+    }
+}
+
 /// A generated Internet plus its campaign result.
 pub struct PaperContext {
     /// The synthetic Internet.
@@ -68,8 +79,21 @@ impl PaperContext {
         PaperContext::generate_with(scale, seed, jobs_from_env())
     }
 
-    /// Generates the context with an explicit seed and worker count.
+    /// Generates the context with an explicit seed and worker count,
+    /// under the `WORMHOLE_FAULTS` scenario (default clean).
     pub fn generate_with(scale: Scale, seed: u64, jobs: usize) -> PaperContext {
+        PaperContext::generate_faulted(scale, seed, jobs, faults_from_env())
+    }
+
+    /// Generates the context with an explicit fault scenario — the §4
+    /// campaign runs under the scenario's plan, and the result stays
+    /// byte-identical at every `jobs` setting.
+    pub fn generate_faulted(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        scenario: FaultScenario,
+    ) -> PaperContext {
         let net_cfg = match scale {
             Scale::Quick => InternetConfig::small(seed),
             Scale::Paper => InternetConfig {
@@ -89,6 +113,7 @@ impl PaperContext {
                 Scale::Paper | Scale::Tenfold => 9,
             },
             jobs,
+            faults: scenario.plan(),
             ..CampaignConfig::default()
         };
         let campaign = Campaign::new(

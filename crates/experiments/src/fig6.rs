@@ -10,7 +10,6 @@
 use crate::context::PaperContext;
 use crate::util::Report;
 use wormhole_analysis::{corrected_rtt_profile, rtt_profile, RttPoint};
-use wormhole_core::RevealOutcome;
 use wormhole_net::Asn;
 
 /// The Fig. 6 data: before/after RTT-vs-hop series.
@@ -32,7 +31,11 @@ pub struct RttCorrection {
 pub fn correction(ctx: &PaperContext, prefer_asn: Asn) -> Option<RttCorrection> {
     let mut best: Option<(usize, &wormhole_core::CandidatePair)> = None;
     for c in &ctx.result.candidates {
-        let Some(RevealOutcome::Revealed(t)) = ctx.result.revelations.get(&(c.ingress, c.egress))
+        let Some(t) = ctx
+            .result
+            .revelations
+            .get(&(c.ingress, c.egress))
+            .and_then(|o| o.tunnel())
         else {
             continue;
         };
@@ -43,10 +46,9 @@ pub fn correction(ctx: &PaperContext, prefer_asn: Asn) -> Option<RttCorrection> 
     }
     let (_, cand) = best?;
     let trace = &ctx.result.traces[cand.trace_index];
-    let RevealOutcome::Revealed(tunnel) = &ctx.result.revelations[&(cand.ingress, cand.egress)]
-    else {
-        unreachable!("candidate chosen for its revelation");
-    };
+    let tunnel = ctx.result.revelations[&(cand.ingress, cand.egress)]
+        .tunnel()
+        .expect("candidate chosen for its revelation");
     let invisible = rtt_profile(trace);
     let visible = corrected_rtt_profile(trace, tunnel);
     // The jump across the invisible hop: RTT(egress) − RTT(ingress).

@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod fault_sweep;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -23,5 +24,5 @@ pub mod table5;
 pub mod table6;
 pub mod util;
 
-pub use context::{jobs_from_env, PaperContext, Scale};
+pub use context::{faults_from_env, jobs_from_env, PaperContext, Scale};
 pub use util::Report;

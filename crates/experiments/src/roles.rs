@@ -2,9 +2,7 @@
 //! sample extraction — the plumbing behind Figs. 7–9 and Tables 4–5.
 
 use std::collections::{HashMap, HashSet};
-use wormhole_core::{
-    return_tunnel_length, rfa_of_hop, CampaignResult, RevealOutcome, RfaDistribution,
-};
+use wormhole_core::{return_tunnel_length, rfa_of_hop, CampaignResult, RfaDistribution};
 use wormhole_net::Addr;
 
 /// Per-role RFA distributions (Fig. 7).
@@ -42,13 +40,17 @@ pub fn rfa_by_role(result: &CampaignResult) -> RfaByRole {
         let Some(sample) = rfa_of_hop(hop) else {
             continue;
         };
-        match result.revelations.get(&(c.ingress, c.egress)) {
-            Some(RevealOutcome::Revealed(t)) => {
+        match result
+            .revelations
+            .get(&(c.ingress, c.egress))
+            .and_then(|o| o.tunnel())
+        {
+            Some(t) => {
                 out.egress_pr.push(sample.rfa);
                 out.corrected
                     .push(wormhole_analysis::corrected_rfa(sample.rfa, t));
             }
-            _ => out.egress_npr.push(sample.rfa),
+            None => out.egress_npr.push(sample.rfa),
         }
         if let Some(ihop) = trace.hop_of(c.ingress) {
             if let Some(isample) = rfa_of_hop(ihop) {

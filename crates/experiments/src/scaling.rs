@@ -10,7 +10,7 @@
 use crate::util::{pct, Report};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wormhole_core::{Campaign, CampaignConfig, RevealOutcome};
+use wormhole_core::{Campaign, CampaignConfig};
 use wormhole_net::Asn;
 use wormhole_topo::{generate, random_persona, AsPersona, InternetConfig};
 
@@ -59,12 +59,12 @@ pub fn measure(n_transit: usize, seed: u64) -> ScalePoint {
     let revealed = result
         .revelations
         .values()
-        .filter(|o| matches!(o, RevealOutcome::Revealed(_)))
+        .filter(|o| o.tunnel().is_some())
         .count();
     let ases_with_tunnels = result
         .revelations
         .iter()
-        .filter(|(_, o)| matches!(o, RevealOutcome::Revealed(_)))
+        .filter(|(_, o)| o.tunnel().is_some())
         .filter_map(|(&(x, _), _)| internet.net.owner_asn(x))
         .collect::<std::collections::HashSet<_>>()
         .len();

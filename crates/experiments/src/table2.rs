@@ -153,7 +153,7 @@ pub fn measure(policy: LdpPolicy, col: TtlColumn, internal: bool) -> Cell {
     let gap = egress_hop.is_some_and(|h| {
         let addr = h.addr.expect("responsive");
         let te = h.reply_ip_ttl.expect("reply ttl");
-        match sess.ping(addr) {
+        match sess.ping(addr).reply {
             Some(p) => {
                 let sig = Signature {
                     te: Some(wormhole_core::infer_initial_ttl(te)),

@@ -10,7 +10,7 @@
 
 use crate::util::{pct, Report};
 use std::collections::BTreeMap;
-use wormhole_core::{reveal_between, RevealMethod, RevealOpts, RevealOutcome};
+use wormhole_core::{reveal_between, RevealMethod, RevealOpts, RevelationOutcome};
 use wormhole_net::{Addr, Asn, FaultPlan};
 use wormhole_probe::{Session, TracerouteOpts};
 use wormhole_topo::{generate, paper_personas, Internet, InternetConfig};
@@ -163,8 +163,8 @@ pub fn explicit_tunnels(internet: &Internet) -> Vec<ExplicitTunnel> {
 /// Returns `None` for the paper's *excluded* case: the re-trace never
 /// re-discovered the ingress (9,407 of 14,771 pairs in the paper were
 /// dropped this way before Table 3 was computed).
-pub fn classify(outcome: &RevealOutcome, explicit: &ExplicitTunnel) -> Option<Bucket> {
-    if matches!(outcome, RevealOutcome::Failed) {
+pub fn classify(outcome: &RevelationOutcome, explicit: &ExplicitTunnel) -> Option<Bucket> {
+    if outcome.is_abandoned() {
         return None;
     }
     let Some(t) = outcome.tunnel() else {
@@ -197,15 +197,33 @@ pub fn classify(outcome: &RevealOutcome, explicit: &ExplicitTunnel) -> Option<Bu
     })
 }
 
-/// Runs the cross-validation; returns `(bucket counts, excluded)`.
+/// Runs the cross-validation with the paper's mild probing noise;
+/// returns `(bucket counts, excluded)`.
 pub fn cross_validate(
     internet: &Internet,
     tunnels: &[ExplicitTunnel],
 ) -> (BTreeMap<Bucket, usize>, usize) {
-    let mut counts: BTreeMap<Bucket, usize> = BTreeMap::new();
-    let mut excluded = 0usize;
     // Mild fault injection: the paper's re-runs also failed on probing
     // noise, which populates the Fail bucket.
+    let faults = FaultPlan {
+        loss: 0.002,
+        icmp_loss: 0.01,
+        ..FaultPlan::default()
+    };
+    cross_validate_with(internet, tunnels, &faults, 99)
+}
+
+/// Runs the cross-validation under an arbitrary [`FaultPlan`] — the
+/// fault-sweep experiment re-runs Table 3 through this entry point at
+/// increasing loss levels.
+pub fn cross_validate_with(
+    internet: &Internet,
+    tunnels: &[ExplicitTunnel],
+    faults: &FaultPlan,
+    seed: u64,
+) -> (BTreeMap<Bucket, usize>, usize) {
+    let mut counts: BTreeMap<Bucket, usize> = BTreeMap::new();
+    let mut excluded = 0usize;
     let mut sessions: Vec<Session<'_>> = internet
         .vps
         .iter()
@@ -215,12 +233,8 @@ pub fn cross_validate(
                 &internet.net,
                 &internet.cp,
                 vp,
-                FaultPlan {
-                    loss: 0.002,
-                    icmp_loss: 0.01,
-                    jitter_ms: 0.0,
-                },
-                99 + i as u64,
+                faults.clone(),
+                seed + i as u64,
             );
             s.set_opts(TracerouteOpts::campaign());
             s

@@ -10,7 +10,6 @@ use crate::context::PaperContext;
 use crate::util::{pct, Report};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use wormhole_analysis::{before_after_snapshots, density_before_after};
-use wormhole_core::RevealOutcome;
 use wormhole_net::{Addr, Asn};
 use wormhole_topo::NodeInfo;
 
@@ -88,7 +87,7 @@ pub fn rows(ctx: &PaperContext) -> Vec<AsDiscovery> {
         let mut raw_lsps: BTreeSet<Vec<Addr>> = BTreeSet::new();
         let mut lsr_ips: BTreeSet<Addr> = BTreeSet::new();
         for &(x, y) in &pairs {
-            if let Some(RevealOutcome::Revealed(t)) = ctx.result.revelations.get(&(x, y)) {
+            if let Some(t) = ctx.result.revelations.get(&(x, y)).and_then(|o| o.tunnel()) {
                 revealed_pairs += 1;
                 raw_lsps.insert(t.hops());
                 lsr_ips.extend(t.hops());

@@ -10,7 +10,7 @@ use crate::roles::rtla_samples;
 use crate::util::{pct, Report};
 use std::collections::{BTreeMap, BTreeSet};
 use wormhole_analysis::Histogram;
-use wormhole_core::{rfa_of_hop, RevealMethod, RevealOutcome};
+use wormhole_core::{rfa_of_hop, RevealMethod};
 use wormhole_net::{Addr, Asn};
 
 /// One Table 5 row.
@@ -69,7 +69,7 @@ pub fn rows(ctx: &PaperContext) -> Vec<AsDeployment> {
             if pair_as != asn {
                 continue;
             }
-            if let Some(RevealOutcome::Revealed(t)) = ctx.result.revelations.get(&pair) {
+            if let Some(t) = ctx.result.revelations.get(&pair).and_then(|o| o.tunnel()) {
                 match t.method() {
                     RevealMethod::Dpr => row.techniques.0 += 1,
                     RevealMethod::Brpr => row.techniques.1 += 1,
@@ -84,10 +84,13 @@ pub fn rows(ctx: &PaperContext) -> Vec<AsDeployment> {
         // FRPLA: egress RFA over this AS's revealed candidates.
         let mut rfa = Histogram::new();
         for c in ctx.result.candidates.iter().filter(|c| c.asn == asn) {
-            if !matches!(
-                ctx.result.revelations.get(&(c.ingress, c.egress)),
-                Some(RevealOutcome::Revealed(_))
-            ) {
+            if ctx
+                .result
+                .revelations
+                .get(&(c.ingress, c.egress))
+                .and_then(|o| o.tunnel())
+                .is_none()
+            {
                 continue;
             }
             if let Some(s) = ctx.result.traces[c.trace_index]

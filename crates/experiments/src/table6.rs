@@ -52,7 +52,7 @@ pub fn measure(vendor: Vendor) -> Applicability {
     let frpla = rfa_of_hop(egress_hop).is_some_and(|s| s.rfa >= 2);
 
     let te = egress_hop.reply_ip_ttl.expect("reply TTL");
-    let rtla = sess.ping(egress_addr).is_some_and(|p| {
+    let rtla = sess.ping(egress_addr).reply.is_some_and(|p| {
         let sig = Signature {
             te: Some(wormhole_core::infer_initial_ttl(te)),
             er: Some(wormhole_core::infer_initial_ttl(p.reply_ip_ttl)),

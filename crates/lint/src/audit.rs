@@ -1,4 +1,9 @@
-//! `A3xx` — result-audit rules over campaign outputs.
+//! `A3xx` / `A4xx` — result-audit rules over campaign outputs.
+//!
+//! `A3xx` rules check measurement-consistency invariants (signatures,
+//! tunnels, trace indices, probe accounting); `A4xx` rules audit the
+//! campaign's *robustness* accounting — probe budgets, partial
+//! revelations, degraded shards.
 //!
 //! The campaign layer lives above this crate, so the auditor takes a
 //! neutral [`CampaignAudit`] snapshot (built by
@@ -19,6 +24,52 @@ pub const SIGNATURE_TAXONOMY: [(u8, u8); 4] = [(255, 255), (255, 64), (128, 128)
 /// more than that suggests a broken revelation or fingerprint.
 pub const RTLA_GAP_TOLERANCE: i32 = 2;
 
+/// A revelation's claimed §4 method, as recorded in campaign output.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MethodClaim {
+    /// Several hops in a single extra trace.
+    Dpr,
+    /// One hop per recursion step, more than one step.
+    Brpr,
+    /// A single revealed hop (DPR/BRPR indistinguishable).
+    Either,
+    /// Single-hop steps plus a multi-hop step.
+    Hybrid,
+}
+
+/// Derives the method a step transcript (per-step revealed-hop counts)
+/// actually supports — the auditor's independent re-derivation of the
+/// Table 3 bucket. `None` when nothing was revealed.
+pub fn method_from_steps(steps: &[usize]) -> Option<MethodClaim> {
+    let revealing: Vec<usize> = steps.iter().copied().filter(|&n| n > 0).collect();
+    let total: usize = revealing.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    if total == 1 {
+        return Some(MethodClaim::Either);
+    }
+    let multi = revealing.iter().any(|&n| n > 1);
+    Some(if revealing.len() == 1 && multi {
+        MethodClaim::Dpr
+    } else if multi {
+        MethodClaim::Hybrid
+    } else {
+        MethodClaim::Brpr
+    })
+}
+
+/// How a revelation attempt ended, as recorded in campaign output.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RevelationKind {
+    /// The recursion converged (possibly revealing nothing).
+    Complete,
+    /// Cut short; the hop set is a lower bound.
+    Partial,
+    /// Nothing revealed, attempt given up (or its worker died).
+    Abandoned,
+}
+
 /// One revealed tunnel, reduced to what the auditor needs.
 #[derive(Clone, Debug)]
 pub struct TunnelAudit {
@@ -31,6 +82,11 @@ pub struct TunnelAudit {
     /// RTLA return-tunnel length measured at the egress, when its
     /// signature allowed the measurement.
     pub rtl: Option<i32>,
+    /// Per-step revealed-hop counts from the revelation transcript
+    /// (empty disables the A308 method cross-check).
+    pub steps: Vec<usize>,
+    /// The method the campaign claims for this tunnel.
+    pub method: Option<MethodClaim>,
 }
 
 /// A neutral snapshot of campaign outputs.
@@ -50,6 +106,17 @@ pub struct CampaignAudit {
     /// Probe packets per vantage-point shard, when the campaign ran
     /// sharded (empty disables the A307 cross-check).
     pub probes_by_shard: Vec<u64>,
+    /// The per-trace probe budget the campaign ran with (`None`
+    /// disables the A401 overrun check).
+    pub trace_budget: Option<u32>,
+    /// Per-trace `(probes spent, truncated)` accounting.
+    pub trace_probes: Vec<(u32, bool)>,
+    /// Every revelation outcome as `(ingress, egress, kind, revealed
+    /// hop count)`.
+    pub revelations: Vec<(Addr, Addr, RevelationKind, usize)>,
+    /// Vantage-point shards lost to worker panics, as `(vp index,
+    /// phase)`.
+    pub degraded_shards: Vec<(usize, String)>,
 }
 
 /// A301: a complete pair-signature outside the Table 1 vendor taxonomy.
@@ -206,6 +273,112 @@ pub fn shard_accounting(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// A308: the method the campaign claims for a tunnel disagrees with
+/// what its own step transcript supports (the Table 3 bucket would be
+/// wrong), or the transcript's hop counts do not sum to the hop list.
+pub fn method_claim_consistency(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for t in &a.tunnels {
+        if t.steps.is_empty() {
+            continue;
+        }
+        let step_sum: usize = t.steps.iter().sum();
+        if step_sum != t.hops.len() {
+            out.push(Diagnostic::new(
+                "A308",
+                Severity::Error,
+                Location::Pair(t.ingress, t.egress),
+                format!(
+                    "step transcript reveals {step_sum} hops but the tunnel lists {}",
+                    t.hops.len()
+                ),
+                "derive the hop list from the revelation steps, nowhere else",
+            ));
+            continue;
+        }
+        let derived = method_from_steps(&t.steps);
+        if t.method.is_some() && derived != t.method {
+            out.push(Diagnostic::new(
+                "A308",
+                Severity::Error,
+                Location::Pair(t.ingress, t.egress),
+                format!(
+                    "claimed method {:?} but the step transcript supports {:?}",
+                    t.method, derived
+                ),
+                "classify the Table 3 bucket from the step transcript itself",
+            ));
+        }
+    }
+}
+
+/// A401: a trace spent more probes than the per-trace budget allows —
+/// the budget enforcement is broken and a hostile path can starve the
+/// campaign.
+pub fn probe_budget_overrun(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    let Some(budget) = a.trace_budget else { return };
+    for (i, &(probes, _)) in a.trace_probes.iter().enumerate() {
+        if probes > budget {
+            out.push(Diagnostic::new(
+                "A401",
+                Severity::Error,
+                Location::Network,
+                format!("trace #{i} spent {probes} probes against a budget of {budget}"),
+                "check the budget gate in the traceroute attempt loop",
+            ));
+        }
+    }
+}
+
+/// A402: revelation accounting that contradicts itself — a Partial
+/// outcome with zero revealed hops (nothing to be partial about) or an
+/// Abandoned one that still lists hops (they would silently vanish from
+/// every downstream table).
+pub fn partial_revelation_accounting(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for &(x, y, kind, hops) in &a.revelations {
+        let broken = match kind {
+            RevelationKind::Partial => hops == 0,
+            RevelationKind::Abandoned => hops > 0,
+            RevelationKind::Complete => false,
+        };
+        if broken {
+            out.push(Diagnostic::new(
+                "A402",
+                Severity::Error,
+                Location::Pair(x, y),
+                format!("{kind:?} revelation with {hops} revealed hops"),
+                "Partial requires ≥1 hop; Abandoned requires 0 — fix the outcome classification",
+            ));
+        }
+    }
+}
+
+/// A403: degraded-shard consistency. A degradation record naming a
+/// vantage point the campaign does not have is an error (the merge
+/// mis-attributed a panic); any genuine degradation is surfaced as a
+/// warning so reports over a chaos run are never silently clean.
+pub fn degraded_shard_consistency(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    let n = a.probes_by_shard.len();
+    for (vp, phase) in &a.degraded_shards {
+        if n > 0 && *vp >= n {
+            out.push(Diagnostic::new(
+                "A403",
+                Severity::Error,
+                Location::Network,
+                format!("degraded shard names vp #{vp} but only {n} shards exist"),
+                "record degradations with the vantage-point index that panicked",
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                "A403",
+                Severity::Warn,
+                Location::Network,
+                format!("vantage-point shard #{vp} degraded during the {phase} phase"),
+                "results are complete minus this shard's work; rerun to recover it",
+            ));
+        }
+    }
+}
+
 /// Runs every audit rule.
 pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -216,5 +389,9 @@ pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     dangling_trace_index(a, &mut out);
     probe_accounting(a, &mut out);
     shard_accounting(a, &mut out);
+    method_claim_consistency(a, &mut out);
+    probe_budget_overrun(a, &mut out);
+    partial_revelation_accounting(a, &mut out);
+    degraded_shard_consistency(a, &mut out);
     out
 }

@@ -16,7 +16,11 @@
 //! * **`A3xx`** ([`audit`]) — result audits over campaign outputs
 //!   (signatures outside the Table 1 taxonomy, revealed LSP length vs
 //!   RTLA gap, duplicate or foreign-AS revealed hops, dangling trace
-//!   indices, impossible probe accounting).
+//!   indices, impossible probe accounting, method claims contradicting
+//!   their step transcripts);
+//! * **`A4xx`** ([`audit`]) — robustness audits over the same snapshot
+//!   (per-trace probe-budget overruns, partial/abandoned revelation
+//!   accounting, degraded-shard consistency).
 //!
 //! The contract is *lint before simulate*: under `debug_assertions`,
 //! probing sessions and campaigns refuse to start on a network with
@@ -41,7 +45,9 @@ pub mod cross;
 pub mod diag;
 pub mod network;
 
-pub use audit::{audit, CampaignAudit, TunnelAudit};
+pub use audit::{
+    audit, method_from_steps, CampaignAudit, MethodClaim, RevelationKind, TunnelAudit,
+};
 pub use cross::{check_internet, check_persona, check_scenario};
 pub use diag::{count, has_errors, render, Diagnostic, Location, Severity};
 

@@ -3,7 +3,9 @@
 //! scenario lints clean of `Error`-level findings.
 
 use wormhole_lint as lint;
-use wormhole_lint::{audit, cross, network, CampaignAudit, Severity, TunnelAudit};
+use wormhole_lint::{
+    audit, cross, network, CampaignAudit, MethodClaim, RevelationKind, Severity, TunnelAudit,
+};
 use wormhole_net::{
     Addr, AsPrefixes, Asn, ControlPlane, Label, LabelAction, LfibEntry, LfibHop, LinkOpts, Network,
     NetworkBuilder, PoppingMode, Prefix, RelKind, RouterConfig, RouterId, Vendor,
@@ -335,6 +337,8 @@ fn a302_rtla_gap_disagrees_with_revealed_length() {
             egress: y,
             hops: vec![addr(9)], // forward length 2
             rtl: Some(9),        // |9 - 2| > tolerance
+            steps: vec![1],
+            method: None,
         }],
         ..CampaignAudit::default()
     };
@@ -355,6 +359,8 @@ fn a303_duplicated_revealed_hop() {
             egress: y,
             hops: vec![addr(9), addr(9)],
             rtl: None,
+            steps: vec![2],
+            method: None,
         }],
         ..CampaignAudit::default()
     };
@@ -383,6 +389,8 @@ fn a304_revealed_hop_from_another_as() {
             egress: net.router(a2).loopback,
             hops: vec![net.router(b1).loopback], // AS2 hop in an AS1 tunnel
             rtl: None,
+            steps: vec![1],
+            method: None,
         }],
         ..CampaignAudit::default()
     };
@@ -454,6 +462,153 @@ fn a307_silent_without_shard_data() {
     };
     let diags = audit::audit(&net, &a);
     assert!(!codes(&diags).contains(&"A307"));
+}
+
+#[test]
+fn a308_method_claim_contradicts_the_steps() {
+    let (net, [r1, r2]) = tiny_as();
+    let (x, y) = (net.router(r1).loopback, net.router(r2).loopback);
+    // Two single-hop steps: a BRPR transcript, claimed as DPR.
+    let a = CampaignAudit {
+        tunnels: vec![TunnelAudit {
+            ingress: x,
+            egress: y,
+            hops: vec![addr(9), addr(10)],
+            rtl: None,
+            steps: vec![1, 1],
+            method: Some(MethodClaim::Dpr),
+        }],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(
+        error_codes(&diags).contains(&"A308"),
+        "{}",
+        lint::render(&diags)
+    );
+}
+
+#[test]
+fn a308_step_sum_must_match_the_hop_list() {
+    let (net, [r1, r2]) = tiny_as();
+    let (x, y) = (net.router(r1).loopback, net.router(r2).loopback);
+    let a = CampaignAudit {
+        tunnels: vec![TunnelAudit {
+            ingress: x,
+            egress: y,
+            hops: vec![addr(9)],
+            rtl: None,
+            steps: vec![3], // claims three revealed hops, lists one
+            method: None,
+        }],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(
+        error_codes(&diags).contains(&"A308"),
+        "{}",
+        lint::render(&diags)
+    );
+}
+
+#[test]
+fn a308_consistent_transcripts_stay_silent() {
+    let (net, [r1, r2]) = tiny_as();
+    let (x, y) = (net.router(r1).loopback, net.router(r2).loopback);
+    // One multi-hop step then nothing more: a clean DPR transcript.
+    let a = CampaignAudit {
+        tunnels: vec![TunnelAudit {
+            ingress: x,
+            egress: y,
+            hops: vec![addr(9), addr(10)],
+            rtl: None,
+            steps: vec![2],
+            method: Some(MethodClaim::Dpr),
+        }],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(!codes(&diags).contains(&"A308"), "{}", lint::render(&diags));
+}
+
+// ---------------------------------------------------------------- A4xx
+
+#[test]
+fn a401_trace_over_its_probe_budget() {
+    let (net, _) = tiny_as();
+    let a = CampaignAudit {
+        num_traces: 2,
+        probes: 300,
+        trace_budget: Some(160),
+        trace_probes: vec![(160, true), (200, false)], // #1 overran
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert_eq!(error_codes(&diags), ["A401"]);
+    // No budget configured ⇒ the rule is disabled entirely.
+    let silent = CampaignAudit {
+        num_traces: 2,
+        probes: 300,
+        trace_budget: None,
+        trace_probes: vec![(200, false)],
+        ..CampaignAudit::default()
+    };
+    assert!(!codes(&audit::audit(&net, &silent)).contains(&"A401"));
+}
+
+#[test]
+fn a402_partial_and_abandoned_accounting() {
+    let (net, _) = tiny_as();
+    let a = CampaignAudit {
+        revelations: vec![
+            (addr(1), addr(2), RevelationKind::Complete, 3),
+            (addr(3), addr(4), RevelationKind::Partial, 0), // broken
+            (addr(5), addr(6), RevelationKind::Abandoned, 2), // broken
+            (addr(7), addr(8), RevelationKind::Partial, 1),
+            (addr(9), addr(10), RevelationKind::Abandoned, 0),
+        ],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    let a402: Vec<_> = diags.iter().filter(|d| d.code == "A402").collect();
+    assert_eq!(a402.len(), 2, "{}", lint::render(&diags));
+    assert!(a402.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn a403_degraded_shard_warns_and_invalid_index_errors() {
+    let (net, _) = tiny_as();
+    // Genuine degradation: vp 1 of 2 panicked in the probe phase.
+    let a = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![10, 0],
+        degraded_shards: vec![(1, "probe".to_string())],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "A403" && d.severity == Severity::Warn),
+        "{}",
+        lint::render(&diags)
+    );
+    assert!(!error_codes(&diags).contains(&"A403"));
+    // Impossible index: vp 5 of 2 shards.
+    let bad = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![5, 5],
+        degraded_shards: vec![(5, "revelation".to_string())],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &bad);
+    assert!(
+        error_codes(&diags).contains(&"A403"),
+        "{}",
+        lint::render(&diags)
+    );
 }
 
 // ------------------------------------------------- negative contract

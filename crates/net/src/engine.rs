@@ -98,10 +98,16 @@ pub enum DropReason {
     Loss,
     /// No route towards the destination (and no unreachable generated).
     NoRoute,
-    /// The router at the expiry point is configured silent.
+    /// The router at the expiry point is configured silent, or is
+    /// persistently silent under the fault plan.
     Silent,
-    /// ICMP generation suppressed (rate limiting).
+    /// ICMP generation suppressed (memoryless rate limiting).
     IcmpSuppressed,
+    /// ICMP generation denied by a per-router token-bucket rate
+    /// limiter ([`crate::fault::RateLimit`]).
+    RateLimited,
+    /// The link was down under the fault plan's flap schedule.
+    LinkDown,
     /// Loop guard tripped.
     Loop,
     /// A label arrived at a router without a matching LFIB entry.
@@ -219,11 +225,20 @@ impl<'a> Engine<'a> {
         &self.state.stats
     }
 
+    /// Advances the worker's virtual clock by `ms` — retry backoff in
+    /// virtual time. Rate-limiter buckets refill and flap schedules
+    /// progress against this clock, so backing off genuinely trades
+    /// probing time for reply budget.
+    pub fn wait(&mut self, ms: f64) {
+        self.state.wait(ms);
+    }
+
     /// Sends `pkt` from `origin` and runs the simulation to completion,
     /// including the reply's return trip.
     pub fn send(&mut self, origin: RouterId, pkt: Packet) -> SendOutcome {
         assert!(pkt.ip_ttl >= 1, "probes need a TTL of at least 1");
         self.state.stats.probes += 1;
+        self.state.tick_probe();
         let probe_src = pkt.src;
         let leg = self.transit(origin, pkt, None);
         let out = match leg {
@@ -234,8 +249,13 @@ impl<'a> Engine<'a> {
                     return self.lost(Some(at), DropReason::ReplyLost);
                 };
                 let r = self.sub.net.router(at);
-                if !r.config.replies {
+                if !r.config.replies
+                    || (!r.config.is_host && self.state.faults.is_persistently_silent(at))
+                {
                     return self.lost(Some(at), DropReason::Silent);
+                }
+                if !self.state.allow_er(at, r.config.mpls) {
+                    return self.lost(Some(at), DropReason::RateLimited);
                 }
                 let reply = Packet {
                     src: pkt.dst,
@@ -503,10 +523,15 @@ impl<'a> Engine<'a> {
         pkt: &mut Packet,
     ) -> Result<Addr, DropReason> {
         self.state.stats.crossings += 1;
+        let ifc = &self.sub.net.router(router).ifaces[iface as usize];
+        if let Some(f) = self.state.faults.flaps {
+            if f.is_down(ifc.link, self.state.now_ms) {
+                return Err(DropReason::LinkDown);
+            }
+        }
         if self.state.faults.loss > 0.0 && self.state.rng.gen::<f64>() < self.state.faults.loss {
             return Err(DropReason::Loss);
         }
-        let ifc = &self.sub.net.router(router).ifaces[iface as usize];
         let link = self.sub.net.link(ifc.link);
         pkt.elapsed_ms += link.delay_ms;
         if self.state.faults.jitter_ms > 0.0 {
@@ -536,10 +561,18 @@ impl<'a> Engine<'a> {
                 path,
             };
         }
-        if !r.config.replies {
+        if !r.config.replies || (!r.config.is_host && self.state.faults.is_persistently_silent(cur))
+        {
             return Leg::Dropped {
                 at: cur,
                 reason: DropReason::Silent,
+                path,
+            };
+        }
+        if !self.state.allow_te(cur, r.config.mpls) {
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::RateLimited,
                 path,
             };
         }
@@ -595,10 +628,20 @@ impl<'a> Engine<'a> {
         path: Vec<RouterId>,
     ) -> Leg {
         let r = self.sub.net.router(cur);
-        if pkt.payload.is_error() || !r.config.replies {
+        if pkt.payload.is_error()
+            || !r.config.replies
+            || (!r.config.is_host && self.state.faults.is_persistently_silent(cur))
+        {
             return Leg::Dropped {
                 at: cur,
                 reason: DropReason::NoRoute,
+                path,
+            };
+        }
+        if !self.state.allow_te(cur, r.config.mpls) {
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::RateLimited,
                 path,
             };
         }
@@ -887,7 +930,7 @@ mod tests {
         let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
         let (net, vp, target) = fig2(cfg.clone(), cfg);
         let cp = ControlPlane::build(&net).unwrap();
-        let mut eng = Engine::with_faults(&net, &cp, FaultPlan::with_loss(0.5), 42);
+        let mut eng = Engine::with_faults(&net, &cp, FaultPlan::with_loss(0.5).unwrap(), 42);
         let src = net.router(vp).loopback;
         let mut lost = 0;
         for seq in 0..50 {
@@ -899,6 +942,131 @@ mod tests {
         assert!(lost > 10, "expected substantial loss, got {lost}");
         assert!(eng.stats().lost > 0);
         assert_eq!(eng.stats().probes, 50);
+    }
+
+    #[test]
+    fn te_rate_limiter_throttles_then_refills() {
+        use crate::fault::RateLimit;
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let plan = FaultPlan {
+            te_limit: Some(RateLimit {
+                per_sec: 1.0,
+                burst: 2.0,
+                mpls_only: true,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut eng = Engine::with_faults(&net, &cp, plan, 0);
+        let src = net.router(vp).loopback;
+        // TTL 3 expires at P1 (an MPLS LSR): the first two expiries
+        // drain its burst, the third is rate limited.
+        for seq in 0..2 {
+            let out = eng.send(vp, Packet::echo_request(src, target, 3, 1, 1, seq));
+            assert!(out.reply().is_some(), "burst token {seq} must pass");
+        }
+        let out = eng.send(vp, Packet::echo_request(src, target, 3, 1, 1, 2));
+        assert!(matches!(
+            out,
+            SendOutcome::Lost {
+                reason: DropReason::RateLimited,
+                ..
+            }
+        ));
+        // TTL 2 expires at PE1 — its own bucket is untouched.
+        let out = eng.send(vp, Packet::echo_request(src, target, 2, 1, 1, 3));
+        assert!(out.reply().is_some());
+        // Waiting in virtual time refills P1's bucket.
+        eng.wait(2_000.0);
+        let out = eng.send(vp, Packet::echo_request(src, target, 3, 1, 1, 4));
+        assert!(out.reply().is_some(), "bucket must refill after waiting");
+        // The mpls_only limiter never throttles the plain-IP CE1.
+        for seq in 10..20 {
+            let out = eng.send(vp, Packet::echo_request(src, target, 1, 1, 1, seq));
+            assert!(out.reply().is_some());
+        }
+    }
+
+    #[test]
+    fn persistently_silent_router_forwards_but_never_replies() {
+        use crate::fault::SilentSet;
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        // Find a salt under which P2 (and only P2, among the routers we
+        // probe) is silent, to keep the assertion sharp.
+        let p2 = net.router_by_name("P2").unwrap().id;
+        let salt = (0u64..)
+            .find(|&s| {
+                let set = SilentSet {
+                    share: 0.12,
+                    salt: s,
+                };
+                set.contains(p2)
+                    && !["CE1", "PE1", "P1", "P3", "PE2", "CE2"]
+                        .iter()
+                        .any(|n| set.contains(net.router_by_name(n).unwrap().id))
+            })
+            .unwrap();
+        let plan = FaultPlan {
+            silent: Some(SilentSet { share: 0.12, salt }),
+            ..FaultPlan::default()
+        };
+        let mut eng = Engine::with_faults(&net, &cp, plan, 0);
+        let src = net.router(vp).loopback;
+        // TTL 4 expires at P2: persistently silent.
+        let out = eng.send(vp, Packet::echo_request(src, target, 4, 1, 1, 1));
+        assert!(matches!(
+            out,
+            SendOutcome::Lost {
+                reason: DropReason::Silent,
+                ..
+            }
+        ));
+        // Deterministic: silent again, not probabilistically.
+        let out = eng.send(vp, Packet::echo_request(src, target, 4, 1, 1, 2));
+        assert!(out.reply().is_none());
+        // Still forwards: the target (a host, exempt from silence)
+        // answers through it.
+        let out = eng.send(vp, Packet::echo_request(src, target, 64, 1, 1, 3));
+        assert_eq!(out.reply().unwrap().kind, ReplyKind::EchoReply);
+    }
+
+    #[test]
+    fn flapping_link_drops_in_its_down_window() {
+        use crate::fault::FlapSchedule;
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let plan = FaultPlan {
+            flaps: Some(FlapSchedule {
+                share: 1.0,
+                salt: 3,
+                period_ms: 1_000.0,
+                // 10% duty cycle: a 7-hop round trip crosses 14 links,
+                // so most probes still die somewhere, but not all.
+                down_ms: 100.0,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut eng = Engine::with_faults(&net, &cp, plan, 0);
+        let src = net.router(vp).loopback;
+        let mut down = 0usize;
+        for seq in 0..40 {
+            let out = eng.send(vp, Packet::echo_request(src, target, 64, 1, 1, seq));
+            if matches!(
+                out,
+                SendOutcome::Lost {
+                    reason: DropReason::LinkDown,
+                    ..
+                }
+            ) {
+                down += 1;
+            }
+        }
+        assert!(down > 5, "a 50% duty cycle must drop probes, got {down}");
+        assert!(down < 40, "links must come back up");
     }
 
     #[test]

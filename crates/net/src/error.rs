@@ -48,6 +48,11 @@ pub enum NetError {
         /// The unreachable downstream router.
         to: RouterId,
     },
+    /// A fault plan with out-of-range parameters.
+    InvalidFaultPlan {
+        /// Which field is wrong and why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -72,6 +77,9 @@ impl fmt::Display for NetError {
             }
             NetError::MissingAdjacency { from, to } => {
                 write!(f, "no link between {from} and {to}")
+            }
+            NetError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
         }
     }

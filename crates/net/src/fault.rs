@@ -1,20 +1,130 @@
-//! Fault injection: probe loss and ICMP rate limiting.
+//! Fault injection: probe loss, ICMP rate limiting, persistent
+//! silence, and link flaps — composed into named scenarios.
 //!
 //! Real campaigns lose probes and replies; scamper retries. The engine
 //! consults a [`FaultPlan`] at every wire crossing and at every ICMP
 //! generation so the probing layer's retry logic is actually exercised.
+//!
+//! Beyond the v1 i.i.d. loss model, a plan can now describe the failure
+//! modes the paper's Internet-scale campaign actually met:
+//!
+//! * **token-bucket ICMP rate limiters** ([`RateLimit`]) applied
+//!   per router, with *separate* budgets for `time-exceeded` and
+//!   `echo-reply` generation — an MPLS-only limiter that throttles
+//!   `time-exceeded` harder than `echo-reply` stresses exactly the
+//!   `<255, 64>` signature RTLA depends on;
+//! * **persistently silent routers** ([`SilentSet`]) — the anonymous
+//!   routers of real traces, chosen by a pure hash of the router id so
+//!   the *same* routers stay silent for every worker and every
+//!   `jobs` setting;
+//! * **deterministic link-flap schedules** ([`FlapSchedule`]) — a
+//!   subset of links goes down for a fixed window of every period of
+//!   each worker's *virtual clock* (probes pace the clock forward, see
+//!   [`crate::state::ProbeState`]), modelling routing churn without
+//!   consuming randomness.
+//!
+//! Only `loss`, `icmp_loss` and `jitter_ms` draw from the worker RNG
+//! stream; every new fault dimension is a pure function of
+//! `(plan, router/link id, virtual time)`, so sharded campaigns stay
+//! byte-identical at any thread count.
 
-/// Probabilistic fault configuration for an [`crate::engine::Engine`].
-#[derive(Clone, Debug)]
+use crate::error::NetError;
+use crate::ids::{LinkId, RouterId};
+
+/// A per-router token-bucket ICMP rate limiter.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RateLimit {
+    /// Tokens refilled per second of virtual time.
+    pub per_sec: f64,
+    /// Bucket capacity (initial tokens and refill ceiling).
+    pub burst: f64,
+    /// Restrict the limiter to MPLS-enabled routers (LER/LSR throttling,
+    /// the paper's §4 failure mode) instead of every router.
+    pub mpls_only: bool,
+}
+
+impl RateLimit {
+    fn validate(&self, what: &str) -> Result<(), NetError> {
+        if !(self.per_sec > 0.0 && self.per_sec.is_finite()) {
+            return Err(NetError::InvalidFaultPlan {
+                reason: format!("{what}: per_sec must be positive and finite"),
+            });
+        }
+        if !(self.burst >= 1.0 && self.burst.is_finite()) {
+            return Err(NetError::InvalidFaultPlan {
+                reason: format!("{what}: burst must be at least one token"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Persistently silent (anonymous) routers: a `share` of non-host
+/// routers, selected by a pure hash of `(salt, router id)`, never
+/// generates *any* ICMP — the same routers for every worker.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SilentSet {
+    /// Fraction of routers that are persistently silent.
+    pub share: f64,
+    /// Hash salt (vary to select a different subset).
+    pub salt: u64,
+}
+
+impl SilentSet {
+    /// Whether `router` is in the silent subset. Pure — no RNG.
+    pub fn contains(&self, router: RouterId) -> bool {
+        in_share(self.salt, u64::from(router.0), self.share)
+    }
+}
+
+/// A deterministic link-flap schedule: a `share` of links is down for
+/// the first `down_ms` of every `period_ms` window of the worker's
+/// virtual clock. Each flapping link's phase is offset by its id hash
+/// so the whole subset does not blink in unison.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FlapSchedule {
+    /// Fraction of links that flap.
+    pub share: f64,
+    /// Hash salt for subset selection and phase offsets.
+    pub salt: u64,
+    /// Flap period in virtual milliseconds.
+    pub period_ms: f64,
+    /// Down window at the start of each period, in virtual ms.
+    pub down_ms: f64,
+}
+
+impl FlapSchedule {
+    /// Whether `link` is down at virtual time `now_ms`. Pure — no RNG.
+    pub fn is_down(&self, link: LinkId, now_ms: f64) -> bool {
+        if !in_share(self.salt, u64::from(link.0), self.share) {
+            return false;
+        }
+        let offset = (mix(self.salt ^ 0xF1A9, u64::from(link.0)) % 1_000_000) as f64 / 1_000_000.0
+            * self.period_ms;
+        (now_ms + offset).rem_euclid(self.period_ms) < self.down_ms
+    }
+}
+
+/// Fault configuration for an [`crate::engine::Engine`].
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Probability that a packet is dropped on each link crossing.
     pub loss: f64,
     /// Probability that a router suppresses an ICMP error it should
-    /// have generated (rate limiting).
+    /// have generated (memoryless rate limiting).
     pub icmp_loss: f64,
     /// Uniform extra per-crossing delay bound, in milliseconds
     /// (0 ⇒ deterministic delays).
     pub jitter_ms: f64,
+    /// Token-bucket limiter for *time-exceeded* (and unreachable)
+    /// generation, per router.
+    pub te_limit: Option<RateLimit>,
+    /// Token-bucket limiter for *echo-reply* generation, per router.
+    pub er_limit: Option<RateLimit>,
+    /// Persistently silent routers.
+    pub silent: Option<SilentSet>,
+    /// Link-flap schedule.
+    pub flaps: Option<FlapSchedule>,
 }
 
 impl Default for FaultPlan {
@@ -23,6 +133,10 @@ impl Default for FaultPlan {
             loss: 0.0,
             icmp_loss: 0.0,
             jitter_ms: 0.0,
+            te_limit: None,
+            er_limit: None,
+            silent: None,
+            flaps: None,
         }
     }
 }
@@ -34,18 +148,195 @@ impl FaultPlan {
     }
 
     /// A plan with uniform packet loss.
-    pub fn with_loss(loss: f64) -> FaultPlan {
-        assert!((0.0..=1.0).contains(&loss));
+    ///
+    /// # Errors
+    /// [`NetError::InvalidFaultPlan`] when `loss` is outside `[0, 1]`.
+    pub fn with_loss(loss: f64) -> Result<FaultPlan, NetError> {
         FaultPlan {
             loss,
             ..FaultPlan::default()
         }
+        .validated()
     }
 
-    /// True when the plan can consume randomness (any fault enabled).
+    /// Validates every field, returning the plan for chaining.
+    ///
+    /// # Errors
+    /// [`NetError::InvalidFaultPlan`] naming the first offending field.
+    pub fn validated(self) -> Result<FaultPlan, NetError> {
+        let prob = |v: f64, what: &str| -> Result<(), NetError> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(NetError::InvalidFaultPlan {
+                    reason: format!("{what} must lie in [0, 1], got {v}"),
+                })
+            }
+        };
+        prob(self.loss, "loss")?;
+        prob(self.icmp_loss, "icmp_loss")?;
+        if !(self.jitter_ms >= 0.0 && self.jitter_ms.is_finite()) {
+            return Err(NetError::InvalidFaultPlan {
+                reason: format!("jitter_ms must be finite and ≥ 0, got {}", self.jitter_ms),
+            });
+        }
+        if let Some(l) = &self.te_limit {
+            l.validate("te_limit")?;
+        }
+        if let Some(l) = &self.er_limit {
+            l.validate("er_limit")?;
+        }
+        if let Some(s) = &self.silent {
+            prob(s.share, "silent.share")?;
+        }
+        if let Some(f) = &self.flaps {
+            prob(f.share, "flaps.share")?;
+            if !(f.period_ms > 0.0 && f.period_ms.is_finite()) {
+                return Err(NetError::InvalidFaultPlan {
+                    reason: format!("flaps.period_ms must be positive, got {}", f.period_ms),
+                });
+            }
+            if !(f.down_ms >= 0.0 && f.down_ms <= f.period_ms) {
+                return Err(NetError::InvalidFaultPlan {
+                    reason: format!(
+                        "flaps.down_ms must lie in [0, period_ms], got {}",
+                        f.down_ms
+                    ),
+                });
+            }
+        }
+        Ok(self)
+    }
+
+    /// True when the plan can consume randomness. The structured faults
+    /// (rate limits, silence, flaps) are pure functions of ids and
+    /// virtual time and never draw from the RNG.
     pub fn is_random(&self) -> bool {
         self.loss > 0.0 || self.icmp_loss > 0.0 || self.jitter_ms > 0.0
     }
+
+    /// Whether `router` is persistently silent under this plan.
+    pub fn is_persistently_silent(&self, router: RouterId) -> bool {
+        self.silent.is_some_and(|s| s.contains(router))
+    }
+}
+
+/// Named fault-scenario presets: the adversarial conditions a campaign
+/// must degrade gracefully under, from clean emulation to the hostile
+/// composite. Every preset is deterministic per worker stream, so
+/// `jobs = N` stays byte-identical under all of them.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FaultScenario {
+    /// No faults: the deterministic baseline.
+    Clean,
+    /// Congested transit core: i.i.d. loss, memoryless ICMP
+    /// suppression, and RTT jitter.
+    LossyCore,
+    /// Edge LERs/LSRs running ICMP rate limiters, with `time-exceeded`
+    /// throttled harder than `echo-reply` — the configuration that
+    /// starves RTLA's `<255, 64>` gap measurements.
+    RateLimitedEdge,
+    /// Everything at once: loss, suppression, jitter, asymmetric MPLS
+    /// rate limiting, persistently silent routers, and link flaps.
+    Hostile,
+}
+
+impl FaultScenario {
+    /// Every built-in scenario, in severity order.
+    pub const ALL: [FaultScenario; 4] = [
+        FaultScenario::Clean,
+        FaultScenario::LossyCore,
+        FaultScenario::RateLimitedEdge,
+        FaultScenario::Hostile,
+    ];
+
+    /// The scenario's canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::Clean => "clean",
+            FaultScenario::LossyCore => "lossy_core",
+            FaultScenario::RateLimitedEdge => "rate_limited_edge",
+            FaultScenario::Hostile => "hostile",
+        }
+    }
+
+    /// Parses a CLI name (`-` and `_` are interchangeable).
+    pub fn parse(s: &str) -> Option<FaultScenario> {
+        let norm = s.trim().to_ascii_lowercase().replace('-', "_");
+        FaultScenario::ALL.into_iter().find(|sc| sc.name() == norm)
+    }
+
+    /// The scenario's fault plan.
+    pub fn plan(self) -> FaultPlan {
+        match self {
+            FaultScenario::Clean => FaultPlan::none(),
+            FaultScenario::LossyCore => FaultPlan {
+                loss: 0.03,
+                icmp_loss: 0.02,
+                jitter_ms: 0.5,
+                ..FaultPlan::default()
+            },
+            FaultScenario::RateLimitedEdge => FaultPlan {
+                loss: 0.005,
+                jitter_ms: 0.2,
+                te_limit: Some(RateLimit {
+                    per_sec: 4.0,
+                    burst: 6.0,
+                    mpls_only: true,
+                }),
+                er_limit: Some(RateLimit {
+                    per_sec: 12.0,
+                    burst: 12.0,
+                    mpls_only: true,
+                }),
+                ..FaultPlan::default()
+            },
+            FaultScenario::Hostile => FaultPlan {
+                loss: 0.06,
+                icmp_loss: 0.04,
+                jitter_ms: 1.0,
+                te_limit: Some(RateLimit {
+                    per_sec: 2.0,
+                    burst: 4.0,
+                    mpls_only: true,
+                }),
+                er_limit: Some(RateLimit {
+                    per_sec: 6.0,
+                    burst: 8.0,
+                    mpls_only: true,
+                }),
+                silent: Some(SilentSet {
+                    share: 0.04,
+                    salt: 0x5117,
+                }),
+                flaps: Some(FlapSchedule {
+                    share: 0.06,
+                    salt: 0xF1A9,
+                    period_ms: 5_000.0,
+                    down_ms: 400.0,
+                }),
+            },
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the shared bit mixer behind worker seeds and
+/// the pure subset-selection hashes.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pure membership test: hashes `(salt, id)` onto `[0, 1)` and compares
+/// with `share`.
+fn in_share(salt: u64, id: u64, share: f64) -> bool {
+    if share <= 0.0 {
+        return false;
+    }
+    ((mix(salt, id.wrapping_add(1)) >> 11) as f64 / (1u64 << 53) as f64) < share
 }
 
 /// Derives the RNG seed for campaign worker `worker_id` from the
@@ -53,11 +344,7 @@ impl FaultPlan {
 /// worker ids land on statistically unrelated streams and the mapping
 /// is stable across platforms and thread counts.
 pub fn worker_seed(campaign_seed: u64, worker_id: u64) -> u64 {
-    let mut z = campaign_seed ^ worker_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    mix(campaign_seed, worker_id)
 }
 
 #[cfg(test)]
@@ -70,12 +357,109 @@ mod tests {
         assert_eq!(p.loss, 0.0);
         assert_eq!(p.icmp_loss, 0.0);
         assert_eq!(p.jitter_ms, 0.0);
+        assert!(p.te_limit.is_none() && p.er_limit.is_none());
+        assert!(p.silent.is_none() && p.flaps.is_none());
+        assert!(!p.is_random());
     }
 
     #[test]
-    #[should_panic]
-    fn loss_out_of_range_panics() {
-        let _ = FaultPlan::with_loss(1.5);
+    fn loss_out_of_range_is_an_error() {
+        let err = FaultPlan::with_loss(1.5).unwrap_err();
+        assert!(matches!(err, NetError::InvalidFaultPlan { .. }));
+        assert!(err.to_string().contains("loss"));
+        assert!(FaultPlan::with_loss(0.3).is_ok());
+    }
+
+    #[test]
+    fn validated_rejects_bad_structured_fields() {
+        let bad_rate = FaultPlan {
+            te_limit: Some(RateLimit {
+                per_sec: 0.0,
+                burst: 4.0,
+                mpls_only: true,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(bad_rate.validated().is_err());
+        let bad_flap = FaultPlan {
+            flaps: Some(FlapSchedule {
+                share: 0.1,
+                salt: 1,
+                period_ms: 100.0,
+                down_ms: 200.0,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(bad_flap.validated().is_err());
+        let bad_share = FaultPlan {
+            silent: Some(SilentSet {
+                share: 2.0,
+                salt: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(bad_share.validated().is_err());
+    }
+
+    #[test]
+    fn every_scenario_plan_is_valid() {
+        for sc in FaultScenario::ALL {
+            assert!(
+                sc.plan().validated().is_ok(),
+                "{} preset must validate",
+                sc.name()
+            );
+            assert_eq!(FaultScenario::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(
+            FaultScenario::parse("rate-limited-edge"),
+            Some(FaultScenario::RateLimitedEdge)
+        );
+        assert_eq!(FaultScenario::parse("nope"), None);
+        assert!(!FaultScenario::Clean.plan().is_random());
+        assert!(FaultScenario::Hostile.plan().is_random());
+    }
+
+    #[test]
+    fn silent_set_is_pure_and_share_scaled() {
+        let s = SilentSet {
+            share: 0.25,
+            salt: 99,
+        };
+        let hits = (0u32..4000).filter(|&i| s.contains(RouterId(i))).count();
+        // Deterministic repeat.
+        let hits2 = (0u32..4000).filter(|&i| s.contains(RouterId(i))).count();
+        assert_eq!(hits, hits2);
+        assert!((800..1200).contains(&hits), "share miscalibrated: {hits}");
+        let none = SilentSet {
+            share: 0.0,
+            salt: 99,
+        };
+        assert!((0u32..100).all(|i| !none.contains(RouterId(i))));
+    }
+
+    #[test]
+    fn flap_schedule_is_periodic() {
+        let f = FlapSchedule {
+            share: 1.0,
+            salt: 7,
+            period_ms: 1000.0,
+            down_ms: 100.0,
+        };
+        let link = LinkId(3);
+        // Find one down instant, then check periodicity and duty cycle.
+        let down_times: Vec<f64> = (0..10_000)
+            .map(|i| i as f64)
+            .filter(|&t| f.is_down(link, t))
+            .collect();
+        assert!(!down_times.is_empty(), "a 10% duty cycle must show up");
+        let share = down_times.len() as f64 / 10_000.0;
+        assert!((0.05..0.15).contains(&share), "duty cycle {share}");
+        for &t in &down_times {
+            assert!(f.is_down(link, t + 1000.0), "periodic at {t}");
+        }
+        let quiet = FlapSchedule { share: 0.0, ..f };
+        assert!((0..1000).all(|t| !quiet.is_down(link, t as f64)));
     }
 
     #[test]

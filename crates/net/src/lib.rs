@@ -68,7 +68,7 @@ pub use bgp::{Bgp, RouteClass};
 pub use control::{ControlPlane, ExtRoute, FibEntry, LabelAction, LfibEntry, LfibHop};
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;
-pub use fault::{worker_seed, FaultPlan};
+pub use fault::{worker_seed, FaultPlan, FaultScenario, FlapSchedule, RateLimit, SilentSet};
 pub use ids::{Asn, Label, LinkId, PortRef, RouterId};
 pub use igp::AsIgp;
 pub use ldp::{LabelValue, LdpBindings};
@@ -76,7 +76,7 @@ pub use net::{AsRel, Link, LinkOpts, Network, NetworkBuilder, RelKind};
 pub use packet::{IcmpPayload, LabelStack, Lse, Packet};
 pub use prefixes::AsPrefixes;
 pub use router::{Interface, Router, RouterConfig};
-pub use state::ProbeState;
+pub use state::{ProbeState, PROBE_PACING_MS};
 pub use substrate::{Substrate, SubstrateRef};
 pub use te::TeTunnel;
 pub use trie::PrefixTrie;

@@ -19,7 +19,7 @@ pub mod trace;
 pub mod traceroute;
 
 pub use multipath::{enumerate_paths, MultipathResult};
-pub use ping::{ping, PingResult};
+pub use ping::{ping, PingFailure, PingReply, PingResult};
 pub use session::{Session, SessionStats};
-pub use trace::{Trace, TraceHop};
+pub use trace::{HopOutcome, Trace, TraceHop};
 pub use traceroute::{traceroute, TracerouteOpts};

@@ -144,8 +144,9 @@ impl<'a> Session<'a> {
         t
     }
 
-    /// Pings `dst` (two attempts).
-    pub fn ping(&mut self, dst: Addr) -> Option<PingResult> {
+    /// Pings `dst` (two attempts). The result carries attempts-used and
+    /// the last failure kind even when no reply arrived.
+    pub fn ping(&mut self, dst: Addr) -> PingResult {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
         let flow = self.flow_for(dst);
@@ -171,7 +172,7 @@ mod tests {
         assert!(t.reached);
         assert_eq!(sess.stats.traceroutes, 1);
         assert_eq!(sess.stats.probes, 7);
-        sess.ping(s.target).unwrap();
+        assert!(sess.ping(s.target).is_reply());
         assert_eq!(sess.stats.pings, 1);
         assert_eq!(sess.stats.probes, 8);
         assert!((sess.stats.wall_seconds_at(25.0) - 8.0 / 25.0).abs() < 1e-9);

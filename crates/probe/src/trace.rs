@@ -1,7 +1,43 @@
 //! Trace records: what a measurement host observes.
 
 use std::fmt;
-use wormhole_net::{Addr, Lse, ReplyKind, RouterId};
+use wormhole_net::{Addr, DropReason, Lse, ReplyKind, RouterId};
+
+/// What ultimately happened at a hop — the typed replacement for the
+/// bare `*`. A real prober cannot always tell these apart, but scamper
+/// distinguishes at least rate-limited silence (late/absent ICMP under
+/// load) from dead paths, and the campaign's graceful-degradation
+/// accounting needs the distinction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum HopOutcome {
+    /// A reply arrived.
+    Replied,
+    /// Every attempt died to a (configured or persistently) silent
+    /// router.
+    Silent,
+    /// Every attempt was suppressed by ICMP rate limiting.
+    RateLimited,
+    /// No route towards the destination and no unreachable came back.
+    Unreachable,
+    /// Probes or replies were lost in transit (loss, flaps, loops).
+    Lost,
+    /// The per-trace probe budget ran out before this hop could be
+    /// (re)tried.
+    BudgetExhausted,
+}
+
+impl HopOutcome {
+    /// Classifies a terminal [`DropReason`] (the *last* failure of the
+    /// hop's retry loop decides the outcome).
+    pub fn from_drop(reason: DropReason) -> HopOutcome {
+        match reason {
+            DropReason::Silent => HopOutcome::Silent,
+            DropReason::IcmpSuppressed | DropReason::RateLimited => HopOutcome::RateLimited,
+            DropReason::NoRoute => HopOutcome::Unreachable,
+            _ => HopOutcome::Lost,
+        }
+    }
+}
 
 /// One traceroute hop.
 #[derive(Clone, Debug)]
@@ -19,6 +55,11 @@ pub struct TraceHop {
     pub labels: Vec<Lse>,
     /// What kind of reply arrived.
     pub kind: Option<ReplyKind>,
+    /// What happened at this hop (typed star/rate-limited/unreachable
+    /// instead of a bare `None`).
+    pub outcome: HopOutcome,
+    /// Probe attempts spent on this hop.
+    pub attempts: u8,
     /// Simulator instrumentation: the true router behind `addr`. Never
     /// consulted by measurement code; used by validation and tests.
     pub truth: Option<RouterId>,
@@ -34,6 +75,8 @@ impl TraceHop {
             rtt_ms: None,
             labels: Vec::new(),
             kind: None,
+            outcome: HopOutcome::Lost,
+            attempts: 0,
             truth: None,
         }
     }
@@ -57,6 +100,10 @@ pub struct Trace {
     pub hops: Vec<TraceHop>,
     /// True when an echo-reply from `dst` terminated the trace.
     pub reached: bool,
+    /// Probe packets this trace spent.
+    pub probes: u32,
+    /// True when the per-trace probe budget cut the trace short.
+    pub truncated: bool,
 }
 
 impl Trace {
@@ -138,6 +185,8 @@ mod tests {
             rtt_ms: Some(3.5),
             labels: Vec::new(),
             kind: Some(ReplyKind::TimeExceeded),
+            outcome: HopOutcome::Replied,
+            attempts: 1,
             truth: None,
         }
     }
@@ -149,6 +198,8 @@ mod tests {
             flow: 3,
             hops: vec![hop(1, 1), TraceHop::star(2), hop(3, 3)],
             reached: false,
+            probes: 4,
+            truncated: false,
         }
     }
 

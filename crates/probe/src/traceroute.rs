@@ -4,9 +4,25 @@
 //! traceroute — ICMP echo probes whose flow-identifying fields are held
 //! constant so per-flow ECMP keeps the path stable, configurable start
 //! TTL (the campaign starts at 2), per-hop retries, and a gap limit.
+//!
+//! Robustness extensions on top of the paper's setup: adaptive per-hop
+//! retry with exponential backoff in *virtual* time (backoff lets
+//! rate-limiter token buckets refill, so retrying a rate-limited hop
+//! actually helps), and a per-trace probe budget that cuts runaway
+//! traces short instead of letting a hostile path consume the whole
+//! campaign. All of it is deterministic: backoff advances the worker's
+//! virtual clock only.
 
-use crate::trace::{Trace, TraceHop};
-use wormhole_net::{Addr, Engine, Packet, ReplyKind, RouterId, SendOutcome};
+use crate::trace::{HopOutcome, Trace, TraceHop};
+use wormhole_net::{Addr, DropReason, Engine, Packet, ReplyKind, RouterId, SendOutcome};
+
+/// Extra attempts the adaptive policy may add when a hop's failures
+/// look like rate limiting (waiting + retrying is likely to succeed).
+const ADAPTIVE_EXTRA_ATTEMPTS: u8 = 2;
+
+/// Exponential-backoff cap: waits double per retry up to `2^3 ×` the
+/// base backoff.
+const BACKOFF_MAX_DOUBLINGS: u8 = 3;
 
 /// Traceroute options.
 #[derive(Clone, Debug)]
@@ -19,6 +35,15 @@ pub struct TracerouteOpts {
     pub attempts: u8,
     /// Consecutive stars after which the trace is abandoned.
     pub gap_limit: u8,
+    /// Per-trace probe budget; when it runs out the trace is truncated
+    /// with a [`HopOutcome::BudgetExhausted`] hop. `None` = unlimited.
+    pub probe_budget: Option<u32>,
+    /// Base backoff (virtual ms) before each per-hop retry; doubles per
+    /// retry. `0.0` disables backoff.
+    pub backoff_ms: f64,
+    /// When true, hops whose failures look rate-limited earn up to
+    /// [`ADAPTIVE_EXTRA_ATTEMPTS`] extra (backed-off) attempts.
+    pub adaptive: bool,
 }
 
 impl Default for TracerouteOpts {
@@ -28,15 +53,22 @@ impl Default for TracerouteOpts {
             max_ttl: 40,
             attempts: 2,
             gap_limit: 6,
+            probe_budget: None,
+            backoff_ms: 0.0,
+            adaptive: false,
         }
     }
 }
 
 impl TracerouteOpts {
-    /// The §4 campaign configuration (start at TTL 2).
+    /// The §4 campaign configuration (start at TTL 2), hardened with a
+    /// probe budget and adaptive backed-off retries.
     pub fn campaign() -> TracerouteOpts {
         TracerouteOpts {
             start_ttl: 2,
+            probe_budget: Some(160),
+            backoff_ms: 20.0,
+            adaptive: true,
             ..TracerouteOpts::default()
         }
     }
@@ -57,12 +89,30 @@ pub fn traceroute(
 ) -> Trace {
     let mut hops = Vec::new();
     let mut reached = false;
+    let mut truncated = false;
+    let mut probes: u32 = 0;
     let mut gap = 0u8;
     let mut seq: u16 = 0;
-    for ttl in opts.start_ttl..=opts.max_ttl {
+    'ttl: for ttl in opts.start_ttl..=opts.max_ttl {
         let mut hop = TraceHop::star(ttl);
-        for _attempt in 0..opts.attempts.max(1) {
+        let mut last_drop: Option<DropReason> = None;
+        let mut max_attempts = opts.attempts.max(1);
+        let mut attempt: u8 = 0;
+        while attempt < max_attempts {
+            if opts.probe_budget.is_some_and(|b| probes >= b) {
+                truncated = true;
+                hop.outcome = HopOutcome::BudgetExhausted;
+                hop.attempts = attempt;
+                hops.push(hop);
+                break 'ttl;
+            }
+            if attempt > 0 && opts.backoff_ms > 0.0 {
+                let doublings = (attempt - 1).min(BACKOFF_MAX_DOUBLINGS);
+                eng.wait(opts.backoff_ms * f64::from(1u32 << doublings));
+            }
             seq = seq.wrapping_add(1);
+            attempt += 1;
+            probes += 1;
             let probe = Packet::echo_request(src, dst, ttl, flow, id, seq);
             match eng.send(vp, probe) {
                 SendOutcome::Reply(r) => {
@@ -73,11 +123,29 @@ pub fn traceroute(
                         rtt_ms: Some(r.rtt_ms),
                         labels: r.mpls_ext.clone(),
                         kind: Some(r.kind),
+                        outcome: HopOutcome::Replied,
+                        attempts: attempt,
                         truth: r.fwd_path.last().copied(),
                     };
                     break;
                 }
-                SendOutcome::Lost { .. } => {}
+                SendOutcome::Lost { reason, .. } => {
+                    last_drop = Some(reason);
+                    if opts.adaptive
+                        && HopOutcome::from_drop(reason) == HopOutcome::RateLimited
+                        && max_attempts < opts.attempts.max(1) + ADAPTIVE_EXTRA_ATTEMPTS
+                    {
+                        // Backed-off retries give the bucket time to
+                        // refill; spend a couple extra attempts here.
+                        max_attempts += 1;
+                    }
+                }
+            }
+        }
+        if hop.addr.is_none() {
+            hop.attempts = attempt;
+            if let Some(reason) = last_drop {
+                hop.outcome = HopOutcome::from_drop(reason);
             }
         }
         let responded = hop.addr.is_some();
@@ -115,6 +183,8 @@ pub fn traceroute(
         flow,
         hops,
         reached,
+        probes,
+        truncated,
     }
 }
 
@@ -198,8 +268,12 @@ mod tests {
         let s = gns3_fig2(Fig2Config::Default);
         // 5% loss *per link crossing* (a late hop's round trip crosses
         // ~14 links); with 5 attempts the trace should still complete.
-        let mut eng =
-            wormhole_net::Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(0.05), 9);
+        let mut eng = wormhole_net::Engine::with_faults(
+            &s.net,
+            &s.cp,
+            FaultPlan::with_loss(0.05).unwrap(),
+            9,
+        );
         let src = s.net.router(s.vp).loopback;
         let opts = TracerouteOpts {
             attempts: 5,
@@ -214,7 +288,7 @@ mod tests {
         let s = gns3_fig2(Fig2Config::Default);
         // 100% loss: every hop is a star; trace stops at the gap limit.
         let mut eng =
-            wormhole_net::Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(1.0), 9);
+            wormhole_net::Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(1.0).unwrap(), 9);
         let src = s.net.router(s.vp).loopback;
         let opts = TracerouteOpts {
             gap_limit: 3,
@@ -224,7 +298,121 @@ mod tests {
         let t = traceroute(&mut eng, s.vp, src, s.target, 5, 1, &opts);
         assert_eq!(t.hops.len(), 3);
         assert!(!t.reached);
+        assert!(t
+            .hops
+            .iter()
+            .all(|h| h.outcome == HopOutcome::Lost && h.attempts == 1));
+        assert_eq!(t.probes, 3);
         let _ = DropReason::Loss;
+    }
+
+    #[test]
+    fn probe_budget_truncates_the_trace() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let mut eng =
+            wormhole_net::Engine::with_faults(&s.net, &s.cp, FaultPlan::with_loss(1.0).unwrap(), 9);
+        let src = s.net.router(s.vp).loopback;
+        let opts = TracerouteOpts {
+            attempts: 2,
+            probe_budget: Some(5),
+            ..TracerouteOpts::default()
+        };
+        let t = traceroute(&mut eng, s.vp, src, s.target, 5, 1, &opts);
+        assert!(t.truncated);
+        assert_eq!(t.probes, 5);
+        assert_eq!(
+            t.hops.last().unwrap().outcome,
+            HopOutcome::BudgetExhausted,
+            "trace: {t:?}"
+        );
+    }
+
+    #[test]
+    fn stars_are_typed_rate_limited_when_buckets_are_dry() {
+        use wormhole_net::RateLimit;
+        let s = gns3_fig2(Fig2Config::Default);
+        // Single-token buckets with a near-zero refill: a first trace
+        // drains every router's bucket, the second sees typed
+        // rate-limited stars.
+        let plan = FaultPlan {
+            te_limit: Some(RateLimit {
+                per_sec: 0.01,
+                burst: 1.0,
+                mpls_only: false,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut eng = wormhole_net::Engine::with_faults(&s.net, &s.cp, plan, 9);
+        let src = s.net.router(s.vp).loopback;
+        let warm = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            s.target,
+            5,
+            1,
+            &TracerouteOpts::default(),
+        );
+        assert!(warm.reached);
+        let t = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            s.target,
+            5,
+            2,
+            &TracerouteOpts {
+                attempts: 1,
+                gap_limit: 2,
+                ..TracerouteOpts::default()
+            },
+        );
+        assert!(
+            t.hops.iter().any(|h| h.outcome == HopOutcome::RateLimited),
+            "expected a rate-limited hop: {t:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_backoff_recovers_a_rate_limited_hop() {
+        use wormhole_net::RateLimit;
+        let s = gns3_fig2(Fig2Config::Default);
+        // 2 tokens/s, burst 1: after a warm-up trace drains the buckets,
+        // a bare single-attempt retrace fails its first hops, but the
+        // adaptive policy's backed-off extra attempts wait long enough
+        // (100/200 virtual ms) for buckets to refill.
+        let plan = FaultPlan {
+            te_limit: Some(RateLimit {
+                per_sec: 2.0,
+                burst: 1.0,
+                mpls_only: false,
+            }),
+            ..FaultPlan::default()
+        };
+        let src = s.net.router(s.vp).loopback;
+        let mut eng = wormhole_net::Engine::with_faults(&s.net, &s.cp, plan, 9);
+        let warm = traceroute(
+            &mut eng,
+            s.vp,
+            src,
+            s.target,
+            5,
+            1,
+            &TracerouteOpts::default(),
+        );
+        assert!(warm.reached);
+        let opts = TracerouteOpts {
+            attempts: 1,
+            adaptive: true,
+            backoff_ms: 100.0,
+            ..TracerouteOpts::default()
+        };
+        let t = traceroute(&mut eng, s.vp, src, s.target, 5, 2, &opts);
+        assert!(t.reached, "adaptive retries should complete: {t:?}");
+        assert!(
+            t.hops.iter().any(|h| h.attempts > 1),
+            "some hop should have needed a retry: {t:?}"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
                     loss,
                     icmp_loss,
                     jitter_ms: 0.1,
+                    ..FaultPlan::default()
                 },
                 seed,
             );

@@ -36,7 +36,7 @@ fn main() {
         .hop_of(egress)
         .and_then(|h| h.reply_ip_ttl)
         .expect("egress answered");
-    let er = sess.ping(egress).expect("egress pings").reply_ip_ttl;
+    let er = sess.ping(egress).reply.expect("egress pings").reply_ip_ttl;
     println!(
         "time-exceeded observed TTL: {te}  (initial {})",
         infer_initial_ttl(te)

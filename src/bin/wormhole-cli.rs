@@ -5,8 +5,9 @@
 //! wormhole-cli smart <config>            tunnel-aware traceroute (§8)
 //! wormhole-cli reveal <config>           run the DPR/BRPR recursion
 //! wormhole-cli lint <config>             static analysis of a testbed config
-//! wormhole-cli campaign [quick|paper|tenfold] [--jobs N]
-//!                                        full §4 campaign summary
+//! wormhole-cli campaign [quick|paper|tenfold] [--jobs N] [--faults <scenario>]
+//!                                        full §4 campaign summary; scenarios:
+//!                                        clean, lossy_core, rate_limited_edge, hostile
 //! wormhole-cli list-configs              available testbed configurations
 //! ```
 
@@ -52,8 +53,9 @@ fn scenario(name: &str) -> Option<Scenario> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: wormhole-cli <trace|smart|reveal|lint> <config> \
-         | campaign [quick|paper|tenfold] [--jobs N] | list-configs\n\
-         configs: {}",
+         | campaign [quick|paper|tenfold] [--jobs N] [--faults <scenario>] | list-configs\n\
+         configs: {}\n\
+         fault scenarios: clean, lossy_core, rate_limited_edge, hostile",
         CONFIGS
             .iter()
             .map(|&(n, _)| n)
@@ -170,8 +172,10 @@ fn cmd_lint(name: &str, s: &Scenario) -> ExitCode {
 
 fn cmd_campaign(args: &[String]) -> ExitCode {
     use wormhole::experiments::Scale;
+    use wormhole::net::FaultScenario;
     let mut scale = Scale::Paper;
     let mut jobs = wormhole::experiments::jobs_from_env();
+    let mut faults = wormhole::experiments::faults_from_env();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -185,15 +189,28 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--faults" => match it.next().and_then(|v| FaultScenario::parse(v)) {
+                Some(sc) => faults = sc,
+                None => {
+                    eprintln!(
+                        "--faults needs a scenario: {}",
+                        FaultScenario::ALL.map(FaultScenario::name).join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown campaign argument {other}");
                 return usage();
             }
         }
     }
-    eprintln!("running the §4 campaign at {scale:?} scale with jobs={jobs}…");
+    eprintln!(
+        "running the §4 campaign at {scale:?} scale with jobs={jobs} under the '{}' scenario…",
+        faults.name()
+    );
     let t0 = std::time::Instant::now();
-    let ctx = wormhole::experiments::PaperContext::generate_with(scale, 8, jobs);
+    let ctx = wormhole::experiments::PaperContext::generate_faulted(scale, 8, jobs, faults);
     let elapsed = t0.elapsed().as_secs_f64();
     println!(
         "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; {} tunnels revealed; {} probes",
@@ -204,6 +221,11 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         ctx.result.tunnels().count(),
         ctx.result.probes
     );
+    if !ctx.result.degraded_shards.is_empty() {
+        for d in &ctx.result.degraded_shards {
+            println!("degraded shard: vp {} lost in the {} phase", d.vp, d.phase);
+        }
+    }
     println!(
         "wall: {elapsed:.2}s  ({:.0} probes/sec simulated)",
         ctx.result.probes as f64 / elapsed

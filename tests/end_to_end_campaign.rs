@@ -1,7 +1,7 @@
 //! End-to-end campaign validation: everything the blind measurement
 //! pipeline reveals is checked against simulator ground truth.
 
-use wormhole::core::{Campaign, CampaignConfig, RevealOutcome};
+use wormhole::core::{Campaign, CampaignConfig};
 use wormhole::net::PoppingMode;
 use wormhole::topo::{generate, GroundTruth, InternetConfig};
 
@@ -22,7 +22,10 @@ fn revealed_hops_are_real_hidden_routers() {
     let gt = GroundTruth::new(&internet.net, &internet.cp);
     let mut verified = 0usize;
     for c in &result.candidates {
-        let Some(RevealOutcome::Revealed(t)) = result.revelations.get(&(c.ingress, c.egress))
+        let Some(t) = result
+            .revelations
+            .get(&(c.ingress, c.egress))
+            .and_then(|o| o.tunnel())
         else {
             continue;
         };

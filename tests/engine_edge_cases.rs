@@ -17,7 +17,7 @@ fn lossy(l: &common::Line, loss: f64, icmp_loss: f64, seed: u64) -> Engine<'_> {
         FaultPlan {
             loss,
             icmp_loss,
-            jitter_ms: 0.0,
+            ..FaultPlan::default()
         },
         seed,
     )

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use wormhole::analysis::{
     before_after_snapshots, corrected_path, degree_histogram, density, trace_lengths,
 };
-use wormhole::core::{Campaign, CampaignConfig, RevealOutcome};
+use wormhole::core::{Campaign, CampaignConfig};
 use wormhole::net::Addr;
 use wormhole::topo::{generate, GroundTruth, InternetConfig, NodeInfo};
 
@@ -39,10 +39,14 @@ fn corrected_paths_match_ground_truth_router_sequences() {
         if !trace.reached {
             continue;
         }
-        let Some(RevealOutcome::Revealed(_)) = result.revelations.get(&(c.ingress, c.egress))
-        else {
+        if result
+            .revelations
+            .get(&(c.ingress, c.egress))
+            .and_then(|o| o.tunnel())
+            .is_none()
+        {
             continue;
-        };
+        }
         // The corrected trace, as router ids.
         let fixed: Vec<_> = corrected_path(trace, &result.revelations)
             .into_iter()

@@ -6,7 +6,7 @@
 //! with broken per-worker seeding, because no randomness is drawn.
 
 use wormhole::core::{Campaign, CampaignConfig, CampaignReport};
-use wormhole::net::FaultPlan;
+use wormhole::net::{FaultPlan, FaultScenario};
 use wormhole::topo::{generate, Internet, InternetConfig};
 
 fn report(internet: &Internet, jobs: usize, seed: u64) -> CampaignReport {
@@ -16,6 +16,7 @@ fn report(internet: &Internet, jobs: usize, seed: u64) -> CampaignReport {
             loss: 0.03,
             icmp_loss: 0.02,
             jitter_ms: 0.7,
+            ..FaultPlan::default()
         },
         seed,
         jobs,
@@ -51,12 +52,43 @@ fn paper_campaign_is_identical_at_any_worker_count() {
 }
 
 #[test]
+fn every_fault_scenario_is_identical_at_any_worker_count() {
+    // The ISSUE's headline robustness guarantee: token buckets,
+    // persistent silence, and link flaps all run on per-worker virtual
+    // clocks, so even the hostile composite shards byte-identically.
+    let internet = generate(&InternetConfig::small(17));
+    for scenario in FaultScenario::ALL {
+        let run = |jobs: usize| {
+            let cfg = CampaignConfig {
+                hdn_threshold: 6,
+                faults: scenario.plan(),
+                seed: 5,
+                jobs,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+                .run()
+                .report()
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(
+                serial,
+                run(jobs),
+                "scenario {} diverged at jobs={jobs}",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn probe_accounting_matches_across_worker_counts() {
     let internet = generate(&InternetConfig::small(11));
     let run = |jobs: usize| {
         let cfg = CampaignConfig {
             hdn_threshold: 6,
-            faults: FaultPlan::with_loss(0.05),
+            faults: FaultPlan::with_loss(0.05).expect("valid loss"),
             seed: 7,
             jobs,
             ..CampaignConfig::default()

@@ -126,7 +126,7 @@ proptest! {
         });
         let mut sess = Session::new(&l.net, &l.cp, l.vp);
         let pe2 = l.net.router_by_name("PE2").unwrap();
-        let er = sess.ping(pe2.ifaces[0].addr).expect("pingable");
+        let er = sess.ping(pe2.ifaces[0].addr).reply.expect("pingable");
         // 64 − (CE1 + PE1 decrements) = 62, independent of tunnel size.
         prop_assert_eq!(er.reply_ip_ttl, 62);
     }

@@ -2,9 +2,7 @@
 //! technique succeeded — "they use MPLS only with UHP, for VPN and/or
 //! traffic engineering, leaving tunnels truly invisible".
 
-use wormhole::core::{
-    reveal_between, rfa_of_hop, smart_traceroute, RevealOpts, RevealOutcome, SmartOpts,
-};
+use wormhole::core::{reveal_between, rfa_of_hop, smart_traceroute, RevealOpts, SmartOpts};
 use wormhole::net::{
     Asn, ControlPlane, LinkOpts, NetworkBuilder, Packet, PoppingMode, RouterConfig, Vendor,
 };
@@ -45,7 +43,7 @@ fn te_autoroute_resists_dpr_and_brpr() {
         s.target,
         &RevealOpts::default(),
     );
-    assert!(matches!(out, RevealOutcome::NothingHidden));
+    assert!(out.is_nothing_hidden());
 }
 
 #[test]

@@ -7,7 +7,7 @@ mod common;
 use common::{line, LineOpts};
 use wormhole::core::{
     infer_initial_ttl, return_tunnel_length, reveal_between, rfa_of_hop, RevealMethod, RevealOpts,
-    RevealOutcome, Signature,
+    Signature,
 };
 use wormhole::net::{LdpPolicy, Vendor};
 use wormhole::probe::{Session, TracerouteOpts};
@@ -59,7 +59,7 @@ fn rtla_gap_equals_return_tunnel_length() {
         let trace = sess.traceroute(l.target);
         let egress = egress_addr(&l);
         let te = trace.hop_of(egress).and_then(|h| h.reply_ip_ttl).unwrap();
-        let er = sess.ping(egress).unwrap().reply_ip_ttl;
+        let er = sess.ping(egress).reply.unwrap().reply_ip_ttl;
         let sig = Signature {
             te: Some(infer_initial_ttl(te)),
             er: Some(infer_initial_ttl(er)),
@@ -159,7 +159,7 @@ fn uhp_defeats_all_techniques() {
         l.target,
         &RevealOpts::default(),
     );
-    assert!(matches!(out, RevealOutcome::NothingHidden));
+    assert!(out.is_nothing_hidden());
 }
 
 #[test]
