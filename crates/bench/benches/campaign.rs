@@ -1,17 +1,20 @@
 //! Campaign-scale benchmarks: ITDK aggregation, the full §4 pipeline on
 //! the reduced Internet, and serial-vs-parallel campaign throughput on
-//! the tenfold (100 transit-AS) Internet.
+//! the tenfold (100 transit-AS) and thousandfold (1000 transit-AS)
+//! Internets.
 //!
 //! The parallel section also writes `BENCH_campaign.json` at the repo
-//! root: probes/sec at 1, 2 and 4 workers plus the machine's core
-//! count, so a single-core CI runner's flat numbers are not mistaken
-//! for an executor regression.
+//! root via [`measure`]: probes/sec per `(scale, jobs, faults,
+//! scheduling)` with the build/probe/merge breakdown, plus the
+//! machine's core count so a single-core CI runner's flat numbers are
+//! not mistaken for an executor regression. The `bench-regression`
+//! binary replays the same matrix and gates on the committed file.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Instant;
-use wormhole_core::{Campaign, CampaignConfig};
+use wormhole_bench::measure;
+use wormhole_core::{Campaign, CampaignConfig, Scheduling};
 use wormhole_net::{Addr, FaultScenario};
-use wormhole_topo::{generate, Internet, InternetConfig, ItdkSnapshot, NodeInfo};
+use wormhole_topo::{generate, InternetConfig, ItdkSnapshot, NodeInfo};
 
 fn itdk_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("itdk");
@@ -63,74 +66,43 @@ fn campaign_bench(c: &mut Criterion) {
     group.finish();
 }
 
-fn tenfold_campaign(
-    internet: &Internet,
-    jobs: usize,
-    scenario: FaultScenario,
-) -> wormhole_core::CampaignResult {
-    Campaign::new(
-        &internet.net,
-        &internet.cp,
-        internet.vps.clone(),
-        CampaignConfig {
-            hdn_threshold: 9,
-            jobs,
-            faults: scenario.plan(),
-            ..CampaignConfig::default()
-        },
-    )
-    .run()
-}
-
 fn campaign_parallel_bench(c: &mut Criterion) {
-    let internet = generate(&InternetConfig::tenfold(8));
+    let (internet, tenfold_build) = measure::generate_timed(&InternetConfig::tenfold(8));
     let mut group = c.benchmark_group("campaign_tenfold");
     group.sample_size(3);
     for jobs in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
-            b.iter(|| black_box(tenfold_campaign(&internet, jobs, FaultScenario::Clean)))
+            b.iter(|| {
+                black_box(measure::time_campaign(
+                    &internet,
+                    jobs,
+                    FaultScenario::Clean,
+                    Scheduling::VpBatches,
+                ))
+            })
         });
     }
     group.finish();
 
-    // Emit BENCH_campaign.json (probes/sec per worker count, plus the
-    // hostile-scenario overhead row) from a dedicated timed run per
-    // setting, outside the criterion harness.
-    let mut entries = Vec::new();
-    let runs = [
-        (1usize, FaultScenario::Clean),
-        (2, FaultScenario::Clean),
-        (4, FaultScenario::Clean),
-        (4, FaultScenario::Hostile),
+    // Emit BENCH_campaign.json from dedicated timed runs outside the
+    // criterion harness: the full tenfold matrix (worker sweep, both
+    // executors, hostile rows) plus the thousandfold completion proof,
+    // each with its build/probe/merge breakdown.
+    let (thousandfold, thousandfold_build) =
+        measure::generate_timed(&InternetConfig::thousandfold(8));
+    let scales = vec![
+        measure::measure_scale("tenfold", &internet, tenfold_build, measure::TENFOLD_MATRIX),
+        measure::measure_scale(
+            "thousandfold",
+            &thousandfold,
+            thousandfold_build,
+            measure::THOUSANDFOLD_MATRIX,
+        ),
     ];
-    for (jobs, scenario) in runs {
-        let t0 = Instant::now();
-        let result = tenfold_campaign(&internet, jobs, scenario);
-        let secs = t0.elapsed().as_secs_f64();
-        let pps = result.probes as f64 / secs;
-        let name = scenario.name();
-        println!(
-            "campaign_tenfold jobs={jobs} faults={name}: {pps:.0} probes/sec ({secs:.3}s wall)"
-        );
-        entries.push(format!(
-            "    {{\"jobs\": {jobs}, \"faults\": \"{name}\", \"probes\": {}, \
-             \"seconds\": {secs:.6}, \"probes_per_sec\": {pps:.1}}}",
-            result.probes
-        ));
+    for line in measure::summary_lines(&scales) {
+        println!("{line}");
     }
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let json = format!(
-        "{{\n  \"bench\": \"campaign_tenfold\",\n  \"transit_ases\": 100,\n  \
-         \"routers\": {},\n  \"cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        internet.net.num_routers(),
-        entries.join(",\n")
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
-    if let Err(e) = std::fs::write(path, json) {
-        eprintln!("could not write {path}: {e}");
-    }
+    measure::write_baseline("BENCH_campaign.json", &measure::campaign_json(&scales));
 }
 
 criterion_group!(benches, itdk_bench, campaign_bench, campaign_parallel_bench);

@@ -1,0 +1,62 @@
+//! Engine microbenchmarks on the tenfold Internet: the recording-off
+//! packet walk (the steady-state campaign configuration) versus the
+//! ground-truth-recording walk, plus a dedicated timed section that
+//! writes `BENCH_engine.json` at the repo root — walk throughput, the
+//! `heap_allocs` proof counter, and serial-vs-parallel control-plane
+//! build times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wormhole_bench::measure;
+use wormhole_net::{Engine, FaultPlan, ProbeState, SubstrateRef};
+use wormhole_probe::{traceroute, Session, TracerouteOpts};
+use wormhole_topo::{generate, InternetConfig};
+
+fn engine_bench(c: &mut Criterion) {
+    let internet = generate(&InternetConfig::tenfold(8));
+    let sub = SubstrateRef::new(&internet.net, &internet.cp);
+    let vp = internet.vps[0];
+    // A far loopback: the last router is deep in the most recently
+    // generated stub, many hops from the first vantage point.
+    let far = internet
+        .net
+        .routers()
+        .last()
+        .expect("tenfold Internet has routers")
+        .loopback;
+
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("traceroute_recording_off", |b| {
+        let mut sess = Session::over(sub, vp, ProbeState::new(FaultPlan::none(), 0));
+        b.iter(|| black_box(sess.traceroute(far)))
+    });
+    group.bench_function("traceroute_recording_on", |b| {
+        // Same walk over a bare engine with ground-truth path recording
+        // turned back on — the gap against `traceroute_recording_off`
+        // is the price of the per-probe heap buffers the campaign
+        // configuration avoids.
+        let mut eng = Engine::over(sub, ProbeState::new(FaultPlan::none(), 0));
+        eng.set_record_paths(true);
+        let src = internet.net.router(vp).loopback;
+        let opts = TracerouteOpts::campaign();
+        b.iter(|| black_box(traceroute(&mut eng, vp, src, far, 7, 1, &opts)))
+    });
+    group.finish();
+
+    let e = measure::measure_engine(&internet);
+    println!(
+        "engine walk: {:.0} probes/sec over {} probes ({} traces), {} heap allocs",
+        e.probes_per_sec, e.probes, e.traces, e.heap_allocs
+    );
+    println!(
+        "plane build: {:.3}s serial, {:.3}s at {} workers",
+        e.plane_serial_seconds, e.plane_parallel_seconds, e.plane_jobs
+    );
+    assert_eq!(
+        e.heap_allocs, 0,
+        "recording-off walk must stay allocation-free"
+    );
+    measure::write_baseline("BENCH_engine.json", &measure::engine_json(&e));
+}
+
+criterion_group!(benches, engine_bench);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! `bench-regression` — re-measure campaign and engine throughput and
+//! fail when any run regresses more than 20% against the committed
+//! `BENCH_campaign.json` / `BENCH_engine.json` baselines.
+//!
+//! ```text
+//! bench-regression            compare fresh numbers to the baselines
+//! bench-regression --write    refresh the baselines in place
+//! ```
+//!
+//! The gate also fails when the recording-off packet walk performs any
+//! heap allocation, regardless of throughput: the allocation-free walk
+//! is an invariant, not a number that may drift.
+
+use std::process::ExitCode;
+use wormhole_bench::measure;
+use wormhole_topo::InternetConfig;
+
+/// Largest tolerated throughput drop versus a committed baseline.
+const MAX_REGRESSION: f64 = 0.20;
+
+fn check(name: &str, baseline: f64, fresh: f64, failures: &mut Vec<String>) {
+    let floor = baseline * (1.0 - MAX_REGRESSION);
+    if fresh < floor {
+        failures.push(format!(
+            "{name}: {fresh:.0} probes/sec is below {floor:.0} (80% of the committed \
+             {baseline:.0})"
+        ));
+    } else {
+        println!("ok {name}: {fresh:.0} probes/sec vs committed {baseline:.0}");
+    }
+}
+
+fn main() -> ExitCode {
+    let write = std::env::args().skip(1).any(|a| a == "--write");
+
+    let (tenfold, tenfold_build) = measure::generate_timed(&InternetConfig::tenfold(8));
+    let (thousandfold, thousandfold_build) =
+        measure::generate_timed(&InternetConfig::thousandfold(8));
+    let scales = vec![
+        measure::measure_scale("tenfold", &tenfold, tenfold_build, measure::TENFOLD_MATRIX),
+        measure::measure_scale(
+            "thousandfold",
+            &thousandfold,
+            thousandfold_build,
+            measure::THOUSANDFOLD_MATRIX,
+        ),
+    ];
+    let engine = measure::measure_engine(&tenfold);
+    for line in measure::summary_lines(&scales) {
+        println!("{line}");
+    }
+    println!(
+        "engine walk: {:.0} probes/sec over {} probes, {} heap allocs; plane build {:.3}s \
+         serial, {:.3}s at {} workers",
+        engine.probes_per_sec,
+        engine.probes,
+        engine.heap_allocs,
+        engine.plane_serial_seconds,
+        engine.plane_parallel_seconds,
+        engine.plane_jobs
+    );
+
+    if write {
+        measure::write_baseline("BENCH_campaign.json", &measure::campaign_json(&scales));
+        measure::write_baseline("BENCH_engine.json", &measure::engine_json(&engine));
+        println!("baselines rewritten");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = Vec::new();
+    if engine.heap_allocs != 0 {
+        failures.push(format!(
+            "recording-off packet walk touched the heap {} times (expected 0)",
+            engine.heap_allocs
+        ));
+    }
+
+    match measure::read_baseline("BENCH_campaign.json") {
+        Some(json) => {
+            for base in measure::parse_campaign_baseline(&json) {
+                let name = format!(
+                    "campaign {} jobs={} faults={} sched={}",
+                    base.scale, base.jobs, base.faults, base.scheduling
+                );
+                let fresh = scales
+                    .iter()
+                    .filter(|s| s.scale == base.scale)
+                    .flat_map(|s| &s.runs)
+                    .find(|r| {
+                        r.jobs == base.jobs
+                            && r.faults == base.faults
+                            && r.scheduling == base.scheduling
+                    });
+                match fresh {
+                    Some(r) => check(&name, base.probes_per_sec, r.probes_per_sec, &mut failures),
+                    None => failures.push(format!(
+                        "{name}: committed baseline has no fresh measurement — the run matrix \
+                         shrank; refresh the baseline with --write if that was intended"
+                    )),
+                }
+            }
+        }
+        None => {
+            failures.push("BENCH_campaign.json missing — commit a baseline via --write".to_string())
+        }
+    }
+    match measure::read_baseline("BENCH_engine.json").as_deref() {
+        Some(json) => match measure::parse_engine_baseline(json) {
+            Some(base) => check("engine walk", base, engine.probes_per_sec, &mut failures),
+            None => failures
+                .push("BENCH_engine.json has no walk entry — refresh it via --write".to_string()),
+        },
+        None => {
+            failures.push("BENCH_engine.json missing — commit a baseline via --write".to_string())
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench-regression: all runs within {:.0}% of the baselines",
+            MAX_REGRESSION * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod measure;
+
 use wormhole_net::{
     Asn, ControlPlane, LinkOpts, Network, NetworkBuilder, RelKind, RouterConfig, Vendor,
 };

@@ -32,8 +32,10 @@ use crate::reveal::{reveal_between, AbandonReason, RevealOpts, RevelationOutcome
 use crate::shard;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
+use std::time::Instant;
 use wormhole_net::{
-    Addr, Asn, ControlPlane, FaultPlan, Network, ProbeState, ReplyKind, RouterId, SubstrateRef,
+    trace_seed, Addr, Asn, ControlPlane, FaultPlan, Network, ProbeState, ReplyKind, RouterId,
+    SubstrateRef,
 };
 use wormhole_probe::{Session, Trace, TracerouteOpts};
 use wormhole_topo::{ItdkSnapshot, NodeInfo};
@@ -66,6 +68,10 @@ pub struct CampaignConfig {
     /// uses the machine's available parallelism. Results are identical
     /// for every value.
     pub jobs: usize,
+    /// How probing work is distributed over the worker threads; see
+    /// [`Scheduling`]. Either choice is deterministic in `jobs`; the two
+    /// differ from each other (different RNG stream granularity).
+    pub scheduling: Scheduling,
     /// Run the lint-before-simulate gate (deny `Error`-level static
     /// analysis findings) regardless of build profile. Defaults to on
     /// in debug builds only, preserving release-build throughput unless
@@ -89,10 +95,49 @@ impl Default for CampaignConfig {
             faults: FaultPlan::none(),
             seed: 0,
             jobs: 1,
+            scheduling: Scheduling::VpBatches,
             lint_gate: cfg!(debug_assertions),
             chaos_panic_vp: None,
         }
     }
+}
+
+/// How the probing phases distribute work over worker threads.
+///
+/// Both modes produce byte-identical reports at every `jobs` value;
+/// they are **not** byte-identical to each other, because they draw
+/// fault randomness at different granularity (one stream per VP vs one
+/// stream per trace).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Scheduling {
+    /// One long-lived [`Session`] per vantage point; each worker thread
+    /// owns a contiguous VP range for the whole phase. Fault RNG is one
+    /// stream per VP ([`wormhole_net::worker_seed`]). Balances poorly
+    /// when one VP owns the slow traces.
+    #[default]
+    VpBatches,
+    /// Per-trace work stealing: every task goes into one shared
+    /// injector queue and idle workers claim the next task with an
+    /// atomic fetch-add. Each task runs in its own hermetic session
+    /// whose RNG stream is derived per `(seed, vp, target)`
+    /// ([`wormhole_net::trace_seed`]), so results are independent of
+    /// the steal interleaving.
+    Stealing,
+}
+
+/// Wall-clock phase breakdown of a campaign run. Carried on
+/// [`CampaignResult`] for benchmarking but **never** rendered into
+/// [`CampaignResult::report`] — wall time is the one thing about a run
+/// that is not deterministic.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CampaignTimings {
+    /// Seconds spent inside the sharded probing phases (bootstrap,
+    /// probe, fingerprint pings, revelation), i.e. the part that scales
+    /// with `jobs`.
+    pub probe_seconds: f64,
+    /// Seconds spent in the serial analysis between probing phases
+    /// (snapshot build, HDN extraction, candidate scan, merges).
+    pub merge_seconds: f64,
 }
 
 /// One vantage-point shard lost to a worker panic: the campaign
@@ -173,6 +218,10 @@ pub struct CampaignResult {
     /// Vantage-point shards lost to worker panics; empty on a healthy
     /// run.
     pub degraded_shards: Vec<DegradedShard>,
+    /// The scheduling mode the campaign ran with.
+    pub scheduling: Scheduling,
+    /// Wall-clock phase breakdown (excluded from [`Self::report`]).
+    pub timings: CampaignTimings,
 }
 
 impl CampaignResult {
@@ -341,6 +390,13 @@ impl std::fmt::Display for CampaignReport {
     }
 }
 
+/// Folds a phase tag and up to two identifying addresses into the seed
+/// key of a stolen task, so a VP probing the same address in two
+/// different phases still draws from two distinct RNG streams.
+fn steal_key(tag: u64, a: u64, b: u64) -> u64 {
+    (tag << 56) ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ b
+}
+
 /// Splits per-VP shard results into the surviving batches, recording a
 /// [`DegradedShard`] (and marking the VP dead) for each panicked batch.
 fn split_shards<R>(
@@ -471,15 +527,37 @@ impl<'a> Campaign<'a> {
     /// in global order, so the result is identical for every `jobs`
     /// value — see the module docs for the full argument.
     pub fn run(&self) -> CampaignResult {
-        let mut sessions = self.sessions();
-        let n_vps = sessions.len();
+        let stealing = self.cfg.scheduling == Scheduling::Stealing;
+        // Long-lived per-VP sessions only exist in batch mode; stealing
+        // builds a hermetic session per task instead.
+        let mut sessions = if stealing {
+            Vec::new()
+        } else {
+            self.sessions()
+        };
+        let n_vps = self.vps.len();
         let jobs = self.resolved_jobs();
         let mut degraded: Vec<DegradedShard> = Vec::new();
         let mut dead = vec![false; n_vps];
+        let mut stolen_probes = vec![0u64; n_vps];
+        let run_started = Instant::now();
+        let mut probe_seconds = 0.0f64;
         let chaos: Option<(usize, RouterId)> = self.cfg.chaos_panic_vp.map(|i| {
             assert!(i < n_vps, "chaos_panic_vp {i} out of range (0..{n_vps})");
             (i, self.vps[i])
         });
+        // The session factory for stolen tasks: the task's RNG stream
+        // is a pure function of `(seed, vp, key)`, so a task behaves
+        // identically no matter which worker claims it or when.
+        let make_session = |vp: usize, key: u64| {
+            let state = ProbeState::new(
+                self.cfg.faults.clone(),
+                trace_seed(self.cfg.seed, vp as u64, key),
+            );
+            let mut s = Session::over(self.sub, self.vps[vp], state);
+            s.set_opts(self.cfg.trace_opts.clone());
+            s
+        };
 
         // Phase 1: bootstrap snapshot. Every VP traces a share of the
         // loopbacks — and every VP traces the borders-heavy transit
@@ -494,16 +572,38 @@ impl<'a> Campaign<'a> {
                 boot_assign.push((vp, t));
             }
         }
-        let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
-        for (g, &(vp, t)) in boot_assign.iter().enumerate() {
-            tasks[vp].push((g, t));
-        }
-        let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
-            batch
-                .into_iter()
-                .map(|(g, t)| (g, sess.traceroute(t).addr_path()))
-                .collect()
-        });
+        let phase_started = Instant::now();
+        let shards = if stealing {
+            let queue: Vec<shard::StealTask<(usize, Addr)>> = boot_assign
+                .iter()
+                .enumerate()
+                .map(|(g, &(vp, t))| shard::StealTask {
+                    vp,
+                    key: steal_key(1, u64::from(t.0), 0),
+                    task: (g, t),
+                })
+                .collect();
+            let (shards, probes) =
+                shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, t)| {
+                    (g, sess.traceroute(t).addr_path())
+                });
+            for (acc, p) in stolen_probes.iter_mut().zip(probes) {
+                *acc += p;
+            }
+            shards
+        } else {
+            let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+            for (g, &(vp, t)) in boot_assign.iter().enumerate() {
+                tasks[vp].push((g, t));
+            }
+            shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+                batch
+                    .into_iter()
+                    .map(|(g, t)| (g, sess.traceroute(t).addr_path()))
+                    .collect()
+            })
+        };
+        probe_seconds += phase_started.elapsed().as_secs_f64();
         let shards = split_shards("bootstrap", shards, &mut degraded, &mut dead);
         let paths = shard::merge_indexed_or(shards, boot_assign.len(), |_| Vec::new());
         let snapshot = ItdkSnapshot::build(&paths, |a| self.resolve(a));
@@ -522,21 +622,47 @@ impl<'a> Campaign<'a> {
         // Workers return ordered trace shards; the scan that feeds the
         // fingerprint table replays the merged traces in global order.
         // A degraded VP's lost targets merge as empty unreached traces.
-        let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
-        for (i, &t) in targets.iter().enumerate() {
-            if !dead[i % n_vps] {
-                tasks[i % n_vps].push((i, t));
+        let phase_started = Instant::now();
+        let shards = if stealing {
+            let queue: Vec<shard::StealTask<(usize, Addr)>> = targets
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dead[i % n_vps])
+                .map(|(i, &t)| shard::StealTask {
+                    vp: i % n_vps,
+                    key: steal_key(2, u64::from(t.0), 0),
+                    task: (i, t),
+                })
+                .collect();
+            let (shards, probes) =
+                shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, t)| {
+                    if let Some((idx, vp)) = chaos {
+                        assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
+                    }
+                    (g, sess.traceroute(t))
+                });
+            for (acc, p) in stolen_probes.iter_mut().zip(probes) {
+                *acc += p;
             }
-        }
-        let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
-            if let Some((idx, vp)) = chaos {
-                assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
+            shards
+        } else {
+            let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+            for (i, &t) in targets.iter().enumerate() {
+                if !dead[i % n_vps] {
+                    tasks[i % n_vps].push((i, t));
+                }
             }
-            batch
-                .into_iter()
-                .map(|(g, t)| (g, sess.traceroute(t)))
-                .collect()
-        });
+            shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+                if let Some((idx, vp)) = chaos {
+                    assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
+                }
+                batch
+                    .into_iter()
+                    .map(|(g, t)| (g, sess.traceroute(t)))
+                    .collect()
+            })
+        };
+        probe_seconds += phase_started.elapsed().as_secs_f64();
         let shards = split_shards("probe", shards, &mut degraded, &mut dead);
         let traces: Vec<(usize, Trace)> = {
             let merged = shard::merge_indexed_or(shards, targets.len(), |g| Trace {
@@ -574,19 +700,44 @@ impl<'a> Campaign<'a> {
         // vantage point that observed the address where possible so the
         // RTLA gap compares replies over the same return path.
         if self.cfg.fingerprint {
-            let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
-            for (i, &addr) in discovered.iter().enumerate() {
-                let vp = te_obs.get(&addr).map(|&(vp, _)| vp).unwrap_or(i % n_vps);
-                if !dead[vp] {
-                    tasks[vp].push((i, addr));
+            let phase_started = Instant::now();
+            let shards = if stealing {
+                let queue: Vec<shard::StealTask<(usize, Addr)>> = discovered
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &addr)| {
+                        let vp = te_obs.get(&addr).map(|&(vp, _)| vp).unwrap_or(i % n_vps);
+                        (!dead[vp]).then_some(shard::StealTask {
+                            vp,
+                            key: steal_key(3, u64::from(addr.0), 0),
+                            task: (i, addr),
+                        })
+                    })
+                    .collect();
+                let (shards, probes) =
+                    shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, addr)| {
+                        (g, addr, sess.ping(addr))
+                    });
+                for (acc, p) in stolen_probes.iter_mut().zip(probes) {
+                    *acc += p;
                 }
-            }
-            let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
-                batch
-                    .into_iter()
-                    .map(|(g, addr)| (g, addr, sess.ping(addr)))
-                    .collect()
-            });
+                shards
+            } else {
+                let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+                for (i, &addr) in discovered.iter().enumerate() {
+                    let vp = te_obs.get(&addr).map(|&(vp, _)| vp).unwrap_or(i % n_vps);
+                    if !dead[vp] {
+                        tasks[vp].push((i, addr));
+                    }
+                }
+                shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+                    batch
+                        .into_iter()
+                        .map(|(g, addr)| (g, addr, sess.ping(addr)))
+                        .collect()
+                })
+            };
+            probe_seconds += phase_started.elapsed().as_secs_f64();
             let shards = split_shards("fingerprint", shards, &mut degraded, &mut dead);
             let mut pings: Vec<(usize, Addr, _)> = shards.into_iter().flatten().collect();
             pings.sort_by_key(|&(g, _, _)| g);
@@ -660,22 +811,29 @@ impl<'a> Campaign<'a> {
         // discovered them or this VP already pinged them (the dedup is
         // per vantage point, so it cannot depend on worker scheduling).
         // Pairs owned by a dead VP merge as Abandoned(WorkerPanicked).
-        let mut tasks: Vec<Vec<(usize, Addr, Addr, Addr)>> = vec![Vec::new(); n_vps];
-        for (g, &(vp, x, y, d)) in reveal_jobs.iter().enumerate() {
-            if !dead[vp] {
-                tasks[vp].push((g, x, y, d));
-            }
-        }
         let cfg = &self.cfg;
         let discovered_ref = &discovered;
-        let shards = shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
-            let mut pinged: HashSet<Addr> = HashSet::new();
-            batch
-                .into_iter()
-                .map(|(g, x, y, d)| {
+        let phase_started = Instant::now();
+        let shards = if stealing {
+            // The already-pinged dedup narrows from per-VP to per-task:
+            // a stolen task cannot see what its VP's other tasks
+            // revealed without depending on execution order.
+            let queue: Vec<shard::StealTask<(usize, Addr, Addr, Addr)>> = reveal_jobs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(vp, ..))| !dead[vp])
+                .map(|(g, &(vp, x, y, d))| shard::StealTask {
+                    vp,
+                    key: steal_key(4, u64::from(x.0), u64::from(y.0)),
+                    task: (g, x, y, d),
+                })
+                .collect();
+            let (shards, probes) =
+                shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, x, y, d)| {
                     let out = reveal_between(sess, x, y, d, &cfg.reveal);
                     let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
                     if cfg.fingerprint {
+                        let mut pinged: HashSet<Addr> = HashSet::new();
                         if let Some(t) = out.tunnel() {
                             for step in &t.steps {
                                 for h in &step.new_hops {
@@ -687,9 +845,44 @@ impl<'a> Campaign<'a> {
                         }
                     }
                     (g, ((x, y), out, ers))
-                })
-                .collect()
-        });
+                });
+            for (acc, p) in stolen_probes.iter_mut().zip(probes) {
+                *acc += p;
+            }
+            shards
+        } else {
+            let mut tasks: Vec<Vec<(usize, Addr, Addr, Addr)>> = vec![Vec::new(); n_vps];
+            for (g, &(vp, x, y, d)) in reveal_jobs.iter().enumerate() {
+                if !dead[vp] {
+                    tasks[vp].push((g, x, y, d));
+                }
+            }
+            shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
+                let mut pinged: HashSet<Addr> = HashSet::new();
+                batch
+                    .into_iter()
+                    .map(|(g, x, y, d)| {
+                        let out = reveal_between(sess, x, y, d, &cfg.reveal);
+                        let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
+                        if cfg.fingerprint {
+                            if let Some(t) = out.tunnel() {
+                                for step in &t.steps {
+                                    for h in &step.new_hops {
+                                        if !discovered_ref.contains(&h.addr)
+                                            && pinged.insert(h.addr)
+                                        {
+                                            ers.push((h.addr, sess.ping(h.addr).reply_ip_ttl()));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        (g, ((x, y), out, ers))
+                    })
+                    .collect()
+            })
+        };
+        probe_seconds += phase_started.elapsed().as_secs_f64();
         let shards = split_shards("revelation", shards, &mut degraded, &mut dead);
         let merged = shard::merge_indexed_or(shards, reveal_jobs.len(), |g| {
             let (_, x, y, _) = reveal_jobs[g];
@@ -711,9 +904,17 @@ impl<'a> Campaign<'a> {
             revelations.insert(pair, out);
         }
 
-        let probes_by_vp: Vec<u64> = sessions.iter().map(|s| s.stats.probes).collect();
+        let probes_by_vp: Vec<u64> = if stealing {
+            stolen_probes
+        } else {
+            sessions.iter().map(|s| s.stats.probes).collect()
+        };
         let probes = probes_by_vp.iter().sum();
         let (trace_vps, traces) = traces.into_iter().unzip();
+        let timings = CampaignTimings {
+            probe_seconds,
+            merge_seconds: (run_started.elapsed().as_secs_f64() - probe_seconds).max(0.0),
+        };
         CampaignResult {
             snapshot,
             hdns,
@@ -729,6 +930,8 @@ impl<'a> Campaign<'a> {
             probes_by_vp,
             trace_budget: self.cfg.trace_opts.probe_budget,
             degraded_shards: degraded,
+            scheduling: self.cfg.scheduling,
+            timings,
         }
     }
 }
@@ -816,6 +1019,7 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
             .iter()
             .map(|d| (d.vp, d.phase.to_string()))
             .collect(),
+        stealing: result.scheduling == Scheduling::Stealing,
     }
 }
 
@@ -916,6 +1120,58 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(2), "jobs=2 diverged from serial");
         assert_eq!(serial, run(4), "jobs=4 diverged from serial");
+    }
+
+    #[test]
+    fn stealing_jobs_match_serial_byte_for_byte() {
+        let internet = generate(&InternetConfig::small(11));
+        let run = |jobs: usize| {
+            let cfg = CampaignConfig {
+                hdn_threshold: 6,
+                faults: FaultPlan {
+                    loss: 0.02,
+                    icmp_loss: 0.01,
+                    jitter_ms: 0.5,
+                    ..FaultPlan::default()
+                },
+                seed: 42,
+                jobs,
+                scheduling: Scheduling::Stealing,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+                .run()
+                .report()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "stealing jobs=2 diverged from serial");
+        assert_eq!(serial, run(4), "stealing jobs=4 diverged from serial");
+    }
+
+    #[test]
+    fn stealing_campaign_still_reveals_and_audits_clean() {
+        let internet = generate(&InternetConfig::small(11));
+        let cfg = CampaignConfig {
+            hdn_threshold: 6,
+            scheduling: Scheduling::Stealing,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg);
+        let result = campaign.run();
+        assert!(result.tunnels().count() > 0, "stealing lost the tunnels");
+        assert_eq!(result.probes_by_vp.iter().sum::<u64>(), result.probes);
+        assert!(result.probes_by_vp.iter().all(|&p| p > 0));
+        let diags = audit_campaign(&internet.net, &result);
+        assert!(
+            !wormhole_lint::has_errors(&diags),
+            "{}",
+            wormhole_lint::render(&diags)
+        );
+        assert!(
+            !diags.iter().any(|d| d.code == "A309"),
+            "no idle shard expected: {}",
+            wormhole_lint::render(&diags)
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod smart;
 
 pub use campaign::{
     audit_campaign, audit_input, Campaign, CampaignConfig, CampaignReport, CampaignResult,
-    CandidatePair, DegradedShard, HdnRule,
+    CampaignTimings, CandidatePair, DegradedShard, HdnRule, Scheduling,
 };
 pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Signature};
 pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};

@@ -23,8 +23,25 @@
 //! instead of dying. Because a VP's work is independent of every other
 //! VP's, the surviving shards are byte-identical to a run where the
 //! panic never happened.
+//!
+//! # Work stealing ([`run_stealing`])
+//!
+//! VP batches balance poorly when one vantage point owns the slow
+//! traces: the other workers idle while its batch drains. The stealing
+//! executor instead publishes every task in one flat injector queue and
+//! lets each worker claim the next task with a single atomic
+//! fetch-add — no per-VP affinity at all. Determinism survives because
+//! *state* moves from the worker to the task: each task runs in its own
+//! hermetic [`Session`] whose fault RNG stream is derived from
+//! `(campaign_seed, vp, task key)` ([`wormhole_net::trace_seed`]), so
+//! the probe sequence of a task is a pure function of its identity, not
+//! of which worker ran it or what ran before it on that worker.
+//! Results carry their queue index and are regrouped per VP in task
+//! order after the join, which makes the merged output byte-identical
+//! at any job count and any steal interleaving.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use wormhole_probe::Session;
 
 /// Renders a caught panic payload into a report-friendly message.
@@ -108,6 +125,120 @@ where
             .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     })
+}
+
+/// One entry in the stealing injector queue: the owning vantage point,
+/// the per-trace seed key (folded into the RNG stream derivation), and
+/// the task payload itself.
+pub(crate) struct StealTask<T> {
+    /// Index of the vantage point this task belongs to.
+    pub vp: usize,
+    /// Seed key; the session factory folds it with `(campaign_seed,
+    /// vp)` into the task's private RNG stream.
+    pub key: u64,
+    /// The task payload.
+    pub task: T,
+}
+
+/// One stolen task's outcome: `(result, probes sent)` or the panic
+/// message.
+type TaskResult<R> = Result<(R, u64), String>;
+
+/// Runs `queue` under per-trace work stealing with up to `jobs` worker
+/// threads and regroups the results per vantage point, in queue order.
+///
+/// Unlike [`run_vp_batches`], workers have no VP affinity: each claims
+/// the next unstarted task from the shared queue (an atomic cursor over
+/// the flat task list), builds a hermetic [`Session`] for it via
+/// `make_session(vp, key)`, and runs `f` on that session. Because every
+/// task owns its RNG stream and TTL bookkeeping, the result of a task
+/// does not depend on the claim order, and the per-VP regrouping below
+/// restores a canonical order — the output is identical for every
+/// `jobs` value.
+///
+/// Panic normalization matches the batch executor's contract: a VP with
+/// at least one panicked task yields `Err` (the message of its
+/// lowest-index panicked task) and its other results are discarded, so
+/// callers reuse the same degraded-shard handling for both executors.
+///
+/// The second return value is the probe count per VP, summed over that
+/// VP's *completed* tasks (every task runs exactly once regardless of
+/// scheduling, so the sums are deterministic too — including for VPs
+/// that end up degraded).
+pub(crate) fn run_stealing<'n, T, R, F, S>(
+    n_vps: usize,
+    queue: Vec<StealTask<T>>,
+    jobs: usize,
+    make_session: &S,
+    f: &F,
+) -> (Vec<Result<Vec<R>, String>>, Vec<u64>)
+where
+    T: Copy + Sync,
+    R: Send,
+    F: Fn(&mut Session<'n>, T) -> R + Sync,
+    S: Fn(usize, u64) -> Session<'n> + Sync,
+{
+    let run_task = |t: &StealTask<T>| -> TaskResult<R> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut sess = make_session(t.vp, t.key);
+            let r = f(&mut sess, t.task);
+            (r, sess.stats.probes)
+        }))
+        .map_err(panic_message)
+    };
+    let jobs = jobs.clamp(1, queue.len().max(1));
+    let mut slots: Vec<Option<TaskResult<R>>> = if jobs <= 1 {
+        queue.iter().map(|t| Some(run_task(t))).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let produced: Vec<Vec<(usize, TaskResult<R>)>> = std::thread::scope(|scope| {
+            let queue = &queue;
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(t) = queue.get(i) else { break };
+                            out.push((i, run_task(t)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        let mut slots: Vec<Option<TaskResult<R>>> =
+            std::iter::repeat_with(|| None).take(queue.len()).collect();
+        for (i, r) in produced.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+    };
+    // Regroup per VP in queue order: steal order is gone, the canonical
+    // order is back.
+    let mut out: Vec<Result<Vec<R>, String>> = (0..n_vps).map(|_| Ok(Vec::new())).collect();
+    let mut probes = vec![0u64; n_vps];
+    for (t, slot) in queue.iter().zip(slots.iter_mut()) {
+        match slot.take().expect("every queued task was claimed") {
+            Ok((r, p)) => {
+                probes[t.vp] += p;
+                if let Ok(v) = &mut out[t.vp] {
+                    v.push(r);
+                }
+            }
+            Err(message) => {
+                if out[t.vp].is_ok() {
+                    out[t.vp] = Err(message);
+                }
+            }
+        }
+    }
+    (out, probes)
 }
 
 /// Scatters per-VP `(global_index, value)` results back into one flat,
@@ -233,6 +364,123 @@ mod tests {
             // Survivors are byte-identical to the serial run.
             assert_eq!(out[0], run(1)[0], "jobs={jobs}");
             assert_eq!(out[2], run(1)[2], "jobs={jobs}");
+        }
+    }
+
+    /// Builds the stealing queue + session factory shared by the
+    /// stealing tests: every router loopback round-robined over the
+    /// VPs, keyed by target address, with lossy faults so the RNG
+    /// stream actually matters.
+    fn steal_fixture<'n>(
+        internet: &'n wormhole_topo::Internet,
+    ) -> (
+        Vec<StealTask<wormhole_net::Addr>>,
+        impl Fn(usize, u64) -> Session<'n> + Sync,
+    ) {
+        let sub = SubstrateRef::new(&internet.net, &internet.cp);
+        let n_vps = internet.vps.len();
+        let queue: Vec<StealTask<wormhole_net::Addr>> = internet
+            .net
+            .routers()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| StealTask {
+                vp: i % n_vps,
+                key: u64::from(r.loopback.0),
+                task: r.loopback,
+            })
+            .collect();
+        let vps = internet.vps.clone();
+        let make = move |vp: usize, key: u64| {
+            let faults = FaultPlan {
+                loss: 0.2,
+                icmp_loss: 0.1,
+                ..FaultPlan::default()
+            };
+            Session::over(
+                sub,
+                vps[vp],
+                ProbeState::new(faults, wormhole_net::trace_seed(7, vp as u64, key)),
+            )
+        };
+        (queue, make)
+    }
+
+    #[test]
+    fn stealing_results_are_identical_at_any_job_count() {
+        let internet = generate(&InternetConfig::small(3));
+        let run = |jobs: usize| -> (Vec<Result<Vec<u64>, String>>, Vec<u64>) {
+            let (queue, make) = steal_fixture(&internet);
+            run_stealing(internet.vps.len(), queue, jobs, &make, &|s, t| {
+                s.traceroute(t);
+                s.stats.probes
+            })
+        };
+        let (serial, serial_probes) = run(1);
+        assert!(serial.iter().all(|r| r.is_ok()));
+        assert!(serial_probes.iter().sum::<u64>() > 0);
+        for jobs in [2, 4, 9] {
+            let (out, probes) = run(jobs);
+            assert_eq!(serial, out, "jobs={jobs} diverged from serial");
+            assert_eq!(
+                serial_probes, probes,
+                "jobs={jobs} probe accounting diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_task_results_do_not_depend_on_claim_order() {
+        // Reversing the queue must permute, not change, per-task
+        // results: each task's probe sequence is a pure function of
+        // `(seed, vp, key)`, never of what ran before it.
+        let internet = generate(&InternetConfig::small(3));
+        let run = |reverse: bool| {
+            let (mut queue, make) = steal_fixture(&internet);
+            if reverse {
+                queue.reverse();
+            }
+            let keys: Vec<(usize, u64)> = queue.iter().map(|t| (t.vp, t.key)).collect();
+            let (out, _) = run_stealing(internet.vps.len(), queue, 1, &make, &|s, t| {
+                s.traceroute(t);
+                s.stats.probes
+            });
+            let mut flat: Vec<((usize, u64), u64)> = Vec::new();
+            let mut taken = vec![0usize; out.len()];
+            for &(vp, key) in &keys {
+                let shard = out[vp].as_ref().expect("no panics here");
+                flat.push(((vp, key), shard[taken[vp]]));
+                taken[vp] += 1;
+            }
+            flat.sort_by_key(|&(id, _)| id);
+            flat
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stealing_normalizes_a_panicked_task_to_a_degraded_vp() {
+        let internet = generate(&InternetConfig::small(3));
+        for jobs in [1, 3] {
+            let (queue, make) = steal_fixture(&internet);
+            let poison = queue
+                .iter()
+                .filter(|t| t.vp == 1)
+                .nth(1)
+                .map(|t| t.key)
+                .expect("vp 1 has tasks");
+            let (out, probes) = run_stealing(internet.vps.len(), queue, jobs, &make, &|s, t| {
+                assert!(u64::from(t.0) != poison, "chaos: injected task panic");
+                s.traceroute(t);
+                s.stats.probes
+            });
+            assert!(out[0].is_ok(), "jobs={jobs}");
+            assert!(out[2].is_ok(), "jobs={jobs}");
+            let err = out[1].as_ref().unwrap_err();
+            assert!(err.contains("chaos"), "jobs={jobs}: {err}");
+            // Completed tasks of the degraded VP still count probes —
+            // they did run — and the sums stay deterministic.
+            assert!(probes[1] > 0, "jobs={jobs}");
         }
     }
 

@@ -2,7 +2,7 @@
 //! run, reused by every campaign-driven experiment.
 
 use crate::util::Report;
-use wormhole_core::{audit_campaign, Campaign, CampaignConfig, CampaignResult};
+use wormhole_core::{audit_campaign, Campaign, CampaignConfig, CampaignResult, Scheduling};
 use wormhole_lint::Severity;
 use wormhole_net::{Asn, FaultScenario};
 use wormhole_topo::{generate, Internet, InternetConfig};
@@ -19,14 +19,20 @@ pub enum Scale {
     /// from the operator survey ([`InternetConfig::tenfold`]) — the
     /// scale target for the sharded campaign executor.
     Tenfold,
+    /// One thousand transit ASes over the extended address plan
+    /// ([`InternetConfig::thousandfold`]) — the scale target for the
+    /// dense control-plane tables and the work-stealing executor.
+    ThousandFold,
 }
 
 impl Scale {
-    /// Reads `WORMHOLE_SCALE=quick|paper|tenfold` (default `paper`).
+    /// Reads `WORMHOLE_SCALE=quick|paper|tenfold|thousandfold`
+    /// (default `paper`).
     pub fn from_env() -> Scale {
         match std::env::var("WORMHOLE_SCALE").as_deref() {
             Ok("quick") | Ok("QUICK") => Scale::Quick,
             Ok("tenfold") | Ok("TENFOLD") => Scale::Tenfold,
+            Ok("thousandfold") | Ok("THOUSANDFOLD") => Scale::ThousandFold,
             _ => Scale::Paper,
         }
     }
@@ -40,6 +46,20 @@ pub fn jobs_from_env() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
+}
+
+/// Reads `WORMHOLE_SCHED=batches|stealing` (default `batches`). Both
+/// settings are deterministic in `jobs`; stealing balances better when
+/// a few vantage points own the slow traces. Unknown names abort loudly.
+pub fn scheduling_from_env() -> Scheduling {
+    match std::env::var("WORMHOLE_SCHED") {
+        Ok(name) => match name.as_str() {
+            "batches" | "BATCHES" => Scheduling::VpBatches,
+            "stealing" | "STEALING" => Scheduling::Stealing,
+            _ => panic!("WORMHOLE_SCHED={name}: expected batches or stealing"),
+        },
+        Err(_) => Scheduling::VpBatches,
+    }
 }
 
 /// Reads `WORMHOLE_FAULTS=clean|lossy_core|rate_limited_edge|hostile`
@@ -94,6 +114,18 @@ impl PaperContext {
         jobs: usize,
         scenario: FaultScenario,
     ) -> PaperContext {
+        PaperContext::generate_full(scale, seed, jobs, scenario, scheduling_from_env())
+    }
+
+    /// Generates the context with every knob explicit: scale, seed,
+    /// worker count, fault scenario, and scheduling mode.
+    pub fn generate_full(
+        scale: Scale,
+        seed: u64,
+        jobs: usize,
+        scenario: FaultScenario,
+        scheduling: Scheduling,
+    ) -> PaperContext {
         let net_cfg = match scale {
             Scale::Quick => InternetConfig::small(seed),
             Scale::Paper => InternetConfig {
@@ -101,6 +133,7 @@ impl PaperContext {
                 ..InternetConfig::default()
             },
             Scale::Tenfold => InternetConfig::tenfold(seed),
+            Scale::ThousandFold => InternetConfig::thousandfold(seed),
         };
         let internet = generate(&net_cfg);
         // Lint before simulate: a generated Internet that fails static
@@ -110,10 +143,11 @@ impl PaperContext {
         let campaign_cfg = CampaignConfig {
             hdn_threshold: match scale {
                 Scale::Quick => 6,
-                Scale::Paper | Scale::Tenfold => 9,
+                Scale::Paper | Scale::Tenfold | Scale::ThousandFold => 9,
             },
             jobs,
             faults: scenario.plan(),
+            scheduling,
             ..CampaignConfig::default()
         };
         let campaign = Campaign::new(

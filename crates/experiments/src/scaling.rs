@@ -44,6 +44,7 @@ pub fn measure(n_transit: usize, seed: u64) -> ScalePoint {
         n_vps: (n_transit / 2).clamp(3, 10),
         peer_prob: 0.4,
         silent_share: 0.02,
+        tier1: 0,
     });
     let campaign = Campaign::new(
         &internet.net,

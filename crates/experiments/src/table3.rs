@@ -71,6 +71,7 @@ pub fn visible_internet(seed: u64, quick: bool) -> Internet {
             n_vps: 3,
             peer_prob: 1.0,
             silent_share: 0.0,
+            tier1: 0,
         }
     } else {
         InternetConfig {

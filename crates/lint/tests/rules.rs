@@ -465,6 +465,49 @@ fn a307_silent_without_shard_data() {
 }
 
 #[test]
+fn a309_idle_shard_under_stealing_warns() {
+    let (net, _) = tiny_as();
+    let a = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![10, 0],
+        stealing: true,
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &a);
+    assert!(error_codes(&diags).is_empty(), "{}", lint::render(&diags));
+    assert!(diags
+        .iter()
+        .any(|d| d.code == "A309" && d.severity == Severity::Warn));
+}
+
+#[test]
+fn a309_silent_without_stealing_and_for_degraded_shards() {
+    let (net, _) = tiny_as();
+    // Same idle shard, but batch scheduling: A307 covers it, A309 stays
+    // quiet.
+    let batch = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![10, 0],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &batch);
+    assert!(!codes(&diags).contains(&"A309"));
+    // A shard idle because its worker panicked is A403's business.
+    let degraded = CampaignAudit {
+        num_traces: 2,
+        probes: 10,
+        probes_by_shard: vec![10, 0],
+        stealing: true,
+        degraded_shards: vec![(1, "probe".to_string())],
+        ..CampaignAudit::default()
+    };
+    let diags = audit::audit(&net, &degraded);
+    assert!(!codes(&diags).contains(&"A309"), "{}", lint::render(&diags));
+}
+
+#[test]
 fn a308_method_claim_contradicts_the_steps() {
     let (net, [r1, r2]) = tiny_as();
     let (x, y) = (net.router(r1).loopback, net.router(r2).loopback);

@@ -2,30 +2,27 @@
 //!
 //! [`ControlPlane::build`] computes, from an immutable [`Network`]:
 //!
-//! 1. per-AS IGP distance matrices ([`AsIgp`]);
+//! 1. per-AS IGP distance matrices ([`AsIgp`]), in parallel across
+//!    ASes (`build_with_jobs`) with a deterministic AS-ordered merge;
 //! 2. per-router intra-AS FIBs (ECMP next-hop sets towards the nearest
-//!    owner of each internal prefix);
+//!    owner of each internal prefix), flattened into one shared pool
+//!    with per-router offset tables;
 //! 3. per-router external routes: hot-potato egress selection over the
 //!    valley-free AS-level routes ([`Bgp`]);
 //! 4. LDP bindings ([`LdpBindings`]) and per-router LFIBs implementing
-//!    swap / PHP-pop / explicit-null-swap.
+//!    swap / PHP-pop / explicit-null-swap, stored as dense label
+//!    windows (labels are small integers we allocate ourselves) with a
+//!    sorted overflow for outliers (RSVP-TE labels, injected entries).
 
 use crate::bgp::Bgp;
 use crate::error::NetError;
-use crate::ids::{Label, RouterId};
+use crate::ids::{Asn, Label, RouterId};
 use crate::igp::AsIgp;
 use crate::ldp::{LabelValue, LdpBindings};
 use crate::net::Network;
 use crate::prefixes::AsPrefixes;
 use crate::vendor::PoppingMode;
 use std::collections::HashMap;
-
-/// An intra-AS FIB entry: the ECMP set of `(iface index, next router)`.
-#[derive(Clone, Debug, Default)]
-pub struct FibEntry {
-    /// Equal-cost next hops towards the nearest prefix owner.
-    pub nexthops: Vec<(u32, RouterId)>,
-}
 
 /// A route towards an external AS.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -79,6 +76,117 @@ pub struct LfibEntry {
     pub nexthops: Vec<LfibHop>,
 }
 
+/// Labels further than this from a router's dense LDP run go to the
+/// sorted overflow instead of growing the window (RSVP-TE labels live
+/// at `500_000+`, far from the LDP runs that start near `16`).
+const LFIB_WINDOW_SPAN: u32 = 4096;
+
+/// The LFIB of one router: a dense label window (direct indexing for
+/// the contiguous LDP run) plus a small sorted overflow for outliers.
+#[derive(Debug, Clone, Default)]
+struct RouterLfib {
+    /// Label value of `window[0]`.
+    lo: u32,
+    /// `window[label - lo]`, `None` for gaps.
+    window: Vec<Option<LfibEntry>>,
+    /// Entries outside the window, sorted by label value.
+    overflow: Vec<(u32, LfibEntry)>,
+    /// Number of installed entries (window `Some`s + overflow).
+    len: usize,
+}
+
+impl RouterLfib {
+    fn get(&self, label: Label) -> Option<&LfibEntry> {
+        let v = label.0;
+        if v >= self.lo {
+            if let Some(Some(e)) = self.window.get((v - self.lo) as usize) {
+                return Some(e);
+            }
+        }
+        self.overflow
+            .binary_search_by_key(&v, |&(l, _)| l)
+            .ok()
+            .map(|i| &self.overflow[i].1)
+    }
+
+    fn insert(&mut self, label: Label, entry: LfibEntry) {
+        let v = label.0;
+        if self.window.is_empty() {
+            self.lo = v;
+            self.window.push(Some(entry));
+            self.len += 1;
+            self.absorb_overflow();
+            return;
+        }
+        let hi = self.lo + self.window.len() as u32;
+        if v >= self.lo && v < hi {
+            let slot = &mut self.window[(v - self.lo) as usize];
+            if slot.is_none() {
+                self.len += 1;
+            }
+            *slot = Some(entry);
+            return;
+        }
+        if v >= hi && v - self.lo < LFIB_WINDOW_SPAN {
+            self.window.resize_with((v - self.lo + 1) as usize, || None);
+            self.window[(v - self.lo) as usize] = Some(entry);
+            self.len += 1;
+            self.absorb_overflow();
+            return;
+        }
+        if v < self.lo && hi - v <= LFIB_WINDOW_SPAN {
+            let shift = (self.lo - v) as usize;
+            let mut grown: Vec<Option<LfibEntry>> = Vec::with_capacity(self.window.len() + shift);
+            grown.resize_with(shift, || None);
+            grown.append(&mut self.window);
+            self.window = grown;
+            self.lo = v;
+            self.window[0] = Some(entry);
+            self.len += 1;
+            self.absorb_overflow();
+            return;
+        }
+        match self.overflow.binary_search_by_key(&v, |&(l, _)| l) {
+            Ok(i) => self.overflow[i] = (v, entry),
+            Err(i) => {
+                self.overflow.insert(i, (v, entry));
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Migrates overflow entries that the (re)grown window now covers,
+    /// so every label has exactly one home.
+    fn absorb_overflow(&mut self) {
+        if self.overflow.is_empty() {
+            return;
+        }
+        let lo = self.lo;
+        let hi = self.lo + self.window.len() as u32;
+        let mut kept = Vec::with_capacity(self.overflow.len());
+        for (v, e) in self.overflow.drain(..) {
+            if v >= lo && v < hi {
+                self.window[(v - lo) as usize] = Some(e);
+            } else {
+                kept.push((v, e));
+            }
+        }
+        self.overflow = kept;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (Label, &LfibEntry)> + '_ {
+        let lo = self.lo;
+        self.window
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, e)| e.as_ref().map(|e| (Label(lo + i as u32), e)))
+            .chain(self.overflow.iter().map(|(v, e)| (Label(*v), e)))
+    }
+}
+
+/// A TE autoroute decision: `(out iface, first hop, label to push)`.
+type TeRoute = (u32, RouterId, Option<Label>);
+
 /// The computed control plane of a network.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
@@ -90,44 +198,108 @@ pub struct ControlPlane {
     pub bgp: Bgp,
     /// LDP advertisements.
     pub bindings: LdpBindings,
-    /// `fib[router][slot]` — intra-AS forwarding (slots of the router's
-    /// own AS; empty entry ⇒ the router owns the prefix or it is
-    /// unreachable).
-    fib: Vec<Vec<FibEntry>>,
+    /// Router → base index into [`Self::fib_spans`] (one span per slot
+    /// of the router's own AS table); length `num_routers + 1`.
+    fib_base: Vec<u32>,
+    /// `(start, len)` into [`Self::fib_pool`] per `(router, slot)`.
+    fib_spans: Vec<(u32, u32)>,
+    /// Concatenated ECMP next-hop sets `(iface index, next router)`.
+    fib_pool: Vec<(u32, RouterId)>,
     /// `ext[router][dst_as_index]` — external forwarding.
     ext: Vec<Vec<ExtRoute>>,
-    /// `lfib[router][incoming label]`.
-    lfib: Vec<HashMap<Label, LfibEntry>>,
-    /// RSVP-TE autoroute at tunnel heads: `(head, tail)` → the head's
-    /// `(out iface, first hop, label to push)`.
-    te_autoroute: HashMap<(RouterId, RouterId), (u32, RouterId, Option<Label>)>,
+    /// Per-router dense LFIBs.
+    lfib: Vec<RouterLfib>,
+    /// Router → span of [`Self::te_routes`] headed there; length
+    /// `num_routers + 1`. Almost every router heads no tunnel, so the
+    /// miss path is two adjacent loads.
+    te_heads: Vec<u32>,
+    /// `(tail, (out iface, first hop, label to push))`, grouped by head
+    /// router and sorted by tail within each group.
+    te_routes: Vec<(RouterId, TeRoute)>,
+    /// FIB slot of each router's loopback inside its own AS table
+    /// (`u32::MAX` = none). The packet walk only ever longest-prefix
+    /// matches addresses inside the AS that owns them, so these tables
+    /// pay every trie walk once at build time.
+    loopback_slot: Vec<u32>,
+    /// Router → base index into [`Self::iface_slot`]; length
+    /// `num_routers + 1`.
+    iface_slot_base: Vec<u32>,
+    /// FIB slot of each interface address inside its owner's own AS
+    /// table (`u32::MAX` = none), in router-then-interface order.
+    iface_slot: Vec<u32>,
+    /// Dense AS index of each router's own AS (`u32::MAX` = the AS is
+    /// unregistered, which `NetworkBuilder` never produces).
+    router_as_idx: Vec<u32>,
+}
+
+/// Phase-1 output for one AS: its IGP view and prefix table.
+fn compute_as(net: &Network, asn: Asn) -> Result<(AsIgp, AsPrefixes), NetError> {
+    let view = AsIgp::compute(net, asn);
+    if let Some(unreachable) = view.find_unreachable() {
+        return Err(NetError::DisconnectedAs { asn, unreachable });
+    }
+    let prefixes = AsPrefixes::build(net, asn);
+    Ok((view, prefixes))
 }
 
 impl ControlPlane {
-    /// Computes the full control plane. Fails when an AS is internally
-    /// disconnected or an inter-AS link lacks a declared relationship.
+    /// Computes the full control plane, using every available core for
+    /// the per-AS phase. Fails when an AS is internally disconnected or
+    /// an inter-AS link lacks a declared relationship.
     pub fn build(net: &Network) -> Result<ControlPlane, NetError> {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ControlPlane::build_with_jobs(net, jobs)
+    }
+
+    /// Computes the full control plane with at most `jobs` worker
+    /// threads for the per-AS IGP/prefix phase (one Dijkstra per AS
+    /// member — the dominant build cost at scale). The result is
+    /// byte-identical at any job count: workers fill disjoint AS-index
+    /// slots and the merge walks them in AS order, so the first error
+    /// by AS index wins deterministically.
+    pub fn build_with_jobs(net: &Network, jobs: usize) -> Result<ControlPlane, NetError> {
         let bgp = Bgp::compute(net)?;
-        let n_as = net.as_list().len();
+        let as_list = net.as_list();
+        let n_as = as_list.len();
+        let jobs = jobs.max(1).min(n_as.max(1));
+
+        let mut slots: Vec<Option<Result<(AsIgp, AsPrefixes), NetError>>> = Vec::new();
+        slots.resize_with(n_as, || None);
+        if jobs <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(compute_as(net, as_list[i]));
+            }
+        } else {
+            let chunk = n_as.div_ceil(jobs);
+            std::thread::scope(|scope| {
+                for (ci, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                    let base = ci * chunk;
+                    scope.spawn(move || {
+                        for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                            *slot = Some(compute_as(net, as_list[base + j]));
+                        }
+                    });
+                }
+            });
+        }
         let mut as_prefixes = Vec::with_capacity(n_as);
         let mut igp = Vec::with_capacity(n_as);
-        for &asn in net.as_list() {
-            let view = AsIgp::compute(net, asn);
-            if let Some(unreachable) = view.find_unreachable() {
-                return Err(NetError::DisconnectedAs { asn, unreachable });
-            }
+        for slot in slots.into_iter().flatten() {
+            let (view, prefixes) = slot?;
             igp.push(view);
-            as_prefixes.push(AsPrefixes::build(net, asn));
+            as_prefixes.push(prefixes);
         }
         let bindings = LdpBindings::compute(net, &as_prefixes);
 
-        // Intra-AS FIBs.
-        let mut fib: Vec<Vec<FibEntry>> = vec![Vec::new(); net.num_routers()];
+        // Intra-AS FIBs, first into a per-router scratch table.
+        let mut fib: Vec<Vec<Vec<(u32, RouterId)>>> = vec![Vec::new(); net.num_routers()];
         for (as_idx, ap) in as_prefixes.iter().enumerate() {
             let view = &igp[as_idx];
             for &rid in net.as_members(ap.asn) {
                 let table = &mut fib[rid.index()];
-                table.resize(ap.len(), FibEntry::default());
+                table.resize(ap.len(), Vec::new());
                 for slot in 0..ap.len() as u32 {
                     let owners = ap.owners(slot);
                     if owners.contains(&rid) {
@@ -146,21 +318,21 @@ impl ControlPlane {
                         if view.distance(rid, o) != best {
                             continue;
                         }
-                        for h in view.first_hops(net, rid, o) {
+                        for &h in view.first_hops(rid, o) {
                             if !hops.contains(&h) {
                                 hops.push(h);
                             }
                         }
                     }
                     hops.sort_by_key(|&(i, r)| (r, i));
-                    table[slot as usize] = FibEntry { nexthops: hops };
+                    table[slot as usize] = hops;
                 }
             }
         }
 
         // External routes with hot-potato egress selection.
         let mut ext = vec![vec![ExtRoute::Unreachable; n_as]; net.num_routers()];
-        for (src_as, &asn) in net.as_list().iter().enumerate() {
+        for (src_as, &asn) in as_list.iter().enumerate() {
             let view = &igp[src_as];
             let borders = net.borders(asn);
             #[allow(clippy::needless_range_loop)] // dst_as indexes two tables
@@ -212,9 +384,8 @@ impl ControlPlane {
         }
 
         // LFIBs: one entry per real incoming label.
-        let mut lfib: Vec<HashMap<Label, LfibEntry>> = vec![HashMap::new(); net.num_routers()];
-        for (as_idx, ap) in as_prefixes.iter().enumerate() {
-            debug_assert_eq!(net.as_index(ap.asn), Some(as_idx));
+        let mut lfib: Vec<RouterLfib> = vec![RouterLfib::default(); net.num_routers()];
+        for ap in as_prefixes.iter() {
             for &rid in net.as_members(ap.asn) {
                 let advertised: Vec<(u32, LabelValue)> = bindings.advertisements(rid).collect();
                 for (slot, value) in advertised {
@@ -222,8 +393,8 @@ impl ControlPlane {
                         continue;
                     };
                     let entry = &fib[rid.index()][slot as usize];
-                    let mut hops = Vec::with_capacity(entry.nexthops.len());
-                    for &(iface, next) in &entry.nexthops {
+                    let mut hops = Vec::with_capacity(entry.len());
+                    for &(iface, next) in entry {
                         let action = match bindings.advertised(next, slot) {
                             Some(LabelValue::Real(out)) => LabelAction::Swap(out),
                             Some(LabelValue::ImplicitNull) => LabelAction::Pop,
@@ -306,26 +477,115 @@ impl ControlPlane {
             te_autoroute.insert((t.head(), t.tail()), (iface, first, push));
         }
 
+        // Flatten the autoroute map into a CSR table grouped by head.
+        let mut te_list: Vec<((RouterId, RouterId), TeRoute)> = te_autoroute.into_iter().collect();
+        te_list.sort_by_key(|&((h, t), _)| (h, t));
+        let mut te_heads = Vec::with_capacity(net.num_routers() + 1);
+        let mut te_routes = Vec::with_capacity(te_list.len());
+        let mut cursor = 0usize;
+        for r in 0..net.num_routers() {
+            te_heads.push(te_routes.len() as u32);
+            while cursor < te_list.len() && te_list[cursor].0 .0.index() == r {
+                let ((_, tail), route) = te_list[cursor];
+                te_routes.push((tail, route));
+                cursor += 1;
+            }
+        }
+        te_heads.push(te_routes.len() as u32);
+
+        // Flatten the per-router FIB scratch into the shared pool.
+        let mut fib_base = Vec::with_capacity(net.num_routers() + 1);
+        let mut fib_spans = Vec::new();
+        let mut fib_pool = Vec::new();
+        for table in &fib {
+            fib_base.push(fib_spans.len() as u32);
+            for hops in table {
+                fib_spans.push((fib_pool.len() as u32, hops.len() as u32));
+                fib_pool.extend_from_slice(hops);
+            }
+        }
+        fib_base.push(fib_spans.len() as u32);
+
+        // Dense destination-resolution tables: the forwarding decision
+        // only ever LPMs an address inside the AS that owns it (the
+        // destination's own table, or the egress border's loopback in
+        // the border's own table), so every slot the walk can ask for
+        // is resolved here, once, instead of per packet leg.
+        let mut loopback_slot = vec![u32::MAX; net.num_routers()];
+        let mut router_as_idx = vec![u32::MAX; net.num_routers()];
+        let mut iface_slot_base = Vec::with_capacity(net.num_routers() + 1);
+        let mut iface_slot = Vec::new();
+        iface_slot_base.push(0u32);
+        for (i, r) in net.routers().iter().enumerate() {
+            match net.as_index(r.asn) {
+                Some(idx) => {
+                    let ap = &as_prefixes[idx];
+                    router_as_idx[i] = idx as u32;
+                    if let Some(s) = ap.lookup(r.loopback) {
+                        loopback_slot[i] = s;
+                    }
+                    for ifc in &r.ifaces {
+                        iface_slot.push(ap.lookup(ifc.addr).unwrap_or(u32::MAX));
+                    }
+                }
+                None => iface_slot.resize(iface_slot.len() + r.ifaces.len(), u32::MAX),
+            }
+            iface_slot_base.push(iface_slot.len() as u32);
+        }
+
         Ok(ControlPlane {
             as_prefixes,
             igp,
             bgp,
             bindings,
-            fib,
+            fib_base,
+            fib_spans,
+            fib_pool,
             ext,
             lfib,
-            te_autoroute,
+            te_heads,
+            te_routes,
+            loopback_slot,
+            iface_slot_base,
+            iface_slot,
+            router_as_idx,
         })
     }
 
-    /// The intra-AS FIB entry of `router` for prefix `slot`.
-    pub fn fib_entry(&self, router: RouterId, slot: u32) -> Option<&FibEntry> {
-        let e = self.fib[router.index()].get(slot as usize)?;
-        if e.nexthops.is_empty() {
-            None
-        } else {
-            Some(e)
+    /// The FIB slot of `router`'s loopback inside its own AS table.
+    pub fn loopback_slot(&self, router: RouterId) -> Option<u32> {
+        let s = self.loopback_slot[router.index()];
+        (s != u32::MAX).then_some(s)
+    }
+
+    /// The FIB slot of `router`'s interface `iface`'s address inside
+    /// its own AS table.
+    pub fn iface_slot(&self, router: RouterId, iface: usize) -> Option<u32> {
+        let base = self.iface_slot_base[router.index()] as usize;
+        let s = self.iface_slot[base + iface];
+        (s != u32::MAX).then_some(s)
+    }
+
+    /// The dense AS index of `router`'s own AS.
+    pub fn router_as_index(&self, router: RouterId) -> Option<usize> {
+        let i = self.router_as_idx[router.index()];
+        (i != u32::MAX).then_some(i as usize)
+    }
+
+    /// The intra-AS ECMP next-hop set of `router` for prefix `slot`, as
+    /// `(iface index, next router)` pairs. `None` when the router owns
+    /// the prefix or it is unreachable.
+    pub fn fib_entry(&self, router: RouterId, slot: u32) -> Option<&[(u32, RouterId)]> {
+        let base = self.fib_base[router.index()] as usize;
+        let n_slots = self.fib_base[router.index() + 1] as usize - base;
+        if slot as usize >= n_slots {
+            return None;
         }
+        let (start, len) = self.fib_spans[base + slot as usize];
+        if len == 0 {
+            return None;
+        }
+        Some(&self.fib_pool[start as usize..(start + len) as usize])
     }
 
     /// The external route of `router` towards the AS with dense index
@@ -336,18 +596,18 @@ impl ControlPlane {
 
     /// The LFIB entry of `router` for incoming `label`.
     pub fn lfib_entry(&self, router: RouterId, label: Label) -> Option<&LfibEntry> {
-        self.lfib[router.index()].get(&label)
+        self.lfib[router.index()].get(label)
     }
 
     /// Number of LFIB entries installed at `router`.
     pub fn lfib_size(&self, router: RouterId) -> usize {
-        self.lfib[router.index()].len()
+        self.lfib[router.index()].len
     }
 
     /// Iterates over every LFIB entry installed at `router`, as
     /// `(incoming label, entry)` pairs (arbitrary order).
     pub fn lfib_entries(&self, router: RouterId) -> impl Iterator<Item = (Label, &LfibEntry)> + '_ {
-        self.lfib[router.index()].iter().map(|(&l, e)| (l, e))
+        self.lfib[router.index()].iter()
     }
 
     /// Installs (or overwrites) an LFIB entry at `router` — a what-if
@@ -366,7 +626,15 @@ impl ControlPlane {
         head: RouterId,
         tail: RouterId,
     ) -> Option<(u32, RouterId, Option<Label>)> {
-        self.te_autoroute.get(&(head, tail)).copied()
+        let lo = self.te_heads[head.index()] as usize;
+        let hi = self.te_heads[head.index() + 1] as usize;
+        let span = &self.te_routes[lo..hi];
+        if span.is_empty() {
+            return None;
+        }
+        span.binary_search_by_key(&tail, |&(t, _)| t)
+            .ok()
+            .map(|i| span[i].1)
     }
 }
 
@@ -403,10 +671,31 @@ mod tests {
         let ap = &cp.as_prefixes[as2];
         let slot = ap.lookup(net.router(c).loopback).unwrap();
         let e = cp.fib_entry(a, slot).unwrap();
-        assert_eq!(e.nexthops.len(), 1);
-        assert_eq!(e.nexthops[0].1, b);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].1, b);
         // Owner has no FIB entry (connected).
         assert!(cp.fib_entry(c, slot).is_none());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let (net, [_, a, _, c, _]) = line_net();
+        let serial = ControlPlane::build_with_jobs(&net, 1).unwrap();
+        let par = ControlPlane::build_with_jobs(&net, 4).unwrap();
+        let as2 = net.as_index(Asn(2)).unwrap();
+        let slot = serial.as_prefixes[as2]
+            .lookup(net.router(c).loopback)
+            .unwrap();
+        assert_eq!(serial.fib_entry(a, slot), par.fib_entry(a, slot));
+        for r in 0..net.num_routers() as u32 {
+            let rid = RouterId(r);
+            assert_eq!(serial.lfib_size(rid), par.lfib_size(rid));
+        }
+        assert_eq!(serial.igp.len(), par.igp.len());
+        for (s, p) in serial.igp.iter().zip(par.igp.iter()) {
+            assert_eq!(s.asn, p.asn);
+            assert_eq!(s.dist, p.dist);
+        }
     }
 
     #[test]
@@ -450,6 +739,39 @@ mod tests {
         let entry_a = cp.lfib_entry(a, la).unwrap();
         assert_eq!(entry_a.nexthops[0].action, LabelAction::Swap(lb));
         assert!(cp.lfib_size(a) > 0);
+    }
+
+    #[test]
+    fn lfib_window_handles_sparse_and_injected_labels() {
+        // A dense run, a far-away TE-style label, and labels straddling
+        // the window edges must all round-trip through the same table.
+        let mut t = RouterLfib::default();
+        let entry = |slot: u32| LfibEntry {
+            slot,
+            nexthops: vec![LfibHop {
+                iface: 0,
+                next: RouterId(1),
+                action: LabelAction::Pop,
+            }],
+        };
+        for v in [20u32, 18, 19, 22] {
+            t.insert(Label(v), entry(v));
+        }
+        t.insert(Label(500_007), entry(7)); // overflow (TE range)
+        t.insert(Label(16), entry(16)); // front growth
+        assert_eq!(t.len, 6);
+        for v in [16u32, 18, 19, 20, 22] {
+            assert_eq!(t.get(Label(v)).map(|e| e.slot), Some(v), "label {v}");
+        }
+        assert_eq!(t.get(Label(500_007)).map(|e| e.slot), Some(7));
+        assert!(t.get(Label(17)).is_none());
+        assert!(t.get(Label(21)).is_none());
+        assert!(t.get(Label(500_008)).is_none());
+        // Overwrites don't double-count.
+        t.insert(Label(20), entry(99));
+        assert_eq!(t.len, 6);
+        assert_eq!(t.get(Label(20)).map(|e| e.slot), Some(99));
+        assert_eq!(t.iter().count(), 6);
     }
 
     #[test]

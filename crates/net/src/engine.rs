@@ -23,7 +23,7 @@
 use crate::addr::Addr;
 use crate::control::{ControlPlane, ExtRoute, LabelAction, LfibEntry};
 use crate::fault::FaultPlan;
-use crate::ids::{Label, RouterId};
+use crate::ids::{Asn, Label, RouterId};
 use crate::net::Network;
 use crate::packet::{IcmpPayload, LabelStack, Lse, Packet};
 use crate::state::ProbeState;
@@ -35,11 +35,19 @@ use rand::Rng;
 pub struct EngineOpts {
     /// Hard cap on router visits per packet (loop guard).
     pub max_visits: usize,
+    /// Record ground-truth router paths (`fwd_path`/`ret_path` on
+    /// [`ReplyInfo`]). On by default for validation; measurement
+    /// sessions turn it off, which makes the steady-state packet walk
+    /// allocation-free (see [`EngineStats::heap_allocs`]).
+    pub record_paths: bool,
 }
 
 impl Default for EngineOpts {
     fn default() -> EngineOpts {
-        EngineOpts { max_visits: 255 }
+        EngineOpts {
+            max_visits: 255,
+            record_paths: true,
+        }
     }
 }
 
@@ -54,6 +62,12 @@ pub struct EngineStats {
     pub replies: u64,
     /// Probes lost for any reason.
     pub lost: u64,
+    /// Heap allocations the engine performed on behalf of packets —
+    /// charged once per path-recording buffer. Packets, label stacks
+    /// and ICMP payloads are inline `Copy` data, so with
+    /// [`EngineOpts::record_paths`] off this stays at zero: the
+    /// steady-state walk never touches the heap.
+    pub heap_allocs: u64,
 }
 
 /// The kind of reply observed by the prober.
@@ -81,13 +95,18 @@ pub struct ReplyInfo {
     /// value of the paper's Fig. 4, input to FRPLA and RTLA.
     pub ip_ttl: u8,
     /// RFC 4950 quoted label stack, if any.
-    pub mpls_ext: Vec<Lse>,
+    pub mpls_ext: LabelStack,
     /// Round-trip time in milliseconds.
     pub rtt_ms: f64,
+    /// Ground truth: the router that generated the reply. Unlike the
+    /// path vectors this is always recorded — it is a single `Copy` id.
+    pub replier: RouterId,
     /// Ground truth: routers the probe traversed (starting at the
-    /// origin, ending at the replying/delivering router).
+    /// origin, ending at the replying/delivering router). Empty when
+    /// [`EngineOpts::record_paths`] is off.
     pub fwd_path: Vec<RouterId>,
-    /// Ground truth: routers the reply traversed.
+    /// Ground truth: routers the reply traversed. Empty when
+    /// [`EngineOpts::record_paths`] is off.
     pub ret_path: Vec<RouterId>,
 }
 
@@ -168,6 +187,62 @@ struct NextHop {
     push: Option<Label>,
 }
 
+/// Per-leg destination route cache. A packet's destination is fixed
+/// for the whole leg, so the address-owner resolution (a hash lookup)
+/// and the destination's FIB slot (a dense [`ControlPlane`] table
+/// read, precomputed at build time) are paid once per leg — not at
+/// every hop. Purely memoization: every cached answer is a function
+/// of the immutable substrate and the leg's fixed destination, so
+/// forwarding is unchanged.
+struct DstCache {
+    resolved: bool,
+    owner: Option<RouterId>,
+    dst_asn: Asn,
+    dst_idx: Option<usize>,
+    dst_is_loopback: bool,
+    /// The destination's FIB slot inside its own AS table — the only
+    /// table `decide` ever matches it against.
+    slot: Option<u32>,
+}
+
+impl DstCache {
+    fn new() -> DstCache {
+        DstCache {
+            resolved: false,
+            owner: None,
+            dst_asn: Asn(0),
+            dst_idx: None,
+            dst_is_loopback: false,
+            slot: None,
+        }
+    }
+
+    /// The router owning `dst`, resolved once per leg. Also fixes the
+    /// destination's AS, its own-AS FIB slot, and whether `dst` is a
+    /// loopback address.
+    fn resolve(&mut self, sub: SubstrateRef<'_>, dst: Addr) -> Option<RouterId> {
+        if !self.resolved {
+            self.resolved = true;
+            self.owner = sub.net.owner(dst);
+            if let Some(o) = self.owner {
+                let r = sub.net.router(o);
+                self.dst_asn = r.asn;
+                self.dst_idx = sub.cp.router_as_index(o);
+                self.dst_is_loopback = r.loopback == dst;
+                self.slot = if self.dst_is_loopback {
+                    sub.cp.loopback_slot(o)
+                } else {
+                    r.ifaces
+                        .iter()
+                        .position(|i| i.addr == dst)
+                        .and_then(|idx| sub.cp.iface_slot(o, idx))
+                };
+            }
+        }
+        self.owner
+    }
+}
+
 /// The forwarding engine: an immutable [`SubstrateRef`] (shared
 /// topology + routing state) plus an owned, mutable [`ProbeState`]
 /// (fault RNG stream and counters). The split is what lets campaign
@@ -203,6 +278,12 @@ impl<'a> Engine<'a> {
             opts: EngineOpts::default(),
             state,
         }
+    }
+
+    /// Turns ground-truth path recording on or off (see
+    /// [`EngineOpts::record_paths`]).
+    pub fn set_record_paths(&mut self, record: bool) {
+        self.opts.record_paths = record;
     }
 
     /// The network this engine forwards over.
@@ -311,9 +392,10 @@ impl<'a> Engine<'a> {
                 if pkt.dst != probe_src || !self.sub.net.router(end).owns(probe_src) {
                     return self.lost(Some(end), DropReason::ReplyLost);
                 }
-                let mpls_ext = match &pkt.payload {
-                    IcmpPayload::TimeExceeded { mpls_ext, .. } => mpls_ext.clone(),
-                    _ => Vec::new(),
+                // The quoted stack is inline `Copy` data — no clone.
+                let mpls_ext = match pkt.payload {
+                    IcmpPayload::TimeExceeded { mpls_ext, .. } => mpls_ext,
+                    _ => LabelStack::empty(),
                 };
                 SendOutcome::Reply(ReplyInfo {
                     kind,
@@ -321,12 +403,15 @@ impl<'a> Engine<'a> {
                     ip_ttl: pkt.ip_ttl,
                     mpls_ext,
                     rtt_ms: pkt.elapsed_ms,
+                    replier: at,
                     fwd_path,
                     ret_path: path,
                 })
             }
-            Leg::Reply { at, .. } => self.lost(Some(at), DropReason::ReplyLost),
-            Leg::Dropped { at, reason, .. } => self.lost(Some(at), reason),
+            Leg::Reply { at: died, .. } => self.lost(Some(died), DropReason::ReplyLost),
+            Leg::Dropped {
+                at: died, reason, ..
+            } => self.lost(Some(died), reason),
         }
     }
 
@@ -340,9 +425,18 @@ impl<'a> Engine<'a> {
         inject: Option<(u32, RouterId)>,
     ) -> Leg {
         let mut cur = origin;
-        let mut path = vec![origin];
+        let record = self.opts.record_paths;
+        // `Vec::new()` does not allocate; with recording off the path
+        // buffer never grows, so the whole walk stays heap-free.
+        let mut path: Vec<RouterId> = Vec::new();
+        if record {
+            self.state.stats.heap_allocs += 1;
+            path.reserve(8);
+            path.push(origin);
+        }
         let mut in_iface_addr: Option<Addr> = None;
         let mut via_wire = false;
+        let mut dst = DstCache::new();
 
         if let Some((iface, next)) = inject {
             match self.cross(cur, iface, &mut pkt) {
@@ -350,7 +444,9 @@ impl<'a> Engine<'a> {
                     cur = next;
                     in_iface_addr = Some(arrival);
                     via_wire = true;
-                    path.push(cur);
+                    if record {
+                        path.push(cur);
+                    }
                 }
                 Err(reason) => {
                     return Leg::Dropped {
@@ -457,7 +553,9 @@ impl<'a> Engine<'a> {
                             cur = hop.next;
                             in_iface_addr = Some(arrival);
                             via_wire = true;
-                            path.push(cur);
+                            if record {
+                                path.push(cur);
+                            }
                             continue;
                         }
                         Err(reason) => {
@@ -472,7 +570,10 @@ impl<'a> Engine<'a> {
             }
 
             // --- IP processing ------------------------------------------
-            if r.owns(pkt.dst) {
+            // Addresses are owned by exactly one router, so the cached
+            // owner is `r.owns(pkt.dst)` without the per-hop interface
+            // scan.
+            if dst.resolve(self.sub, pkt.dst) == Some(cur) {
                 return Leg::Delivered { at: cur, pkt, path };
             }
             if via_wire && !skip_decrement {
@@ -481,7 +582,7 @@ impl<'a> Engine<'a> {
                 }
                 pkt.ip_ttl -= 1;
             }
-            let nh = match self.decide(cur, &pkt) {
+            let nh = match self.decide(cur, &pkt, &mut dst) {
                 Some(nh) => nh,
                 None => {
                     return self.icmp_unreachable(cur, &pkt, in_iface_addr, path);
@@ -501,7 +602,9 @@ impl<'a> Engine<'a> {
                     cur = nh.next;
                     in_iface_addr = Some(arrival);
                     via_wire = true;
-                    path.push(cur);
+                    if record {
+                        path.push(cur);
+                    }
                 }
                 Err(reason) => {
                     return Leg::Dropped {
@@ -589,10 +692,11 @@ impl<'a> Engine<'a> {
             IcmpPayload::EchoRequest { id, seq } => (id, seq),
             _ => (0, 0),
         };
+        // RFC 4950 quote: a plain `Copy` of the inline stack.
         let mpls_ext = if r.config.rfc4950 && expired.is_labeled() {
-            expired.stack.0.clone()
+            expired.stack
         } else {
-            Vec::new()
+            LabelStack::empty()
         };
         let mut reply = Packet {
             src: in_iface_addr.unwrap_or(r.loopback),
@@ -670,30 +774,35 @@ impl<'a> Engine<'a> {
     }
 
     /// The IP forwarding decision at `cur` for `pkt` (stack empty).
-    fn decide(&mut self, cur: RouterId, pkt: &Packet) -> Option<NextHop> {
+    fn decide(&mut self, cur: RouterId, pkt: &Packet, dst: &mut DstCache) -> Option<NextHop> {
+        let owner = dst.resolve(self.sub, pkt.dst);
         let r = self.sub.net.router(cur);
-        // Connected /31 neighbor?
-        if let Some(idx) = r.ifaces.iter().position(|i| i.peer_addr == pkt.dst) {
-            return Some(NextHop {
-                iface: idx as u32,
-                next: r.ifaces[idx].peer,
-                push: None,
-            });
+        // Connected /31 neighbor? A peer address is an interface
+        // address owned by the peer, and the builder assigns every
+        // address exactly once, so the scan can only succeed when the
+        // destination is a known, non-loopback address.
+        if owner.is_some() && !dst.dst_is_loopback {
+            if let Some(idx) = r.ifaces.iter().position(|i| i.peer_addr == pkt.dst) {
+                return Some(NextHop {
+                    iface: idx as u32,
+                    next: r.ifaces[idx].peer,
+                    push: None,
+                });
+            }
         }
-        let owner = self.sub.net.owner(pkt.dst)?;
-        let dst_asn = self.sub.net.router(owner).asn;
-        if dst_asn == r.asn {
+        let owner = owner?;
+        if dst.dst_asn == r.asn {
             // RSVP-TE autoroute: destinations owned by a tunnel tail
             // enter the tunnel at its head.
             if let Some((iface, next, push)) = self.sub.cp.te_route(cur, owner) {
                 return Some(NextHop { iface, next, push });
             }
-            // An unregistered AS has no routing state: no route.
-            let as_idx = self.sub.net.as_index(r.asn)?;
-            let slot = self.sub.cp.as_prefixes[as_idx].lookup(pkt.dst)?;
+            // The destination's slot in its own AS table — which is
+            // exactly this AS — resolved once at plane-build time.
+            let slot = dst.slot?;
             self.intra_hop(cur, slot, pkt)
         } else {
-            let dst_idx = self.sub.net.as_index(dst_asn)?;
+            let dst_idx = dst.dst_idx?;
             match self.sub.cp.ext_route(cur, dst_idx) {
                 ExtRoute::Unreachable => None,
                 ExtRoute::Direct { iface } => Some(NextHop {
@@ -706,11 +815,11 @@ impl<'a> Engine<'a> {
                     if let Some((iface, next, push)) = self.sub.cp.te_route(cur, egress) {
                         return Some(NextHop { iface, next, push });
                     }
-                    // Otherwise route (and LDP-label-switch) towards the
-                    // egress border's loopback.
-                    let as_idx = self.sub.net.as_index(r.asn)?;
-                    let slot = self.sub.cp.as_prefixes[as_idx]
-                        .lookup(self.sub.net.router(egress).loopback)?;
+                    // Otherwise route (and LDP-label-switch) towards
+                    // the egress border's loopback; the egress is a
+                    // border of this very AS, so its build-time
+                    // own-AS slot is the slot to match here.
+                    let slot = self.sub.cp.loopback_slot(egress)?;
                     self.intra_hop(cur, slot, pkt)
                 }
             }
@@ -720,7 +829,7 @@ impl<'a> Engine<'a> {
     fn intra_hop(&self, cur: RouterId, slot: u32, pkt: &Packet) -> Option<NextHop> {
         let r = self.sub.net.router(cur);
         let entry = self.sub.cp.fib_entry(cur, slot)?;
-        let &(iface, next) = pick(&entry.nexthops, pkt.flow, cur.0);
+        let &(iface, next) = pick(entry, pkt.flow, cur.0);
         let push = if r.config.mpls {
             match self.sub.cp.bindings.advertised(next, slot) {
                 Some(crate::ldp::LabelValue::Real(l)) => Some(l),
@@ -1084,6 +1193,39 @@ mod tests {
         assert_eq!(names, ["VP", "CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]);
         assert_eq!(r.ret_path.first(), Some(&r.fwd_path[7]));
         assert_eq!(r.ret_path.last(), Some(&vp));
+    }
+
+    #[test]
+    fn walk_is_allocation_free_without_path_recording() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let mut eng = Engine::new(&net, &cp);
+        eng.set_record_paths(false);
+        let src = net.router(vp).loopback;
+        for ttl in 1..=7 {
+            let out = eng.send(vp, Packet::echo_request(src, target, ttl, 1, 1, ttl as u16));
+            assert!(out.reply().is_some());
+        }
+        assert_eq!(
+            eng.stats().heap_allocs,
+            0,
+            "steady-state walk must not touch the heap"
+        );
+        // Replies still carry the replier and the RFC 4950 quote, even
+        // though the path vectors stay empty.
+        let out = eng.send(vp, Packet::echo_request(src, target, 4, 1, 1, 99));
+        let r = out.reply().unwrap();
+        assert!(r.fwd_path.is_empty());
+        assert!(r.ret_path.is_empty());
+        assert_eq!(net.router(r.replier).name, "P2");
+        assert_eq!(r.mpls_ext.len(), 1);
+        // Recording back on: paths return, and the alloc counter moves.
+        eng.set_record_paths(true);
+        let out = eng.send(vp, Packet::echo_request(src, target, 64, 1, 1, 100));
+        let r = out.reply().unwrap();
+        assert!(!r.fwd_path.is_empty());
+        assert!(eng.stats().heap_allocs > 0);
     }
 
     #[test]

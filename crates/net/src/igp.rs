@@ -13,7 +13,8 @@ use std::collections::{BinaryHeap, HashMap};
 /// "Unreachable" distance sentinel.
 pub const INF: u32 = u32::MAX / 2;
 
-/// The IGP view of one AS: members and the all-pairs distance matrix.
+/// The IGP view of one AS: members, the all-pairs distance matrix, and
+/// the precomputed all-pairs ECMP first-hop sets in CSR layout.
 #[derive(Debug, Clone)]
 pub struct AsIgp {
     /// The AS.
@@ -25,6 +26,11 @@ pub struct AsIgp {
     /// `dist[s][d]`: shortest metric from member `s` to member `d`
     /// (local indices).
     pub dist: Vec<Vec<u32>>,
+    /// CSR offsets into [`Self::fh_data`]: pair `(s, d)` owns the span
+    /// `fh_index[s * n + d] .. fh_index[s * n + d + 1]`.
+    fh_index: Vec<u32>,
+    /// Concatenated `(iface index, neighbor)` first-hop sets.
+    fh_data: Vec<(u32, RouterId)>,
 }
 
 impl AsIgp {
@@ -33,15 +39,44 @@ impl AsIgp {
         let members: Vec<RouterId> = net.as_members(asn).to_vec();
         let local: HashMap<RouterId, usize> =
             members.iter().enumerate().map(|(i, &r)| (r, i)).collect();
-        let dist = members
+        let dist: Vec<Vec<u32>> = members
             .iter()
             .map(|&src| dijkstra(net, &members, &local, src))
             .collect();
+        // Precompute every (s, d) ECMP first-hop set once, so per-hop
+        // forwarding decisions borrow a slice instead of re-deriving
+        // (and allocating) the set on every packet.
+        let n = members.len();
+        let mut fh_index = Vec::with_capacity(n * n + 1);
+        let mut fh_data = Vec::new();
+        fh_index.push(0u32);
+        for (ls, &s) in members.iter().enumerate() {
+            let router = net.router(s);
+            for (ld, &total) in dist[ls].iter().enumerate() {
+                if total < INF && ls != ld {
+                    for (idx, iface) in router.ifaces.iter().enumerate() {
+                        if net.link(iface.link).inter_as {
+                            continue;
+                        }
+                        let Some(&ln) = local.get(&iface.peer) else {
+                            continue;
+                        };
+                        let w = edge_metric(net, s, idx);
+                        if w.saturating_add(dist[ln][ld]) == total {
+                            fh_data.push((idx as u32, iface.peer));
+                        }
+                    }
+                }
+                fh_index.push(fh_data.len() as u32);
+            }
+        }
         AsIgp {
             asn,
             members,
             local,
             dist,
+            fh_index,
+            fh_data,
         }
     }
 
@@ -56,31 +91,17 @@ impl AsIgp {
 
     /// The ECMP first-hop set from `s` towards `d`: every
     /// `(iface index, neighbor)` of `s` lying on a shortest path.
-    /// Empty when `d` is unreachable or `s == d`.
-    pub fn first_hops(&self, net: &Network, s: RouterId, d: RouterId) -> Vec<(u32, RouterId)> {
+    /// Empty when `d` is unreachable or `s == d`. Borrowed from the
+    /// table precomputed by [`AsIgp::compute`]; no per-call allocation.
+    pub fn first_hops(&self, s: RouterId, d: RouterId) -> &[(u32, RouterId)] {
         let (ls, ld) = match (self.local.get(&s), self.local.get(&d)) {
             (Some(&ls), Some(&ld)) => (ls, ld),
-            _ => return Vec::new(),
+            _ => return &[],
         };
-        let total = self.dist[ls][ld];
-        if total >= INF || s == d {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        for (idx, iface) in net.router(s).ifaces.iter().enumerate() {
-            let link = net.link(iface.link);
-            if link.inter_as {
-                continue;
-            }
-            let Some(&ln) = self.local.get(&iface.peer) else {
-                continue;
-            };
-            let w = edge_metric(net, s, idx);
-            if w.saturating_add(self.dist[ln][ld]) == total {
-                out.push((idx as u32, iface.peer));
-            }
-        }
-        out
+        let cell = ls * self.members.len() + ld;
+        let lo = self.fh_index[cell] as usize;
+        let hi = self.fh_index[cell + 1] as usize;
+        &self.fh_data[lo..hi]
     }
 
     /// True when every member can reach every other member.
@@ -181,15 +202,15 @@ mod tests {
     fn ecmp_first_hops() {
         let (net, [a, bb, c, d]) = square();
         let igp = AsIgp::compute(&net, Asn(1));
-        let mut fh: Vec<RouterId> = igp.first_hops(&net, a, d).iter().map(|&(_, r)| r).collect();
+        let mut fh: Vec<RouterId> = igp.first_hops(a, d).iter().map(|&(_, r)| r).collect();
         fh.sort();
         assert_eq!(fh, vec![bb, c]);
         // Direct expensive edge not part of the set.
         assert!(!fh.contains(&d));
         // Single path a->b.
-        assert_eq!(igp.first_hops(&net, a, bb).len(), 1);
+        assert_eq!(igp.first_hops(a, bb).len(), 1);
         // Self: empty.
-        assert!(igp.first_hops(&net, a, a).is_empty());
+        assert!(igp.first_hops(a, a).is_empty());
     }
 
     #[test]
@@ -215,7 +236,7 @@ mod tests {
         let igp = AsIgp::compute(&net, Asn(1));
         assert_eq!(igp.distance(x, y), 1);
         assert_eq!(igp.distance(y, x), 4); // via z
-        let fh = igp.first_hops(&net, y, x);
+        let fh = igp.first_hops(y, x);
         assert_eq!(fh.len(), 1);
         assert_eq!(fh[0].1, z);
     }
@@ -244,6 +265,6 @@ mod tests {
         let net = b.build().unwrap();
         let igp = AsIgp::compute(&net, Asn(1));
         assert_eq!(igp.members.len(), 1);
-        assert!(igp.first_hops(&net, x, y).is_empty());
+        assert!(igp.first_hops(x, y).is_empty());
     }
 }

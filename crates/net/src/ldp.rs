@@ -10,7 +10,6 @@ use crate::ids::{Label, RouterId};
 use crate::net::Network;
 use crate::prefixes::AsPrefixes;
 use crate::vendor::{LdpPolicy, PoppingMode};
-use std::collections::HashMap;
 
 /// A label advertisement for a FEC.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -25,15 +24,24 @@ pub enum LabelValue {
 
 /// The complete set of LDP bindings: per router, FEC slot → advertised
 /// label. Slots index the router's own AS's [`AsPrefixes`] table.
+///
+/// Stored as a CSR-style dense table — router `i`'s slot window is
+/// `pool[base[i]..base[i+1]]`, directly indexed by slot — because
+/// [`LdpBindings::advertised`] runs once per IP hop on the packet
+/// walk's hot path, where a per-router hash map lookup was measurable.
 #[derive(Debug, Clone)]
 pub struct LdpBindings {
-    per_router: Vec<HashMap<u32, LabelValue>>,
+    /// `num_routers + 1` offsets into `pool`.
+    base: Vec<u32>,
+    /// Slot-indexed advertisements; `None` marks a slot the router does
+    /// not advertise (e.g. non-/32 prefixes under `LoopbackOnly`).
+    pool: Vec<Option<LabelValue>>,
 }
 
 impl LdpBindings {
     /// Computes every router's advertisements.
     pub fn compute(net: &Network, as_prefixes: &[AsPrefixes]) -> LdpBindings {
-        let mut per_router = vec![HashMap::new(); net.num_routers()];
+        let mut scratch: Vec<Vec<Option<LabelValue>>> = vec![Vec::new(); net.num_routers()];
         for (as_idx, ap) in as_prefixes.iter().enumerate() {
             debug_assert_eq!(net.as_index(ap.asn), Some(as_idx));
             for &rid in net.as_members(ap.asn) {
@@ -44,7 +52,8 @@ impl LdpBindings {
                 // Offset the label space per router so adjacent LSRs
                 // quote visibly distinct labels (as real tables do).
                 let mut next_label = Label::FIRST_DYNAMIC.0 + (rid.0 % 61);
-                let table = &mut per_router[rid.index()];
+                let table = &mut scratch[rid.index()];
+                table.resize(ap.len(), None);
                 for slot in 0..ap.len() as u32 {
                     let prefix = ap.prefix(slot);
                     let advertise = match r.config.ldp_policy {
@@ -65,29 +74,46 @@ impl LdpBindings {
                         next_label += 1;
                         LabelValue::Real(l)
                     };
-                    table.insert(slot, value);
+                    table[slot as usize] = Some(value);
                 }
             }
         }
-        LdpBindings { per_router }
+        let mut base = Vec::with_capacity(scratch.len() + 1);
+        let mut pool = Vec::new();
+        base.push(0u32);
+        for table in &scratch {
+            pool.extend_from_slice(table);
+            base.push(pool.len() as u32);
+        }
+        LdpBindings { base, pool }
     }
 
     /// What `router` advertised for FEC `slot` (slot in its own AS's
     /// prefix table), if anything.
     pub fn advertised(&self, router: RouterId, slot: u32) -> Option<LabelValue> {
-        self.per_router[router.index()].get(&slot).copied()
+        let start = self.base[router.index()] as usize;
+        let end = self.base[router.index() + 1] as usize;
+        let i = start + slot as usize;
+        if i < end {
+            self.pool[i]
+        } else {
+            None
+        }
     }
 
     /// Iterates over `(slot, value)` advertised by `router`.
     pub fn advertisements(&self, router: RouterId) -> impl Iterator<Item = (u32, LabelValue)> + '_ {
-        self.per_router[router.index()]
+        let start = self.base[router.index()] as usize;
+        let end = self.base[router.index() + 1] as usize;
+        self.pool[start..end]
             .iter()
-            .map(|(&s, &v)| (s, v))
+            .enumerate()
+            .filter_map(|(slot, v)| v.map(|v| (slot as u32, v)))
     }
 
     /// Number of FECs `router` advertises.
     pub fn count(&self, router: RouterId) -> usize {
-        self.per_router[router.index()].len()
+        self.advertisements(router).count()
     }
 }
 

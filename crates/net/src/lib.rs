@@ -65,10 +65,12 @@ pub mod vendor;
 
 pub use addr::{Addr, AddrAllocator, Prefix};
 pub use bgp::{Bgp, RouteClass};
-pub use control::{ControlPlane, ExtRoute, FibEntry, LabelAction, LfibEntry, LfibHop};
+pub use control::{ControlPlane, ExtRoute, LabelAction, LfibEntry, LfibHop};
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;
-pub use fault::{worker_seed, FaultPlan, FaultScenario, FlapSchedule, RateLimit, SilentSet};
+pub use fault::{
+    trace_seed, worker_seed, FaultPlan, FaultScenario, FlapSchedule, RateLimit, SilentSet,
+};
 pub use ids::{Asn, Label, LinkId, PortRef, RouterId};
 pub use igp::AsIgp;
 pub use ldp::{LabelValue, LdpBindings};

@@ -192,11 +192,13 @@ impl Network {
 
 /// Incrementally constructs a [`Network`].
 ///
-/// Loopbacks are auto-allocated as `10.<as-index>.0.0/18` host addresses,
-/// intra-AS link subnets from `10.<as-index>.64.0/18`, and inter-AS link
-/// subnets from the shared `172.16.0.0/12` pool, so address ownership is
-/// readable straight from traces. Explicit addresses can be supplied for
-/// hand-built scenarios.
+/// Loopbacks are auto-allocated as `10.<as-index>.0.0/18` host addresses
+/// and intra-AS link subnets from `10.<as-index>.64.0/18` for the first
+/// 246 ASes (denser `/20` pools in the upper halves of the same space
+/// carry the plan to 1266 ASes — see `NetworkBuilder::as_pools`);
+/// inter-AS link subnets come from the shared `172.16.0.0/12` pool, so
+/// address ownership is readable straight from traces. Explicit
+/// addresses can be supplied for hand-built scenarios.
 #[derive(Debug, Default)]
 pub struct NetworkBuilder {
     routers: Vec<Router>,
@@ -221,19 +223,45 @@ impl NetworkBuilder {
             return i;
         }
         let i = self.as_list.len();
-        assert!(i < 246, "address plan supports at most 246 ASes");
+        let (loopbacks, links) = NetworkBuilder::as_pools(i);
         self.as_list.push(asn);
         self.as_index.insert(asn, i);
-        let base = (i + 1) as u8; // 10.0/16 reserved for hosts-less use
-        self.loopback_alloc.push(AddrAllocator::new(Prefix::new(
-            Addr::new(10, base, 0, 0),
-            18,
-        )));
-        self.link_alloc.push(AddrAllocator::new(Prefix::new(
-            Addr::new(10, base, 64, 0),
-            18,
-        )));
+        self.loopback_alloc.push(AddrAllocator::new(loopbacks));
+        self.link_alloc.push(AddrAllocator::new(links));
         i
+    }
+
+    /// The address plan: AS slot → `(loopback pool, intra-AS link
+    /// pool)`.
+    ///
+    /// The first 246 slots keep the original `/18` pair in the lower
+    /// half of `10.<slot+1>.0.0/16`, so every address of a topology
+    /// that fit the old plan is byte-identical under this one. Slots
+    /// beyond 245 pack four ASes per second octet as `/20` pairs in
+    /// the **upper** half (`.128.0` and up), which the legacy plan
+    /// never touched — capacity 246 + 255·4 = 1266 ASes, enough for
+    /// thousand-AS internets, with 4094 loopbacks and 2048 `/31` link
+    /// subnets per extended AS.
+    ///
+    /// # Panics
+    /// When `i` exceeds the 1266-slot plan.
+    fn as_pools(i: usize) -> (Prefix, Prefix) {
+        if i < 246 {
+            let base = (i + 1) as u8; // 10.0/16 reserved for hosts-less use
+            (
+                Prefix::new(Addr::new(10, base, 0, 0), 18),
+                Prefix::new(Addr::new(10, base, 64, 0), 18),
+            )
+        } else {
+            let j = i - 246;
+            let second = 1 + j / 4;
+            assert!(second <= 255, "address plan supports at most 1266 ASes");
+            let third = 128 + (j % 4) as u8 * 32;
+            (
+                Prefix::new(Addr::new(10, second as u8, third, 0), 20),
+                Prefix::new(Addr::new(10, second as u8, third + 16, 0), 20),
+            )
+        }
     }
 
     /// Adds a router with an auto-allocated loopback.
@@ -445,6 +473,104 @@ mod tests {
         b.add_router_with_loopback("X", Asn(1), RouterConfig::host(), lo);
         b.add_router_with_loopback("Y", Asn(1), RouterConfig::host(), lo);
         assert!(matches!(b.build(), Err(NetError::DuplicateAddress { .. })));
+    }
+
+    #[test]
+    fn address_plan_extends_past_246_ases_without_moving_legacy_pools() {
+        // Legacy slots keep the exact /18 pairs (byte-compatibility
+        // with every pre-extension topology)...
+        assert_eq!(
+            NetworkBuilder::as_pools(0),
+            (
+                Prefix::new(Addr::new(10, 1, 0, 0), 18),
+                Prefix::new(Addr::new(10, 1, 64, 0), 18)
+            )
+        );
+        assert_eq!(
+            NetworkBuilder::as_pools(245),
+            (
+                Prefix::new(Addr::new(10, 246, 0, 0), 18),
+                Prefix::new(Addr::new(10, 246, 64, 0), 18)
+            )
+        );
+        // ...and extended slots pack /20 pairs into the upper halves.
+        assert_eq!(
+            NetworkBuilder::as_pools(246),
+            (
+                Prefix::new(Addr::new(10, 1, 128, 0), 20),
+                Prefix::new(Addr::new(10, 1, 144, 0), 20)
+            )
+        );
+        assert_eq!(
+            NetworkBuilder::as_pools(249),
+            (
+                Prefix::new(Addr::new(10, 1, 224, 0), 20),
+                Prefix::new(Addr::new(10, 1, 240, 0), 20)
+            )
+        );
+        assert_eq!(
+            NetworkBuilder::as_pools(1265),
+            (
+                Prefix::new(Addr::new(10, 255, 224, 0), 20),
+                Prefix::new(Addr::new(10, 255, 240, 0), 20)
+            )
+        );
+        // No pool overlaps any other across the whole plan.
+        let pools: Vec<Prefix> = (0..1266)
+            .flat_map(|i| {
+                let (lo, li) = NetworkBuilder::as_pools(i);
+                [lo, li]
+            })
+            .collect();
+        for (i, a) in pools.iter().enumerate() {
+            for b in &pools[i + 1..] {
+                assert!(
+                    !a.covers(b) && !b.covers(a),
+                    "pools {a:?} and {b:?} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1266")]
+    fn address_plan_rejects_slot_1266() {
+        let _ = NetworkBuilder::as_pools(1266);
+    }
+
+    #[test]
+    fn thousand_as_builder_allocates_disjoint_addresses() {
+        let mut b = NetworkBuilder::new();
+        let mut ids = Vec::new();
+        for asn in 0..1000u32 {
+            let r1 = b.add_router(
+                &format!("R{asn}a"),
+                Asn(asn + 1),
+                RouterConfig::ip_router(Vendor::CiscoIos),
+            );
+            let r2 = b.add_router(
+                &format!("R{asn}b"),
+                Asn(asn + 1),
+                RouterConfig::ip_router(Vendor::CiscoIos),
+            );
+            b.link(r1, r2, LinkOpts::default());
+            ids.push(r1);
+        }
+        // Chain the ASes so the network is connected.
+        for w in ids.windows(2) {
+            b.link(w[0], w[1], LinkOpts::default());
+        }
+        for asn in 1..1000u32 {
+            b.as_rel(Asn(asn), Asn(asn + 1), RelKind::Peer);
+        }
+        let net = b.build().expect("duplicate-free thousand-AS address plan");
+        assert_eq!(net.routers().len(), 2000);
+        // Legacy region untouched: first AS still gets the old bytes.
+        assert_eq!(net.routers()[0].loopback, Addr::new(10, 1, 0, 0));
+        // Extended region in the upper halves.
+        let r = &net.routers()[2 * 246];
+        assert_eq!(r.loopback.octets()[2] & 0x80, 0x80);
+        assert_eq!(net.owner(r.loopback), Some(r.id));
     }
 
     #[test]

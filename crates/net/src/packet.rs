@@ -4,10 +4,17 @@
 //! every field the measurement techniques of the paper depend on (IP-TTL,
 //! LSE-TTL, RFC 4950 quoted stacks, reply kinds, flow identifiers for
 //! Paris traceroute) and nothing else.
+//!
+//! [`LabelStack`] is an inline fixed-capacity array rather than a `Vec`:
+//! real deployments in the model never stack more than two labels
+//! (LDP/TE transport + explicit null), so a `Copy` stack makes the whole
+//! [`Packet`] — and the RFC 4950 quoted stack inside ICMP errors —
+//! copyable without touching the heap on the per-hop path.
 
 use crate::addr::Addr;
 use crate::ids::Label;
 use std::fmt;
+use std::ops::Deref;
 
 /// An MPLS Label Stack Entry (RFC 3032): label, traffic class, bottom of
 /// stack flag, and the LSE-TTL that RFC 3443 TTL processing manipulates.
@@ -34,6 +41,13 @@ impl Lse {
             ttl,
         }
     }
+
+    const ZERO: Lse = Lse {
+        label: Label(0),
+        tc: 0,
+        bottom: true,
+        ttl: 0,
+    };
 }
 
 impl fmt::Display for Lse {
@@ -42,62 +56,135 @@ impl fmt::Display for Lse {
     }
 }
 
-/// An MPLS label stack; index 0 is the top of the stack.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
-pub struct LabelStack(pub Vec<Lse>);
+/// Maximum label-stack depth the simulator supports. The deployments the
+/// paper profiles never exceed two (a transport label plus explicit
+/// null); the extra headroom covers what-if topologies.
+pub const LABEL_STACK_CAP: usize = 4;
+
+/// An MPLS label stack; index 0 is the top of the stack. Stored inline
+/// (`Copy`, no heap) — see the module docs.
+#[derive(Copy, Clone, PartialEq, Eq)]
+pub struct LabelStack {
+    len: u8,
+    entries: [Lse; LABEL_STACK_CAP],
+}
+
+impl Default for LabelStack {
+    fn default() -> LabelStack {
+        LabelStack::empty()
+    }
+}
 
 impl LabelStack {
     /// An empty stack (a plain IP packet).
-    pub fn empty() -> LabelStack {
-        LabelStack(Vec::new())
+    pub const fn empty() -> LabelStack {
+        LabelStack {
+            len: 0,
+            entries: [Lse::ZERO; LABEL_STACK_CAP],
+        }
     }
 
     /// True when no label is present.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     /// The top (outermost) entry, if any.
     pub fn top(&self) -> Option<&Lse> {
-        self.0.first()
+        self.as_slice().first()
     }
 
     /// Mutable access to the top entry.
     pub fn top_mut(&mut self) -> Option<&mut Lse> {
-        self.0.first_mut()
+        let n = self.len as usize;
+        self.entries[..n].first_mut()
     }
 
     /// Pushes `lse` on top of the stack, fixing bottom-of-stack flags.
+    ///
+    /// # Panics
+    /// When the stack already holds [`LABEL_STACK_CAP`] entries; the
+    /// control plane never builds label chains that deep.
     pub fn push(&mut self, lse: Lse) {
-        self.0.insert(0, lse);
+        let n = self.len as usize;
+        assert!(n < LABEL_STACK_CAP, "label stack overflow");
+        for i in (0..n).rev() {
+            self.entries[i + 1] = self.entries[i];
+        }
+        self.entries[0] = lse;
+        self.len += 1;
         self.fix_bottom();
     }
 
     /// Pops the top entry, fixing bottom-of-stack flags.
     pub fn pop(&mut self) -> Option<Lse> {
-        if self.0.is_empty() {
+        if self.len == 0 {
             return None;
         }
-        let lse = self.0.remove(0);
+        let lse = self.entries[0];
+        let n = self.len as usize;
+        for i in 1..n {
+            self.entries[i - 1] = self.entries[i];
+        }
+        self.len -= 1;
         self.fix_bottom();
         Some(lse)
     }
 
     /// Number of entries.
     pub fn depth(&self) -> usize {
-        self.0.len()
+        self.len as usize
+    }
+
+    /// The entries as a slice, top of stack first.
+    pub fn as_slice(&self) -> &[Lse] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Copies the entries into a fresh `Vec` (top of stack first), for
+    /// callers that persist the stack beyond the packet's lifetime.
+    pub fn to_vec(&self) -> Vec<Lse> {
+        self.as_slice().to_vec()
     }
 
     fn fix_bottom(&mut self) {
-        let n = self.0.len();
-        for (i, lse) in self.0.iter_mut().enumerate() {
+        let n = self.len as usize;
+        for (i, lse) in self.entries[..n].iter_mut().enumerate() {
             lse.bottom = i + 1 == n;
         }
     }
 }
 
+impl Deref for LabelStack {
+    type Target = [Lse];
+
+    fn deref(&self) -> &[Lse] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for LabelStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<Lse> for LabelStack {
+    fn from_iter<T: IntoIterator<Item = Lse>>(iter: T) -> LabelStack {
+        let mut stack = LabelStack::empty();
+        for lse in iter {
+            let n = stack.len as usize;
+            assert!(n < LABEL_STACK_CAP, "label stack overflow");
+            stack.entries[n] = lse;
+            stack.len += 1;
+        }
+        stack.fix_bottom();
+        stack
+    }
+}
+
 /// The kind of probe or reply a packet carries.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum IcmpPayload {
     /// ICMP echo-request (what scamper's ICMP-Paris traceroute and ping
     /// send). `id`/`seq` identify the probe.
@@ -127,7 +214,7 @@ pub enum IcmpPayload {
         /// TTL expired, as received by the replying router. Empty when
         /// the router does not implement RFC 4950 or the packet carried
         /// no labels.
-        mpls_ext: Vec<Lse>,
+        mpls_ext: LabelStack,
     },
     /// ICMP destination-unreachable (quotes the probe like time-exceeded).
     DestUnreachable {
@@ -150,8 +237,9 @@ impl IcmpPayload {
 }
 
 /// A simulated packet: an IPv4 header, an ICMP payload, and an optional
-/// MPLS label stack "below" the frame header.
-#[derive(Clone, Debug)]
+/// MPLS label stack "below" the frame header. `Copy` — moving a packet
+/// through the engine never allocates.
+#[derive(Copy, Clone, Debug)]
 pub struct Packet {
     /// IPv4 source address.
     pub src: Addr,
@@ -201,16 +289,38 @@ mod tests {
     fn stack_push_pop_maintains_bottom_flags() {
         let mut s = LabelStack::empty();
         s.push(Lse::new(Label(16), 255));
-        assert!(s.0[0].bottom);
+        assert!(s[0].bottom);
         s.push(Lse::new(Label(17), 255));
-        assert!(!s.0[0].bottom);
-        assert!(s.0[1].bottom);
+        assert!(!s[0].bottom);
+        assert!(s[1].bottom);
         assert_eq!(s.depth(), 2);
         let top = s.pop().unwrap();
         assert_eq!(top.label, Label(17));
-        assert!(s.0[0].bottom);
+        assert!(s[0].bottom);
         assert_eq!(s.pop().unwrap().label, Label(16));
         assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn stack_is_inline_and_copyable() {
+        let mut s = LabelStack::empty();
+        s.push(Lse::new(Label(16), 31));
+        let copied = s; // Copy, not move: no heap behind the stack
+        s.push(Lse::new(Label(17), 255));
+        assert_eq!(copied.depth(), 1);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(copied.to_vec(), vec![Lse::new(Label(16), 31)]);
+    }
+
+    #[test]
+    fn stack_collects_from_iterator_in_order() {
+        let s: LabelStack = [Lse::new(Label(5), 9), Lse::new(Label(6), 8)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s[0].label, Label(5));
+        assert!(!s[0].bottom);
+        assert!(s[1].bottom);
     }
 
     #[test]
@@ -225,7 +335,7 @@ mod tests {
             quoted_id: 1,
             quoted_seq: 2,
             quoted_dst: Addr::new(1, 2, 3, 4),
-            mpls_ext: vec![],
+            mpls_ext: LabelStack::empty(),
         };
         assert!(te.is_error());
         assert!(!IcmpPayload::EchoRequest { id: 0, seq: 0 }.is_error());

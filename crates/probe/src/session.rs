@@ -9,7 +9,7 @@ use crate::ping::{ping, PingResult};
 use crate::trace::Trace;
 use crate::traceroute::{traceroute, TracerouteOpts};
 use wormhole_net::{
-    Addr, ControlPlane, Engine, FaultPlan, Network, ProbeState, RouterId, SubstrateRef,
+    Addr, ControlPlane, Engine, EngineStats, FaultPlan, Network, ProbeState, RouterId, SubstrateRef,
 };
 
 /// Session counters.
@@ -89,8 +89,14 @@ impl<'a> Session<'a> {
     /// is responsible for having vetted the network.
     pub fn over(sub: SubstrateRef<'a>, vp: RouterId, state: ProbeState) -> Session<'a> {
         let src = sub.net.router(vp).loopback;
+        // Sessions consume replies through [`Trace`]/[`PingResult`] and
+        // never read the engine's ground-truth path recordings, so the
+        // recording (and its per-probe heap traffic) stays off: the
+        // steady-state campaign walk is allocation-free.
+        let mut eng = Engine::over(sub, state);
+        eng.set_record_paths(false);
         Session {
-            eng: Engine::over(sub, state),
+            eng,
             vp,
             src,
             opts: TracerouteOpts::campaign(),
@@ -118,6 +124,13 @@ impl<'a> Session<'a> {
     /// The network probed by this session.
     pub fn network(&self) -> &'a Network {
         self.eng.network()
+    }
+
+    /// The underlying engine's traffic counters — in particular the
+    /// `heap_allocs` proof counter the benches and the regression gate
+    /// assert stays at zero for the recording-off campaign walk.
+    pub fn engine_stats(&self) -> &EngineStats {
+        self.eng.stats()
     }
 
     fn flow_for(&self, dst: Addr) -> u16 {
@@ -175,6 +188,11 @@ mod tests {
         assert!(sess.ping(s.target).is_reply());
         assert_eq!(sess.stats.pings, 1);
         assert_eq!(sess.stats.probes, 8);
+        assert_eq!(
+            sess.engine_stats().heap_allocs,
+            0,
+            "sessions keep path recording off, so the walk must not allocate"
+        );
         assert!((sess.stats.wall_seconds_at(25.0) - 8.0 / 25.0).abs() < 1e-9);
     }
 

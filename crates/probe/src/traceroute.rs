@@ -121,11 +121,11 @@ pub fn traceroute(
                         addr: Some(r.from),
                         reply_ip_ttl: Some(r.ip_ttl),
                         rtt_ms: Some(r.rtt_ms),
-                        labels: r.mpls_ext.clone(),
+                        labels: r.mpls_ext.to_vec(),
                         kind: Some(r.kind),
                         outcome: HopOutcome::Replied,
                         attempts: attempt,
-                        truth: r.fwd_path.last().copied(),
+                        truth: Some(r.replier),
                     };
                     break;
                 }

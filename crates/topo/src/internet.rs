@@ -29,6 +29,14 @@ pub struct InternetConfig {
     pub peer_prob: f64,
     /// Fraction of persona core routers that never answer probes.
     pub silent_share: f64,
+    /// Number of leading personas forming a tier-1 peer clique, with
+    /// every later persona their customer. `0` keeps the flat peer
+    /// chain. Valley-free routing crosses at most one peer edge, so a
+    /// flat mesh strands most AS pairs once the mesh outgrows its
+    /// chord density; the hierarchy keeps every AS reachable from
+    /// every stub at any scale (up to a tier-1, across the clique,
+    /// down to the destination).
+    pub tier1: usize,
 }
 
 impl Default for InternetConfig {
@@ -40,6 +48,7 @@ impl Default for InternetConfig {
             n_vps: 10,
             peer_prob: 0.5,
             silent_share: 0.02,
+            tier1: 0,
         }
     }
 }
@@ -57,6 +66,7 @@ impl InternetConfig {
             n_vps: 3,
             peer_prob: 1.0,
             silent_share: 0.0,
+            tier1: 0,
         }
     }
 
@@ -79,6 +89,41 @@ impl InternetConfig {
             n_vps: 10,
             peer_prob: 0.04,
             silent_share: 0.02,
+            tier1: 0,
+        }
+    }
+
+    /// A thousandfold Internet: the ten paper personas plus 990
+    /// survey-prior transit ASes — a thousand transit ASes riding the
+    /// extended address plan (`NetworkBuilder` packs four ASes per
+    /// second octet past slot 245). Survey personas are shrunken to at
+    /// most four PoPs with two edges each (~12 routers): at this scale
+    /// the campaign measures breadth across ASes, not depth within
+    /// them, and the full survey sizes would make the substrate an
+    /// order of magnitude bigger than the address space needs to prove.
+    /// Peering probability keeps the per-AS interconnect average near
+    /// the tenfold Internet's, and the ten paper personas form a
+    /// tier-1 clique providing transit to the survey ASes (`tier1`):
+    /// at a thousand ASes a flat peer mesh strands almost every pair
+    /// under the valley-free one-peer-hop rule, while a provider
+    /// hierarchy keeps the whole survey reachable from every VP.
+    pub fn thousandfold(seed: u64) -> InternetConfig {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7E_2F01D7);
+        let mut personas = paper_personas();
+        personas.extend((0..990).map(|i| {
+            let mut p = crate::persona::random_persona(Asn(21_000 + i), "survey", &mut rng);
+            p.pops = p.pops.min(4);
+            p.edges_per_pop = p.edges_per_pop.min(2);
+            p
+        }));
+        InternetConfig {
+            seed,
+            personas,
+            n_stubs: 150,
+            n_vps: 10,
+            peer_prob: 0.0004,
+            silent_share: 0.02,
+            tier1: 10,
         }
     }
 }
@@ -208,13 +253,49 @@ pub fn generate(config: &InternetConfig) -> Internet {
         .map(|p| build_persona(&mut b, p, &mut rng, config.silent_share))
         .collect();
 
-    // Transit peering: a chain guarantees connectivity, chords densify.
+    // Transit AS-level structure. Flat (`tier1 == 0`): a peer chain
+    // guarantees connectivity, chords densify. Hierarchical: the first
+    // `tier1` personas form a peer clique and every later persona is
+    // their customer, so a valley-free path (up, one peer edge, down)
+    // exists between any two ASes at any scale; sparse lateral peer
+    // chords among the customers add path diversity.
     let n = config.personas.len();
-    let mut peerings: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
-    for i in 0..n {
-        for j in i + 2..n {
-            if rng.gen::<f64>() < config.peer_prob {
+    let t = config.tier1.min(n);
+    let mut peerings: Vec<(usize, usize)> = Vec::new();
+    let mut transit_customers: Vec<(usize, usize)> = Vec::new(); // (provider, customer)
+    if t == 0 {
+        peerings.extend((0..n.saturating_sub(1)).map(|i| (i, i + 1)));
+        for i in 0..n {
+            for j in i + 2..n {
+                if rng.gen::<f64>() < config.peer_prob {
+                    peerings.push((i, j));
+                }
+            }
+        }
+    } else {
+        for i in 0..t {
+            for j in i + 1..t {
                 peerings.push((i, j));
+            }
+        }
+        for c in t..n {
+            let n_providers = 1 + usize::from(rng.gen::<f64>() < 0.3);
+            let mut chosen: Vec<usize> = Vec::new();
+            while chosen.len() < n_providers {
+                let p = rng.gen_range(0..t);
+                if !chosen.contains(&p) {
+                    chosen.push(p);
+                }
+            }
+            for p in chosen {
+                transit_customers.push((p, c));
+            }
+        }
+        for i in t..n {
+            for j in i + 2..n {
+                if rng.gen::<f64>() < config.peer_prob {
+                    peerings.push((i, j));
+                }
             }
         }
     }
@@ -230,6 +311,19 @@ pub fn generate(config: &InternetConfig) -> Internet {
             let ei = persona_routers[i].edges[rng.gen_range(0..persona_routers[i].edges.len())];
             let ej = persona_routers[j].edges[rng.gen_range(0..persona_routers[j].edges.len())];
             b.link(ei, ej, LinkOpts::symmetric(10, 2.0));
+        }
+    }
+    for &(p, c) in &transit_customers {
+        b.as_rel(
+            config.personas[p].asn,
+            config.personas[c].asn,
+            RelKind::ProviderCustomer,
+        );
+        let links = 1 + rng.gen_range(0..2usize);
+        for _ in 0..links {
+            let ep = persona_routers[p].edges[rng.gen_range(0..persona_routers[p].edges.len())];
+            let ec = persona_routers[c].edges[rng.gen_range(0..persona_routers[c].edges.len())];
+            b.link(ep, ec, LinkOpts::symmetric(10, 2.0));
         }
     }
 
@@ -367,6 +461,29 @@ mod tests {
         assert!(internet.persona_of(Asn(21_000)).is_some());
         eprintln!(
             "tenfold: {} routers, {} links in {:?}",
+            internet.net.num_routers(),
+            internet.net.num_links(),
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    #[ignore = "thousand-AS build is fast in release but slow under debug; run explicitly or via the bench"]
+    fn thousandfold_internet_builds() {
+        let t0 = std::time::Instant::now();
+        let cfg = InternetConfig::thousandfold(8);
+        assert_eq!(cfg.personas.len(), 1000);
+        let internet = generate(&cfg);
+        assert_eq!(internet.vps.len(), 10);
+        assert!(
+            internet.net.num_routers() > 10_000,
+            "thousandfold Internet should cross ten thousand routers, got {}",
+            internet.net.num_routers()
+        );
+        assert!(internet.persona_of(Asn(3320)).is_some());
+        assert!(internet.persona_of(Asn(21_989)).is_some());
+        eprintln!(
+            "thousandfold: {} routers, {} links in {:?}",
             internet.net.num_routers(),
             internet.net.num_links(),
             t0.elapsed()

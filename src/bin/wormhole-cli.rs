@@ -5,7 +5,8 @@
 //! wormhole-cli smart <config>            tunnel-aware traceroute (§8)
 //! wormhole-cli reveal <config>           run the DPR/BRPR recursion
 //! wormhole-cli lint <config>             static analysis of a testbed config
-//! wormhole-cli campaign [quick|paper|tenfold] [--jobs N] [--faults <scenario>]
+//! wormhole-cli campaign [quick|paper|tenfold|thousandfold]
+//!                       [--jobs N] [--faults <scenario>] [--stealing]
 //!                                        full §4 campaign summary; scenarios:
 //!                                        clean, lossy_core, rate_limited_edge, hostile
 //! wormhole-cli list-configs              available testbed configurations
@@ -53,7 +54,8 @@ fn scenario(name: &str) -> Option<Scenario> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: wormhole-cli <trace|smart|reveal|lint> <config> \
-         | campaign [quick|paper|tenfold] [--jobs N] [--faults <scenario>] | list-configs\n\
+         | campaign [quick|paper|tenfold|thousandfold] [--jobs N] [--faults <scenario>] \
+         [--stealing] | list-configs\n\
          configs: {}\n\
          fault scenarios: clean, lossy_core, rate_limited_edge, hostile",
         CONFIGS
@@ -176,12 +178,15 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut scale = Scale::Paper;
     let mut jobs = wormhole::experiments::jobs_from_env();
     let mut faults = wormhole::experiments::faults_from_env();
+    let mut scheduling = wormhole::experiments::scheduling_from_env();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "quick" => scale = Scale::Quick,
             "paper" => scale = Scale::Paper,
             "tenfold" => scale = Scale::Tenfold,
+            "thousandfold" => scale = Scale::ThousandFold,
+            "--stealing" => scheduling = wormhole::core::Scheduling::Stealing,
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => jobs = n,
                 None => {
@@ -206,11 +211,13 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         }
     }
     eprintln!(
-        "running the §4 campaign at {scale:?} scale with jobs={jobs} under the '{}' scenario…",
+        "running the §4 campaign at {scale:?} scale with jobs={jobs} ({scheduling:?} scheduling) \
+         under the '{}' scenario…",
         faults.name()
     );
     let t0 = std::time::Instant::now();
-    let ctx = wormhole::experiments::PaperContext::generate_faulted(scale, 8, jobs, faults);
+    let ctx =
+        wormhole::experiments::PaperContext::generate_full(scale, 8, jobs, faults, scheduling);
     let elapsed = t0.elapsed().as_secs_f64();
     println!(
         "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; {} tunnels revealed; {} probes",
@@ -227,8 +234,10 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         }
     }
     println!(
-        "wall: {elapsed:.2}s  ({:.0} probes/sec simulated)",
-        ctx.result.probes as f64 / elapsed
+        "wall: {elapsed:.2}s  ({:.0} probes/sec simulated; probe {:.2}s, merge {:.2}s)",
+        ctx.result.probes as f64 / elapsed,
+        ctx.result.timings.probe_seconds,
+        ctx.result.timings.merge_seconds
     );
     println!("{}", wormhole::experiments::table4::run(&ctx));
     ExitCode::SUCCESS

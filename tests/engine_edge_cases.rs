@@ -92,10 +92,13 @@ fn engine_stats_are_consistent() {
         crossings,
         replies,
         lost,
+        heap_allocs,
     } = eng.stats().clone();
     assert_eq!(probes, 40);
     assert_eq!(replies + lost, 40);
     assert!(crossings > probes, "each probe crosses several links");
+    // Path recording is on by default, so the alloc counter moves.
+    assert!(heap_allocs > 0);
 }
 
 #[test]

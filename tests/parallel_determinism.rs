@@ -5,11 +5,20 @@
 //! its `(seed, vp_index)` RNG stream — a lossless run would pass even
 //! with broken per-worker seeding, because no randomness is drawn.
 
-use wormhole::core::{Campaign, CampaignConfig, CampaignReport};
+use wormhole::core::{Campaign, CampaignConfig, CampaignReport, Scheduling};
 use wormhole::net::{FaultPlan, FaultScenario};
 use wormhole::topo::{generate, Internet, InternetConfig};
 
 fn report(internet: &Internet, jobs: usize, seed: u64) -> CampaignReport {
+    report_with(internet, jobs, seed, Scheduling::VpBatches)
+}
+
+fn report_with(
+    internet: &Internet,
+    jobs: usize,
+    seed: u64,
+    scheduling: Scheduling,
+) -> CampaignReport {
     let cfg = CampaignConfig {
         hdn_threshold: 9,
         faults: FaultPlan {
@@ -20,6 +29,7 @@ fn report(internet: &Internet, jobs: usize, seed: u64) -> CampaignReport {
         },
         seed,
         jobs,
+        scheduling,
         ..CampaignConfig::default()
     };
     Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
@@ -79,6 +89,69 @@ fn every_fault_scenario_is_identical_at_any_worker_count() {
                 scenario.name()
             );
         }
+    }
+}
+
+#[test]
+fn stealing_campaign_is_identical_at_any_worker_count() {
+    // Per-trace work stealing executes tasks in whatever order idle
+    // workers claim them; byte-identical reports at every job count
+    // prove the per-(seed, vp, target) RNG streams really are hermetic.
+    let internet = generate(&InternetConfig {
+        seed: 8,
+        ..InternetConfig::default()
+    });
+    let serial = report_with(&internet, 1, 42, Scheduling::Stealing);
+    for jobs in [2, 4] {
+        assert_eq!(
+            serial,
+            report_with(&internet, jobs, 42, Scheduling::Stealing),
+            "stealing diverged at jobs={jobs}"
+        );
+    }
+    assert_eq!(
+        serial,
+        report_with(&internet, 0, 42, Scheduling::Stealing),
+        "stealing diverged at jobs=0"
+    );
+    // Different seed must change the transcript (streams are consumed).
+    assert_ne!(
+        serial,
+        report_with(&internet, 1, 43, Scheduling::Stealing),
+        "different seeds produced identical stealing reports"
+    );
+}
+
+#[test]
+fn stealing_survives_the_hostile_scenario_at_any_worker_count() {
+    // The hostile composite (loss + rate limiting + silence + flaps)
+    // exercises every per-task fault mechanism; the report must not
+    // depend on how tasks are interleaved across stealing workers.
+    let internet = generate(&InternetConfig::small(17));
+    let hostile = FaultScenario::ALL
+        .iter()
+        .find(|s| s.name() == "hostile")
+        .expect("hostile scenario exists");
+    let run = |jobs: usize| {
+        let cfg = CampaignConfig {
+            hdn_threshold: 6,
+            faults: hostile.plan(),
+            seed: 5,
+            jobs,
+            scheduling: Scheduling::Stealing,
+            ..CampaignConfig::default()
+        };
+        Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+            .run()
+            .report()
+    };
+    let serial = run(1);
+    for jobs in [2, 4] {
+        assert_eq!(
+            serial,
+            run(jobs),
+            "hostile stealing diverged at jobs={jobs}"
+        );
     }
 }
 
