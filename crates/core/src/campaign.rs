@@ -73,8 +73,11 @@ pub struct CampaignConfig {
     /// differ from each other (different RNG stream granularity).
     pub scheduling: Scheduling,
     /// Run the lint-before-simulate gate (deny `Error`-level static
-    /// analysis findings) regardless of build profile. Defaults to on
-    /// in debug builds only, preserving release-build throughput unless
+    /// analysis findings, including the `D5xx` dense-plane verifier
+    /// over the flat tables the walk runs on — so a plane built with
+    /// `build_with_jobs` is checked against serial semantics before
+    /// any probing) regardless of build profile. Defaults to on in
+    /// debug builds only, preserving release-build throughput unless
     /// explicitly requested.
     pub lint_gate: bool,
     /// Chaos hook: panic inside this vantage point's phase-4 probing
@@ -450,7 +453,7 @@ impl<'a> Campaign<'a> {
     pub fn over(sub: SubstrateRef<'a>, vps: Vec<RouterId>, cfg: CampaignConfig) -> Campaign<'a> {
         assert!(!vps.is_empty(), "need at least one vantage point");
         if cfg.lint_gate {
-            wormhole_lint::deny_errors("Campaign", &wormhole_lint::check_full(sub.net, sub.cp));
+            wormhole_lint::deny_errors("Campaign", &wormhole_lint::check_plane(sub.net, sub.cp));
         }
         Campaign { sub, vps, cfg }
     }

@@ -1,0 +1,111 @@
+//! Per-run lint configuration: severity overrides and the deny level.
+//!
+//! The defaults reproduce the historical behavior — registry severities
+//! as emitted, fail on `Error` — so every existing gate keeps working;
+//! the `wormhole-lint` binary layers `--severity CODE=LEVEL` and
+//! `--deny LEVEL` on top.
+
+use crate::diag::{normalize, Diagnostic, Severity};
+use crate::registry;
+
+/// Severity overrides plus the failure threshold for one lint run.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Per-code severity overrides, applied to findings as emitted.
+    pub overrides: Vec<(String, Severity)>,
+    /// Findings at or above this level fail the run.
+    pub deny: Severity,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            overrides: Vec::new(),
+            deny: Severity::Error,
+        }
+    }
+}
+
+/// Parses a severity name (`error`, `warn`, `info`).
+pub fn parse_severity(s: &str) -> Option<Severity> {
+    match s {
+        "error" => Some(Severity::Error),
+        "warn" => Some(Severity::Warn),
+        "info" => Some(Severity::Info),
+        _ => None,
+    }
+}
+
+impl LintConfig {
+    /// Parses one `CODE=LEVEL` override (e.g. `W105=error`) and adds
+    /// it. Fails on unknown codes or levels so typos surface instead of
+    /// silently never matching.
+    pub fn add_override(&mut self, spec: &str) -> Result<(), String> {
+        let (code, level) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("override '{spec}' is not CODE=LEVEL"))?;
+        if registry::rule(code).is_none() {
+            return Err(format!("unknown rule code '{code}'"));
+        }
+        let severity =
+            parse_severity(level).ok_or_else(|| format!("unknown severity '{level}'"))?;
+        self.overrides.push((code.to_string(), severity));
+        Ok(())
+    }
+
+    /// Applies the overrides and normalizes the list (stable order,
+    /// duplicates dropped).
+    pub fn apply(&self, diags: &mut Vec<Diagnostic>) {
+        for d in diags.iter_mut() {
+            if let Some((_, sev)) = self.overrides.iter().find(|(c, _)| c == d.code) {
+                d.severity = *sev;
+            }
+        }
+        normalize(diags);
+    }
+
+    /// True when any finding reaches the deny level.
+    pub fn fails(&self, diags: &[Diagnostic]) -> bool {
+        diags.iter().any(|d| d.severity >= self.deny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Location;
+
+    #[test]
+    fn overrides_reclassify_and_deny_level_applies() {
+        let mut cfg = LintConfig::default();
+        cfg.add_override("W105=error").unwrap();
+        assert!(cfg.add_override("W105").is_err());
+        assert!(cfg.add_override("Z999=warn").is_err());
+        assert!(cfg.add_override("W105=fatal").is_err());
+        let mut diags = vec![Diagnostic::new(
+            "W105",
+            Severity::Warn,
+            Location::Network,
+            "m",
+            "h",
+        )];
+        assert!(!cfg.fails(&diags));
+        cfg.apply(&mut diags);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(cfg.fails(&diags));
+
+        let warn_gate = LintConfig {
+            deny: Severity::Warn,
+            ..LintConfig::default()
+        };
+        let w = vec![Diagnostic::new(
+            "W102",
+            Severity::Warn,
+            Location::Network,
+            "m",
+            "h",
+        )];
+        assert!(warn_gate.fails(&w));
+        assert!(!LintConfig::default().fails(&w));
+    }
+}

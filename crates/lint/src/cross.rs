@@ -3,7 +3,6 @@
 //! claim to describe.
 
 use crate::diag::{Diagnostic, Location, Severity};
-use crate::network;
 use wormhole_net::{Network, RouterId};
 use wormhole_topo::{AsPersona, GroundTruth, Internet, Scenario};
 
@@ -143,20 +142,23 @@ pub fn check_persona(p: &AsPersona) -> Vec<Diagnostic> {
     out
 }
 
-/// Lints a Fig. 2-style scenario: every network/control-plane rule plus
-/// the scenario-level cross checks (X201, X202, X205).
+/// Lints a Fig. 2-style scenario: every network/control-plane rule, the
+/// `D5xx` dense-plane verifier, plus the scenario-level cross checks
+/// (X201, X202, X205).
 pub fn check_scenario(s: &Scenario) -> Vec<Diagnostic> {
-    let mut out = network::check_full(&s.net, &s.cp);
+    let mut out = crate::check_plane(&s.net, &s.cp);
     vp_not_host(&s.net, s.vp, &mut out);
     target_unreachable(s, &mut out);
     impossible_tunnel(&s.net, &mut out);
+    crate::normalize(&mut out);
     out
 }
 
-/// Lints a generated Internet: every network/control-plane rule plus
-/// vantage-point, tunnel and persona cross checks.
+/// Lints a generated Internet: every network/control-plane rule, the
+/// `D5xx` dense-plane verifier, plus vantage-point, tunnel and persona
+/// cross checks.
 pub fn check_internet(i: &Internet) -> Vec<Diagnostic> {
-    let mut out = network::check_full(&i.net, &i.cp);
+    let mut out = crate::check_plane(&i.net, &i.cp);
     for &vp in &i.vps {
         vp_not_host(&i.net, vp, &mut out);
     }
@@ -166,5 +168,6 @@ pub fn check_internet(i: &Internet) -> Vec<Diagnostic> {
         persona_empty_topology(p, &mut out);
         persona_missing_routers(&i.net, p, &mut out);
     }
+    crate::normalize(&mut out);
     out
 }

@@ -85,10 +85,11 @@ impl fmt::Display for Location {
 }
 
 /// One lint finding.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Stable rule code (`W1xx` network/config, `X2xx` cross-layer,
-    /// `A3xx` campaign audit).
+    /// `A3xx`/`A4xx` campaign audit, `D5xx` dense-plane verification);
+    /// every code is registered in [`crate::registry`].
     pub code: &'static str,
     /// Severity class.
     pub severity: Severity,
@@ -109,6 +110,10 @@ impl Diagnostic {
         message: impl Into<String>,
         hint: impl Into<String>,
     ) -> Diagnostic {
+        debug_assert!(
+            crate::registry::rule(code).is_some(),
+            "unregistered rule code {code} — add it to registry::RULES"
+        );
         Diagnostic {
             code,
             severity,
@@ -134,10 +139,36 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
-/// Renders a diagnostic list, one finding per paragraph, worst first.
+/// Sorts findings by the stable key *(family, code, location, message)*
+/// and drops exact duplicates, making every lint summary byte-identical
+/// regardless of rule execution order or build parallelism. Every
+/// public `check_*` entry point normalizes before returning.
+pub fn normalize(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by_cached_key(|d| {
+        (
+            crate::registry::family_rank(d.code),
+            d.code,
+            d.location.to_string(),
+            d.message.clone(),
+            d.severity,
+        )
+    });
+    diags.dedup();
+}
+
+/// Renders a diagnostic list, one finding per paragraph, worst first;
+/// ties break on the same stable key [`normalize`] sorts by.
 pub fn render(diags: &[Diagnostic]) -> String {
     let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
-    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
+    sorted.sort_by_cached_key(|d| {
+        (
+            std::cmp::Reverse(d.severity),
+            crate::registry::family_rank(d.code),
+            d.code,
+            d.location.to_string(),
+            d.message.clone(),
+        )
+    });
     let mut out = String::new();
     for d in sorted {
         out.push_str(&d.to_string());
@@ -145,6 +176,49 @@ pub fn render(diags: &[Diagnostic]) -> String {
     }
     let (e, w, i) = count(diags);
     out.push_str(&format!("{e} error(s), {w} warning(s), {i} info\n"));
+    out
+}
+
+/// JSON-escapes `s` into `out` (RFC 8259 string rules).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders findings as a machine-readable JSON document:
+/// `{"errors": …, "warnings": …, "infos": …, "findings": […]}` with
+/// one object per finding (`code`, `family`, `severity`, `location`,
+/// `message`, `hint`). Hand-rolled — the workspace deliberately takes
+/// no serialization dependency.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let (e, w, i) = count(diags);
+    let mut out = format!("{{\"errors\":{e},\"warnings\":{w},\"infos\":{i},\"findings\":[");
+    for (n, d) in diags.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        let family = crate::registry::rule(d.code).map_or("unknown", |r| r.family.name());
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"family\":\"{family}\",\"severity\":\"{}\",\"location\":\"",
+            d.code, d.severity
+        ));
+        escape_json(&d.location.to_string(), &mut out);
+        out.push_str("\",\"message\":\"");
+        escape_json(&d.message, &mut out);
+        out.push_str("\",\"hint\":\"");
+        escape_json(&d.hint, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
     out
 }
 
@@ -187,6 +261,55 @@ mod tests {
         assert!(has_errors(std::slice::from_ref(&d)));
         let r = render(&[d]);
         assert!(r.ends_with("1 error(s), 0 warning(s), 0 info\n"));
+    }
+
+    #[test]
+    fn normalize_is_order_insensitive_and_dedups() {
+        let a = Diagnostic::new("W104", Severity::Error, Location::Network, "broken", "fix");
+        let b = Diagnostic::new(
+            "D501",
+            Severity::Error,
+            Location::Router("P1".into()),
+            "csr",
+            "fix",
+        );
+        let c = Diagnostic::new(
+            "W102",
+            Severity::Warn,
+            Location::Router("ce".into()),
+            "m",
+            "h",
+        );
+        // Two permutations with a duplicate — as produced by different
+        // `jobs` interleavings — must normalize to the same bytes.
+        let mut one = vec![b.clone(), a.clone(), c.clone(), a.clone()];
+        let mut two = vec![a.clone(), c.clone(), b.clone()];
+        normalize(&mut one);
+        normalize(&mut two);
+        assert_eq!(one, two);
+        // Family order (W before D), then code, regardless of severity.
+        assert_eq!(
+            one.iter().map(|d| d.code).collect::<Vec<_>>(),
+            ["W102", "W104", "D501"]
+        );
+        assert_eq!(render(&one), render(&two));
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let d = Diagnostic::new(
+            "W104",
+            Severity::Error,
+            Location::Router("a\"b".into()),
+            "line1\nline2",
+            "h",
+        );
+        let j = to_json(&[d]);
+        assert!(j.starts_with("{\"errors\":1,\"warnings\":0,\"infos\":0,"));
+        assert!(j.contains("router a\\\"b"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"family\":\"network\""));
+        assert!(j.ends_with("]}"));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! `wormhole-lint`: static invariant analysis for the wormhole
 //! workspace.
 //!
-//! Three rule families, each with stable codes:
+//! Five rule families, each with stable codes registered in
+//! [`registry`] (per-rule metadata: family, default severity, summary,
+//! explanation):
 //!
 //! * **`W1xx`** ([`network`]) — topology and MPLS-configuration rules
 //!   over a built [`Network`] and (optionally) its [`ControlPlane`]:
@@ -20,7 +22,17 @@
 //!   their step transcripts);
 //! * **`A4xx`** ([`audit`]) — robustness audits over the same snapshot
 //!   (per-trace probe-budget overruns, partial/abandoned revelation
-//!   accounting, degraded-shard consistency).
+//!   accounting, degraded-shard consistency);
+//! * **`D5xx`** ([`dense`]) — dense-plane verification: the flattened
+//!   control-plane tables the hot path runs on (CSR offset tables,
+//!   LFIB label windows, destination-resolution memos) cross-checked
+//!   against the logical model they encode and against themselves.
+//!
+//! All findings normalize to a stable order — *(family, code, location,
+//! message)*, duplicates dropped — so lint summaries are byte-identical
+//! regardless of build parallelism; [`to_json`] renders them machine-
+//! readably, and [`config::LintConfig`] layers per-run severity
+//! overrides and deny levels on top.
 //!
 //! The contract is *lint before simulate*: under `debug_assertions`,
 //! probing sessions and campaigns refuse to start on a network with
@@ -41,27 +53,51 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod config;
 pub mod cross;
+pub mod dense;
 pub mod diag;
 pub mod network;
+pub mod registry;
 
 pub use audit::{
     audit, method_from_steps, CampaignAudit, MethodClaim, RevelationKind, TunnelAudit,
 };
+pub use config::{parse_severity, LintConfig};
 pub use cross::{check_internet, check_persona, check_scenario};
-pub use diag::{count, has_errors, render, Diagnostic, Location, Severity};
+pub use dense::verify_dense;
+pub use diag::{count, has_errors, normalize, render, to_json, Diagnostic, Location, Severity};
+pub use registry::{markdown_table, rule, Family, RuleInfo, RULES};
 
 use wormhole_net::{ControlPlane, Network};
 
 /// Lints a network with topology/config rules only (W101–W107, W110).
 pub fn check(net: &Network) -> Vec<Diagnostic> {
-    network::check(net)
+    let mut out = network::check(net);
+    normalize(&mut out);
+    out
 }
 
 /// Lints a network together with its control plane — every `W1xx`
-/// rule, including the LFIB and prefix-table checks.
+/// rule, including the LFIB and prefix-table checks. Does *not* run the
+/// `D5xx` dense-plane verifier (see [`check_plane`]), so what-if LFIB
+/// injections can be linted for semantic rules alone.
 pub fn check_full(net: &Network, cp: &ControlPlane) -> Vec<Diagnostic> {
-    network::check_full(net, cp)
+    let mut out = network::check_full(net, cp);
+    normalize(&mut out);
+    out
+}
+
+/// Lints a network, its control plane, *and* the dense tables the hot
+/// path runs on: every `W1xx` rule plus the `D5xx` dense-plane
+/// verifier. This is the lint-before-simulate gate `Session` and
+/// `Campaign` run — a drift between the flat tables and the logical
+/// model would silently corrupt every walk.
+pub fn check_plane(net: &Network, cp: &ControlPlane) -> Vec<Diagnostic> {
+    let mut out = network::check_full(net, cp);
+    out.extend(dense::verify_dense(net, cp));
+    normalize(&mut out);
+    out
 }
 
 /// Panics with a rendered report when `diags` carries `Error`-level

@@ -1,0 +1,522 @@
+//! The central rule registry: one [`RuleInfo`] record per stable rule
+//! code, carrying the rule's family, default severity, a one-line
+//! summary, and a one-paragraph explanation.
+//!
+//! The registry is the single source of truth for rule metadata: the
+//! `wormhole-lint` binary serves `--explain <RULE>` and `--rules` from
+//! it, severity overrides validate against it, the DESIGN.md rule table
+//! is generated from [`markdown_table`] (pinned byte-exact by a test),
+//! and [`Diagnostic::new`](crate::Diagnostic::new) debug-asserts that
+//! every emitted code is registered.
+
+use crate::diag::Severity;
+
+/// The rule families, in documentation order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    /// `W1xx` — topology and MPLS-configuration rules over a network.
+    Network,
+    /// `X2xx` — cross-layer rules over scenarios, personas, Internets.
+    Cross,
+    /// `A3xx` — result audits over campaign outputs.
+    Audit,
+    /// `A4xx` — robustness audits over the same campaign snapshot.
+    Robustness,
+    /// `D5xx` — dense-plane verification: flat control-plane tables
+    /// cross-checked against the logical model and against themselves.
+    Dense,
+}
+
+impl Family {
+    /// Every family, in documentation order.
+    pub const ALL: [Family; 5] = [
+        Family::Network,
+        Family::Cross,
+        Family::Audit,
+        Family::Robustness,
+        Family::Dense,
+    ];
+
+    /// The family's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Network => "network",
+            Family::Cross => "cross",
+            Family::Audit => "audit",
+            Family::Robustness => "robustness",
+            Family::Dense => "dense",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Metadata of one lint rule.
+#[derive(Copy, Clone, Debug)]
+pub struct RuleInfo {
+    /// Stable rule code (`W101`, `D507`, …).
+    pub code: &'static str,
+    /// The family the code belongs to.
+    pub family: Family,
+    /// Default severity (overridable per run via `LintConfig`). Rules
+    /// that emit at two levels (A307, A403) register the worse one.
+    pub severity: Severity,
+    /// One-line summary, used in the generated rule table.
+    pub summary: &'static str,
+    /// One-paragraph explanation, served by `--explain <RULE>`.
+    pub explanation: &'static str,
+}
+
+/// Every registered rule, grouped by family, sorted by code within.
+pub static RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "W101",
+        family: Family::Network,
+        severity: Severity::Error,
+        summary: "a host (CE / vantage point) runs MPLS",
+        explanation: "Hosts model customer equipment and vantage points; the paper's \
+                      measurement methodology assumes probes enter the network unlabeled. A \
+                      host with an MPLS-enabled config would push labels the rest of the \
+                      toolchain never expects, so the simulator refuses to start.",
+    },
+    RuleInfo {
+        code: "W102",
+        family: Family::Network,
+        severity: Severity::Warn,
+        summary: "router with no interfaces (unreachable, skews degree stats)",
+        explanation: "An interface-less router can never forward or answer a probe, yet it \
+                      still counts towards AS membership and degree statistics, silently \
+                      skewing campaign-level numbers.",
+    },
+    RuleInfo {
+        code: "W103",
+        family: Family::Network,
+        severity: Severity::Error,
+        summary: "inter-AS link without a declared AS relationship",
+        explanation: "BGP route computation is valley-free over declared relationships; a \
+                      physical inter-AS link with no relationship would carry traffic the \
+                      AS-level model cannot explain, so control-plane construction would \
+                      diverge from the topology.",
+    },
+    RuleInfo {
+        code: "W104",
+        family: Family::Network,
+        severity: Severity::Error,
+        summary: "an AS's intra-AS graph is disconnected",
+        explanation: "Every IGP in the simulator assumes a connected intra-AS graph; a \
+                      disconnected member would have infinite distances, no LDP LSPs, and \
+                      undefined hot-potato egress choices. ControlPlane::build rejects such \
+                      networks with the same condition this rule reports.",
+    },
+    RuleInfo {
+        code: "W105",
+        family: Family::Network,
+        severity: Severity::Warn,
+        summary: "adjacent MPLS routers disagree on LDP advertising policy",
+        explanation: "A Cisco-style all-prefix advertiser next to a Juniper-style \
+                      loopback-only advertiser yields asymmetric LSPs — legitimate in the \
+                      wild (the paper's §2 mixed-vendor cores) but worth flagging because it \
+                      changes which tunnels are invisible.",
+    },
+    RuleInfo {
+        code: "W106",
+        family: Family::Network,
+        severity: Severity::Warn,
+        summary: "an AS's LERs disagree on ttl-propagate",
+        explanation: "Mixed ttl-propagate among the label-edge routers of one AS makes \
+                      tunnel visibility depend on the entry point, which is exactly the \
+                      behavior the paper's classification keys on — legal, but the operator \
+                      probably intended uniformity.",
+    },
+    RuleInfo {
+        code: "W107",
+        family: Family::Network,
+        severity: Severity::Error,
+        summary: "RSVP-TE endpoint is not an LER of its AS",
+        explanation: "TE tunnels must start and end on label-edge routers of the AS they \
+                      traverse; an endpoint deeper in the core could never receive unlabeled \
+                      traffic to steer, so the declared tunnel would be dead configuration.",
+    },
+    RuleInfo {
+        code: "W108",
+        family: Family::Network,
+        severity: Severity::Error,
+        summary: "prefix-table entry no owner actually serves (dead trie entry)",
+        explanation: "Every prefix slot in an AS table must be owned by at least one member \
+                      that actually holds an address inside it; a dead entry would give LDP \
+                      a FEC with no egress and the FIB a destination that blackholes.",
+    },
+    RuleInfo {
+        code: "W109",
+        family: Family::Network,
+        severity: Severity::Error,
+        summary: "LFIB swap targets a label its next hop never installed",
+        explanation: "A swap action must name a label the downstream router installed, or \
+                      labeled packets die mid-LSP with an unlabeled-lookup fallback the \
+                      vendor model does not define. build() never produces this; it appears \
+                      only through what-if injection (inject_lfib_entry).",
+    },
+    RuleInfo {
+        code: "W110",
+        family: Family::Network,
+        severity: Severity::Info,
+        summary: "an AS mixes PHP and UHP popping modes",
+        explanation: "Mixing penultimate- and ultimate-hop popping within one AS is valid \
+                      and occurs in the wild; it is surfaced as information because it makes \
+                      the AS's tunnels straddle two rows of the paper's Table 1 taxonomy.",
+    },
+    RuleInfo {
+        code: "X201",
+        family: Family::Cross,
+        severity: Severity::Error,
+        summary: "scenario vantage point is not a host",
+        explanation: "The measurement session binds to the scenario's vantage point and \
+                      expects host semantics (no forwarding, no MPLS); a router VP would \
+                      answer its own probes and corrupt every trace.",
+    },
+    RuleInfo {
+        code: "X202",
+        family: Family::Cross,
+        severity: Severity::Error,
+        summary: "scenario target unreachable from the VP (ground-truth path)",
+        explanation: "A scenario whose target the vantage point cannot reach on the ground \
+                      truth path yields campaigns of pure timeouts; the scenario definition \
+                      is broken, not the network.",
+    },
+    RuleInfo {
+        code: "X203",
+        family: Family::Cross,
+        severity: Severity::Error,
+        summary: "persona vendor mix empty or with invalid weights",
+        explanation: "Internet generation samples router vendors from the persona's weighted \
+                      mix; an empty mix or non-finite/non-positive weights make the sampler \
+                      ill-defined.",
+    },
+    RuleInfo {
+        code: "X204",
+        family: Family::Cross,
+        severity: Severity::Error,
+        summary: "persona topology with zero PoPs or zero edges per PoP",
+        explanation: "A persona that declares an empty point-of-presence structure cannot \
+                      generate a connected AS, which W104 would then reject after the fact; \
+                      this rule catches the cause at the persona layer.",
+    },
+    RuleInfo {
+        code: "X205",
+        family: Family::Cross,
+        severity: Severity::Error,
+        summary: "declared TE tunnel the configuration cannot produce",
+        explanation: "Ground-truth TE tunnels must be realizable by the scenario's \
+                      configuration (valid contiguous path, MPLS-enabled transit); an \
+                      impossible tunnel would make the campaign's ground truth unsatisfiable \
+                      and every recall metric meaningless.",
+    },
+    RuleInfo {
+        code: "X206",
+        family: Family::Cross,
+        severity: Severity::Error,
+        summary: "persona member count differs from its topology spec",
+        explanation: "The persona's declared member count must equal what its PoP structure \
+                      implies; a mismatch means generated ASes silently differ from the \
+                      documented persona.",
+    },
+    RuleInfo {
+        code: "A301",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "fingerprint signature outside the Table 1 taxonomy",
+        explanation: "Every fingerprinted hop must land in one of the paper's Table 1 \
+                      signature classes; an unknown signature means the classifier and the \
+                      emulation disagree about what the data plane can emit.",
+    },
+    RuleInfo {
+        code: "A302",
+        family: Family::Audit,
+        severity: Severity::Warn,
+        summary: "RTLA return-tunnel length far from revealed length + 1",
+        explanation: "For RTLA-triggered revelations the return-TTL gap should approximate \
+                      the revealed LSP length plus one; a large deviation hints at either a \
+                      mis-triggered revelation or asymmetric return paths worth inspecting.",
+    },
+    RuleInfo {
+        code: "A303",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "a revealed tunnel repeats a hop (or one of its endpoints)",
+        explanation: "A revealed LSP visiting the same address twice (or listing its own \
+                      ingress/egress as an interior hop) is topologically impossible under \
+                      the simulator's loop-free forwarding — the revelation stitched \
+                      unrelated segments together.",
+    },
+    RuleInfo {
+        code: "A304",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "revealed hop owned by a foreign AS",
+        explanation: "LDP LSPs are intra-AS; a revealed interior hop owned by a different AS \
+                      than the tunnel's endpoints means the revelation crossed an AS \
+                      boundary that real MPLS tunnels cannot cross.",
+    },
+    RuleInfo {
+        code: "A305",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "candidate pair references an out-of-bounds trace index",
+        explanation: "Candidate ingress/egress pairs carry the index of the trace that \
+                      produced them; a dangling index means the campaign merge lost or \
+                      reordered traces after pair extraction.",
+    },
+    RuleInfo {
+        code: "A306",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "probe counter lower than the number of traces",
+        explanation: "Every trace costs at least one probe, so a campaign-level probe \
+                      counter below the trace count proves the accounting dropped probes \
+                      somewhere between workers and the merged result.",
+    },
+    RuleInfo {
+        code: "A307",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "per-shard probe counters don't sum to the total / an idle shard",
+        explanation: "The per-vantage-point shard counters must sum exactly to the \
+                      campaign's probe total (error when they do not); a shard that sent \
+                      zero probes is additionally flagged at warn level because an idle \
+                      vantage point usually means its task queue was never filled.",
+    },
+    RuleInfo {
+        code: "A308",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "method claim contradicts the tunnel's own step transcript",
+        explanation: "The Table 3 method bucket (DPR/BRPR/mixed) must be derivable from the \
+                      revelation step transcript, and the transcript's step sizes must sum \
+                      to the hop count; otherwise the per-method statistics misreport what \
+                      the campaign actually did.",
+    },
+    RuleInfo {
+        code: "A309",
+        family: Family::Audit,
+        severity: Severity::Warn,
+        summary: "shard sent zero probes despite work stealing",
+        explanation: "Under work stealing an idle worker steals queued tasks, so a shard \
+                      that still sent zero probes means its vantage point was never enqueued \
+                      any work — a hole in task assignment rather than a scheduling \
+                      artifact. Degraded shards are exempt (A403 reports those).",
+    },
+    RuleInfo {
+        code: "A401",
+        family: Family::Robustness,
+        severity: Severity::Error,
+        summary: "a trace overran the per-trace probe budget",
+        explanation: "The adaptive retry layer enforces a per-trace probe ceiling so a \
+                      hostile or rate-limited path cannot starve the campaign; a trace \
+                      exceeding it proves the budget gate is broken.",
+    },
+    RuleInfo {
+        code: "A402",
+        family: Family::Robustness,
+        severity: Severity::Error,
+        summary: "partial/abandoned revelation accounting contradicts itself",
+        explanation: "A Partial revelation with zero revealed hops has nothing to be \
+                      partial about, and an Abandoned one that still lists hops would leak \
+                      them out of every downstream table; either way the outcome \
+                      classification is wrong.",
+    },
+    RuleInfo {
+        code: "A403",
+        family: Family::Robustness,
+        severity: Severity::Error,
+        summary: "degraded-shard record inconsistent (or a genuine degradation)",
+        explanation: "A degradation record naming a vantage point the campaign does not \
+                      have is an error (the merge mis-attributed a worker panic); any \
+                      genuine degradation is surfaced at warn level so chaos-run reports \
+                      are never silently clean.",
+    },
+    RuleInfo {
+        code: "D501",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "te_heads/te_routes CSR malformed",
+        explanation: "The TE autoroute table is a CSR grouped by head router: offsets must \
+                      start at 0, rise monotonically, end at the pool length, and each \
+                      group's tails must be strictly sorted (te_route binary-searches \
+                      them). Any violation makes autoroute lookups read the wrong head's \
+                      routes — or out of bounds.",
+    },
+    RuleInfo {
+        code: "D502",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "dense TE autoroute disagrees with the logical TE program",
+        explanation: "Re-deriving every tunnel's autoroute decision from the declared TE \
+                      tunnels (te_program) must reproduce the flattened table exactly: same \
+                      (head, tail) pairs, same out interface, first hop, and pushed label. \
+                      A disagreement means the CSR flattening dropped, duplicated, or \
+                      rewrote a tunnel head's steering decision.",
+    },
+    RuleInfo {
+        code: "D503",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "LdpBindings CSR malformed",
+        explanation: "The binding table's offsets must start at 0, rise monotonically to \
+                      the pool length, and give every router a window of exactly its AS's \
+                      prefix count (or zero). A skewed offset silently shifts every slot \
+                      lookup of two routers at once — the hot-path advertised() has no \
+                      bounds to catch it.",
+    },
+    RuleInfo {
+        code: "D504",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "stored LDP advertisement disagrees with recomputed bindings",
+        explanation: "LdpBindings::compute is deterministic, so recomputing it from the \
+                      network and prefix tables must reproduce the stored pool slot for \
+                      slot: a flipped label or null-mode here means every LSP through the \
+                      router swaps to a label nobody installed.",
+    },
+    RuleInfo {
+        code: "D505",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "IGP first-hop CSR malformed or a first hop off the shortest path",
+        explanation: "Each AS's first-hop table is a CSR over (source, destination) member \
+                      pairs; offsets must be monotone with exactly n²+1 entries, the \
+                      diagonal spans empty, reachable off-diagonal spans non-empty, and \
+                      every listed hop must satisfy edge_metric(s, iface) + dist(peer, d) = \
+                      dist(s, d) — the defining equation of an ECMP first hop.",
+    },
+    RuleInfo {
+        code: "D506",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "LFIB window/overflow self-inconsistency",
+        explanation: "A router's LFIB stores each label in exactly one home: the dense \
+                      window or the sorted overflow. A shadowed overflow entry (label also \
+                      present in the window), an unsorted or duplicated overflow, or a \
+                      length counter disagreeing with the actual entry count makes lookup \
+                      results depend on which representation is consulted first.",
+    },
+    RuleInfo {
+        code: "D507",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "installed LFIB disagrees with the logical LDP/TE program",
+        explanation: "Re-deriving every expected LFIB entry — LDP entries from recomputed \
+                      bindings plus the logical FIB, TE transit entries from the tunnel \
+                      program — must match the installed table exactly. Extra entries are \
+                      stale or unreachable (nothing can ever address them correctly); \
+                      missing or differing entries break LSPs mid-path.",
+    },
+    RuleInfo {
+        code: "D508",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "FIB CSR malformed or dense entry disagrees with the logical FIB",
+        explanation: "The flattened FIB must give every router one span per slot of its \
+                      AS's prefix table, spans must tile the pool contiguously in order, \
+                      and each span's next-hop set must equal the logical FIB re-derived \
+                      from IGP distances and prefix owners. A truncated or shifted span \
+                      silently drops ECMP branches for one FEC and corrupts neighbors.",
+    },
+    RuleInfo {
+        code: "D509",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "prefix-trie round-trip failure",
+        explanation: "For every slot of every AS table, looking up an address inside the \
+                      slot's prefix must return a slot whose prefix covers that address at \
+                      least as specifically; duplicate prefixes or owner/prefix length \
+                      mismatches break the longest-prefix-match contract every FIB \
+                      decision rests on.",
+    },
+    RuleInfo {
+        code: "D510",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "destination-resolution table disagrees with a trie lookup",
+        explanation: "The build-time loopback_slot/iface_slot/router_as_idx tables memoize \
+                      one trie lookup per address so the packet walk never pays it again; \
+                      each memoized slot must round-trip through AsPrefixes::lookup, and \
+                      router_as_idx must equal the network's dense AS index. A mis-slotted \
+                      entry steers every packet for that destination to the wrong FEC.",
+    },
+    RuleInfo {
+        code: "D511",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "memoized owner hash disagrees with router addresses or the trie",
+        explanation: "Network::owner (the hash DstCache leans on) must map every loopback \
+                      and interface address to the router that actually holds it, and the \
+                      owning AS's trie must list that router among the covering slot's \
+                      owners — otherwise the destination cache resolves probes to the \
+                      wrong router and every ground-truth comparison lies.",
+    },
+];
+
+/// Looks up a rule by its code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Sort rank of a code for stable output ordering: family documentation
+/// order, then code; unregistered codes sort last.
+pub fn family_rank(code: &str) -> usize {
+    rule(code).map_or(usize::MAX, |r| r.family as usize)
+}
+
+/// Renders the full rule table as GitHub-flavored markdown — the
+/// generator for the DESIGN.md rule table (pinned byte-exact by
+/// `tests/rule_table.rs`).
+pub fn markdown_table() -> String {
+    let mut out = String::from("| code | family | default | finding |\n|---|---|---|---|\n");
+    for r in RULES {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.code, r.family, r.severity, r.summary
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_unique_sorted_within_family_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.code), "duplicate code {}", r.code);
+            assert!(!r.summary.is_empty() && !r.explanation.is_empty());
+            let prefix = match r.family {
+                Family::Network => "W1",
+                Family::Cross => "X2",
+                Family::Audit => "A3",
+                Family::Robustness => "A4",
+                Family::Dense => "D5",
+            };
+            assert!(r.code.starts_with(prefix), "{} in {}", r.code, r.family);
+        }
+        let ranks: Vec<(usize, &str)> = RULES.iter().map(|r| (r.family as usize, r.code)).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort();
+        assert_eq!(ranks, sorted, "registry must be family- then code-sorted");
+    }
+
+    #[test]
+    fn lookup_and_table() {
+        assert_eq!(rule("D507").unwrap().severity, Severity::Error);
+        assert!(rule("Z999").is_none());
+        assert!(family_rank("W101") < family_rank("D501"));
+        let t = markdown_table();
+        assert!(t.contains("| D511 | dense | error |"));
+        assert_eq!(t.lines().count(), 2 + RULES.len());
+    }
+}

@@ -1,0 +1,63 @@
+//! Clean-plane property tests for the dense verifier at the paper's
+//! three scales: a correct build must produce **zero** D5xx findings,
+//! and the parallel builder must pass the same verifier as the serial
+//! one — the evidence behind the `build_with_jobs` lint gate.
+
+use wormhole_lint as lint;
+use wormhole_net::ControlPlane;
+use wormhole_topo::{generate, InternetConfig};
+
+fn dense_findings(i: &wormhole_topo::Internet) -> Vec<lint::Diagnostic> {
+    lint::verify_dense(&i.net, &i.cp)
+}
+
+fn assert_clean(config: InternetConfig, what: &str) {
+    let i = generate(&config);
+    let dense = dense_findings(&i);
+    assert!(
+        dense.is_empty(),
+        "{what}: clean build produced D5xx findings\n{}",
+        lint::render(&dense)
+    );
+    let all = lint::check_internet(&i);
+    assert!(!lint::has_errors(&all), "{what}: {}", lint::render(&all));
+}
+
+#[test]
+fn quick_scale_builds_clean() {
+    for seed in [1, 7, 42] {
+        assert_clean(InternetConfig::small(seed), &format!("quick/seed{seed}"));
+    }
+}
+
+#[test]
+fn paper_scale_builds_clean() {
+    assert_clean(
+        InternetConfig {
+            seed: 42,
+            ..InternetConfig::default()
+        },
+        "paper/seed42",
+    );
+}
+
+/// Tenfold is release-CI territory; run with `--include-ignored` there.
+#[test]
+#[ignore = "release-mode CI scale; run with --include-ignored"]
+fn tenfold_scale_builds_clean() {
+    assert_clean(InternetConfig::tenfold(42), "tenfold/seed42");
+}
+
+/// The parallel plane builder must satisfy the same invariants as the
+/// serial one — the property the campaign's debug gate relies on when
+/// it verifies `build_with_jobs` output before sharding.
+#[test]
+fn parallel_build_passes_the_same_verifier_as_serial() {
+    let i = generate(&InternetConfig::small(42));
+    for jobs in [1, 4] {
+        let cp = ControlPlane::build_with_jobs(&i.net, jobs)
+            .expect("generated network has a control plane");
+        let dense = lint::verify_dense(&i.net, &cp);
+        assert!(dense.is_empty(), "jobs={jobs}: {}", lint::render(&dense));
+    }
+}

@@ -1,0 +1,279 @@
+//! The mutation self-test: the lint suite linting itself.
+//!
+//! Each corruption class takes a clean built plane, seeds exactly one
+//! dense-table corruption through the `wormhole-net` `mutation` hooks,
+//! and asserts that the D5xx verifier reports **exactly** the intended
+//! rule — no misses (the corruption slipped through) and no cascades
+//! (one corruption drowning the report in unrelated codes). A final
+//! coverage test proves every registered D5xx rule is fired by at
+//! least one class.
+
+use std::collections::BTreeSet;
+use wormhole_lint as lint;
+use wormhole_net::{
+    ControlPlane, Label, LabelValue, LfibEntry, LfibHop, Network, PoppingMode, RouterId,
+};
+use wormhole_topo::{gns3_fig2, gns3_fig2_te, Fig2Config};
+
+/// One seeded corruption class.
+struct Class {
+    name: &'static str,
+    /// The single D5xx rule that must catch it.
+    rule: &'static str,
+    build: fn() -> (Network, ControlPlane),
+    corrupt: fn(&mut Network, &mut ControlPlane),
+}
+
+/// LDP-rich fixture: the Fig. 2 testbed with LDP on all prefixes.
+fn ldp_plane() -> (Network, ControlPlane) {
+    let s = gns3_fig2(Fig2Config::BackwardRecursive);
+    (s.net, s.cp)
+}
+
+/// TE fixture: the Fig. 2 testbed steering through RSVP-TE tunnels.
+fn te_plane() -> (Network, ControlPlane) {
+    let s = gns3_fig2_te(PoppingMode::Php, false);
+    (s.net, s.cp)
+}
+
+/// The D5xx codes fired over `(net, cp)`, as a set.
+fn dense_codes(net: &Network, cp: &ControlPlane) -> BTreeSet<&'static str> {
+    lint::verify_dense(net, cp).iter().map(|d| d.code).collect()
+}
+
+fn classes() -> Vec<Class> {
+    vec![
+        Class {
+            name: "swap-te-csr-offsets",
+            rule: "D501",
+            build: te_plane,
+            corrupt: |_, cp| {
+                let heads = cp.te_heads_mut();
+                let i = heads
+                    .windows(2)
+                    .position(|w| w[0] != w[1])
+                    .expect("the TE fixture declares tunnels");
+                heads.swap(i, i + 1);
+            },
+        },
+        Class {
+            name: "retarget-te-autoroute",
+            rule: "D502",
+            build: te_plane,
+            corrupt: |_, cp| {
+                let route = &mut cp.te_routes_mut()[0].1;
+                route.0 += 1; // steer the head out of a different iface
+            },
+        },
+        Class {
+            name: "skew-ldp-csr-offset",
+            rule: "D503",
+            build: ldp_plane,
+            corrupt: |_, cp| {
+                let base = cp.bindings.base_mut();
+                let k = base
+                    .windows(2)
+                    .position(|w| w[1] > w[0])
+                    .expect("some router advertises labels")
+                    + 1;
+                base[k] += 1; // widen one window, narrow its neighbor
+            },
+        },
+        Class {
+            name: "flip-ldp-advertisement",
+            rule: "D504",
+            build: ldp_plane,
+            corrupt: |_, cp| {
+                let pool = cp.bindings.pool_mut();
+                let slot = pool
+                    .iter()
+                    .position(|v| matches!(v, Some(LabelValue::Real(_))))
+                    .expect("some real label is advertised");
+                let Some(LabelValue::Real(l)) = pool[slot] else {
+                    unreachable!()
+                };
+                pool[slot] = Some(LabelValue::Real(Label(l.0 + 977)));
+            },
+        },
+        Class {
+            name: "skew-igp-first-hop-offset",
+            rule: "D505",
+            build: ldp_plane,
+            corrupt: |_, cp| {
+                let fh = cp.igp[0].fh_index_mut();
+                let i = fh
+                    .windows(2)
+                    .position(|w| w[0] != w[1])
+                    .expect("the AS has first hops");
+                fh.swap(i, i + 1);
+            },
+        },
+        Class {
+            name: "shadow-lfib-overflow",
+            rule: "D506",
+            build: ldp_plane,
+            corrupt: |net, cp| {
+                for r in 0..net.num_routers() as u32 {
+                    let rid = RouterId(r);
+                    let raw = cp.lfib_raw(rid);
+                    let Some((i, e)) = raw
+                        .window
+                        .iter()
+                        .enumerate()
+                        .find_map(|(i, e)| e.clone().map(|e| (i, e)))
+                    else {
+                        continue;
+                    };
+                    let label = raw.lo + i as u32;
+                    let overflow = cp.lfib_overflow_mut(rid);
+                    let pos = overflow
+                        .binary_search_by_key(&label, |&(l, _)| l)
+                        .unwrap_err();
+                    // A copy of the window entry, so only the two-homes
+                    // invariant breaks — the content still agrees.
+                    overflow.insert(pos, (label, e));
+                    return;
+                }
+                panic!("no LFIB window entry to shadow");
+            },
+        },
+        Class {
+            name: "inject-stale-lfib-entry",
+            rule: "D507",
+            build: ldp_plane,
+            corrupt: |net, cp| {
+                let r = net
+                    .routers()
+                    .iter()
+                    .find(|r| !r.ifaces.is_empty() && cp.lfib_size(r.id) > 0)
+                    .expect("an LSR with interfaces");
+                // A label no LDP binding (small) or TE tunnel (500k+id)
+                // produces; Pop keeps W-rules quiet — this is purely a
+                // dense/logical disagreement.
+                cp.inject_lfib_entry(
+                    r.id,
+                    Label(700_123),
+                    LfibEntry {
+                        slot: 0,
+                        nexthops: vec![LfibHop {
+                            iface: 0,
+                            next: r.ifaces[0].peer,
+                            action: wormhole_net::LabelAction::Pop,
+                        }],
+                    },
+                );
+            },
+        },
+        Class {
+            name: "truncate-fib-span",
+            rule: "D508",
+            build: ldp_plane,
+            corrupt: |_, cp| {
+                let spans = cp.fib_spans_mut();
+                let j = spans
+                    .iter()
+                    .position(|&(_, len)| len >= 1)
+                    .expect("some FIB span is populated");
+                spans[j].1 -= 1; // drop an ECMP branch; the tiling breaks
+            },
+        },
+        Class {
+            name: "remap-trie-slot",
+            rule: "D509",
+            build: ldp_plane,
+            corrupt: |_, cp| {
+                let ap = &mut cp.as_prefixes[0];
+                let s31 = ap
+                    .prefixes
+                    .iter()
+                    .position(|p| p.len < 32)
+                    .expect("the AS has a link /31");
+                let probe = ap.prefixes[s31].nth(0);
+                let s32 = ap
+                    .prefixes
+                    .iter()
+                    .position(|p| p.len == 32 && !p.contains(probe))
+                    .expect("the AS has a loopback /32 elsewhere");
+                // Point the /31's trie entry at the loopback's slot.
+                ap.lpm.insert(ap.prefixes[s31], s32 as u32);
+            },
+        },
+        Class {
+            name: "mis-slot-loopback",
+            rule: "D510",
+            build: ldp_plane,
+            corrupt: |_, cp| {
+                let table = cp.loopback_slot_mut();
+                let i = table
+                    .iter()
+                    .position(|&s| s != u32::MAX)
+                    .expect("some loopback resolves");
+                table[i] += 1;
+            },
+        },
+        Class {
+            name: "poison-owner-hash",
+            rule: "D511",
+            build: ldp_plane,
+            corrupt: |net, _| {
+                let victim = net.routers()[0].loopback;
+                let wrong = net.routers()[1].id;
+                net.poison_owner(victim, wrong);
+            },
+        },
+    ]
+}
+
+/// Every corruption class starts clean, then is caught by exactly the
+/// intended rule — the acceptance criterion of the verifier.
+#[test]
+fn each_corruption_caught_by_exactly_the_intended_rule() {
+    for class in classes() {
+        let (mut net, mut cp) = (class.build)();
+        assert!(
+            dense_codes(&net, &cp).is_empty(),
+            "{}: fixture not clean before corruption",
+            class.name
+        );
+        (class.corrupt)(&mut net, &mut cp);
+        let fired = dense_codes(&net, &cp);
+        assert_eq!(
+            fired,
+            BTreeSet::from([class.rule]),
+            "{}: expected exactly {} to fire",
+            class.name,
+            class.rule
+        );
+    }
+}
+
+/// The coverage table: every registered D5xx rule is exercised by at
+/// least one corruption class, and every class names a dense rule.
+#[test]
+fn every_dense_rule_fired_by_a_corruption_class() {
+    let covered: BTreeSet<&str> = classes().iter().map(|c| c.rule).collect();
+    let registered: BTreeSet<&str> = lint::RULES
+        .iter()
+        .filter(|r| r.family == lint::Family::Dense)
+        .map(|r| r.code)
+        .collect();
+    assert_eq!(covered, registered, "coverage table incomplete");
+    assert!(classes().len() >= 8, "the issue demands ≥ 8 classes");
+    for c in classes() {
+        let info = lint::rule(c.rule).expect("class rule registered");
+        assert_eq!(info.family, lint::Family::Dense, "{}", c.name);
+    }
+}
+
+/// Corrupted planes also fail the combined `check_plane` gate — the
+/// entry point Session/Campaign actually run.
+#[test]
+fn check_plane_carries_dense_findings() {
+    let (net, mut cp) = ldp_plane();
+    let spans = cp.fib_spans_mut();
+    let j = spans.iter().position(|&(_, len)| len >= 1).unwrap();
+    spans[j].1 -= 1;
+    let diags = lint::check_plane(&net, &cp);
+    assert!(lint::has_errors(&diags));
+    assert!(diags.iter().any(|d| d.code == "D508"));
+}

@@ -1,0 +1,24 @@
+//! Pins the DESIGN.md rule table to the registry: the documented table
+//! is generated from [`wormhole_lint::RULES`], byte for byte, between
+//! two HTML-comment markers. A drifting doc table fails here, and the
+//! fix is mechanical — paste the output of
+//! [`wormhole_lint::markdown_table`] back between the markers.
+
+const BEGIN: &str = "<!-- lint-rule-table:begin (generated from crates/lint/src/registry.rs) -->";
+const END: &str = "<!-- lint-rule-table:end -->";
+
+#[test]
+fn design_doc_rule_table_matches_the_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let doc = std::fs::read_to_string(path).expect("DESIGN.md readable");
+    let start = doc.find(BEGIN).expect("DESIGN.md carries the begin marker") + BEGIN.len();
+    let end = doc.find(END).expect("DESIGN.md carries the end marker");
+    let documented = doc[start..end].trim();
+    let generated = wormhole_lint::markdown_table();
+    assert_eq!(
+        documented,
+        generated.trim(),
+        "DESIGN.md rule table drifted from the registry; regenerate it \
+         with wormhole_lint::markdown_table()"
+    );
+}

@@ -57,7 +57,7 @@ pub enum LabelAction {
 }
 
 /// One ECMP branch of an LFIB entry.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct LfibHop {
     /// Outgoing interface index.
     pub iface: u32,
@@ -68,7 +68,7 @@ pub struct LfibHop {
 }
 
 /// An LFIB entry: incoming label → FEC and ECMP branches.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LfibEntry {
     /// The FEC (prefix slot in the router's AS table).
     pub slot: u32,
@@ -185,7 +185,7 @@ impl RouterLfib {
 }
 
 /// A TE autoroute decision: `(out iface, first hop, label to push)`.
-type TeRoute = (u32, RouterId, Option<Label>);
+pub type TeRoute = (u32, RouterId, Option<Label>);
 
 /// The computed control plane of a network.
 #[derive(Debug, Clone)]
@@ -242,6 +242,156 @@ fn compute_as(net: &Network, asn: Asn) -> Result<(AsIgp, AsPrefixes), NetError> 
     Ok((view, prefixes))
 }
 
+/// The *logical* intra-AS FIB: for every router, the per-slot ECMP
+/// next-hop set towards the nearest owner of each internal prefix of
+/// its own AS (empty for connected or unreachable prefixes). This is
+/// the semantic model that [`ControlPlane::build`] flattens into
+/// `fib_base`/`fib_spans`/`fib_pool`; the `wormhole-lint` D5xx
+/// verifier re-derives it to cross-check the dense encoding, so build
+/// and verifier stay in lockstep by construction.
+pub fn logical_fib(
+    net: &Network,
+    igp: &[AsIgp],
+    as_prefixes: &[AsPrefixes],
+) -> Vec<Vec<Vec<(u32, RouterId)>>> {
+    let mut fib: Vec<Vec<Vec<(u32, RouterId)>>> = vec![Vec::new(); net.num_routers()];
+    for (as_idx, ap) in as_prefixes.iter().enumerate() {
+        let view = &igp[as_idx];
+        for &rid in net.as_members(ap.asn) {
+            let table = &mut fib[rid.index()];
+            table.resize(ap.len(), Vec::new());
+            for slot in 0..ap.len() as u32 {
+                let owners = ap.owners(slot);
+                if owners.contains(&rid) {
+                    continue; // connected route, engine handles it
+                }
+                let best = owners
+                    .iter()
+                    .map(|&o| view.distance(rid, o))
+                    .min()
+                    .unwrap_or(crate::igp::INF);
+                if best >= crate::igp::INF {
+                    continue;
+                }
+                let mut hops: Vec<(u32, RouterId)> = Vec::new();
+                for &o in owners {
+                    if view.distance(rid, o) != best {
+                        continue;
+                    }
+                    for &h in view.first_hops(rid, o) {
+                        if !hops.contains(&h) {
+                            hops.push(h);
+                        }
+                    }
+                }
+                hops.sort_by_key(|&(i, r)| (r, i));
+                table[slot as usize] = hops;
+            }
+        }
+    }
+    fib
+}
+
+/// The LFIB branches a router installs for FEC `slot` given its ECMP
+/// next-hop set `hops`: each branch's label operation follows the
+/// downstream neighbor's LDP advertisement — swap to its real label,
+/// pop on implicit null or a missing binding (Cisco "untagged"),
+/// swap-to-explicit-null on UHP. Shared by [`ControlPlane::build`] and
+/// the D5xx verifier.
+pub fn ldp_lfib_hops(bindings: &LdpBindings, slot: u32, hops: &[(u32, RouterId)]) -> Vec<LfibHop> {
+    let mut out = Vec::with_capacity(hops.len());
+    for &(iface, next) in hops {
+        let action = match bindings.advertised(next, slot) {
+            Some(LabelValue::Real(out_label)) => LabelAction::Swap(out_label),
+            Some(LabelValue::ImplicitNull) => LabelAction::Pop,
+            Some(LabelValue::ExplicitNull) => LabelAction::SwapExplicitNull,
+            // Downstream has no binding: "untagged".
+            None => LabelAction::Pop,
+        };
+        out.push(LfibHop {
+            iface,
+            next,
+            action,
+        });
+    }
+    out
+}
+
+/// The label program of every RSVP-TE tunnel: the transit LFIB entries
+/// to install (in tunnel-then-path order) and the per-`(head, tail)`
+/// autoroute decisions sorted by `(head, tail)` (a later tunnel on the
+/// same pair wins, as in [`ControlPlane::build`]). Fails when a tunnel
+/// path is invalid or lacks a physical adjacency.
+#[allow(clippy::type_complexity)] // the two halves of the TE program
+pub fn te_program(
+    net: &Network,
+) -> Result<
+    (
+        Vec<(RouterId, Label, LfibEntry)>,
+        Vec<((RouterId, RouterId), TeRoute)>,
+    ),
+    NetError,
+> {
+    let mut transit = Vec::new();
+    let mut te_autoroute = HashMap::new();
+    for t in net.te_tunnels() {
+        t.validate(net)
+            .map_err(|reason| NetError::InvalidTeTunnel { reason })?;
+        for i in 1..t.path.len().saturating_sub(1) {
+            let cur = t.path[i];
+            let next = t.path[i + 1];
+            let iface = net
+                .router(cur)
+                .iface_to(next)
+                .ok_or(NetError::MissingAdjacency {
+                    from: cur,
+                    to: next,
+                })? as u32;
+            let action = if i + 1 == t.path.len() - 1 {
+                match t.popping {
+                    PoppingMode::Php => LabelAction::Pop,
+                    PoppingMode::Uhp => LabelAction::SwapExplicitNull,
+                }
+            } else {
+                LabelAction::Swap(t.label_into(i + 1))
+            };
+            transit.push((
+                cur,
+                t.label_into(i),
+                LfibEntry {
+                    slot: u32::MAX, // TE entries carry no LDP FEC
+                    nexthops: vec![LfibHop {
+                        iface,
+                        next,
+                        action,
+                    }],
+                },
+            ));
+        }
+        let first = t.path[1];
+        let head = t.head();
+        let iface = net
+            .router(head)
+            .iface_to(first)
+            .ok_or(NetError::MissingAdjacency {
+                from: head,
+                to: first,
+            })? as u32;
+        let push = if t.path.len() == 2 {
+            match t.popping {
+                PoppingMode::Php => None, // one-hop LSP degenerates
+                PoppingMode::Uhp => Some(Label::EXPLICIT_NULL),
+            }
+        } else {
+            Some(t.label_into(1))
+        };
+        te_autoroute.insert((t.head(), t.tail()), (iface, first, push));
+    }
+    let mut te_list: Vec<((RouterId, RouterId), TeRoute)> = te_autoroute.into_iter().collect();
+    te_list.sort_by_key(|&((h, t), _)| (h, t));
+    Ok((transit, te_list))
+}
+
 impl ControlPlane {
     /// Computes the full control plane, using every available core for
     /// the per-AS phase. Fails when an AS is internally disconnected or
@@ -293,42 +443,9 @@ impl ControlPlane {
         }
         let bindings = LdpBindings::compute(net, &as_prefixes);
 
-        // Intra-AS FIBs, first into a per-router scratch table.
-        let mut fib: Vec<Vec<Vec<(u32, RouterId)>>> = vec![Vec::new(); net.num_routers()];
-        for (as_idx, ap) in as_prefixes.iter().enumerate() {
-            let view = &igp[as_idx];
-            for &rid in net.as_members(ap.asn) {
-                let table = &mut fib[rid.index()];
-                table.resize(ap.len(), Vec::new());
-                for slot in 0..ap.len() as u32 {
-                    let owners = ap.owners(slot);
-                    if owners.contains(&rid) {
-                        continue; // connected route, engine handles it
-                    }
-                    let best = owners
-                        .iter()
-                        .map(|&o| view.distance(rid, o))
-                        .min()
-                        .unwrap_or(crate::igp::INF);
-                    if best >= crate::igp::INF {
-                        continue;
-                    }
-                    let mut hops: Vec<(u32, RouterId)> = Vec::new();
-                    for &o in owners {
-                        if view.distance(rid, o) != best {
-                            continue;
-                        }
-                        for &h in view.first_hops(rid, o) {
-                            if !hops.contains(&h) {
-                                hops.push(h);
-                            }
-                        }
-                    }
-                    hops.sort_by_key(|&(i, r)| (r, i));
-                    table[slot as usize] = hops;
-                }
-            }
-        }
+        // Intra-AS FIBs, first into the logical per-router scratch
+        // table that the dense pool below flattens.
+        let fib = logical_fib(net, &igp, &as_prefixes);
 
         // External routes with hot-potato egress selection.
         let mut ext = vec![vec![ExtRoute::Unreachable; n_as]; net.num_routers()];
@@ -392,22 +509,7 @@ impl ControlPlane {
                     let LabelValue::Real(in_label) = value else {
                         continue;
                     };
-                    let entry = &fib[rid.index()][slot as usize];
-                    let mut hops = Vec::with_capacity(entry.len());
-                    for &(iface, next) in entry {
-                        let action = match bindings.advertised(next, slot) {
-                            Some(LabelValue::Real(out)) => LabelAction::Swap(out),
-                            Some(LabelValue::ImplicitNull) => LabelAction::Pop,
-                            Some(LabelValue::ExplicitNull) => LabelAction::SwapExplicitNull,
-                            // Downstream has no binding: "untagged".
-                            None => LabelAction::Pop,
-                        };
-                        hops.push(LfibHop {
-                            iface,
-                            next,
-                            action,
-                        });
-                    }
+                    let hops = ldp_lfib_hops(&bindings, slot, &fib[rid.index()][slot as usize]);
                     if !hops.is_empty() {
                         lfib[rid.index()].insert(
                             in_label,
@@ -422,64 +524,12 @@ impl ControlPlane {
         }
 
         // RSVP-TE tunnels: validate paths, install the label chain at
-        // every transit LSR, and record the head's autoroute decision.
-        let mut te_autoroute = HashMap::new();
-        for t in net.te_tunnels() {
-            t.validate(net)
-                .map_err(|reason| NetError::InvalidTeTunnel { reason })?;
-            for i in 1..t.path.len().saturating_sub(1) {
-                let cur = t.path[i];
-                let next = t.path[i + 1];
-                let iface = net
-                    .router(cur)
-                    .iface_to(next)
-                    .ok_or(NetError::MissingAdjacency {
-                        from: cur,
-                        to: next,
-                    })? as u32;
-                let action = if i + 1 == t.path.len() - 1 {
-                    match t.popping {
-                        PoppingMode::Php => LabelAction::Pop,
-                        PoppingMode::Uhp => LabelAction::SwapExplicitNull,
-                    }
-                } else {
-                    LabelAction::Swap(t.label_into(i + 1))
-                };
-                lfib[cur.index()].insert(
-                    t.label_into(i),
-                    LfibEntry {
-                        slot: u32::MAX, // TE entries carry no LDP FEC
-                        nexthops: vec![LfibHop {
-                            iface,
-                            next,
-                            action,
-                        }],
-                    },
-                );
-            }
-            let first = t.path[1];
-            let head = t.head();
-            let iface = net
-                .router(head)
-                .iface_to(first)
-                .ok_or(NetError::MissingAdjacency {
-                    from: head,
-                    to: first,
-                })? as u32;
-            let push = if t.path.len() == 2 {
-                match t.popping {
-                    PoppingMode::Php => None, // one-hop LSP degenerates
-                    PoppingMode::Uhp => Some(Label::EXPLICIT_NULL),
-                }
-            } else {
-                Some(t.label_into(1))
-            };
-            te_autoroute.insert((t.head(), t.tail()), (iface, first, push));
+        // every transit LSR, and flatten the heads' autoroute decisions
+        // into a CSR table grouped by head.
+        let (te_transit, te_list) = te_program(net)?;
+        for (cur, in_label, entry) in te_transit {
+            lfib[cur.index()].insert(in_label, entry);
         }
-
-        // Flatten the autoroute map into a CSR table grouped by head.
-        let mut te_list: Vec<((RouterId, RouterId), TeRoute)> = te_autoroute.into_iter().collect();
-        te_list.sort_by_key(|&((h, t), _)| (h, t));
         let mut te_heads = Vec::with_capacity(net.num_routers() + 1);
         let mut te_routes = Vec::with_capacity(te_list.len());
         let mut cursor = 0usize;
@@ -635,6 +685,137 @@ impl ControlPlane {
         span.binary_search_by_key(&tail, |&(t, _)| t)
             .ok()
             .map(|i| span[i].1)
+    }
+
+    /// Borrows every flat destination/forwarding table at once, for the
+    /// D5xx dense-plane verifier. The packet walk never goes through
+    /// this view — it exists so an external checker can audit CSR
+    /// well-formedness without the tables becoming public fields.
+    pub fn dense_view(&self) -> DenseView<'_> {
+        DenseView {
+            fib_base: &self.fib_base,
+            fib_spans: &self.fib_spans,
+            fib_pool: &self.fib_pool,
+            te_heads: &self.te_heads,
+            te_routes: &self.te_routes,
+            loopback_slot: &self.loopback_slot,
+            iface_slot_base: &self.iface_slot_base,
+            iface_slot: &self.iface_slot,
+            router_as_idx: &self.router_as_idx,
+        }
+    }
+
+    /// Borrows the raw window/overflow representation of `router`'s
+    /// LFIB, for the D5xx dense-plane verifier.
+    pub fn lfib_raw(&self, router: RouterId) -> LfibRaw<'_> {
+        let t = &self.lfib[router.index()];
+        LfibRaw {
+            lo: t.lo,
+            window: &t.window,
+            overflow: &t.overflow,
+            len: t.len,
+        }
+    }
+}
+
+/// A read-only borrow of every flat table inside a [`ControlPlane`],
+/// exposed for invariant verification (see [`ControlPlane::dense_view`]).
+#[derive(Copy, Clone, Debug)]
+pub struct DenseView<'a> {
+    /// Router → base index into `fib_spans`; length `num_routers + 1`.
+    pub fib_base: &'a [u32],
+    /// `(start, len)` into `fib_pool` per `(router, slot)`.
+    pub fib_spans: &'a [(u32, u32)],
+    /// Concatenated ECMP next-hop sets `(iface index, next router)`.
+    pub fib_pool: &'a [(u32, RouterId)],
+    /// Router → span of `te_routes` headed there; length
+    /// `num_routers + 1`.
+    pub te_heads: &'a [u32],
+    /// `(tail, route)` grouped by head, sorted by tail within a group.
+    pub te_routes: &'a [(RouterId, TeRoute)],
+    /// FIB slot of each router's loopback (`u32::MAX` = none).
+    pub loopback_slot: &'a [u32],
+    /// Router → base index into `iface_slot`; length `num_routers + 1`.
+    pub iface_slot_base: &'a [u32],
+    /// FIB slot of each interface address (`u32::MAX` = none).
+    pub iface_slot: &'a [u32],
+    /// Dense AS index of each router's own AS (`u32::MAX` = none).
+    pub router_as_idx: &'a [u32],
+}
+
+/// A read-only borrow of one router's raw LFIB representation (see
+/// [`ControlPlane::lfib_raw`]).
+#[derive(Copy, Clone, Debug)]
+pub struct LfibRaw<'a> {
+    /// Label value of `window[0]`.
+    pub lo: u32,
+    /// `window[label - lo]`, `None` for gaps.
+    pub window: &'a [Option<LfibEntry>],
+    /// Entries outside the window, sorted by label value.
+    pub overflow: &'a [(u32, LfibEntry)],
+    /// Claimed number of installed entries.
+    pub len: usize,
+}
+
+/// Test-only mutation hooks (`mutation` cargo feature): `&mut` access
+/// to the private dense tables so the lint crate's mutation self-test
+/// can seed one corruption per D5xx rule. Nothing in the simulator
+/// calls these.
+#[cfg(feature = "mutation")]
+impl ControlPlane {
+    /// Mutable `te_heads` CSR offsets.
+    pub fn te_heads_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.te_heads
+    }
+
+    /// Mutable `te_routes` pool.
+    pub fn te_routes_mut(&mut self) -> &mut Vec<(RouterId, TeRoute)> {
+        &mut self.te_routes
+    }
+
+    /// Mutable `fib_base` CSR offsets.
+    pub fn fib_base_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.fib_base
+    }
+
+    /// Mutable `fib_spans` table.
+    pub fn fib_spans_mut(&mut self) -> &mut Vec<(u32, u32)> {
+        &mut self.fib_spans
+    }
+
+    /// Mutable `fib_pool`.
+    pub fn fib_pool_mut(&mut self) -> &mut Vec<(u32, RouterId)> {
+        &mut self.fib_pool
+    }
+
+    /// Mutable per-router loopback slot table.
+    pub fn loopback_slot_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.loopback_slot
+    }
+
+    /// Mutable interface slot table.
+    pub fn iface_slot_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.iface_slot
+    }
+
+    /// Mutable interface slot CSR offsets.
+    pub fn iface_slot_base_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.iface_slot_base
+    }
+
+    /// Mutable router → AS index table.
+    pub fn router_as_idx_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.router_as_idx
+    }
+
+    /// Mutable LFIB overflow list of `router`.
+    pub fn lfib_overflow_mut(&mut self, router: RouterId) -> &mut Vec<(u32, LfibEntry)> {
+        &mut self.lfib[router.index()].overflow
+    }
+
+    /// Mutable LFIB window of `router`.
+    pub fn lfib_window_mut(&mut self, router: RouterId) -> &mut Vec<Option<LfibEntry>> {
+        &mut self.lfib[router.index()].window
     }
 }
 

@@ -114,6 +114,18 @@ impl AsIgp {
         let row = self.dist.first()?;
         row.iter().position(|&d| d >= INF).map(|i| self.members[i])
     }
+
+    /// The raw first-hop CSR `(fh_index, fh_data)`, for the D5xx
+    /// dense-plane verifier's well-formedness checks.
+    pub fn first_hop_csr(&self) -> (&[u32], &[(u32, RouterId)]) {
+        (&self.fh_index, &self.fh_data)
+    }
+
+    /// Mutable first-hop CSR offsets (test-only mutation hook).
+    #[cfg(feature = "mutation")]
+    pub fn fh_index_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.fh_index
+    }
 }
 
 /// The IGP metric of `router`'s `iface_idx`-th interface in the outgoing

@@ -115,6 +115,24 @@ impl LdpBindings {
     pub fn count(&self, router: RouterId) -> usize {
         self.advertisements(router).count()
     }
+
+    /// The raw CSR representation `(base, pool)`, for the D5xx
+    /// dense-plane verifier's well-formedness checks.
+    pub fn csr(&self) -> (&[u32], &[Option<LabelValue>]) {
+        (&self.base, &self.pool)
+    }
+
+    /// Mutable CSR offsets (test-only mutation hook).
+    #[cfg(feature = "mutation")]
+    pub fn base_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.base
+    }
+
+    /// Mutable advertisement pool (test-only mutation hook).
+    #[cfg(feature = "mutation")]
+    pub fn pool_mut(&mut self) -> &mut Vec<Option<LabelValue>> {
+        &mut self.pool
+    }
 }
 
 #[cfg(test)]

@@ -65,7 +65,10 @@ pub mod vendor;
 
 pub use addr::{Addr, AddrAllocator, Prefix};
 pub use bgp::{Bgp, RouteClass};
-pub use control::{ControlPlane, ExtRoute, LabelAction, LfibEntry, LfibHop};
+pub use control::{
+    ldp_lfib_hops, logical_fib, te_program, ControlPlane, DenseView, ExtRoute, LabelAction,
+    LfibEntry, LfibHop, LfibRaw, TeRoute,
+};
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;
 pub use fault::{

@@ -175,6 +175,14 @@ impl Network {
         self.addr_owner.iter().map(|(a, r)| (*a, *r))
     }
 
+    /// Rebinds `addr` to `owner` in the memoized owner hash without
+    /// touching the routers that actually hold the address (test-only
+    /// mutation hook for the D511 owner-hash invariant check).
+    #[cfg(feature = "mutation")]
+    pub fn poison_owner(&mut self, addr: Addr, owner: RouterId) {
+        self.addr_owner.insert(addr, owner);
+    }
+
     /// Border routers of `asn`: members with at least one inter-AS link.
     pub fn borders(&self, asn: Asn) -> Vec<RouterId> {
         self.as_members(asn)

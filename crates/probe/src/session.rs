@@ -75,7 +75,7 @@ impl<'a> Session<'a> {
         seed: u64,
     ) -> Session<'a> {
         #[cfg(debug_assertions)]
-        wormhole_lint::deny_errors("Session", &wormhole_lint::check_full(net, cp));
+        wormhole_lint::deny_errors("Session", &wormhole_lint::check_plane(net, cp));
         Session::over(
             SubstrateRef::new(net, cp),
             vp,

@@ -1,17 +1,37 @@
 //! `wormhole-lint` — static analysis over every bundled input: the six
-//! Fig. 2 testbed configurations, the ten paper personas, and a
-//! quick-scale generated Internet. Exits non-zero when any input
-//! carries `Error`-level diagnostics; CI runs this as the lint gate.
+//! Fig. 2 testbed configurations, the two TE variants, the ten paper
+//! personas, and a generated Internet at a selectable scale (including
+//! the `D5xx` dense-plane verifier over its flat control-plane tables).
+//! Exits non-zero when any input reaches the deny level; CI runs this
+//! as the lint gate.
+//!
+//! ```text
+//! wormhole-lint [--scale quick|paper|tenfold|thousandfold]
+//!               [--format text|json]
+//!               [--deny error|warn|info]
+//!               [--severity CODE=LEVEL]...   # repeatable reclassification
+//! wormhole-lint --explain CODE               # one rule, explained
+//! wormhole-lint --rules                      # the full rule table
+//! ```
 
 use std::process::ExitCode;
-use wormhole::lint;
+use wormhole::lint::{self, LintConfig};
 use wormhole::net::PoppingMode;
 use wormhole::topo::{
     generate, gns3_fig2, gns3_fig2_te, paper_personas, Fig2Config, InternetConfig, Scenario,
 };
 
-/// Prints one input's findings; returns whether it carried errors.
-fn report(name: &str, diags: &[lint::Diagnostic]) -> bool {
+const USAGE: &str = "usage: wormhole-lint [--scale quick|paper|tenfold|thousandfold] \
+                     [--format text|json] [--deny LEVEL] [--severity CODE=LEVEL]... \
+                     | --explain CODE | --rules";
+
+enum Format {
+    Text,
+    Json,
+}
+
+/// Prints one input's findings (text mode).
+fn report(name: &str, diags: &[lint::Diagnostic]) {
     let (e, w, i) = lint::count(diags);
     if diags.is_empty() {
         println!("{name:<28} clean");
@@ -23,11 +43,80 @@ fn report(name: &str, diags: &[lint::Diagnostic]) -> bool {
             }
         }
     }
-    e > 0
+}
+
+fn explain(code: &str) -> ExitCode {
+    let Some(r) = lint::rule(code) else {
+        eprintln!("unknown rule code '{code}' (see wormhole-lint --rules)");
+        return ExitCode::FAILURE;
+    };
+    println!("{} ({}, default {})", r.code, r.family, r.severity);
+    println!("  {}", r.summary);
+    println!();
+    println!("{}", r.explanation);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
-    let mut failed = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LintConfig::default();
+    let mut scale = "quick".to_string();
+    let mut format = Format::Text;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rules" => {
+                print!("{}", lint::markdown_table());
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(code) = it.next() else {
+                    eprintln!("--explain needs a rule code");
+                    return ExitCode::FAILURE;
+                };
+                return explain(code);
+            }
+            "--scale" => match it.next().map(String::as_str) {
+                Some(s @ ("quick" | "paper" | "tenfold" | "thousandfold")) => {
+                    scale = s.to_string();
+                }
+                other => {
+                    eprintln!("bad --scale {other:?}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("bad --format {other:?}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--deny" => match it.next().map(String::as_str).and_then(lint::parse_severity) {
+                Some(level) => cfg.deny = level,
+                None => {
+                    eprintln!("bad --deny level\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--severity" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--severity needs CODE=LEVEL");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = cfg.add_override(spec) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let scenarios: Vec<(String, Scenario)> = Fig2Config::ALL
         .into_iter()
@@ -43,22 +132,57 @@ fn main() -> ExitCode {
             ),
         ])
         .collect();
+
+    let net_cfg = match scale.as_str() {
+        "quick" => InternetConfig::small(8),
+        "paper" => InternetConfig {
+            seed: 8,
+            ..InternetConfig::default()
+        },
+        "tenfold" => InternetConfig::tenfold(8),
+        _ => InternetConfig::thousandfold(8),
+    };
+
+    // (input name, findings with overrides applied)
+    let mut runs: Vec<(String, Vec<lint::Diagnostic>)> = Vec::new();
     for (name, s) in &scenarios {
-        failed |= report(name, &lint::check_scenario(s));
+        runs.push((name.clone(), lint::check_scenario(s)));
     }
-
     for p in paper_personas() {
-        failed |= report(&format!("persona/{}", p.name), &lint::check_persona(&p));
+        runs.push((format!("persona/{}", p.name), lint::check_persona(&p)));
+    }
+    let internet = generate(&net_cfg);
+    runs.push((format!("internet/{scale}"), lint::check_internet(&internet)));
+
+    let mut failed = false;
+    for (_, diags) in &mut runs {
+        cfg.apply(diags);
+        failed |= cfg.fails(diags);
     }
 
-    let internet = generate(&InternetConfig::small(8));
-    failed |= report("internet/quick", &lint::check_internet(&internet));
+    match format {
+        Format::Text => {
+            for (name, diags) in &runs {
+                report(name, diags);
+            }
+            if failed {
+                eprintln!("lint failed: diagnostics at or above the deny level");
+            } else {
+                println!("all inputs lint clean at the deny level");
+            }
+        }
+        Format::Json => {
+            // One aggregated, normalized document across every input —
+            // the artifact CI archives.
+            let mut all: Vec<lint::Diagnostic> = runs.into_iter().flat_map(|(_, d)| d).collect();
+            lint::normalize(&mut all);
+            println!("{}", lint::to_json(&all));
+        }
+    }
 
     if failed {
-        eprintln!("lint failed: error-level diagnostics found");
         ExitCode::FAILURE
     } else {
-        println!("all inputs lint clean");
         ExitCode::SUCCESS
     }
 }
