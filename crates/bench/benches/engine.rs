@@ -1,13 +1,14 @@
-//! Engine microbenchmarks on the tenfold Internet: the recording-off
-//! packet walk (the steady-state campaign configuration) versus the
-//! ground-truth-recording walk, plus a dedicated timed section that
-//! writes `BENCH_engine.json` at the repo root — walk throughput, the
-//! `heap_allocs` proof counter, and serial-vs-parallel control-plane
-//! build times.
+//! Engine microbenchmarks on the tenfold Internet: the batched SoA
+//! walk versus the scalar recording-off walk (the two steady-state
+//! campaign configurations) versus the ground-truth-recording walk,
+//! plus a dedicated timed section that writes `BENCH_engine.json` at
+//! the repo root — batched, scalar and thousandfold walk throughput,
+//! the `heap_allocs` proof counters, and serial-vs-parallel
+//! control-plane build times.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use wormhole_bench::measure;
-use wormhole_net::{Engine, FaultPlan, ProbeState, SubstrateRef};
+use wormhole_net::{Engine, FaultPlan, ProbeState, SubstrateRef, BATCH_WIDTH};
 use wormhole_probe::{traceroute, Session, TracerouteOpts};
 use wormhole_topo::{generate, InternetConfig};
 
@@ -29,6 +30,21 @@ fn engine_bench(c: &mut Criterion) {
         let mut sess = Session::over(sub, vp, ProbeState::new(FaultPlan::none(), 0));
         b.iter(|| black_box(sess.traceroute(far)))
     });
+    group.bench_function("traceroute_batch_64", |b| {
+        // A full SoA lane of far loopbacks — the gap against the
+        // scalar walk above is the batching win itself (shared table
+        // walks, gathered flag rows, no per-probe dispatch).
+        let mut sess = Session::over(sub, vp, ProbeState::new(FaultPlan::none(), 0));
+        let dsts: Vec<_> = internet
+            .net
+            .routers()
+            .iter()
+            .rev()
+            .take(BATCH_WIDTH)
+            .map(|r| r.loopback)
+            .collect();
+        b.iter(|| black_box(sess.traceroute_batch(&dsts)))
+    });
     group.bench_function("traceroute_recording_on", |b| {
         // Same walk over a bare engine with ground-truth path recording
         // turned back on — the gap against `traceroute_recording_off`
@@ -42,18 +58,22 @@ fn engine_bench(c: &mut Criterion) {
     });
     group.finish();
 
-    let e = measure::measure_engine(&internet);
-    println!(
-        "engine walk: {:.0} probes/sec over {} probes ({} traces), {} heap allocs",
-        e.probes_per_sec, e.probes, e.traces, e.heap_allocs
-    );
+    let thousandfold = generate(&InternetConfig::thousandfold(8));
+    let e = measure::measure_engine(&internet, &thousandfold);
+    for w in &e.walks {
+        println!(
+            "engine {}: {:.0} probes/sec over {} probes ({} traces, {} routers), {} heap allocs",
+            w.name, w.probes_per_sec, w.probes, w.traces, w.routers, w.heap_allocs
+        );
+        assert_eq!(
+            w.heap_allocs, 0,
+            "recording-off {} must stay allocation-free",
+            w.name
+        );
+    }
     println!(
         "plane build: {:.3}s serial, {:.3}s at {} workers",
         e.plane_serial_seconds, e.plane_parallel_seconds, e.plane_jobs
-    );
-    assert_eq!(
-        e.heap_allocs, 0,
-        "recording-off walk must stay allocation-free"
     );
     measure::write_baseline("BENCH_engine.json", &measure::engine_json(&e));
 }

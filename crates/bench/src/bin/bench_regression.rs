@@ -7,9 +7,10 @@
 //! bench-regression --write    refresh the baselines in place
 //! ```
 //!
-//! The gate also fails when the recording-off packet walk performs any
-//! heap allocation, regardless of throughput: the allocation-free walk
-//! is an invariant, not a number that may drift.
+//! The gate also fails when any recording-off packet walk — batched
+//! or scalar, at either scale — performs a heap allocation, regardless
+//! of throughput: the allocation-free walk is an invariant, not a
+//! number that may drift.
 
 use std::process::ExitCode;
 use wormhole_bench::measure;
@@ -45,19 +46,19 @@ fn main() -> ExitCode {
             measure::THOUSANDFOLD_MATRIX,
         ),
     ];
-    let engine = measure::measure_engine(&tenfold);
+    let engine = measure::measure_engine(&tenfold, &thousandfold);
     for line in measure::summary_lines(&scales) {
         println!("{line}");
     }
+    for w in &engine.walks {
+        println!(
+            "engine {}: {:.0} probes/sec over {} probes ({} traces, {} routers), {} heap allocs",
+            w.name, w.probes_per_sec, w.probes, w.traces, w.routers, w.heap_allocs
+        );
+    }
     println!(
-        "engine walk: {:.0} probes/sec over {} probes, {} heap allocs; plane build {:.3}s \
-         serial, {:.3}s at {} workers",
-        engine.probes_per_sec,
-        engine.probes,
-        engine.heap_allocs,
-        engine.plane_serial_seconds,
-        engine.plane_parallel_seconds,
-        engine.plane_jobs
+        "plane build: {:.3}s serial, {:.3}s at {} workers",
+        engine.plane_serial_seconds, engine.plane_parallel_seconds, engine.plane_jobs
     );
 
     if write {
@@ -68,11 +69,13 @@ fn main() -> ExitCode {
     }
 
     let mut failures = Vec::new();
-    if engine.heap_allocs != 0 {
-        failures.push(format!(
-            "recording-off packet walk touched the heap {} times (expected 0)",
-            engine.heap_allocs
-        ));
+    for w in &engine.walks {
+        if w.heap_allocs != 0 {
+            failures.push(format!(
+                "recording-off {} touched the heap {} times (expected 0)",
+                w.name, w.heap_allocs
+            ));
+        }
     }
 
     match measure::read_baseline("BENCH_campaign.json") {
@@ -105,11 +108,24 @@ fn main() -> ExitCode {
         }
     }
     match measure::read_baseline("BENCH_engine.json").as_deref() {
-        Some(json) => match measure::parse_engine_baseline(json) {
-            Some(base) => check("engine walk", base, engine.probes_per_sec, &mut failures),
-            None => failures
-                .push("BENCH_engine.json has no walk entry — refresh it via --write".to_string()),
-        },
+        Some(json) => {
+            let rows = measure::parse_engine_baseline(json);
+            if rows.is_empty() {
+                failures.push(
+                    "BENCH_engine.json has no walk entry — refresh it via --write".to_string(),
+                );
+            }
+            for base in rows {
+                let name = format!("engine {}", base.name);
+                match engine.walks.iter().find(|w| w.name == base.name) {
+                    Some(w) => check(&name, base.probes_per_sec, w.probes_per_sec, &mut failures),
+                    None => failures.push(format!(
+                        "{name}: committed baseline has no fresh measurement — the walk matrix \
+                         shrank; refresh the baseline with --write if that was intended"
+                    )),
+                }
+            }
+        }
         None => {
             failures.push("BENCH_engine.json missing — commit a baseline via --write".to_string())
         }

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 use wormhole_core::{Campaign, CampaignConfig, Scheduling};
-use wormhole_net::{ControlPlane, FaultPlan, FaultScenario, ProbeState, SubstrateRef};
+use wormhole_net::{Addr, ControlPlane, FaultPlan, FaultScenario, ProbeState, SubstrateRef};
 use wormhole_probe::Session;
 use wormhole_topo::{generate, Internet, InternetConfig};
 
@@ -223,9 +223,12 @@ pub fn campaign_json(scales: &[ScaleBench]) -> String {
     )
 }
 
-/// Engine-level microbench results: the allocation-free packet walk
-/// and the serial-vs-parallel control-plane build.
-pub struct EngineBench {
+/// One timed loopback sweep — a walk of every router loopback from the
+/// first vantage point with path recording off.
+pub struct WalkRun {
+    /// Stable row name in `BENCH_engine.json` (`walk`, `walk_scalar`,
+    /// `walk_thousandfold`).
+    pub name: &'static str,
     /// Router count of the Internet walked.
     pub routers: usize,
     /// Traceroutes run (one per router loopback).
@@ -239,6 +242,16 @@ pub struct EngineBench {
     /// Heap allocations the engine charged to packets — must stay 0
     /// with path recording off.
     pub heap_allocs: u64,
+}
+
+/// Engine-level microbench results: the allocation-free packet walks
+/// (batched SoA at tenfold and thousandfold, scalar at tenfold for the
+/// speedup row) and the serial-vs-parallel control-plane build.
+pub struct EngineBench {
+    /// Router count of the tenfold Internet (the headline scale).
+    pub routers: usize,
+    /// The timed walks, one `BENCH_engine.json` row each.
+    pub walks: Vec<WalkRun>,
     /// Control-plane build wall seconds at one worker.
     pub plane_serial_seconds: f64,
     /// Worker count of the parallel build (the runner's core count).
@@ -247,22 +260,27 @@ pub struct EngineBench {
     pub plane_parallel_seconds: f64,
 }
 
-/// Traceroutes from the first vantage point to every router loopback
-/// with path recording off — the steady-state campaign walk — then
-/// times the control-plane build serially and with every core.
-pub fn measure_engine(internet: &Internet) -> EngineBench {
+/// Times one loopback sweep, batched (`Session::traceroute_batch` over
+/// the whole destination list — the SoA engine keeps at most
+/// `BATCH_WIDTH` packets in flight per step) or scalar (one
+/// `Session::traceroute` per loopback). Best-of-three sweeps: the walk
+/// is deterministic, only timing varies, and counters are read after
+/// the first sweep so they count one sweep's probes.
+pub fn time_walk(name: &'static str, internet: &Internet, batched: bool) -> WalkRun {
     let sub = SubstrateRef::new(&internet.net, &internet.cp);
     let mut sess = Session::over(sub, internet.vps[0], ProbeState::new(FaultPlan::none(), 0));
-    // Best-of-three sweeps (the walk is deterministic, only timing
-    // varies); counters are read after the first sweep so they count
-    // one sweep's probes.
+    let dsts: Vec<Addr> = internet.net.routers().iter().map(|r| r.loopback).collect();
     let mut seconds = f64::INFINITY;
     let mut probes = 0;
     let mut traces = 0;
     for sweep in 0..3 {
         let t0 = Instant::now();
-        for r in internet.net.routers() {
-            sess.traceroute(r.loopback);
+        if batched {
+            sess.traceroute_batch(&dsts);
+        } else {
+            for &d in &dsts {
+                sess.traceroute(d);
+            }
         }
         seconds = seconds.min(t0.elapsed().as_secs_f64());
         if sweep == 0 {
@@ -270,46 +288,70 @@ pub fn measure_engine(internet: &Internet) -> EngineBench {
             traces = sess.stats.traceroutes;
         }
     }
-
-    // Untimed warmup build: the first build pays the allocator's page
-    // faults, which would otherwise be billed to the serial timing and
-    // fake a parallel speedup.
-    ControlPlane::build_with_jobs(&internet.net, 1).expect("warmup plane build");
-    let t1 = Instant::now();
-    ControlPlane::build_with_jobs(&internet.net, 1).expect("serial plane build");
-    let plane_serial_seconds = t1.elapsed().as_secs_f64();
-    let plane_jobs = cores();
-    let t2 = Instant::now();
-    ControlPlane::build_with_jobs(&internet.net, plane_jobs).expect("parallel plane build");
-    let plane_parallel_seconds = t2.elapsed().as_secs_f64();
-
-    EngineBench {
+    WalkRun {
+        name,
         routers: internet.net.num_routers(),
         traces,
         probes,
         seconds,
         probes_per_sec: probes as f64 / seconds,
         heap_allocs: sess.engine_stats().heap_allocs,
+    }
+}
+
+/// Measures the three walk rows — batched and scalar at tenfold, then
+/// batched at thousandfold — and times the tenfold control-plane build
+/// serially and with every core.
+pub fn measure_engine(tenfold: &Internet, thousandfold: &Internet) -> EngineBench {
+    let walks = vec![
+        time_walk("walk", tenfold, true),
+        time_walk("walk_scalar", tenfold, false),
+        time_walk("walk_thousandfold", thousandfold, true),
+    ];
+
+    // Untimed warmup build: the first build pays the allocator's page
+    // faults, which would otherwise be billed to the serial timing and
+    // fake a parallel speedup.
+    ControlPlane::build_with_jobs(&tenfold.net, 1).expect("warmup plane build");
+    let t1 = Instant::now();
+    ControlPlane::build_with_jobs(&tenfold.net, 1).expect("serial plane build");
+    let plane_serial_seconds = t1.elapsed().as_secs_f64();
+    let plane_jobs = cores();
+    let t2 = Instant::now();
+    ControlPlane::build_with_jobs(&tenfold.net, plane_jobs).expect("parallel plane build");
+    let plane_parallel_seconds = t2.elapsed().as_secs_f64();
+
+    EngineBench {
+        routers: tenfold.net.num_routers(),
+        walks,
         plane_serial_seconds,
         plane_jobs,
         plane_parallel_seconds,
     }
 }
 
-/// Renders engine measurements as the `BENCH_engine.json` document.
+/// Renders engine measurements as the `BENCH_engine.json` document —
+/// one object per line so [`parse_engine_baseline`] can key each walk
+/// row by name.
 pub fn engine_json(e: &EngineBench) -> String {
+    let walks: Vec<String> = e
+        .walks
+        .iter()
+        .map(|w| {
+            format!(
+                "  \"{}\": {{\"routers\": {}, \"traces\": {}, \"probes\": {}, \
+                 \"seconds\": {:.6}, \"probes_per_sec\": {:.1}, \"heap_allocs\": {}}},",
+                w.name, w.routers, w.traces, w.probes, w.seconds, w.probes_per_sec, w.heap_allocs
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"bench\": \"engine\",\n  \"cores\": {},\n  \"scale\": \"tenfold\",\n  \
-         \"routers\": {},\n  \"walk\": {{\"traces\": {}, \"probes\": {}, \"seconds\": {:.6}, \
-         \"probes_per_sec\": {:.1}, \"heap_allocs\": {}}},\n  \"plane_build\": \
+         \"routers\": {},\n{}\n  \"plane_build\": \
          {{\"serial_seconds\": {:.6}, \"parallel_jobs\": {}, \"parallel_seconds\": {:.6}}}\n}}\n",
         cores(),
         e.routers,
-        e.traces,
-        e.probes,
-        e.seconds,
-        e.probes_per_sec,
-        e.heap_allocs,
+        walks.join("\n"),
         e.plane_serial_seconds,
         e.plane_jobs,
         e.plane_parallel_seconds
@@ -372,12 +414,33 @@ pub fn parse_campaign_baseline(json: &str) -> Vec<BaselineRun> {
     out
 }
 
-/// Extracts the walk throughput from a `BENCH_engine.json` document
-/// (`None` when it has no walk line).
-pub fn parse_engine_baseline(json: &str) -> Option<f64> {
+/// A named walk-throughput row extracted from a committed
+/// `BENCH_engine.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineRow {
+    /// Row name (`walk`, `walk_scalar`, `walk_thousandfold`).
+    pub name: String,
+    /// Committed throughput.
+    pub probes_per_sec: f64,
+}
+
+/// Extracts every `walk*` throughput row from a `BENCH_engine.json`
+/// document. Leans on the emitter's one-object-per-line layout; the
+/// pre-batching single-walk format parses as one `walk` row.
+pub fn parse_engine_baseline(json: &str) -> Vec<EngineRow> {
     json.lines()
-        .find(|l| l.contains("\"walk\""))
-        .and_then(|l| num_field(l, "probes_per_sec"))
+        .filter_map(|line| {
+            let name = line.trim_start().strip_prefix('"')?;
+            let (name, _) = name.split_once('"')?;
+            if !name.starts_with("walk") {
+                return None;
+            }
+            Some(EngineRow {
+                name: name.to_string(),
+                probes_per_sec: num_field(line, "probes_per_sec")?,
+            })
+        })
+        .collect()
 }
 
 /// The number following `"key":` on `line`, if present.
@@ -468,21 +531,47 @@ mod tests {
     }
 
     #[test]
-    fn engine_json_round_trips_the_walk_throughput() {
-        let e = EngineBench {
-            routers: 3694,
-            traces: 3694,
+    fn engine_json_round_trips_every_walk_row() {
+        let walk = |name, routers, pps| WalkRun {
+            name,
+            routers,
+            traces: routers as u64,
             probes: 55000,
             seconds: 0.03,
-            probes_per_sec: 1_833_333.3,
+            probes_per_sec: pps,
             heap_allocs: 0,
+        };
+        let e = EngineBench {
+            routers: 3694,
+            walks: vec![
+                walk("walk", 3694, 12_000_000.5),
+                walk("walk_scalar", 3694, 1_833_333.3),
+                walk("walk_thousandfold", 14201, 11_000_000.0),
+            ],
             plane_serial_seconds: 1.2,
             plane_jobs: 4,
             plane_parallel_seconds: 0.4,
         };
         let json = engine_json(&e);
-        let pps = parse_engine_baseline(&json).expect("walk line parses");
-        assert!((pps - 1_833_333.3).abs() < 0.2);
+        let rows = parse_engine_baseline(&json);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "walk");
+        assert!((rows[0].probes_per_sec - 12_000_000.5).abs() < 0.2);
+        assert_eq!(rows[1].name, "walk_scalar");
+        assert_eq!(rows[2].name, "walk_thousandfold");
         assert!(json.contains("\"heap_allocs\": 0"));
+    }
+
+    #[test]
+    fn engine_parser_accepts_the_pre_batching_single_walk_format() {
+        let old = "{\n  \"bench\": \"engine\",\n  \"cores\": 1,\n  \"scale\": \"tenfold\",\n  \
+                   \"routers\": 3694,\n  \"walk\": {\"traces\": 3694, \"probes\": 6011, \
+                   \"seconds\": 0.001480, \"probes_per_sec\": 4061096.8, \"heap_allocs\": 0},\n  \
+                   \"plane_build\": {\"serial_seconds\": 1.0, \"parallel_jobs\": 4, \
+                   \"parallel_seconds\": 0.4}\n}\n";
+        let rows = parse_engine_baseline(old);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "walk");
+        assert!((rows[0].probes_per_sec - 4_061_096.8).abs() < 0.2);
     }
 }

@@ -34,10 +34,10 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
 use std::time::Instant;
 use wormhole_net::{
-    trace_seed, Addr, Asn, ControlPlane, FaultPlan, Network, ProbeState, ReplyKind, RouterId,
-    SubstrateRef,
+    trace_seed, Addr, Asn, ControlPlane, EngineStats, FaultPlan, Network, ProbeState, ReplyKind,
+    RouterId, SubstrateRef, BATCH_WIDTH,
 };
-use wormhole_probe::{Session, Trace, TracerouteOpts};
+use wormhole_probe::{PingResult, Session, Trace, TracerouteOpts};
 use wormhole_topo::{ItdkSnapshot, NodeInfo};
 
 /// Campaign parameters.
@@ -72,6 +72,14 @@ pub struct CampaignConfig {
     /// [`Scheduling`]. Either choice is deterministic in `jobs`; the two
     /// differ from each other (different RNG stream granularity).
     pub scheduling: Scheduling,
+    /// Probes advanced together by the engine's batched SoA walk during
+    /// the [`Scheduling::VpBatches`] probing phases, and the task-claim
+    /// chunk size of the [`Scheduling::Stealing`] executor. `0` or `1`
+    /// runs the scalar walk (and per-task steals). Results are
+    /// byte-identical at every value — the batched walk is an execution
+    /// strategy, not a semantic switch — so this defaults to the
+    /// engine's native [`wormhole_net::BATCH_WIDTH`].
+    pub batch_width: usize,
     /// Run the lint-before-simulate gate (deny `Error`-level static
     /// analysis findings, including the `D5xx` dense-plane verifier
     /// over the flat tables the walk runs on — so a plane built with
@@ -99,6 +107,7 @@ impl Default for CampaignConfig {
             seed: 0,
             jobs: 1,
             scheduling: Scheduling::VpBatches,
+            batch_width: BATCH_WIDTH,
             lint_gate: cfg!(debug_assertions),
             chaos_panic_vp: None,
         }
@@ -216,6 +225,14 @@ pub struct CampaignResult {
     /// Probe packets per vantage-point shard (index-aligned with the
     /// campaign's vantage points; sums to `probes`).
     pub probes_by_vp: Vec<u64>,
+    /// Aggregated engine counters over every session the campaign ran
+    /// (per-VP sessions in batch mode, per-task hermetic sessions under
+    /// stealing). Deterministic at any `jobs`/`batch_width` value; in
+    /// particular `heap_allocs` stays `0` — campaign sessions keep path
+    /// recording off, so the whole probing walk is allocation-free.
+    /// Excluded from [`Self::report`] (like [`Self::timings`]) to keep
+    /// existing report transcripts stable.
+    pub engine_stats: EngineStats,
     /// The per-trace probe budget the campaign ran with, if any.
     pub trace_budget: Option<u32>,
     /// Vantage-point shards lost to worker panics; empty on a healthy
@@ -400,6 +417,64 @@ fn steal_key(tag: u64, a: u64, b: u64) -> u64 {
     (tag << 56) ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ b
 }
 
+/// Feeds a VP's ordered `(global_index, target)` batch through the
+/// session's batched traceroute walk in `width`-sized chunks (`width <
+/// 2` runs the scalar loop), returning one trace per task in task
+/// order. Byte-identical to the scalar loop either way: the session
+/// batch API assigns echo ids in destination order and falls back to
+/// scalar itself whenever the fault plan is order-sensitive.
+fn traced_batch(
+    sess: &mut Session<'_>,
+    batch: Vec<(usize, Addr)>,
+    width: usize,
+) -> Vec<(usize, Trace)> {
+    if width < 2 {
+        let mut out = Vec::with_capacity(batch.len());
+        out.extend(batch.into_iter().map(|(g, t)| (g, sess.traceroute(t))));
+        return out;
+    }
+    let mut out = Vec::with_capacity(batch.len());
+    let mut dsts: Vec<Addr> = Vec::with_capacity(width.min(batch.len()));
+    for chunk in batch.chunks(width) {
+        dsts.clear();
+        dsts.extend(chunk.iter().map(|&(_, t)| t));
+        out.extend(
+            chunk
+                .iter()
+                .map(|&(g, _)| g)
+                .zip(sess.traceroute_batch(&dsts)),
+        );
+    }
+    out
+}
+
+/// The ping analogue of [`traced_batch`], for the fingerprint phase.
+fn pinged_batch(
+    sess: &mut Session<'_>,
+    batch: Vec<(usize, Addr)>,
+    width: usize,
+) -> Vec<(usize, Addr, PingResult)> {
+    if width < 2 {
+        let mut out = Vec::with_capacity(batch.len());
+        out.extend(batch.into_iter().map(|(g, a)| (g, a, sess.ping(a))));
+        return out;
+    }
+    let mut out = Vec::with_capacity(batch.len());
+    let mut dsts: Vec<Addr> = Vec::with_capacity(width.min(batch.len()));
+    for chunk in batch.chunks(width) {
+        dsts.clear();
+        dsts.extend(chunk.iter().map(|&(_, a)| a));
+        out.extend(
+            chunk
+                .iter()
+                .map(|&(g, a)| (g, a))
+                .zip(sess.ping_batch(&dsts))
+                .map(|((g, a), r)| (g, a, r)),
+        );
+    }
+    out
+}
+
 /// Splits per-VP shard results into the surviving batches, recording a
 /// [`DegradedShard`] (and marking the VP dead) for each panicked batch.
 fn split_shards<R>(
@@ -531,6 +606,10 @@ impl<'a> Campaign<'a> {
     /// value — see the module docs for the full argument.
     pub fn run(&self) -> CampaignResult {
         let stealing = self.cfg.scheduling == Scheduling::Stealing;
+        // Engine batch width for the VP-batch probing phases, and the
+        // task-claim chunk size for the stealing executor.
+        let bw = self.cfg.batch_width;
+        let steal_chunk = bw.max(1);
         // Long-lived per-VP sessions only exist in batch mode; stealing
         // builds a hermetic session per task instead.
         let mut sessions = if stealing {
@@ -543,6 +622,7 @@ impl<'a> Campaign<'a> {
         let mut degraded: Vec<DegradedShard> = Vec::new();
         let mut dead = vec![false; n_vps];
         let mut stolen_probes = vec![0u64; n_vps];
+        let mut engine_totals = EngineStats::default();
         let run_started = Instant::now();
         let mut probe_seconds = 0.0f64;
         let chaos: Option<(usize, RouterId)> = self.cfg.chaos_panic_vp.map(|i| {
@@ -586,24 +666,34 @@ impl<'a> Campaign<'a> {
                     task: (g, t),
                 })
                 .collect();
-            let (shards, probes) =
-                shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, t)| {
-                    (g, sess.traceroute(t).addr_path())
-                });
+            let (shards, probes, es) = shard::run_stealing(
+                n_vps,
+                queue,
+                jobs,
+                steal_chunk,
+                &make_session,
+                &|sess, (g, t)| (g, sess.traceroute(t).addr_path()),
+            );
+            engine_totals.merge(&es);
             for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                 *acc += p;
             }
             shards
         } else {
-            let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+            let mut tasks: Vec<Vec<(usize, Addr)>> = (0..n_vps)
+                .map(|_| Vec::with_capacity(boot_assign.len() / n_vps + 1))
+                .collect();
             for (g, &(vp, t)) in boot_assign.iter().enumerate() {
                 tasks[vp].push((g, t));
             }
             shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
-                batch
-                    .into_iter()
-                    .map(|(g, t)| (g, sess.traceroute(t).addr_path()))
-                    .collect()
+                let mut out = Vec::with_capacity(batch.len());
+                out.extend(
+                    traced_batch(sess, batch, bw)
+                        .into_iter()
+                        .map(|(g, t)| (g, t.addr_path())),
+                );
+                out
             })
         };
         probe_seconds += phase_started.elapsed().as_secs_f64();
@@ -637,19 +727,28 @@ impl<'a> Campaign<'a> {
                     task: (i, t),
                 })
                 .collect();
-            let (shards, probes) =
-                shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, t)| {
+            let (shards, probes, es) = shard::run_stealing(
+                n_vps,
+                queue,
+                jobs,
+                steal_chunk,
+                &make_session,
+                &|sess, (g, t)| {
                     if let Some((idx, vp)) = chaos {
                         assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
                     }
                     (g, sess.traceroute(t))
-                });
+                },
+            );
+            engine_totals.merge(&es);
             for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                 *acc += p;
             }
             shards
         } else {
-            let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+            let mut tasks: Vec<Vec<(usize, Addr)>> = (0..n_vps)
+                .map(|_| Vec::with_capacity(targets.len() / n_vps + 1))
+                .collect();
             for (i, &t) in targets.iter().enumerate() {
                 if !dead[i % n_vps] {
                     tasks[i % n_vps].push((i, t));
@@ -659,10 +758,7 @@ impl<'a> Campaign<'a> {
                 if let Some((idx, vp)) = chaos {
                     assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
                 }
-                batch
-                    .into_iter()
-                    .map(|(g, t)| (g, sess.traceroute(t)))
-                    .collect()
+                traced_batch(sess, batch, bw)
             })
         };
         probe_seconds += phase_started.elapsed().as_secs_f64();
@@ -717,16 +813,23 @@ impl<'a> Campaign<'a> {
                         })
                     })
                     .collect();
-                let (shards, probes) =
-                    shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, addr)| {
-                        (g, addr, sess.ping(addr))
-                    });
+                let (shards, probes, es) = shard::run_stealing(
+                    n_vps,
+                    queue,
+                    jobs,
+                    steal_chunk,
+                    &make_session,
+                    &|sess, (g, addr)| (g, addr, sess.ping(addr)),
+                );
+                engine_totals.merge(&es);
                 for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                     *acc += p;
                 }
                 shards
             } else {
-                let mut tasks: Vec<Vec<(usize, Addr)>> = vec![Vec::new(); n_vps];
+                let mut tasks: Vec<Vec<(usize, Addr)>> = (0..n_vps)
+                    .map(|_| Vec::with_capacity(discovered.len() / n_vps + 1))
+                    .collect();
                 for (i, &addr) in discovered.iter().enumerate() {
                     let vp = te_obs.get(&addr).map(|&(vp, _)| vp).unwrap_or(i % n_vps);
                     if !dead[vp] {
@@ -734,10 +837,7 @@ impl<'a> Campaign<'a> {
                     }
                 }
                 shard::run_vp_batches(&mut sessions, tasks, jobs, &|sess, batch| {
-                    batch
-                        .into_iter()
-                        .map(|(g, addr)| (g, addr, sess.ping(addr)))
-                        .collect()
+                    pinged_batch(sess, batch, bw)
                 })
             };
             probe_seconds += phase_started.elapsed().as_secs_f64();
@@ -831,8 +931,16 @@ impl<'a> Campaign<'a> {
                     task: (g, x, y, d),
                 })
                 .collect();
-            let (shards, probes) =
-                shard::run_stealing(n_vps, queue, jobs, &make_session, &|sess, (g, x, y, d)| {
+            // Revelation pairs are few and individually heavy (a whole
+            // DPR/BRPR recursion each), so claims stay per-task: a
+            // batch-width chunk could hand one worker the entire phase.
+            let (shards, probes, es) = shard::run_stealing(
+                n_vps,
+                queue,
+                jobs,
+                1,
+                &make_session,
+                &|sess, (g, x, y, d)| {
                     let out = reveal_between(sess, x, y, d, &cfg.reveal);
                     let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
                     if cfg.fingerprint {
@@ -848,7 +956,9 @@ impl<'a> Campaign<'a> {
                         }
                     }
                     (g, ((x, y), out, ers))
-                });
+                },
+            );
+            engine_totals.merge(&es);
             for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                 *acc += p;
             }
@@ -910,6 +1020,9 @@ impl<'a> Campaign<'a> {
         let probes_by_vp: Vec<u64> = if stealing {
             stolen_probes
         } else {
+            for s in &sessions {
+                engine_totals.merge(s.engine_stats());
+            }
             sessions.iter().map(|s| s.stats.probes).collect()
         };
         let probes = probes_by_vp.iter().sum();
@@ -931,6 +1044,7 @@ impl<'a> Campaign<'a> {
             revelations,
             probes,
             probes_by_vp,
+            engine_stats: engine_totals,
             trace_budget: self.cfg.trace_opts.probe_budget,
             degraded_shards: degraded,
             scheduling: self.cfg.scheduling,

@@ -29,19 +29,26 @@
 //! VP batches balance poorly when one vantage point owns the slow
 //! traces: the other workers idle while its batch drains. The stealing
 //! executor instead publishes every task in one flat injector queue and
-//! lets each worker claim the next task with a single atomic
-//! fetch-add — no per-VP affinity at all. Determinism survives because
-//! *state* moves from the worker to the task: each task runs in its own
-//! hermetic [`Session`] whose fault RNG stream is derived from
+//! lets each worker claim the next *chunk* of tasks with a single
+//! atomic fetch-add — no per-VP affinity at all. Determinism survives
+//! because *state* moves from the worker to the task: each task runs in
+//! its own hermetic [`Session`] whose fault RNG stream is derived from
 //! `(campaign_seed, vp, task key)` ([`wormhole_net::trace_seed`]), so
 //! the probe sequence of a task is a pure function of its identity, not
-//! of which worker ran it or what ran before it on that worker.
-//! Results carry their queue index and are regrouped per VP in task
-//! order after the join, which makes the merged output byte-identical
-//! at any job count and any steal interleaving.
+//! of which worker ran it, what ran before it on that worker, or how
+//! many tasks the claim that won it covered. Results carry their queue
+//! index and are regrouped per VP in task order after the join, which
+//! makes the merged output byte-identical at any job count, any steal
+//! interleaving, and any chunk size.
+//!
+//! Chunked claims amortize the queue's only shared cache line (the
+//! cursor) over several tasks; the campaign ties the chunk size to the
+//! engine's batch width ([`wormhole_net::BATCH_WIDTH`]) so a claim
+//! matches the granularity the batched walk is tuned for.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use wormhole_net::EngineStats;
 use wormhole_probe::Session;
 
 /// Renders a caught panic payload into a report-friendly message.
@@ -88,11 +95,9 @@ where
     let n = sessions.len();
     let jobs = jobs.clamp(1, n.max(1));
     if jobs <= 1 {
-        return sessions
-            .iter_mut()
-            .zip(tasks)
-            .map(|(s, ts)| run_one(s, ts))
-            .collect();
+        let mut out: Vec<Result<Vec<R>, String>> = Vec::with_capacity(n);
+        out.extend(sessions.iter_mut().zip(tasks).map(|(s, ts)| run_one(s, ts)));
+        return out;
     }
     // Contiguous VP ranges, one per worker. The partition only decides
     // concurrency; per-VP results are reassembled in VP order below.
@@ -120,10 +125,11 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
+        let mut out: Vec<Result<Vec<R>, String>> = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+        out
     })
 }
 
@@ -140,21 +146,26 @@ pub(crate) struct StealTask<T> {
     pub task: T,
 }
 
-/// One stolen task's outcome: `(result, probes sent)` or the panic
-/// message.
-type TaskResult<R> = Result<(R, u64), String>;
+/// One stolen task's outcome: `(result, probes sent, engine counters)`
+/// or the panic message.
+type TaskResult<R> = Result<(R, u64, EngineStats), String>;
 
-/// Runs `queue` under per-trace work stealing with up to `jobs` worker
+/// What the stealing executor hands back: per-VP regrouped results,
+/// per-VP probe counts, and the engine counter total.
+type StealOutput<R> = (Vec<Result<Vec<R>, String>>, Vec<u64>, EngineStats);
+
+/// Runs `queue` under chunked work stealing with up to `jobs` worker
 /// threads and regroups the results per vantage point, in queue order.
 ///
 /// Unlike [`run_vp_batches`], workers have no VP affinity: each claims
-/// the next unstarted task from the shared queue (an atomic cursor over
-/// the flat task list), builds a hermetic [`Session`] for it via
-/// `make_session(vp, key)`, and runs `f` on that session. Because every
+/// the next unstarted *chunk* of up to `chunk` tasks from the shared
+/// queue (one atomic fetch-add on a cursor over the flat task list),
+/// then for each claimed task builds a hermetic [`Session`] via
+/// `make_session(vp, key)` and runs `f` on that session. Because every
 /// task owns its RNG stream and TTL bookkeeping, the result of a task
-/// does not depend on the claim order, and the per-VP regrouping below
-/// restores a canonical order — the output is identical for every
-/// `jobs` value.
+/// does not depend on the claim order or the chunking, and the per-VP
+/// regrouping below restores a canonical order — the output is
+/// identical for every `jobs` and every `chunk` value.
 ///
 /// Panic normalization matches the batch executor's contract: a VP with
 /// at least one panicked task yields `Err` (the message of its
@@ -164,14 +175,16 @@ type TaskResult<R> = Result<(R, u64), String>;
 /// The second return value is the probe count per VP, summed over that
 /// VP's *completed* tasks (every task runs exactly once regardless of
 /// scheduling, so the sums are deterministic too — including for VPs
-/// that end up degraded).
+/// that end up degraded). The third is the engine counter total over
+/// the same completed tasks — deterministic for the same reason.
 pub(crate) fn run_stealing<'n, T, R, F, S>(
     n_vps: usize,
     queue: Vec<StealTask<T>>,
     jobs: usize,
+    chunk: usize,
     make_session: &S,
     f: &F,
-) -> (Vec<Result<Vec<R>, String>>, Vec<u64>)
+) -> StealOutput<R>
 where
     T: Copy + Sync,
     R: Send,
@@ -182,11 +195,13 @@ where
         catch_unwind(AssertUnwindSafe(|| {
             let mut sess = make_session(t.vp, t.key);
             let r = f(&mut sess, t.task);
-            (r, sess.stats.probes)
+            let stats = sess.engine_stats().clone();
+            (r, sess.stats.probes, stats)
         }))
         .map_err(panic_message)
     };
     let jobs = jobs.clamp(1, queue.len().max(1));
+    let chunk = chunk.max(1);
     let mut slots: Vec<Option<TaskResult<R>>> = if jobs <= 1 {
         queue.iter().map(|t| Some(run_task(t))).collect()
     } else {
@@ -199,9 +214,19 @@ where
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(t) = queue.get(i) else { break };
-                            out.push((i, run_task(t)));
+                            // One cursor bump claims a whole chunk of
+                            // consecutive tasks; each task still runs
+                            // hermetically, so chunk size only changes
+                            // contention, never results.
+                            let base = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if base >= queue.len() {
+                                break;
+                            }
+                            let end = (base + chunk).min(queue.len());
+                            out.reserve(end - base);
+                            for (i, t) in queue[base..end].iter().enumerate() {
+                                out.push((base + i, run_task(t)));
+                            }
                         }
                         out
                     })
@@ -220,13 +245,21 @@ where
         slots
     };
     // Regroup per VP in queue order: steal order is gone, the canonical
-    // order is back.
-    let mut out: Vec<Result<Vec<R>, String>> = (0..n_vps).map(|_| Ok(Vec::new())).collect();
+    // order is back. Shard vectors are pre-sized from the queue's
+    // per-VP task counts so the pushes below never reallocate.
+    let mut counts = vec![0usize; n_vps];
+    for t in &queue {
+        counts[t.vp] += 1;
+    }
+    let mut out: Vec<Result<Vec<R>, String>> =
+        counts.iter().map(|&c| Ok(Vec::with_capacity(c))).collect();
     let mut probes = vec![0u64; n_vps];
+    let mut engine_totals = EngineStats::default();
     for (t, slot) in queue.iter().zip(slots.iter_mut()) {
         match slot.take().expect("every queued task was claimed") {
-            Ok((r, p)) => {
+            Ok((r, p, stats)) => {
                 probes[t.vp] += p;
+                engine_totals.merge(&stats);
                 if let Ok(v) = &mut out[t.vp] {
                     v.push(r);
                 }
@@ -238,7 +271,7 @@ where
             }
         }
     }
-    (out, probes)
+    (out, probes, engine_totals)
 }
 
 /// Scatters per-VP `(global_index, value)` results back into one flat,
@@ -256,18 +289,22 @@ pub(crate) fn merge_indexed_or<R>(
     len: usize,
     missing: impl Fn(usize) -> R,
 ) -> Vec<R> {
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(len).collect();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.extend(std::iter::repeat_with(|| None).take(len));
     for shard in shards {
         for (g, r) in shard {
             debug_assert!(slots[g].is_none(), "duplicate result for index {g}");
             slots[g] = Some(r);
         }
     }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(g, s)| s.unwrap_or_else(|| missing(g)))
-        .collect()
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    out.extend(
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(g, s)| s.unwrap_or_else(|| missing(g))),
+    );
+    out
 }
 
 #[cfg(test)]
@@ -407,25 +444,32 @@ mod tests {
     }
 
     #[test]
-    fn stealing_results_are_identical_at_any_job_count() {
+    fn stealing_results_are_identical_at_any_job_and_chunk_count() {
         let internet = generate(&InternetConfig::small(3));
-        let run = |jobs: usize| -> (Vec<Result<Vec<u64>, String>>, Vec<u64>) {
+        let run = |jobs: usize, chunk: usize| -> (Vec<Result<Vec<u64>, String>>, Vec<u64>) {
             let (queue, make) = steal_fixture(&internet);
-            run_stealing(internet.vps.len(), queue, jobs, &make, &|s, t| {
-                s.traceroute(t);
-                s.stats.probes
-            })
+            let (out, probes, _) =
+                run_stealing(internet.vps.len(), queue, jobs, chunk, &make, &|s, t| {
+                    s.traceroute(t);
+                    s.stats.probes
+                });
+            (out, probes)
         };
-        let (serial, serial_probes) = run(1);
+        let (serial, serial_probes) = run(1, 1);
         assert!(serial.iter().all(|r| r.is_ok()));
         assert!(serial_probes.iter().sum::<u64>() > 0);
         for jobs in [2, 4, 9] {
-            let (out, probes) = run(jobs);
-            assert_eq!(serial, out, "jobs={jobs} diverged from serial");
-            assert_eq!(
-                serial_probes, probes,
-                "jobs={jobs} probe accounting diverged"
-            );
+            for chunk in [1, 3, wormhole_net::BATCH_WIDTH] {
+                let (out, probes) = run(jobs, chunk);
+                assert_eq!(
+                    serial, out,
+                    "jobs={jobs} chunk={chunk} diverged from serial"
+                );
+                assert_eq!(
+                    serial_probes, probes,
+                    "jobs={jobs} chunk={chunk} probe accounting diverged"
+                );
+            }
         }
     }
 
@@ -441,7 +485,7 @@ mod tests {
                 queue.reverse();
             }
             let keys: Vec<(usize, u64)> = queue.iter().map(|t| (t.vp, t.key)).collect();
-            let (out, _) = run_stealing(internet.vps.len(), queue, 1, &make, &|s, t| {
+            let (out, _, _) = run_stealing(internet.vps.len(), queue, 1, 1, &make, &|s, t| {
                 s.traceroute(t);
                 s.stats.probes
             });
@@ -469,11 +513,12 @@ mod tests {
                 .nth(1)
                 .map(|t| t.key)
                 .expect("vp 1 has tasks");
-            let (out, probes) = run_stealing(internet.vps.len(), queue, jobs, &make, &|s, t| {
-                assert!(u64::from(t.0) != poison, "chaos: injected task panic");
-                s.traceroute(t);
-                s.stats.probes
-            });
+            let (out, probes, _) =
+                run_stealing(internet.vps.len(), queue, jobs, 4, &make, &|s, t| {
+                    assert!(u64::from(t.0) != poison, "chaos: injected task panic");
+                    s.traceroute(t);
+                    s.stats.probes
+                });
             assert!(out[0].is_ok(), "jobs={jobs}");
             assert!(out[2].is_ok(), "jobs={jobs}");
             let err = out[1].as_ref().unwrap_err();

@@ -20,8 +20,8 @@ use crate::diag::{Diagnostic, Location, Severity};
 use std::collections::{HashMap, HashSet};
 use wormhole_net::igp::{edge_metric, INF};
 use wormhole_net::{
-    ldp_lfib_hops, logical_fib, te_program, ControlPlane, Label, LabelValue, LdpBindings,
-    LfibEntry, Network, RouterId,
+    ldp_lfib_hops, logical_fib, te_program, Addr, ControlPlane, Label, LabelValue, LdpBindings,
+    LfibEntry, Network, RouterId, OWNER_PAGE_SIZE,
 };
 
 /// One router's logical FIB: per prefix slot, the deduplicated
@@ -752,6 +752,114 @@ fn owner_hash(net: &Network, cp: &ControlPlane, trie_ok: &[bool], out: &mut Vec<
     }
 }
 
+/// D512: the dense address→owner index (`ControlPlane::owner_of`, the
+/// two-array-load replacement the engine's `DstCache` resolves
+/// destinations through) must be well-shaped and must agree with the
+/// routers that actually hold each address.
+///
+/// Shape first: every populated page reference must be page-aligned,
+/// in bounds, and distinct (two /20 blocks sharing a pool page would
+/// alias each other's addresses), and the pool must be a whole number
+/// of [`OWNER_PAGE_SIZE`]-entry pages. Only a well-shaped index is
+/// content-checked, in both directions: every held address resolves to
+/// its holder, and every populated pool entry names a router that
+/// holds the decoded address. The comparison runs against the routers
+/// directly — **not** the owner hash — so a poisoned hash (D511) and a
+/// poisoned dense index (D512) each fire exactly their own rule.
+fn owner_index(net: &Network, cp: &ControlPlane, out: &mut Vec<Diagnostic>) {
+    let v = cp.dense_view();
+    let pool_len = v.owner_pool.len();
+    let mut ok = true;
+    if !pool_len.is_multiple_of(OWNER_PAGE_SIZE) {
+        out.push(err(
+            "D512",
+            Location::Network,
+            format!("owner pool length {pool_len} is not a whole number of pages"),
+            "a truncated final page makes the last /20 block read out of bounds",
+        ));
+        ok = false;
+    }
+    let mut seen_pages: HashSet<u32> = HashSet::new();
+    for (hi, &page) in v.owner_page.iter().enumerate() {
+        if page == u32::MAX {
+            continue;
+        }
+        let base = page as usize;
+        if !base.is_multiple_of(OWNER_PAGE_SIZE) || base + OWNER_PAGE_SIZE > pool_len {
+            out.push(err(
+                "D512",
+                Location::Network,
+                format!("owner page for block {hi:#x} points at {base} (pool len {pool_len})"),
+                "a misaligned or out-of-bounds page base corrupts every lookup in its /20",
+            ));
+            ok = false;
+            continue;
+        }
+        if !seen_pages.insert(page) {
+            out.push(err(
+                "D512",
+                Location::Network,
+                format!("two /20 blocks share the owner pool page at {base}"),
+                "aliased pages let one block's addresses shadow another's owners",
+            ));
+            ok = false;
+        }
+    }
+    if !ok {
+        return;
+    }
+    // Forward: every address a router holds resolves to that router.
+    for r in net.routers() {
+        let mut addrs = vec![r.loopback];
+        addrs.extend(r.ifaces.iter().map(|i| i.addr));
+        for addr in addrs {
+            if cp.owner_of(addr) != Some(r.id) {
+                out.push(err(
+                    "D512",
+                    Location::Addr(addr),
+                    format!(
+                        "dense owner index resolves {}'s address to {:?}",
+                        r.name,
+                        cp.owner_of(addr).map(|o| net.router(o).name.clone())
+                    ),
+                    "the engine's DstCache would resolve probes here to the wrong router",
+                ));
+            }
+        }
+    }
+    // Reverse: every populated pool entry names a holder of the decoded
+    // address — a poisoned entry for an unowned address is a lie too.
+    for (hi, &page) in v.owner_page.iter().enumerate() {
+        if page == u32::MAX {
+            continue;
+        }
+        let base = page as usize;
+        for off in 0..OWNER_PAGE_SIZE {
+            let raw = v.owner_pool[base + off];
+            if raw == 0 {
+                continue;
+            }
+            let addr = Addr(((hi as u32) << 12) | off as u32);
+            let rid = RouterId(raw - 1);
+            let holds = (rid.index()) < net.num_routers() && {
+                let r = net.router(rid);
+                r.loopback == addr || r.ifaces.iter().any(|i| i.addr == addr)
+            };
+            if !holds {
+                let name = (rid.index() < net.num_routers()).then(|| net.router(rid).name.clone());
+                out.push(err(
+                    "D512",
+                    Location::Addr(addr),
+                    format!(
+                        "dense owner index maps the address to {name:?}, which does not hold it"
+                    ),
+                    "stale or poisoned index entries resolve unowned space to a live router",
+                ));
+            }
+        }
+    }
+}
+
 /// Runs every `D5xx` rule over a built control plane. Shape rules run
 /// unconditionally; content rules are gated on the shapes they read
 /// through, so each corruption is reported by the rule that owns it.
@@ -778,5 +886,6 @@ pub fn verify_dense(net: &Network, cp: &ControlPlane) -> Vec<Diagnostic> {
     }
     dst_resolution(net, cp, &trie_ok, &mut out);
     owner_hash(net, cp, &trie_ok, &mut out);
+    owner_index(net, cp, &mut out);
     out
 }

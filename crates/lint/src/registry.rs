@@ -458,6 +458,20 @@ pub static RULES: &[RuleInfo] = &[
                       owners — otherwise the destination cache resolves probes to the \
                       wrong router and every ground-truth comparison lies.",
     },
+    RuleInfo {
+        code: "D512",
+        family: Family::Dense,
+        severity: Severity::Error,
+        summary: "dense owner index malformed or disagrees with router addresses",
+        explanation: "The paged address-to-owner index is what the engine's DstCache \
+                      actually resolves destinations through on the hot path (two array \
+                      loads instead of the owner hash). Page references must be aligned, \
+                      in bounds, and distinct, the pool a whole number of pages, and the \
+                      mapping must agree with the routers in both directions: every held \
+                      address resolves to its holder and every populated entry names a \
+                      holder. Checked against the routers directly, never the owner hash, \
+                      so D511 and D512 corruptions each fire exactly their own rule.",
+    },
 ];
 
 /// Looks up a rule by its code.

@@ -221,6 +221,18 @@ fn classes() -> Vec<Class> {
                 net.poison_owner(victim, wrong);
             },
         },
+        Class {
+            name: "poison-owner-index",
+            rule: "D512",
+            build: ldp_plane,
+            corrupt: |net, cp| {
+                // Same corruption as D511's class, seeded into the dense
+                // index instead of the hash: only D512 may notice.
+                let victim = net.routers()[0].loopback;
+                let wrong = net.routers()[1].id;
+                cp.poison_owner_index(victim, wrong);
+            },
+        },
     ]
 }
 

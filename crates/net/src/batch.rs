@@ -1,0 +1,176 @@
+//! Struct-of-arrays lanes for the batched engine walk.
+//!
+//! [`crate::engine::Engine::send_batch`] advances up to [`BATCH_WIDTH`]
+//! in-flight probes together. Each sweep it mirrors every live
+//! flight's hot fields — IP-TTL, top-of-stack LSE-TTL and label,
+//! current router slot, and a live/labeled status byte — into the
+//! parallel arrays here. The arrays are fixed-width and cache-line
+//! aligned (`#[repr(align(64))]`), so the TTL classification pass is
+//! straight-line arithmetic over contiguous bytes the compiler can
+//! vectorize, and the flag-byte gather walks the control plane's dense
+//! per-router rows for every lane *before* the per-lane advance — a
+//! safe-Rust software prefetch that pulls the next routers' walk-table
+//! cache lines in early (`wormhole-net` forbids `unsafe`, so explicit
+//! prefetch intrinsics are off the table; a gather of the bytes the
+//! advance is about to read is the next best thing and doubles as the
+//! expiry classifier's input).
+//!
+//! The classification drives *scheduling*, never semantics: lanes the
+//! pre-pass marks as expiring step first (they turn into ICMP return
+//! legs and leave the forwarding sweep early), the rest step after.
+//! Under a batch-safe fault plan every probe's outcome is a pure
+//! function of its own packet, so this ordering freedom cannot change
+//! results — which is exactly what keeps the batched walk byte-
+//! identical to the scalar one.
+
+use crate::control::ControlPlane;
+use crate::ids::RouterId;
+
+/// Number of probes advanced together by one batch sweep. Also the
+/// natural chunk size for schedulers feeding the batched walk (the
+/// work-stealing campaign scheduler claims tasks in chunks of this
+/// size).
+pub const BATCH_WIDTH: usize = 64;
+
+/// A cache-line-aligned fixed-width lane.
+#[repr(align(64))]
+pub(crate) struct Lane<T>(pub(crate) [T; BATCH_WIDTH]);
+
+/// Lane status: dead/done.
+const DEAD: u8 = 0;
+/// Lane status: live, forwarding as plain IP.
+const LIVE_IP: u8 = 1;
+/// Lane status: live, top-of-stack label active.
+const LIVE_MPLS: u8 = 2;
+
+/// The struct-of-arrays mirror of a batch of flights. All state is
+/// inline — constructing and running a batch never touches the heap.
+pub(crate) struct BatchLanes {
+    /// Packet IP-TTLs.
+    ip_ttl: Lane<u8>,
+    /// Top-of-stack LSE-TTLs (255 when unlabeled).
+    lse_ttl: Lane<u8>,
+    /// Top-of-stack label values (`u32::MAX` when unlabeled).
+    #[allow(dead_code)] // mirrored for the classifier's label-window checks
+    label: Lane<u32>,
+    /// Current router slots.
+    cur: Lane<u32>,
+    /// Per-lane status ([`DEAD`]/[`LIVE_IP`]/[`LIVE_MPLS`]).
+    status: Lane<u8>,
+    /// Classifier output: 1 when the lane's governing TTL expires at
+    /// the current router.
+    expired: Lane<u8>,
+    /// Gathered walk-table flag bytes for each lane's current router.
+    flags: Lane<u8>,
+}
+
+impl BatchLanes {
+    /// Empty lanes (all dead).
+    pub(crate) fn new() -> BatchLanes {
+        BatchLanes {
+            ip_ttl: Lane([0; BATCH_WIDTH]),
+            lse_ttl: Lane([0; BATCH_WIDTH]),
+            label: Lane([0; BATCH_WIDTH]),
+            cur: Lane([0; BATCH_WIDTH]),
+            status: Lane([DEAD; BATCH_WIDTH]),
+            expired: Lane([0; BATCH_WIDTH]),
+            flags: Lane([0; BATCH_WIDTH]),
+        }
+    }
+
+    /// Mirrors one flight's hot fields into lane `i`; the tuple is
+    /// `(ip_ttl, lse_ttl, label, cur, labeled)` from
+    /// `Flight::lane()`.
+    #[inline]
+    pub(crate) fn load(
+        &mut self,
+        i: usize,
+        (ip, lse, label, cur, labeled): (u8, u8, u32, u32, bool),
+    ) {
+        self.ip_ttl.0[i] = ip;
+        self.lse_ttl.0[i] = lse;
+        self.label.0[i] = label;
+        self.cur.0[i] = cur;
+        self.status.0[i] = if labeled { LIVE_MPLS } else { LIVE_IP };
+    }
+
+    /// Marks lane `i` dead (its flight completed).
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.status.0[i] = DEAD;
+    }
+
+    /// The vectorizable classification pass: for every live lane, the
+    /// governing TTL (LSE-TTL for labeled lanes, IP-TTL otherwise) is
+    /// compared against the expiry threshold in one straight-line sweep
+    /// over the aligned arrays. `live` is the batch driver's dense list
+    /// of live lane indices — sweeps late in a chunk's life, when a few
+    /// stragglers remain, cost O(live) rather than O(width).
+    pub(crate) fn classify(&mut self, live: &[u8]) {
+        for &i in live {
+            let i = i as usize;
+            let labeled = self.status.0[i] == LIVE_MPLS;
+            let eff = if labeled {
+                self.lse_ttl.0[i]
+            } else {
+                self.ip_ttl.0[i]
+            };
+            self.expired.0[i] = u8::from(self.status.0[i] != DEAD && eff <= 1);
+        }
+    }
+
+    /// Gathers the walk-table flag byte of every live lane's current
+    /// router. Touching those dense rows here — one tight loop, before
+    /// any per-lane advance runs — pulls the cache lines the advance
+    /// will read, hiding the lookup latency behind the gather.
+    pub(crate) fn gather_flags(&mut self, cp: &ControlPlane, live: &[u8]) {
+        for &i in live {
+            let i = i as usize;
+            self.flags.0[i] = if self.status.0[i] != DEAD {
+                cp.router_flags(RouterId(self.cur.0[i]))
+            } else {
+                0
+            };
+        }
+    }
+
+    /// Whether lane `i` belongs to advance pass `pass` (1 = expiring
+    /// lanes, 0 = the rest). Dead lanes belong to neither.
+    #[inline]
+    pub(crate) fn in_pass(&self, i: usize, pass: u8) -> bool {
+        self.status.0[i] != DEAD && self.expired.0[i] == pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_partitions_by_governing_ttl() {
+        let mut lanes = BatchLanes::new();
+        // Lane 0: plain IP, expiring. Lane 1: plain IP, alive.
+        // Lane 2: labeled, LSE expiring (IP-TTL healthy).
+        // Lane 3: labeled, alive (IP-TTL at 1 is irrelevant).
+        lanes.load(0, (1, 255, u32::MAX, 10, false));
+        lanes.load(1, (5, 255, u32::MAX, 11, false));
+        lanes.load(2, (9, 1, 42, 12, true));
+        lanes.load(3, (1, 9, 42, 13, true));
+        lanes.classify(&[0, 1, 2, 3]);
+        assert!(lanes.in_pass(0, 1));
+        assert!(lanes.in_pass(1, 0));
+        assert!(lanes.in_pass(2, 1));
+        assert!(lanes.in_pass(3, 0));
+        // Dead lanes belong to neither pass.
+        lanes.clear(0);
+        lanes.classify(&[0, 1, 2, 3]);
+        assert!(!lanes.in_pass(0, 1) && !lanes.in_pass(0, 0));
+    }
+
+    #[test]
+    fn lanes_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<Lane<u8>>(), 64);
+        assert_eq!(std::mem::align_of::<Lane<u32>>(), 64);
+        assert_eq!(std::mem::align_of::<BatchLanes>(), 64);
+    }
+}

@@ -14,9 +14,10 @@
 //!    windows (labels are small integers we allocate ourselves) with a
 //!    sorted overflow for outliers (RSVP-TE labels, injected entries).
 
+use crate::addr::Addr;
 use crate::bgp::Bgp;
 use crate::error::NetError;
-use crate::ids::{Asn, Label, RouterId};
+use crate::ids::{Asn, Label, LinkId, RouterId};
 use crate::igp::AsIgp;
 use crate::ldp::{LabelValue, LdpBindings};
 use crate::net::Network;
@@ -96,6 +97,7 @@ struct RouterLfib {
 }
 
 impl RouterLfib {
+    #[inline]
     fn get(&self, label: Label) -> Option<&LfibEntry> {
         let v = label.0;
         if v >= self.lo {
@@ -187,6 +189,49 @@ impl RouterLfib {
 /// A TE autoroute decision: `(out iface, first hop, label to push)`.
 pub type TeRoute = (u32, RouterId, Option<Label>);
 
+/// Bit flags of the per-router walk-table configuration byte — the
+/// [`RouterConfig`](crate::router::RouterConfig) knobs the engine's hot
+/// loop consults, condensed into one byte per router so a forwarding
+/// step reads a single dense-table row instead of chasing the full
+/// `Router` struct.
+pub mod walk {
+    /// MPLS/LDP forwarding enabled.
+    pub const MPLS: u8 = 1 << 0;
+    /// RFC 3443 `ttl-propagate` on.
+    pub const TTL_PROPAGATE: u8 = 1 << 1;
+    /// RFC 4950 label-stack quoting on.
+    pub const RFC4950: u8 = 1 << 2;
+    /// `min(IP-TTL, LSE-TTL)` applied when the last label pops.
+    pub const MIN_ON_EXIT: u8 = 1 << 3;
+    /// The router answers probes.
+    pub const REPLIES: u8 = 1 << 4;
+    /// The router is a measurement host.
+    pub const IS_HOST: u8 = 1 << 5;
+}
+
+/// One flat interface record of the walk tables: everything the
+/// engine's hot loop reads per wire crossing, inlined from
+/// [`crate::router::Interface`] and [`crate::net::Link`] so a crossing
+/// is one indexed load instead of three dependent pointer chases.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct WalkIface {
+    /// The interface's own address.
+    pub addr: Addr,
+    /// The peer's address on the shared subnet (the arrival address).
+    pub peer_addr: Addr,
+    /// The router on the other end.
+    pub peer: RouterId,
+    /// The link this interface terminates (flap schedules key on it).
+    pub link: LinkId,
+    /// One-way propagation delay of the link, in milliseconds.
+    pub delay_ms: f64,
+}
+
+/// Addresses per page of the dense owner index (and the page
+/// alignment): the low 12 bits of an address index into a page, the
+/// high 20 bits select it.
+pub const OWNER_PAGE_SIZE: usize = 1 << 12;
+
 /// The computed control plane of a network.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
@@ -205,8 +250,13 @@ pub struct ControlPlane {
     fib_spans: Vec<(u32, u32)>,
     /// Concatenated ECMP next-hop sets `(iface index, next router)`.
     fib_pool: Vec<(u32, RouterId)>,
-    /// `ext[router][dst_as_index]` — external forwarding.
-    ext: Vec<Vec<ExtRoute>>,
+    /// External forwarding, flattened row-major:
+    /// `ext[router.index() * ext_stride + dst_as_index]`. One flat
+    /// array instead of a `Vec<Vec<_>>` keeps the per-hop inter-AS
+    /// lookup a single indexed load with no pointer chase.
+    ext: Vec<ExtRoute>,
+    /// Row stride of [`Self::ext`]: the number of ASes.
+    ext_stride: usize,
     /// Per-router dense LFIBs.
     lfib: Vec<RouterLfib>,
     /// Router → span of [`Self::te_routes`] headed there; length
@@ -230,6 +280,26 @@ pub struct ControlPlane {
     /// Dense AS index of each router's own AS (`u32::MAX` = the AS is
     /// unregistered, which `NetworkBuilder` never produces).
     router_as_idx: Vec<u32>,
+    /// Level-1 page table of the dense address→owner index:
+    /// `addr >> 12` → base of a [`OWNER_PAGE_SIZE`]-entry page in
+    /// [`Self::owner_pool`] (`u32::MAX` = no address in that /20).
+    /// Addresses come from the builder's contiguous pools, so the
+    /// handful of live pages replace the per-leg owner hash with two
+    /// dependent array loads.
+    owner_page: Vec<u32>,
+    /// Concatenated owner pages: `owner router id + 1`, `0` = unowned.
+    owner_pool: Vec<u32>,
+    /// Per-router configuration byte (see [`walk`]).
+    walk_flags: Vec<u8>,
+    /// Per-router vendor initial TTL for time-exceeded replies.
+    walk_te_ttl: Vec<u8>,
+    /// Per-router vendor initial TTL for echo replies.
+    walk_er_ttl: Vec<u8>,
+    /// Per-router loopback address.
+    walk_loopback: Vec<Addr>,
+    /// Flat interface records in router-then-interface order, indexed
+    /// through [`Self::iface_slot_base`] (same CSR as `iface_slot`).
+    walk_iface: Vec<WalkIface>,
 }
 
 /// Phase-1 output for one AS: its IGP view and prefix table.
@@ -448,7 +518,7 @@ impl ControlPlane {
         let fib = logical_fib(net, &igp, &as_prefixes);
 
         // External routes with hot-potato egress selection.
-        let mut ext = vec![vec![ExtRoute::Unreachable; n_as]; net.num_routers()];
+        let mut ext = vec![ExtRoute::Unreachable; n_as * net.num_routers()];
         for (src_as, &asn) in as_list.iter().enumerate() {
             let view = &igp[src_as];
             let borders = net.borders(asn);
@@ -483,7 +553,7 @@ impl ControlPlane {
                 candidates.sort_by_key(|&(r, i)| (r, i));
                 for &rid in net.as_members(asn) {
                     if let Some(&(_, iface)) = candidates.iter().find(|&&(b, _)| b == rid) {
-                        ext[rid.index()][dst_as] = ExtRoute::Direct { iface };
+                        ext[rid.index() * n_as + dst_as] = ExtRoute::Direct { iface };
                         continue;
                     }
                     // Nearest candidate border (hot potato).
@@ -493,7 +563,7 @@ impl ControlPlane {
                         .min();
                     if let Some((d, egress)) = choice {
                         if d < crate::igp::INF {
-                            ext[rid.index()][dst_as] = ExtRoute::ViaEgress { egress };
+                            ext[rid.index() * n_as + dst_as] = ExtRoute::ViaEgress { egress };
                         }
                     }
                 }
@@ -583,6 +653,75 @@ impl ControlPlane {
             iface_slot_base.push(iface_slot.len() as u32);
         }
 
+        // Dense address→owner index. Walking the routers (not the owner
+        // hash) keeps page allocation order — and thus the table bytes —
+        // deterministic across builds and job counts.
+        let mut owner_page = vec![u32::MAX; 1 << 20];
+        let mut owner_pool: Vec<u32> = Vec::new();
+        {
+            let mut index = |addr: Addr, rid: RouterId| {
+                let hi = (addr.0 >> 12) as usize;
+                if owner_page[hi] == u32::MAX {
+                    owner_page[hi] = owner_pool.len() as u32;
+                    owner_pool.resize(owner_pool.len() + OWNER_PAGE_SIZE, 0);
+                }
+                let base = owner_page[hi] as usize;
+                owner_pool[base + (addr.0 & 0xFFF) as usize] = rid.0 + 1;
+            };
+            for r in net.routers() {
+                index(r.loopback, r.id);
+                for ifc in &r.ifaces {
+                    index(ifc.addr, r.id);
+                }
+            }
+        }
+
+        // Flat walk tables: the per-router configuration byte, vendor
+        // TTL signatures, loopbacks and interface records the engine's
+        // hot loop reads — one cache-friendly row per router instead of
+        // the pointer-heavy `Router` struct.
+        let n = net.num_routers();
+        let mut walk_flags = Vec::with_capacity(n);
+        let mut walk_te_ttl = Vec::with_capacity(n);
+        let mut walk_er_ttl = Vec::with_capacity(n);
+        let mut walk_loopback = Vec::with_capacity(n);
+        let mut walk_iface = Vec::with_capacity(iface_slot.len());
+        for r in net.routers() {
+            let c = &r.config;
+            let mut f = 0u8;
+            if c.mpls {
+                f |= walk::MPLS;
+            }
+            if c.ttl_propagate {
+                f |= walk::TTL_PROPAGATE;
+            }
+            if c.rfc4950 {
+                f |= walk::RFC4950;
+            }
+            if c.min_on_exit {
+                f |= walk::MIN_ON_EXIT;
+            }
+            if c.replies {
+                f |= walk::REPLIES;
+            }
+            if c.is_host {
+                f |= walk::IS_HOST;
+            }
+            walk_flags.push(f);
+            walk_te_ttl.push(c.vendor.te_init_ttl());
+            walk_er_ttl.push(c.vendor.er_init_ttl());
+            walk_loopback.push(r.loopback);
+            for ifc in &r.ifaces {
+                walk_iface.push(WalkIface {
+                    addr: ifc.addr,
+                    peer_addr: ifc.peer_addr,
+                    peer: ifc.peer,
+                    link: ifc.link,
+                    delay_ms: net.link(ifc.link).delay_ms,
+                });
+            }
+        }
+
         Ok(ControlPlane {
             as_prefixes,
             igp,
@@ -592,6 +731,7 @@ impl ControlPlane {
             fib_spans,
             fib_pool,
             ext,
+            ext_stride: n_as,
             lfib,
             te_heads,
             te_routes,
@@ -599,10 +739,77 @@ impl ControlPlane {
             iface_slot_base,
             iface_slot,
             router_as_idx,
+            owner_page,
+            owner_pool,
+            walk_flags,
+            walk_te_ttl,
+            walk_er_ttl,
+            walk_loopback,
+            walk_iface,
         })
     }
 
+    /// The router owning `addr`, through the dense owner index — two
+    /// dependent array loads, the replacement for the per-leg owner
+    /// hash. Agrees with [`Network::owner`] by construction (the D512
+    /// dense-plane rule cross-checks it against the routers).
+    #[inline]
+    pub fn owner_of(&self, addr: Addr) -> Option<RouterId> {
+        let page = self.owner_page[(addr.0 >> 12) as usize];
+        if page == u32::MAX {
+            return None;
+        }
+        let v = self.owner_pool[page as usize + (addr.0 & 0xFFF) as usize];
+        if v == 0 {
+            None
+        } else {
+            Some(RouterId(v - 1))
+        }
+    }
+
+    /// The walk-table configuration byte of `router` (see [`walk`]).
+    #[inline]
+    pub fn router_flags(&self, router: RouterId) -> u8 {
+        self.walk_flags[router.index()]
+    }
+
+    /// The vendor initial TTL `router` stamps on time-exceeded (and
+    /// unreachable) replies.
+    #[inline]
+    pub fn te_init_ttl(&self, router: RouterId) -> u8 {
+        self.walk_te_ttl[router.index()]
+    }
+
+    /// The vendor initial TTL `router` stamps on echo replies.
+    #[inline]
+    pub fn er_init_ttl(&self, router: RouterId) -> u8 {
+        self.walk_er_ttl[router.index()]
+    }
+
+    /// The loopback address of `router`, from the flat walk table.
+    #[inline]
+    pub fn loopback_addr(&self, router: RouterId) -> Addr {
+        self.walk_loopback[router.index()]
+    }
+
+    /// The flat interface records of `router`, in interface order.
+    #[inline]
+    pub fn walk_ifaces(&self, router: RouterId) -> &[WalkIface] {
+        let lo = self.iface_slot_base[router.index()] as usize;
+        let hi = self.iface_slot_base[router.index() + 1] as usize;
+        &self.walk_iface[lo..hi]
+    }
+
+    /// The dense AS index of `router`'s own AS, raw (`u32::MAX` = the
+    /// AS is unregistered) — the branch-free form the hot loop compares
+    /// against a destination's cached AS index.
+    #[inline]
+    pub(crate) fn router_as_raw(&self, router: RouterId) -> u32 {
+        self.router_as_idx[router.index()]
+    }
+
     /// The FIB slot of `router`'s loopback inside its own AS table.
+    #[inline]
     pub fn loopback_slot(&self, router: RouterId) -> Option<u32> {
         let s = self.loopback_slot[router.index()];
         (s != u32::MAX).then_some(s)
@@ -610,6 +817,7 @@ impl ControlPlane {
 
     /// The FIB slot of `router`'s interface `iface`'s address inside
     /// its own AS table.
+    #[inline]
     pub fn iface_slot(&self, router: RouterId, iface: usize) -> Option<u32> {
         let base = self.iface_slot_base[router.index()] as usize;
         let s = self.iface_slot[base + iface];
@@ -617,6 +825,7 @@ impl ControlPlane {
     }
 
     /// The dense AS index of `router`'s own AS.
+    #[inline]
     pub fn router_as_index(&self, router: RouterId) -> Option<usize> {
         let i = self.router_as_idx[router.index()];
         (i != u32::MAX).then_some(i as usize)
@@ -625,6 +834,7 @@ impl ControlPlane {
     /// The intra-AS ECMP next-hop set of `router` for prefix `slot`, as
     /// `(iface index, next router)` pairs. `None` when the router owns
     /// the prefix or it is unreachable.
+    #[inline]
     pub fn fib_entry(&self, router: RouterId, slot: u32) -> Option<&[(u32, RouterId)]> {
         let base = self.fib_base[router.index()] as usize;
         let n_slots = self.fib_base[router.index() + 1] as usize - base;
@@ -640,11 +850,13 @@ impl ControlPlane {
 
     /// The external route of `router` towards the AS with dense index
     /// `dst_as`.
+    #[inline]
     pub fn ext_route(&self, router: RouterId, dst_as: usize) -> ExtRoute {
-        self.ext[router.index()][dst_as]
+        self.ext[router.index() * self.ext_stride + dst_as]
     }
 
     /// The LFIB entry of `router` for incoming `label`.
+    #[inline]
     pub fn lfib_entry(&self, router: RouterId, label: Label) -> Option<&LfibEntry> {
         self.lfib[router.index()].get(label)
     }
@@ -671,6 +883,7 @@ impl ControlPlane {
     /// The TE autoroute decision at `head` for traffic towards `tail`
     /// (its BGP next hop or its own addresses):
     /// `(out iface, first hop, label to push)`.
+    #[inline]
     pub fn te_route(
         &self,
         head: RouterId,
@@ -702,6 +915,8 @@ impl ControlPlane {
             iface_slot_base: &self.iface_slot_base,
             iface_slot: &self.iface_slot,
             router_as_idx: &self.router_as_idx,
+            owner_page: &self.owner_page,
+            owner_pool: &self.owner_pool,
         }
     }
 
@@ -741,6 +956,11 @@ pub struct DenseView<'a> {
     pub iface_slot: &'a [u32],
     /// Dense AS index of each router's own AS (`u32::MAX` = none).
     pub router_as_idx: &'a [u32],
+    /// Level-1 page table of the dense owner index (`u32::MAX` = no
+    /// page for that /20).
+    pub owner_page: &'a [u32],
+    /// Concatenated owner pages (`owner id + 1`, `0` = unowned).
+    pub owner_pool: &'a [u32],
 }
 
 /// A read-only borrow of one router's raw LFIB representation (see
@@ -816,6 +1036,20 @@ impl ControlPlane {
     /// Mutable LFIB window of `router`.
     pub fn lfib_window_mut(&mut self, router: RouterId) -> &mut Vec<Option<LfibEntry>> {
         &mut self.lfib[router.index()].window
+    }
+
+    /// Rebinds `addr` to `owner` in the dense owner index without
+    /// touching the routers that actually hold the address (test-only
+    /// mutation hook for the D512 owner-index invariant check).
+    pub fn poison_owner_index(&mut self, addr: Addr, owner: RouterId) {
+        let hi = (addr.0 >> 12) as usize;
+        if self.owner_page[hi] == u32::MAX {
+            self.owner_page[hi] = self.owner_pool.len() as u32;
+            self.owner_pool
+                .resize(self.owner_pool.len() + OWNER_PAGE_SIZE, 0);
+        }
+        let base = self.owner_page[hi] as usize;
+        self.owner_pool[base + (addr.0 & 0xFFF) as usize] = owner.0 + 1;
     }
 }
 

@@ -19,11 +19,28 @@
 //!   forwards **without** an IP decrement;
 //! * a UHP egress receiving explicit null decrements the LSE-TTL (so
 //!   visible UHP tunnels still reveal the egress) before popping.
+//!
+//! # Execution model
+//!
+//! A probe's life — forward leg, ICMP generation, return leg — is a
+//! resumable state machine ([`Flight`]): one *step* advances a packet
+//! by exactly one router visit. The scalar [`Engine::send`] drives a
+//! single flight to completion; [`Engine::send_batch`] drives up to
+//! [`crate::batch::BATCH_WIDTH`] flights together, mirroring their hot
+//! fields into cache-line-aligned struct-of-arrays lanes each sweep so
+//! TTL classification runs over contiguous arrays and the next routers'
+//! dense-table rows are touched before the per-lane advance (see
+//! [`crate::batch`]). All per-hop state the machine consults lives in
+//! the [`ControlPlane`]'s dense walk tables — flag bytes, vendor TTLs,
+//! flat interface records, and a paged address→owner index — so the
+//! steady-state walk performs no hashing and never dereferences the
+//! heavyweight `Router` objects.
 
 use crate::addr::Addr;
-use crate::control::{ControlPlane, ExtRoute, LabelAction, LfibEntry};
+use crate::batch::{BatchLanes, BATCH_WIDTH};
+use crate::control::{walk, ControlPlane, ExtRoute, LabelAction, LfibEntry};
 use crate::fault::FaultPlan;
-use crate::ids::{Asn, Label, RouterId};
+use crate::ids::{Label, RouterId};
 use crate::net::Network;
 use crate::packet::{IcmpPayload, LabelStack, Lse, Packet};
 use crate::state::ProbeState;
@@ -52,7 +69,7 @@ impl Default for EngineOpts {
 }
 
 /// Counters kept by the engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Probes injected via [`Engine::send`].
     pub probes: u64,
@@ -68,6 +85,20 @@ pub struct EngineStats {
     /// [`EngineOpts::record_paths`] off this stays at zero: the
     /// steady-state walk never touches the heap.
     pub heap_allocs: u64,
+}
+
+impl EngineStats {
+    /// Accumulates another engine's counters into this one. Every field
+    /// is a plain sum, so aggregating a fleet of per-worker engines is
+    /// order-independent — the campaign relies on that to report one
+    /// deterministic total at any job count.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.probes += other.probes;
+        self.crossings += other.crossings;
+        self.replies += other.replies;
+        self.lost += other.lost;
+        self.heap_allocs += other.heap_allocs;
+    }
 }
 
 /// The kind of reply observed by the prober.
@@ -188,21 +219,28 @@ struct NextHop {
 }
 
 /// Per-leg destination route cache. A packet's destination is fixed
-/// for the whole leg, so the address-owner resolution (a hash lookup)
-/// and the destination's FIB slot (a dense [`ControlPlane`] table
-/// read, precomputed at build time) are paid once per leg — not at
-/// every hop. Purely memoization: every cached answer is a function
-/// of the immutable substrate and the leg's fixed destination, so
-/// forwarding is unchanged.
+/// for the whole leg, so everything derived from it is paid once per
+/// leg — not at every hop. Resolution is pure dense-table arithmetic:
+/// the owner comes from the [`ControlPlane`]'s paged address→owner
+/// index (two array loads, no hashing), and the one O(degree) scan the
+/// engine used to run *per hop* — "is the destination my directly
+/// connected neighbor's interface?" — collapses to a precomputed
+/// `(router, iface, next)` triple: a non-loopback destination address
+/// sits on exactly one link, so the only router whose connected scan
+/// can ever succeed is that link's far side.
 struct DstCache {
     resolved: bool,
     owner: Option<RouterId>,
-    dst_asn: Asn,
+    /// The owner's raw AS index (`u32::MAX` = none) for branch-free
+    /// same-AS comparisons against [`ControlPlane::router_as_raw`].
+    dst_as_raw: u32,
     dst_idx: Option<usize>,
-    dst_is_loopback: bool,
     /// The destination's FIB slot inside its own AS table — the only
     /// table `decide` ever matches it against.
     slot: Option<u32>,
+    /// `(router, iface, next)` of the unique connected hop that
+    /// delivers to a non-loopback destination; `None` for loopbacks.
+    conn: Option<(RouterId, u32, RouterId)>,
 }
 
 impl DstCache {
@@ -210,36 +248,108 @@ impl DstCache {
         DstCache {
             resolved: false,
             owner: None,
-            dst_asn: Asn(0),
+            dst_as_raw: u32::MAX,
             dst_idx: None,
-            dst_is_loopback: false,
             slot: None,
+            conn: None,
         }
     }
 
-    /// The router owning `dst`, resolved once per leg. Also fixes the
-    /// destination's AS, its own-AS FIB slot, and whether `dst` is a
-    /// loopback address.
+    /// The router owning `dst`, resolved once per leg via the dense
+    /// owner index. Also fixes the destination's AS, its own-AS FIB
+    /// slot, and the unique connected hop for non-loopback addresses.
+    /// The hot path is the memoized hit — one predictable branch and a
+    /// field read per visit; the once-per-leg fill stays out of line.
+    #[inline]
     fn resolve(&mut self, sub: SubstrateRef<'_>, dst: Addr) -> Option<RouterId> {
         if !self.resolved {
-            self.resolved = true;
-            self.owner = sub.net.owner(dst);
-            if let Some(o) = self.owner {
-                let r = sub.net.router(o);
-                self.dst_asn = r.asn;
-                self.dst_idx = sub.cp.router_as_index(o);
-                self.dst_is_loopback = r.loopback == dst;
-                self.slot = if self.dst_is_loopback {
-                    sub.cp.loopback_slot(o)
-                } else {
-                    r.ifaces
-                        .iter()
-                        .position(|i| i.addr == dst)
-                        .and_then(|idx| sub.cp.iface_slot(o, idx))
-                };
-            }
+            self.fill(sub, dst);
         }
         self.owner
+    }
+
+    #[inline(never)]
+    fn fill(&mut self, sub: SubstrateRef<'_>, dst: Addr) {
+        self.resolved = true;
+        self.owner = sub.cp.owner_of(dst);
+        if let Some(o) = self.owner {
+            self.dst_as_raw = sub.cp.router_as_raw(o);
+            self.dst_idx = sub.cp.router_as_index(o);
+            if sub.cp.loopback_addr(o) == dst {
+                self.slot = sub.cp.loopback_slot(o);
+            } else {
+                let ifaces = sub.cp.walk_ifaces(o);
+                if let Some(idx) = ifaces.iter().position(|i| i.addr == dst) {
+                    self.slot = sub.cp.iface_slot(o, idx);
+                    // The far side of the destination's link is the
+                    // one router that can deliver it as a connected
+                    // neighbor (the builder assigns every address
+                    // exactly once).
+                    let link = sub.net.link(ifaces[idx].link);
+                    let far = if link.a.router == o { link.b } else { link.a };
+                    self.conn = Some((far.router, far.iface, o));
+                }
+            }
+        }
+    }
+}
+
+/// One leg of a flight: a packet in motion plus everything the per-hop
+/// step needs to resume where it left off.
+pub(crate) struct LegFlight {
+    pkt: Packet,
+    cur: RouterId,
+    in_iface_addr: Option<Addr>,
+    via_wire: bool,
+    visits: usize,
+    dst: DstCache,
+    path: Vec<RouterId>,
+}
+
+impl LegFlight {
+    fn drop_here(&mut self, reason: DropReason) -> Leg {
+        Leg::Dropped {
+            at: self.cur,
+            reason,
+            path: std::mem::take(&mut self.path),
+        }
+    }
+
+    /// Lane mirror of this leg's hot fields, for the SoA batch driver:
+    /// `(ip_ttl, lse_ttl, label, cur, labeled)`.
+    pub(crate) fn lane(&self) -> (u8, u8, u32, u32, bool) {
+        let (label, lse_ttl) = match self.pkt.stack.top() {
+            Some(t) => (t.label.0, t.ttl),
+            None => (u32::MAX, u8::MAX),
+        };
+        let labeled = self.via_wire && self.pkt.is_labeled();
+        (self.pkt.ip_ttl, lse_ttl, label, self.cur.0, labeled)
+    }
+}
+
+/// Which leg a flight is on.
+enum Phase {
+    /// Forward leg: the probe travelling towards its destination.
+    Fwd,
+    /// Return leg: an ICMP reply travelling back to the prober.
+    Ret { kind: ReplyKind, from: Addr },
+}
+
+/// A probe in flight: the resumable state machine behind both the
+/// scalar walk and the batched walk. One [`Engine::step_flight`] call
+/// advances it by exactly one router visit.
+pub(crate) struct Flight {
+    leg: LegFlight,
+    phase: Phase,
+    probe_src: Addr,
+    replier: RouterId,
+    fwd_path: Vec<RouterId>,
+}
+
+impl Flight {
+    /// Lane mirror of the flight's hot fields (see [`LegFlight::lane`]).
+    pub(crate) fn lane(&self) -> (u8, u8, u32, u32, bool) {
+        self.leg.lane()
     }
 }
 
@@ -317,37 +427,161 @@ impl<'a> Engine<'a> {
     /// Sends `pkt` from `origin` and runs the simulation to completion,
     /// including the reply's return trip.
     pub fn send(&mut self, origin: RouterId, pkt: Packet) -> SendOutcome {
+        let mut fl = self.launch(origin, pkt);
+        loop {
+            if let Some(out) = self.step_flight(&mut fl) {
+                return out;
+            }
+        }
+    }
+
+    /// Sends every packet in `pkts` from `origin`, appending one
+    /// outcome per packet (in input order) to `out`.
+    ///
+    /// Under a batch-safe fault plan ([`FaultPlan::batch_safe`]) the
+    /// packets advance together, up to [`BATCH_WIDTH`] at a time, over
+    /// struct-of-arrays lanes: each sweep mirrors the live flights' hot
+    /// fields (IP-TTL, top LSE-TTL/label, current router, status) into
+    /// cache-line-aligned arrays, classifies expiring lanes with
+    /// straight-line array arithmetic, touches the next routers' dense
+    /// flag rows ahead of the advance, and then steps every live flight
+    /// one router visit — expiring lanes first, so ICMP generators
+    /// leave the forwarding sweep early. Batch-safe plans draw no RNG
+    /// and consult no token bucket or flap schedule, so per-packet
+    /// outcomes and all [`EngineStats`] totals are byte-identical to
+    /// the scalar walk regardless of interleaving. Order-sensitive
+    /// plans fall back to exact sequential scalar sends — identical by
+    /// construction.
+    ///
+    /// The batch driver itself never allocates: lanes and flight slots
+    /// live on the stack, so with path recording off `heap_allocs`
+    /// stays at zero.
+    pub fn send_batch(&mut self, origin: RouterId, pkts: &[Packet], out: &mut Vec<SendOutcome>) {
+        if !self.state.faults.batch_safe() {
+            for &p in pkts {
+                let o = self.send(origin, p);
+                out.push(o);
+            }
+            return;
+        }
+        let mut lanes = BatchLanes::new();
+        // Flight and outcome slots are hoisted out of the chunk loop:
+        // every chunk drains back to all-`None`, so the arrays are
+        // initialized once per call, not re-zeroed per chunk.
+        let mut flights: [Option<Flight>; BATCH_WIDTH] = std::array::from_fn(|_| None);
+        let mut results: [Option<SendOutcome>; BATCH_WIDTH] = std::array::from_fn(|_| None);
+        // Dense list of live lane indices — sweeps iterate exactly the
+        // live lanes instead of scanning the full width as flights
+        // drain out.
+        let mut live_idx = [0u8; BATCH_WIDTH];
+        for chunk in pkts.chunks(BATCH_WIDTH) {
+            for (i, &p) in chunk.iter().enumerate() {
+                let fl = self.launch(origin, p);
+                lanes.load(i, fl.lane());
+                flights[i] = Some(fl);
+                live_idx[i] = i as u8;
+            }
+            let mut n_live = chunk.len();
+            while n_live > 0 {
+                lanes.classify(&live_idx[..n_live]);
+                lanes.gather_flags(self.sub.cp, &live_idx[..n_live]);
+                // Expiring lanes step first (they convert to return
+                // legs and often leave the sweep); each lane steps in
+                // exactly one of the two passes. Completed lanes are
+                // swap-removed from the live list; lanes that stay
+                // live reload their mirror for the next sweep.
+                for pass in [1u8, 0u8] {
+                    let mut j = 0;
+                    while j < n_live {
+                        let i = live_idx[j] as usize;
+                        if !lanes.in_pass(i, pass) {
+                            j += 1;
+                            continue;
+                        }
+                        let Some(fl) = flights[i].as_mut() else {
+                            j += 1;
+                            continue;
+                        };
+                        match self.step_flight(fl) {
+                            Some(o) => {
+                                results[i] = Some(o);
+                                flights[i] = None;
+                                lanes.clear(i);
+                                n_live -= 1;
+                                live_idx[j] = live_idx[n_live];
+                            }
+                            None => {
+                                lanes.load(i, fl.lane());
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for r in results.iter_mut().take(chunk.len()) {
+                if let Some(o) = r.take() {
+                    out.push(o);
+                }
+            }
+        }
+    }
+
+    /// Starts a probe's flight: counts it, ticks the pacing clock, and
+    /// places the packet at its origin ready for the first step.
+    pub(crate) fn launch(&mut self, origin: RouterId, pkt: Packet) -> Flight {
         assert!(pkt.ip_ttl >= 1, "probes need a TTL of at least 1");
         self.state.stats.probes += 1;
         self.state.tick_probe();
         let probe_src = pkt.src;
-        let leg = self.transit(origin, pkt, None);
-        let out = match leg {
+        let leg = self.leg_new(origin, pkt);
+        Flight {
+            leg,
+            phase: Phase::Fwd,
+            probe_src,
+            replier: origin,
+            fwd_path: Vec::new(),
+        }
+    }
+
+    /// Advances `fl` by one router visit; `Some` when the flight
+    /// completed on this step.
+    pub(crate) fn step_flight(&mut self, fl: &mut Flight) -> Option<SendOutcome> {
+        let end = self.leg_step(&mut fl.leg)?;
+        match fl.phase {
+            Phase::Fwd => self.fwd_transition(fl, end).err(),
+            Phase::Ret { kind, from } => Some(self.ret_outcome(fl, kind, from, end)),
+        }
+    }
+
+    /// Processes the end of the forward leg: either transitions the
+    /// flight onto its return leg or finishes it with a loss.
+    fn fwd_transition(&mut self, fl: &mut Flight, end: Leg) -> Result<(), SendOutcome> {
+        match end {
             Leg::Delivered { at, pkt, path } => {
                 // Probe reached its destination: echo requests elicit an
                 // echo-reply; anything else just sinks.
                 let IcmpPayload::EchoRequest { id, seq } = pkt.payload else {
-                    return self.lost(Some(at), DropReason::ReplyLost);
+                    return Err(self.lost(Some(at), DropReason::ReplyLost));
                 };
-                let r = self.sub.net.router(at);
-                if !r.config.replies
-                    || (!r.config.is_host && self.state.faults.is_persistently_silent(at))
+                let flags = self.sub.cp.router_flags(at);
+                if flags & walk::REPLIES == 0
+                    || (flags & walk::IS_HOST == 0 && self.state.faults.is_persistently_silent(at))
                 {
-                    return self.lost(Some(at), DropReason::Silent);
+                    return Err(self.lost(Some(at), DropReason::Silent));
                 }
-                if !self.state.allow_er(at, r.config.mpls) {
-                    return self.lost(Some(at), DropReason::RateLimited);
+                if !self.state.allow_er(at, flags & walk::MPLS != 0) {
+                    return Err(self.lost(Some(at), DropReason::RateLimited));
                 }
                 let reply = Packet {
                     src: pkt.dst,
                     dst: pkt.src,
-                    ip_ttl: r.config.vendor.er_init_ttl(),
+                    ip_ttl: self.sub.cp.er_init_ttl(at),
                     flow: pkt.flow,
                     payload: IcmpPayload::EchoReply { id, seq },
                     stack: LabelStack::empty(),
                     elapsed_ms: pkt.elapsed_ms,
                 };
-                self.return_leg(ReplyKind::EchoReply, at, reply, None, path, probe_src)
+                self.begin_return(fl, ReplyKind::EchoReply, at, reply, None, path)
             }
             Leg::Reply {
                 reply,
@@ -360,11 +594,79 @@ impl<'a> Engine<'a> {
                     IcmpPayload::DestUnreachable { .. } => ReplyKind::DestUnreachable,
                     // Error legs always carry ICMP errors; drop anything
                     // else rather than crash the probing session.
-                    _ => return self.lost(Some(at), DropReason::ReplyLost),
+                    _ => return Err(self.lost(Some(at), DropReason::ReplyLost)),
                 };
-                self.return_leg(kind, at, reply, first_hop, path, probe_src)
+                self.begin_return(fl, kind, at, reply, first_hop, path)
             }
-            Leg::Dropped { at, reason, .. } => self.lost(Some(at), reason),
+            Leg::Dropped { at, reason, .. } => Err(self.lost(Some(at), reason)),
+        }
+    }
+
+    /// Launches the return leg at `at`, recording the forward path and
+    /// the replying router on the flight.
+    fn begin_return(
+        &mut self,
+        fl: &mut Flight,
+        kind: ReplyKind,
+        at: RouterId,
+        reply: Packet,
+        first_hop: Option<(u32, RouterId)>,
+        fwd_path: Vec<RouterId>,
+    ) -> Result<(), SendOutcome> {
+        let from = reply.src;
+        fl.fwd_path = fwd_path;
+        fl.replier = at;
+        match self.leg_launch(at, reply, first_hop) {
+            Ok(leg) => {
+                fl.leg = leg;
+                fl.phase = Phase::Ret { kind, from };
+                Ok(())
+            }
+            Err(Leg::Dropped {
+                at: died, reason, ..
+            }) => Err(self.lost(Some(died), reason)),
+            Err(_) => Err(self.lost(Some(at), DropReason::ReplyLost)),
+        }
+    }
+
+    /// Processes the end of the return leg into the probe's outcome.
+    fn ret_outcome(
+        &mut self,
+        fl: &mut Flight,
+        kind: ReplyKind,
+        from: Addr,
+        end: Leg,
+    ) -> SendOutcome {
+        let out = match end {
+            Leg::Delivered {
+                at: end_at,
+                pkt,
+                path,
+            } => {
+                if pkt.dst != fl.probe_src || self.sub.cp.owner_of(fl.probe_src) != Some(end_at) {
+                    self.lost(Some(end_at), DropReason::ReplyLost)
+                } else {
+                    // The quoted stack is inline `Copy` data — no clone.
+                    let mpls_ext = match pkt.payload {
+                        IcmpPayload::TimeExceeded { mpls_ext, .. } => mpls_ext,
+                        _ => LabelStack::empty(),
+                    };
+                    SendOutcome::Reply(ReplyInfo {
+                        kind,
+                        from,
+                        ip_ttl: pkt.ip_ttl,
+                        mpls_ext,
+                        rtt_ms: pkt.elapsed_ms,
+                        replier: fl.replier,
+                        fwd_path: std::mem::take(&mut fl.fwd_path),
+                        ret_path: path,
+                    })
+                }
+            }
+            Leg::Reply { at: died, .. } => self.lost(Some(died), DropReason::ReplyLost),
+            Leg::Dropped {
+                at: died, reason, ..
+            } => self.lost(Some(died), reason),
         };
         if matches!(out, SendOutcome::Reply(_)) {
             self.state.stats.replies += 1;
@@ -377,248 +679,199 @@ impl<'a> Engine<'a> {
         SendOutcome::Lost { at, reason }
     }
 
-    fn return_leg(
-        &mut self,
-        kind: ReplyKind,
-        at: RouterId,
-        reply: Packet,
-        first_hop: Option<(u32, RouterId)>,
-        fwd_path: Vec<RouterId>,
-        probe_src: Addr,
-    ) -> SendOutcome {
-        let from = reply.src;
-        match self.transit(at, reply, first_hop) {
-            Leg::Delivered { at: end, pkt, path } => {
-                if pkt.dst != probe_src || !self.sub.net.router(end).owns(probe_src) {
-                    return self.lost(Some(end), DropReason::ReplyLost);
-                }
-                // The quoted stack is inline `Copy` data — no clone.
-                let mpls_ext = match pkt.payload {
-                    IcmpPayload::TimeExceeded { mpls_ext, .. } => mpls_ext,
-                    _ => LabelStack::empty(),
-                };
-                SendOutcome::Reply(ReplyInfo {
-                    kind,
-                    from,
-                    ip_ttl: pkt.ip_ttl,
-                    mpls_ext,
-                    rtt_ms: pkt.elapsed_ms,
-                    replier: at,
-                    fwd_path,
-                    ret_path: path,
-                })
-            }
-            Leg::Reply { at: died, .. } => self.lost(Some(died), DropReason::ReplyLost),
-            Leg::Dropped {
-                at: died, reason, ..
-            } => self.lost(Some(died), reason),
-        }
-    }
-
-    /// Moves one packet until it is delivered, dropped, or elicits an
-    /// ICMP error. `inject` skips the origin's forwarding decision and
-    /// puts the packet directly on the wire (label-switched replies).
-    fn transit(
-        &mut self,
-        origin: RouterId,
-        mut pkt: Packet,
-        inject: Option<(u32, RouterId)>,
-    ) -> Leg {
-        let mut cur = origin;
-        let record = self.opts.record_paths;
+    /// A fresh leg with the packet sitting at `origin`.
+    fn leg_new(&mut self, origin: RouterId, pkt: Packet) -> LegFlight {
         // `Vec::new()` does not allocate; with recording off the path
         // buffer never grows, so the whole walk stays heap-free.
-        let mut path: Vec<RouterId> = Vec::new();
-        if record {
+        let mut f = LegFlight {
+            pkt,
+            cur: origin,
+            in_iface_addr: None,
+            via_wire: false,
+            visits: 0,
+            dst: DstCache::new(),
+            path: Vec::new(),
+        };
+        if self.opts.record_paths {
             self.state.stats.heap_allocs += 1;
-            path.reserve(8);
-            path.push(origin);
+            f.path.reserve(8);
+            f.path.push(origin);
         }
-        let mut in_iface_addr: Option<Addr> = None;
-        let mut via_wire = false;
-        let mut dst = DstCache::new();
+        f
+    }
 
+    /// A fresh leg, optionally injected directly on the wire (`inject`
+    /// skips the origin's forwarding decision — label-switched replies).
+    // A large `Err` is deliberate here: `Leg` stays inline `Copy`-ish
+    // stack data so the heap-free walk never boxes on the error path.
+    #[allow(clippy::result_large_err)]
+    fn leg_launch(
+        &mut self,
+        origin: RouterId,
+        pkt: Packet,
+        inject: Option<(u32, RouterId)>,
+    ) -> Result<LegFlight, Leg> {
+        let mut f = self.leg_new(origin, pkt);
         if let Some((iface, next)) = inject {
-            match self.cross(cur, iface, &mut pkt) {
+            match self.cross(origin, iface, &mut f.pkt) {
                 Ok(arrival) => {
-                    cur = next;
-                    in_iface_addr = Some(arrival);
-                    via_wire = true;
-                    if record {
-                        path.push(cur);
+                    f.cur = next;
+                    f.in_iface_addr = Some(arrival);
+                    f.via_wire = true;
+                    if self.opts.record_paths {
+                        f.path.push(next);
                     }
                 }
-                Err(reason) => {
-                    return Leg::Dropped {
-                        at: cur,
-                        reason,
-                        path,
+                Err(reason) => return Err(f.drop_here(reason)),
+            }
+        }
+        Ok(f)
+    }
+
+    /// One router visit: moves the leg's packet forward by one hop, or
+    /// ends the leg (`Some`) with delivery, an ICMP reply, or a drop.
+    fn leg_step(&mut self, f: &mut LegFlight) -> Option<Leg> {
+        f.visits += 1;
+        if f.visits > self.opts.max_visits {
+            return Some(f.drop_here(DropReason::Loop));
+        }
+        let cur = f.cur;
+        let flags = self.sub.cp.router_flags(cur);
+        let mut skip_decrement = false;
+
+        // --- MPLS processing ---------------------------------------
+        if f.via_wire && f.pkt.is_labeled() {
+            // A labeled packet with an empty stack is malformed;
+            // treat it as a bad label instead of panicking.
+            let Some(&top) = f.pkt.stack.top() else {
+                return Some(f.drop_here(DropReason::BadLabel));
+            };
+            if top.label == Label::EXPLICIT_NULL {
+                // UHP egress, RFC 3443 short-pipe semantics (what
+                // reproduces the paper's Fig. 4d): the LSE-TTL is
+                // discarded — no `min` copy — and the egress charges
+                // the tunnel's single IP decrement *without* an
+                // expiry check (a 0-TTL packet is still handed to
+                // the final hop, where it is delivered or expires).
+                f.pkt.stack.pop();
+                if !f.pkt.stack.is_empty() {
+                    // Nested stacks are outside our LDP model.
+                    return Some(f.drop_here(DropReason::BadLabel));
+                }
+                if self.sub.cp.owner_of(f.pkt.dst) != Some(cur) {
+                    f.pkt.ip_ttl = f.pkt.ip_ttl.saturating_sub(1);
+                }
+                skip_decrement = true;
+                // fall through to IP processing
+            } else {
+                let Some(entry) = self.sub.cp.lfib_entry(cur, top.label) else {
+                    return Some(f.drop_here(DropReason::BadLabel));
+                };
+                let entry: &LfibEntry = entry;
+                if top.ttl <= 1 {
+                    // LSE expiry: the reply is label-switched to the
+                    // end of the LSP unless we are the penultimate
+                    // hop (whose action pops the last label).
+                    let hop = pick(&entry.nexthops, f.pkt.flow, cur.0);
+                    let downstream = match hop.action {
+                        LabelAction::Swap(l) => Some((l, hop.iface, hop.next)),
+                        LabelAction::SwapExplicitNull => {
+                            Some((Label::EXPLICIT_NULL, hop.iface, hop.next))
+                        }
+                        LabelAction::Pop => None,
+                    };
+                    let path = std::mem::take(&mut f.path);
+                    return Some(self.icmp_expired(cur, &f.pkt, f.in_iface_addr, downstream, path));
+                }
+                let hop = *pick(&entry.nexthops, f.pkt.flow, cur.0);
+                match hop.action {
+                    LabelAction::Swap(l) => {
+                        if let Some(lse) = f.pkt.stack.top_mut() {
+                            lse.ttl -= 1;
+                            lse.label = l;
+                        }
+                    }
+                    LabelAction::SwapExplicitNull => {
+                        if let Some(lse) = f.pkt.stack.top_mut() {
+                            lse.ttl -= 1;
+                            lse.label = Label::EXPLICIT_NULL;
+                        }
+                    }
+                    LabelAction::Pop => {
+                        if let Some(lse) = f.pkt.stack.pop() {
+                            if f.pkt.stack.is_empty() && flags & walk::MIN_ON_EXIT != 0 {
+                                f.pkt.ip_ttl = f.pkt.ip_ttl.min(lse.ttl.saturating_sub(1));
+                            }
+                        }
                     }
                 }
+                return match self.cross(cur, hop.iface, &mut f.pkt) {
+                    Ok(arrival) => {
+                        f.cur = hop.next;
+                        f.in_iface_addr = Some(arrival);
+                        f.via_wire = true;
+                        if self.opts.record_paths {
+                            f.path.push(f.cur);
+                        }
+                        None
+                    }
+                    Err(reason) => Some(f.drop_here(reason)),
+                };
             }
         }
 
-        let mut visits = 0usize;
-        loop {
-            visits += 1;
-            if visits > self.opts.max_visits {
-                return Leg::Dropped {
-                    at: cur,
-                    reason: DropReason::Loop,
-                    path,
-                };
+        // --- IP processing ------------------------------------------
+        // Addresses are owned by exactly one router, so the cached
+        // owner *is* the "does this router own the destination?" check,
+        // without the per-hop interface scan.
+        if f.dst.resolve(self.sub, f.pkt.dst) == Some(cur) {
+            return Some(Leg::Delivered {
+                at: cur,
+                pkt: f.pkt,
+                path: std::mem::take(&mut f.path),
+            });
+        }
+        if f.via_wire && !skip_decrement {
+            if f.pkt.ip_ttl <= 1 {
+                let path = std::mem::take(&mut f.path);
+                return Some(self.icmp_expired(cur, &f.pkt, f.in_iface_addr, None, path));
             }
-            let r = self.sub.net.router(cur);
-            let mut skip_decrement = false;
-
-            // --- MPLS processing ---------------------------------------
-            if via_wire && pkt.is_labeled() {
-                // A labeled packet with an empty stack is malformed;
-                // treat it as a bad label instead of panicking.
-                let Some(&top) = pkt.stack.top() else {
-                    return Leg::Dropped {
-                        at: cur,
-                        reason: DropReason::BadLabel,
-                        path,
-                    };
-                };
-                if top.label == Label::EXPLICIT_NULL {
-                    // UHP egress, RFC 3443 short-pipe semantics (what
-                    // reproduces the paper's Fig. 4d): the LSE-TTL is
-                    // discarded — no `min` copy — and the egress charges
-                    // the tunnel's single IP decrement *without* an
-                    // expiry check (a 0-TTL packet is still handed to
-                    // the final hop, where it is delivered or expires).
-                    pkt.stack.pop();
-                    if !pkt.stack.is_empty() {
-                        // Nested stacks are outside our LDP model.
-                        return Leg::Dropped {
-                            at: cur,
-                            reason: DropReason::BadLabel,
-                            path,
-                        };
-                    }
-                    if !r.owns(pkt.dst) {
-                        pkt.ip_ttl = pkt.ip_ttl.saturating_sub(1);
-                    }
-                    skip_decrement = true;
-                    // fall through to IP processing
-                } else {
-                    let Some(entry) = self.sub.cp.lfib_entry(cur, top.label) else {
-                        return Leg::Dropped {
-                            at: cur,
-                            reason: DropReason::BadLabel,
-                            path,
-                        };
-                    };
-                    let entry: &LfibEntry = entry;
-                    if top.ttl <= 1 {
-                        // LSE expiry: the reply is label-switched to the
-                        // end of the LSP unless we are the penultimate
-                        // hop (whose action pops the last label).
-                        let hop = pick(&entry.nexthops, pkt.flow, cur.0);
-                        let downstream = match hop.action {
-                            LabelAction::Swap(l) => Some((l, hop.iface, hop.next)),
-                            LabelAction::SwapExplicitNull => {
-                                Some((Label::EXPLICIT_NULL, hop.iface, hop.next))
-                            }
-                            LabelAction::Pop => None,
-                        };
-                        return self.icmp_expired(cur, &pkt, in_iface_addr, downstream, path);
-                    }
-                    let hop = *pick(&entry.nexthops, pkt.flow, cur.0);
-                    match hop.action {
-                        LabelAction::Swap(l) => {
-                            if let Some(lse) = pkt.stack.top_mut() {
-                                lse.ttl -= 1;
-                                lse.label = l;
-                            }
-                        }
-                        LabelAction::SwapExplicitNull => {
-                            if let Some(lse) = pkt.stack.top_mut() {
-                                lse.ttl -= 1;
-                                lse.label = Label::EXPLICIT_NULL;
-                            }
-                        }
-                        LabelAction::Pop => {
-                            if let Some(lse) = pkt.stack.pop() {
-                                if pkt.stack.is_empty() && r.config.min_on_exit {
-                                    pkt.ip_ttl = pkt.ip_ttl.min(lse.ttl.saturating_sub(1));
-                                }
-                            }
-                        }
-                    }
-                    match self.cross(cur, hop.iface, &mut pkt) {
-                        Ok(arrival) => {
-                            cur = hop.next;
-                            in_iface_addr = Some(arrival);
-                            via_wire = true;
-                            if record {
-                                path.push(cur);
-                            }
-                            continue;
-                        }
-                        Err(reason) => {
-                            return Leg::Dropped {
-                                at: cur,
-                                reason,
-                                path,
-                            }
-                        }
-                    }
-                }
+            f.pkt.ip_ttl -= 1;
+        }
+        let nh = match self.decide(cur, &f.pkt, &mut f.dst) {
+            Some(nh) => nh,
+            None => {
+                let path = std::mem::take(&mut f.path);
+                return Some(self.icmp_unreachable(cur, &f.pkt, f.in_iface_addr, path));
             }
-
-            // --- IP processing ------------------------------------------
-            // Addresses are owned by exactly one router, so the cached
-            // owner is `r.owns(pkt.dst)` without the per-hop interface
-            // scan.
-            if dst.resolve(self.sub, pkt.dst) == Some(cur) {
-                return Leg::Delivered { at: cur, pkt, path };
-            }
-            if via_wire && !skip_decrement {
-                if pkt.ip_ttl <= 1 {
-                    return self.icmp_expired(cur, &pkt, in_iface_addr, None, path);
-                }
-                pkt.ip_ttl -= 1;
-            }
-            let nh = match self.decide(cur, &pkt, &mut dst) {
-                Some(nh) => nh,
-                None => {
-                    return self.icmp_unreachable(cur, &pkt, in_iface_addr, path);
-                }
+        };
+        if let Some(label) = nh.push {
+            debug_assert!(f.pkt.stack.is_empty());
+            let lse_ttl = if flags & walk::TTL_PROPAGATE != 0 {
+                f.pkt.ip_ttl
+            } else {
+                255
             };
-            if let Some(label) = nh.push {
-                debug_assert!(pkt.stack.is_empty());
-                let lse_ttl = if r.config.ttl_propagate {
-                    pkt.ip_ttl
-                } else {
-                    255
-                };
-                pkt.stack.push(Lse::new(label, lse_ttl));
-            }
-            match self.cross(cur, nh.iface, &mut pkt) {
-                Ok(arrival) => {
-                    cur = nh.next;
-                    in_iface_addr = Some(arrival);
-                    via_wire = true;
-                    if record {
-                        path.push(cur);
-                    }
+            f.pkt.stack.push(Lse::new(label, lse_ttl));
+        }
+        match self.cross(cur, nh.iface, &mut f.pkt) {
+            Ok(arrival) => {
+                f.cur = nh.next;
+                f.in_iface_addr = Some(arrival);
+                f.via_wire = true;
+                if self.opts.record_paths {
+                    f.path.push(f.cur);
                 }
-                Err(reason) => {
-                    return Leg::Dropped {
-                        at: cur,
-                        reason,
-                        path,
-                    }
-                }
+                None
             }
+            Err(reason) => Some(f.drop_here(reason)),
         }
     }
 
     /// Crosses the wire out of `router`'s `iface`; returns the arrival
-    /// interface address on the peer.
+    /// interface address on the peer. Reads only the control plane's
+    /// flat interface records — link id, delay and the peer's address
+    /// are inlined there at plane-build time.
     fn cross(
         &mut self,
         router: RouterId,
@@ -626,21 +879,22 @@ impl<'a> Engine<'a> {
         pkt: &mut Packet,
     ) -> Result<Addr, DropReason> {
         self.state.stats.crossings += 1;
-        let ifc = &self.sub.net.router(router).ifaces[iface as usize];
-        if let Some(f) = self.state.faults.flaps {
-            if f.is_down(ifc.link, self.state.now_ms) {
+        let wi = self.sub.cp.walk_ifaces(router)[iface as usize];
+        if let Some(fl) = self.state.faults.flaps {
+            if fl.is_down(wi.link, self.state.now_ms) {
                 return Err(DropReason::LinkDown);
             }
         }
-        if self.state.faults.loss > 0.0 && self.state.rng.gen::<f64>() < self.state.faults.loss {
+        if self.state.faults.loss > 0.0
+            && self.state.rng.get().gen::<f64>() < self.state.faults.loss
+        {
             return Err(DropReason::Loss);
         }
-        let link = self.sub.net.link(ifc.link);
-        pkt.elapsed_ms += link.delay_ms;
+        pkt.elapsed_ms += wi.delay_ms;
         if self.state.faults.jitter_ms > 0.0 {
-            pkt.elapsed_ms += self.state.rng.gen::<f64>() * self.state.faults.jitter_ms;
+            pkt.elapsed_ms += self.state.rng.get().gen::<f64>() * self.state.faults.jitter_ms;
         }
-        Ok(ifc.peer_addr)
+        Ok(wi.peer_addr)
     }
 
     /// Builds the time-exceeded leg for an expiry at `cur`.
@@ -655,7 +909,7 @@ impl<'a> Engine<'a> {
         downstream: Option<(Label, u32, RouterId)>,
         path: Vec<RouterId>,
     ) -> Leg {
-        let r = self.sub.net.router(cur);
+        let flags = self.sub.cp.router_flags(cur);
         if expired.payload.is_error() {
             // Never ICMP about ICMP errors.
             return Leg::Dropped {
@@ -664,7 +918,8 @@ impl<'a> Engine<'a> {
                 path,
             };
         }
-        if !r.config.replies || (!r.config.is_host && self.state.faults.is_persistently_silent(cur))
+        if flags & walk::REPLIES == 0
+            || (flags & walk::IS_HOST == 0 && self.state.faults.is_persistently_silent(cur))
         {
             return Leg::Dropped {
                 at: cur,
@@ -672,7 +927,7 @@ impl<'a> Engine<'a> {
                 path,
             };
         }
-        if !self.state.allow_te(cur, r.config.mpls) {
+        if !self.state.allow_te(cur, flags & walk::MPLS != 0) {
             return Leg::Dropped {
                 at: cur,
                 reason: DropReason::RateLimited,
@@ -680,7 +935,7 @@ impl<'a> Engine<'a> {
             };
         }
         if self.state.faults.icmp_loss > 0.0
-            && self.state.rng.gen::<f64>() < self.state.faults.icmp_loss
+            && self.state.rng.get().gen::<f64>() < self.state.faults.icmp_loss
         {
             return Leg::Dropped {
                 at: cur,
@@ -693,15 +948,15 @@ impl<'a> Engine<'a> {
             _ => (0, 0),
         };
         // RFC 4950 quote: a plain `Copy` of the inline stack.
-        let mpls_ext = if r.config.rfc4950 && expired.is_labeled() {
+        let mpls_ext = if flags & walk::RFC4950 != 0 && expired.is_labeled() {
             expired.stack
         } else {
             LabelStack::empty()
         };
         let mut reply = Packet {
-            src: in_iface_addr.unwrap_or(r.loopback),
+            src: in_iface_addr.unwrap_or_else(|| self.sub.cp.loopback_addr(cur)),
             dst: expired.src,
-            ip_ttl: r.config.vendor.te_init_ttl(),
+            ip_ttl: self.sub.cp.te_init_ttl(cur),
             flow: expired.flow,
             payload: IcmpPayload::TimeExceeded {
                 quoted_id,
@@ -731,10 +986,10 @@ impl<'a> Engine<'a> {
         in_iface_addr: Option<Addr>,
         path: Vec<RouterId>,
     ) -> Leg {
-        let r = self.sub.net.router(cur);
+        let flags = self.sub.cp.router_flags(cur);
         if pkt.payload.is_error()
-            || !r.config.replies
-            || (!r.config.is_host && self.state.faults.is_persistently_silent(cur))
+            || flags & walk::REPLIES == 0
+            || (flags & walk::IS_HOST == 0 && self.state.faults.is_persistently_silent(cur))
         {
             return Leg::Dropped {
                 at: cur,
@@ -742,7 +997,7 @@ impl<'a> Engine<'a> {
                 path,
             };
         }
-        if !self.state.allow_te(cur, r.config.mpls) {
+        if !self.state.allow_te(cur, flags & walk::MPLS != 0) {
             return Leg::Dropped {
                 at: cur,
                 reason: DropReason::RateLimited,
@@ -754,9 +1009,9 @@ impl<'a> Engine<'a> {
             _ => (0, 0),
         };
         let reply = Packet {
-            src: in_iface_addr.unwrap_or(r.loopback),
+            src: in_iface_addr.unwrap_or_else(|| self.sub.cp.loopback_addr(cur)),
             dst: pkt.src,
-            ip_ttl: r.config.vendor.te_init_ttl(),
+            ip_ttl: self.sub.cp.te_init_ttl(cur),
             flow: pkt.flow,
             payload: IcmpPayload::DestUnreachable {
                 quoted_id,
@@ -776,22 +1031,21 @@ impl<'a> Engine<'a> {
     /// The IP forwarding decision at `cur` for `pkt` (stack empty).
     fn decide(&mut self, cur: RouterId, pkt: &Packet, dst: &mut DstCache) -> Option<NextHop> {
         let owner = dst.resolve(self.sub, pkt.dst);
-        let r = self.sub.net.router(cur);
-        // Connected /31 neighbor? A peer address is an interface
-        // address owned by the peer, and the builder assigns every
-        // address exactly once, so the scan can only succeed when the
-        // destination is a known, non-loopback address.
-        if owner.is_some() && !dst.dst_is_loopback {
-            if let Some(idx) = r.ifaces.iter().position(|i| i.peer_addr == pkt.dst) {
+        // Connected /31 neighbor? The one router whose connected scan
+        // can succeed was precomputed with the destination (the far
+        // side of the destination's link) — an O(1) compare per hop
+        // instead of an O(degree) interface scan.
+        if let Some((conn_at, iface, next)) = dst.conn {
+            if conn_at == cur {
                 return Some(NextHop {
-                    iface: idx as u32,
-                    next: r.ifaces[idx].peer,
+                    iface,
+                    next,
                     push: None,
                 });
             }
         }
         let owner = owner?;
-        if dst.dst_asn == r.asn {
+        if dst.dst_as_raw == self.sub.cp.router_as_raw(cur) {
             // RSVP-TE autoroute: destinations owned by a tunnel tail
             // enter the tunnel at its head.
             if let Some((iface, next, push)) = self.sub.cp.te_route(cur, owner) {
@@ -807,7 +1061,7 @@ impl<'a> Engine<'a> {
                 ExtRoute::Unreachable => None,
                 ExtRoute::Direct { iface } => Some(NextHop {
                     iface,
-                    next: r.ifaces[iface as usize].peer,
+                    next: self.sub.cp.walk_ifaces(cur)[iface as usize].peer,
                     push: None,
                 }),
                 ExtRoute::ViaEgress { egress } => {
@@ -827,10 +1081,9 @@ impl<'a> Engine<'a> {
     }
 
     fn intra_hop(&self, cur: RouterId, slot: u32, pkt: &Packet) -> Option<NextHop> {
-        let r = self.sub.net.router(cur);
         let entry = self.sub.cp.fib_entry(cur, slot)?;
         let &(iface, next) = pick(entry, pkt.flow, cur.0);
-        let push = if r.config.mpls {
+        let push = if self.sub.cp.router_flags(cur) & walk::MPLS != 0 {
             match self.sub.cp.bindings.advertised(next, slot) {
                 Some(crate::ldp::LabelValue::Real(l)) => Some(l),
                 Some(crate::ldp::LabelValue::ExplicitNull) => Some(Label::EXPLICIT_NULL),
@@ -1240,5 +1493,87 @@ mod tests {
             seen.insert(*pick(&v, flow, 13));
         }
         assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn batched_send_matches_scalar_per_packet() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let src = net.router(vp).loopback;
+        // A mixed burst: every traceroute TTL, a ping, and an
+        // unroutable destination, several times over to exceed one
+        // batch chunk.
+        let mut pkts = Vec::new();
+        for round in 0..12u16 {
+            for ttl in 1..=7u8 {
+                pkts.push(Packet::echo_request(
+                    src,
+                    target,
+                    ttl,
+                    1,
+                    1,
+                    round * 100 + ttl as u16,
+                ));
+            }
+            pkts.push(Packet::echo_request(
+                src,
+                target,
+                64,
+                1,
+                1,
+                round * 100 + 90,
+            ));
+            pkts.push(Packet::echo_request(
+                src,
+                Addr::new(9, 9, 9, 9),
+                64,
+                1,
+                1,
+                round * 100 + 91,
+            ));
+        }
+        let mut scalar_eng = Engine::new(&net, &cp);
+        scalar_eng.set_record_paths(false);
+        let scalar: Vec<SendOutcome> = pkts.iter().map(|&p| scalar_eng.send(vp, p)).collect();
+        let mut batch_eng = Engine::new(&net, &cp);
+        batch_eng.set_record_paths(false);
+        let mut batched = Vec::new();
+        batch_eng.send_batch(vp, &pkts, &mut batched);
+        assert_eq!(scalar.len(), batched.len());
+        for (i, (s, b)) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(format!("{s:?}"), format!("{b:?}"), "packet {i} diverged");
+        }
+        let (s, b) = (scalar_eng.stats(), batch_eng.stats());
+        assert_eq!(s.probes, b.probes);
+        assert_eq!(s.crossings, b.crossings);
+        assert_eq!(s.replies, b.replies);
+        assert_eq!(s.lost, b.lost);
+        assert_eq!(b.heap_allocs, 0, "batched walk must not touch the heap");
+        assert_eq!(scalar_eng.state.now_ms, batch_eng.state.now_ms);
+    }
+
+    #[test]
+    fn batched_send_falls_back_for_order_sensitive_faults() {
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let src = net.router(vp).loopback;
+        let plan = FaultPlan::with_loss(0.3).unwrap();
+        assert!(!plan.batch_safe());
+        let pkts: Vec<Packet> = (0..40u16)
+            .map(|seq| Packet::echo_request(src, target, 64, 1, 1, seq))
+            .collect();
+        let mut scalar_eng = Engine::with_faults(&net, &cp, plan.clone(), 77);
+        scalar_eng.set_record_paths(false);
+        let scalar: Vec<SendOutcome> = pkts.iter().map(|&p| scalar_eng.send(vp, p)).collect();
+        let mut batch_eng = Engine::with_faults(&net, &cp, plan, 77);
+        batch_eng.set_record_paths(false);
+        let mut batched = Vec::new();
+        batch_eng.send_batch(vp, &pkts, &mut batched);
+        for (s, b) in scalar.iter().zip(batched.iter()) {
+            assert_eq!(format!("{s:?}"), format!("{b:?}"));
+        }
+        assert_eq!(scalar_eng.stats().lost, batch_eng.stats().lost);
     }
 }

@@ -215,6 +215,22 @@ impl FaultPlan {
         self.loss > 0.0 || self.icmp_loss > 0.0 || self.jitter_ms > 0.0
     }
 
+    /// True when interleaving concurrent probes cannot change any
+    /// probe's outcome, so the engine may step them as one SoA batch.
+    /// Random draws (per-crossing RNG consumption), token buckets
+    /// (shared per-router state) and flap schedules (sampled at each
+    /// probe's clock tick) are all order-sensitive; persistent silence
+    /// is a pure hash of the router id and stays batch-safe. Plans that
+    /// fail this predicate make the batch API fall back to exact
+    /// sequential scalar processing, which keeps results byte-identical
+    /// by construction.
+    pub fn batch_safe(&self) -> bool {
+        !self.is_random()
+            && self.te_limit.is_none()
+            && self.er_limit.is_none()
+            && self.flaps.is_none()
+    }
+
     /// Whether `router` is persistently silent under this plan.
     pub fn is_persistently_silent(&self, router: RouterId) -> bool {
         self.silent.is_some_and(|s| s.contains(router))

@@ -90,6 +90,7 @@ impl LdpBindings {
 
     /// What `router` advertised for FEC `slot` (slot in its own AS's
     /// prefix table), if anything.
+    #[inline]
     pub fn advertised(&self, router: RouterId, slot: u32) -> Option<LabelValue> {
         let start = self.base[router.index()] as usize;
         let end = self.base[router.index() + 1] as usize;

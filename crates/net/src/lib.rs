@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod addr;
+pub mod batch;
 pub mod bgp;
 pub mod control;
 pub mod engine;
@@ -64,10 +65,11 @@ pub mod trie;
 pub mod vendor;
 
 pub use addr::{Addr, AddrAllocator, Prefix};
+pub use batch::BATCH_WIDTH;
 pub use bgp::{Bgp, RouteClass};
 pub use control::{
-    ldp_lfib_hops, logical_fib, te_program, ControlPlane, DenseView, ExtRoute, LabelAction,
-    LfibEntry, LfibHop, LfibRaw, TeRoute,
+    ldp_lfib_hops, logical_fib, te_program, walk, ControlPlane, DenseView, ExtRoute, LabelAction,
+    LfibEntry, LfibHop, LfibRaw, TeRoute, WalkIface, OWNER_PAGE_SIZE,
 };
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;

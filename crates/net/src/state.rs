@@ -27,6 +27,32 @@ use std::collections::HashMap;
 /// interact with rate limiters.
 pub const PROBE_PACING_MS: f64 = 40.0;
 
+/// A lazily materialised RNG stream: the seed is stored at
+/// construction and the generator is built on the first draw, so the
+/// stream is bit-identical to eager seeding. Work-stealing campaigns
+/// construct one hermetic [`ProbeState`] per stolen trace, and under
+/// clean (non-random) fault plans that generator is never consulted —
+/// laziness removes the per-task seeding cost from the hot path
+/// without touching determinism.
+#[derive(Clone, Debug)]
+pub(crate) struct LazyRng {
+    seed: u64,
+    rng: Option<StdRng>,
+}
+
+impl LazyRng {
+    fn new(seed: u64) -> LazyRng {
+        LazyRng { seed, rng: None }
+    }
+
+    /// The generator, materialised on first use.
+    #[inline]
+    pub(crate) fn get(&mut self) -> &mut StdRng {
+        self.rng
+            .get_or_insert_with(|| StdRng::seed_from_u64(self.seed))
+    }
+}
+
 /// One per-router token bucket.
 #[derive(Clone, Copy, Debug)]
 struct Bucket {
@@ -50,8 +76,8 @@ enum IcmpClass {
 pub struct ProbeState {
     /// Fault injection configuration.
     pub faults: FaultPlan,
-    /// The fault/jitter RNG stream.
-    pub(crate) rng: StdRng,
+    /// The fault/jitter RNG stream (materialised on first draw).
+    pub(crate) rng: LazyRng,
     /// Traffic counters.
     pub stats: EngineStats,
     /// The worker's virtual clock, in milliseconds. Advances by
@@ -66,7 +92,7 @@ impl ProbeState {
     pub fn new(faults: FaultPlan, seed: u64) -> ProbeState {
         ProbeState {
             faults,
-            rng: StdRng::seed_from_u64(seed),
+            rng: LazyRng::new(seed),
             stats: EngineStats::default(),
             now_ms: 0.0,
             buckets: HashMap::new(),
@@ -146,9 +172,9 @@ mod tests {
         let mut a = ProbeState::for_worker(FaultPlan::none(), 7, 0);
         let mut b = ProbeState::for_worker(FaultPlan::none(), 7, 1);
         let mut a2 = ProbeState::for_worker(FaultPlan::none(), 7, 0);
-        let xs: Vec<u64> = (0..4).map(|_| a.rng.next_u64()).collect();
-        let ys: Vec<u64> = (0..4).map(|_| b.rng.next_u64()).collect();
-        let xs2: Vec<u64> = (0..4).map(|_| a2.rng.next_u64()).collect();
+        let xs: Vec<u64> = (0..4).map(|_| a.rng.get().next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.rng.get().next_u64()).collect();
+        let xs2: Vec<u64> = (0..4).map(|_| a2.rng.get().next_u64()).collect();
         assert_eq!(xs, xs2, "same (seed, worker) ⇒ same stream");
         assert_ne!(xs, ys, "different workers ⇒ different streams");
     }

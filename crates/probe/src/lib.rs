@@ -19,7 +19,7 @@ pub mod trace;
 pub mod traceroute;
 
 pub use multipath::{enumerate_paths, MultipathResult};
-pub use ping::{ping, PingFailure, PingReply, PingResult};
+pub use ping::{ping, PingFailure, PingMachine, PingReply, PingResult};
 pub use session::{Session, SessionStats};
 pub use trace::{HopOutcome, Trace, TraceHop};
-pub use traceroute::{traceroute, TracerouteOpts};
+pub use traceroute::{traceroute, ProbeRequest, TraceMachine, TracerouteOpts};

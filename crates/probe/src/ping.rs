@@ -83,7 +83,87 @@ impl PingResult {
     }
 }
 
-/// Pings `dst` from `vp`, retrying up to `attempts` times.
+/// A resumable ping: the retry loop as an explicit state machine with
+/// at most one outstanding probe, shared by the scalar [`ping`] driver
+/// and the batched session walk.
+#[derive(Clone, Copy, Debug)]
+pub struct PingMachine {
+    src: Addr,
+    dst: Addr,
+    flow: u16,
+    id: u16,
+    max_attempts: u8,
+    result: PingResult,
+    done: bool,
+}
+
+impl PingMachine {
+    /// A machine that will ping `dst` up to `attempts` times.
+    pub fn new(src: Addr, dst: Addr, flow: u16, id: u16, attempts: u8) -> PingMachine {
+        PingMachine {
+            src,
+            dst,
+            flow,
+            id,
+            max_attempts: attempts.max(1),
+            result: PingResult::empty(),
+            done: false,
+        }
+    }
+
+    /// The next probe to send, or `None` when the ping is complete.
+    /// Every returned packet must be answered with
+    /// [`PingMachine::on_outcome`] before asking for the next one.
+    pub fn next_request(&mut self) -> Option<Packet> {
+        if self.done || self.result.attempts >= self.max_attempts {
+            self.done = true;
+            return None;
+        }
+        let seq = u16::from(self.result.attempts);
+        self.result.attempts += 1;
+        Some(Packet::echo_request(
+            self.src, self.dst, 64, self.flow, self.id, seq,
+        ))
+    }
+
+    /// Feeds the outcome of the last requested probe back into the
+    /// machine.
+    pub fn on_outcome(&mut self, out: &SendOutcome) {
+        if self.done {
+            return;
+        }
+        match out {
+            SendOutcome::Reply(r) if r.kind == ReplyKind::EchoReply => {
+                self.result.reply = Some(PingReply {
+                    from: r.from,
+                    reply_ip_ttl: r.ip_ttl,
+                    rtt_ms: r.rtt_ms,
+                });
+                self.done = true;
+            }
+            SendOutcome::Reply(_) => {
+                // An error reply (unreachable) instead of an echo-reply.
+                self.result.last_failure = Some(PingFailure::Unreachable);
+            }
+            SendOutcome::Lost { reason, .. } => {
+                self.result.last_failure = Some(PingFailure::from_drop(*reason));
+            }
+        }
+    }
+
+    /// Whether the ping is complete.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Consumes the machine into its [`PingResult`].
+    pub fn finish(self) -> PingResult {
+        self.result
+    }
+}
+
+/// Pings `dst` from `vp`, retrying up to `attempts` times. The scalar
+/// driver over [`PingMachine`].
 pub fn ping(
     eng: &mut Engine<'_>,
     vp: RouterId,
@@ -93,29 +173,12 @@ pub fn ping(
     id: u16,
     attempts: u8,
 ) -> PingResult {
-    let mut out = PingResult::empty();
-    for seq in 0..attempts.max(1) as u16 {
-        let probe = Packet::echo_request(src, dst, 64, flow, id, seq);
-        out.attempts += 1;
-        match eng.send(vp, probe) {
-            SendOutcome::Reply(r) if r.kind == ReplyKind::EchoReply => {
-                out.reply = Some(PingReply {
-                    from: r.from,
-                    reply_ip_ttl: r.ip_ttl,
-                    rtt_ms: r.rtt_ms,
-                });
-                return out;
-            }
-            SendOutcome::Reply(_) => {
-                // An error reply (unreachable) instead of an echo-reply.
-                out.last_failure = Some(PingFailure::Unreachable);
-            }
-            SendOutcome::Lost { reason, .. } => {
-                out.last_failure = Some(PingFailure::from_drop(reason));
-            }
-        }
+    let mut m = PingMachine::new(src, dst, flow, id, attempts);
+    while let Some(probe) = m.next_request() {
+        let out = eng.send(vp, probe);
+        m.on_outcome(&out);
     }
-    out
+    m.finish()
 }
 
 #[cfg(test)]

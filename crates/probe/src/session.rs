@@ -5,15 +5,16 @@
 //! time at a configured rate) so experiments can report the probing
 //! budget a real deployment would need.
 
-use crate::ping::{ping, PingResult};
+use crate::ping::{ping, PingMachine, PingResult};
 use crate::trace::Trace;
-use crate::traceroute::{traceroute, TracerouteOpts};
+use crate::traceroute::{traceroute, TraceMachine, TracerouteOpts};
 use wormhole_net::{
-    Addr, ControlPlane, Engine, EngineStats, FaultPlan, Network, ProbeState, RouterId, SubstrateRef,
+    Addr, ControlPlane, Engine, EngineStats, FaultPlan, Network, Packet, ProbeState, RouterId,
+    SendOutcome, SubstrateRef,
 };
 
 /// Session counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SessionStats {
     /// Traceroutes run.
     pub traceroutes: u64,
@@ -169,6 +170,158 @@ impl<'a> Session<'a> {
         self.stats.probes += self.eng.stats().probes - before;
         r
     }
+
+    /// Whether this session's fault plan permits interleaved batch
+    /// probing (see [`FaultPlan::batch_safe`]).
+    fn batch_safe(&self) -> bool {
+        self.eng.state.faults.batch_safe()
+    }
+
+    /// Traceroutes every destination in `dsts`, returning one trace
+    /// per destination in input order.
+    ///
+    /// Under a batch-safe fault plan the traces run as concurrent
+    /// [`TraceMachine`]s — each sweep collects one outstanding probe
+    /// per unfinished trace and pushes them through the engine's SoA
+    /// batch walk ([`Engine::send_batch`]), so per-probe engine entry
+    /// costs amortize across up to [`wormhole_net::BATCH_WIDTH`] packets. Echo ids
+    /// are assigned upfront in destination order — exactly the ids the
+    /// scalar loop would assign — and batch-safe outcomes are pure
+    /// per-packet, so the returned traces, the session counters and
+    /// the engine totals are byte-identical to calling
+    /// [`Session::traceroute`] per destination. Order-sensitive fault
+    /// plans fall back to exactly that scalar loop.
+    pub fn traceroute_batch(&mut self, dsts: &[Addr]) -> Vec<Trace> {
+        if !self.batch_safe() {
+            return dsts.iter().map(|&d| self.traceroute(d)).collect();
+        }
+        let before = self.eng.stats().probes;
+        let mut machines: Vec<Option<TraceMachine>> = dsts
+            .iter()
+            .map(|&d| {
+                let id = self.next_id;
+                self.next_id = self.next_id.wrapping_add(1);
+                Some(TraceMachine::new(
+                    self.src,
+                    d,
+                    self.flow_for(d),
+                    id,
+                    self.opts.clone(),
+                ))
+            })
+            .collect();
+        let mut traces: Vec<Option<Trace>> = dsts.iter().map(|_| None).collect();
+        let mut pkts: Vec<Packet> = Vec::with_capacity(dsts.len());
+        let mut idxs: Vec<usize> = Vec::with_capacity(dsts.len());
+        let mut outs: Vec<SendOutcome> = Vec::with_capacity(dsts.len());
+        // Dense list of unfinished machines, always in ascending index
+        // order (`retain` compacts in place), so waits and probes are
+        // collected in exactly the scalar loop's order while finished
+        // machines cost nothing to skip.
+        let mut live: Vec<usize> = (0..machines.len()).collect();
+        while !live.is_empty() {
+            pkts.clear();
+            idxs.clear();
+            outs.clear();
+            let eng = &mut self.eng;
+            live.retain(|&i| {
+                let Some(m) = machines[i].as_mut() else {
+                    return false;
+                };
+                match m.next_request() {
+                    Some(req) => {
+                        if req.wait_ms > 0.0 {
+                            eng.wait(req.wait_ms);
+                        }
+                        pkts.push(req.pkt);
+                        idxs.push(i);
+                        true
+                    }
+                    None => {
+                        if let Some(m) = machines[i].take() {
+                            traces[i] = Some(m.finish());
+                        }
+                        false
+                    }
+                }
+            });
+            if pkts.is_empty() {
+                continue;
+            }
+            self.eng.send_batch(self.vp, &pkts, &mut outs);
+            for (k, &i) in idxs.iter().enumerate() {
+                if let Some(m) = machines[i].as_mut() {
+                    m.on_outcome(&outs[k]);
+                }
+            }
+        }
+        self.stats.traceroutes += dsts.len() as u64;
+        self.stats.probes += self.eng.stats().probes - before;
+        let out: Vec<Trace> = traces.into_iter().flatten().collect();
+        debug_assert_eq!(out.len(), dsts.len());
+        out
+    }
+
+    /// Pings every destination in `dsts` (two attempts each),
+    /// returning one result per destination in input order. The batch
+    /// analogue of [`Session::ping`]; see [`Session::traceroute_batch`]
+    /// for the equivalence and fallback rules.
+    pub fn ping_batch(&mut self, dsts: &[Addr]) -> Vec<PingResult> {
+        if !self.batch_safe() {
+            return dsts.iter().map(|&d| self.ping(d)).collect();
+        }
+        let before = self.eng.stats().probes;
+        let mut machines: Vec<Option<PingMachine>> = dsts
+            .iter()
+            .map(|&d| {
+                let id = self.next_id;
+                self.next_id = self.next_id.wrapping_add(1);
+                Some(PingMachine::new(self.src, d, self.flow_for(d), id, 2))
+            })
+            .collect();
+        let mut results: Vec<Option<PingResult>> = dsts.iter().map(|_| None).collect();
+        let mut pkts: Vec<Packet> = Vec::with_capacity(dsts.len());
+        let mut idxs: Vec<usize> = Vec::with_capacity(dsts.len());
+        let mut outs: Vec<SendOutcome> = Vec::with_capacity(dsts.len());
+        let mut live: Vec<usize> = (0..machines.len()).collect();
+        while !live.is_empty() {
+            pkts.clear();
+            idxs.clear();
+            outs.clear();
+            live.retain(|&i| {
+                let Some(m) = machines[i].as_mut() else {
+                    return false;
+                };
+                match m.next_request() {
+                    Some(pkt) => {
+                        pkts.push(pkt);
+                        idxs.push(i);
+                        true
+                    }
+                    None => {
+                        if let Some(m) = machines[i].take() {
+                            results[i] = Some(m.finish());
+                        }
+                        false
+                    }
+                }
+            });
+            if pkts.is_empty() {
+                continue;
+            }
+            self.eng.send_batch(self.vp, &pkts, &mut outs);
+            for (k, &i) in idxs.iter().enumerate() {
+                if let Some(m) = machines[i].as_mut() {
+                    m.on_outcome(&outs[k]);
+                }
+            }
+        }
+        self.stats.pings += dsts.len() as u64;
+        self.stats.probes += self.eng.stats().probes - before;
+        let out: Vec<PingResult> = results.into_iter().flatten().collect();
+        debug_assert_eq!(out.len(), dsts.len());
+        out
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +347,47 @@ mod tests {
             "sessions keep path recording off, so the walk must not allocate"
         );
         assert!((sess.stats.wall_seconds_at(25.0) - 8.0 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_session_matches_scalar() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let dsts = [
+            s.target,
+            s.left_addr("PE2"),
+            Addr::new(9, 9, 9, 9),
+            s.target,
+        ];
+
+        let mut scalar = Session::new(&s.net, &s.cp, s.vp);
+        let straces: Vec<Trace> = dsts.iter().map(|&d| scalar.traceroute(d)).collect();
+        let spings: Vec<PingResult> = dsts.iter().map(|&d| scalar.ping(d)).collect();
+
+        let mut batched = Session::new(&s.net, &s.cp, s.vp);
+        let btraces = batched.traceroute_batch(&dsts);
+        let bpings = batched.ping_batch(&dsts);
+
+        assert_eq!(straces, btraces);
+        assert_eq!(spings, bpings);
+        assert_eq!(scalar.stats, batched.stats);
+        assert_eq!(scalar.engine_stats(), batched.engine_stats());
+        assert_eq!(batched.engine_stats().heap_allocs, 0);
+    }
+
+    #[test]
+    fn batched_session_falls_back_under_order_sensitive_faults() {
+        let s = gns3_fig2(Fig2Config::Default);
+        let dsts = [s.target, s.left_addr("PE2")];
+        let plan = FaultPlan::with_loss(0.4).unwrap();
+
+        let mut scalar = Session::with_faults(&s.net, &s.cp, s.vp, plan.clone(), 21);
+        let straces: Vec<Trace> = dsts.iter().map(|&d| scalar.traceroute(d)).collect();
+
+        let mut batched = Session::with_faults(&s.net, &s.cp, s.vp, plan, 21);
+        let btraces = batched.traceroute_batch(&dsts);
+
+        assert_eq!(straces, btraces);
+        assert_eq!(scalar.engine_stats(), batched.engine_stats());
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl HopOutcome {
 }
 
 /// One traceroute hop.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceHop {
     /// The probe TTL that elicited this hop.
     pub ttl: u8,
@@ -88,7 +88,7 @@ impl TraceHop {
 }
 
 /// A complete traceroute.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     /// Probe source address (the vantage point).
     pub src: Addr,

@@ -74,10 +74,236 @@ impl TracerouteOpts {
     }
 }
 
+/// The next probe a [`TraceMachine`] wants on the wire, plus the
+/// virtual-time backoff to apply before sending it.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeRequest {
+    /// The probe packet.
+    pub pkt: Packet,
+    /// Virtual milliseconds of retry backoff to wait before sending
+    /// (`0.0` = send immediately).
+    pub wait_ms: f64,
+}
+
+/// A resumable Paris traceroute: the trace logic as an explicit state
+/// machine with at most one outstanding probe.
+///
+/// [`traceroute`] drives a single machine to completion; the batched
+/// session walk drives many machines round-robin, pooling each sweep's
+/// probes into one engine batch. Both paths run *this* code, so a
+/// trace's hop records, retry policy, budget accounting and
+/// termination rules cannot diverge between the scalar and batched
+/// walks.
+#[derive(Clone, Debug)]
+pub struct TraceMachine {
+    src: Addr,
+    dst: Addr,
+    flow: u16,
+    id: u16,
+    opts: TracerouteOpts,
+    hops: Vec<TraceHop>,
+    reached: bool,
+    truncated: bool,
+    probes: u32,
+    gap: u8,
+    seq: u16,
+    ttl: u8,
+    hop: TraceHop,
+    last_drop: Option<DropReason>,
+    max_attempts: u8,
+    attempt: u8,
+    done: bool,
+}
+
+impl TraceMachine {
+    /// A machine ready to trace from `src` towards `dst`.
+    pub fn new(src: Addr, dst: Addr, flow: u16, id: u16, opts: TracerouteOpts) -> TraceMachine {
+        let ttl = opts.start_ttl;
+        let done = opts.start_ttl > opts.max_ttl;
+        let max_attempts = opts.attempts.max(1);
+        TraceMachine {
+            src,
+            dst,
+            flow,
+            id,
+            opts,
+            // Pre-sized for the common short trace; paths longer than
+            // this grow normally.
+            hops: Vec::with_capacity(8),
+            reached: false,
+            truncated: false,
+            probes: 0,
+            gap: 0,
+            seq: 0,
+            ttl,
+            hop: TraceHop::star(ttl),
+            last_drop: None,
+            max_attempts,
+            attempt: 0,
+            done,
+        }
+    }
+
+    fn base_attempts(&self) -> u8 {
+        self.opts.attempts.max(1)
+    }
+
+    /// The next probe to send, or `None` when the trace is complete.
+    /// Every returned request must be answered with
+    /// [`TraceMachine::on_outcome`] before asking for the next one.
+    pub fn next_request(&mut self) -> Option<ProbeRequest> {
+        if self.done {
+            return None;
+        }
+        if self.opts.probe_budget.is_some_and(|b| self.probes >= b) {
+            self.truncated = true;
+            self.hop.outcome = HopOutcome::BudgetExhausted;
+            self.hop.attempts = self.attempt;
+            let ttl = self.ttl;
+            self.hops
+                .push(std::mem::replace(&mut self.hop, TraceHop::star(ttl)));
+            self.done = true;
+            return None;
+        }
+        let wait_ms = if self.attempt > 0 && self.opts.backoff_ms > 0.0 {
+            let doublings = (self.attempt - 1).min(BACKOFF_MAX_DOUBLINGS);
+            self.opts.backoff_ms * f64::from(1u32 << doublings)
+        } else {
+            0.0
+        };
+        self.seq = self.seq.wrapping_add(1);
+        self.attempt += 1;
+        self.probes += 1;
+        Some(ProbeRequest {
+            pkt: Packet::echo_request(self.src, self.dst, self.ttl, self.flow, self.id, self.seq),
+            wait_ms,
+        })
+    }
+
+    /// Feeds the outcome of the last requested probe back into the
+    /// machine.
+    pub fn on_outcome(&mut self, out: &SendOutcome) {
+        if self.done {
+            return;
+        }
+        match out {
+            SendOutcome::Reply(r) => {
+                self.hop = TraceHop {
+                    ttl: self.ttl,
+                    addr: Some(r.from),
+                    reply_ip_ttl: Some(r.ip_ttl),
+                    rtt_ms: Some(r.rtt_ms),
+                    labels: r.mpls_ext.to_vec(),
+                    kind: Some(r.kind),
+                    outcome: HopOutcome::Replied,
+                    attempts: self.attempt,
+                    truth: Some(r.replier),
+                };
+                self.finish_hop();
+            }
+            SendOutcome::Lost { reason, .. } => {
+                self.last_drop = Some(*reason);
+                if self.opts.adaptive
+                    && HopOutcome::from_drop(*reason) == HopOutcome::RateLimited
+                    && self.max_attempts < self.base_attempts() + ADAPTIVE_EXTRA_ATTEMPTS
+                {
+                    // Backed-off retries give the bucket time to
+                    // refill; spend a couple extra attempts here.
+                    self.max_attempts += 1;
+                }
+                if self.attempt >= self.max_attempts {
+                    self.finish_hop();
+                }
+            }
+        }
+    }
+
+    /// Closes out the current TTL's hop record and either terminates
+    /// the trace or moves to the next TTL.
+    fn finish_hop(&mut self) {
+        if self.hop.addr.is_none() {
+            self.hop.attempts = self.attempt;
+            if let Some(reason) = self.last_drop {
+                self.hop.outcome = HopOutcome::from_drop(reason);
+            }
+        }
+        let responded = self.hop.addr.is_some();
+        let kind = self.hop.kind;
+        let from = self.hop.addr;
+        let ttl = self.ttl;
+        self.hops
+            .push(std::mem::replace(&mut self.hop, TraceHop::star(ttl)));
+        if responded {
+            self.gap = 0;
+        } else {
+            self.gap += 1;
+            if self.gap >= self.opts.gap_limit {
+                self.done = true;
+                return;
+            }
+            self.advance_ttl();
+            return;
+        }
+        match kind {
+            Some(ReplyKind::EchoReply) => {
+                // Echo replies are sourced from the probed address.
+                self.reached = true;
+                self.done = true;
+                return;
+            }
+            Some(ReplyKind::DestUnreachable) => {
+                self.done = true;
+                return;
+            }
+            _ => {}
+        }
+        if from == Some(self.dst) {
+            // A time-exceeded *from* the destination address still
+            // terminates the trace (the target was reached).
+            self.reached = true;
+            self.done = true;
+            return;
+        }
+        self.advance_ttl();
+    }
+
+    fn advance_ttl(&mut self) {
+        if self.ttl >= self.opts.max_ttl {
+            self.done = true;
+            return;
+        }
+        self.ttl += 1;
+        self.hop = TraceHop::star(self.ttl);
+        self.last_drop = None;
+        self.max_attempts = self.base_attempts();
+        self.attempt = 0;
+    }
+
+    /// Whether the trace is complete.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Consumes the machine into its [`Trace`].
+    pub fn finish(self) -> Trace {
+        Trace {
+            src: self.src,
+            dst: self.dst,
+            flow: self.flow,
+            hops: self.hops,
+            reached: self.reached,
+            probes: self.probes,
+            truncated: self.truncated,
+        }
+    }
+}
+
 /// Runs a Paris traceroute from `vp` towards `dst`.
 ///
 /// `flow` is held constant for every probe of the trace; `id` tags the
-/// echo identifier so replies can be matched in logs.
+/// echo identifier so replies can be matched in logs. This is the
+/// scalar driver over [`TraceMachine`]: one machine, one outstanding
+/// probe, driven to completion.
 pub fn traceroute(
     eng: &mut Engine<'_>,
     vp: RouterId,
@@ -87,105 +313,15 @@ pub fn traceroute(
     id: u16,
     opts: &TracerouteOpts,
 ) -> Trace {
-    let mut hops = Vec::new();
-    let mut reached = false;
-    let mut truncated = false;
-    let mut probes: u32 = 0;
-    let mut gap = 0u8;
-    let mut seq: u16 = 0;
-    'ttl: for ttl in opts.start_ttl..=opts.max_ttl {
-        let mut hop = TraceHop::star(ttl);
-        let mut last_drop: Option<DropReason> = None;
-        let mut max_attempts = opts.attempts.max(1);
-        let mut attempt: u8 = 0;
-        while attempt < max_attempts {
-            if opts.probe_budget.is_some_and(|b| probes >= b) {
-                truncated = true;
-                hop.outcome = HopOutcome::BudgetExhausted;
-                hop.attempts = attempt;
-                hops.push(hop);
-                break 'ttl;
-            }
-            if attempt > 0 && opts.backoff_ms > 0.0 {
-                let doublings = (attempt - 1).min(BACKOFF_MAX_DOUBLINGS);
-                eng.wait(opts.backoff_ms * f64::from(1u32 << doublings));
-            }
-            seq = seq.wrapping_add(1);
-            attempt += 1;
-            probes += 1;
-            let probe = Packet::echo_request(src, dst, ttl, flow, id, seq);
-            match eng.send(vp, probe) {
-                SendOutcome::Reply(r) => {
-                    hop = TraceHop {
-                        ttl,
-                        addr: Some(r.from),
-                        reply_ip_ttl: Some(r.ip_ttl),
-                        rtt_ms: Some(r.rtt_ms),
-                        labels: r.mpls_ext.to_vec(),
-                        kind: Some(r.kind),
-                        outcome: HopOutcome::Replied,
-                        attempts: attempt,
-                        truth: Some(r.replier),
-                    };
-                    break;
-                }
-                SendOutcome::Lost { reason, .. } => {
-                    last_drop = Some(reason);
-                    if opts.adaptive
-                        && HopOutcome::from_drop(reason) == HopOutcome::RateLimited
-                        && max_attempts < opts.attempts.max(1) + ADAPTIVE_EXTRA_ATTEMPTS
-                    {
-                        // Backed-off retries give the bucket time to
-                        // refill; spend a couple extra attempts here.
-                        max_attempts += 1;
-                    }
-                }
-            }
+    let mut m = TraceMachine::new(src, dst, flow, id, opts.clone());
+    while let Some(req) = m.next_request() {
+        if req.wait_ms > 0.0 {
+            eng.wait(req.wait_ms);
         }
-        if hop.addr.is_none() {
-            hop.attempts = attempt;
-            if let Some(reason) = last_drop {
-                hop.outcome = HopOutcome::from_drop(reason);
-            }
-        }
-        let responded = hop.addr.is_some();
-        let kind = hop.kind;
-        let from = hop.addr;
-        hops.push(hop);
-        if responded {
-            gap = 0;
-        } else {
-            gap += 1;
-            if gap >= opts.gap_limit {
-                break;
-            }
-            continue;
-        }
-        match kind {
-            Some(ReplyKind::EchoReply) => {
-                // Echo replies are sourced from the probed address.
-                reached = true;
-                break;
-            }
-            Some(ReplyKind::DestUnreachable) => break,
-            _ => {}
-        }
-        if from == Some(dst) {
-            // A time-exceeded *from* the destination address still
-            // terminates the trace (the target was reached).
-            reached = true;
-            break;
-        }
+        let out = eng.send(vp, req.pkt);
+        m.on_outcome(&out);
     }
-    Trace {
-        src,
-        dst,
-        flow,
-        hops,
-        reached,
-        probes,
-        truncated,
-    }
+    m.finish()
 }
 
 #[cfg(test)]

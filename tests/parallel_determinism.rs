@@ -155,6 +155,100 @@ fn stealing_survives_the_hostile_scenario_at_any_worker_count() {
     }
 }
 
+/// The batched-walk equivalence property (PR 7 pin): at a given
+/// `(topology, scheduling, faults, seed)`, every `(batch_width, jobs)`
+/// combination must produce a byte-identical [`CampaignReport`] *and*
+/// identical aggregate engine counters — with `heap_allocs == 0`, since
+/// campaign sessions keep path recording off and the SoA batch driver
+/// holds all lane state inline. `batch_width` 0/1 is the scalar walk,
+/// 64 the full-width batched walk; 8 exercises a partial batch.
+fn assert_batched_matches_scalar(
+    internet: &Internet,
+    faults: FaultPlan,
+    scheduling: Scheduling,
+    hdn_threshold: usize,
+) {
+    let run = |batch_width: usize, jobs: usize| {
+        let cfg = CampaignConfig {
+            hdn_threshold,
+            faults: faults.clone(),
+            seed: 11,
+            jobs,
+            scheduling,
+            batch_width,
+            ..CampaignConfig::default()
+        };
+        Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg).run()
+    };
+    let scalar = run(0, 1);
+    assert_eq!(
+        scalar.engine_stats.heap_allocs, 0,
+        "scalar campaign walk must stay allocation-free"
+    );
+    for (bw, jobs) in [(1, 2), (8, 1), (64, 1), (64, 2), (64, 4)] {
+        let batched = run(bw, jobs);
+        assert_eq!(
+            scalar.report(),
+            batched.report(),
+            "batch_width={bw} jobs={jobs} report diverged from scalar"
+        );
+        assert_eq!(
+            scalar.engine_stats, batched.engine_stats,
+            "batch_width={bw} jobs={jobs} engine counters diverged from scalar"
+        );
+        assert_eq!(
+            batched.engine_stats.heap_allocs, 0,
+            "batch_width={bw} jobs={jobs} batched walk allocated"
+        );
+    }
+}
+
+#[test]
+fn batched_walk_matches_scalar_quick_scale() {
+    // Quick scale, clean faults (the batched fast path runs for real)
+    // and the hostile composite (the order-sensitive plan exercises the
+    // scalar fallback), under both schedulers.
+    let internet = generate(&InternetConfig::small(17));
+    let hostile = FaultScenario::ALL
+        .iter()
+        .find(|s| s.name() == "hostile")
+        .expect("hostile scenario exists");
+    for scheduling in [Scheduling::VpBatches, Scheduling::Stealing] {
+        assert_batched_matches_scalar(&internet, FaultPlan::none(), scheduling, 6);
+        assert_batched_matches_scalar(&internet, hostile.plan(), scheduling, 6);
+    }
+}
+
+#[test]
+fn batched_walk_matches_scalar_paper_scale() {
+    let internet = generate(&InternetConfig {
+        seed: 8,
+        ..InternetConfig::default()
+    });
+    let hostile = FaultScenario::ALL
+        .iter()
+        .find(|s| s.name() == "hostile")
+        .expect("hostile scenario exists");
+    for scheduling in [Scheduling::VpBatches, Scheduling::Stealing] {
+        assert_batched_matches_scalar(&internet, FaultPlan::none(), scheduling, 9);
+        assert_batched_matches_scalar(&internet, hostile.plan(), scheduling, 9);
+    }
+}
+
+#[test]
+#[ignore = "tenfold scale: run in release CI via --include-ignored"]
+fn batched_walk_matches_scalar_tenfold_scale() {
+    let internet = generate(&InternetConfig::tenfold(8));
+    let hostile = FaultScenario::ALL
+        .iter()
+        .find(|s| s.name() == "hostile")
+        .expect("hostile scenario exists");
+    for scheduling in [Scheduling::VpBatches, Scheduling::Stealing] {
+        assert_batched_matches_scalar(&internet, FaultPlan::none(), scheduling, 12);
+        assert_batched_matches_scalar(&internet, hostile.plan(), scheduling, 12);
+    }
+}
+
 #[test]
 fn probe_accounting_matches_across_worker_counts() {
     let internet = generate(&InternetConfig::small(11));
