@@ -19,6 +19,10 @@ use wormhole_topo::InternetConfig;
 /// Largest tolerated throughput drop versus a committed baseline.
 const MAX_REGRESSION: f64 = 0.20;
 
+/// Absolute slack under which the analysis-time gate never fires: at
+/// sub-10ms the signal is scheduler noise, not a pipeline regression.
+const ANALYSIS_SLACK_SECONDS: f64 = 0.010;
+
 fn check(name: &str, baseline: f64, fresh: f64, failures: &mut Vec<String>) {
     let floor = baseline * (1.0 - MAX_REGRESSION);
     if fresh < floor {
@@ -28,6 +32,22 @@ fn check(name: &str, baseline: f64, fresh: f64, failures: &mut Vec<String>) {
         ));
     } else {
         println!("ok {name}: {fresh:.0} probes/sec vs committed {baseline:.0}");
+    }
+}
+
+/// Time gate for the incremental-aggregation pipeline: post-merge
+/// analysis seconds may not grow more than 20% over the committed
+/// baseline, with an absolute slack floor so microsecond-scale rows on
+/// small runs never flap.
+fn check_analysis(name: &str, baseline: f64, fresh: f64, failures: &mut Vec<String>) {
+    let ceiling = baseline * (1.0 + MAX_REGRESSION) + ANALYSIS_SLACK_SECONDS;
+    if fresh > ceiling {
+        failures.push(format!(
+            "{name}: analysis {fresh:.3}s exceeds {ceiling:.3}s (120% of the committed \
+             {baseline:.3}s plus {ANALYSIS_SLACK_SECONDS:.3}s slack)"
+        ));
+    } else {
+        println!("ok {name}: analysis {fresh:.3}s vs committed {baseline:.3}s");
     }
 }
 
@@ -95,7 +115,12 @@ fn main() -> ExitCode {
                             && r.scheduling == base.scheduling
                     });
                 match fresh {
-                    Some(r) => check(&name, base.probes_per_sec, r.probes_per_sec, &mut failures),
+                    Some(r) => {
+                        check(&name, base.probes_per_sec, r.probes_per_sec, &mut failures);
+                        if let Some(base_analysis) = base.analysis_seconds {
+                            check_analysis(&name, base_analysis, r.analysis_seconds, &mut failures);
+                        }
+                    }
                     None => failures.push(format!(
                         "{name}: committed baseline has no fresh measurement — the run matrix \
                          shrank; refresh the baseline with --write if that was intended"

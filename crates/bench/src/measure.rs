@@ -31,6 +31,10 @@ pub struct CampaignRun {
     pub probe_seconds: f64,
     /// Wall seconds merging and aggregating between phases.
     pub merge_seconds: f64,
+    /// Wall seconds in post-merge analysis (snapshot finish, HDN
+    /// extraction, revelation) — the incremental-aggregation pipeline
+    /// keeps this flat as the trace corpus grows.
+    pub analysis_seconds: f64,
     /// Headline throughput (`probes / seconds`).
     pub probes_per_sec: f64,
 }
@@ -128,6 +132,7 @@ pub fn time_campaign(
             seconds,
             probe_seconds: result.timings.probe_seconds,
             merge_seconds: result.timings.merge_seconds,
+            analysis_seconds: result.timings.analysis_seconds,
             probes_per_sec: result.probes as f64 / seconds,
         };
         if best.as_ref().is_none_or(|b| run.seconds < b.seconds) {
@@ -164,7 +169,7 @@ pub fn summary_lines(scales: &[ScaleBench]) -> Vec<String> {
             s.runs.iter().map(move |r| {
                 format!(
                     "campaign {} jobs={} faults={} sched={}: {:.0} probes/sec \
-                     ({:.3}s wall; probe {:.3}s, merge {:.3}s; build {:.3}s)",
+                     ({:.3}s wall; probe {:.3}s, merge {:.3}s, analysis {:.3}s; build {:.3}s)",
                     s.scale,
                     r.jobs,
                     r.faults,
@@ -173,6 +178,7 @@ pub fn summary_lines(scales: &[ScaleBench]) -> Vec<String> {
                     r.seconds,
                     r.probe_seconds,
                     r.merge_seconds,
+                    r.analysis_seconds,
                     s.build_seconds
                 )
             })
@@ -192,7 +198,8 @@ pub fn campaign_json(scales: &[ScaleBench]) -> String {
                     format!(
                         "        {{\"jobs\": {}, \"faults\": \"{}\", \"scheduling\": \"{}\", \
                          \"probes\": {}, \"seconds\": {:.6}, \"probe_seconds\": {:.6}, \
-                         \"merge_seconds\": {:.6}, \"probes_per_sec\": {:.1}}}",
+                         \"merge_seconds\": {:.6}, \"analysis_seconds\": {:.6}, \
+                         \"probes_per_sec\": {:.1}}}",
                         r.jobs,
                         r.faults,
                         r.scheduling,
@@ -200,6 +207,7 @@ pub fn campaign_json(scales: &[ScaleBench]) -> String {
                         r.seconds,
                         r.probe_seconds,
                         r.merge_seconds,
+                        r.analysis_seconds,
                         r.probes_per_sec
                     )
                 })
@@ -385,6 +393,10 @@ pub struct BaselineRun {
     pub scheduling: String,
     /// Committed throughput.
     pub probes_per_sec: f64,
+    /// Committed post-merge analysis wall seconds, when the baseline
+    /// predates the incremental pipeline this is `None` and the time
+    /// gate is skipped for the row.
+    pub analysis_seconds: Option<f64>,
 }
 
 /// Extracts the per-run throughput entries from a `BENCH_campaign.json`
@@ -408,6 +420,7 @@ pub fn parse_campaign_baseline(json: &str) -> Vec<BaselineRun> {
                 faults: str_field(line, "faults").unwrap_or_else(|| "clean".into()),
                 scheduling: str_field(line, "scheduling").unwrap_or_else(|| "batches".into()),
                 probes_per_sec: pps,
+                analysis_seconds: num_field(line, "analysis_seconds"),
             });
         }
     }
@@ -426,7 +439,9 @@ pub struct EngineRow {
 
 /// Extracts every `walk*` throughput row from a `BENCH_engine.json`
 /// document. Leans on the emitter's one-object-per-line layout; the
-/// pre-batching single-walk format parses as one `walk` row.
+/// committed format is the three-row matrix (`walk`, `walk_scalar`,
+/// `walk_thousandfold`) — a baseline with fewer rows simply gates
+/// fewer walks, and `bench-regression --write` refreshes it.
 pub fn parse_engine_baseline(json: &str) -> Vec<EngineRow> {
     json.lines()
         .filter_map(|line| {
@@ -478,7 +493,8 @@ mod tests {
                     probes: 27146,
                     seconds: 0.033,
                     probe_seconds: 0.02,
-                    merge_seconds: 0.013,
+                    merge_seconds: 0.009,
+                    analysis_seconds: 0.004,
                     probes_per_sec: 822606.1,
                 },
                 CampaignRun {
@@ -488,7 +504,8 @@ mod tests {
                     probes: 30000,
                     seconds: 0.05,
                     probe_seconds: 0.04,
-                    merge_seconds: 0.01,
+                    merge_seconds: 0.007,
+                    analysis_seconds: 0.003,
                     probes_per_sec: 600000.0,
                 },
             ],
@@ -505,9 +522,11 @@ mod tests {
         assert_eq!(runs[0].faults, "clean");
         assert_eq!(runs[0].scheduling, "batches");
         assert!((runs[0].probes_per_sec - 822606.1).abs() < 0.2);
+        assert!((runs[0].analysis_seconds.expect("analysis row") - 0.004).abs() < 1e-9);
         assert_eq!(runs[1].jobs, 4);
         assert_eq!(runs[1].faults, "hostile");
         assert_eq!(runs[1].scheduling, "stealing");
+        assert!((runs[1].analysis_seconds.expect("analysis row") - 0.003).abs() < 1e-9);
     }
 
     #[test]
@@ -526,6 +545,7 @@ mod tests {
                 faults: "clean".into(),
                 scheduling: "batches".into(),
                 probes_per_sec: 800585.9,
+                analysis_seconds: None,
             }
         );
     }
@@ -560,18 +580,5 @@ mod tests {
         assert_eq!(rows[1].name, "walk_scalar");
         assert_eq!(rows[2].name, "walk_thousandfold");
         assert!(json.contains("\"heap_allocs\": 0"));
-    }
-
-    #[test]
-    fn engine_parser_accepts_the_pre_batching_single_walk_format() {
-        let old = "{\n  \"bench\": \"engine\",\n  \"cores\": 1,\n  \"scale\": \"tenfold\",\n  \
-                   \"routers\": 3694,\n  \"walk\": {\"traces\": 3694, \"probes\": 6011, \
-                   \"seconds\": 0.001480, \"probes_per_sec\": 4061096.8, \"heap_allocs\": 0},\n  \
-                   \"plane_build\": {\"serial_seconds\": 1.0, \"parallel_jobs\": 4, \
-                   \"parallel_seconds\": 0.4}\n}\n";
-        let rows = parse_engine_baseline(old);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].name, "walk");
-        assert!((rows[0].probes_per_sec - 4_061_096.8).abs() < 0.2);
     }
 }

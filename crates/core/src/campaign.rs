@@ -37,8 +37,8 @@ use wormhole_net::{
     trace_seed, Addr, Asn, ControlPlane, EngineStats, FaultPlan, Network, ProbeState, ReplyKind,
     RouterId, SubstrateRef, BATCH_WIDTH,
 };
-use wormhole_probe::{PingResult, Session, Trace, TracerouteOpts};
-use wormhole_topo::{ItdkSnapshot, NodeInfo};
+use wormhole_probe::{NullSink, PingResult, Session, Trace, TraceSink, TracerouteOpts};
+use wormhole_topo::{ItdkBuilder, ItdkSnapshot, NodeInfo};
 
 /// Campaign parameters.
 #[derive(Clone, Debug)]
@@ -93,6 +93,13 @@ pub struct CampaignConfig {
     /// affected VP's shard is marked degraded and later phases skip it;
     /// everything else completes normally. Test/CI use only.
     pub chaos_panic_vp: Option<usize>,
+    /// Keep the bootstrap IP paths on [`CampaignResult`]. Off by
+    /// default (the paper's workflow discards bootstrap traces after
+    /// aggregation, and at thousandfold scale they dominate memory);
+    /// tests and the `A310` batch-rebuild oracle turn it on to
+    /// cross-check the incremental aggregation against a from-scratch
+    /// [`ItdkSnapshot::build`] over the same paths.
+    pub keep_bootstrap_paths: bool,
 }
 
 impl Default for CampaignConfig {
@@ -110,6 +117,7 @@ impl Default for CampaignConfig {
             batch_width: BATCH_WIDTH,
             lint_gate: cfg!(debug_assertions),
             chaos_panic_vp: None,
+            keep_bootstrap_paths: false,
         }
     }
 }
@@ -148,8 +156,36 @@ pub struct CampaignTimings {
     /// with `jobs`.
     pub probe_seconds: f64,
     /// Seconds spent in the serial analysis between probing phases
-    /// (snapshot build, HDN extraction, candidate scan, merges).
+    /// (snapshot aggregation, HDN extraction, candidate scan, merges).
     pub merge_seconds: f64,
+    /// The snapshot-aggregation share of `merge_seconds`: incremental
+    /// [`ItdkBuilder`] ingestion at every shard-merge point plus the
+    /// canonicalizing finish at the bootstrap phase boundary. This is
+    /// the row `bench-regression` gates — the incremental pipeline
+    /// keeps it O(new traces) instead of O(rebuild).
+    pub analysis_seconds: f64,
+}
+
+/// Running totals of the incremental snapshot builder at one phase
+/// boundary: how many IP paths the phase fed it and the cumulative
+/// node/link/address counts afterwards. Carried on
+/// [`CampaignResult::snapshot_deltas`] (excluded from
+/// [`CampaignResult::report`]); the `A310` lint rule audits the
+/// sequence for conservation — counts never shrink, ingest totals add
+/// up, and the final state matches a batch-rebuild oracle when one is
+/// available.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// The campaign phase that fed the builder.
+    pub phase: &'static str,
+    /// IP paths ingested during this phase.
+    pub ingested: u64,
+    /// Cumulative node count after the phase.
+    pub nodes: usize,
+    /// Cumulative undirected link count after the phase.
+    pub links: usize,
+    /// Cumulative distinct address count after the phase.
+    pub addresses: usize,
 }
 
 /// One vantage-point shard lost to a worker panic: the campaign
@@ -242,6 +278,19 @@ pub struct CampaignResult {
     pub scheduling: Scheduling,
     /// Wall-clock phase breakdown (excluded from [`Self::report`]).
     pub timings: CampaignTimings,
+    /// Per-phase running totals of the incremental snapshot builder
+    /// (bootstrap, then the phase-4 probe traces). Deterministic at any
+    /// `jobs`/`batch_width`/scheduling value, but excluded from
+    /// [`Self::report`] to keep existing transcripts stable.
+    pub snapshot_deltas: Vec<SnapshotDelta>,
+    /// Order-independent fingerprint of the builder's *final* state
+    /// (bootstrap + probe paths). Equal to
+    /// `ItdkSnapshot::build(all paths).checksum()` — the `A310` audit
+    /// compares it against that batch-rebuild oracle.
+    pub snapshot_checksum: u64,
+    /// The bootstrap IP paths, kept only when
+    /// [`CampaignConfig::keep_bootstrap_paths`] is set; empty otherwise.
+    pub bootstrap_paths: Vec<Vec<Option<Addr>>>,
 }
 
 impl CampaignResult {
@@ -605,6 +654,19 @@ impl<'a> Campaign<'a> {
     /// in global order, so the result is identical for every `jobs`
     /// value — see the module docs for the full argument.
     pub fn run(&self) -> CampaignResult {
+        self.run_streaming(&mut NullSink)
+    }
+
+    /// [`Campaign::run`] with a streaming consumer attached: the merged
+    /// phase-4 traces are forwarded to `sink` in global trace order
+    /// (the same order [`CampaignResult::traces`] keeps them, so the
+    /// stream is byte-identical at every `jobs`/scheduling setting),
+    /// followed by one aggregate engine-stats delta for the whole run.
+    /// Bootstrap traces are aggregated into the snapshot but, as in the
+    /// paper's workflow, not retained or streamed. This is the single
+    /// emission path behind `wormhole-cli campaign --emit jsonl` and
+    /// `wormhole-serve`.
+    pub fn run_streaming(&self, sink: &mut dyn TraceSink) -> CampaignResult {
         let stealing = self.cfg.scheduling == Scheduling::Stealing;
         // Engine batch width for the VP-batch probing phases, and the
         // task-claim chunk size for the stealing executor.
@@ -698,8 +760,33 @@ impl<'a> Campaign<'a> {
         };
         probe_seconds += phase_started.elapsed().as_secs_f64();
         let shards = split_shards("bootstrap", shards, &mut degraded, &mut dead);
-        let paths = shard::merge_indexed_or(shards, boot_assign.len(), |_| Vec::new());
-        let snapshot = ItdkSnapshot::build(&paths, |a| self.resolve(a));
+        // Feed the shard merges straight into the incremental builder —
+        // no materialized global path vector, no batch rebuild. Shard
+        // order is deterministic at any job count, and the canonical
+        // finish makes the snapshot independent of ingest order anyway.
+        let analysis_started = Instant::now();
+        let mut builder = ItdkBuilder::new();
+        let mut bootstrap_paths: Vec<Vec<Option<Addr>>> = Vec::new();
+        for shard in shards {
+            for (_g, path) in shard {
+                builder.ingest(&path, |a| self.resolve(a));
+                if self.cfg.keep_bootstrap_paths {
+                    bootstrap_paths.push(path);
+                }
+            }
+        }
+        let mut snapshot_deltas = vec![SnapshotDelta {
+            phase: "bootstrap",
+            ingested: builder.ingested(),
+            nodes: builder.num_nodes(),
+            links: builder.num_links(),
+            addresses: builder.num_addresses(),
+        }];
+        // The canonical bootstrap snapshot drives HDN extraction and
+        // the candidate scan; the builder lives on to absorb the
+        // phase-4 traces in O(new trace).
+        let snapshot = builder.snapshot();
+        let mut analysis_seconds = analysis_started.elapsed().as_secs_f64();
 
         // Phase 2–3: HDNs and targets.
         let hdns = snapshot.hdns(self.cfg.hdn_threshold);
@@ -779,6 +866,25 @@ impl<'a> Campaign<'a> {
                 .map(|(i, trace)| (i % n_vps, trace))
                 .collect()
         };
+        // The probe traces extend the same builder incrementally —
+        // the campaign never rebuilds aggregate state it already has.
+        let analysis_started = Instant::now();
+        for (_vp, trace) in &traces {
+            builder.ingest(&trace.addr_path(), |a| self.resolve(a));
+        }
+        snapshot_deltas.push(SnapshotDelta {
+            phase: "probe",
+            ingested: builder.ingested() - snapshot_deltas[0].ingested,
+            nodes: builder.num_nodes(),
+            links: builder.num_links(),
+            addresses: builder.num_addresses(),
+        });
+        let snapshot_checksum = builder.checksum();
+        analysis_seconds += analysis_started.elapsed().as_secs_f64();
+        sink.on_phase("probe");
+        for (vp, trace) in &traces {
+            sink.on_trace(*vp, trace);
+        }
         let mut fingerprints = FingerprintTable::new();
         let mut discovered: BTreeSet<Addr> = BTreeSet::new();
         let mut te_obs: HashMap<Addr, (usize, u8)> = HashMap::new();
@@ -1026,10 +1132,12 @@ impl<'a> Campaign<'a> {
             sessions.iter().map(|s| s.stats.probes).collect()
         };
         let probes = probes_by_vp.iter().sum();
+        sink.on_stats(&engine_totals);
         let (trace_vps, traces) = traces.into_iter().unzip();
         let timings = CampaignTimings {
             probe_seconds,
             merge_seconds: (run_started.elapsed().as_secs_f64() - probe_seconds).max(0.0),
+            analysis_seconds,
         };
         CampaignResult {
             snapshot,
@@ -1049,6 +1157,9 @@ impl<'a> Campaign<'a> {
             degraded_shards: degraded,
             scheduling: self.cfg.scheduling,
             timings,
+            snapshot_deltas,
+            snapshot_checksum,
+            bootstrap_paths,
         }
     }
 }
@@ -1137,13 +1248,71 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
             .map(|d| (d.vp, d.phase.to_string()))
             .collect(),
         stealing: result.scheduling == Scheduling::Stealing,
+        snapshot_deltas: result
+            .snapshot_deltas
+            .iter()
+            .map(|d| {
+                (
+                    d.phase.to_string(),
+                    d.ingested,
+                    d.nodes,
+                    d.links,
+                    d.addresses,
+                )
+            })
+            .collect(),
+        snapshot_checksum: Some(result.snapshot_checksum),
+        snapshot_oracle: None,
     }
 }
 
+/// Batch-rebuilds the campaign's snapshot from scratch over the same IP
+/// paths (bootstrap + phase-4 traces) and returns the oracle tuple the
+/// `A310` audit compares the incremental builder against. `None` unless
+/// the campaign ran with [`CampaignConfig::keep_bootstrap_paths`] — the
+/// bootstrap paths are the part the result does not otherwise retain.
+pub fn snapshot_oracle(
+    net: &Network,
+    result: &CampaignResult,
+) -> Option<(u64, usize, usize, usize, u64)> {
+    if result.bootstrap_paths.is_empty() {
+        return None;
+    }
+    let resolve = |addr: Addr| match net.owner(addr) {
+        Some(r) => NodeInfo {
+            key: u64::from(r.0),
+            asn: Some(net.router(r).asn),
+        },
+        None => NodeInfo {
+            key: 0xFFFF_0000_0000_0000 | u64::from(addr.0),
+            asn: None,
+        },
+    };
+    let mut builder = ItdkBuilder::new();
+    for path in &result.bootstrap_paths {
+        builder.ingest(path, resolve);
+    }
+    for trace in &result.traces {
+        builder.ingest(&trace.addr_path(), resolve);
+    }
+    Some((
+        builder.ingested(),
+        builder.num_nodes(),
+        builder.num_links(),
+        builder.num_addresses(),
+        builder.checksum(),
+    ))
+}
+
 /// Audits a campaign result against the network it ran on, returning
-/// the `A3xx` diagnostics.
+/// the `A3xx` diagnostics. When the campaign retained its bootstrap
+/// paths ([`CampaignConfig::keep_bootstrap_paths`]), the `A310` audit
+/// additionally cross-checks the incremental snapshot against a
+/// batch-rebuild oracle over the same IP paths.
 pub fn audit_campaign(net: &Network, result: &CampaignResult) -> Vec<wormhole_lint::Diagnostic> {
-    wormhole_lint::audit(net, &audit_input(result))
+    let mut input = audit_input(result);
+    input.snapshot_oracle = snapshot_oracle(net, result);
+    wormhole_lint::audit(net, &input)
 }
 
 #[cfg(test)]
@@ -1352,6 +1521,125 @@ mod tests {
             "{}",
             wormhole_lint::render(&diags)
         );
+    }
+
+    #[test]
+    fn incremental_aggregation_matches_the_batch_rebuild_oracle() {
+        let internet = generate(&InternetConfig::small(11));
+        let cfg = CampaignConfig {
+            hdn_threshold: 6,
+            keep_bootstrap_paths: true,
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg);
+        let result = campaign.run();
+
+        // Delta accounting: two phases, monotone counts, totals add up.
+        assert_eq!(result.snapshot_deltas.len(), 2);
+        let (boot, probe) = (&result.snapshot_deltas[0], &result.snapshot_deltas[1]);
+        assert_eq!(boot.phase, "bootstrap");
+        assert_eq!(probe.phase, "probe");
+        assert_eq!(probe.ingested, result.traces.len() as u64);
+        assert!(probe.nodes >= boot.nodes);
+        assert!(probe.links >= boot.links);
+        assert!(probe.addresses >= boot.addresses);
+
+        // The bootstrap snapshot matches its delta row.
+        assert_eq!(result.snapshot.num_nodes(), boot.nodes);
+        assert_eq!(result.snapshot.num_links(), boot.links);
+        assert_eq!(result.snapshot.num_addresses(), boot.addresses);
+
+        // Batch-rebuild oracle over bootstrap + probe paths, in a
+        // shuffled order: the canonical rebuild must reproduce the
+        // incremental checksum exactly.
+        let net = &internet.net;
+        let resolve = |addr: wormhole_net::Addr| match net.owner(addr) {
+            Some(r) => NodeInfo {
+                key: u64::from(r.0),
+                asn: Some(net.router(r).asn),
+            },
+            None => NodeInfo {
+                key: 0xFFFF_0000_0000_0000 | u64::from(addr.0),
+                asn: None,
+            },
+        };
+        let mut all_paths = result.bootstrap_paths.clone();
+        assert_eq!(all_paths.len() as u64, boot.ingested);
+        all_paths.extend(result.traces.iter().map(Trace::addr_path));
+        all_paths.reverse();
+        let oracle = ItdkSnapshot::build(&all_paths, resolve);
+        assert_eq!(oracle.checksum(), result.snapshot_checksum);
+        assert_eq!(oracle.num_nodes(), probe.nodes);
+        assert_eq!(oracle.num_links(), probe.links);
+        assert_eq!(oracle.num_addresses(), probe.addresses);
+
+        // And by default the bootstrap paths are not retained.
+        let lean = Campaign::new(
+            &internet.net,
+            &internet.cp,
+            internet.vps.clone(),
+            CampaignConfig {
+                hdn_threshold: 6,
+                ..CampaignConfig::default()
+            },
+        )
+        .run();
+        assert!(lean.bootstrap_paths.is_empty());
+        assert_eq!(lean.snapshot_checksum, result.snapshot_checksum);
+        assert_eq!(
+            lean.report(),
+            result.report(),
+            "oracle flag must not change the report"
+        );
+    }
+
+    #[test]
+    fn campaign_streams_merged_traces_in_global_order() {
+        use wormhole_probe::TraceSink;
+        #[derive(Default)]
+        struct Capture {
+            traces: Vec<(usize, Addr)>,
+            phases: Vec<String>,
+            stats: Vec<u64>,
+        }
+        impl TraceSink for Capture {
+            fn on_trace(&mut self, vp: usize, trace: &Trace) {
+                self.traces.push((vp, trace.dst));
+            }
+            fn on_stats(&mut self, delta: &EngineStats) {
+                self.stats.push(delta.probes);
+            }
+            fn on_phase(&mut self, phase: &str) {
+                self.phases.push(phase.to_string());
+            }
+        }
+        let internet = generate(&InternetConfig::small(11));
+        let run = |jobs: usize| {
+            let cfg = CampaignConfig {
+                hdn_threshold: 6,
+                seed: 3,
+                jobs,
+                ..CampaignConfig::default()
+            };
+            let mut sink = Capture::default();
+            let result = Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+                .run_streaming(&mut sink);
+            (result, sink)
+        };
+        let (result, sink) = run(1);
+        assert_eq!(sink.phases, vec!["probe".to_string()]);
+        let expected: Vec<(usize, Addr)> = result
+            .trace_vps
+            .iter()
+            .zip(&result.traces)
+            .map(|(&vp, t)| (vp, t.dst))
+            .collect();
+        assert_eq!(sink.traces, expected, "stream follows global trace order");
+        assert_eq!(sink.stats, vec![result.engine_stats.probes]);
+        // The stream is deterministic in the worker count.
+        let (_, parallel) = run(4);
+        assert_eq!(sink.traces, parallel.traces);
+        assert_eq!(sink.stats, parallel.stats);
     }
 
     #[test]

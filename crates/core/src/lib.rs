@@ -23,8 +23,9 @@ mod shard;
 pub mod smart;
 
 pub use campaign::{
-    audit_campaign, audit_input, Campaign, CampaignConfig, CampaignReport, CampaignResult,
-    CampaignTimings, CandidatePair, DegradedShard, HdnRule, Scheduling,
+    audit_campaign, audit_input, snapshot_oracle, Campaign, CampaignConfig, CampaignReport,
+    CampaignResult, CampaignTimings, CandidatePair, DegradedShard, HdnRule, Scheduling,
+    SnapshotDelta,
 };
 pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Signature};
 pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};

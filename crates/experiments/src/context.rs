@@ -5,6 +5,7 @@ use crate::util::Report;
 use wormhole_core::{audit_campaign, Campaign, CampaignConfig, CampaignResult, Scheduling};
 use wormhole_lint::Severity;
 use wormhole_net::{Asn, FaultScenario};
+use wormhole_probe::{NullSink, TraceSink};
 use wormhole_topo::{generate, Internet, InternetConfig};
 
 /// How big an Internet to run against.
@@ -73,6 +74,72 @@ pub fn faults_from_env() -> FaultScenario {
     }
 }
 
+/// Generates (and statically checks) the Internet for a scale/seed
+/// pair. This is the expensive half of [`PaperContext::generate_full`],
+/// split out so long-lived processes (`wormhole-serve`) can build the
+/// substrate once and run many campaigns over it.
+///
+/// # Panics
+/// Panics when the generated Internet fails static analysis — a broken
+/// substrate would waste every campaign run over it.
+pub fn internet_for(scale: Scale, seed: u64) -> Internet {
+    let net_cfg = match scale {
+        Scale::Quick => InternetConfig::small(seed),
+        Scale::Paper => InternetConfig {
+            seed,
+            ..InternetConfig::default()
+        },
+        Scale::Tenfold => InternetConfig::tenfold(seed),
+        Scale::ThousandFold => InternetConfig::thousandfold(seed),
+    };
+    let internet = generate(&net_cfg);
+    // Lint before simulate: a generated Internet that fails static
+    // analysis would waste an entire campaign on a broken substrate.
+    let diags = wormhole_lint::check_internet(&internet);
+    wormhole_lint::deny_errors("internet_for", &diags);
+    internet
+}
+
+/// The campaign configuration every experiment (and `wormhole-serve`)
+/// runs at a given scale: the quick scale lowers the HDN threshold so
+/// the small Internet still yields candidates; everything else follows
+/// the paper's §4 parameters.
+pub fn campaign_config_for(
+    scale: Scale,
+    jobs: usize,
+    scenario: FaultScenario,
+    scheduling: Scheduling,
+) -> CampaignConfig {
+    CampaignConfig {
+        hdn_threshold: match scale {
+            Scale::Quick => 6,
+            Scale::Paper | Scale::Tenfold | Scale::ThousandFold => 9,
+        },
+        jobs,
+        faults: scenario.plan(),
+        scheduling,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Runs one §4 campaign over an already-built Internet, streaming
+/// merged traces into `sink` (pass [`wormhole_probe::NullSink`] to
+/// discard them). The batch CLI and `wormhole-serve` both emit through
+/// this one path, so their outputs agree byte for byte.
+pub fn campaign_over(
+    internet: &Internet,
+    cfg: &CampaignConfig,
+    sink: &mut dyn TraceSink,
+) -> CampaignResult {
+    Campaign::new(
+        &internet.net,
+        &internet.cp,
+        internet.vps.clone(),
+        cfg.clone(),
+    )
+    .run_streaming(sink)
+}
+
 /// A generated Internet plus its campaign result.
 pub struct PaperContext {
     /// The synthetic Internet.
@@ -126,37 +193,9 @@ impl PaperContext {
         scenario: FaultScenario,
         scheduling: Scheduling,
     ) -> PaperContext {
-        let net_cfg = match scale {
-            Scale::Quick => InternetConfig::small(seed),
-            Scale::Paper => InternetConfig {
-                seed,
-                ..InternetConfig::default()
-            },
-            Scale::Tenfold => InternetConfig::tenfold(seed),
-            Scale::ThousandFold => InternetConfig::thousandfold(seed),
-        };
-        let internet = generate(&net_cfg);
-        // Lint before simulate: a generated Internet that fails static
-        // analysis would waste an entire campaign on a broken substrate.
-        let diags = wormhole_lint::check_internet(&internet);
-        wormhole_lint::deny_errors("PaperContext", &diags);
-        let campaign_cfg = CampaignConfig {
-            hdn_threshold: match scale {
-                Scale::Quick => 6,
-                Scale::Paper | Scale::Tenfold | Scale::ThousandFold => 9,
-            },
-            jobs,
-            faults: scenario.plan(),
-            scheduling,
-            ..CampaignConfig::default()
-        };
-        let campaign = Campaign::new(
-            &internet.net,
-            &internet.cp,
-            internet.vps.clone(),
-            campaign_cfg.clone(),
-        );
-        let result = campaign.run();
+        let internet = internet_for(scale, seed);
+        let campaign_cfg = campaign_config_for(scale, jobs, scenario, scheduling);
+        let result = campaign_over(&internet, &campaign_cfg, &mut NullSink);
         let lint_lines = lint_summary(&internet, &result);
         PaperContext {
             internet,

@@ -43,6 +43,9 @@ pub fn traces_for(config: Fig2Config) -> (Scenario, Vec<Trace>) {
             traces.push(sess.traceroute(s.left_addr("PE2")));
         }
     }
+    // The session's sink slot ties its drop to the scenario borrow;
+    // release it before moving the scenario out.
+    drop(sess);
     (s, traces)
 }
 

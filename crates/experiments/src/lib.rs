@@ -24,5 +24,8 @@ pub mod table5;
 pub mod table6;
 pub mod util;
 
-pub use context::{faults_from_env, jobs_from_env, scheduling_from_env, PaperContext, Scale};
+pub use context::{
+    campaign_config_for, campaign_over, faults_from_env, internet_for, jobs_from_env,
+    scheduling_from_env, PaperContext, Scale,
+};
 pub use util::Report;

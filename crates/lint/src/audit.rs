@@ -120,6 +120,17 @@ pub struct CampaignAudit {
     /// Whether the campaign ran under per-trace work stealing (enables
     /// the A309 idle-shard cross-check).
     pub stealing: bool,
+    /// Per-phase rows of the incremental snapshot builder as `(phase,
+    /// IP paths ingested during the phase, cumulative nodes, cumulative
+    /// links, cumulative addresses)`. Empty disables A310.
+    pub snapshot_deltas: Vec<(String, u64, usize, usize, usize)>,
+    /// Order-independent checksum of the incremental builder's final
+    /// state; `None` when the campaign did not aggregate incrementally.
+    pub snapshot_checksum: Option<u64>,
+    /// Batch-rebuild oracle over the same IP paths as `(paths, nodes,
+    /// links, addresses, checksum)`; `None` disables the A310 oracle
+    /// sub-check (the campaign did not retain its bootstrap paths).
+    pub snapshot_oracle: Option<(u64, usize, usize, usize, u64)>,
 }
 
 /// A301: a complete pair-signature outside the Table 1 vendor taxonomy.
@@ -340,6 +351,88 @@ pub fn method_claim_consistency(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// A310: incremental-aggregation accounting. The campaign's snapshot
+/// builder only ever *adds* to the graph, so the per-phase delta rows
+/// must conserve: cumulative node/link/address counts never shrink
+/// between successive phases, the phase that fed the kept traces must
+/// have ingested exactly `num_traces` paths, and — when a batch-rebuild
+/// oracle over the same IP paths is available — the final counts and
+/// the order-independent checksum must agree with it exactly.
+pub fn incremental_aggregation(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    if a.snapshot_deltas.is_empty() {
+        return;
+    }
+    for (phase, ingested, ..) in &a.snapshot_deltas {
+        if phase == "probe" && *ingested != a.num_traces as u64 {
+            out.push(Diagnostic::new(
+                "A310",
+                Severity::Error,
+                Location::Network,
+                format!(
+                    "the probe phase ingested {ingested} paths but the campaign kept {} traces",
+                    a.num_traces
+                ),
+                "feed every merged phase-4 trace to the builder, exactly once",
+            ));
+        }
+    }
+    for w in a.snapshot_deltas.windows(2) {
+        let (p0, _, n0, l0, a0) = &w[0];
+        let (p1, _, n1, l1, a1) = &w[1];
+        if n1 < n0 || l1 < l0 || a1 < a0 {
+            out.push(Diagnostic::new(
+                "A310",
+                Severity::Error,
+                Location::Network,
+                format!(
+                    "snapshot counts shrank between the {p0} and {p1} phases \
+                     (nodes {n0}→{n1}, links {l0}→{l1}, addresses {a0}→{a1})"
+                ),
+                "an incremental builder only adds; a shrinking counter means state was rebuilt or lost",
+            ));
+        }
+    }
+    let Some((paths, nodes, links, addresses, checksum)) = a.snapshot_oracle else {
+        return;
+    };
+    let ingested: u64 = a.snapshot_deltas.iter().map(|d| d.1).sum();
+    if ingested != paths {
+        out.push(Diagnostic::new(
+            "A310",
+            Severity::Error,
+            Location::Network,
+            format!("delta rows account for {ingested} ingested paths but the oracle rebuilt from {paths}"),
+            "count every path at the phase boundary that ingested it",
+        ));
+    }
+    let last = a.snapshot_deltas.last().expect("checked non-empty above");
+    if (last.2, last.3, last.4) != (nodes, links, addresses) {
+        out.push(Diagnostic::new(
+            "A310",
+            Severity::Error,
+            Location::Network,
+            format!(
+                "final snapshot counts ({}, {}, {}) disagree with the batch-rebuild \
+                 oracle ({nodes} nodes, {links} links, {addresses} addresses)",
+                last.2, last.3, last.4
+            ),
+            "the incremental builder must converge to the batch build over the same paths",
+        ));
+    }
+    if a.snapshot_checksum != Some(checksum) {
+        out.push(Diagnostic::new(
+            "A310",
+            Severity::Error,
+            Location::Network,
+            format!(
+                "incremental snapshot checksum {:?} disagrees with the batch-rebuild oracle {checksum:#018x}",
+                a.snapshot_checksum
+            ),
+            "ingest order must not matter; a checksum drift means canonicalization broke",
+        ));
+    }
+}
+
 /// A401: a trace spent more probes than the per-trace budget allows —
 /// the budget enforcement is broken and a hostile path can starve the
 /// campaign.
@@ -420,6 +513,7 @@ pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     shard_accounting(a, &mut out);
     stealing_idle_shard(a, &mut out);
     method_claim_consistency(a, &mut out);
+    incremental_aggregation(a, &mut out);
     probe_budget_overrun(a, &mut out);
     partial_revelation_accounting(a, &mut out);
     degraded_shard_consistency(a, &mut out);

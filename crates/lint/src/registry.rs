@@ -310,6 +310,18 @@ pub static RULES: &[RuleInfo] = &[
                       artifact. Degraded shards are exempt (A403 reports those).",
     },
     RuleInfo {
+        code: "A310",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "incremental-aggregation accounting broken",
+        explanation: "The campaign's incremental snapshot builder only ever adds to the \
+                      router-level graph, so its per-phase delta rows must conserve: \
+                      cumulative node/link/address counts never shrink between phases, the \
+                      probe phase ingests exactly the kept traces, and — when the campaign \
+                      retained its bootstrap paths — the final counts and order-independent \
+                      checksum must match a batch rebuild over the same IP paths exactly.",
+    },
+    RuleInfo {
         code: "A401",
         family: Family::Robustness,
         severity: Severity::Error,

@@ -7,6 +7,10 @@
 //! (one corruption drowning the report in unrelated codes). A final
 //! coverage test proves every registered D5xx rule is fired by at
 //! least one class.
+//!
+//! A thirteenth class corrupts the campaign-audit snapshot instead of
+//! the dense plane: the incremental-aggregation accounting that `A310`
+//! guards ([`audit_class`]).
 
 use std::collections::BTreeSet;
 use wormhole_lint as lint;
@@ -275,6 +279,69 @@ fn every_dense_rule_fired_by_a_corruption_class() {
         let info = lint::rule(c.rule).expect("class rule registered");
         assert_eq!(info.family, lint::Family::Dense, "{}", c.name);
     }
+}
+
+/// The 13th corruption class. It lives on the campaign-audit snapshot
+/// rather than a `(net, cp)` pair, so it gets its own fixture: a
+/// consistent incremental-aggregation transcript whose cumulative link
+/// counter is then shrunk — the one thing an add-only builder can never
+/// legitimately do.
+struct AuditClass {
+    name: &'static str,
+    /// The single rule that must catch it.
+    rule: &'static str,
+    build: fn() -> lint::CampaignAudit,
+    corrupt: fn(&mut lint::CampaignAudit),
+}
+
+fn audit_class() -> AuditClass {
+    AuditClass {
+        name: "shrink-snapshot-links",
+        rule: "A310",
+        build: || lint::CampaignAudit {
+            num_traces: 4,
+            probes: 40,
+            snapshot_deltas: vec![
+                ("bootstrap".to_string(), 6, 5, 4, 7),
+                ("probe".to_string(), 4, 8, 9, 12),
+            ],
+            snapshot_checksum: Some(0xFEED_FACE),
+            snapshot_oracle: Some((10, 8, 9, 12, 0xFEED_FACE)),
+            ..lint::CampaignAudit::default()
+        },
+        corrupt: |a| {
+            a.snapshot_deltas[1].3 = 2; // links shrank mid-campaign
+            a.snapshot_oracle = None; // the conservation check alone must catch it
+        },
+    }
+}
+
+/// The audit corruption class starts clean, then is caught by exactly
+/// `A310` — same acceptance criterion as the dense classes.
+#[test]
+fn audit_corruption_caught_by_exactly_the_intended_rule() {
+    let class = audit_class();
+    let (net, _) = ldp_plane();
+    let mut a = (class.build)();
+    let clean: BTreeSet<&'static str> = lint::audit(&net, &a).iter().map(|d| d.code).collect();
+    assert!(
+        clean.is_empty(),
+        "{}: fixture not clean before corruption",
+        class.name
+    );
+    (class.corrupt)(&mut a);
+    let fired: BTreeSet<&'static str> = lint::audit(&net, &a).iter().map(|d| d.code).collect();
+    assert_eq!(
+        fired,
+        BTreeSet::from([class.rule]),
+        "{}: expected exactly {} to fire",
+        class.name,
+        class.rule
+    );
+    let info = lint::rule(class.rule).expect("class rule registered");
+    assert_eq!(info.family, lint::Family::Audit, "{}", class.name);
+    // 12 dense classes + this one: the 13-class contract.
+    assert_eq!(classes().len() + 1, 13);
 }
 
 /// Corrupted planes also fail the combined `check_plane` gate — the

@@ -507,6 +507,73 @@ fn a309_silent_without_stealing_and_for_degraded_shards() {
     assert!(!codes(&diags).contains(&"A309"), "{}", lint::render(&diags));
 }
 
+/// A consistent incremental-aggregation transcript: bootstrap then
+/// probe, counts growing, oracle agreeing with the final row.
+fn clean_aggregation() -> CampaignAudit {
+    CampaignAudit {
+        num_traces: 4,
+        probes: 40,
+        snapshot_deltas: vec![
+            ("bootstrap".to_string(), 6, 5, 4, 7),
+            ("probe".to_string(), 4, 8, 9, 12),
+        ],
+        snapshot_checksum: Some(0xDEAD_BEEF),
+        snapshot_oracle: Some((10, 8, 9, 12, 0xDEAD_BEEF)),
+        ..CampaignAudit::default()
+    }
+}
+
+#[test]
+fn a310_clean_transcript_passes() {
+    let (net, _) = tiny_as();
+    let diags = audit::audit(&net, &clean_aggregation());
+    assert!(!codes(&diags).contains(&"A310"), "{}", lint::render(&diags));
+    // And the rule is fully disabled without delta rows.
+    let off = CampaignAudit {
+        num_traces: 4,
+        probes: 40,
+        ..CampaignAudit::default()
+    };
+    assert!(!codes(&audit::audit(&net, &off)).contains(&"A310"));
+}
+
+#[test]
+fn a310_probe_phase_must_ingest_every_kept_trace() {
+    let (net, _) = tiny_as();
+    let mut a = clean_aggregation();
+    a.snapshot_deltas[1].1 = 3; // one merged trace never fed the builder
+    a.snapshot_oracle = None; // isolate the trace-count sub-check
+    let diags = audit::audit(&net, &a);
+    assert_eq!(error_codes(&diags), ["A310"], "{}", lint::render(&diags));
+}
+
+#[test]
+fn a310_counts_must_never_shrink_between_phases() {
+    let (net, _) = tiny_as();
+    let mut a = clean_aggregation();
+    a.snapshot_deltas[1].3 = 3; // links shrank below the bootstrap row
+    a.snapshot_oracle = None;
+    let diags = audit::audit(&net, &a);
+    assert_eq!(error_codes(&diags), ["A310"], "{}", lint::render(&diags));
+}
+
+#[test]
+fn a310_final_state_must_match_the_oracle() {
+    let (net, _) = tiny_as();
+    // Checksum drift: the incremental build diverged from the batch
+    // rebuild even though the counts agree.
+    let mut a = clean_aggregation();
+    a.snapshot_checksum = Some(0xBAD_C0DE);
+    let diags = audit::audit(&net, &a);
+    assert_eq!(error_codes(&diags), ["A310"], "{}", lint::render(&diags));
+    // Path accounting: the delta rows claim fewer ingests than the
+    // oracle consumed.
+    let mut b = clean_aggregation();
+    b.snapshot_oracle = Some((11, 8, 9, 12, 0xDEAD_BEEF));
+    let diags = audit::audit(&net, &b);
+    assert_eq!(error_codes(&diags), ["A310"], "{}", lint::render(&diags));
+}
+
 #[test]
 fn a308_method_claim_contradicts_the_steps() {
     let (net, [r1, r2]) = tiny_as();

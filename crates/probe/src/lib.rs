@@ -7,7 +7,9 @@
 //! * [`trace`] — trace/hop records, rendered in the paper's Fig. 4
 //!   listing style;
 //! * [`session`] — per-vantage-point sessions with probe budget
-//!   accounting.
+//!   accounting;
+//! * [`sink`] — streaming consumers of completed traces
+//!   ([`TraceSink`], the shared JSONL emitter).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,11 +17,13 @@
 pub mod multipath;
 pub mod ping;
 pub mod session;
+pub mod sink;
 pub mod trace;
 pub mod traceroute;
 
 pub use multipath::{enumerate_paths, MultipathResult};
 pub use ping::{ping, PingFailure, PingMachine, PingReply, PingResult};
 pub use session::{Session, SessionStats};
+pub use sink::{stats_delta, stats_jsonl, trace_jsonl, JsonlSink, NullSink, TraceSink};
 pub use trace::{HopOutcome, Trace, TraceHop};
 pub use traceroute::{traceroute, ProbeRequest, TraceMachine, TracerouteOpts};

@@ -1,0 +1,107 @@
+//! A bounded circular buffer of recently served campaign reports.
+//!
+//! The server keeps the last `cap` reports so a client can ask "what
+//! ran here recently" without re-running anything. Old entries are
+//! evicted front-first; sequence numbers keep growing, so a client can
+//! tell eviction apart from an empty server.
+
+use std::collections::VecDeque;
+
+/// One served campaign, reduced to what the `history` request returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Monotone sequence number, 0-based over the server's lifetime.
+    pub seq: u64,
+    /// The request line that produced the report.
+    pub request: String,
+    /// The canonical report text.
+    pub report: String,
+}
+
+/// The bounded report history.
+#[derive(Debug)]
+pub struct History {
+    cap: usize,
+    next_seq: u64,
+    entries: VecDeque<HistoryEntry>,
+}
+
+impl History {
+    /// An empty history holding at most `cap` entries (`cap == 0`
+    /// disables recording entirely).
+    pub fn new(cap: usize) -> History {
+        History {
+            cap,
+            next_seq: 0,
+            entries: VecDeque::with_capacity(cap.min(64)),
+        }
+    }
+
+    /// Records a served report, evicting the oldest entry when full.
+    /// Returns the sequence number assigned (also counted when
+    /// recording is disabled, so seq numbers always mean "campaigns
+    /// served").
+    pub fn push(&mut self, request: String, report: String) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.cap == 0 {
+            return seq;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(HistoryEntry {
+            seq,
+            request,
+            report,
+        });
+        seq
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries.iter()
+    }
+
+    /// Total campaigns ever recorded (≥ the retained count).
+    pub fn served(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// How many entries are currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_front_first_and_keeps_sequence() {
+        let mut h = History::new(2);
+        assert!(h.is_empty());
+        assert_eq!(h.push("a".into(), "ra".into()), 0);
+        assert_eq!(h.push("b".into(), "rb".into()), 1);
+        assert_eq!(h.push("c".into(), "rc".into()), 2);
+        let kept: Vec<_> = h.entries().map(|e| (e.seq, e.request.as_str())).collect();
+        assert_eq!(kept, [(1, "b"), (2, "c")]);
+        assert_eq!(h.served(), 3);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_never_retains() {
+        let mut h = History::new(0);
+        assert_eq!(h.push("a".into(), "r".into()), 0);
+        assert_eq!(h.push("b".into(), "r".into()), 1);
+        assert!(h.is_empty());
+        assert_eq!(h.served(), 2);
+    }
+}

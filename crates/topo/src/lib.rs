@@ -22,6 +22,6 @@ pub mod survey;
 
 pub use ground_truth::GroundTruth;
 pub use internet::{generate, Internet, InternetConfig};
-pub use itdk::{ItdkSnapshot, NodeInfo};
+pub use itdk::{ItdkBuilder, ItdkSnapshot, NodeInfo};
 pub use persona::{paper_personas, random_persona, AsPersona, PopMesh};
 pub use scenario::{gns3_fig2, gns3_fig2_te, gns3_fig2_with, Fig2Config, Fig2Opts, Scenario};

@@ -7,8 +7,13 @@
 //! wormhole-cli lint <config>             static analysis of a testbed config
 //! wormhole-cli campaign [quick|paper|tenfold|thousandfold]
 //!                       [--jobs N] [--faults <scenario>] [--stealing]
-//!                                        full §4 campaign summary; scenarios:
-//!                                        clean, lossy_core, rate_limited_edge, hostile
+//!                       [--emit summary|jsonl|report]
+//!                                        full §4 campaign; scenarios:
+//!                                        clean, lossy_core, rate_limited_edge, hostile.
+//!                                        --emit jsonl streams one line per merged
+//!                                        trace (the same path wormhole-serve uses);
+//!                                        --emit report prints the canonical
+//!                                        byte-stable report
 //! wormhole-cli list-configs              available testbed configurations
 //! ```
 
@@ -55,7 +60,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: wormhole-cli <trace|smart|reveal|lint> <config> \
          | campaign [quick|paper|tenfold|thousandfold] [--jobs N] [--faults <scenario>] \
-         [--stealing] | list-configs\n\
+         [--stealing] [--emit summary|jsonl|report] | list-configs\n\
          configs: {}\n\
          fault scenarios: clean, lossy_core, rate_limited_edge, hostile",
         CONFIGS
@@ -172,6 +177,21 @@ fn cmd_lint(name: &str, s: &Scenario) -> ExitCode {
     }
 }
 
+/// What `campaign` writes to stdout.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Emit {
+    /// Human summary plus the Table 4 rendering (the default).
+    Summary,
+    /// Streaming JSONL: one line per merged trace as the campaign
+    /// produces them, then engine stats — the same emission path
+    /// `wormhole-serve` streams over its socket.
+    Jsonl,
+    /// The canonical [`CampaignReport`] text, byte-stable across
+    /// `--jobs`/scheduling and identical to a serve session's final
+    /// frame.
+    Report,
+}
+
 fn cmd_campaign(args: &[String]) -> ExitCode {
     use wormhole::experiments::Scale;
     use wormhole::net::FaultScenario;
@@ -179,6 +199,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut jobs = wormhole::experiments::jobs_from_env();
     let mut faults = wormhole::experiments::faults_from_env();
     let mut scheduling = wormhole::experiments::scheduling_from_env();
+    let mut emit = Emit::Summary;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -204,6 +225,15 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--emit" => match it.next().map(String::as_str) {
+                Some("summary") => emit = Emit::Summary,
+                Some("jsonl") => emit = Emit::Jsonl,
+                Some("report") => emit = Emit::Report,
+                _ => {
+                    eprintln!("--emit needs a mode: summary, jsonl, report");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown campaign argument {other}");
                 return usage();
@@ -215,31 +245,60 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
          under the '{}' scenario…",
         faults.name()
     );
-    let t0 = std::time::Instant::now();
-    let ctx =
-        wormhole::experiments::PaperContext::generate_full(scale, 8, jobs, faults, scheduling);
-    let elapsed = t0.elapsed().as_secs_f64();
-    println!(
-        "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; {} tunnels revealed; {} probes",
-        ctx.result.snapshot.num_nodes(),
-        ctx.result.hdns.len(),
-        ctx.result.targets.len(),
-        ctx.result.unique_pairs().len(),
-        ctx.result.tunnels().count(),
-        ctx.result.probes
-    );
-    if !ctx.result.degraded_shards.is_empty() {
-        for d in &ctx.result.degraded_shards {
-            println!("degraded shard: vp {} lost in the {} phase", d.vp, d.phase);
+    match emit {
+        Emit::Summary => {
+            let t0 = std::time::Instant::now();
+            let ctx = wormhole::experiments::PaperContext::generate_full(
+                scale, 8, jobs, faults, scheduling,
+            );
+            let elapsed = t0.elapsed().as_secs_f64();
+            println!(
+                "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; {} tunnels revealed; {} probes",
+                ctx.result.snapshot.num_nodes(),
+                ctx.result.hdns.len(),
+                ctx.result.targets.len(),
+                ctx.result.unique_pairs().len(),
+                ctx.result.tunnels().count(),
+                ctx.result.probes
+            );
+            if !ctx.result.degraded_shards.is_empty() {
+                for d in &ctx.result.degraded_shards {
+                    println!("degraded shard: vp {} lost in the {} phase", d.vp, d.phase);
+                }
+            }
+            println!(
+                "wall: {elapsed:.2}s  ({:.0} probes/sec simulated; probe {:.2}s, merge {:.2}s, \
+                 analysis {:.3}s)",
+                ctx.result.probes as f64 / elapsed,
+                ctx.result.timings.probe_seconds,
+                ctx.result.timings.merge_seconds,
+                ctx.result.timings.analysis_seconds
+            );
+            println!("{}", wormhole::experiments::table4::run(&ctx));
+        }
+        Emit::Jsonl | Emit::Report => {
+            // The exact path `wormhole-serve` runs: build the substrate,
+            // then stream one campaign over it.
+            let internet = wormhole::experiments::internet_for(scale, 8);
+            let cfg = wormhole::experiments::campaign_config_for(scale, jobs, faults, scheduling);
+            if emit == Emit::Jsonl {
+                let stdout = std::io::stdout();
+                let mut sink = wormhole::probe::JsonlSink::new(stdout.lock()).with_stats();
+                let result = wormhole::experiments::campaign_over(&internet, &cfg, &mut sink);
+                drop(sink);
+                println!(
+                    "{{\"type\":\"done\",\"traces\":{},\"probes\":{},\"snapshot_checksum\":{}}}",
+                    result.traces.len(),
+                    result.probes,
+                    result.snapshot_checksum
+                );
+            } else {
+                let mut sink = wormhole::probe::NullSink;
+                let result = wormhole::experiments::campaign_over(&internet, &cfg, &mut sink);
+                print!("{}", result.report());
+            }
         }
     }
-    println!(
-        "wall: {elapsed:.2}s  ({:.0} probes/sec simulated; probe {:.2}s, merge {:.2}s)",
-        ctx.result.probes as f64 / elapsed,
-        ctx.result.timings.probe_seconds,
-        ctx.result.timings.merge_seconds
-    );
-    println!("{}", wormhole::experiments::table4::run(&ctx));
     ExitCode::SUCCESS
 }
 

@@ -22,7 +22,9 @@
 //! * [`lint`] — static invariant analysis over topologies, MPLS
 //!   configurations and campaign outputs, with a lint-before-simulate
 //!   contract (sessions and campaigns refuse networks carrying
-//!   `Error`-level diagnostics under `debug_assertions`).
+//!   `Error`-level diagnostics under `debug_assertions`);
+//! * [`serve`] — a resident campaign service holding one warm built
+//!   Internet per scale behind a length-prefixed JSON socket protocol.
 //!
 //! # Quickstart
 //!
@@ -58,4 +60,5 @@ pub use wormhole_experiments as experiments;
 pub use wormhole_lint as lint;
 pub use wormhole_net as net;
 pub use wormhole_probe as probe;
+pub use wormhole_serve as serve;
 pub use wormhole_topo as topo;

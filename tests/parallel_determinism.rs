@@ -250,6 +250,48 @@ fn batched_walk_matches_scalar_tenfold_scale() {
 }
 
 #[test]
+fn incremental_snapshot_is_identical_across_worker_counts() {
+    // The streaming builder ingests shard merges in vantage-point
+    // order, so its per-phase delta rows and order-independent
+    // checksum must land on the same values at every worker count,
+    // under both schedulers, clean and hostile.
+    let internet = generate(&InternetConfig::small(11));
+    let hostile = FaultScenario::ALL
+        .iter()
+        .copied()
+        .find(|s| s.name() == "hostile")
+        .expect("hostile scenario exists");
+    for faults in [FaultPlan::none(), hostile.plan()] {
+        for scheduling in [Scheduling::VpBatches, Scheduling::Stealing] {
+            let run = |jobs: usize| {
+                let cfg = CampaignConfig {
+                    hdn_threshold: 6,
+                    faults: faults.clone(),
+                    seed: 7,
+                    jobs,
+                    scheduling,
+                    ..CampaignConfig::default()
+                };
+                Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg).run()
+            };
+            let serial = run(1);
+            assert_eq!(serial.snapshot_deltas.len(), 2, "bootstrap + probe rows");
+            for jobs in [2, 4] {
+                let parallel = run(jobs);
+                assert_eq!(
+                    serial.snapshot_deltas, parallel.snapshot_deltas,
+                    "delta rows diverged at jobs={jobs} ({scheduling:?})"
+                );
+                assert_eq!(
+                    serial.snapshot_checksum, parallel.snapshot_checksum,
+                    "snapshot checksum diverged at jobs={jobs} ({scheduling:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn probe_accounting_matches_across_worker_counts() {
     let internet = generate(&InternetConfig::small(11));
     let run = |jobs: usize| {

@@ -1,0 +1,198 @@
+//! End-to-end exercise of `wormhole-serve`: an in-process [`Server`]
+//! must sustain concurrent campaign sessions over one warm per-scale
+//! substrate — building it exactly once — and every session's report
+//! must be byte-identical to a direct batch run over the same
+//! `(scale, seed, jobs, faults, scheduling)`.
+
+use std::sync::Arc;
+use std::thread;
+
+use wormhole::experiments::{campaign_config_for, campaign_over, internet_for, Scale};
+use wormhole::probe::NullSink;
+use wormhole::serve::proto::{bool_field, json_unescape, num_field, str_field};
+use wormhole::serve::{Client, ServeConfig, Server, ServerHandle};
+
+/// A unique socket path per test so parallel tests never collide.
+fn socket_for(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("wormhole-serve-{}-{tag}.sock", std::process::id()))
+}
+
+fn spawn(tag: &str) -> ServerHandle {
+    let sock = socket_for(tag);
+    let _ = std::fs::remove_file(&sock);
+    Server::spawn(ServeConfig::at(&sock))
+}
+
+/// Extracts `(warm, report text)` from a campaign frame sequence.
+fn parse_campaign(frames: &[String]) -> (bool, String) {
+    let last = frames.last().expect("at least one frame");
+    assert_eq!(
+        str_field(last, "type").as_deref(),
+        Some("report"),
+        "campaign must end in a report frame: {last}"
+    );
+    let warm = bool_field(last, "warm").expect("report carries warm flag");
+    let report = str_field(last, "report")
+        .map(|r| json_unescape(&r))
+        .unwrap();
+    (warm, report)
+}
+
+#[test]
+fn concurrent_sessions_share_one_warm_substrate() {
+    let handle = spawn("concurrent");
+    let sock = handle.socket.clone();
+
+    // The batch oracle: the exact path `wormhole-cli campaign --emit
+    // report` takes, at the serve defaults (seed 8, jobs as requested).
+    let internet = internet_for(Scale::Quick, 8);
+    let cfg = campaign_config_for(
+        Scale::Quick,
+        2,
+        wormhole::net::FaultScenario::Clean,
+        wormhole::core::Scheduling::VpBatches,
+    );
+    let oracle = campaign_over(&internet, &cfg, &mut NullSink)
+        .report()
+        .text()
+        .to_string();
+
+    // Two concurrent sessions at the same scale: the per-scale lock
+    // means exactly one build; both campaigns then run over Arc clones
+    // of the same substrate.
+    let req = r#"{"cmd":"campaign","scale":"quick","jobs":2,"stream":true}"#;
+    let mut threads = Vec::new();
+    for _ in 0..2 {
+        let sock = sock.clone();
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(&sock).expect("connect");
+            c.request(req).expect("campaign request")
+        }));
+    }
+    let sessions: Vec<Vec<String>> = threads
+        .into_iter()
+        .map(|t| t.join().expect("session thread"))
+        .collect();
+
+    let parsed: Vec<(bool, String)> = sessions.iter().map(|f| parse_campaign(f)).collect();
+    // At most one session can have paid for the build.
+    let cold = parsed.iter().filter(|(warm, _)| !warm).count();
+    assert!(cold <= 1, "substrate was built {cold} times for one scale");
+    for (_, report) in &parsed {
+        assert_eq!(
+            report, &oracle,
+            "serve session report diverged from the batch CLI path"
+        );
+    }
+    // Streaming sessions carry per-trace frames before the report.
+    for frames in &sessions {
+        let traces = frames
+            .iter()
+            .filter(|f| str_field(f, "type").as_deref() == Some("trace"))
+            .count();
+        assert!(traces > 0, "stream:true session produced no trace frames");
+    }
+
+    // A third session must find the substrate warm and agree again.
+    let mut c = Client::connect(&sock).expect("connect");
+    let frames = c
+        .request(r#"{"cmd":"campaign","scale":"quick","jobs":2}"#)
+        .expect("warm campaign");
+    let (warm, report) = parse_campaign(&frames);
+    assert!(warm, "third session should reuse the warm substrate");
+    assert_eq!(report, oracle);
+
+    // History recorded all three campaigns.
+    let frames = c.request(r#"{"cmd":"history"}"#).expect("history");
+    let end = frames.last().unwrap();
+    assert_eq!(str_field(end, "type").as_deref(), Some("history-end"));
+    assert_eq!(num_field(end, "served").map(|n| n as u64), Some(3));
+
+    c.shutdown().expect("shutdown");
+    handle
+        .thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    assert!(!sock.exists(), "socket file should be removed on shutdown");
+}
+
+#[test]
+fn ping_trace_and_errors_round_trip() {
+    let handle = spawn("proto");
+    let mut c = Client::connect(&handle.socket).expect("connect");
+
+    let frames = c.request(r#"{"cmd":"ping"}"#).expect("ping");
+    assert_eq!(str_field(&frames[0], "type").as_deref(), Some("pong"));
+
+    // A trace request streams one trace frame then a done frame.
+    let frames = c
+        .request(r#"{"cmd":"trace","scale":"quick","dst":"10.1.0.0","vp":0}"#)
+        .expect("trace");
+    assert_eq!(str_field(&frames[0], "type").as_deref(), Some("trace"));
+    let done = frames.last().unwrap();
+    assert_eq!(str_field(done, "type").as_deref(), Some("done"));
+    assert!(num_field(done, "probes").unwrap() > 0.0);
+
+    // Unknown commands and malformed scales answer with error frames
+    // instead of dropping the connection.
+    let frames = c.request(r#"{"cmd":"frobnicate"}"#).expect("unknown cmd");
+    assert_eq!(str_field(&frames[0], "type").as_deref(), Some("error"));
+    let frames = c
+        .request(r#"{"cmd":"campaign","scale":"galactic"}"#)
+        .expect("bad scale");
+    assert_eq!(str_field(&frames[0], "type").as_deref(), Some("error"));
+
+    // The connection is still usable after errors.
+    let frames = c.request(r#"{"cmd":"ping"}"#).expect("ping after error");
+    assert_eq!(str_field(&frames[0], "type").as_deref(), Some("pong"));
+
+    c.shutdown().expect("shutdown");
+    handle.thread.join().expect("join").expect("run");
+}
+
+#[test]
+#[ignore = "tenfold scale; run with --ignored in release CI (serve-smoke)"]
+fn tenfold_sessions_match_the_batch_cli_byte_for_byte() {
+    let handle = spawn("tenfold");
+    let sock = handle.socket.clone();
+
+    let internet = internet_for(Scale::Tenfold, 8);
+    let cfg = campaign_config_for(
+        Scale::Tenfold,
+        4,
+        wormhole::net::FaultScenario::Clean,
+        wormhole::core::Scheduling::Stealing,
+    );
+    let oracle = Arc::new(
+        campaign_over(&internet, &cfg, &mut NullSink)
+            .report()
+            .text()
+            .to_string(),
+    );
+    drop(internet);
+
+    let req = r#"{"cmd":"campaign","scale":"tenfold","jobs":4,"scheduling":"stealing"}"#;
+    let mut threads = Vec::new();
+    for _ in 0..2 {
+        let sock = sock.clone();
+        let oracle = Arc::clone(&oracle);
+        threads.push(thread::spawn(move || {
+            let mut c = Client::connect(&sock).expect("connect");
+            let frames = c.request(req).expect("campaign");
+            let (warm, report) = parse_campaign(&frames);
+            assert_eq!(&report, oracle.as_ref(), "tenfold serve report diverged");
+            warm
+        }));
+    }
+    let cold = threads
+        .into_iter()
+        .map(|t| t.join().expect("session"))
+        .filter(|warm| !warm)
+        .count();
+    assert!(cold <= 1, "tenfold substrate built more than once");
+
+    let mut c = Client::connect(&sock).expect("connect");
+    c.shutdown().expect("shutdown");
+    handle.thread.join().expect("join").expect("run");
+}
