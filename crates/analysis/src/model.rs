@@ -199,6 +199,9 @@ mod tests {
                 new_hops: hops.iter().map(|&h| revealed(h, 5.0)).collect(),
             }],
             extra_probes: 7,
+            revisits: 0,
+            stars: 0,
+            retrace_mismatch: false,
         }
     }
 

@@ -93,6 +93,15 @@ pub struct CampaignConfig {
     /// affected VP's shard is marked degraded and later phases skip it;
     /// everything else completes normally. Test/CI use only.
     pub chaos_panic_vp: Option<usize>,
+    /// Run the revelation-veracity screening pass: grade every
+    /// revelation Corroborated/Unverified/Contradicted from independent
+    /// evidence (quoted-TTL plausibility, duplicate-IP/loop screens,
+    /// return-path consistency — see [`crate::veracity`]), and spend a
+    /// per-flow stability re-trace per revelation when the fault plan
+    /// is deceptive. Honest scenarios can never be contradicted, so
+    /// their reports stay byte-identical with this on; the adversarial
+    /// sweep turns it off to measure undetected corruption.
+    pub screen_revelations: bool,
     /// Keep the bootstrap IP paths on [`CampaignResult`]. Off by
     /// default (the paper's workflow discards bootstrap traces after
     /// aggregation, and at thousandfold scale they dominate memory);
@@ -117,6 +126,7 @@ impl Default for CampaignConfig {
             batch_width: BATCH_WIDTH,
             lint_gate: cfg!(debug_assertions),
             chaos_panic_vp: None,
+            screen_revelations: true,
             keep_bootstrap_paths: false,
         }
     }
@@ -276,6 +286,14 @@ pub struct CampaignResult {
     pub degraded_shards: Vec<DegradedShard>,
     /// The scheduling mode the campaign ran with.
     pub scheduling: Scheduling,
+    /// Whether the revelation-veracity screening pass ran
+    /// ([`CampaignConfig::screen_revelations`]); the veracity tiers on
+    /// [`Self::revelations`] are meaningful only when it did.
+    pub screened: bool,
+    /// Whether the fault plan included deceptive behaviors
+    /// ([`wormhole_net::FaultPlan::is_deceptive`]) — carried for the
+    /// `V606` adversarial-scenario audit.
+    pub deceptive_faults: bool,
     /// Wall-clock phase breakdown (excluded from [`Self::report`]).
     pub timings: CampaignTimings,
     /// Per-phase running totals of the incremental snapshot builder
@@ -385,12 +403,22 @@ impl CampaignResult {
         let mut revs: Vec<_> = self.revelations.iter().collect();
         revs.sort_by_key(|&(pair, _)| *pair);
         for ((x, y), out) in revs {
+            // The veracity marker appears only on contradicted
+            // revelations. Honest scenarios can never be contradicted
+            // (artifact screens require positive evidence of deception),
+            // so honest reports keep their exact historical bytes.
+            let vs = match out.veracity() {
+                crate::reveal::Veracity::Contradicted => " veracity=contradicted",
+                _ => "",
+            };
             match out {
-                RevelationOutcome::Complete { tunnel, confidence } if !tunnel.is_empty() => {
+                RevelationOutcome::Complete {
+                    tunnel, confidence, ..
+                } if !tunnel.is_empty() => {
                     let _ = writeln!(
                         w,
                         "revealed {x}->{y} complete method={:?} hops={:?} extra_probes={} \
-                         confidence={}",
+                         confidence={}{vs}",
                         tunnel.method(),
                         tunnel.hops(),
                         tunnel.extra_probes,
@@ -400,7 +428,7 @@ impl CampaignResult {
                 RevelationOutcome::Complete { confidence, .. } => {
                     let _ = writeln!(
                         w,
-                        "revealed {x}->{y} nothing-hidden confidence={}",
+                        "revealed {x}->{y} nothing-hidden confidence={}{vs}",
                         confidence.label()
                     );
                 }
@@ -408,11 +436,12 @@ impl CampaignResult {
                     tunnel,
                     missing,
                     confidence,
+                    ..
                 } => {
                     let _ = writeln!(
                         w,
                         "revealed {x}->{y} partial missing={} method={:?} hops={:?} \
-                         extra_probes={} confidence={}",
+                         extra_probes={} confidence={}{vs}",
                         missing.label(),
                         tunnel.method(),
                         tunnel.hops(),
@@ -1021,6 +1050,13 @@ impl<'a> Campaign<'a> {
         // per vantage point, so it cannot depend on worker scheduling).
         // Pairs owned by a dead VP merge as Abandoned(WorkerPanicked).
         let cfg = &self.cfg;
+        // Deceptive fault plans earn the per-flow stability re-trace;
+        // honest plans keep their exact probe counts (and report bytes).
+        let reveal_opts = RevealOpts {
+            paris_check: cfg.screen_revelations && cfg.faults.is_deceptive(),
+            ..cfg.reveal.clone()
+        };
+        let reveal_opts = &reveal_opts;
         let discovered_ref = &discovered;
         let phase_started = Instant::now();
         let shards = if stealing {
@@ -1047,7 +1083,7 @@ impl<'a> Campaign<'a> {
                 1,
                 &make_session,
                 &|sess, (g, x, y, d)| {
-                    let out = reveal_between(sess, x, y, d, &cfg.reveal);
+                    let out = reveal_between(sess, x, y, d, reveal_opts);
                     let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
                     if cfg.fingerprint {
                         let mut pinged: HashSet<Addr> = HashSet::new();
@@ -1081,7 +1117,7 @@ impl<'a> Campaign<'a> {
                 batch
                     .into_iter()
                     .map(|(g, x, y, d)| {
-                        let out = reveal_between(sess, x, y, d, &cfg.reveal);
+                        let out = reveal_between(sess, x, y, d, reveal_opts);
                         let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
                         if cfg.fingerprint {
                             if let Some(t) = out.tunnel() {
@@ -1123,6 +1159,30 @@ impl<'a> Campaign<'a> {
             revelations.insert(pair, out);
         }
 
+        // Veracity screening: grade every revelation against the merged
+        // evidence (fingerprints include the hops pinged above). Runs on
+        // the merged result, so it is trivially independent of jobs,
+        // scheduling and batch width.
+        if self.cfg.screen_revelations {
+            for ((_, y), out) in revelations.iter_mut() {
+                let rtl = match (te_obs.get(y), er_obs.get(y)) {
+                    (Some(&(_, te)), Some(&er)) => {
+                        crate::rtla::return_tunnel_length(fingerprints.signature(*y), te, er)
+                    }
+                    _ => None,
+                };
+                let v = crate::veracity::screen_revelation(
+                    out,
+                    |a| {
+                        let s = fingerprints.signature(a);
+                        (s.te, s.er)
+                    },
+                    rtl,
+                );
+                out.set_veracity(v);
+            }
+        }
+
         let probes_by_vp: Vec<u64> = if stealing {
             stolen_probes
         } else {
@@ -1156,6 +1216,8 @@ impl<'a> Campaign<'a> {
             trace_budget: self.cfg.trace_opts.probe_budget,
             degraded_shards: degraded,
             scheduling: self.cfg.scheduling,
+            screened: self.cfg.screen_revelations,
+            deceptive_faults: self.cfg.faults.is_deceptive(),
             timings,
             snapshot_deltas,
             snapshot_checksum,
@@ -1228,6 +1290,45 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
         })
         .collect();
     revelations.sort_by_key(|&(x, y, _, _)| (x, y));
+    // Veracity tiers are meaningful only when the screening pass ran;
+    // an unscreened campaign hands the auditor an empty list (which is
+    // what the V606 adversarial-scenario rule keys on).
+    let mut veracity: Vec<_> = if result.screened {
+        result
+            .revelations
+            .iter()
+            .map(|(&(x, y), out)| {
+                let tier = match out.veracity() {
+                    crate::reveal::Veracity::Corroborated => {
+                        wormhole_lint::VeracityTier::Corroborated
+                    }
+                    crate::reveal::Veracity::Unverified => wormhole_lint::VeracityTier::Unverified,
+                    crate::reveal::Veracity::Contradicted => {
+                        wormhole_lint::VeracityTier::Contradicted
+                    }
+                };
+                (x, y, tier)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    veracity.sort_by_key(|&(x, y, _)| (x, y));
+    let mut revelation_artifacts: Vec<_> = result
+        .revelations
+        .iter()
+        .map(|(&(x, y), out)| {
+            let (revisits, stars, mismatch) = match out {
+                RevelationOutcome::Complete { tunnel, .. }
+                | RevelationOutcome::Partial { tunnel, .. } => {
+                    (tunnel.revisits, tunnel.stars, tunnel.retrace_mismatch)
+                }
+                RevelationOutcome::Abandoned { .. } => (0, 0, false),
+            };
+            (x, y, revisits, stars, mismatch)
+        })
+        .collect();
+    revelation_artifacts.sort_by_key(|&(x, y, ..)| (x, y));
     wormhole_lint::CampaignAudit {
         signatures,
         tunnels,
@@ -1242,6 +1343,9 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
             .map(|t| (t.probes, t.truncated))
             .collect(),
         revelations,
+        veracity,
+        revelation_artifacts,
+        deceptive_plan: result.deceptive_faults,
         degraded_shards: result
             .degraded_shards
             .iter()
@@ -1640,6 +1744,88 @@ mod tests {
         let (_, parallel) = run(4);
         assert_eq!(sink.traces, parallel.traces);
         assert_eq!(sink.stats, parallel.stats);
+    }
+
+    #[test]
+    fn honest_reports_are_identical_with_screening_toggled() {
+        // Honest faults can only *lose* evidence, never fabricate it,
+        // so the screen never grades Contradicted and the report —
+        // whose only veracity marker is the Contradicted suffix — must
+        // stay byte-identical whether screening ran or not.
+        let internet = generate(&InternetConfig::small(11));
+        for scenario in [
+            wormhole_net::FaultScenario::Clean,
+            wormhole_net::FaultScenario::LossyCore,
+        ] {
+            let run = |screen: bool| {
+                let cfg = CampaignConfig {
+                    hdn_threshold: 6,
+                    faults: scenario.plan(),
+                    seed: 42,
+                    screen_revelations: screen,
+                    ..CampaignConfig::default()
+                };
+                Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+                    .run()
+                    .report()
+            };
+            let screened = run(true);
+            assert!(
+                !screened.text().contains("veracity=contradicted"),
+                "honest {scenario:?} campaign produced a Contradicted revelation"
+            );
+            assert_eq!(
+                screened,
+                run(false),
+                "screening changed an honest {scenario:?} report"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_campaign_screens_consistently_and_flags_unscreened_runs() {
+        let internet = generate(&InternetConfig::small(11));
+        let run = |screen: bool| {
+            let cfg = CampaignConfig {
+                hdn_threshold: 6,
+                faults: wormhole_net::FaultScenario::Paranoid.plan(),
+                seed: 42,
+                screen_revelations: screen,
+                ..CampaignConfig::default()
+            };
+            Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg).run()
+        };
+        let result = run(true);
+        assert!(result.screened && result.deceptive_faults);
+        let a = audit_input(&result);
+        assert_eq!(
+            a.veracity.len(),
+            result.revelations.len(),
+            "every outcome carries a tier"
+        );
+        // The screen and the V6xx rules implement the same contract, so
+        // a real screened campaign — even a deceived one — never trips
+        // the veracity-consistency errors.
+        let diags = audit_campaign(&internet.net, &result);
+        for code in ["V601", "V602", "V603", "V604", "V605", "V606"] {
+            assert!(
+                !diags.iter().any(|d| d.code == code),
+                "{code} fired on a screened campaign: {}",
+                wormhole_lint::render(&diags)
+            );
+        }
+        // Switching the screen off under a deceptive plan is exactly
+        // what V606 exists to surface.
+        let unscreened = run(false);
+        assert!(!unscreened.screened);
+        if !unscreened.revelations.is_empty() {
+            let diags = audit_campaign(&internet.net, &unscreened);
+            assert!(
+                diags.iter().any(|d| d.code == "V606"),
+                "expected V606 on an unscreened adversarial run: {}",
+                wormhole_lint::render(&diags)
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * [`rtla`] — Return Tunnel Length Analysis: the exact `<255,64>`
 //!   *gap* method;
 //! * [`reveal`] — DPR and BRPR, the hop-revealing recursion of §4;
+//! * [`veracity`] — evidence screens grading each revelation
+//!   Corroborated/Unverified/Contradicted against deceptive routers
+//!   and non-Paris load balancers;
 //! * [`campaign`] — the full HDN-driven measurement campaign;
 //! * [`smart`] — the §8 "modified traceroute": FRPLA/RTLA as triggers,
 //!   DPR/BRPR revealing hidden hops on the fly.
@@ -21,6 +24,7 @@ pub mod reveal;
 pub mod rtla;
 mod shard;
 pub mod smart;
+pub mod veracity;
 
 pub use campaign::{
     audit_campaign, audit_input, snapshot_oracle, Campaign, CampaignConfig, CampaignReport,
@@ -31,7 +35,8 @@ pub use fingerprint::{infer_initial_ttl, return_path_len, FingerprintTable, Sign
 pub use frpla::{rfa_of_hop, rfa_of_trace, FrplaAnalysis, RfaDistribution, RfaSample};
 pub use reveal::{
     reveal_between, AbandonReason, Confidence, MissingPart, RevealMethod, RevealOpts, RevealStep,
-    RevealedHop, RevealedTunnel, RevelationOutcome,
+    RevealedHop, RevealedTunnel, RevelationOutcome, Veracity,
 };
 pub use rtla::{return_tunnel_length, sample as rtla_sample, tunnel_asymmetry, RtlaSample};
 pub use smart::{smart_traceroute, SmartHop, SmartOpts, SmartTrace, Trigger};
+pub use veracity::{screen_revelation, PLAUSIBLE_REPLY_INITS};

@@ -25,11 +25,22 @@ use wormhole_probe::Session;
 pub struct RevealOpts {
     /// Maximum recursion depth (traces beyond the initial one).
     pub max_steps: usize,
+    /// Spend one extra trace re-running the first re-trace and flag a
+    /// path change ([`RevealedTunnel::retrace_mismatch`]). Per-flow
+    /// forwarding makes the repeat byte-identical, so any difference is
+    /// positive evidence of a non-Paris load balancer forking the
+    /// per-probe path. Off by default — the campaign enables it only
+    /// under deceptive fault plans, keeping honest probe counts (and
+    /// reports) unchanged.
+    pub paris_check: bool,
 }
 
 impl Default for RevealOpts {
     fn default() -> RevealOpts {
-        RevealOpts { max_steps: 16 }
+        RevealOpts {
+            max_steps: 16,
+            paris_check: false,
+        }
     }
 }
 
@@ -86,6 +97,18 @@ pub struct RevealedTunnel {
     pub steps: Vec<RevealStep>,
     /// Extra probe packets spent by the revelation.
     pub extra_probes: u64,
+    /// Addresses observed at more than one TTL across the re-traces.
+    /// Deterministic per-flow forwarding never revisits a router, so a
+    /// non-zero count is positive evidence of a forged loop/cycle
+    /// artifact (non-Paris load balancing).
+    pub revisits: usize,
+    /// Non-responding hops (`*`) across the re-traces — the raw count
+    /// behind the [`Confidence`] grade, kept for the star-burst screen.
+    pub stars: usize,
+    /// The [`RevealOpts::paris_check`] repeat of the first re-trace
+    /// followed a different path — positive evidence that the per-flow
+    /// invariant DPR/BRPR rely on does not hold here.
+    pub retrace_mismatch: bool,
 }
 
 impl RevealedTunnel {
@@ -228,6 +251,38 @@ impl Confidence {
     }
 }
 
+/// How a revelation fared against the independent-evidence screens
+/// (quoted-TTL plausibility, per-flow stability, duplicate-IP/loop
+/// checks) — the defense against deceptive routers and non-Paris load
+/// balancers forging measurement artifacts. Orthogonal to
+/// [`Confidence`]: confidence grades how *degraded* the re-traces were,
+/// veracity grades whether the evidence actively corroborates or
+/// contradicts the claimed hop set.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Veracity {
+    /// Every screen that could run returned positive corroborating
+    /// evidence (plausible fingerprints on all participants, stable
+    /// re-traces, consistent return-path length where measurable).
+    Corroborated,
+    /// The screens could not gather enough evidence either way — also
+    /// the default before the campaign's screening pass runs.
+    Unverified,
+    /// At least one screen found positive evidence of an artifact
+    /// (forged loop, per-flow instability, implausible quoted TTL).
+    Contradicted,
+}
+
+impl Veracity {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Veracity::Corroborated => "corroborated",
+            Veracity::Unverified => "unverified",
+            Veracity::Contradicted => "contradicted",
+        }
+    }
+}
+
 /// Outcome of a revelation attempt: the typed replacement for the old
 /// revealed/nothing-hidden/failed trichotomy, distinguishing *how much*
 /// was revealed and *why* revelation stopped.
@@ -241,6 +296,9 @@ pub enum RevelationOutcome {
         tunnel: RevealedTunnel,
         /// Re-trace quality.
         confidence: Confidence,
+        /// Evidence-screen verdict (set by the campaign's screening
+        /// pass; [`Veracity::Unverified`] until then).
+        veracity: Veracity,
     },
     /// Hops were revealed but the recursion was cut short; the hop set
     /// is a lower bound.
@@ -251,6 +309,9 @@ pub enum RevelationOutcome {
         missing: MissingPart,
         /// Re-trace quality.
         confidence: Confidence,
+        /// Evidence-screen verdict (set by the campaign's screening
+        /// pass; [`Veracity::Unverified`] until then).
+        veracity: Veracity,
     },
     /// Nothing was revealed and the attempt could not even establish
     /// the ingress/egress bracket.
@@ -266,6 +327,26 @@ impl RevelationOutcome {
         RevelationOutcome::Complete {
             tunnel,
             confidence: Confidence::High,
+            veracity: Veracity::Unverified,
+        }
+    }
+
+    /// The evidence-screen verdict. Abandoned attempts have no hop set
+    /// to screen, so they are always [`Veracity::Unverified`].
+    pub fn veracity(&self) -> Veracity {
+        match self {
+            RevelationOutcome::Complete { veracity, .. }
+            | RevelationOutcome::Partial { veracity, .. } => *veracity,
+            RevelationOutcome::Abandoned { .. } => Veracity::Unverified,
+        }
+    }
+
+    /// Records the evidence-screen verdict (no-op on Abandoned).
+    pub fn set_veracity(&mut self, v: Veracity) {
+        match self {
+            RevelationOutcome::Complete { veracity, .. }
+            | RevelationOutcome::Partial { veracity, .. } => *veracity = v,
+            RevelationOutcome::Abandoned { .. } => {}
         }
     }
 
@@ -356,10 +437,16 @@ pub fn reveal_between(
     let mut known: std::collections::HashSet<Addr> = [x, y, target].into_iter().collect();
     let mut cur = y;
     let mut degraded_hops = 0usize;
+    let mut revisits = 0usize;
+    let mut first_path: Option<Vec<Option<Addr>>> = None;
     let mut missing: Option<MissingPart> = None;
     for step_idx in 0..=opts.max_steps {
         let trace = sess.traceroute(cur);
         degraded_hops += trace.hops.iter().filter(|h| h.addr.is_none()).count();
+        revisits += trace.revisits();
+        if step_idx == 0 && opts.paris_check {
+            first_path = Some(trace.addr_path());
+        }
         let Some(seg) = segment_between(&trace, x, cur) else {
             // The re-trace does not pass through the ingress: stop, keep
             // whatever was already revealed.
@@ -406,6 +493,14 @@ pub fn reveal_between(
             _ => break,
         }
     }
+    // The per-flow stability screen: repeat the first re-trace and
+    // compare paths. Honest per-flow ECMP repeats byte-identically (the
+    // Paris flow is held per destination); only a load balancer keyed
+    // on per-probe fields can make the repeat diverge.
+    let retrace_mismatch = match first_path {
+        Some(ref path) => sess.traceroute(y).addr_path() != *path,
+        None => false,
+    };
     let extra_probes = sess.stats.probes - probes_before;
     let confidence = Confidence::grade(degraded_hops);
     let tunnel = RevealedTunnel {
@@ -414,14 +509,22 @@ pub fn reveal_between(
         target,
         steps,
         extra_probes,
+        revisits,
+        stars: degraded_hops,
+        retrace_mismatch,
     };
     match missing {
         Some(m) if !tunnel.is_empty() => RevelationOutcome::Partial {
             tunnel,
             missing: m,
             confidence,
+            veracity: Veracity::Unverified,
         },
-        _ => RevelationOutcome::Complete { tunnel, confidence },
+        _ => RevelationOutcome::Complete {
+            tunnel,
+            confidence,
+            veracity: Veracity::Unverified,
+        },
     }
 }
 
@@ -532,7 +635,16 @@ mod tests {
         let (s, x, y) = setup(Fig2Config::BackwardRecursive);
         let mut sess = Session::new(&s.net, &s.cp, s.vp);
         sess.set_opts(TracerouteOpts::default());
-        let out = reveal_between(&mut sess, x, y, s.target, &RevealOpts { max_steps: 1 });
+        let out = reveal_between(
+            &mut sess,
+            x,
+            y,
+            s.target,
+            &RevealOpts {
+                max_steps: 1,
+                ..RevealOpts::default()
+            },
+        );
         match &out {
             RevelationOutcome::Partial {
                 tunnel, missing, ..

@@ -1,0 +1,16 @@
+//! Adversarial sweep: false/missed revelation rates under deceptive
+//! router behaviors, plus (`WORMHOLE_FORMAT=json`) the V6xx audit
+//! findings of a screened paranoid campaign as a machine-readable
+//! artifact.
+
+use wormhole_experiments::adversarial;
+use wormhole_experiments::context::Scale;
+
+fn main() {
+    if std::env::var("WORMHOLE_FORMAT").as_deref() == Ok("json") {
+        println!("{}", adversarial::audit_findings_json());
+        return;
+    }
+    let quick = Scale::from_env() == Scale::Quick;
+    println!("{}", adversarial::run(quick));
+}

@@ -63,13 +63,19 @@ pub fn scheduling_from_env() -> Scheduling {
     }
 }
 
-/// Reads `WORMHOLE_FAULTS=clean|lossy_core|rate_limited_edge|hostile`
-/// (default `clean`). Unknown names abort loudly rather than silently
-/// running a clean campaign that claims to be a chaos run.
+/// Reads `WORMHOLE_FAULTS` (default `clean`), accepting any
+/// [`FaultScenario::ALL`] name. Unknown names abort loudly — listing
+/// the valid scenarios — rather than silently running a clean campaign
+/// that claims to be a chaos run.
 pub fn faults_from_env() -> FaultScenario {
     match std::env::var("WORMHOLE_FAULTS") {
-        Ok(name) => FaultScenario::parse(&name)
-            .unwrap_or_else(|| panic!("WORMHOLE_FAULTS={name}: unknown fault scenario")),
+        Ok(name) => FaultScenario::parse(&name).unwrap_or_else(|| {
+            let names: Vec<&str> = FaultScenario::ALL.iter().map(|s| s.name()).collect();
+            panic!(
+                "WORMHOLE_FAULTS={name}: unknown fault scenario (expected one of: {})",
+                names.join(", ")
+            )
+        }),
         Err(_) => FaultScenario::Clean,
     }
 }

@@ -3,6 +3,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod context;
 pub mod fault_sweep;
 pub mod fig1;

@@ -147,32 +147,44 @@ pub fn run(ctx: &PaperContext) -> Report {
     report.table(&table);
 
     // Paper-shape assertions (on personas present in this context).
-    if let Some(bt) = by_asn.get(&2856) {
-        // BT persona (UHP): essentially nothing revealed.
-        assert_eq!(bt.revealed_pairs, 0, "UHP persona must resist revelation");
-    }
-    for asn in [3257u32, 3549, 3320, 6762, 3491] {
-        if let Some(d) = by_asn.get(&asn) {
-            if d.ie_pairs > 0 {
-                assert!(
-                    d.revealed_pairs * 100 >= d.ie_pairs * 30,
-                    "AS{asn}: expected a high revelation rate, got {}/{}",
-                    d.revealed_pairs,
-                    d.ie_pairs
-                );
-                assert!(
-                    d.density_after <= d.density_before + 1e-12,
-                    "AS{asn}: revelation must not densify the LER graph"
-                );
+    // They describe honest routers: a deceptive plan hides egresses
+    // and forks paths on purpose, so under one the table is reported
+    // but the shape is not asserted.
+    let honest = !ctx.config.faults.is_deceptive();
+    if honest {
+        if let Some(bt) = by_asn.get(&2856) {
+            // BT persona (UHP): essentially nothing revealed.
+            assert_eq!(bt.revealed_pairs, 0, "UHP persona must resist revelation");
+        }
+        for asn in [3257u32, 3549, 3320, 6762, 3491] {
+            if let Some(d) = by_asn.get(&asn) {
+                if d.ie_pairs > 0 {
+                    assert!(
+                        d.revealed_pairs * 100 >= d.ie_pairs * 30,
+                        "AS{asn}: expected a high revelation rate, got {}/{}",
+                        d.revealed_pairs,
+                        d.ie_pairs
+                    );
+                    assert!(
+                        d.density_after <= d.density_before + 1e-12,
+                        "AS{asn}: revelation must not densify the LER graph"
+                    );
+                }
             }
         }
     }
     let total_revealed: usize = data.iter().map(|d| d.revealed_pairs).sum();
-    assert!(total_revealed > 0, "campaign must reveal tunnels");
+    if honest {
+        assert!(total_revealed > 0, "campaign must reveal tunnels");
+    }
     report.line(format!(
         "total revealed pairs across personas: {total_revealed}"
     ));
-    report.line("UHP persona resists; invisible personas reveal; densities deflate.");
+    report.line(if honest {
+        "UHP persona resists; invisible personas reveal; densities deflate."
+    } else {
+        "deceptive plan: paper-shape assertions skipped; see the veracity screen."
+    });
     ctx.append_lint(&mut report);
     report
 }

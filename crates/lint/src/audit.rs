@@ -1,9 +1,14 @@
-//! `A3xx` / `A4xx` — result-audit rules over campaign outputs.
+//! `A3xx` / `A4xx` / `V6xx` — result-audit rules over campaign outputs.
 //!
 //! `A3xx` rules check measurement-consistency invariants (signatures,
 //! tunnels, trace indices, probe accounting); `A4xx` rules audit the
 //! campaign's *robustness* accounting — probe budgets, partial
-//! revelations, degraded shards.
+//! revelations, degraded shards; `V6xx` rules audit the
+//! revelation-veracity screens — the cross-checks that grade each
+//! revealed tunnel against independent evidence (quoted-TTL
+//! plausibility, per-flow re-trace stability, RTLA return paths) so an
+//! adversarial Internet cannot plant artifact "revelations" in the
+//! corroborated tier.
 //!
 //! The campaign layer lives above this crate, so the auditor takes a
 //! neutral [`CampaignAudit`] snapshot (built by
@@ -23,6 +28,20 @@ pub const SIGNATURE_TAXONOMY: [(u8, u8); 4] = [(255, 255), (255, 64), (128, 128)
 /// and return LSPs may legitimately differ by a hop or two (Fig. 9b);
 /// more than that suggests a broken revelation or fingerprint.
 pub const RTLA_GAP_TOLERANCE: i32 = 2;
+
+/// The veracity tier the campaign's evidence screen assigned to a
+/// revelation (mirror of the core layer's `Veracity`; the campaign
+/// lives above this crate).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum VeracityTier {
+    /// Every independent cross-check came back positive.
+    Corroborated,
+    /// Evidence was incomplete; the revelation is neither confirmed
+    /// nor refuted.
+    Unverified,
+    /// Positive evidence of a measurement artifact or deception.
+    Contradicted,
+}
 
 /// A revelation's claimed §4 method, as recorded in campaign output.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -131,6 +150,16 @@ pub struct CampaignAudit {
     /// links, addresses, checksum)`; `None` disables the A310 oracle
     /// sub-check (the campaign did not retain its bootstrap paths).
     pub snapshot_oracle: Option<(u64, usize, usize, usize, u64)>,
+    /// Per-revelation veracity tiers as `(ingress, egress, tier)`.
+    /// Empty when the campaign ran with screening disabled, which
+    /// disables V602–V605.
+    pub veracity: Vec<(Addr, Addr, VeracityTier)>,
+    /// Per-revelation artifact evidence as `(ingress, egress,
+    /// re-trace revisits, re-trace stars, per-flow retrace mismatch)`.
+    pub revelation_artifacts: Vec<(Addr, Addr, usize, usize, bool)>,
+    /// Whether the campaign's fault plan included deceptive behaviors
+    /// (TTL spoofing, non-Paris load balancing, egress hiding).
+    pub deceptive_plan: bool,
 }
 
 /// A301: a complete pair-signature outside the Table 1 vendor taxonomy.
@@ -501,6 +530,190 @@ pub fn degraded_shard_consistency(a: &CampaignAudit, out: &mut Vec<Diagnostic>) 
     }
 }
 
+/// Looks up the veracity tier the screen assigned to a revelation
+/// pair. `None` when the pair was never screened.
+fn tier_of(a: &CampaignAudit, x: Addr, y: Addr) -> Option<VeracityTier> {
+    a.veracity
+        .iter()
+        .find(|&&(vx, vy, _)| (vx, vy) == (x, y))
+        .map(|&(_, _, t)| t)
+}
+
+/// V601: a tunnel carrying an RTLA return-tunnel length whose egress
+/// signature is not `<255, 64>`. RTLA is only defined for that vendor
+/// class (§5.2) — an `rtl` recorded against any other signature means
+/// the return-path measurement was attributed to the wrong router or
+/// computed from a corrupted fingerprint.
+pub fn rtla_assumption_violation(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for t in &a.tunnels {
+        if t.rtl.is_none() {
+            continue;
+        }
+        let sig = a
+            .signatures
+            .iter()
+            .find(|&&(addr, ..)| addr == t.egress)
+            .map(|&(_, te, er)| (te, er));
+        let Some((Some(te), Some(er))) = sig else {
+            continue;
+        };
+        if (te, er) != (255, 64) {
+            out.push(Diagnostic::new(
+                "V601",
+                Severity::Error,
+                Location::Pair(t.ingress, t.egress),
+                format!(
+                    "RTLA length {} recorded against an egress signature <{te}, {er}>",
+                    t.rtl.expect("checked above")
+                ),
+                "RTLA requires the <255, 64> signature; gate the measurement on the fingerprint",
+            ));
+        }
+    }
+}
+
+/// V602: a revelation whose re-traces carried positive loop/cycle
+/// evidence (an address revisited, or a per-flow stability repeat that
+/// diverged) yet was not graded Contradicted. Deterministic per-flow
+/// forwarding never revisits a router, so such artifacts are proof of
+/// a non-Paris load balancer forging the hop set — the screen must not
+/// let the revelation stand.
+pub fn loop_artifact_untiered(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    if a.veracity.is_empty() {
+        return;
+    }
+    for &(x, y, revisits, _, mismatch) in &a.revelation_artifacts {
+        if revisits == 0 && !mismatch {
+            continue;
+        }
+        let tier = tier_of(a, x, y);
+        if tier != Some(VeracityTier::Contradicted) {
+            out.push(Diagnostic::new(
+                "V602",
+                Severity::Error,
+                Location::Pair(x, y),
+                format!(
+                    "revelation with loop/cycle artifacts (revisits={revisits}, \
+                     retrace_mismatch={mismatch}) graded {tier:?}, not Contradicted"
+                ),
+                "positive artifact evidence must contradict the revelation; check the screen order",
+            ));
+        }
+    }
+}
+
+/// V603: a DPR (or hybrid) revelation graded Corroborated whose egress
+/// never produced an echo reply. DPR hangs everything off the egress's
+/// own answers — without an independent echo-reply fingerprint for
+/// that router, the hop set cannot be called corroborated (an
+/// egress-hiding AS would sail through).
+pub fn unverifiable_dpr_egress(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for t in &a.tunnels {
+        if !matches!(t.method, Some(MethodClaim::Dpr) | Some(MethodClaim::Hybrid)) {
+            continue;
+        }
+        if tier_of(a, t.ingress, t.egress) != Some(VeracityTier::Corroborated) {
+            continue;
+        }
+        let er_seen = a
+            .signatures
+            .iter()
+            .any(|&(addr, _, er)| addr == t.egress && er.is_some());
+        if !er_seen {
+            out.push(Diagnostic::new(
+                "V603",
+                Severity::Error,
+                Location::Pair(t.ingress, t.egress),
+                "DPR revelation graded Corroborated but its egress has no echo-reply evidence"
+                    .to_string(),
+                "corroboration requires an echo-reply fingerprint from every participant",
+            ));
+        }
+    }
+}
+
+/// V604: a revelation graded Corroborated whose re-traces contained
+/// stars. Corroboration claims every cross-check came back positive —
+/// a non-responsive hop in the revealing traces is missing evidence by
+/// definition, so the grade is too strong.
+pub fn star_burst_anomaly(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    for &(x, y, _, stars, _) in &a.revelation_artifacts {
+        if stars == 0 {
+            continue;
+        }
+        if tier_of(a, x, y) == Some(VeracityTier::Corroborated) {
+            out.push(Diagnostic::new(
+                "V604",
+                Severity::Error,
+                Location::Pair(x, y),
+                format!("revelation graded Corroborated despite {stars} stars in its re-traces"),
+                "downgrade to Unverified; silence is absence of evidence, not evidence",
+            ));
+        }
+    }
+}
+
+/// V605: veracity-accounting conservation. When the campaign screened
+/// at all, every revelation must carry exactly one tier and every tier
+/// must name a revelation — a dropped or duplicated row means the
+/// screening pass and the outcome table diverged.
+pub fn veracity_conservation(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    if a.veracity.is_empty() {
+        return;
+    }
+    let mut tiered: HashSet<(Addr, Addr)> = HashSet::new();
+    for &(x, y, _) in &a.veracity {
+        if !tiered.insert((x, y)) {
+            out.push(Diagnostic::new(
+                "V605",
+                Severity::Error,
+                Location::Pair(x, y),
+                "revelation carries more than one veracity tier".to_string(),
+                "screen each outcome exactly once, after the shard merge",
+            ));
+        }
+    }
+    let outcomes: HashSet<(Addr, Addr)> = a.revelations.iter().map(|&(x, y, ..)| (x, y)).collect();
+    for &(x, y) in tiered.difference(&outcomes) {
+        out.push(Diagnostic::new(
+            "V605",
+            Severity::Error,
+            Location::Pair(x, y),
+            "veracity tier names a revelation the campaign does not record".to_string(),
+            "derive the tier table from the outcome map, nowhere else",
+        ));
+    }
+    for &(x, y) in outcomes.difference(&tiered) {
+        out.push(Diagnostic::new(
+            "V605",
+            Severity::Error,
+            Location::Pair(x, y),
+            "revelation left without a veracity tier".to_string(),
+            "a screened campaign must grade every outcome, including abandoned ones",
+        ));
+    }
+}
+
+/// V606: a campaign that ran under a deceptive fault plan, produced
+/// revelations, and never screened them. Unscreened results from an
+/// adversarial run are exactly the artifact-laundering channel the
+/// veracity tiers exist to close, so the omission is surfaced (warn —
+/// the operator may have disabled screening deliberately).
+pub fn unscreened_adversarial_run(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    if a.deceptive_plan && !a.revelations.is_empty() && a.veracity.is_empty() {
+        out.push(Diagnostic::new(
+            "V606",
+            Severity::Warn,
+            Location::Network,
+            format!(
+                "deceptive fault plan produced {} unscreened revelations",
+                a.revelations.len()
+            ),
+            "enable revelation screening for adversarial scenarios (screen_revelations)",
+        ));
+    }
+}
+
 /// Runs every audit rule.
 pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -517,5 +730,11 @@ pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     probe_budget_overrun(a, &mut out);
     partial_revelation_accounting(a, &mut out);
     degraded_shard_consistency(a, &mut out);
+    rtla_assumption_violation(a, &mut out);
+    loop_artifact_untiered(a, &mut out);
+    unverifiable_dpr_egress(a, &mut out);
+    star_burst_anomaly(a, &mut out);
+    veracity_conservation(a, &mut out);
+    unscreened_adversarial_run(a, &mut out);
     out
 }

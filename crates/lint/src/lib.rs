@@ -1,7 +1,7 @@
 //! `wormhole-lint`: static invariant analysis for the wormhole
 //! workspace.
 //!
-//! Five rule families, each with stable codes registered in
+//! Six rule families, each with stable codes registered in
 //! [`registry`] (per-rule metadata: family, default severity, summary,
 //! explanation):
 //!
@@ -26,7 +26,12 @@
 //! * **`D5xx`** ([`dense`]) — dense-plane verification: the flattened
 //!   control-plane tables the hot path runs on (CSR offset tables,
 //!   LFIB label windows, destination-resolution memos) cross-checked
-//!   against the logical model they encode and against themselves.
+//!   against the logical model they encode and against themselves;
+//! * **`V6xx`** ([`audit`]) — revelation-veracity audits over the
+//!   campaign's evidence screens (RTLA lengths against non-`<255, 64>`
+//!   signatures, loop/cycle artifacts that escaped a Contradicted
+//!   grade, corroboration without echo-reply evidence, tier/outcome
+//!   conservation, unscreened adversarial runs).
 //!
 //! All findings normalize to a stable order — *(family, code, location,
 //! message)*, duplicates dropped — so lint summaries are byte-identical
@@ -62,6 +67,7 @@ pub mod registry;
 
 pub use audit::{
     audit, method_from_steps, CampaignAudit, MethodClaim, RevelationKind, TunnelAudit,
+    VeracityTier, RTLA_GAP_TOLERANCE, SIGNATURE_TAXONOMY,
 };
 pub use config::{parse_severity, LintConfig};
 pub use cross::{check_internet, check_persona, check_scenario};

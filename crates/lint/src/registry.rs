@@ -25,16 +25,21 @@ pub enum Family {
     /// `D5xx` — dense-plane verification: flat control-plane tables
     /// cross-checked against the logical model and against themselves.
     Dense,
+    /// `V6xx` — revelation-veracity audits: the evidence screens that
+    /// grade each revealed tunnel Corroborated/Unverified/Contradicted,
+    /// cross-checked for internal consistency.
+    Veracity,
 }
 
 impl Family {
     /// Every family, in documentation order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Network,
         Family::Cross,
         Family::Audit,
         Family::Robustness,
         Family::Dense,
+        Family::Veracity,
     ];
 
     /// The family's display name.
@@ -45,6 +50,7 @@ impl Family {
             Family::Audit => "audit",
             Family::Robustness => "robustness",
             Family::Dense => "dense",
+            Family::Veracity => "veracity",
         }
     }
 }
@@ -484,6 +490,74 @@ pub static RULES: &[RuleInfo] = &[
                       holder. Checked against the routers directly, never the owner hash, \
                       so D511 and D512 corruptions each fire exactly their own rule.",
     },
+    RuleInfo {
+        code: "V601",
+        family: Family::Veracity,
+        severity: Severity::Error,
+        summary: "RTLA length recorded against a non-<255, 64> egress signature",
+        explanation: "RTLA is only defined for the <255, 64> vendor class (§5.2): the \
+                      return-tunnel length is the gap between a 255-initial time-exceeded \
+                      and a 64-initial echo reply. A tunnel carrying an rtl whose egress \
+                      fingerprint completes to any other pair means the measurement was \
+                      attributed to the wrong router or the fingerprint is corrupt — \
+                      either way the recorded length is meaningless.",
+    },
+    RuleInfo {
+        code: "V602",
+        family: Family::Veracity,
+        severity: Severity::Error,
+        summary: "loop/cycle artifact evidence without a Contradicted grade",
+        explanation: "Deterministic per-flow forwarding never revisits a router, so a \
+                      re-trace that repeats an address — or a per-flow stability repeat \
+                      that diverges — is positive proof of a non-Paris load balancer \
+                      forging the hop set. A screened campaign must grade such a \
+                      revelation Contradicted; anything weaker lets the artifact stand \
+                      in downstream tables.",
+    },
+    RuleInfo {
+        code: "V603",
+        family: Family::Veracity,
+        severity: Severity::Error,
+        summary: "Corroborated DPR revelation whose egress has no echo-reply evidence",
+        explanation: "DPR hangs its entire recursion off the egress router's answers, so \
+                      corroborating a DPR (or hybrid) revelation requires an independent \
+                      echo-reply fingerprint from that egress. Granting the top tier \
+                      without one would let an egress-hiding AS launder unverifiable hop \
+                      sets into the corroborated bucket.",
+    },
+    RuleInfo {
+        code: "V604",
+        family: Family::Veracity,
+        severity: Severity::Error,
+        summary: "Corroborated revelation despite stars in its re-traces",
+        explanation: "Corroboration claims every cross-check came back positive. A \
+                      non-responsive hop in the revealing traces is evidence that never \
+                      arrived — the tier must stay Unverified, because silence is \
+                      absence of evidence, not evidence.",
+    },
+    RuleInfo {
+        code: "V605",
+        family: Family::Veracity,
+        severity: Severity::Error,
+        summary: "veracity tiers and revelation outcomes don't conserve",
+        explanation: "When the campaign screened at all, the tier table and the outcome \
+                      map must be the same set of (ingress, egress) pairs, with exactly \
+                      one tier per pair. A dropped, duplicated, or dangling row means \
+                      the screening pass and the merge diverged — some revelation's \
+                      grade is silently missing or misattributed.",
+    },
+    RuleInfo {
+        code: "V606",
+        family: Family::Veracity,
+        severity: Severity::Warn,
+        summary: "deceptive fault plan with unscreened revelations",
+        explanation: "A campaign that ran under a deceptive fault plan (TTL spoofing, \
+                      non-Paris load balancing, egress hiding) and produced revelations \
+                      without screening them is exactly the artifact-laundering channel \
+                      the veracity tiers exist to close. Warn rather than error: the \
+                      operator may have disabled screening deliberately to measure the \
+                      unscreened baseline.",
+    },
 ];
 
 /// Looks up a rule by its code.
@@ -527,6 +601,7 @@ mod tests {
                 Family::Audit => "A3",
                 Family::Robustness => "A4",
                 Family::Dense => "D5",
+                Family::Veracity => "V6",
             };
             assert!(r.code.starts_with(prefix), "{} in {}", r.code, r.family);
         }

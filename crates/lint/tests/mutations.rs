@@ -11,11 +11,15 @@
 //! A thirteenth class corrupts the campaign-audit snapshot instead of
 //! the dense plane: the incremental-aggregation accounting that `A310`
 //! guards ([`audit_class`]).
+//!
+//! Six further classes ([`v6_classes`]) corrupt the revelation-veracity
+//! slice of the snapshot — tiers, artifact evidence, screening flags —
+//! one per `V6xx` rule, under the same exactly-one-rule contract.
 
 use std::collections::BTreeSet;
 use wormhole_lint as lint;
 use wormhole_net::{
-    ControlPlane, Label, LabelValue, LfibEntry, LfibHop, Network, PoppingMode, RouterId,
+    Addr, ControlPlane, Label, LabelValue, LfibEntry, LfibHop, Network, PoppingMode, RouterId,
 };
 use wormhole_topo::{gns3_fig2, gns3_fig2_te, Fig2Config};
 
@@ -342,6 +346,141 @@ fn audit_corruption_caught_by_exactly_the_intended_rule() {
     assert_eq!(info.family, lint::Family::Audit, "{}", class.name);
     // 12 dense classes + this one: the 13-class contract.
     assert_eq!(classes().len() + 1, 13);
+}
+
+/// A clean screened-campaign snapshot the V6xx classes corrupt: one
+/// DPR-revealed tunnel, fully corroborated, every cross-check
+/// consistent. Addresses live in TEST-NET-3 so no fixture network owns
+/// them (A304 stays out of the way).
+fn veracity_fixture() -> lint::CampaignAudit {
+    let ingress = Addr::new(203, 0, 113, 1);
+    let egress = Addr::new(203, 0, 113, 2);
+    let hop = Addr::new(203, 0, 113, 3);
+    lint::CampaignAudit {
+        signatures: vec![
+            (ingress, Some(255), Some(255)),
+            (egress, Some(255), Some(64)),
+            (hop, Some(255), Some(64)),
+        ],
+        tunnels: vec![lint::TunnelAudit {
+            ingress,
+            egress,
+            hops: vec![hop],
+            rtl: Some(2),
+            steps: Vec::new(),
+            method: Some(lint::MethodClaim::Dpr),
+        }],
+        num_traces: 1,
+        probes: 10,
+        revelations: vec![(ingress, egress, lint::RevelationKind::Complete, 1)],
+        veracity: vec![(ingress, egress, lint::VeracityTier::Corroborated)],
+        revelation_artifacts: vec![(ingress, egress, 0, 0, false)],
+        deceptive_plan: true,
+        ..lint::CampaignAudit::default()
+    }
+}
+
+/// One corruption class per V6xx rule, over [`veracity_fixture`].
+fn v6_classes() -> Vec<AuditClass> {
+    vec![
+        AuditClass {
+            name: "rtl-against-cisco-egress",
+            rule: "V601",
+            build: veracity_fixture,
+            corrupt: |a| {
+                // The egress fingerprint flips to <128, 128> (still in
+                // taxonomy, so A301 stays quiet) while the tunnel keeps
+                // its RTLA length — a measurement RTLA cannot make.
+                a.signatures[1] = (a.signatures[1].0, Some(128), Some(128));
+            },
+        },
+        AuditClass {
+            name: "forged-loop-still-corroborated",
+            rule: "V602",
+            build: veracity_fixture,
+            corrupt: |a| {
+                a.revelation_artifacts[0].2 = 1; // a re-trace revisited a hop
+            },
+        },
+        AuditClass {
+            name: "corroborate-hidden-egress",
+            rule: "V603",
+            build: veracity_fixture,
+            corrupt: |a| {
+                // The egress never answered an echo — its er evidence
+                // vanishes (incomplete signature, so A301/V601 skip).
+                a.signatures[1] = (a.signatures[1].0, Some(255), None);
+            },
+        },
+        AuditClass {
+            name: "corroborate-through-stars",
+            rule: "V604",
+            build: veracity_fixture,
+            corrupt: |a| {
+                a.revelation_artifacts[0].3 = 2; // stars in the re-traces
+            },
+        },
+        AuditClass {
+            name: "double-graded-revelation",
+            rule: "V605",
+            build: veracity_fixture,
+            corrupt: |a| {
+                let row = a.veracity[0];
+                a.veracity.push(row); // one revelation, two tiers
+            },
+        },
+        AuditClass {
+            name: "drop-screening-under-deception",
+            rule: "V606",
+            build: veracity_fixture,
+            corrupt: |a| {
+                a.veracity.clear(); // adversarial run, nothing screened
+            },
+        },
+    ]
+}
+
+/// Every V6xx corruption class starts clean, then is caught by exactly
+/// the intended rule.
+#[test]
+fn veracity_corruption_caught_by_exactly_the_intended_rule() {
+    let (net, _) = ldp_plane();
+    for class in v6_classes() {
+        let mut a = (class.build)();
+        let clean: BTreeSet<&'static str> = lint::audit(&net, &a).iter().map(|d| d.code).collect();
+        assert!(
+            clean.is_empty(),
+            "{}: fixture not clean before corruption",
+            class.name
+        );
+        (class.corrupt)(&mut a);
+        let fired: BTreeSet<&'static str> = lint::audit(&net, &a).iter().map(|d| d.code).collect();
+        assert_eq!(
+            fired,
+            BTreeSet::from([class.rule]),
+            "{}: expected exactly {} to fire",
+            class.name,
+            class.rule
+        );
+    }
+}
+
+/// Coverage: every registered V6xx rule is exercised by exactly one
+/// corruption class, bringing the suite to 19 classes in total.
+#[test]
+fn every_veracity_rule_fired_by_a_corruption_class() {
+    let covered: BTreeSet<&str> = v6_classes().iter().map(|c| c.rule).collect();
+    let registered: BTreeSet<&str> = lint::RULES
+        .iter()
+        .filter(|r| r.family == lint::Family::Veracity)
+        .map(|r| r.code)
+        .collect();
+    assert_eq!(covered, registered, "coverage table incomplete");
+    for c in v6_classes() {
+        let info = lint::rule(c.rule).expect("class rule registered");
+        assert_eq!(info.family, lint::Family::Veracity, "{}", c.name);
+    }
+    assert_eq!(classes().len() + 1 + v6_classes().len(), 19);
 }
 
 /// Corrupted planes also fail the combined `check_plane` gate — the

@@ -569,13 +569,16 @@ impl<'a> Engine<'a> {
                 {
                     return Err(self.lost(Some(at), DropReason::Silent));
                 }
+                if self.hides_egress(at, pkt.dst) {
+                    return Err(self.lost(Some(at), DropReason::Silent));
+                }
                 if !self.state.allow_er(at, flags & walk::MPLS != 0) {
                     return Err(self.lost(Some(at), DropReason::RateLimited));
                 }
                 let reply = Packet {
                     src: pkt.dst,
                     dst: pkt.src,
-                    ip_ttl: self.sub.cp.er_init_ttl(at),
+                    ip_ttl: self.reply_init_ttl(at, 1, probe_key(&pkt)),
                     flow: pkt.flow,
                     payload: IcmpPayload::EchoReply { id, seq },
                     stack: LabelStack::empty(),
@@ -772,7 +775,7 @@ impl<'a> Engine<'a> {
                     // LSE expiry: the reply is label-switched to the
                     // end of the LSP unless we are the penultimate
                     // hop (whose action pops the last label).
-                    let hop = pick(&entry.nexthops, f.pkt.flow, cur.0);
+                    let hop = pick(&entry.nexthops, f.pkt.flow, self.ecmp_salt(cur, &f.pkt));
                     let downstream = match hop.action {
                         LabelAction::Swap(l) => Some((l, hop.iface, hop.next)),
                         LabelAction::SwapExplicitNull => {
@@ -783,7 +786,7 @@ impl<'a> Engine<'a> {
                     let path = std::mem::take(&mut f.path);
                     return Some(self.icmp_expired(cur, &f.pkt, f.in_iface_addr, downstream, path));
                 }
-                let hop = *pick(&entry.nexthops, f.pkt.flow, cur.0);
+                let hop = *pick(&entry.nexthops, f.pkt.flow, self.ecmp_salt(cur, &f.pkt));
                 match hop.action {
                     LabelAction::Swap(l) => {
                         if let Some(lse) = f.pkt.stack.top_mut() {
@@ -897,6 +900,53 @@ impl<'a> Engine<'a> {
         Ok(wi.peer_addr)
     }
 
+    /// The initial TTL of an ICMP packet originated at `cur`: the
+    /// control plane's honest vendor value, unless the fault plan's
+    /// quoted-TTL spoof covers `cur` (`kind`: 0 = time-exceeded /
+    /// unreachable, 1 = echo-reply).
+    fn reply_init_ttl(&self, cur: RouterId, kind: u8, key: u64) -> u8 {
+        let honest = if kind == 0 {
+            self.sub.cp.te_init_ttl(cur)
+        } else {
+            self.sub.cp.er_init_ttl(cur)
+        };
+        match self.state.faults.ttl_spoof {
+            Some(t) => t.initial_ttl(cur, kind, key, honest),
+            None => honest,
+        }
+    }
+
+    /// The ECMP salt at `cur` for `pkt`: the router id, perturbed per
+    /// probe when the fault plan makes `cur` a non-Paris load balancer
+    /// (the perturbation is zero for every honest router, so the flow
+    /// hash is untouched on honest paths).
+    fn ecmp_salt(&self, cur: RouterId, pkt: &Packet) -> u32 {
+        match self.state.faults.non_paris {
+            Some(n) => cur.0 ^ n.probe_salt(cur, probe_key(pkt)),
+            None => cur.0,
+        }
+    }
+
+    /// Whether `cur`'s AS hides the interior interface `dst` — the
+    /// egress-hiding deception. Only router-owned, same-AS, non-loopback
+    /// addresses are hidden: host targets and loopback pings stay
+    /// honest, so ordinary traceroutes still complete.
+    fn hides_egress(&self, cur: RouterId, dst: Addr) -> bool {
+        let Some(eh) = self.state.faults.egress_hide else {
+            return false;
+        };
+        let asn = self.sub.cp.router_as_raw(cur);
+        if !eh.hides(asn) {
+            return false;
+        }
+        let Some(owner) = self.sub.cp.owner_of(dst) else {
+            return false;
+        };
+        self.sub.cp.router_as_raw(owner) == asn
+            && self.sub.cp.router_flags(owner) & walk::IS_HOST == 0
+            && self.sub.cp.loopback_addr(owner) != dst
+    }
+
     /// Builds the time-exceeded leg for an expiry at `cur`.
     ///
     /// `downstream` carries the label and wire hop when the reply must
@@ -921,6 +971,13 @@ impl<'a> Engine<'a> {
         if flags & walk::REPLIES == 0
             || (flags & walk::IS_HOST == 0 && self.state.faults.is_persistently_silent(cur))
         {
+            return Leg::Dropped {
+                at: cur,
+                reason: DropReason::Silent,
+                path,
+            };
+        }
+        if self.hides_egress(cur, expired.dst) {
             return Leg::Dropped {
                 at: cur,
                 reason: DropReason::Silent,
@@ -956,7 +1013,7 @@ impl<'a> Engine<'a> {
         let mut reply = Packet {
             src: in_iface_addr.unwrap_or_else(|| self.sub.cp.loopback_addr(cur)),
             dst: expired.src,
-            ip_ttl: self.sub.cp.te_init_ttl(cur),
+            ip_ttl: self.reply_init_ttl(cur, 0, probe_key(expired)),
             flow: expired.flow,
             payload: IcmpPayload::TimeExceeded {
                 quoted_id,
@@ -1011,7 +1068,7 @@ impl<'a> Engine<'a> {
         let reply = Packet {
             src: in_iface_addr.unwrap_or_else(|| self.sub.cp.loopback_addr(cur)),
             dst: pkt.src,
-            ip_ttl: self.sub.cp.te_init_ttl(cur),
+            ip_ttl: self.reply_init_ttl(cur, 0, probe_key(pkt)),
             flow: pkt.flow,
             payload: IcmpPayload::DestUnreachable {
                 quoted_id,
@@ -1082,7 +1139,7 @@ impl<'a> Engine<'a> {
 
     fn intra_hop(&self, cur: RouterId, slot: u32, pkt: &Packet) -> Option<NextHop> {
         let entry = self.sub.cp.fib_entry(cur, slot)?;
-        let &(iface, next) = pick(entry, pkt.flow, cur.0);
+        let &(iface, next) = pick(entry, pkt.flow, self.ecmp_salt(cur, pkt));
         let push = if self.sub.cp.router_flags(cur) & walk::MPLS != 0 {
             match self.sub.cp.bindings.advertised(next, slot) {
                 Some(crate::ldp::LabelValue::Real(l)) => Some(l),
@@ -1094,6 +1151,25 @@ impl<'a> Engine<'a> {
         };
         Some(NextHop { iface, next, push })
     }
+}
+
+/// The per-probe identity the deceptive fault hashes key on: the echo
+/// `(id, seq)` pair of the probe, or of the probe an ICMP error quotes
+/// — so both legs of one probe's flight see the same key.
+fn probe_key(pkt: &Packet) -> u64 {
+    let (id, seq) = match pkt.payload {
+        IcmpPayload::EchoRequest { id, seq } | IcmpPayload::EchoReply { id, seq } => (id, seq),
+        IcmpPayload::TimeExceeded {
+            quoted_id,
+            quoted_seq,
+            ..
+        }
+        | IcmpPayload::DestUnreachable {
+            quoted_id,
+            quoted_seq,
+        } => (quoted_id, quoted_seq),
+    };
+    (u64::from(id) << 16) | u64::from(seq)
 }
 
 /// Deterministic per-flow ECMP choice.
@@ -1575,5 +1651,165 @@ mod tests {
             assert_eq!(format!("{s:?}"), format!("{b:?}"));
         }
         assert_eq!(scalar_eng.stats().lost, batch_eng.stats().lost);
+    }
+
+    #[test]
+    fn ttl_spoofing_router_lies_deterministically() {
+        use crate::fault::TtlSpoof;
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let src = net.router(vp).loopback;
+        let p2 = net.router_by_name("P2").unwrap().id;
+        // Honest baseline: a TTL-4 probe expires at P2, whose
+        // time-exceeded arrives with ip_ttl 248 (init 255, 7 hops back).
+        let honest = {
+            let mut eng = Engine::new(&net, &cp);
+            eng.send(vp, Packet::echo_request(src, target, 4, 1, 1, 1))
+                .reply()
+                .unwrap()
+                .ip_ttl
+        };
+        assert_eq!(honest, 248);
+        // Pick a salt under which P2's spoofed TE init differs from the
+        // honest 255 for the probe key used below ((id=1) << 16 | seq=1).
+        let key = (1u64 << 16) | 1;
+        let salt = (0u64..)
+            .find(|&s| {
+                let t = TtlSpoof {
+                    share: 1.0,
+                    salt: s,
+                    per_probe: false,
+                };
+                t.initial_ttl(p2, 0, key, 255) != 255
+            })
+            .unwrap();
+        let spoof = TtlSpoof {
+            share: 1.0,
+            salt,
+            per_probe: false,
+        };
+        let plan = FaultPlan {
+            ttl_spoof: Some(spoof),
+            ..FaultPlan::default()
+        };
+        let mut eng = Engine::with_faults(&net, &cp, plan, 0);
+        let lied = eng
+            .send(vp, Packet::echo_request(src, target, 4, 1, 1, 1))
+            .reply()
+            .unwrap()
+            .ip_ttl;
+        // Snapping the observed TTL up to the initial-TTL menu (what the
+        // campaign's fingerprint inference does) recovers the forged
+        // initial, not the honest 255.
+        let forged_init = spoof.initial_ttl(p2, 0, key, 255);
+        let infer = |ttl: u8| {
+            [32u8, 64, 128, 255]
+                .into_iter()
+                .find(|&m| m >= ttl)
+                .unwrap()
+        };
+        assert_eq!(infer(honest), 255);
+        assert_eq!(infer(lied), forged_init);
+        assert_ne!(lied, honest, "the spoof must be observable");
+        // Per-router mode: the same lie on every probe.
+        let again = eng
+            .send(vp, Packet::echo_request(src, target, 4, 1, 1, 2))
+            .reply()
+            .unwrap()
+            .ip_ttl;
+        assert_eq!(again, lied);
+    }
+
+    #[test]
+    fn non_paris_lb_forks_same_flow_probes() {
+        use crate::fault::NonParisLb;
+        // A diamond: R1 load-balances two equal-cost paths to R3.
+        let mut b = NetworkBuilder::new();
+        let ip = || RouterConfig::ip_router(Vendor::CiscoIos);
+        let vp = b.add_router("VP", Asn(1), RouterConfig::host());
+        let r1 = b.add_router("R1", Asn(1), ip());
+        let r2a = b.add_router("R2a", Asn(1), ip());
+        let r2b = b.add_router("R2b", Asn(1), ip());
+        let r3 = b.add_router("R3", Asn(1), ip());
+        for (x, y) in [(vp, r1), (r1, r2a), (r1, r2b), (r2a, r3), (r2b, r3)] {
+            b.link(x, y, LinkOpts::default());
+        }
+        let net = b.build().unwrap();
+        let cp = ControlPlane::build(&net).unwrap();
+        let src = net.router(vp).loopback;
+        let dst = net.router(r3).loopback;
+        let mid_router = |eng: &mut Engine, seq: u16| {
+            let out = eng.send(vp, Packet::echo_request(src, dst, 2, 1, 1, seq));
+            net.owner(out.reply().unwrap().from).unwrap()
+        };
+        // Paris-honest: one flow, one path — every probe meets the same
+        // middle router.
+        let mut honest = Engine::new(&net, &cp);
+        let first = mid_router(&mut honest, 0);
+        assert!((1..16).all(|seq| mid_router(&mut honest, seq) == first));
+        // Non-Paris: the same flow forks per probe across both branches,
+        // deterministically per seq.
+        let plan = FaultPlan {
+            non_paris: Some(NonParisLb {
+                share: 1.0,
+                salt: 0x1B4A,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut forked = Engine::with_faults(&net, &cp, plan.clone(), 0);
+        let mids: Vec<RouterId> = (0..16).map(|seq| mid_router(&mut forked, seq)).collect();
+        let distinct: std::collections::HashSet<RouterId> = mids.iter().copied().collect();
+        assert_eq!(distinct.len(), 2, "per-probe hashing must fork the flow");
+        let mut rerun = Engine::with_faults(&net, &cp, plan, 99);
+        let mids2: Vec<RouterId> = (0..16).map(|seq| mid_router(&mut rerun, seq)).collect();
+        assert_eq!(mids, mids2, "forking is pure in the probe key");
+    }
+
+    #[test]
+    fn egress_hiding_as_darkens_interior_interfaces() {
+        use crate::fault::EgressHide;
+        let cfg = RouterConfig::mpls_router(Vendor::CiscoIos);
+        let (net, vp, target) = fig2(cfg.clone(), cfg);
+        let cp = ControlPlane::build(&net).unwrap();
+        let src = net.router(vp).loopback;
+        let p2 = net.router_by_name("P2").unwrap().id;
+        let iface_dst = net.router(p2).ifaces[0].addr;
+        let plan = FaultPlan {
+            egress_hide: Some(EgressHide {
+                share: 1.0,
+                salt: 0xE6E5,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut eng = Engine::with_faults(&net, &cp, plan, 0);
+        // A re-trace aimed at P2's interface: mid-path expiries inside
+        // the hiding AS go dark...
+        let out = eng.send(vp, Packet::echo_request(src, iface_dst, 3, 1, 1, 1));
+        assert!(matches!(
+            out,
+            SendOutcome::Lost {
+                reason: DropReason::Silent,
+                ..
+            }
+        ));
+        // ...and so does delivery at the interface itself.
+        let out = eng.send(vp, Packet::echo_request(src, iface_dst, 64, 1, 1, 2));
+        assert!(matches!(
+            out,
+            SendOutcome::Lost {
+                reason: DropReason::Silent,
+                ..
+            }
+        ));
+        // Host- and loopback-bound probes stay honest: the ordinary
+        // traceroute to the target still completes end to end.
+        for ttl in 1..=7u8 {
+            let out = eng.send(
+                vp,
+                Packet::echo_request(src, target, ttl, 1, 1, 10 + ttl as u16),
+            );
+            assert!(out.reply().is_some(), "honest path broke at ttl {ttl}");
+        }
     }
 }

@@ -23,9 +23,25 @@
 //!   [`crate::state::ProbeState`]), modelling routing churn without
 //!   consuming randomness.
 //!
+//! On top of the *degrading* faults sit three *deceptive* ones — the
+//! adversarial personas of the measurement-artifact literature:
+//!
+//! * **quoted-TTL spoofing** ([`TtlSpoof`]) — routers that lie about
+//!   the initial TTL of the ICMP they emit, breaking the `<255, 64>`
+//!   signature RTLA keys on and poisoning the fingerprint taxonomy;
+//! * **non-Paris load balancers** ([`NonParisLb`]) — routers that hash
+//!   per *probe* instead of per *flow*, forking consecutive probes of
+//!   one traceroute onto different ECMP branches and forging loops,
+//!   cycles, and phantom stars;
+//! * **egress-hiding ASes** ([`EgressHide`]) — ASes that silently drop
+//!   `time-exceeded` for probes aimed at their interior interface
+//!   addresses, starving exactly the DPR re-traces that target a
+//!   suspected egress.
+//!
 //! Only `loss`, `icmp_loss` and `jitter_ms` draw from the worker RNG
 //! stream; every new fault dimension is a pure function of
-//! `(plan, router/link id, virtual time)`, so sharded campaigns stay
+//! `(plan, router/link id, virtual time)` — the deceptive ones of
+//! `(plan, router/AS id, probe key)` — so sharded campaigns stay
 //! byte-identical at any thread count.
 
 use crate::error::NetError;
@@ -105,6 +121,95 @@ impl FlapSchedule {
     }
 }
 
+/// Quoted-TTL deception: a `share` of routers lies about the initial
+/// TTL of every ICMP packet it originates, picked from the common
+/// initial-TTL menu so the spoof survives the campaign's snap-to-menu
+/// inference yet lands on signature pairs outside the honest taxonomy.
+/// With `per_probe` set the lie also varies probe to probe, so the same
+/// router quotes *inconsistent* TTLs across a fingerprint series.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TtlSpoof {
+    /// Fraction of routers that spoof.
+    pub share: f64,
+    /// Hash salt (vary to select a different subset).
+    pub salt: u64,
+    /// Re-roll the spoofed value per probe instead of per router.
+    pub per_probe: bool,
+}
+
+impl TtlSpoof {
+    /// Whether `router` spoofs its quoted TTLs. Pure — no RNG.
+    pub fn contains(&self, router: RouterId) -> bool {
+        in_share(self.salt, u64::from(router.0), self.share)
+    }
+
+    /// The initial TTL `router` pretends to use for a reply of `kind`
+    /// (0 = time-exceeded/unreachable, 1 = echo-reply) to the probe
+    /// identified by `probe_key`. Honest routers return `honest`
+    /// unchanged. Pure — no RNG.
+    pub fn initial_ttl(&self, router: RouterId, kind: u8, probe_key: u64, honest: u8) -> u8 {
+        if !self.contains(router) {
+            return honest;
+        }
+        const MENU: [u8; 4] = [255, 128, 64, 32];
+        let per = if self.per_probe { probe_key } else { 0 };
+        let h = mix(
+            self.salt ^ (0xDE_CE00 + u64::from(kind)),
+            mix(u64::from(router.0), per),
+        );
+        MENU[(h % MENU.len() as u64) as usize]
+    }
+}
+
+/// Non-Paris load balancing: a `share` of routers re-hashes ECMP per
+/// *probe* instead of per *flow*, so consecutive probes of one
+/// traceroute fork onto different branches — the classic source of
+/// forged loops, cycles, and phantom stars (Viger et al.).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NonParisLb {
+    /// Fraction of routers that fork per probe.
+    pub share: f64,
+    /// Hash salt (vary to select a different subset).
+    pub salt: u64,
+}
+
+impl NonParisLb {
+    /// Whether `router` forks per probe. Pure — no RNG.
+    pub fn forks(&self, router: RouterId) -> bool {
+        in_share(self.salt, u64::from(router.0), self.share)
+    }
+
+    /// The extra ECMP salt a forking `router` folds in for the probe
+    /// identified by `probe_key` — zero for non-forking routers, so the
+    /// flow hash stays untouched on the honest path. Pure — no RNG.
+    pub fn probe_salt(&self, router: RouterId, probe_key: u64) -> u32 {
+        if !self.forks(router) {
+            return 0;
+        }
+        (mix(self.salt ^ 0x1B4A, mix(u64::from(router.0), probe_key)) & 0xFFFF_FFFF) as u32
+    }
+}
+
+/// Egress hiding: a `share` of ASes silently drops `time-exceeded`
+/// (and unreachable) generation for probes whose destination is one of
+/// the AS's *interior interface* addresses — exactly the targets DPR
+/// re-traces aim at — while leaving loopback- and host-bound traffic
+/// honest, so ordinary traceroutes still look clean.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct EgressHide {
+    /// Fraction of ASes that hide their interior interfaces.
+    pub share: f64,
+    /// Hash salt (vary to select a different subset).
+    pub salt: u64,
+}
+
+impl EgressHide {
+    /// Whether the AS numbered `asn` hides its interfaces. Pure.
+    pub fn hides(&self, asn: u32) -> bool {
+        in_share(self.salt, u64::from(asn), self.share)
+    }
+}
+
 /// Fault configuration for an [`crate::engine::Engine`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -125,6 +230,12 @@ pub struct FaultPlan {
     pub silent: Option<SilentSet>,
     /// Link-flap schedule.
     pub flaps: Option<FlapSchedule>,
+    /// Quoted-TTL spoofing routers.
+    pub ttl_spoof: Option<TtlSpoof>,
+    /// Non-Paris (per-probe) load balancers.
+    pub non_paris: Option<NonParisLb>,
+    /// Egress-hiding ASes.
+    pub egress_hide: Option<EgressHide>,
 }
 
 impl Default for FaultPlan {
@@ -137,6 +248,9 @@ impl Default for FaultPlan {
             er_limit: None,
             silent: None,
             flaps: None,
+            ttl_spoof: None,
+            non_paris: None,
+            egress_hide: None,
         }
     }
 }
@@ -189,6 +303,15 @@ impl FaultPlan {
         if let Some(s) = &self.silent {
             prob(s.share, "silent.share")?;
         }
+        if let Some(t) = &self.ttl_spoof {
+            prob(t.share, "ttl_spoof.share")?;
+        }
+        if let Some(n) = &self.non_paris {
+            prob(n.share, "non_paris.share")?;
+        }
+        if let Some(e) = &self.egress_hide {
+            prob(e.share, "egress_hide.share")?;
+        }
         if let Some(f) = &self.flaps {
             prob(f.share, "flaps.share")?;
             if !(f.period_ms > 0.0 && f.period_ms.is_finite()) {
@@ -220,15 +343,26 @@ impl FaultPlan {
     /// Random draws (per-crossing RNG consumption), token buckets
     /// (shared per-router state) and flap schedules (sampled at each
     /// probe's clock tick) are all order-sensitive; persistent silence
-    /// is a pure hash of the router id and stays batch-safe. Plans that
-    /// fail this predicate make the batch API fall back to exact
-    /// sequential scalar processing, which keeps results byte-identical
-    /// by construction.
+    /// is a pure hash of the router id and stays batch-safe. The
+    /// deceptive dimensions are pure per probe, but the SoA batch
+    /// walker does not model them, so deceptive plans also fall back.
+    /// Plans that fail this predicate make the batch API fall back to
+    /// exact sequential scalar processing, which keeps results
+    /// byte-identical by construction.
     pub fn batch_safe(&self) -> bool {
         !self.is_random()
             && self.te_limit.is_none()
             && self.er_limit.is_none()
             && self.flaps.is_none()
+            && !self.is_deceptive()
+    }
+
+    /// True when the plan carries any *deceptive* dimension — faults
+    /// that forge plausible-but-wrong evidence (spoofed quoted TTLs,
+    /// per-probe forks, hidden egresses) rather than merely losing or
+    /// throttling honest evidence.
+    pub fn is_deceptive(&self) -> bool {
+        self.ttl_spoof.is_some() || self.non_paris.is_some() || self.egress_hide.is_some()
     }
 
     /// Whether `router` is persistently silent under this plan.
@@ -255,15 +389,31 @@ pub enum FaultScenario {
     /// Everything at once: loss, suppression, jitter, asymmetric MPLS
     /// rate limiting, persistently silent routers, and link flaps.
     Hostile,
+    /// Deceptive quoted TTLs: a share of routers spoofs the initial
+    /// TTL of its ICMP, breaking the `<255, 64>` RTLA assumption and
+    /// poisoning fingerprint signatures. No loss, no RNG.
+    DeceptiveTtl,
+    /// Measurement-artifact load balancers: a share of routers hashes
+    /// ECMP per probe instead of per flow, forging loops, cycles, and
+    /// phantom stars in otherwise clean traces. No loss, no RNG.
+    ArtifactLb,
+    /// The deceptive composite: spoofed-and-randomized quoted TTLs,
+    /// per-probe forks, egress-hiding ASes, and a pinch of persistent
+    /// silence — adversarial, yet still RNG-free and deterministic.
+    Paranoid,
 }
 
 impl FaultScenario {
-    /// Every built-in scenario, in severity order.
-    pub const ALL: [FaultScenario; 4] = [
+    /// Every built-in scenario, in severity order: the degrading
+    /// presets first, then the deceptive ones.
+    pub const ALL: [FaultScenario; 7] = [
         FaultScenario::Clean,
         FaultScenario::LossyCore,
         FaultScenario::RateLimitedEdge,
         FaultScenario::Hostile,
+        FaultScenario::DeceptiveTtl,
+        FaultScenario::ArtifactLb,
+        FaultScenario::Paranoid,
     ];
 
     /// The scenario's canonical CLI name.
@@ -273,6 +423,9 @@ impl FaultScenario {
             FaultScenario::LossyCore => "lossy_core",
             FaultScenario::RateLimitedEdge => "rate_limited_edge",
             FaultScenario::Hostile => "hostile",
+            FaultScenario::DeceptiveTtl => "deceptive_ttl",
+            FaultScenario::ArtifactLb => "artifact_lb",
+            FaultScenario::Paranoid => "paranoid",
         }
     }
 
@@ -331,8 +484,49 @@ impl FaultScenario {
                     period_ms: 5_000.0,
                     down_ms: 400.0,
                 }),
+                ..FaultPlan::default()
+            },
+            FaultScenario::DeceptiveTtl => FaultPlan {
+                ttl_spoof: Some(TtlSpoof {
+                    share: 0.30,
+                    salt: 0xDECE,
+                    per_probe: false,
+                }),
+                ..FaultPlan::default()
+            },
+            FaultScenario::ArtifactLb => FaultPlan {
+                non_paris: Some(NonParisLb {
+                    share: 0.35,
+                    salt: 0x1B4A,
+                }),
+                ..FaultPlan::default()
+            },
+            FaultScenario::Paranoid => FaultPlan {
+                ttl_spoof: Some(TtlSpoof {
+                    share: 0.25,
+                    salt: 0xDECE,
+                    per_probe: true,
+                }),
+                non_paris: Some(NonParisLb {
+                    share: 0.20,
+                    salt: 0x1B4A,
+                }),
+                egress_hide: Some(EgressHide {
+                    share: 0.50,
+                    salt: 0xE6E5,
+                }),
+                silent: Some(SilentSet {
+                    share: 0.03,
+                    salt: 0x5117,
+                }),
+                ..FaultPlan::default()
             },
         }
+    }
+
+    /// Whether the scenario's plan carries deceptive dimensions.
+    pub fn is_deceptive(self) -> bool {
+        self.plan().is_deceptive()
     }
 }
 
@@ -389,6 +583,8 @@ mod tests {
         assert!(p.te_limit.is_none() && p.er_limit.is_none());
         assert!(p.silent.is_none() && p.flaps.is_none());
         assert!(!p.is_random());
+        assert!(!p.is_deceptive());
+        assert!(p.batch_safe());
     }
 
     #[test]
@@ -489,6 +685,95 @@ mod tests {
         }
         let quiet = FlapSchedule { share: 0.0, ..f };
         assert!((0..1000).all(|t| !quiet.is_down(link, t as f64)));
+    }
+
+    #[test]
+    fn ttl_spoof_is_pure_and_menu_bound() {
+        let t = TtlSpoof {
+            share: 1.0,
+            salt: 0xDECE,
+            per_probe: false,
+        };
+        for r in 0..200u32 {
+            let v = t.initial_ttl(RouterId(r), 0, 7, 255);
+            assert_eq!(v, t.initial_ttl(RouterId(r), 0, 99, 255), "per-router");
+            assert!([255, 128, 64, 32].contains(&v), "menu-bound: {v}");
+        }
+        // Some router must actually lie about the <255, 64> pair.
+        assert!((0..200u32).any(|r| t.initial_ttl(RouterId(r), 0, 0, 255) != 255));
+        assert!((0..200u32).any(|r| t.initial_ttl(RouterId(r), 1, 0, 64) != 64));
+        // per_probe re-rolls across probes but stays deterministic.
+        let p = TtlSpoof {
+            per_probe: true,
+            ..t
+        };
+        assert!((0..64u64)
+            .any(|k| p.initial_ttl(RouterId(3), 0, k, 255)
+                != p.initial_ttl(RouterId(3), 0, k + 64, 255)));
+        assert_eq!(
+            p.initial_ttl(RouterId(3), 0, 5, 255),
+            p.initial_ttl(RouterId(3), 0, 5, 255)
+        );
+        // Out-of-share routers stay honest.
+        let none = TtlSpoof { share: 0.0, ..t };
+        assert!((0..100u32).all(|r| none.initial_ttl(RouterId(r), 0, 0, 255) == 255));
+    }
+
+    #[test]
+    fn non_paris_perturbs_only_forking_routers() {
+        let n = NonParisLb {
+            share: 0.5,
+            salt: 0x1B4A,
+        };
+        let forking = (0..100u32).filter(|&r| n.forks(RouterId(r))).count();
+        assert!(
+            (25..75).contains(&forking),
+            "share miscalibrated: {forking}"
+        );
+        for r in 0..100u32 {
+            let rid = RouterId(r);
+            if n.forks(rid) {
+                // Per-probe: distinct keys yield distinct salts somewhere.
+                assert_eq!(n.probe_salt(rid, 4), n.probe_salt(rid, 4));
+            } else {
+                assert_eq!(n.probe_salt(rid, 4), 0, "honest routers unsalted");
+            }
+        }
+        let rid = (0..100u32).map(RouterId).find(|&r| n.forks(r)).unwrap();
+        assert!((0..32u64).any(|k| n.probe_salt(rid, k) != n.probe_salt(rid, k + 32)));
+    }
+
+    #[test]
+    fn egress_hide_selects_ases_purely() {
+        let e = EgressHide {
+            share: 0.5,
+            salt: 0xE6E5,
+        };
+        let hidden = (0..1000u32).filter(|&a| e.hides(a)).count();
+        assert!(
+            (400..600).contains(&hidden),
+            "share miscalibrated: {hidden}"
+        );
+        assert_eq!(e.hides(77), e.hides(77));
+        let none = EgressHide { share: 0.0, ..e };
+        assert!((0..100u32).all(|a| !none.hides(a)));
+    }
+
+    #[test]
+    fn deceptive_plans_fall_back_to_scalar() {
+        for sc in [
+            FaultScenario::DeceptiveTtl,
+            FaultScenario::ArtifactLb,
+            FaultScenario::Paranoid,
+        ] {
+            let p = sc.plan();
+            assert!(p.is_deceptive(), "{} is deceptive", sc.name());
+            assert!(!p.is_random(), "{} never draws RNG", sc.name());
+            assert!(!p.batch_safe(), "{} must fall back to scalar", sc.name());
+        }
+        for sc in [FaultScenario::Clean, FaultScenario::Hostile] {
+            assert!(!sc.plan().is_deceptive(), "{} stays honest", sc.name());
+        }
     }
 
     #[test]

@@ -74,7 +74,8 @@ pub use control::{
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;
 pub use fault::{
-    trace_seed, worker_seed, FaultPlan, FaultScenario, FlapSchedule, RateLimit, SilentSet,
+    trace_seed, worker_seed, EgressHide, FaultPlan, FaultScenario, FlapSchedule, NonParisLb,
+    RateLimit, SilentSet, TtlSpoof,
 };
 pub use ids::{Asn, Label, LinkId, PortRef, RouterId};
 pub use igp::AsIgp;

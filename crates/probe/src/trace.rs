@@ -145,6 +145,25 @@ impl Trace {
     pub fn responsive_count(&self) -> usize {
         self.hops.iter().filter(|h| h.addr.is_some()).count()
     }
+
+    /// Number of responsive hops whose address already appeared at an
+    /// earlier TTL of this trace. Deterministic per-flow forwarding
+    /// never revisits a router, so a non-zero count is positive evidence
+    /// of a forged loop/cycle artifact (a non-Paris load balancer
+    /// forking the per-probe path; Viger et al.).
+    pub fn revisits(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.hops
+            .iter()
+            .filter_map(|h| h.addr)
+            .filter(|&a| !seen.insert(a))
+            .count()
+    }
+
+    /// Number of non-responsive hops (`*`).
+    pub fn stars(&self) -> usize {
+        self.hops.len() - self.responsive_count()
+    }
 }
 
 impl fmt::Display for Trace {
@@ -239,5 +258,17 @@ mod tests {
         let t = sample();
         assert!(t.hop_of(Addr::new(10, 0, 0, 3)).is_some());
         assert!(t.hop_of(Addr::new(10, 0, 0, 99)).is_none());
+    }
+
+    #[test]
+    fn revisits_counts_forged_loops() {
+        let mut t = sample();
+        assert_eq!(t.revisits(), 0);
+        assert_eq!(t.stars(), 1);
+        // The TTL-1 router "reappears" at TTL 4 — a loop artifact.
+        t.hops.push(hop(4, 1));
+        assert_eq!(t.revisits(), 1);
+        t.hops.push(hop(5, 1));
+        assert_eq!(t.revisits(), 2);
     }
 }

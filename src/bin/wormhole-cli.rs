@@ -9,7 +9,9 @@
 //!                       [--jobs N] [--faults <scenario>] [--stealing]
 //!                       [--emit summary|jsonl|report]
 //!                                        full §4 campaign; scenarios:
-//!                                        clean, lossy_core, rate_limited_edge, hostile.
+//!                                        clean, lossy_core, rate_limited_edge, hostile,
+//!                                        deceptive_ttl, artifact_lb, paranoid
+//!                                        (`--faults list` prints them).
 //!                                        --emit jsonl streams one line per merged
 //!                                        trace (the same path wormhole-serve uses);
 //!                                        --emit report prints the canonical
@@ -62,7 +64,8 @@ fn usage() -> ExitCode {
          | campaign [quick|paper|tenfold|thousandfold] [--jobs N] [--faults <scenario>] \
          [--stealing] [--emit summary|jsonl|report] | list-configs\n\
          configs: {}\n\
-         fault scenarios: clean, lossy_core, rate_limited_edge, hostile",
+         fault scenarios: clean, lossy_core, rate_limited_edge, hostile, deceptive_ttl, \
+         artifact_lb, paranoid (--faults list prints them)",
         CONFIGS
             .iter()
             .map(|&(n, _)| n)
@@ -215,11 +218,21 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--faults" => match it.next().and_then(|v| FaultScenario::parse(v)) {
-                Some(sc) => faults = sc,
-                None => {
+            "--faults" => match it.next().map(String::as_str) {
+                // Escape hatch: `--faults list` prints the scenario
+                // names (one per line, script-friendly) and exits.
+                Some("list") => {
+                    for sc in FaultScenario::ALL {
+                        println!("{}", sc.name());
+                    }
+                    return ExitCode::SUCCESS;
+                }
+                Some(v) if FaultScenario::parse(v).is_some() => {
+                    faults = FaultScenario::parse(v).expect("just checked");
+                }
+                _ => {
                     eprintln!(
-                        "--faults needs a scenario: {}",
+                        "--faults needs a scenario (or 'list'): {}",
                         FaultScenario::ALL.map(FaultScenario::name).join(", ")
                     );
                     return ExitCode::FAILURE;

@@ -236,6 +236,62 @@ fn batched_walk_matches_scalar_paper_scale() {
 }
 
 #[test]
+fn batched_walk_matches_scalar_under_deception() {
+    // The deceptive scenarios are excluded from the SoA batch fast
+    // path (`FaultPlan::batch_safe`), so a batched campaign config must
+    // take the scalar fallback and still land on the same bytes and
+    // engine counters at every (batch_width, jobs) combination.
+    let internet = generate(&InternetConfig::small(17));
+    for name in ["deceptive_ttl", "artifact_lb", "paranoid"] {
+        let scenario = FaultScenario::ALL
+            .iter()
+            .find(|s| s.name() == name)
+            .unwrap_or_else(|| panic!("{name} scenario exists"));
+        assert!(
+            !scenario.plan().batch_safe(),
+            "{name} must be excluded from the batched walk"
+        );
+        for scheduling in [Scheduling::VpBatches, Scheduling::Stealing] {
+            assert_batched_matches_scalar(&internet, scenario.plan(), scheduling, 6);
+        }
+    }
+}
+
+#[test]
+fn stealing_survives_the_paranoid_scenario_at_any_worker_count() {
+    // The paranoid composite layers every deception (spoofed quoted
+    // TTLs, per-probe forking, egress hiding, silence) on top of the
+    // stealing executor's arbitrary task interleaving; reports must
+    // still be byte-identical at every worker count.
+    let internet = generate(&InternetConfig::small(17));
+    let paranoid = FaultScenario::ALL
+        .iter()
+        .find(|s| s.name() == "paranoid")
+        .expect("paranoid scenario exists");
+    let run = |jobs: usize| {
+        let cfg = CampaignConfig {
+            hdn_threshold: 6,
+            faults: paranoid.plan(),
+            seed: 5,
+            jobs,
+            scheduling: Scheduling::Stealing,
+            ..CampaignConfig::default()
+        };
+        Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg)
+            .run()
+            .report()
+    };
+    let serial = run(1);
+    for jobs in [2, 4] {
+        assert_eq!(
+            serial,
+            run(jobs),
+            "paranoid stealing diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 #[ignore = "tenfold scale: run in release CI via --include-ignored"]
 fn batched_walk_matches_scalar_tenfold_scale() {
     let internet = generate(&InternetConfig::tenfold(8));

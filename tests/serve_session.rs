@@ -143,6 +143,17 @@ fn ping_trace_and_errors_round_trip() {
         .expect("bad scale");
     assert_eq!(str_field(&frames[0], "type").as_deref(), Some("error"));
 
+    // An unknown fault scenario answers with a typed error frame naming
+    // the offender — never a silent fallback to a clean campaign.
+    let frames = c
+        .request(r#"{"cmd":"campaign","scale":"quick","faults":"gremlins"}"#)
+        .expect("bad scenario");
+    assert_eq!(str_field(&frames[0], "type").as_deref(), Some("error"));
+    assert_eq!(
+        str_field(&frames[0], "error").as_deref(),
+        Some("unknown fault scenario gremlins")
+    );
+
     // The connection is still usable after errors.
     let frames = c.request(r#"{"cmd":"ping"}"#).expect("ping after error");
     assert_eq!(str_field(&frames[0], "type").as_deref(), Some("pong"));
