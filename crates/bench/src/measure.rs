@@ -7,11 +7,12 @@
 //! JSON is emitted (and re-parsed) by hand — one run object per line —
 //! to keep the bench crate free of serialisation dependencies.
 
+use std::path::PathBuf;
 use std::time::Instant;
-use wormhole_core::{Campaign, CampaignConfig, Scheduling};
+use wormhole_core::{Campaign, CampaignConfig, DistributedOpts, Scheduling};
 use wormhole_net::{Addr, ControlPlane, FaultPlan, FaultScenario, ProbeState, SubstrateRef};
-use wormhole_probe::Session;
-use wormhole_topo::{generate, Internet, InternetConfig};
+use wormhole_probe::{NullSink, Session};
+use wormhole_topo::{generate, generate_cached, CacheStatus, Internet, InternetConfig};
 
 /// One timed §4 campaign at a fixed worker count, fault scenario and
 /// executor, with the per-phase breakdown the campaign itself reports.
@@ -161,6 +162,122 @@ pub fn measure_scale(
     }
 }
 
+/// One timed multi-process campaign: `workers` worker processes, one
+/// shard file each, merged file-level by the master.
+#[derive(Clone, Debug)]
+pub struct DistRun {
+    /// Scale name the run belongs to.
+    pub scale: &'static str,
+    /// Worker *process* count.
+    pub workers: usize,
+    /// Probe packets across all workers (merged master-side count).
+    pub probes: u64,
+    /// End-to-end wall seconds, process spawns and merges included.
+    pub seconds: f64,
+    /// Headline throughput (`probes / seconds`).
+    pub probes_per_sec: f64,
+}
+
+/// Cold-build versus warm-restore wall seconds for the on-disk
+/// substrate cache at one scale. The acceptance bar is a *ratio* —
+/// `warm_seconds <= 0.5 * cold_seconds` — so the gate holds on any
+/// runner speed.
+#[derive(Clone, Debug)]
+pub struct CacheBench {
+    /// Scale name the timings belong to.
+    pub scale: &'static str,
+    /// Wall seconds for the cold pass: generate, build, save.
+    pub cold_seconds: f64,
+    /// Wall seconds for the warm pass: generate topology, restore the
+    /// control plane from disk (fastest of three restores).
+    pub warm_seconds: f64,
+}
+
+/// Times one distributed campaign over an already-generated Internet.
+/// `worker_cmd` is the argv prefix re-invoked per worker (the caller
+/// supplies its own binary's worker mode); `cache` points every worker
+/// at a prewarmed substrate-cache file so the run measures the steady
+/// state, not N redundant control-plane builds. One timed run — each
+/// phase already spawns `workers` processes, so the run is its own
+/// repetition — and the work dir is cleaned up afterwards.
+pub fn time_distributed(
+    scale: &'static str,
+    internet: &Internet,
+    workers: usize,
+    worker_cmd: Vec<String>,
+    substrate_token: &str,
+    cache: Option<(PathBuf, u64)>,
+) -> DistRun {
+    let work_dir = std::env::temp_dir().join(format!(
+        "wormhole-bench-dist-{scale}-{}",
+        std::process::id()
+    ));
+    let opts = DistributedOpts {
+        workers,
+        worker_cmd,
+        substrate_token: substrate_token.to_string(),
+        work_dir: work_dir.clone(),
+        cache,
+        keep_files: false,
+        chaos_abort_worker: None,
+    };
+    let campaign = Campaign::new(
+        &internet.net,
+        &internet.cp,
+        internet.vps.clone(),
+        CampaignConfig {
+            hdn_threshold: 9,
+            jobs: 1,
+            faults: FaultScenario::Clean.plan(),
+            scheduling: Scheduling::Stealing,
+            ..CampaignConfig::default()
+        },
+    );
+    let t0 = Instant::now();
+    let result = campaign
+        .run_distributed(&mut NullSink, &opts)
+        .expect("distributed bench campaign");
+    let seconds = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir(&work_dir);
+    DistRun {
+        scale,
+        workers,
+        probes: result.probes,
+        seconds,
+        probes_per_sec: result.probes as f64 / seconds,
+    }
+}
+
+/// Times the substrate cache at one scale in a scratch directory: one
+/// cold pass (build + save), then the fastest of three warm restores.
+/// Panics if the cache does not actually go cold-then-warm — a silently
+/// cold second pass would fake a regression.
+pub fn time_cache(scale: &'static str, cfg: &InternetConfig) -> CacheBench {
+    let dir = std::env::temp_dir().join(format!(
+        "wormhole-bench-cache-{scale}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create cache scratch dir");
+    let t0 = Instant::now();
+    let (_internet, status) = generate_cached(cfg, &dir).expect("cold cache pass");
+    let cold_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(status, CacheStatus::Cold, "first pass must build the cache");
+    let mut warm_seconds = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (_internet, status) = generate_cached(cfg, &dir).expect("warm cache pass");
+        warm_seconds = warm_seconds.min(t.elapsed().as_secs_f64());
+        assert_eq!(status, CacheStatus::Warm, "later passes must restore");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    CacheBench {
+        scale,
+        cold_seconds,
+        warm_seconds,
+    }
+}
+
 /// One human-readable line per run, for bench and CI logs.
 pub fn summary_lines(scales: &[ScaleBench]) -> Vec<String> {
     scales
@@ -187,7 +304,44 @@ pub fn summary_lines(scales: &[ScaleBench]) -> Vec<String> {
 }
 
 /// Renders campaign measurements as the `BENCH_campaign.json` document.
-pub fn campaign_json(scales: &[ScaleBench]) -> String {
+/// Distributed and substrate-cache rows are optional sections — an
+/// emitter with nothing to report (the Criterion bench, which has no
+/// worker binary on hand) omits them rather than writing empty arrays,
+/// and each row carries its scale inline so the one-line parsers stay
+/// line-local.
+pub fn campaign_json(scales: &[ScaleBench], dist: &[DistRun], cache: &[CacheBench]) -> String {
+    let mut tail = String::new();
+    if !dist.is_empty() {
+        let rows: Vec<String> = dist
+            .iter()
+            .map(|d| {
+                format!(
+                    "    {{\"scale\": \"{}\", \"workers\": {}, \"probes\": {}, \
+                     \"seconds\": {:.6}, \"probes_per_sec\": {:.1}}}",
+                    d.scale, d.workers, d.probes, d.seconds, d.probes_per_sec
+                )
+            })
+            .collect();
+        tail.push_str(&format!(
+            ",\n  \"distributed\": [\n{}\n  ]",
+            rows.join(",\n")
+        ));
+    }
+    if !cache.is_empty() {
+        let rows: Vec<String> = cache
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"scale\": \"{}\", \"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}}}",
+                    c.scale, c.cold_seconds, c.warm_seconds
+                )
+            })
+            .collect();
+        tail.push_str(&format!(
+            ",\n  \"substrate_cache\": [\n{}\n  ]",
+            rows.join(",\n")
+        ));
+    }
     let sections: Vec<String> = scales
         .iter()
         .map(|s| {
@@ -225,7 +379,7 @@ pub fn campaign_json(scales: &[ScaleBench]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"campaign\",\n  \"cores\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"campaign\",\n  \"cores\": {},\n  \"scales\": [\n{}\n  ]{tail}\n}}\n",
         cores(),
         sections.join(",\n")
     )
@@ -427,6 +581,61 @@ pub fn parse_campaign_baseline(json: &str) -> Vec<BaselineRun> {
     out
 }
 
+/// A `(scale, workers)` distributed-campaign throughput entry from a
+/// committed `BENCH_campaign.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistBaseline {
+    /// Scale name the run belongs to.
+    pub scale: String,
+    /// Worker process count.
+    pub workers: usize,
+    /// Committed throughput.
+    pub probes_per_sec: f64,
+}
+
+/// Extracts the distributed-campaign rows from a `BENCH_campaign.json`
+/// document. Keys each line on `"workers":` + `"probes_per_sec":` —
+/// the in-process runs carry `"jobs":` instead, so the two row kinds
+/// never collide (and [`parse_campaign_baseline`] skips these lines
+/// for the same reason).
+pub fn parse_distributed_baseline(json: &str) -> Vec<DistBaseline> {
+    json.lines()
+        .filter_map(|line| {
+            Some(DistBaseline {
+                scale: str_field(line, "scale")?,
+                workers: num_field(line, "workers")? as usize,
+                probes_per_sec: num_field(line, "probes_per_sec")?,
+            })
+        })
+        .collect()
+}
+
+/// A substrate-cache cold/warm timing entry from a committed
+/// `BENCH_campaign.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheBaseline {
+    /// Scale name the timings belong to.
+    pub scale: String,
+    /// Committed cold-pass wall seconds.
+    pub cold_seconds: f64,
+    /// Committed warm-pass wall seconds.
+    pub warm_seconds: f64,
+}
+
+/// Extracts the substrate-cache rows from a `BENCH_campaign.json`
+/// document, keyed on `"cold_seconds":` + `"warm_seconds":`.
+pub fn parse_cache_baseline(json: &str) -> Vec<CacheBaseline> {
+    json.lines()
+        .filter_map(|line| {
+            Some(CacheBaseline {
+                scale: str_field(line, "scale")?,
+                cold_seconds: num_field(line, "cold_seconds")?,
+                warm_seconds: num_field(line, "warm_seconds")?,
+            })
+        })
+        .collect()
+}
+
 /// A named walk-throughput row extracted from a committed
 /// `BENCH_engine.json`.
 #[derive(Clone, Debug, PartialEq)]
@@ -512,9 +721,27 @@ mod tests {
         }]
     }
 
+    fn sample_dist() -> Vec<DistRun> {
+        vec![DistRun {
+            scale: "tenfold",
+            workers: 2,
+            probes: 27146,
+            seconds: 4.2,
+            probes_per_sec: 6463.3,
+        }]
+    }
+
+    fn sample_cache() -> Vec<CacheBench> {
+        vec![CacheBench {
+            scale: "thousandfold",
+            cold_seconds: 2.4,
+            warm_seconds: 0.6,
+        }]
+    }
+
     #[test]
     fn campaign_json_round_trips_through_the_baseline_parser() {
-        let json = campaign_json(&sample_scales());
+        let json = campaign_json(&sample_scales(), &[], &[]);
         let runs = parse_campaign_baseline(&json);
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[0].scale, "tenfold");
@@ -527,6 +754,31 @@ mod tests {
         assert_eq!(runs[1].faults, "hostile");
         assert_eq!(runs[1].scheduling, "stealing");
         assert!((runs[1].analysis_seconds.expect("analysis row") - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributed_and_cache_rows_round_trip_without_confusing_the_run_parser() {
+        let json = campaign_json(&sample_scales(), &sample_dist(), &sample_cache());
+
+        let dist = parse_distributed_baseline(&json);
+        assert_eq!(dist.len(), 1);
+        assert_eq!(dist[0].scale, "tenfold");
+        assert_eq!(dist[0].workers, 2);
+        assert!((dist[0].probes_per_sec - 6463.3).abs() < 0.2);
+
+        let cache = parse_cache_baseline(&json);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache[0].scale, "thousandfold");
+        assert!((cache[0].cold_seconds - 2.4).abs() < 1e-9);
+        assert!((cache[0].warm_seconds - 0.6).abs() < 1e-9);
+
+        // The legacy in-process parser must not pick the new rows up
+        // as campaign runs — they carry no "jobs" field by design.
+        assert_eq!(parse_campaign_baseline(&json).len(), 2);
+        // And a baseline without the new sections parses to empty.
+        let bare = campaign_json(&sample_scales(), &[], &[]);
+        assert!(parse_distributed_baseline(&bare).is_empty());
+        assert!(parse_cache_baseline(&bare).is_empty());
     }
 
     #[test]

@@ -27,12 +27,14 @@
 //! any thread count. Each VP's fault RNG stream is derived from
 //! `(seed, vp_index)` via [`wormhole_net::worker_seed`].
 
+use crate::distributed::{DistDispatcher, DistError, DistSummary, DistributedOpts};
 use crate::fingerprint::FingerprintTable;
 use crate::reveal::{reveal_between, AbandonReason, RevealOpts, RevelationOutcome};
 use crate::shard;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
 use std::time::Instant;
+use wormhole_net::wire::Wire;
 use wormhole_net::{
     trace_seed, Addr, Asn, ControlPlane, EngineStats, FaultPlan, Network, ProbeState, ReplyKind,
     RouterId, SubstrateRef, BATCH_WIDTH,
@@ -80,6 +82,11 @@ pub struct CampaignConfig {
     /// strategy, not a semantic switch — so this defaults to the
     /// engine's native [`wormhole_net::BATCH_WIDTH`].
     pub batch_width: usize,
+    /// Which engine walk the [`Scheduling::VpBatches`] probing phases
+    /// drive; see [`WalkMode`]. Byte-identical at every setting — the
+    /// batched SoA walk is an execution strategy, not a semantic
+    /// switch — so the default picks per substrate size.
+    pub walk_mode: WalkMode,
     /// Run the lint-before-simulate gate (deny `Error`-level static
     /// analysis findings, including the `D5xx` dense-plane verifier
     /// over the flat tables the walk runs on — so a plane built with
@@ -124,12 +131,35 @@ impl Default for CampaignConfig {
             jobs: 1,
             scheduling: Scheduling::VpBatches,
             batch_width: BATCH_WIDTH,
+            walk_mode: WalkMode::Auto,
             lint_gate: cfg!(debug_assertions),
             chaos_panic_vp: None,
             screen_revelations: true,
             keep_bootstrap_paths: false,
         }
     }
+}
+
+/// Routers at or below this count keep the scalar walk under
+/// [`WalkMode::Auto`]: small planes stay cache-resident, where the
+/// batched walk's lane bookkeeping costs more than it amortizes.
+pub const WALK_AUTO_THRESHOLD: usize = 8192;
+
+/// Which engine walk the probing phases drive. Every mode produces
+/// byte-identical campaign reports — the batched SoA walk advances the
+/// same probe sequence lane by lane — so this knob only trades wall
+/// clock, like [`CampaignConfig::jobs`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum WalkMode {
+    /// Scalar while the substrate has at most [`WALK_AUTO_THRESHOLD`]
+    /// routers (the dense plane stays cache-resident and the batched
+    /// walk's lane bookkeeping dominates), batched beyond that.
+    #[default]
+    Auto,
+    /// Always the scalar walk.
+    Scalar,
+    /// Always the batched SoA walk at [`CampaignConfig::batch_width`].
+    Batched,
 }
 
 /// How the probing phases distribute work over worker threads.
@@ -309,6 +339,11 @@ pub struct CampaignResult {
     /// The bootstrap IP paths, kept only when
     /// [`CampaignConfig::keep_bootstrap_paths`] is set; empty otherwise.
     pub bootstrap_paths: Vec<Vec<Option<Addr>>>,
+    /// Cross-process shard accounting, present only when the run was
+    /// distributed ([`Campaign::run_distributed`]). Excluded from
+    /// [`Self::report`] — a distributed run's report must stay
+    /// byte-identical to the in-process run it mirrors.
+    pub dist: Option<DistSummary>,
 }
 
 impl CampaignResult {
@@ -490,9 +525,49 @@ impl std::fmt::Display for CampaignReport {
 
 /// Folds a phase tag and up to two identifying addresses into the seed
 /// key of a stolen task, so a VP probing the same address in two
-/// different phases still draws from two distinct RNG streams.
-fn steal_key(tag: u64, a: u64, b: u64) -> u64 {
+/// different phases still draws from two distinct RNG streams. Shared
+/// with the distributed worker ([`crate::distributed`]), which must
+/// re-derive the exact keys the in-process executor would use.
+pub(crate) fn steal_key(tag: u64, a: u64, b: u64) -> u64 {
     (tag << 56) ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ b
+}
+
+/// What one revelation task produces: the candidate pair, the recursion
+/// outcome, and the echo-reply pings of any newly revealed hops.
+pub(crate) type RevealPayload = ((Addr, Addr), RevelationOutcome, Vec<(Addr, Option<u8>)>);
+
+/// One revelation task: the DPR/BRPR recursion over `(x, y, d)` plus
+/// the echo-reply pings of hops phase 4 did not already discover. The
+/// already-pinged dedup is per task — a stolen (or remote) task cannot
+/// see what its VP's other tasks revealed without depending on
+/// execution order. Shared verbatim by the in-process stealing closure
+/// and the distributed worker so both produce identical payloads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reveal_one(
+    sess: &mut Session<'_>,
+    g: usize,
+    x: Addr,
+    y: Addr,
+    d: Addr,
+    opts: &RevealOpts,
+    discovered: &BTreeSet<Addr>,
+    fingerprint: bool,
+) -> (usize, RevealPayload) {
+    let out = reveal_between(sess, x, y, d, opts);
+    let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
+    if fingerprint {
+        let mut pinged: HashSet<Addr> = HashSet::new();
+        if let Some(t) = out.tunnel() {
+            for step in &t.steps {
+                for h in &step.new_hops {
+                    if !discovered.contains(&h.addr) && pinged.insert(h.addr) {
+                        ers.push((h.addr, sess.ping(h.addr).reply_ip_ttl()));
+                    }
+                }
+            }
+        }
+    }
+    (g, ((x, y), out, ers))
 }
 
 /// Feeds a VP's ordered `(global_index, target)` batch through the
@@ -696,11 +771,63 @@ impl<'a> Campaign<'a> {
     /// emission path behind `wormhole-cli campaign --emit jsonl` and
     /// `wormhole-serve`.
     pub fn run_streaming(&self, sink: &mut dyn TraceSink) -> CampaignResult {
+        self.run_inner(sink, None)
+    }
+
+    /// [`Campaign::run_streaming`] with every stealing probing phase
+    /// executed by worker *processes* instead of threads: the phase
+    /// queue is partitioned by owning vantage point, each worker gets a
+    /// shard-spec file and writes a canonical shard file back, and the
+    /// master merges the files deterministically — see
+    /// [`crate::distributed`] for the formats and the byte-identity
+    /// argument. The returned result carries the cross-process
+    /// accounting in [`CampaignResult::dist`]; its report is
+    /// byte-identical to an in-process `jobs = 1` stealing run.
+    ///
+    /// Requires [`Scheduling::Stealing`]: only per-task hermetic
+    /// sessions make a task independent of the process that ran it.
+    pub fn run_distributed(
+        &self,
+        sink: &mut dyn TraceSink,
+        opts: &DistributedOpts,
+    ) -> Result<CampaignResult, DistError> {
+        if self.cfg.scheduling != Scheduling::Stealing {
+            return Err(DistError::NotStealing);
+        }
+        let mut dispatcher = DistDispatcher::new(
+            opts,
+            self.vps.len(),
+            self.cfg.seed,
+            self.cfg.faults.clone(),
+            self.cfg.trace_opts.clone(),
+        )?;
+        let mut result = self.run_inner(sink, Some(&mut dispatcher));
+        result.dist = Some(dispatcher.into_summary());
+        Ok(result)
+    }
+
+    fn run_inner(
+        &self,
+        sink: &mut dyn TraceSink,
+        mut dist: Option<&mut DistDispatcher<'_>>,
+    ) -> CampaignResult {
         let stealing = self.cfg.scheduling == Scheduling::Stealing;
-        // Engine batch width for the VP-batch probing phases, and the
-        // task-claim chunk size for the stealing executor.
-        let bw = self.cfg.batch_width;
-        let steal_chunk = bw.max(1);
+        // Engine batch width for the VP-batch probing phases (resolved
+        // through the walk-mode policy), and the task-claim chunk size
+        // for the stealing executor (always tied to `batch_width`: a
+        // claim's size can never change results, only contention).
+        let bw = match self.cfg.walk_mode {
+            WalkMode::Scalar => 1,
+            WalkMode::Batched => self.cfg.batch_width,
+            WalkMode::Auto => {
+                if self.net().num_routers() <= WALK_AUTO_THRESHOLD {
+                    1
+                } else {
+                    self.cfg.batch_width
+                }
+            }
+        };
+        let steal_chunk = self.cfg.batch_width.max(1);
         // Long-lived per-VP sessions only exist in batch mode; stealing
         // builds a hermetic session per task instead.
         let mut sessions = if stealing {
@@ -710,6 +837,8 @@ impl<'a> Campaign<'a> {
         };
         let n_vps = self.vps.len();
         let jobs = self.resolved_jobs();
+        // Merge buffers shared by every stealing phase of this run.
+        let mut merge_scratch = shard::MergeScratch::new(n_vps);
         let mut degraded: Vec<DegradedShard> = Vec::new();
         let mut dead = vec![false; n_vps];
         let mut stolen_probes = vec![0u64; n_vps];
@@ -757,14 +886,18 @@ impl<'a> Campaign<'a> {
                     task: (g, t),
                 })
                 .collect();
-            let (shards, probes, es) = shard::run_stealing(
-                n_vps,
-                queue,
-                jobs,
-                steal_chunk,
-                &make_session,
-                &|sess, (g, t)| (g, sess.traceroute(t).addr_path()),
-            );
+            let (shards, probes, es) = match dist.as_deref_mut() {
+                Some(d) => d.dispatch(1, "bootstrap", &queue, &[]),
+                None => shard::run_stealing(
+                    n_vps,
+                    queue,
+                    jobs,
+                    steal_chunk,
+                    &mut merge_scratch,
+                    &make_session,
+                    &|sess, (g, t)| (g, sess.traceroute(t).addr_path()),
+                ),
+            };
             engine_totals.merge(&es);
             for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                 *acc += p;
@@ -843,19 +976,23 @@ impl<'a> Campaign<'a> {
                     task: (i, t),
                 })
                 .collect();
-            let (shards, probes, es) = shard::run_stealing(
-                n_vps,
-                queue,
-                jobs,
-                steal_chunk,
-                &make_session,
-                &|sess, (g, t)| {
-                    if let Some((idx, vp)) = chaos {
-                        assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
-                    }
-                    (g, sess.traceroute(t))
-                },
-            );
+            let (shards, probes, es) = match dist.as_deref_mut() {
+                Some(d) => d.dispatch(2, "probe", &queue, &[]),
+                None => shard::run_stealing(
+                    n_vps,
+                    queue,
+                    jobs,
+                    steal_chunk,
+                    &mut merge_scratch,
+                    &make_session,
+                    &|sess, (g, t)| {
+                        if let Some((idx, vp)) = chaos {
+                            assert!(sess.vp() != vp, "chaos: injected worker panic (vp {idx})");
+                        }
+                        (g, sess.traceroute(t))
+                    },
+                ),
+            };
             engine_totals.merge(&es);
             for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                 *acc += p;
@@ -948,14 +1085,18 @@ impl<'a> Campaign<'a> {
                         })
                     })
                     .collect();
-                let (shards, probes, es) = shard::run_stealing(
-                    n_vps,
-                    queue,
-                    jobs,
-                    steal_chunk,
-                    &make_session,
-                    &|sess, (g, addr)| (g, addr, sess.ping(addr)),
-                );
+                let (shards, probes, es) = match dist.as_deref_mut() {
+                    Some(d) => d.dispatch(3, "fingerprint", &queue, &[]),
+                    None => shard::run_stealing(
+                        n_vps,
+                        queue,
+                        jobs,
+                        steal_chunk,
+                        &mut merge_scratch,
+                        &make_session,
+                        &|sess, (g, addr)| (g, addr, sess.ping(addr)),
+                    ),
+                };
                 engine_totals.merge(&es);
                 for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                     *acc += p;
@@ -977,9 +1118,15 @@ impl<'a> Campaign<'a> {
             };
             probe_seconds += phase_started.elapsed().as_secs_f64();
             let shards = split_shards("fingerprint", shards, &mut degraded, &mut dead);
-            let mut pings: Vec<(usize, Addr, _)> = shards.into_iter().flatten().collect();
-            pings.sort_by_key(|&(g, _, _)| g);
-            for (_, addr, result) in pings {
+            // Shard outputs are already ordered by global index within
+            // each VP, so a linear scatter restores global order — no
+            // re-sort of results that were never out of order. Holes
+            // left by degraded VPs simply stay unset.
+            let mut slots: Vec<Option<(Addr, PingResult)>> = vec![None; discovered.len()];
+            for (g, addr, result) in shards.into_iter().flatten() {
+                slots[g] = Some((addr, result));
+            }
+            for (addr, result) in slots.into_iter().flatten() {
                 if let Some(r) = result.reply {
                     fingerprints.observe_er(addr, r.reply_ip_ttl);
                     er_obs.insert(addr, r.reply_ip_ttl);
@@ -1076,30 +1223,42 @@ impl<'a> Campaign<'a> {
             // Revelation pairs are few and individually heavy (a whole
             // DPR/BRPR recursion each), so claims stay per-task: a
             // batch-width chunk could hand one worker the entire phase.
-            let (shards, probes, es) = shard::run_stealing(
-                n_vps,
-                queue,
-                jobs,
-                1,
-                &make_session,
-                &|sess, (g, x, y, d)| {
-                    let out = reveal_between(sess, x, y, d, reveal_opts);
-                    let mut ers: Vec<(Addr, Option<u8>)> = Vec::new();
-                    if cfg.fingerprint {
-                        let mut pinged: HashSet<Addr> = HashSet::new();
-                        if let Some(t) = out.tunnel() {
-                            for step in &t.steps {
-                                for h in &step.new_hops {
-                                    if !discovered_ref.contains(&h.addr) && pinged.insert(h.addr) {
-                                        ers.push((h.addr, sess.ping(h.addr).reply_ip_ttl()));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    (g, ((x, y), out, ers))
-                },
-            );
+            // Last dispatcher use, so the option moves instead of
+            // reborrowing.
+            let (shards, probes, es) = match dist {
+                Some(d) => {
+                    // The worker re-runs `reveal_one` and needs the
+                    // phase context the closure below captures: the
+                    // resolved options, the fingerprint flag, and the
+                    // phase-4 discovered set.
+                    let mut extra = Vec::new();
+                    reveal_opts.put(&mut extra);
+                    cfg.fingerprint.put(&mut extra);
+                    let discovered_list: Vec<Addr> = discovered_ref.iter().copied().collect();
+                    discovered_list.put(&mut extra);
+                    d.dispatch(4, "revelation", &queue, &extra)
+                }
+                None => shard::run_stealing(
+                    n_vps,
+                    queue,
+                    jobs,
+                    1,
+                    &mut merge_scratch,
+                    &make_session,
+                    &|sess, (g, x, y, d)| {
+                        reveal_one(
+                            sess,
+                            g,
+                            x,
+                            y,
+                            d,
+                            reveal_opts,
+                            discovered_ref,
+                            cfg.fingerprint,
+                        )
+                    },
+                ),
+            };
             engine_totals.merge(&es);
             for (acc, p) in stolen_probes.iter_mut().zip(probes) {
                 *acc += p;
@@ -1222,6 +1381,8 @@ impl<'a> Campaign<'a> {
             snapshot_deltas,
             snapshot_checksum,
             bootstrap_paths,
+            // `run_distributed` attaches the accounting after the run.
+            dist: None,
         }
     }
 }
@@ -1367,6 +1528,23 @@ pub fn audit_input(result: &CampaignResult) -> wormhole_lint::CampaignAudit {
             .collect(),
         snapshot_checksum: Some(result.snapshot_checksum),
         snapshot_oracle: None,
+        dist: result.dist.as_ref().map(|d| wormhole_lint::DistAudit {
+            workers: d.workers,
+            phases: d
+                .phases
+                .iter()
+                .map(|p| wormhole_lint::DistPhaseAudit {
+                    phase: p.phase.to_string(),
+                    dispatched: p.dispatched,
+                    received: p.received,
+                    missing: p.missing.clone(),
+                    duplicates: p.duplicates.clone(),
+                    shard_probes: p.shard_probes,
+                })
+                .collect(),
+            master_cache: d.master_cache_checksum,
+            worker_cache: d.worker_cache_checksums.clone(),
+        }),
     }
 }
 

@@ -150,9 +150,26 @@ pub(crate) struct StealTask<T> {
 /// or the panic message.
 type TaskResult<R> = Result<(R, u64, EngineStats), String>;
 
+/// Reusable merge buffers for the stealing regroup: the per-VP task
+/// counts the shard vectors are pre-sized from. A campaign allocates
+/// one of these and threads it through all of its probing phases, so
+/// the regroup never re-allocates the counting pass per phase.
+pub(crate) struct MergeScratch {
+    counts: Vec<usize>,
+}
+
+impl MergeScratch {
+    /// A scratch sized for `n_vps` vantage points.
+    pub(crate) fn new(n_vps: usize) -> MergeScratch {
+        MergeScratch {
+            counts: vec![0; n_vps],
+        }
+    }
+}
+
 /// What the stealing executor hands back: per-VP regrouped results,
 /// per-VP probe counts, and the engine counter total.
-type StealOutput<R> = (Vec<Result<Vec<R>, String>>, Vec<u64>, EngineStats);
+pub(crate) type StealOutput<R> = (Vec<Result<Vec<R>, String>>, Vec<u64>, EngineStats);
 
 /// Runs `queue` under chunked work stealing with up to `jobs` worker
 /// threads and regroups the results per vantage point, in queue order.
@@ -182,6 +199,7 @@ pub(crate) fn run_stealing<'n, T, R, F, S>(
     queue: Vec<StealTask<T>>,
     jobs: usize,
     chunk: usize,
+    scratch: &mut MergeScratch,
     make_session: &S,
     f: &F,
 ) -> StealOutput<R>
@@ -246,8 +264,12 @@ where
     };
     // Regroup per VP in queue order: steal order is gone, the canonical
     // order is back. Shard vectors are pre-sized from the queue's
-    // per-VP task counts so the pushes below never reallocate.
-    let mut counts = vec![0usize; n_vps];
+    // per-VP task counts so the pushes below never reallocate; the
+    // counts buffer itself lives in the caller's scratch, reused
+    // across every phase of a campaign.
+    let counts = &mut scratch.counts;
+    counts.clear();
+    counts.resize(n_vps, 0);
     for t in &queue {
         counts[t.vp] += 1;
     }
@@ -448,11 +470,19 @@ mod tests {
         let internet = generate(&InternetConfig::small(3));
         let run = |jobs: usize, chunk: usize| -> (Vec<Result<Vec<u64>, String>>, Vec<u64>) {
             let (queue, make) = steal_fixture(&internet);
-            let (out, probes, _) =
-                run_stealing(internet.vps.len(), queue, jobs, chunk, &make, &|s, t| {
+            let mut scratch = MergeScratch::new(internet.vps.len());
+            let (out, probes, _) = run_stealing(
+                internet.vps.len(),
+                queue,
+                jobs,
+                chunk,
+                &mut scratch,
+                &make,
+                &|s, t| {
                     s.traceroute(t);
                     s.stats.probes
-                });
+                },
+            );
             (out, probes)
         };
         let (serial, serial_probes) = run(1, 1);
@@ -485,10 +515,19 @@ mod tests {
                 queue.reverse();
             }
             let keys: Vec<(usize, u64)> = queue.iter().map(|t| (t.vp, t.key)).collect();
-            let (out, _, _) = run_stealing(internet.vps.len(), queue, 1, 1, &make, &|s, t| {
-                s.traceroute(t);
-                s.stats.probes
-            });
+            let mut scratch = MergeScratch::new(internet.vps.len());
+            let (out, _, _) = run_stealing(
+                internet.vps.len(),
+                queue,
+                1,
+                1,
+                &mut scratch,
+                &make,
+                &|s, t| {
+                    s.traceroute(t);
+                    s.stats.probes
+                },
+            );
             let mut flat: Vec<((usize, u64), u64)> = Vec::new();
             let mut taken = vec![0usize; out.len()];
             for &(vp, key) in &keys {
@@ -513,12 +552,20 @@ mod tests {
                 .nth(1)
                 .map(|t| t.key)
                 .expect("vp 1 has tasks");
-            let (out, probes, _) =
-                run_stealing(internet.vps.len(), queue, jobs, 4, &make, &|s, t| {
+            let mut scratch = MergeScratch::new(internet.vps.len());
+            let (out, probes, _) = run_stealing(
+                internet.vps.len(),
+                queue,
+                jobs,
+                4,
+                &mut scratch,
+                &make,
+                &|s, t| {
                     assert!(u64::from(t.0) != poison, "chaos: injected task panic");
                     s.traceroute(t);
                     s.stats.probes
-                });
+                },
+            );
             assert!(out[0].is_ok(), "jobs={jobs}");
             assert!(out[2].is_ok(), "jobs={jobs}");
             let err = out[1].as_ref().unwrap_err();

@@ -2,11 +2,13 @@
 //! run, reused by every campaign-driven experiment.
 
 use crate::util::Report;
-use wormhole_core::{audit_campaign, Campaign, CampaignConfig, CampaignResult, Scheduling};
+use wormhole_core::{
+    audit_campaign, Campaign, CampaignConfig, CampaignResult, Scheduling, WorkerSubstrate,
+};
 use wormhole_lint::Severity;
 use wormhole_net::{Asn, FaultScenario};
 use wormhole_probe::{NullSink, TraceSink};
-use wormhole_topo::{generate, Internet, InternetConfig};
+use wormhole_topo::{config_checksum, generate, generate_cached, Internet, InternetConfig};
 
 /// How big an Internet to run against.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -36,6 +38,28 @@ impl Scale {
             Ok("thousandfold") | Ok("THOUSANDFOLD") => Scale::ThousandFold,
             _ => Scale::Paper,
         }
+    }
+
+    /// The canonical lowercase name — the inverse of [`Scale::parse`];
+    /// distributed shard specs carry it in the substrate token.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::Tenfold => "tenfold",
+            Scale::ThousandFold => "thousandfold",
+        }
+    }
+
+    /// Parses a canonical scale name (see [`Scale::name`]).
+    pub fn parse(name: &str) -> Option<Scale> {
+        Some(match name {
+            "quick" => Scale::Quick,
+            "paper" => Scale::Paper,
+            "tenfold" => Scale::Tenfold,
+            "thousandfold" => Scale::ThousandFold,
+            _ => return None,
+        })
     }
 }
 
@@ -80,6 +104,75 @@ pub fn faults_from_env() -> FaultScenario {
     }
 }
 
+/// The generator parameters for a scale/seed pair — the one mapping a
+/// distributed master and its workers both resolve substrates (and
+/// substrate-cache checksums) through.
+pub fn internet_config_for(scale: Scale, seed: u64) -> InternetConfig {
+    match scale {
+        Scale::Quick => InternetConfig::small(seed),
+        Scale::Paper => InternetConfig {
+            seed,
+            ..InternetConfig::default()
+        },
+        Scale::Tenfold => InternetConfig::tenfold(seed),
+        Scale::ThousandFold => InternetConfig::thousandfold(seed),
+    }
+}
+
+/// Resolves a distributed worker's `<scale>:<seed>` substrate token
+/// back to the Internet the master dispatched over — through the
+/// shared on-disk cache when the shard spec carries one. Both
+/// `wormhole-cli campaign-worker` and the bench harness's self-worker
+/// mode route through this one function, so master and workers can
+/// never drift on what a token means.
+pub fn resolve_worker_substrate(
+    token: &str,
+    cache: Option<(&std::path::Path, u64)>,
+) -> Result<WorkerSubstrate, String> {
+    let (scale_name, seed) = token.split_once(':').ok_or_else(|| {
+        format!("substrate token '{token}' (expected '<scale>:<seed>', e.g. 'tenfold:8')")
+    })?;
+    let scale = Scale::parse(scale_name).ok_or_else(|| {
+        format!(
+            "unknown scale '{scale_name}' in substrate token \
+             (expected quick, paper, tenfold, thousandfold)"
+        )
+    })?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("bad seed '{seed}' in substrate token '{token}'"))?;
+    let net_cfg = internet_config_for(scale, seed);
+    match cache {
+        Some((path, _expected)) => {
+            // Resolve through the shared cache directory; the computed
+            // checksum goes back in the shard file, where the A312
+            // audit compares it against the master's.
+            let dir = path
+                .parent()
+                .ok_or_else(|| format!("cache path {} has no directory", path.display()))?;
+            let (internet, _status) = generate_cached(&net_cfg, dir)
+                .map_err(|e| format!("substrate cache {}: {e}", path.display()))?;
+            Ok(WorkerSubstrate {
+                net: internet.net,
+                cp: internet.cp,
+                vps: internet.vps,
+                cache_checksum: Some(config_checksum(&net_cfg)),
+            })
+        }
+        None => {
+            // The master linted this exact substrate before
+            // dispatching; regenerating it is deterministic.
+            let internet = generate(&net_cfg);
+            Ok(WorkerSubstrate {
+                net: internet.net,
+                cp: internet.cp,
+                vps: internet.vps,
+                cache_checksum: None,
+            })
+        }
+    }
+}
+
 /// Generates (and statically checks) the Internet for a scale/seed
 /// pair. This is the expensive half of [`PaperContext::generate_full`],
 /// split out so long-lived processes (`wormhole-serve`) can build the
@@ -89,16 +182,7 @@ pub fn faults_from_env() -> FaultScenario {
 /// Panics when the generated Internet fails static analysis — a broken
 /// substrate would waste every campaign run over it.
 pub fn internet_for(scale: Scale, seed: u64) -> Internet {
-    let net_cfg = match scale {
-        Scale::Quick => InternetConfig::small(seed),
-        Scale::Paper => InternetConfig {
-            seed,
-            ..InternetConfig::default()
-        },
-        Scale::Tenfold => InternetConfig::tenfold(seed),
-        Scale::ThousandFold => InternetConfig::thousandfold(seed),
-    };
-    let internet = generate(&net_cfg);
+    let internet = generate(&internet_config_for(scale, seed));
     // Lint before simulate: a generated Internet that fails static
     // analysis would waste an entire campaign on a broken substrate.
     let diags = wormhole_lint::check_internet(&internet);

@@ -160,6 +160,43 @@ pub struct CampaignAudit {
     /// Whether the campaign's fault plan included deceptive behaviors
     /// (TTL spoofing, non-Paris load balancing, egress hiding).
     pub deceptive_plan: bool,
+    /// Cross-process shard accounting of a distributed run; `None`
+    /// disables A311/A312 (the campaign ran in one process).
+    pub dist: Option<DistAudit>,
+}
+
+/// Cross-process accounting of a distributed campaign run (mirror of
+/// the core layer's `DistSummary`; the campaign lives above this
+/// crate).
+#[derive(Clone, Debug, Default)]
+pub struct DistAudit {
+    /// Worker processes the master partitioned each phase across.
+    pub workers: usize,
+    /// One entry per dispatched phase, in phase order.
+    pub phases: Vec<DistPhaseAudit>,
+    /// The config checksum of the substrate cache the master used, if
+    /// any.
+    pub master_cache: Option<u64>,
+    /// Distinct `(worker, checksum)` cache observations reported back
+    /// in shard files.
+    pub worker_cache: Vec<(usize, u64)>,
+}
+
+/// Shard accounting for one dispatched phase of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistPhaseAudit {
+    /// The phase label (matches degraded-shard phase names).
+    pub phase: String,
+    /// Workers spawned for the phase.
+    pub dispatched: usize,
+    /// Shard files received, validated, and merged.
+    pub received: usize,
+    /// Workers whose shard never arrived.
+    pub missing: Vec<usize>,
+    /// Worker indices received more than once.
+    pub duplicates: Vec<usize>,
+    /// Sum of per-VP probe counts over the received shard files.
+    pub shard_probes: u64,
 }
 
 /// A301: a complete pair-signature outside the Table 1 vendor taxonomy.
@@ -462,6 +499,117 @@ pub fn incremental_aggregation(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// A311: cross-process shard accounting for distributed runs. Every
+/// phase must balance its ledger — `received + missing == dispatched`,
+/// no duplicate shard files — and the probes summed over the received
+/// shard files must equal the campaign total exactly (the master only
+/// accumulates probes from shards it merged, so the identity holds even
+/// when a worker was lost). A missing worker whose loss produced no
+/// degraded-shard record in the same phase means the failure was
+/// swallowed (warn).
+pub fn distributed_accounting(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    let Some(d) = &a.dist else { return };
+    let mut shard_probes = 0u64;
+    for p in &d.phases {
+        shard_probes += p.shard_probes;
+        if p.received + p.missing.len() != p.dispatched {
+            out.push(Diagnostic::new(
+                "A311",
+                Severity::Error,
+                Location::Network,
+                format!(
+                    "{} phase dispatched {} workers but accounted {} received + {} missing",
+                    p.phase,
+                    p.dispatched,
+                    p.received,
+                    p.missing.len()
+                ),
+                "every spawned worker must end up in exactly one of the received/missing ledgers",
+            ));
+        }
+        if !p.duplicates.is_empty() {
+            out.push(Diagnostic::new(
+                "A311",
+                Severity::Error,
+                Location::Network,
+                format!(
+                    "{} phase merged duplicate shard files from workers {:?}",
+                    p.phase, p.duplicates
+                ),
+                "a shard file must be merged at most once; de-duplicate by worker index",
+            ));
+        }
+        for &w in &p.missing {
+            let degraded = a.degraded_shards.iter().any(|(_, phase)| phase == &p.phase);
+            if !degraded {
+                out.push(Diagnostic::new(
+                    "A311",
+                    Severity::Warn,
+                    Location::Network,
+                    format!(
+                        "worker #{w} went missing in the {} phase without a degraded-shard record",
+                        p.phase
+                    ),
+                    "a lost shard must degrade its vantage points, never vanish silently",
+                ));
+            }
+        }
+    }
+    if !d.phases.is_empty() && shard_probes != a.probes {
+        out.push(Diagnostic::new(
+            "A311",
+            Severity::Error,
+            Location::Network,
+            format!(
+                "shard files account for {shard_probes} probes but the campaign total is {}",
+                a.probes
+            ),
+            "the merged report must count exactly the probes the received shards sent",
+        ));
+    }
+}
+
+/// A312: distributed substrate-cache agreement. Master and workers must
+/// resolve the same substrate; a worker reporting a different cache
+/// config checksum simulated a *different internet* and its shard data
+/// silently poisons the merge (error). Workers using a cache the master
+/// did not is a provenance gap (warn).
+pub fn distributed_cache_agreement(a: &CampaignAudit, out: &mut Vec<Diagnostic>) {
+    let Some(d) = &a.dist else { return };
+    match d.master_cache {
+        Some(master) => {
+            for &(w, c) in &d.worker_cache {
+                if c != master {
+                    out.push(Diagnostic::new(
+                        "A312",
+                        Severity::Error,
+                        Location::Network,
+                        format!(
+                            "worker #{w} resolved substrate cache checksum {c:#018x} \
+                             but the master used {master:#018x}"
+                        ),
+                        "pass the master's cache path and checksum through the shard spec",
+                    ));
+                }
+            }
+        }
+        None => {
+            if !d.worker_cache.is_empty() {
+                out.push(Diagnostic::new(
+                    "A312",
+                    Severity::Warn,
+                    Location::Network,
+                    format!(
+                        "{} worker(s) resolved a substrate cache but the master built from scratch",
+                        d.worker_cache.len()
+                    ),
+                    "cache on both sides or neither; mixed provenance defeats the checksum audit",
+                ));
+            }
+        }
+    }
+}
+
 /// A401: a trace spent more probes than the per-trace budget allows —
 /// the budget enforcement is broken and a hostile path can starve the
 /// campaign.
@@ -727,6 +875,8 @@ pub fn audit(net: &Network, a: &CampaignAudit) -> Vec<Diagnostic> {
     stealing_idle_shard(a, &mut out);
     method_claim_consistency(a, &mut out);
     incremental_aggregation(a, &mut out);
+    distributed_accounting(a, &mut out);
+    distributed_cache_agreement(a, &mut out);
     probe_budget_overrun(a, &mut out);
     partial_revelation_accounting(a, &mut out);
     degraded_shard_consistency(a, &mut out);

@@ -328,6 +328,29 @@ pub static RULES: &[RuleInfo] = &[
                       checksum must match a batch rebuild over the same IP paths exactly.",
     },
     RuleInfo {
+        code: "A311",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "distributed shard ledger out of balance",
+        explanation: "A distributed campaign partitions each stealing phase across worker \
+                      processes and merges their shard files. The ledger must balance: \
+                      received + missing == dispatched, no duplicate shard merges, and the \
+                      probes summed over received shard files equal the campaign total \
+                      exactly. A missing worker that produced no degraded-shard record in \
+                      the same phase was swallowed silently (warn).",
+    },
+    RuleInfo {
+        code: "A312",
+        family: Family::Audit,
+        severity: Severity::Error,
+        summary: "distributed substrate-cache checksum disagreement",
+        explanation: "Master and workers must resolve the same simulated internet. A worker \
+                      reporting a different substrate-cache config checksum rebuilt a \
+                      different topology, so its shard silently poisons the merge; workers \
+                      caching while the master built from scratch is a provenance gap \
+                      (warn).",
+    },
+    RuleInfo {
         code: "A401",
         family: Family::Robustness,
         severity: Severity::Error,

@@ -44,6 +44,28 @@ pub enum ExtRoute {
     },
 }
 
+/// Why [`ControlPlane::from_cache_payload`] rejected a payload.
+#[derive(Debug)]
+pub enum CachePayloadError {
+    /// The payload bytes did not decode, or the decoded tables'
+    /// dimensions do not match the network they were paired with.
+    Decode(crate::wire::WireError),
+    /// The plane could not be assembled over this network (the same
+    /// errors a cold [`ControlPlane::build_with_jobs`] can hit).
+    Assemble(NetError),
+}
+
+impl std::fmt::Display for CachePayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CachePayloadError::Decode(e) => write!(f, "cache payload: {e}"),
+            CachePayloadError::Assemble(e) => write!(f, "cache payload assembly: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CachePayloadError {}
+
 /// What an LFIB entry does with the top label.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum LabelAction {
@@ -481,6 +503,65 @@ impl ControlPlane {
     /// by AS index wins deterministically.
     pub fn build_with_jobs(net: &Network, jobs: usize) -> Result<ControlPlane, NetError> {
         let bgp = Bgp::compute(net)?;
+        ControlPlane::assemble(net, jobs, bgp, None)
+    }
+
+    /// The substrate-cache payload: the two build phases whose cost
+    /// dominates at scale (valley-free BGP and the hot-potato external
+    /// route table), encoded with [`crate::wire`]. Everything else in
+    /// the plane is cheap to recompute from the network, so
+    /// [`ControlPlane::from_cache_payload`] rebuilds it instead of
+    /// trusting more serialized state than necessary.
+    pub fn cache_payload(&self) -> Vec<u8> {
+        use crate::wire::Wire as _;
+        let mut out = Vec::new();
+        self.bgp.put(&mut out);
+        self.ext.put(&mut out);
+        out
+    }
+
+    /// Rebuilds the control plane from a [`ControlPlane::cache_payload`]
+    /// over the *same* network. The cached BGP table and external-route
+    /// table skip the expensive phases; every other table is assembled
+    /// from `net` exactly as [`ControlPlane::build_with_jobs`] would, so
+    /// the result is byte-identical to a cold build. A payload whose
+    /// external-route table does not match the network's dimensions is
+    /// rejected as corrupt (the caller's config checksum should have
+    /// caught the mismatch earlier).
+    pub fn from_cache_payload(
+        net: &Network,
+        jobs: usize,
+        payload: &[u8],
+    ) -> Result<ControlPlane, CachePayloadError> {
+        use crate::wire::{Reader, Wire as _, WireError};
+        let mut r = Reader::new(payload);
+        let bgp = Bgp::take(&mut r).map_err(CachePayloadError::Decode)?;
+        let ext: Vec<ExtRoute> = Vec::take(&mut r).map_err(CachePayloadError::Decode)?;
+        if !r.is_empty() {
+            return Err(CachePayloadError::Decode(WireError::Corrupt(
+                "trailing bytes",
+            )));
+        }
+        let n_as = net.as_list().len();
+        if ext.len() != n_as * net.num_routers() || bgp.next_as.len() != n_as {
+            return Err(CachePayloadError::Decode(WireError::Corrupt(
+                "cached table dimensions do not match the network",
+            )));
+        }
+        ControlPlane::assemble(net, jobs, bgp, Some(ext)).map_err(CachePayloadError::Assemble)
+    }
+
+    /// The shared tail of [`ControlPlane::build_with_jobs`] and
+    /// [`ControlPlane::from_cache_payload`]: everything after BGP.
+    /// `cached_ext` skips the hot-potato external-route loop (the
+    /// dominant single phase at thousandfold scale) when a cache
+    /// supplied the table.
+    fn assemble(
+        net: &Network,
+        jobs: usize,
+        bgp: Bgp,
+        cached_ext: Option<Vec<ExtRoute>>,
+    ) -> Result<ControlPlane, NetError> {
         let as_list = net.as_list();
         let n_as = as_list.len();
         let jobs = jobs.max(1).min(n_as.max(1));
@@ -517,9 +598,15 @@ impl ControlPlane {
         // table that the dense pool below flattens.
         let fib = logical_fib(net, &igp, &as_prefixes);
 
-        // External routes with hot-potato egress selection.
-        let mut ext = vec![ExtRoute::Unreachable; n_as * net.num_routers()];
+        // External routes with hot-potato egress selection (or the
+        // cached table, which this loop produced on a previous build).
+        let compute_ext = cached_ext.is_none();
+        let mut ext =
+            cached_ext.unwrap_or_else(|| vec![ExtRoute::Unreachable; n_as * net.num_routers()]);
         for (src_as, &asn) in as_list.iter().enumerate() {
+            if !compute_ext {
+                break;
+            }
             let view = &igp[src_as];
             let borders = net.borders(asn);
             #[allow(clippy::needless_range_loop)] // dst_as indexes two tables
@@ -1111,6 +1198,47 @@ mod tests {
             assert_eq!(s.asn, p.asn);
             assert_eq!(s.dist, p.dist);
         }
+    }
+
+    #[test]
+    fn cache_payload_round_trips() {
+        let (net, [_, a, _, c, _]) = line_net();
+        let cold = ControlPlane::build(&net).unwrap();
+        let payload = cold.cache_payload();
+        let warm = ControlPlane::from_cache_payload(&net, 1, &payload).unwrap();
+        let as2 = net.as_index(Asn(2)).unwrap();
+        let slot = cold.as_prefixes[as2]
+            .lookup(net.router(c).loopback)
+            .unwrap();
+        assert_eq!(cold.fib_entry(a, slot), warm.fib_entry(a, slot));
+        for r in 0..net.num_routers() as u32 {
+            let rid = RouterId(r);
+            assert_eq!(cold.lfib_size(rid), warm.lfib_size(rid));
+            for dst_as in 0..net.as_list().len() {
+                assert_eq!(cold.ext_route(rid, dst_as), warm.ext_route(rid, dst_as));
+            }
+        }
+        // A second encode of the warm plane is byte-identical.
+        assert_eq!(payload, warm.cache_payload());
+    }
+
+    #[test]
+    fn cache_payload_rejects_corruption() {
+        let (net, _) = line_net();
+        let cp = ControlPlane::build(&net).unwrap();
+        let payload = cp.cache_payload();
+        // Truncation is caught by the decoder.
+        let err = ControlPlane::from_cache_payload(&net, 1, &payload[..payload.len() - 3]);
+        assert!(matches!(err, Err(CachePayloadError::Decode(_))));
+        // A payload built for a different network fails the dimension check.
+        let mut bld = NetworkBuilder::new();
+        let x = bld.add_router("x", Asn(1), RouterConfig::ip_router(Vendor::CiscoIos));
+        let y = bld.add_router("y", Asn(2), RouterConfig::ip_router(Vendor::CiscoIos));
+        bld.link(x, y, LinkOpts::default());
+        bld.as_rel(Asn(1), Asn(2), RelKind::Peer);
+        let other = bld.build().unwrap();
+        let err = ControlPlane::from_cache_payload(&other, 1, &payload);
+        assert!(matches!(err, Err(CachePayloadError::Decode(_))));
     }
 
     #[test]

@@ -63,13 +63,14 @@ pub mod substrate;
 pub mod te;
 pub mod trie;
 pub mod vendor;
+pub mod wire;
 
 pub use addr::{Addr, AddrAllocator, Prefix};
 pub use batch::BATCH_WIDTH;
 pub use bgp::{Bgp, RouteClass};
 pub use control::{
-    ldp_lfib_hops, logical_fib, te_program, walk, ControlPlane, DenseView, ExtRoute, LabelAction,
-    LfibEntry, LfibHop, LfibRaw, TeRoute, WalkIface, OWNER_PAGE_SIZE,
+    ldp_lfib_hops, logical_fib, te_program, walk, CachePayloadError, ControlPlane, DenseView,
+    ExtRoute, LabelAction, LfibEntry, LfibHop, LfibRaw, TeRoute, WalkIface, OWNER_PAGE_SIZE,
 };
 pub use engine::{DropReason, Engine, EngineOpts, EngineStats, ReplyInfo, ReplyKind, SendOutcome};
 pub use error::NetError;

@@ -236,8 +236,20 @@ fn build_persona(
     PersonaRouters { edges }
 }
 
-/// Generates an Internet from `config`.
-pub fn generate(config: &InternetConfig) -> Internet {
+/// A generated topology before its control plane is computed.
+///
+/// [`generate`] builds the plane immediately; the substrate cache
+/// ([`crate::cache`]) regenerates the (cheap, deterministic) topology
+/// and then restores the (expensive) plane tables from disk instead.
+pub(crate) struct Topology {
+    pub(crate) net: Network,
+    pub(crate) vps: Vec<RouterId>,
+    pub(crate) stub_asns: Vec<Asn>,
+}
+
+/// Generates the network topology from `config` without computing the
+/// control plane.
+pub(crate) fn generate_topology(config: &InternetConfig) -> Topology {
     assert!(!config.personas.is_empty(), "need at least one persona");
     assert!(
         config.n_vps <= config.n_stubs,
@@ -377,13 +389,23 @@ pub fn generate(config: &InternetConfig) -> Internet {
     }
 
     let net = b.build().expect("generated network is well-formed");
-    let cp = ControlPlane::build(&net).expect("generated network has a control plane");
-    Internet {
+    Topology {
         net,
-        cp,
         vps,
-        personas: config.personas.clone(),
         stub_asns,
+    }
+}
+
+/// Generates an Internet from `config`.
+pub fn generate(config: &InternetConfig) -> Internet {
+    let topo = generate_topology(config);
+    let cp = ControlPlane::build(&topo.net).expect("generated network has a control plane");
+    Internet {
+        net: topo.net,
+        cp,
+        vps: topo.vps,
+        personas: config.personas.clone(),
+        stub_asns: topo.stub_asns,
     }
 }
 

@@ -7,6 +7,7 @@
 //! wormhole-cli lint <config>             static analysis of a testbed config
 //! wormhole-cli campaign [quick|paper|tenfold|thousandfold]
 //!                       [--jobs N] [--faults <scenario>] [--stealing]
+//!                       [--distributed N] [--cache-dir DIR]
 //!                       [--emit summary|jsonl|report]
 //!                                        full §4 campaign; scenarios:
 //!                                        clean, lossy_core, rate_limited_edge, hostile,
@@ -15,7 +16,15 @@
 //!                                        --emit jsonl streams one line per merged
 //!                                        trace (the same path wormhole-serve uses);
 //!                                        --emit report prints the canonical
-//!                                        byte-stable report
+//!                                        byte-stable report.
+//!                                        --distributed N partitions each stealing
+//!                                        phase across N worker processes; the report
+//!                                        stays byte-identical to the in-process run.
+//!                                        --cache-dir DIR caches the built control
+//!                                        plane on disk, shared with the workers
+//! wormhole-cli campaign-worker --shard-spec <file>
+//!                                        internal: execute one distributed shard
+//!                                        spec and write the shard file back
 //! wormhole-cli list-configs              available testbed configurations
 //! ```
 
@@ -62,7 +71,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: wormhole-cli <trace|smart|reveal|lint> <config> \
          | campaign [quick|paper|tenfold|thousandfold] [--jobs N] [--faults <scenario>] \
-         [--stealing] [--emit summary|jsonl|report] | list-configs\n\
+         [--stealing] [--distributed N] [--cache-dir DIR] [--emit summary|jsonl|report] \
+         | campaign-worker --shard-spec <file> | list-configs\n\
          configs: {}\n\
          fault scenarios: clean, lossy_core, rate_limited_edge, hostile, deceptive_ttl, \
          artifact_lb, paranoid (--faults list prints them)",
@@ -195,6 +205,10 @@ enum Emit {
     Report,
 }
 
+/// The substrate seed the CLI pins for every campaign run; workers
+/// re-derive the identical Internet from `<scale>:<seed>` tokens.
+const SUBSTRATE_SEED: u64 = 8;
+
 fn cmd_campaign(args: &[String]) -> ExitCode {
     use wormhole::experiments::Scale;
     use wormhole::net::FaultScenario;
@@ -203,6 +217,9 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut faults = wormhole::experiments::faults_from_env();
     let mut scheduling = wormhole::experiments::scheduling_from_env();
     let mut emit = Emit::Summary;
+    let mut distributed: Option<usize> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut chaos_abort_worker: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -215,6 +232,30 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                 Some(n) => jobs = n,
                 None => {
                     eprintln!("--jobs needs a worker count (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--distributed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => distributed = Some(n),
+                _ => {
+                    eprintln!("--distributed needs a worker-process count (>= 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(std::path::PathBuf::from(d)),
+                None => {
+                    eprintln!("--cache-dir needs a directory for the substrate cache");
+                    return ExitCode::FAILURE;
+                }
+            },
+            // Test/CI hook: tell the given distributed worker index to
+            // abort during the probe phase (exercises the missing-shard
+            // degradation path).
+            "--chaos-abort-worker" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => chaos_abort_worker = Some(n),
+                None => {
+                    eprintln!("--chaos-abort-worker needs a worker index");
                     return ExitCode::FAILURE;
                 }
             },
@@ -252,6 +293,25 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                 return usage();
             }
         }
+    }
+    if let Some(workers) = distributed {
+        return cmd_campaign_distributed(
+            scale,
+            jobs,
+            faults,
+            emit,
+            workers,
+            cache_dir,
+            chaos_abort_worker,
+        );
+    }
+    if chaos_abort_worker.is_some() {
+        eprintln!("--chaos-abort-worker only applies to --distributed runs");
+        return ExitCode::FAILURE;
+    }
+    if cache_dir.is_some() && emit == Emit::Summary {
+        eprintln!("--cache-dir needs --distributed or --emit jsonl|report");
+        return ExitCode::FAILURE;
     }
     eprintln!(
         "running the §4 campaign at {scale:?} scale with jobs={jobs} ({scheduling:?} scheduling) \
@@ -292,7 +352,13 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         Emit::Jsonl | Emit::Report => {
             // The exact path `wormhole-serve` runs: build the substrate,
             // then stream one campaign over it.
-            let internet = wormhole::experiments::internet_for(scale, 8);
+            let (internet, _cache) = match substrate_for(scale, cache_dir.as_deref()) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let cfg = wormhole::experiments::campaign_config_for(scale, jobs, faults, scheduling);
             if emit == Emit::Jsonl {
                 let stdout = std::io::stdout();
@@ -315,6 +381,177 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds the campaign substrate, through the on-disk control-plane
+/// cache when a directory was given. Returns the Internet plus the
+/// cache file and config checksum distributed workers must agree on.
+fn substrate_for(
+    scale: wormhole::experiments::Scale,
+    cache_dir: Option<&std::path::Path>,
+) -> Result<(wormhole::topo::Internet, Option<(std::path::PathBuf, u64)>), String> {
+    let Some(dir) = cache_dir else {
+        return Ok((
+            wormhole::experiments::internet_for(scale, SUBSTRATE_SEED),
+            None,
+        ));
+    };
+    let net_cfg = wormhole::experiments::internet_config_for(scale, SUBSTRATE_SEED);
+    let (internet, status) = wormhole::topo::generate_cached(&net_cfg, dir)
+        .map_err(|e| format!("substrate cache under {}: {e}", dir.display()))?;
+    let path = wormhole::topo::cache_file(dir, &net_cfg);
+    eprintln!(
+        "substrate cache: {} ({})",
+        path.display(),
+        match status {
+            wormhole::topo::CacheStatus::Cold => "cold build, saved",
+            wormhole::topo::CacheStatus::Warm => "warm restore",
+        }
+    );
+    // The same lint-before-simulate gate `internet_for` applies.
+    let diags = wormhole::lint::check_internet(&internet);
+    wormhole::lint::deny_errors("campaign substrate", &diags);
+    let checksum = wormhole::topo::config_checksum(&net_cfg);
+    Ok((internet, Some((path, checksum))))
+}
+
+/// `campaign --distributed N`: partition each stealing phase across N
+/// worker processes (this same binary, `campaign-worker` subcommand)
+/// and merge their shard files. The report stays byte-identical to the
+/// in-process `--stealing` run.
+#[allow(clippy::too_many_arguments)]
+fn cmd_campaign_distributed(
+    scale: wormhole::experiments::Scale,
+    jobs: usize,
+    faults: wormhole::net::FaultScenario,
+    emit: Emit,
+    workers: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    chaos_abort_worker: Option<usize>,
+) -> ExitCode {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate the worker binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (internet, cache) = match substrate_for(scale, cache_dir.as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = wormhole::experiments::campaign_config_for(
+        scale,
+        jobs,
+        faults,
+        wormhole::core::Scheduling::Stealing,
+    );
+    let work_dir = std::env::temp_dir().join(format!("wormhole-dist-{}", std::process::id()));
+    let opts = wormhole::core::DistributedOpts {
+        workers,
+        worker_cmd: vec![exe.to_string_lossy().into_owned()],
+        substrate_token: format!("{}:{SUBSTRATE_SEED}", scale.name()),
+        work_dir: work_dir.clone(),
+        cache,
+        keep_files: false,
+        chaos_abort_worker,
+    };
+    eprintln!(
+        "running the §4 campaign at {scale:?} scale across {workers} worker processes \
+         under the '{}' scenario…",
+        faults.name()
+    );
+    let campaign =
+        wormhole::core::Campaign::new(&internet.net, &internet.cp, internet.vps.clone(), cfg);
+    let result = match emit {
+        Emit::Jsonl => {
+            let stdout = std::io::stdout();
+            let mut sink = wormhole::probe::JsonlSink::new(stdout.lock()).with_stats();
+            let result = campaign.run_distributed(&mut sink, &opts);
+            drop(sink);
+            if let Ok(r) = &result {
+                println!(
+                    "{{\"type\":\"done\",\"traces\":{},\"probes\":{},\"snapshot_checksum\":{}}}",
+                    r.traces.len(),
+                    r.probes,
+                    r.snapshot_checksum
+                );
+            }
+            result
+        }
+        Emit::Summary | Emit::Report => {
+            let mut sink = wormhole::probe::NullSink;
+            campaign.run_distributed(&mut sink, &opts)
+        }
+    };
+    let _ = std::fs::remove_dir(&work_dir);
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("distributed campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The shard-ledger accounting goes to stderr so `--emit report`
+    // stdout stays canonical (byte-identical to the in-process run).
+    if let Some(dist) = &result.dist {
+        for p in &dist.phases {
+            eprintln!(
+                "phase {:<12} dispatched {} / received {} / missing {:?} ({} shard probes)",
+                p.phase, p.dispatched, p.received, p.missing, p.shard_probes
+            );
+        }
+        if let Some(c) = dist.master_cache_checksum {
+            eprintln!(
+                "substrate cache checksum {c:#018x}; workers reported {:?}",
+                dist.worker_cache_checksums
+            );
+        }
+    }
+    for d in &result.degraded_shards {
+        eprintln!("degraded shard: vp {} lost in the {} phase", d.vp, d.phase);
+    }
+    match emit {
+        Emit::Summary => {
+            println!(
+                "snapshot: {} nodes, {} HDNs; {} targets; {} candidate pairs; \
+                 {} tunnels revealed; {} probes",
+                result.snapshot.num_nodes(),
+                result.hdns.len(),
+                result.targets.len(),
+                result.unique_pairs().len(),
+                result.tunnels().count(),
+                result.probes
+            );
+        }
+        Emit::Report => print!("{}", result.report()),
+        Emit::Jsonl => {}
+    }
+    ExitCode::SUCCESS
+}
+
+/// `campaign-worker --shard-spec <file>`: the worker half of
+/// `campaign --distributed`. Decodes the spec, re-derives the identical
+/// substrate from its `<scale>:<seed>` token (or the shared cache
+/// file), executes its task subset, and writes the shard file back.
+fn cmd_campaign_worker(args: &[String]) -> ExitCode {
+    let spec = match args {
+        [flag, path] if flag == "--shard-spec" => std::path::Path::new(path),
+        _ => {
+            eprintln!("usage: wormhole-cli campaign-worker --shard-spec <file>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match wormhole::core::worker_main(spec, &wormhole::experiments::resolve_worker_substrate) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -325,6 +562,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("campaign-worker") => cmd_campaign_worker(&args[1..]),
         Some(cmd @ ("trace" | "smart" | "reveal" | "lint")) => {
             let Some(config) = args.get(1) else {
                 return usage();
